@@ -1,0 +1,47 @@
+//! F4/F12 bench: cross-validation split generation and full K-fold pipeline
+//! evaluation.
+
+use coda_core::{Evaluator, Node, Pipeline};
+use coda_data::{synth, BoxedEstimator, CvStrategy, Metric};
+use coda_ml::LinearRegression;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_split_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cv/splits");
+    for n in [1_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::new("kfold10", n), &n, |b, &n| {
+            b.iter(|| CvStrategy::kfold(10).splits(n).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sliding", n), &n, |b, &n| {
+            b.iter(|| {
+                CvStrategy::TimeSeriesSlidingSplit {
+                    train_size: n / 2,
+                    buffer: 10,
+                    validation_size: n / 10,
+                    k: 5,
+                }
+                .splits(n)
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_kfold_evaluation(c: &mut Criterion) {
+    let ds = synth::linear_regression(500, 5, 0.3, 1);
+    let pipeline = Pipeline::from_nodes(vec![Node::auto(
+        (Box::new(LinearRegression::new()) as BoxedEstimator).into(),
+    )]);
+    let mut group = c.benchmark_group("cv/evaluate_linear_500x5");
+    for k in [3usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let eval = Evaluator::new(CvStrategy::kfold(k), Metric::Rmse);
+            b.iter(|| eval.evaluate_pipeline(&pipeline, &ds).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_split_generation, bench_kfold_evaluation);
+criterion_main!(benches);

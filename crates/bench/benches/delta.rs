@@ -1,0 +1,36 @@
+//! D1 bench: delta encoding/decoding throughput and wire size across update
+//! fractions.
+
+use coda_bench::{mutate_fraction, patterned_bytes};
+use coda_store::DeltaCodec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_encode(c: &mut Criterion) {
+    let size = 262_144usize;
+    let base = patterned_bytes(size, 1);
+    let mut group = c.benchmark_group("delta/encode_256KiB");
+    group.throughput(Throughput::Bytes(size as u64));
+    for fraction in [0.01f64, 0.1, 0.5] {
+        let target = mutate_fraction(&base, fraction);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}pct", (fraction * 100.0) as u32)),
+            &target,
+            |b, t| b.iter(|| DeltaCodec::encode(&base, t, 1, 2)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let size = 262_144usize;
+    let base = patterned_bytes(size, 1);
+    let target = mutate_fraction(&base, 0.05);
+    let delta = DeltaCodec::encode(&base, &target, 1, 2);
+    let mut group = c.benchmark_group("delta/apply_256KiB");
+    group.throughput(Throughput::Bytes(size as u64));
+    group.bench_function("5pct", |b| b.iter(|| DeltaCodec::apply(&base, &delta).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_apply);
+criterion_main!(benches);

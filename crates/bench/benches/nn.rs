@@ -1,0 +1,64 @@
+//! A6 bench: neural substrate training throughput — the paper's explicit
+//! claim that standard DNNs are "much faster" than LSTMs, with CNNs in
+//! between (§IV-C2/3).
+
+use coda_data::{synth, Estimator, Transformer};
+use coda_timeseries::{
+    CascadedWindows, CnnForecaster, DnnForecaster, LstmForecaster, SeriesData,
+    WaveNetForecaster, WindowConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_forecaster_training(c: &mut Criterion) {
+    let p = 16;
+    let series = SeriesData::univariate(synth::trend_seasonal_series(200, 16.0, 0.5, 1));
+    let windowed = CascadedWindows::new(WindowConfig::new(p, 1))
+        .fit_transform(&series.to_dataset())
+        .unwrap();
+    let mut group = c.benchmark_group("nn/train_5_epochs");
+    group.sample_size(10);
+    group.bench_function("dnn_simple", |b| {
+        b.iter(|| {
+            let mut m = DnnForecaster::simple(p).with_epochs(5);
+            m.fit(&windowed).unwrap();
+        })
+    });
+    group.bench_function("cnn_simple", |b| {
+        b.iter(|| {
+            let mut m = CnnForecaster::simple(p, 1).with_epochs(5);
+            m.fit(&windowed).unwrap();
+        })
+    });
+    group.bench_function("wavenet", |b| {
+        b.iter(|| {
+            let mut m = WaveNetForecaster::new(p, 1).with_epochs(5);
+            m.fit(&windowed).unwrap();
+        })
+    });
+    group.bench_function("lstm_simple", |b| {
+        b.iter(|| {
+            let mut m = LstmForecaster::simple(p, 1).with_epochs(5);
+            m.fit(&windowed).unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let p = 16;
+    let series = SeriesData::univariate(synth::trend_seasonal_series(200, 16.0, 0.5, 2));
+    let windowed = CascadedWindows::new(WindowConfig::new(p, 1))
+        .fit_transform(&series.to_dataset())
+        .unwrap();
+    let mut dnn = DnnForecaster::simple(p).with_epochs(3);
+    dnn.fit(&windowed).unwrap();
+    let mut lstm = LstmForecaster::simple(p, 1).with_epochs(3);
+    lstm.fit(&windowed).unwrap();
+    let mut group = c.benchmark_group("nn/predict_184_windows");
+    group.bench_function("dnn_simple", |b| b.iter(|| dnn.predict(&windowed).unwrap()));
+    group.bench_function("lstm_simple", |b| b.iter(|| lstm.predict(&windowed).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_forecaster_training, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! F1 bench: the placement scheduler's decision+execution path across
+//! latency regimes.
+
+use coda_cluster::{AnalyticsTask, ComputeNode, Scheduler, SimNetwork};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_placement(c: &mut Criterion) {
+    let client = ComputeNode::client("edge", 1.0);
+    let cloud = ComputeNode::cloud("dc", 4.0, 16);
+    let task = AnalyticsTask { n_subtasks: 36, work_per_subtask: 100.0, input_bytes: 2_000_000 };
+    let mut group = c.benchmark_group("placement/decide_and_execute");
+    for latency in [1.0f64, 100.0, 10_000.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{latency}ms")),
+            &latency,
+            |b, &lat| {
+                b.iter(|| {
+                    let mut net = SimNetwork::new(lat, 2_000.0);
+                    let d = Scheduler::place(&task, &client, &cloud, &net);
+                    Scheduler::execute(&d, &task, &client, &cloud, &mut net)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! D2 bench: update propagation cost per mode (pull / push-full /
+//! push-delta / notify-only).
+
+use bytes::Bytes;
+use coda_bench::patterned_bytes;
+use coda_store::{CachingClient, HomeDataStore, PushMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run_updates(mode: Option<PushMode>, n_updates: usize) -> u64 {
+    let mut store = HomeDataStore::new("home", 4);
+    let mut client = CachingClient::new("c");
+    let mut blob = patterned_bytes(65_536, 2);
+    store.put("o", Bytes::from(blob.clone()));
+    client.pull(&mut store, "o").unwrap();
+    if let Some(m) = mode {
+        store.subscribe("c", "o", m, u64::MAX / 2);
+    }
+    for i in 0..n_updates {
+        let idx = (i * 97) % blob.len();
+        blob[idx] ^= 0xFF;
+        let (_, pushes) = store.put("o", Bytes::from(blob.clone()));
+        for p in &pushes {
+            client.apply_push(p).unwrap();
+        }
+        if mode.is_none() {
+            client.pull(&mut store, "o").unwrap();
+        }
+    }
+    client.bytes_received
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sync/20_updates_64KiB");
+    group.sample_size(20);
+    for (name, mode) in [
+        ("pull", None),
+        ("push_full", Some(PushMode::Full)),
+        ("push_delta", Some(PushMode::Delta)),
+        ("notify_only", Some(PushMode::NotifyOnly)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, m| {
+            b.iter(|| run_updates(*m, 20))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

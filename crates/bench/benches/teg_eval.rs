@@ -1,0 +1,39 @@
+//! T1/F3 bench: Transformer-Estimator-Graph evaluation throughput — the
+//! full 36-pipeline Listing-1 graph under serial and parallel evaluation.
+
+use coda_bench::{listing1_graph, small_graph};
+use coda_core::Evaluator;
+use coda_data::{synth, CvStrategy, Metric};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_graph_eval(c: &mut Criterion) {
+    let ds = synth::friedman1(150, 10, 0.5, 1);
+    let graph = small_graph();
+    let mut group = c.benchmark_group("teg_eval/small_graph_8_paths");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let eval = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse).with_threads(t);
+            b.iter(|| eval.evaluate_graph(&graph, &ds).unwrap());
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("teg_eval/listing1_36_paths");
+    group.sample_size(10);
+    group.bench_function("parallel4", |b| {
+        let eval = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse).with_threads(4);
+        b.iter(|| eval.evaluate_graph(&listing1_graph(), &ds).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let graph = listing1_graph();
+    c.bench_function("teg_eval/enumerate_36_paths", |b| {
+        b.iter(|| graph.enumerate_pipelines().unwrap().len())
+    });
+}
+
+criterion_group!(benches, bench_graph_eval, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! S1 bench: the four solution templates end to end on synthetic industrial
+//! data.
+
+use coda_data::synth;
+use coda_templates::{
+    AnomalyAnalysis, CohortAnalysis, FailurePredictionAnalysis, RootCauseAnalysis,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_templates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("templates");
+    group.sample_size(10);
+    let fleet = synth::failure_prediction_data(15, 60, 10, 1);
+    group.bench_function("failure_prediction", |b| {
+        b.iter(|| FailurePredictionAnalysis::new().with_fast_settings().run(&fleet).unwrap())
+    });
+    let (process, _) = synth::root_cause_data(200, 6, 2, 2);
+    group.bench_function("root_cause", |b| {
+        b.iter(|| RootCauseAnalysis::new().with_fast_settings().run(&process).unwrap())
+    });
+    let (sensor, _) = synth::anomaly_data(1000, 4, 0.03, 3);
+    group.bench_function("anomaly_fit_detect", |b| {
+        b.iter(|| {
+            AnomalyAnalysis::new().fit(&sensor).unwrap().detect(&sensor).unwrap()
+        })
+    });
+    let (assets, _) = synth::cohort_data(100, 4, 6, 4);
+    group.bench_function("cohort", |b| {
+        b.iter(|| CohortAnalysis::new(4).run(&assets).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_templates);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! T2/F11 bench: time-series pipeline stages — windowing transformer
+//! throughput and statistical/deep model fits on windowed data.
+
+use coda_data::{synth, Transformer};
+use coda_timeseries::{
+    ArForecaster, CascadedWindows, DnnForecaster, SeriesData, TsAsIs, WindowConfig, ZeroModel,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_windowing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ts/windowing");
+    for &n in &[500usize, 2000] {
+        let series = SeriesData::new(synth::multivariate_sensors(n, 4, 1), 0);
+        let ds = series.to_dataset();
+        group.bench_with_input(BenchmarkId::new("cascaded", n), &ds, |b, ds| {
+            b.iter(|| {
+                CascadedWindows::new(WindowConfig::new(24, 1)).fit_transform(ds).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ts_as_is", n), &ds, |b, ds| {
+            b.iter(|| TsAsIs::new(WindowConfig::new(24, 1)).fit_transform(ds).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    use coda_data::Estimator;
+    let series = SeriesData::univariate(synth::ar2_series(800, 0.5, 0.2, 1.0, 2));
+    let lags = TsAsIs::new(WindowConfig::new(8, 1))
+        .fit_transform(&series.to_dataset())
+        .unwrap();
+    let mut group = c.benchmark_group("ts/model_fit");
+    group.bench_function("zero", |b| {
+        b.iter(|| {
+            let mut m = ZeroModel::new();
+            m.fit(&lags).unwrap();
+            m.predict(&lags).unwrap()
+        })
+    });
+    group.bench_function("ar8", |b| {
+        b.iter(|| {
+            let mut m = ArForecaster::new();
+            m.fit(&lags).unwrap();
+            m.predict(&lags).unwrap()
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("dnn_simple_10epochs", |b| {
+        b.iter(|| {
+            let mut m = DnnForecaster::simple(8).with_epochs(10);
+            m.fit(&lags).unwrap();
+            m.predict(&lags).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_windowing, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,237 @@
+//! Cooperative multi-client graph evaluation (Fig. 2, experiment F2):
+//! `n` client threads all need the results of the same Transformer-Estimator
+//! Graph on the same dataset. Without the DARR each client evaluates every
+//! pipeline itself (`n × m` evaluations); with the DARR clients claim
+//! non-overlapping pipelines and share results (`m` evaluations total).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use coda_core::{Evaluator, Teg};
+use coda_darr::{ComputationKey, CooperativeClient, CoopOutcome, Darr};
+use coda_data::{CvStrategy, Dataset, Metric};
+
+/// Outcome of a cooperative (or independent) multi-client run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoopRunReport {
+    /// Client count.
+    pub n_clients: usize,
+    /// Distinct pipelines in the graph.
+    pub n_pipelines: usize,
+    /// Pipeline evaluations actually executed across all clients.
+    pub total_evaluations: usize,
+    /// Evaluations that duplicated work already done elsewhere.
+    pub redundant_evaluations: usize,
+    /// Results obtained from the DARR instead of recomputing.
+    pub reused_results: usize,
+    /// Wall-clock duration of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Best score observed (metric-dependent orientation).
+    pub best_score: f64,
+}
+
+fn computation_key(
+    dataset_id: &str,
+    dataset_version: u64,
+    pipeline_key: String,
+    cv: &CvStrategy,
+    metric: Metric,
+) -> ComputationKey {
+    ComputationKey {
+        dataset_id: dataset_id.to_string(),
+        dataset_version,
+        pipeline: pipeline_key,
+        cv: cv.to_string(),
+        metric: metric.to_string(),
+    }
+}
+
+/// Runs `n_clients` threads over all pipelines of `graph` on `data`.
+/// With `use_darr` the clients cooperate through a shared repository;
+/// without it every client evaluates everything (the paper's baseline).
+///
+/// # Panics
+///
+/// Panics if the graph has no valid pipelines or `n_clients == 0`.
+pub fn run_cooperative(
+    graph: &Teg,
+    data: &Dataset,
+    cv: CvStrategy,
+    metric: Metric,
+    n_clients: usize,
+    use_darr: bool,
+) -> CoopRunReport {
+    assert!(n_clients > 0, "need at least one client");
+    let pipelines = graph.enumerate_pipelines().expect("graph must yield valid pipelines");
+    assert!(!pipelines.is_empty(), "graph has no pipelines");
+    let n_pipelines = pipelines.len();
+    let darr = Darr::new();
+    let evaluations = AtomicUsize::new(0);
+    let reused = AtomicUsize::new(0);
+    let evaluator = Evaluator::new(cv.clone(), metric);
+    let best = parking_lot::Mutex::new(metric.worst());
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..n_clients {
+            let pipelines = &pipelines;
+            let darr = &darr;
+            let evaluations = &evaluations;
+            let reused = &reused;
+            let evaluator = &evaluator;
+            let cv = &cv;
+            let best = &best;
+            scope.spawn(move || {
+                let client_name = format!("client-{c}");
+                let coop = CooperativeClient::new(darr, client_name.clone(), 60_000);
+                // rotate the work order so claims spread across clients
+                let offset = c * n_pipelines / n_clients;
+                let mut deferred: Vec<usize> = Vec::new();
+                let record_best = |score: f64| {
+                    let mut b = best.lock();
+                    if metric.is_better(score, *b) {
+                        *b = score;
+                    }
+                };
+                for i in 0..n_pipelines {
+                    let idx = (i + offset) % n_pipelines;
+                    let pipeline = &pipelines[idx];
+                    if !use_darr {
+                        if let Ok(scores) = evaluator.evaluate_pipeline(pipeline, data) {
+                            evaluations.fetch_add(1, Ordering::SeqCst);
+                            record_best(scores.iter().sum::<f64>() / scores.len() as f64);
+                        }
+                        continue;
+                    }
+                    let key = computation_key("shared", 1, pipeline.spec().key(), cv, metric);
+                    match coop.process(&key, || {
+                        evaluations.fetch_add(1, Ordering::SeqCst);
+                        let scores = evaluator
+                            .evaluate_pipeline(pipeline, data)
+                            .map_err(|e| e.to_string())?;
+                        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+                        Ok((mean, scores, format!("{client_name} via {}", cv)))
+                    }) {
+                        CoopOutcome::Computed(r) => record_best(r.score),
+                        CoopOutcome::Reused(r) => {
+                            reused.fetch_add(1, Ordering::SeqCst);
+                            record_best(r.score);
+                        }
+                        CoopOutcome::SkippedHeld(_) => deferred.push(idx),
+                        CoopOutcome::Failed(_) => {}
+                    }
+                }
+                // wait for claims held elsewhere to resolve
+                for idx in deferred {
+                    let pipeline = &pipelines[idx];
+                    let key = computation_key("shared", 1, pipeline.spec().key(), cv, metric);
+                    let mut spins = 0usize;
+                    loop {
+                        if let Some(r) = darr.lookup(&key) {
+                            reused.fetch_add(1, Ordering::SeqCst);
+                            record_best(r.score);
+                            break;
+                        }
+                        spins += 1;
+                        if spins > 200_000 {
+                            // the holder died: take the claim ourselves
+                            darr.advance_clock(100_000);
+                            if darr.try_claim(&key, &client_name, 60_000).is_claimed() {
+                                evaluations.fetch_add(1, Ordering::SeqCst);
+                                if let Ok(scores) = evaluator.evaluate_pipeline(pipeline, data) {
+                                    let mean =
+                                        scores.iter().sum::<f64>() / scores.len() as f64;
+                                    darr.complete(&key, &client_name, mean, scores, "takeover");
+                                    record_best(mean);
+                                }
+                            }
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let total_evaluations = evaluations.load(Ordering::SeqCst);
+    let best_score = *best.lock();
+    CoopRunReport {
+        n_clients,
+        n_pipelines,
+        total_evaluations,
+        redundant_evaluations: total_evaluations.saturating_sub(n_pipelines),
+        reused_results: reused.load(Ordering::SeqCst),
+        wall_ms,
+        best_score,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_core::TegBuilder;
+    use coda_data::{synth, NoOp};
+    use coda_ml::{KnnRegressor, LinearRegression, RidgeRegression, StandardScaler};
+
+    fn graph() -> Teg {
+        TegBuilder::new()
+            .add_feature_scalers(vec![
+                Box::new(StandardScaler::new()),
+                Box::new(NoOp::new()),
+            ])
+            .add_models(vec![
+                Box::new(LinearRegression::new()),
+                Box::new(RidgeRegression::new(1.0)),
+                Box::new(KnnRegressor::new(5)),
+            ])
+            .create_graph()
+            .unwrap()
+    }
+
+    #[test]
+    fn without_darr_every_client_computes_everything() {
+        let ds = synth::linear_regression(80, 3, 0.1, 201);
+        let report =
+            run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 3, false);
+        assert_eq!(report.n_pipelines, 6);
+        assert_eq!(report.total_evaluations, 18);
+        assert_eq!(report.redundant_evaluations, 12);
+        assert_eq!(report.reused_results, 0);
+    }
+
+    #[test]
+    fn with_darr_work_is_partitioned() {
+        let ds = synth::linear_regression(80, 3, 0.1, 202);
+        let report =
+            run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 3, true);
+        assert_eq!(report.n_pipelines, 6);
+        assert_eq!(
+            report.total_evaluations, 6,
+            "cooperation must eliminate redundant evaluations"
+        );
+        assert_eq!(report.redundant_evaluations, 0);
+        // every client still sees all six results: 3 clients x 6 = 18 views,
+        // 6 computed + 12 reused
+        assert_eq!(report.reused_results, 12);
+        assert!(report.best_score.is_finite());
+    }
+
+    #[test]
+    fn single_client_darr_matches_plain() {
+        let ds = synth::linear_regression(60, 2, 0.1, 203);
+        let with = run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 1, true);
+        let without =
+            run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 1, false);
+        assert_eq!(with.total_evaluations, without.total_evaluations);
+        assert!((with.best_score - without.best_score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_score_is_linear_model_on_linear_data() {
+        let ds = synth::linear_regression(100, 3, 0.05, 204);
+        let report =
+            run_cooperative(&graph(), &ds, CvStrategy::kfold(4), Metric::Rmse, 2, true);
+        assert!(report.best_score < 0.1, "best rmse {}", report.best_score);
+    }
+}

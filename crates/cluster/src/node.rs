@@ -1,0 +1,132 @@
+//! Compute nodes: clients with modest power, cloud analytics servers with
+//! elastic VM pools (Fig. 1's "cloud virtual machines can be scaled as
+//! needed").
+
+/// A batch of analytics work: e.g. one graph evaluation of `n_subtasks`
+/// pipelines, each costing `work_per_subtask` units, over `input_bytes` of
+/// data that must reach the executing node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticsTask {
+    /// Independent subtasks (pipelines × parameter settings × folds).
+    pub n_subtasks: usize,
+    /// Work units per subtask.
+    pub work_per_subtask: f64,
+    /// Input data size in bytes.
+    pub input_bytes: u64,
+}
+
+impl AnalyticsTask {
+    /// Total work units.
+    pub fn total_work(&self) -> f64 {
+        self.n_subtasks as f64 * self.work_per_subtask
+    }
+}
+
+/// A compute node with `power` work-units/ms and `vms` parallel executors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeNode {
+    name: String,
+    power: f64,
+    vms: usize,
+}
+
+impl ComputeNode {
+    /// A client node: single executor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power <= 0`.
+    pub fn client<S: Into<String>>(name: S, power: f64) -> Self {
+        assert!(power > 0.0, "power must be positive");
+        ComputeNode { name: name.into(), power, vms: 1 }
+    }
+
+    /// A cloud analytics server with a pool of `vms` virtual machines, each
+    /// of `power_per_vm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_per_vm <= 0` or `vms == 0`.
+    pub fn cloud<S: Into<String>>(name: S, power_per_vm: f64, vms: usize) -> Self {
+        assert!(power_per_vm > 0.0 && vms > 0);
+        ComputeNode { name: name.into(), power: power_per_vm, vms }
+    }
+
+    /// Node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-executor power.
+    pub fn power(&self) -> f64 {
+        self.power
+    }
+
+    /// Executor count.
+    pub fn vms(&self) -> usize {
+        self.vms
+    }
+
+    /// Scales the VM pool (elastic cloud).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vms == 0`.
+    pub fn scaled_to(mut self, vms: usize) -> Self {
+        assert!(vms > 0);
+        self.vms = vms;
+        self
+    }
+
+    /// Execution time for a task on this node: subtasks are spread over the
+    /// VM pool, so the makespan is `ceil(n / vms)` rounds of
+    /// `work / power`.
+    pub fn execution_time(&self, task: &AnalyticsTask) -> f64 {
+        let rounds = task.n_subtasks.div_ceil(self.vms);
+        rounds as f64 * task.work_per_subtask / self.power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task() -> AnalyticsTask {
+        AnalyticsTask { n_subtasks: 10, work_per_subtask: 100.0, input_bytes: 1_000 }
+    }
+
+    #[test]
+    fn client_is_sequential() {
+        let c = ComputeNode::client("c", 2.0);
+        assert_eq!(c.vms(), 1);
+        assert!((c.execution_time(&task()) - 10.0 * 100.0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cloud_parallelizes() {
+        let cloud = ComputeNode::cloud("dc", 2.0, 5);
+        // 10 subtasks over 5 VMs = 2 rounds of 50ms
+        assert!((cloud.execution_time(&task()) - 100.0).abs() < 1e-12);
+        // scaling to 10 VMs halves the makespan
+        let bigger = cloud.scaled_to(10);
+        assert!((bigger.execution_time(&task()) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_rounds_round_up() {
+        let cloud = ComputeNode::cloud("dc", 1.0, 4);
+        // 10 subtasks over 4 VMs = 3 rounds
+        assert!((cloud.execution_time(&task()) - 300.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_work() {
+        assert_eq!(task().total_work(), 1000.0);
+    }
+
+    #[test]
+    fn invalid_construction_panics() {
+        assert!(std::panic::catch_unwind(|| ComputeNode::client("x", 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| ComputeNode::cloud("x", 1.0, 0)).is_err());
+    }
+}

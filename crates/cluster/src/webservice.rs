@@ -1,0 +1,124 @@
+//! Simulated external AI web services (Fig. 1: IBM Watson, Azure Cognitive
+//! Services, AWS ML, Google Cloud AI). A web service offers *capabilities*
+//! the local stack lacks (speech, NLU, vision); calls cost latency and —
+//! for premium tiers — money, exactly the trade-off §I describes.
+
+use std::collections::BTreeSet;
+
+/// A simulated HTTP AI service.
+#[derive(Debug, Clone)]
+pub struct SimWebService {
+    name: String,
+    capabilities: BTreeSet<String>,
+    per_call_latency_ms: f64,
+    per_call_cost: f64,
+    free_calls: u64,
+    /// Calls served so far.
+    pub calls: u64,
+    /// Total simulated spend.
+    pub total_cost: f64,
+}
+
+impl SimWebService {
+    /// Creates a service with the given capabilities, per-call latency, and
+    /// per-call cost after `free_calls` free requests.
+    pub fn new<S: Into<String>>(
+        name: S,
+        capabilities: &[&str],
+        per_call_latency_ms: f64,
+        per_call_cost: f64,
+        free_calls: u64,
+    ) -> Self {
+        SimWebService {
+            name: name.into(),
+            capabilities: capabilities.iter().map(|s| s.to_string()).collect(),
+            per_call_latency_ms,
+            per_call_cost,
+            free_calls,
+            calls: 0,
+            total_cost: 0.0,
+        }
+    }
+
+    /// Service name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True when the service offers `capability`.
+    pub fn supports(&self, capability: &str) -> bool {
+        self.capabilities.contains(capability)
+    }
+
+    /// Invokes the service; returns the call latency, or `None` for an
+    /// unsupported capability. Billing starts after the free tier.
+    pub fn call(&mut self, capability: &str) -> Option<f64> {
+        if !self.supports(capability) {
+            return None;
+        }
+        self.calls += 1;
+        if self.calls > self.free_calls {
+            self.total_cost += self.per_call_cost;
+        }
+        Some(self.per_call_latency_ms)
+    }
+}
+
+/// Routes a capability request to the cheapest supporting service (fewest
+/// dollars, then lowest latency). Returns the chosen service index.
+pub fn route_capability(services: &[SimWebService], capability: &str) -> Option<usize> {
+    services
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.supports(capability))
+        .min_by(|(_, a), (_, b)| {
+            let cost_a = if a.calls >= a.free_calls { a.per_call_cost } else { 0.0 };
+            let cost_b = if b.calls >= b.free_calls { b.per_call_cost } else { 0.0 };
+            cost_a
+                .partial_cmp(&cost_b)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    a.per_call_latency_ms
+                        .partial_cmp(&b.per_call_latency_ms)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_gating() {
+        let mut svc = SimWebService::new("watson", &["nlu", "speech"], 50.0, 0.01, 2);
+        assert!(svc.supports("nlu"));
+        assert!(!svc.supports("vision"));
+        assert_eq!(svc.call("vision"), None);
+        assert_eq!(svc.call("nlu"), Some(50.0));
+    }
+
+    #[test]
+    fn free_tier_then_billing() {
+        let mut svc = SimWebService::new("ml", &["nlu"], 10.0, 0.5, 2);
+        svc.call("nlu");
+        svc.call("nlu");
+        assert_eq!(svc.total_cost, 0.0);
+        svc.call("nlu");
+        assert!((svc.total_cost - 0.5).abs() < 1e-12);
+        assert_eq!(svc.calls, 3);
+    }
+
+    #[test]
+    fn routing_prefers_free_then_fast() {
+        let services = vec![
+            SimWebService::new("paid_fast", &["nlu"], 5.0, 1.0, 0),
+            SimWebService::new("free_slow", &["nlu"], 100.0, 1.0, 1000),
+            SimWebService::new("no_nlu", &["vision"], 1.0, 0.0, 1000),
+        ];
+        assert_eq!(route_capability(&services, "nlu"), Some(1));
+        assert_eq!(route_capability(&services, "vision"), Some(2));
+        assert_eq!(route_capability(&services, "speech"), None);
+    }
+}

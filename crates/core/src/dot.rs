@@ -1,0 +1,52 @@
+//! Graphviz DOT export — the visual-inspection output of Listing 1's
+//! `create_graph` (paper: "the output would be similar to Figure 3").
+
+use crate::graph::Teg;
+use crate::node::Component;
+
+/// Renders the graph in Graphviz DOT format. Transform nodes are boxes,
+/// Estimate nodes are ellipses, and a synthetic `input` node feeds the roots.
+pub fn to_dot(teg: &Teg) -> String {
+    let mut s = String::from("digraph teg {\n  rankdir=LR;\n  input [shape=diamond];\n");
+    for (i, node) in teg.nodes().iter().enumerate() {
+        let shape = match node.component() {
+            Component::Transform(_) => "box",
+            Component::Estimate(_) => "ellipse",
+        };
+        s.push_str(&format!("  n{i} [label=\"{}\", shape={shape}];\n", node.name()));
+    }
+    for &r in teg.roots() {
+        s.push_str(&format!("  input -> n{r};\n"));
+    }
+    for (i, _) in teg.nodes().iter().enumerate() {
+        for &j in teg.successors(i) {
+            s.push_str(&format!("  n{i} -> n{j};\n"));
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TegBuilder;
+    use coda_data::NoOp;
+    use coda_ml::LinearRegression;
+
+    #[test]
+    fn dot_contains_nodes_edges_and_shapes() {
+        let g = TegBuilder::new()
+            .add_feature_scalers(vec![Box::new(NoOp::new())])
+            .add_models(vec![Box::new(LinearRegression::new())])
+            .create_graph()
+            .unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph teg {"));
+        assert!(dot.contains("label=\"noop\", shape=box"));
+        assert!(dot.contains("label=\"linear_regression\", shape=ellipse"));
+        assert!(dot.contains("input -> n0;"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

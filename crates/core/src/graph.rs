@@ -1,0 +1,499 @@
+//! The Transformer-Estimator Graph: a rooted DAG of named operations whose
+//! root→leaf paths are candidate pipelines (paper §IV, Fig. 3).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use coda_data::{BoxedEstimator, BoxedTransformer};
+
+use crate::node::{Component, Node};
+use crate::pipeline::Pipeline;
+
+/// Error produced during graph construction or path enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// The graph has no nodes.
+    Empty,
+    /// A referenced node name does not exist.
+    UnknownNode(String),
+    /// An edge would create a cycle.
+    Cycle {
+        /// Edge source.
+        from: String,
+        /// Edge destination.
+        to: String,
+    },
+    /// A duplicate node name was explicitly registered.
+    DuplicateName(String),
+    /// A root→leaf path ends in a Transform operation (pipelines must end in
+    /// an Estimate operation).
+    PathEndsInTransformer(String),
+    /// An internal path node is an Estimate operation (only the final node
+    /// may estimate).
+    EstimatorNotLast(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "graph has no nodes"),
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::Cycle { from, to } => {
+                write!(f, "edge {from} -> {to} would create a cycle")
+            }
+            GraphError::DuplicateName(n) => write!(f, "duplicate node name {n}"),
+            GraphError::PathEndsInTransformer(n) => {
+                write!(f, "path ends in transformer {n}; pipelines must end in an estimator")
+            }
+            GraphError::EstimatorNotLast(n) => {
+                write!(f, "estimator {n} appears before the end of a path")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A finalized Transformer-Estimator Graph `G(V, E)`.
+#[derive(Debug, Clone)]
+pub struct Teg {
+    nodes: Vec<Node>,
+    /// Adjacency: edges[i] = indices of successors of node i.
+    edges: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+    /// Stage boundaries (for display/DOT): stage -> node indices.
+    stages: Vec<Vec<usize>>,
+}
+
+impl Teg {
+    /// The graph's nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Node index by name.
+    pub fn node_index(&self, name: &str) -> Option<usize> {
+        self.nodes.iter().position(|n| n.name() == name)
+    }
+
+    /// Successor indices of node `i`.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.edges[i]
+    }
+
+    /// Root node indices (no predecessors).
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Stage structure used during construction (empty for hand-wired graphs).
+    pub fn stages(&self) -> &[Vec<usize>] {
+        &self.stages
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.iter().map(|s| s.len()).sum()
+    }
+
+    /// Enumerates every root→leaf path as a list of node indices.
+    pub fn enumerate_paths(&self) -> Vec<Vec<usize>> {
+        let mut paths = Vec::new();
+        let mut stack = Vec::new();
+        for &root in &self.roots {
+            self.dfs(root, &mut stack, &mut paths);
+        }
+        paths
+    }
+
+    fn dfs(&self, node: usize, stack: &mut Vec<usize>, paths: &mut Vec<Vec<usize>>) {
+        stack.push(node);
+        if self.edges[node].is_empty() {
+            paths.push(stack.clone());
+        } else {
+            for &next in &self.edges[node] {
+                self.dfs(next, stack, paths);
+            }
+        }
+        stack.pop();
+    }
+
+    /// Enumerates every root→leaf path as a runnable [`Pipeline`].
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::PathEndsInTransformer`] or
+    /// [`GraphError::EstimatorNotLast`] when a path is not a valid pipeline.
+    pub fn enumerate_pipelines(&self) -> Result<Vec<Pipeline>, GraphError> {
+        self.enumerate_paths()
+            .into_iter()
+            .map(|p| self.pipeline_for_path(&p))
+            .collect()
+    }
+
+    /// Builds the pipeline for one path of node indices.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Teg::enumerate_pipelines`].
+    pub fn pipeline_for_path(&self, path: &[usize]) -> Result<Pipeline, GraphError> {
+        let mut steps = Vec::with_capacity(path.len());
+        for (pos, &idx) in path.iter().enumerate() {
+            let node = &self.nodes[idx];
+            let last = pos == path.len() - 1;
+            match node.component() {
+                Component::Transform(_) if last => {
+                    return Err(GraphError::PathEndsInTransformer(node.name().to_string()));
+                }
+                Component::Estimate(_) if !last => {
+                    return Err(GraphError::EstimatorNotLast(node.name().to_string()));
+                }
+                _ => steps.push(node.clone()),
+            }
+        }
+        Ok(Pipeline::from_nodes(steps))
+    }
+
+    /// Human-readable path name, e.g. `input -> robust_scaler -> pca -> rf`.
+    pub fn path_name(&self, path: &[usize]) -> String {
+        let mut s = String::from("input");
+        for &i in path {
+            s.push_str(" -> ");
+            s.push_str(self.nodes[i].name());
+        }
+        s
+    }
+}
+
+/// Builder for [`Teg`] graphs.
+///
+/// Two construction styles are supported, matching the paper:
+///
+/// * **Staged** (Listing 1): each [`TegBuilder::add_stage`] is fully
+///   connected to the previous stage. Convenience wrappers
+///   `add_feature_scalers` / `add_feature_selectors` / `add_models` mirror
+///   the Python API verbatim.
+/// * **Selective** (Fig. 11): register nodes with
+///   [`TegBuilder::add_node`] and wire them explicitly with
+///   [`TegBuilder::connect`] — this is how CascadedWindows connects only to
+///   the temporal models.
+#[derive(Debug, Default)]
+pub struct TegBuilder {
+    nodes: Vec<Node>,
+    names: BTreeSet<String>,
+    explicit_edges: Vec<(usize, usize)>,
+    stages: Vec<Vec<usize>>,
+    error: Option<GraphError>,
+}
+
+impl TegBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn unique_name(&mut self, base: &str) -> String {
+        if self.names.insert(base.to_string()) {
+            return base.to_string();
+        }
+        let mut k = 2;
+        loop {
+            let candidate = format!("{base}_{k}");
+            if self.names.insert(candidate.clone()) {
+                return candidate;
+            }
+            k += 1;
+        }
+    }
+
+    fn push_node(&mut self, mut node: Node) -> usize {
+        let name = self.unique_name(node.name());
+        node.set_name(name);
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Adds a free node (selective wiring mode) and returns its final name.
+    pub fn add_node(&mut self, node: Node) -> String {
+        let idx = self.push_node(node);
+        self.nodes[idx].name().to_string()
+    }
+
+    /// Adds a stage of nodes, fully connected to the previous stage.
+    pub fn add_stage(mut self, nodes: Vec<Node>) -> Self {
+        let idxs: Vec<usize> = nodes.into_iter().map(|n| self.push_node(n)).collect();
+        if let Some(prev) = self.stages.last() {
+            let prev = prev.clone();
+            for &p in &prev {
+                for &n in &idxs {
+                    self.explicit_edges.push((p, n));
+                }
+            }
+        }
+        self.stages.push(idxs);
+        self
+    }
+
+    /// Adds a feature-scaling stage (Listing 1's `add_feature_scalers`).
+    pub fn add_feature_scalers(self, scalers: Vec<BoxedTransformer>) -> Self {
+        self.add_stage(scalers.into_iter().map(|t| Node::auto(t.into())).collect())
+    }
+
+    /// Adds a feature-selection stage (Listing 1's `add_feature_selector`).
+    pub fn add_feature_selectors(self, selectors: Vec<BoxedTransformer>) -> Self {
+        self.add_stage(selectors.into_iter().map(|t| Node::auto(t.into())).collect())
+    }
+
+    /// Adds a generic transformer stage.
+    pub fn add_transformers(self, transformers: Vec<BoxedTransformer>) -> Self {
+        self.add_stage(transformers.into_iter().map(|t| Node::auto(t.into())).collect())
+    }
+
+    /// Adds a modelling stage (Listing 1's `add_regression_models`).
+    pub fn add_models(self, models: Vec<BoxedEstimator>) -> Self {
+        self.add_stage(models.into_iter().map(|e| Node::auto(e.into())).collect())
+    }
+
+    /// Wires an explicit edge between two named nodes (selective mode).
+    /// Errors are deferred to [`TegBuilder::create_graph`].
+    pub fn connect(&mut self, from: &str, to: &str) -> &mut Self {
+        let fi = self.nodes.iter().position(|n| n.name() == from);
+        let ti = self.nodes.iter().position(|n| n.name() == to);
+        match (fi, ti) {
+            (Some(f), Some(t)) => self.explicit_edges.push((f, t)),
+            (None, _) => {
+                self.error.get_or_insert(GraphError::UnknownNode(from.to_string()));
+            }
+            (_, None) => {
+                self.error.get_or_insert(GraphError::UnknownNode(to.to_string()));
+            }
+        }
+        self
+    }
+
+    /// Finalizes the graph (Listing 1's `create_graph`).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Empty`] for an empty builder; [`GraphError::Cycle`] if
+    /// the wired edges are cyclic; deferred [`GraphError::UnknownNode`] from
+    /// bad [`TegBuilder::connect`] calls.
+    pub fn create_graph(self) -> Result<Teg, GraphError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.nodes.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let n = self.nodes.len();
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indegree = vec![0usize; n];
+        let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+        for (f, t) in self.explicit_edges {
+            if seen.insert((f, t)) {
+                edges[f].push(t);
+                indegree[t] += 1;
+            }
+        }
+        // cycle check via Kahn's algorithm
+        let mut queue: Vec<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut indeg = indegree.clone();
+        let mut visited = 0usize;
+        while let Some(u) = queue.pop() {
+            visited += 1;
+            for &v in &edges[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        if visited != n {
+            // report an arbitrary edge inside the cycle
+            let (f, t) = *seen
+                .iter()
+                .find(|(f, t)| indeg[*t] > 0 || indeg[*f] > 0)
+                .expect("a cycle implies an edge into a node with residual indegree");
+            return Err(GraphError::Cycle {
+                from: self.nodes[f].name().to_string(),
+                to: self.nodes[t].name().to_string(),
+            });
+        }
+        let roots: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        Ok(Teg { nodes: self.nodes, edges, roots, stages: self.stages })
+    }
+}
+
+/// Groups node indices by stage name prefix — convenience for reporting.
+pub fn nodes_by_name(teg: &Teg) -> BTreeMap<&str, usize> {
+    teg.nodes().iter().enumerate().map(|(i, n)| (n.name(), i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_data::{BoxedEstimator, BoxedTransformer, NoOp};
+    use coda_ml::{
+        DecisionTreeRegressor, KnnRegressor, LinearRegression, MinMaxScaler, Pca,
+        RobustScaler, ScoreFunction, SelectKBest, StandardScaler,
+    };
+
+    fn listing1_graph() -> Teg {
+        TegBuilder::new()
+            .add_feature_scalers(vec![
+                Box::new(MinMaxScaler::new()),
+                Box::new(StandardScaler::new()),
+                Box::new(RobustScaler::new()),
+                Box::new(NoOp::new()),
+            ])
+            .add_feature_selectors(vec![
+                Box::new(Pca::new(2)),
+                Box::new(SelectKBest::new(2, ScoreFunction::FRegression)),
+                Box::new(NoOp::new()),
+            ])
+            .add_models(vec![
+                Box::new(DecisionTreeRegressor::new()),
+                Box::new(KnnRegressor::new(5)),
+                Box::new(LinearRegression::new()),
+            ])
+            .create_graph()
+            .unwrap()
+    }
+
+    #[test]
+    fn listing1_has_36_pipelines() {
+        // 4 scalers x 3 selectors x 3 models = 36 (paper §IV-A)
+        let g = listing1_graph();
+        assert_eq!(g.enumerate_paths().len(), 36);
+        assert_eq!(g.enumerate_pipelines().unwrap().len(), 36);
+    }
+
+    #[test]
+    fn structure_counts() {
+        let g = listing1_graph();
+        assert_eq!(g.n_nodes(), 10);
+        assert_eq!(g.n_edges(), 4 * 3 + 3 * 3);
+        assert_eq!(g.roots().len(), 4);
+        assert_eq!(g.stages().len(), 3);
+    }
+
+    #[test]
+    fn duplicate_names_are_deduplicated() {
+        let g = TegBuilder::new()
+            .add_feature_scalers(vec![Box::new(NoOp::new()), Box::new(NoOp::new())])
+            .add_models(vec![Box::new(LinearRegression::new())])
+            .create_graph()
+            .unwrap();
+        let names: Vec<&str> = g.nodes().iter().map(|n| n.name()).collect();
+        assert!(names.contains(&"noop"));
+        assert!(names.contains(&"noop_2"));
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        assert_eq!(TegBuilder::new().create_graph().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn selective_wiring() {
+        let mut b = TegBuilder::new();
+        let a = b.add_node(Node::new("prep_a", (Box::new(NoOp::new()) as BoxedTransformer).into()));
+        let c = b.add_node(Node::new("prep_b", (Box::new(NoOp::new()) as BoxedTransformer).into()));
+        let m1 = b.add_node(Node::new(
+            "model_1",
+            (Box::new(LinearRegression::new()) as BoxedEstimator).into(),
+        ));
+        let m2 = b.add_node(Node::new(
+            "model_2",
+            (Box::new(KnnRegressor::new(3)) as BoxedEstimator).into(),
+        ));
+        // prep_a only feeds model_1; prep_b feeds both
+        b.connect(&a, &m1);
+        b.connect(&c, &m1);
+        b.connect(&c, &m2);
+        let g = b.create_graph().unwrap();
+        let paths = g.enumerate_paths();
+        assert_eq!(paths.len(), 3);
+        let names: Vec<String> = paths.iter().map(|p| g.path_name(p)).collect();
+        assert!(names.contains(&"input -> prep_a -> model_1".to_string()));
+        assert!(!names.iter().any(|n| n.contains("prep_a -> model_2")));
+    }
+
+    #[test]
+    fn connect_unknown_node_deferred_error() {
+        let mut b = TegBuilder::new();
+        b.add_node(Node::new("x", (Box::new(NoOp::new()) as BoxedTransformer).into()));
+        b.connect("x", "nope");
+        assert!(matches!(b.create_graph(), Err(GraphError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = TegBuilder::new();
+        let a = b.add_node(Node::new("a", (Box::new(NoOp::new()) as BoxedTransformer).into()));
+        let c = b.add_node(Node::new("b", (Box::new(NoOp::new()) as BoxedTransformer).into()));
+        b.connect(&a, &c);
+        b.connect(&c, &a);
+        assert!(matches!(b.create_graph(), Err(GraphError::Cycle { .. })));
+    }
+
+    #[test]
+    fn path_ending_in_transformer_rejected() {
+        let g = TegBuilder::new()
+            .add_feature_scalers(vec![Box::new(NoOp::new())])
+            .create_graph()
+            .unwrap();
+        assert!(matches!(
+            g.enumerate_pipelines(),
+            Err(GraphError::PathEndsInTransformer(_))
+        ));
+    }
+
+    #[test]
+    fn estimator_mid_path_rejected() {
+        let mut b = TegBuilder::new();
+        let m = b.add_node(Node::new(
+            "m",
+            (Box::new(LinearRegression::new()) as BoxedEstimator).into(),
+        ));
+        let t = b.add_node(Node::new("t", (Box::new(NoOp::new()) as BoxedTransformer).into()));
+        let m2 = b.add_node(Node::new(
+            "m2",
+            (Box::new(LinearRegression::new()) as BoxedEstimator).into(),
+        ));
+        b.connect(&m, &t);
+        b.connect(&t, &m2);
+        let g = b.create_graph().unwrap();
+        assert!(matches!(g.enumerate_pipelines(), Err(GraphError::EstimatorNotLast(_))));
+    }
+
+    #[test]
+    fn duplicate_edges_collapsed() {
+        let mut b = TegBuilder::new();
+        let a = b.add_node(Node::new("a", (Box::new(NoOp::new()) as BoxedTransformer).into()));
+        let m = b.add_node(Node::new(
+            "m",
+            (Box::new(LinearRegression::new()) as BoxedEstimator).into(),
+        ));
+        b.connect(&a, &m);
+        b.connect(&a, &m);
+        let g = b.create_graph().unwrap();
+        assert_eq!(g.n_edges(), 1);
+        assert_eq!(g.enumerate_paths().len(), 1);
+    }
+
+    #[test]
+    fn path_name_format() {
+        let g = listing1_graph();
+        let paths = g.enumerate_paths();
+        let name = g.path_name(&paths[0]);
+        assert!(name.starts_with("input -> "));
+        assert_eq!(name.matches(" -> ").count(), 3);
+    }
+}

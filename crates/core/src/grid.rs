@@ -1,0 +1,125 @@
+//! Parameter grids: the `node__param` hyper-parameter sweep of §IV.
+
+use coda_data::{ParamValue, Params};
+
+/// A grid of qualified parameter values; [`ParamGrid::expand`] produces the
+/// cartesian product as concrete [`Params`] assignments.
+///
+/// # Examples
+///
+/// ```
+/// use coda_core::ParamGrid;
+///
+/// let mut grid = ParamGrid::new();
+/// grid.add("pca__n_components", vec![2usize.into(), 3usize.into()]);
+/// grid.add("knn_regressor__k", vec![1usize.into(), 5usize.into(), 9usize.into()]);
+/// assert_eq!(grid.expand().len(), 6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParamGrid {
+    entries: Vec<(String, Vec<ParamValue>)>,
+}
+
+impl ParamGrid {
+    /// Creates an empty grid (expands to one empty assignment).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a qualified parameter and its candidate values. Empty value
+    /// lists are ignored. Re-adding a key replaces its values.
+    pub fn add<S: Into<String>>(&mut self, key: S, values: Vec<ParamValue>) -> &mut Self {
+        if values.is_empty() {
+            return self;
+        }
+        let key = key.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = values;
+        } else {
+            self.entries.push((key, values));
+        }
+        self
+    }
+
+    /// Number of parameters in the grid.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no parameters have been added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total number of assignments the grid expands to.
+    pub fn n_assignments(&self) -> usize {
+        self.entries.iter().map(|(_, v)| v.len()).product()
+    }
+
+    /// The cartesian product of all parameter values.
+    pub fn expand(&self) -> Vec<Params> {
+        let mut out: Vec<Params> = vec![Params::new()];
+        for (key, values) in &self.entries {
+            let mut next = Vec::with_capacity(out.len() * values.len());
+            for assignment in &out {
+                for v in values {
+                    let mut a = assignment.clone();
+                    a.insert(key.clone(), v.clone());
+                    next.push(a);
+                }
+            }
+            out = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_grid_single_empty_assignment() {
+        let g = ParamGrid::new();
+        assert!(g.is_empty());
+        assert_eq!(g.n_assignments(), 1);
+        let e = g.expand();
+        assert_eq!(e.len(), 1);
+        assert!(e[0].is_empty());
+    }
+
+    #[test]
+    fn cartesian_product() {
+        let mut g = ParamGrid::new();
+        g.add("a__x", vec![1i64.into(), 2i64.into()]);
+        g.add("b__y", vec![0.1.into(), 0.2.into(), 0.3.into()]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.n_assignments(), 6);
+        let e = g.expand();
+        assert_eq!(e.len(), 6);
+        // every combination appears exactly once
+        let mut keys: Vec<String> = e
+            .iter()
+            .map(|p| format!("{:?}{:?}", p["a__x"], p["b__y"]))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 6);
+    }
+
+    #[test]
+    fn re_adding_replaces() {
+        let mut g = ParamGrid::new();
+        g.add("a__x", vec![1i64.into(), 2i64.into()]);
+        g.add("a__x", vec![5i64.into()]);
+        assert_eq!(g.n_assignments(), 1);
+        assert_eq!(g.expand()[0]["a__x"], ParamValue::I64(5));
+    }
+
+    #[test]
+    fn empty_values_ignored() {
+        let mut g = ParamGrid::new();
+        g.add("a__x", vec![]);
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! The Transformer-Estimator Graph (TEG) — the paper's primary contribution
+//! (Section IV).
+//!
+//! A TEG is a rooted DAG whose vertices are *named* AI/ML operations
+//! (Transformers or Estimators) and whose root→leaf paths are candidate
+//! machine-learning [`Pipeline`]s. Given a dataset, a cross-validation
+//! strategy and a scoring metric, [`Evaluator`] evaluates every path —
+//! optionally in parallel — and returns the best `(model, score, path)`
+//! triple, exactly the `pipeline_evaluation` of Listing 2.
+//!
+//! # Examples
+//!
+//! Reconstructing Listing 1's regression graph (36 pipelines):
+//!
+//! ```
+//! use coda_core::{Component, Evaluator, TegBuilder};
+//! use coda_data::{synth, CvStrategy, Metric, NoOp};
+//! use coda_ml::{
+//!     DecisionTreeRegressor, KnnRegressor, MinMaxScaler, Pca, RandomForestRegressor,
+//!     RobustScaler, SelectKBest, ScoreFunction, StandardScaler,
+//! };
+//!
+//! let graph = TegBuilder::new()
+//!     .add_feature_scalers(vec![
+//!         Box::new(MinMaxScaler::new()),
+//!         Box::new(StandardScaler::new()),
+//!         Box::new(RobustScaler::new()),
+//!         Box::new(NoOp::new()),
+//!     ])
+//!     .add_feature_selectors(vec![
+//!         Box::new(Pca::new(2)),
+//!         Box::new(SelectKBest::new(2, ScoreFunction::FRegression)),
+//!         Box::new(NoOp::new()),
+//!     ])
+//!     .add_models(vec![
+//!         Box::new(DecisionTreeRegressor::new()),
+//!         Box::new(KnnRegressor::new(5)),
+//!         Box::new(RandomForestRegressor::new(5)),
+//!     ])
+//!     .create_graph()?;
+//! assert_eq!(graph.enumerate_pipelines()?.len(), 36);
+//!
+//! let ds = synth::linear_regression(80, 4, 0.2, 3);
+//! let eval = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse);
+//! let report = eval.evaluate_graph(&graph, &ds)?;
+//! assert!(report.best().is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod dot;
+pub mod eval;
+pub mod graph;
+pub mod grid;
+pub mod node;
+pub mod pipeline;
+pub mod search;
+pub mod tuning;
+
+pub use dot::to_dot;
+pub use eval::{EvalError, Evaluator, GraphReport, PathResult};
+pub use graph::{GraphError, Teg, TegBuilder};
+pub use grid::ParamGrid;
+pub use node::{Component, Node};
+pub use pipeline::{Pipeline, PipelineSpec};
+pub use search::{HalvingReport, RoundSummary};
+pub use tuning::{NestedCvResult, OuterFoldResult};

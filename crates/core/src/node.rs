@@ -1,0 +1,152 @@
+//! Graph vertices: named Transform or Estimate operations (paper §IV).
+
+use std::fmt;
+
+use coda_data::{BoxedEstimator, BoxedTransformer, ComponentError, ParamValue};
+
+/// The operation a vertex performs: one of the paper's two operation types.
+pub enum Component {
+    /// A Transform operation (`_.transform`): rewrites data items.
+    Transform(BoxedTransformer),
+    /// An Estimate operation (`_.fit`): trains a model, then predicts.
+    Estimate(BoxedEstimator),
+}
+
+impl Component {
+    /// The component's stable name.
+    pub fn name(&self) -> &str {
+        match self {
+            Component::Transform(t) => t.name(),
+            Component::Estimate(e) => e.name(),
+        }
+    }
+
+    /// True for Estimate operations.
+    pub fn is_estimator(&self) -> bool {
+        matches!(self, Component::Estimate(_))
+    }
+
+    /// Sets a bare-named parameter on the wrapped component.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ComponentError::UnknownParam`] /
+    /// [`ComponentError::InvalidParam`] from the component.
+    pub fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
+        match self {
+            Component::Transform(t) => t.set_param(param, value),
+            Component::Estimate(e) => e.set_param(param, value),
+        }
+    }
+}
+
+impl Clone for Component {
+    fn clone(&self) -> Self {
+        match self {
+            Component::Transform(t) => Component::Transform(t.clone_box()),
+            Component::Estimate(e) => Component::Estimate(e.clone_box()),
+        }
+    }
+}
+
+impl fmt::Debug for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Component::Transform(t) => write!(f, "Transform({})", t.name()),
+            Component::Estimate(e) => write!(f, "Estimate({})", e.name()),
+        }
+    }
+}
+
+impl From<BoxedTransformer> for Component {
+    fn from(t: BoxedTransformer) -> Self {
+        Component::Transform(t)
+    }
+}
+
+impl From<BoxedEstimator> for Component {
+    fn from(e: BoxedEstimator) -> Self {
+        Component::Estimate(e)
+    }
+}
+
+/// A named graph vertex: the `(name_i, operation_i)` tuple of §IV.
+///
+/// Names are unique within a graph and serve as the placeholder through
+/// which external parameters are supplied (`pca__n_components`).
+#[derive(Debug, Clone)]
+pub struct Node {
+    name: String,
+    component: Component,
+}
+
+impl Node {
+    /// Creates a node with an explicit name.
+    pub fn new<S: Into<String>>(name: S, component: Component) -> Self {
+        Node { name: name.into(), component }
+    }
+
+    /// Creates a node named after its component.
+    pub fn auto(component: Component) -> Self {
+        let name = component.name().to_string();
+        Node { name, component }
+    }
+
+    /// The node name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's operation.
+    pub fn component(&self) -> &Component {
+        &self.component
+    }
+
+    /// Mutable access to the node's operation.
+    pub fn component_mut(&mut self) -> &mut Component {
+        &mut self.component
+    }
+
+    /// Renames the node (used for deduplication during graph construction).
+    pub(crate) fn set_name(&mut self, name: String) {
+        self.name = name;
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={:?}", self.name, self.component)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_data::NoOp;
+
+    #[test]
+    fn component_kinds() {
+        let t: Component = (Box::new(NoOp::new()) as BoxedTransformer).into();
+        assert!(!t.is_estimator());
+        assert_eq!(t.name(), "noop");
+        let cloned = t.clone();
+        assert_eq!(cloned.name(), "noop");
+        assert!(format!("{t:?}").contains("noop"));
+    }
+
+    #[test]
+    fn node_naming() {
+        let t: Component = (Box::new(NoOp::new()) as BoxedTransformer).into();
+        let n = Node::new("skip", t);
+        assert_eq!(n.name(), "skip");
+        let auto = Node::auto((Box::new(NoOp::new()) as BoxedTransformer).into());
+        assert_eq!(auto.name(), "noop");
+        assert!(auto.to_string().contains("noop"));
+    }
+
+    #[test]
+    fn set_param_unknown_propagates() {
+        let mut c: Component = (Box::new(NoOp::new()) as BoxedTransformer).into();
+        assert!(c.set_param("x", ParamValue::from(1.0)).is_err());
+    }
+}

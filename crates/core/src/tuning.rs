@@ -1,0 +1,213 @@
+//! Nested K-fold cross-validation (§IV-B lists "Nested K-fold" among the
+//! CV strategies): hyper-parameter tuning on inner folds, unbiased
+//! performance estimation on outer folds.
+//!
+//! Plain K-fold grid search reports the score of the *winning* parameter
+//! setting on the same folds it was selected with — an optimistic estimate.
+//! Nested CV selects parameters per outer fold using only that fold's
+//! training data, then scores once on the held-out outer fold.
+
+use coda_data::{CvStrategy, Dataset, Params};
+
+use crate::eval::{EvalError, Evaluator};
+use crate::grid::ParamGrid;
+use crate::pipeline::Pipeline;
+
+/// Result of one outer fold: the parameters the inner search chose, their
+/// inner-CV score, and the outer validation score.
+#[derive(Debug, Clone)]
+pub struct OuterFoldResult {
+    /// Parameters chosen by the inner search on this fold's training data.
+    pub chosen_params: Params,
+    /// Inner cross-validated score of the winner (optimistic).
+    pub inner_score: f64,
+    /// Score on the untouched outer validation fold (unbiased).
+    pub outer_score: f64,
+}
+
+/// Full nested cross-validation outcome.
+#[derive(Debug, Clone)]
+pub struct NestedCvResult {
+    /// One entry per outer fold.
+    pub folds: Vec<OuterFoldResult>,
+}
+
+impl NestedCvResult {
+    /// Mean outer score — the unbiased performance estimate.
+    pub fn outer_mean(&self) -> f64 {
+        self.folds.iter().map(|f| f.outer_score).sum::<f64>() / self.folds.len().max(1) as f64
+    }
+
+    /// Mean inner (selection) score — typically optimistic relative to
+    /// [`NestedCvResult::outer_mean`] for loss-like metrics.
+    pub fn inner_mean(&self) -> f64 {
+        self.folds.iter().map(|f| f.inner_score).sum::<f64>() / self.folds.len().max(1) as f64
+    }
+
+    /// The most frequently chosen parameter assignment across outer folds
+    /// (ties broken by first occurrence) — a reasonable final deployment
+    /// choice.
+    pub fn consensus_params(&self) -> Option<&Params> {
+        let mut best: Option<(&Params, usize)> = None;
+        for f in &self.folds {
+            let count = self
+                .folds
+                .iter()
+                .filter(|g| g.chosen_params == f.chosen_params)
+                .count();
+            if best.is_none_or(|(_, c)| count > c) {
+                best = Some((&f.chosen_params, count));
+            }
+        }
+        best.map(|(p, _)| p)
+    }
+}
+
+impl Evaluator {
+    /// Nested cross-validation of one pipeline over a parameter grid:
+    /// `outer` folds from this evaluator's CV strategy, `inner_cv` folds for
+    /// the grid search inside each outer training set.
+    ///
+    /// # Errors
+    ///
+    /// Any [`EvalError`]; an outer fold where *no* grid point evaluates is
+    /// fatal (the caller cannot compare folds otherwise).
+    pub fn nested_evaluate(
+        &self,
+        pipeline: &Pipeline,
+        data: &Dataset,
+        grid: &ParamGrid,
+        inner_cv: CvStrategy,
+    ) -> Result<NestedCvResult, EvalError> {
+        let outer_splits = self.cv().splits_for(data)?;
+        let metric = self.metric();
+        let inner_eval = Evaluator::new(inner_cv, metric);
+        let assignments = grid.expand();
+        let mut folds = Vec::with_capacity(outer_splits.len());
+        for split in &outer_splits {
+            let outer_train = data.select(&split.train);
+            let outer_val = data.select(&split.validation);
+            // inner search over the grid on outer-train only
+            let mut best: Option<(Params, f64)> = None;
+            for params in &assignments {
+                let mut candidate = pipeline.fresh_clone();
+                if candidate.apply_matching_params(params).is_err() {
+                    continue;
+                }
+                match inner_eval.score_pipeline(&candidate, &outer_train) {
+                    Ok(score) => {
+                        if best.as_ref().is_none_or(|(_, b)| metric.is_better(score, *b)) {
+                            best = Some((params.clone(), score));
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            let (chosen_params, inner_score) = best.ok_or(EvalError::NothingEvaluated)?;
+            // refit on the full outer training set with the winner
+            let mut winner = pipeline.fresh_clone();
+            winner.apply_matching_params(&chosen_params)?;
+            winner.fit(&outer_train)?;
+            let pred = winner.predict(&outer_val)?;
+            let truth = outer_val
+                .target_required()
+                .map_err(coda_data::ComponentError::from)?;
+            let outer_score = metric.compute(truth, &pred)?;
+            folds.push(OuterFoldResult { chosen_params, inner_score, outer_score });
+        }
+        Ok(NestedCvResult { folds })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Node;
+    use coda_data::{synth, BoxedEstimator, Metric, ParamValue};
+    use coda_ml::KnnRegressor;
+
+    fn knn_pipeline() -> Pipeline {
+        Pipeline::from_nodes(vec![Node::auto(
+            (Box::new(KnnRegressor::new(1)) as BoxedEstimator).into(),
+        )])
+    }
+
+    fn k_grid() -> ParamGrid {
+        let mut grid = ParamGrid::new();
+        grid.add(
+            "knn_regressor__k",
+            vec![1usize.into(), 5usize.into(), 15usize.into()],
+        );
+        grid
+    }
+
+    #[test]
+    fn produces_one_result_per_outer_fold() {
+        let ds = synth::friedman1(250, 5, 0.8, 31);
+        let eval = Evaluator::new(CvStrategy::kfold(4), Metric::Rmse);
+        let nested = eval
+            .nested_evaluate(&knn_pipeline(), &ds, &k_grid(), CvStrategy::kfold(3))
+            .unwrap();
+        assert_eq!(nested.folds.len(), 4);
+        for f in &nested.folds {
+            assert!(f.chosen_params.contains_key("knn_regressor__k"));
+            assert!(f.outer_score.is_finite());
+        }
+        assert!(nested.consensus_params().is_some());
+    }
+
+    #[test]
+    fn selection_avoids_overfit_k1_on_noisy_data() {
+        // noisy data: k=1 memorizes; inner CV must pick a larger k
+        let ds = synth::friedman1(300, 5, 2.0, 32);
+        let eval = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse);
+        let nested = eval
+            .nested_evaluate(&knn_pipeline(), &ds, &k_grid(), CvStrategy::kfold(3))
+            .unwrap();
+        for f in &nested.folds {
+            let k = f.chosen_params["knn_regressor__k"].clone();
+            assert_ne!(k, ParamValue::from(1usize), "inner CV must reject k=1 under noise");
+        }
+    }
+
+    #[test]
+    fn outer_estimate_close_to_fresh_data_performance() {
+        // nested CV's outer mean must track true held-out performance
+        let ds = synth::friedman1(400, 5, 1.0, 33);
+        let fresh = synth::friedman1(400, 5, 1.0, 34);
+        let eval = Evaluator::new(CvStrategy::kfold(4), Metric::Rmse);
+        let nested = eval
+            .nested_evaluate(&knn_pipeline(), &ds, &k_grid(), CvStrategy::kfold(3))
+            .unwrap();
+        // deploy the consensus model on all of ds, score on fresh data
+        let params = nested.consensus_params().unwrap().clone();
+        let mut deployed = knn_pipeline();
+        deployed.apply_matching_params(&params).unwrap();
+        deployed.fit(&ds).unwrap();
+        let pred = deployed.predict(&fresh).unwrap();
+        let true_rmse =
+            coda_data::metrics::rmse(fresh.target().unwrap(), &pred).unwrap();
+        let gap = (nested.outer_mean() - true_rmse).abs() / true_rmse;
+        assert!(gap < 0.25, "outer estimate {:.3} vs true {true_rmse:.3}", nested.outer_mean());
+    }
+
+    #[test]
+    fn empty_grid_still_runs_with_defaults() {
+        let ds = synth::friedman1(150, 5, 0.5, 35);
+        let eval = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse);
+        let nested = eval
+            .nested_evaluate(&knn_pipeline(), &ds, &ParamGrid::new(), CvStrategy::kfold(3))
+            .unwrap();
+        assert_eq!(nested.folds.len(), 3);
+        assert!(nested.folds[0].chosen_params.is_empty());
+    }
+
+    #[test]
+    fn cv_error_propagates() {
+        let ds = synth::friedman1(10, 5, 0.5, 36);
+        let eval = Evaluator::new(CvStrategy::kfold(20), Metric::Rmse);
+        assert!(eval
+            .nested_evaluate(&knn_pipeline(), &ds, &k_grid(), CvStrategy::kfold(3))
+            .is_err());
+    }
+}

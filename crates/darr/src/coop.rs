@@ -1,0 +1,199 @@
+//! Cooperative evaluation driver: a client works through a list of
+//! computations against the DARR, reusing stored results, claiming untried
+//! ones, and computing only what no other client has covered — the
+//! cooperation protocol of Fig. 2.
+
+use crate::record::{AnalyticsRecord, ComputationKey};
+use crate::repo::{ClaimOutcome, Darr};
+
+/// What happened for one computation in a cooperative pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoopOutcome {
+    /// The client computed it (held the claim).
+    Computed(AnalyticsRecord),
+    /// A stored result was reused — a redundant computation avoided.
+    Reused(AnalyticsRecord),
+    /// Another client holds the claim; skipped for now.
+    SkippedHeld(String),
+    /// The computation failed; the claim was released.
+    Failed(String),
+}
+
+/// Per-client counters from a cooperative pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoopSummary {
+    /// Computations this client performed.
+    pub computed: usize,
+    /// Results reused from the DARR.
+    pub reused: usize,
+    /// Computations skipped because another client held the claim.
+    pub skipped: usize,
+    /// Failures.
+    pub failed: usize,
+}
+
+/// A cooperating client bound to a shared [`Darr`].
+#[derive(Debug)]
+pub struct CooperativeClient<'a> {
+    darr: &'a Darr,
+    name: String,
+    claim_duration: u64,
+}
+
+impl<'a> CooperativeClient<'a> {
+    /// Creates a client named `name` with the given claim lease duration.
+    pub fn new<S: Into<String>>(darr: &'a Darr, name: S, claim_duration: u64) -> Self {
+        CooperativeClient { darr, name: name.into(), claim_duration }
+    }
+
+    /// The client's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Processes one computation: reuse, claim + compute, or skip.
+    /// `compute` runs only when the claim is held and returns
+    /// `(score, fold_scores, explanation)` or an error message.
+    pub fn process<F>(&self, key: &ComputationKey, compute: F) -> CoopOutcome
+    where
+        F: FnOnce() -> Result<(f64, Vec<f64>, String), String>,
+    {
+        match self.darr.try_claim(key, &self.name, self.claim_duration) {
+            ClaimOutcome::AlreadyComputed(record) => CoopOutcome::Reused(record),
+            ClaimOutcome::HeldBy(owner) => CoopOutcome::SkippedHeld(owner),
+            ClaimOutcome::Claimed => match compute() {
+                Ok((score, folds, explanation)) => CoopOutcome::Computed(self.darr.complete(
+                    key,
+                    &self.name,
+                    score,
+                    folds,
+                    &explanation,
+                )),
+                Err(e) => {
+                    self.darr.release_claim(key, &self.name);
+                    CoopOutcome::Failed(e)
+                }
+            },
+        }
+    }
+
+    /// Runs a full work list, returning the summary and per-key outcomes.
+    pub fn run_worklist<F>(
+        &self,
+        keys: &[ComputationKey],
+        mut compute: F,
+    ) -> (CoopSummary, Vec<CoopOutcome>)
+    where
+        F: FnMut(&ComputationKey) -> Result<(f64, Vec<f64>, String), String>,
+    {
+        let mut summary = CoopSummary::default();
+        let mut outcomes = Vec::with_capacity(keys.len());
+        for key in keys {
+            let outcome = self.process(key, || compute(key));
+            match &outcome {
+                CoopOutcome::Computed(_) => summary.computed += 1,
+                CoopOutcome::Reused(_) => summary.reused += 1,
+                CoopOutcome::SkippedHeld(_) => summary.skipped += 1,
+                CoopOutcome::Failed(_) => summary.failed += 1,
+            }
+            outcomes.push(outcome);
+        }
+        (summary, outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn keys(n: usize) -> Vec<ComputationKey> {
+        (0..n)
+            .map(|i| ComputationKey::new("ds", 1, &format!("p{i}") as &str, "kfold(3)", "rmse"))
+            .collect()
+    }
+
+    #[test]
+    fn single_client_computes_everything_once() {
+        let darr = Darr::new();
+        let client = CooperativeClient::new(&darr, "a", 100);
+        let work = keys(5);
+        let (summary, _) = client.run_worklist(&work, |k| {
+            Ok((k.pipeline.len() as f64, vec![], "test".to_string()))
+        });
+        assert_eq!(summary.computed, 5);
+        // a second pass reuses all five
+        let (summary2, outcomes) = client.run_worklist(&work, |_| unreachable!());
+        assert_eq!(summary2.reused, 5);
+        assert!(matches!(outcomes[0], CoopOutcome::Reused(_)));
+    }
+
+    #[test]
+    fn two_clients_partition_the_work() {
+        let darr = Darr::new();
+        let a = CooperativeClient::new(&darr, "a", 100);
+        let b = CooperativeClient::new(&darr, "b", 100);
+        let work = keys(10);
+        let (sa, _) = a.run_worklist(&work[..6], |_| Ok((0.0, vec![], String::new())));
+        let (sb, _) = b.run_worklist(&work, |_| Ok((0.0, vec![], String::new())));
+        assert_eq!(sa.computed, 6);
+        assert_eq!(sb.computed, 4);
+        assert_eq!(sb.reused, 6);
+        // total computations equal the distinct work items
+        assert_eq!(darr.len(), 10);
+    }
+
+    #[test]
+    fn failure_releases_claim_for_others() {
+        let darr = Darr::new();
+        let a = CooperativeClient::new(&darr, "a", 100);
+        let b = CooperativeClient::new(&darr, "b", 100);
+        let k = &keys(1)[0];
+        let outcome = a.process(k, || Err("boom".to_string()));
+        assert!(matches!(outcome, CoopOutcome::Failed(_)));
+        // b can immediately claim and finish
+        let outcome = b.process(k, || Ok((1.0, vec![], String::new())));
+        assert!(matches!(outcome, CoopOutcome::Computed(_)));
+    }
+
+    #[test]
+    fn held_claim_is_skipped() {
+        let darr = Darr::new();
+        let k = &keys(1)[0];
+        darr.try_claim(k, "other", 100);
+        let a = CooperativeClient::new(&darr, "a", 100);
+        let outcome = a.process(k, || unreachable!());
+        assert_eq!(outcome, CoopOutcome::SkippedHeld("other".to_string()));
+    }
+
+    #[test]
+    fn concurrent_clients_never_duplicate_work() {
+        let darr = Arc::new(Darr::new());
+        let computations = Arc::new(AtomicUsize::new(0));
+        let work = keys(50);
+        let mut handles = Vec::new();
+        for t in 0..6 {
+            let darr = Arc::clone(&darr);
+            let computations = Arc::clone(&computations);
+            let work = work.clone();
+            handles.push(std::thread::spawn(move || {
+                let client = CooperativeClient::new(&darr, format!("c{t}"), 1000);
+                client.run_worklist(&work, |_| {
+                    computations.fetch_add(1, Ordering::SeqCst);
+                    Ok((0.0, vec![], String::new()))
+                })
+            }));
+        }
+        let mut total_effective = 0usize;
+        for h in handles {
+            let (s, _) = h.join().unwrap();
+            assert_eq!(s.failed, 0);
+            total_effective += s.computed + s.reused + s.skipped;
+        }
+        // with cooperation the total actual computations equal the work size
+        assert_eq!(computations.load(Ordering::SeqCst), 50);
+        assert_eq!(total_effective, 6 * 50);
+        assert_eq!(darr.len(), 50);
+    }
+}

@@ -1,0 +1,125 @@
+//! Computation keys and result records.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The identity of one analytics computation: dataset (id + version),
+/// pipeline spec key, CV configuration and metric. Two equal keys denote a
+/// redundant computation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ComputationKey {
+    /// Dataset identifier.
+    pub dataset_id: String,
+    /// Dataset version the computation ran against.
+    pub dataset_version: u64,
+    /// Canonical pipeline spec key (steps + params; see
+    /// `coda_core::PipelineSpec::key`).
+    pub pipeline: String,
+    /// Cross-validation configuration, rendered canonically.
+    pub cv: String,
+    /// Scoring metric name.
+    pub metric: String,
+}
+
+impl ComputationKey {
+    /// Creates a key.
+    pub fn new<S: Into<String>>(
+        dataset_id: S,
+        dataset_version: u64,
+        pipeline: S,
+        cv: S,
+        metric: S,
+    ) -> Self {
+        ComputationKey {
+            dataset_id: dataset_id.into(),
+            dataset_version,
+            pipeline: pipeline.into(),
+            cv: cv.into(),
+            metric: metric.into(),
+        }
+    }
+
+    /// The same computation against a different dataset version.
+    pub fn at_version(&self, version: u64) -> ComputationKey {
+        let mut k = self.clone();
+        k.dataset_version = version;
+        k
+    }
+}
+
+impl fmt::Display for ComputationKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@v{}/{}/{}/{}",
+            self.dataset_id, self.dataset_version, self.pipeline, self.cv, self.metric
+        )
+    }
+}
+
+/// A stored analytics result, with the explanation of how it was achieved
+/// (paper: clients place results "along with an explanation of how the
+/// results were achieved" in the DARR).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticsRecord {
+    /// What was computed.
+    pub key: ComputationKey,
+    /// The final (mean) score.
+    pub score: f64,
+    /// Per-fold scores.
+    pub fold_scores: Vec<f64>,
+    /// Free-form provenance/explanation.
+    pub explanation: String,
+    /// Client that produced the result.
+    pub producer: String,
+    /// Logical time the result was stored.
+    pub stored_at: u64,
+}
+
+impl AnalyticsRecord {
+    /// Serializes to canonical JSON (for interchange or hashing).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("record serialization cannot fail")
+    }
+
+    /// Parses a record from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_equality_and_version_bump() {
+        let a = ComputationKey::new("d", 1, "p", "cv", "m");
+        let b = ComputationKey::new("d", 1, "p", "cv", "m");
+        assert_eq!(a, b);
+        let c = a.at_version(2);
+        assert_ne!(a, c);
+        assert_eq!(c.dataset_version, 2);
+        assert!(a.to_string().contains("d@v1"));
+    }
+
+    #[test]
+    fn record_json_roundtrip() {
+        let r = AnalyticsRecord {
+            key: ComputationKey::new("d", 1, "a>b", "kfold(5)", "rmse"),
+            score: 1.25,
+            fold_scores: vec![1.0, 1.5],
+            explanation: "5-fold CV over a>b".to_string(),
+            producer: "client-7".to_string(),
+            stored_at: 42,
+        };
+        let json = r.to_json();
+        let back = AnalyticsRecord::from_json(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(AnalyticsRecord::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,597 @@
+//! Cross-validation strategies (paper §IV-B, Figs. 4 and 12).
+//!
+//! Every strategy produces a sequence of [`Split`]s (train indices,
+//! validation indices) over `n` samples. K-fold, train/test and Monte-Carlo
+//! splits treat samples as i.i.d.; [`CvStrategy::TimeSeriesSlidingSplit`]
+//! preserves temporal order and keeps a buffer window between the train and
+//! validation ranges so no information leaks (Fig. 12).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::fmt;
+
+/// One cross-validation split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Indices of the training samples.
+    pub train: Vec<usize>,
+    /// Indices of the validation samples.
+    pub validation: Vec<usize>,
+}
+
+/// Error produced when a strategy cannot split `n` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CvError {
+    /// Too few samples for the requested configuration.
+    TooFewSamples {
+        /// Samples available.
+        have: usize,
+        /// Samples needed.
+        need: usize,
+    },
+    /// A configuration value is invalid (e.g. k < 2).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for CvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CvError::TooFewSamples { have, need } => {
+                write!(f, "too few samples: have {have}, need at least {need}")
+            }
+            CvError::InvalidConfig(msg) => write!(f, "invalid cv configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CvError {}
+
+/// A cross-validation strategy.
+///
+/// # Examples
+///
+/// ```
+/// use coda_data::cv::CvStrategy;
+/// let splits = CvStrategy::KFold { k: 5, shuffle: false, seed: 0 }.splits(10).unwrap();
+/// assert_eq!(splits.len(), 5);
+/// assert_eq!(splits[0].validation, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum CvStrategy {
+    /// K-fold: partition into `k` equal folds; each fold validates once
+    /// (Fig. 4).
+    KFold {
+        /// Number of folds (≥ 2).
+        k: usize,
+        /// Shuffle indices before folding.
+        shuffle: bool,
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Stratified K-fold: folds preserve per-class label proportions —
+    /// essential for the rare-failure class imbalances of §II. Requires a
+    /// target; use [`CvStrategy::splits_for`].
+    StratifiedKFold {
+        /// Number of folds (≥ 2).
+        k: usize,
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// A single shuffled train/test split.
+    TrainTestSplit {
+        /// Fraction of samples in the validation set, in `(0, 1)`.
+        test_fraction: f64,
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Monte-Carlo (repeated shuffle) splits.
+    MonteCarlo {
+        /// Number of random splits.
+        n_splits: usize,
+        /// Fraction of samples in the validation set, in `(0, 1)`.
+        test_fraction: f64,
+        /// Base seed; split `i` uses `seed + i`.
+        seed: u64,
+    },
+    /// Sliding-window time-series split (Fig. 12): contiguous train window,
+    /// buffer gap, contiguous validation window, slid forward `k` times.
+    TimeSeriesSlidingSplit {
+        /// Train window length.
+        train_size: usize,
+        /// Gap between train and validation windows.
+        buffer: usize,
+        /// Validation window length.
+        validation_size: usize,
+        /// Number of slides (≥ 1).
+        k: usize,
+    },
+    /// Expanding-window time-series split (the "Time Series Split" of
+    /// §IV-B, scikit-learn style): samples are cut into `k + 1` contiguous
+    /// blocks; fold `i` trains on blocks `0..=i` and validates on block
+    /// `i + 1`, so training always precedes validation and grows each fold.
+    TimeSeriesExpanding {
+        /// Number of folds (≥ 1); requires `k + 1` blocks of data.
+        k: usize,
+    },
+}
+
+impl CvStrategy {
+    /// 10-fold unshuffled K-fold — the configuration of Listing 2.
+    pub fn kfold(k: usize) -> Self {
+        CvStrategy::KFold { k, shuffle: false, seed: 0 }
+    }
+
+    /// The number of splits this strategy will produce.
+    pub fn n_splits(&self) -> usize {
+        match self {
+            CvStrategy::KFold { k, .. } | CvStrategy::StratifiedKFold { k, .. } => *k,
+            CvStrategy::TrainTestSplit { .. } => 1,
+            CvStrategy::MonteCarlo { n_splits, .. } => *n_splits,
+            CvStrategy::TimeSeriesSlidingSplit { k, .. } => *k,
+            CvStrategy::TimeSeriesExpanding { k } => *k,
+        }
+    }
+
+    /// Generates the splits for `n` samples.
+    ///
+    /// # Errors
+    ///
+    /// [`CvError::InvalidConfig`] for nonsensical settings;
+    /// [`CvError::TooFewSamples`] when `n` cannot support the configuration.
+    pub fn splits(&self, n: usize) -> Result<Vec<Split>, CvError> {
+        match self {
+            CvStrategy::KFold { k, shuffle, seed } => kfold_splits(n, *k, *shuffle, *seed),
+            CvStrategy::StratifiedKFold { .. } => Err(CvError::InvalidConfig(
+                "stratified k-fold needs labels; use splits_for".to_string(),
+            )),
+            CvStrategy::TrainTestSplit { test_fraction, seed } => {
+                shuffle_splits(n, 1, *test_fraction, *seed)
+            }
+            CvStrategy::MonteCarlo { n_splits, test_fraction, seed } => {
+                shuffle_splits(n, *n_splits, *test_fraction, *seed)
+            }
+            CvStrategy::TimeSeriesSlidingSplit { train_size, buffer, validation_size, k } => {
+                sliding_splits(n, *train_size, *buffer, *validation_size, *k)
+            }
+            CvStrategy::TimeSeriesExpanding { k } => expanding_splits(n, *k),
+        }
+    }
+
+    /// Generates splits for a dataset, giving label-aware strategies
+    /// (stratified K-fold) access to the target. All other strategies fall
+    /// back to [`CvStrategy::splits`] over the sample count.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CvStrategy::splits`], plus [`CvError::InvalidConfig`] when a
+    /// label-aware strategy is used on an unlabeled dataset.
+    pub fn splits_for(&self, data: &crate::dataset::Dataset) -> Result<Vec<Split>, CvError> {
+        match self {
+            CvStrategy::StratifiedKFold { k, seed } => {
+                let y = data.target().ok_or_else(|| {
+                    CvError::InvalidConfig(
+                        "stratified k-fold requires a labeled dataset".to_string(),
+                    )
+                })?;
+                stratified_splits(y, *k, *seed)
+            }
+            _ => self.splits(data.n_samples()),
+        }
+    }
+}
+
+impl fmt::Display for CvStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CvStrategy::KFold { k, shuffle, .. } => {
+                write!(f, "kfold(k={k}{})", if *shuffle { ", shuffled" } else { "" })
+            }
+            CvStrategy::TrainTestSplit { test_fraction, .. } => {
+                write!(f, "train-test(test={test_fraction})")
+            }
+            CvStrategy::MonteCarlo { n_splits, test_fraction, .. } => {
+                write!(f, "monte-carlo(n={n_splits}, test={test_fraction})")
+            }
+            CvStrategy::TimeSeriesSlidingSplit { train_size, buffer, validation_size, k } => {
+                write!(
+                    f,
+                    "ts-sliding(train={train_size}, buffer={buffer}, val={validation_size}, k={k})"
+                )
+            }
+            CvStrategy::StratifiedKFold { k, .. } => write!(f, "stratified-kfold(k={k})"),
+            CvStrategy::TimeSeriesExpanding { k } => write!(f, "ts-expanding(k={k})"),
+        }
+    }
+}
+
+fn kfold_splits(n: usize, k: usize, shuffle: bool, seed: u64) -> Result<Vec<Split>, CvError> {
+    if k < 2 {
+        return Err(CvError::InvalidConfig(format!("k must be >= 2, got {k}")));
+    }
+    if n < k {
+        return Err(CvError::TooFewSamples { have: n, need: k });
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    if shuffle {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+    }
+    // fold sizes differ by at most one, matching sklearn
+    let base = n / k;
+    let extra = n % k;
+    let mut splits = Vec::with_capacity(k);
+    let mut start = 0;
+    for fold in 0..k {
+        let size = base + usize::from(fold < extra);
+        let validation: Vec<usize> = idx[start..start + size].to_vec();
+        let mut train = Vec::with_capacity(n - size);
+        train.extend_from_slice(&idx[..start]);
+        train.extend_from_slice(&idx[start + size..]);
+        splits.push(Split { train, validation });
+        start += size;
+    }
+    Ok(splits)
+}
+
+fn shuffle_splits(
+    n: usize,
+    n_splits: usize,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<Vec<Split>, CvError> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(CvError::InvalidConfig(format!(
+            "test_fraction must be in (0,1), got {test_fraction}"
+        )));
+    }
+    if n_splits == 0 {
+        return Err(CvError::InvalidConfig("n_splits must be >= 1".to_string()));
+    }
+    if n < 2 {
+        return Err(CvError::TooFewSamples { have: n, need: 2 });
+    }
+    let n_test = ((n as f64) * test_fraction).round().clamp(1.0, (n - 1) as f64) as usize;
+    let mut splits = Vec::with_capacity(n_splits);
+    for i in 0..n_splits {
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+        idx.shuffle(&mut rng);
+        let (validation, train) = idx.split_at(n_test);
+        splits.push(Split { train: train.to_vec(), validation: validation.to_vec() });
+    }
+    Ok(splits)
+}
+
+fn sliding_splits(
+    n: usize,
+    train_size: usize,
+    buffer: usize,
+    validation_size: usize,
+    k: usize,
+) -> Result<Vec<Split>, CvError> {
+    if train_size == 0 || validation_size == 0 || k == 0 {
+        return Err(CvError::InvalidConfig(
+            "train_size, validation_size and k must be positive".to_string(),
+        ));
+    }
+    let window = train_size + buffer + validation_size;
+    if n < window {
+        return Err(CvError::TooFewSamples { have: n, need: window });
+    }
+    // Slide so that the k-th window ends at the last sample; steps are as
+    // evenly spaced as possible.
+    let slack = n - window;
+    let mut splits = Vec::with_capacity(k);
+    for i in 0..k {
+        let offset = if k == 1 { slack } else { slack * i / (k - 1) };
+        let train: Vec<usize> = (offset..offset + train_size).collect();
+        let val_start = offset + train_size + buffer;
+        let validation: Vec<usize> = (val_start..val_start + validation_size).collect();
+        splits.push(Split { train, validation });
+    }
+    Ok(splits)
+}
+
+fn stratified_splits(y: &[f64], k: usize, seed: u64) -> Result<Vec<Split>, CvError> {
+    if k < 2 {
+        return Err(CvError::InvalidConfig(format!("k must be >= 2, got {k}")));
+    }
+    let n = y.len();
+    if n < k {
+        return Err(CvError::TooFewSamples { have: n, need: k });
+    }
+    // group indices per class, shuffle within class, deal round-robin into
+    // folds so every fold holds ~1/k of each class
+    let mut classes: Vec<f64> = y.to_vec();
+    classes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    classes.dedup();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut fold_members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    let mut cursor = 0usize;
+    for class in classes {
+        let mut members: Vec<usize> = (0..n).filter(|&i| y[i] == class).collect();
+        members.shuffle(&mut rng);
+        for idx in members {
+            fold_members[cursor % k].push(idx);
+            cursor += 1;
+        }
+    }
+    if fold_members.iter().any(|f| f.is_empty()) {
+        return Err(CvError::TooFewSamples { have: n, need: k });
+    }
+    let splits = (0..k)
+        .map(|fold| {
+            let validation = fold_members[fold].clone();
+            let train: Vec<usize> = (0..k)
+                .filter(|&f| f != fold)
+                .flat_map(|f| fold_members[f].iter().copied())
+                .collect();
+            Split { train, validation }
+        })
+        .collect();
+    Ok(splits)
+}
+
+fn expanding_splits(n: usize, k: usize) -> Result<Vec<Split>, CvError> {
+    if k == 0 {
+        return Err(CvError::InvalidConfig("k must be >= 1".to_string()));
+    }
+    let blocks = k + 1;
+    if n < blocks {
+        return Err(CvError::TooFewSamples { have: n, need: blocks });
+    }
+    // block sizes differ by at most one, earliest blocks take the remainder
+    let base = n / blocks;
+    let extra = n % blocks;
+    let mut bounds = Vec::with_capacity(blocks + 1);
+    bounds.push(0usize);
+    for b in 0..blocks {
+        let size = base + usize::from(b < extra);
+        bounds.push(bounds[b] + size);
+    }
+    let mut splits = Vec::with_capacity(k);
+    for fold in 0..k {
+        let train: Vec<usize> = (0..bounds[fold + 1]).collect();
+        let validation: Vec<usize> = (bounds[fold + 1]..bounds[fold + 2]).collect();
+        splits.push(Split { train, validation });
+    }
+    Ok(splits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn kfold_partitions_disjoint_covering() {
+        let splits = CvStrategy::kfold(4).splits(10).unwrap();
+        assert_eq!(splits.len(), 4);
+        let mut all_val = BTreeSet::new();
+        for s in &splits {
+            // train and validation are disjoint, and together cover 0..n
+            let t: BTreeSet<_> = s.train.iter().collect();
+            let v: BTreeSet<_> = s.validation.iter().collect();
+            assert!(t.is_disjoint(&v));
+            assert_eq!(t.len() + v.len(), 10);
+            for i in &s.validation {
+                assert!(all_val.insert(*i), "validation folds must not overlap");
+            }
+        }
+        assert_eq!(all_val.len(), 10);
+    }
+
+    #[test]
+    fn kfold_fold_sizes_balanced() {
+        let splits = CvStrategy::kfold(3).splits(10).unwrap();
+        let sizes: Vec<usize> = splits.iter().map(|s| s.validation.len()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn kfold_shuffled_differs_but_partitions() {
+        let a = CvStrategy::KFold { k: 5, shuffle: true, seed: 1 }.splits(50).unwrap();
+        let b = CvStrategy::KFold { k: 5, shuffle: false, seed: 1 }.splits(50).unwrap();
+        assert_ne!(a[0].validation, b[0].validation);
+        let union: BTreeSet<usize> = a.iter().flat_map(|s| s.validation.clone()).collect();
+        assert_eq!(union.len(), 50);
+    }
+
+    #[test]
+    fn kfold_rejects_bad_config() {
+        assert!(matches!(CvStrategy::kfold(1).splits(10), Err(CvError::InvalidConfig(_))));
+        assert!(matches!(
+            CvStrategy::kfold(5).splits(3),
+            Err(CvError::TooFewSamples { have: 3, need: 5 })
+        ));
+    }
+
+    #[test]
+    fn train_test_single_split() {
+        let splits = CvStrategy::TrainTestSplit { test_fraction: 0.3, seed: 4 }.splits(10).unwrap();
+        assert_eq!(splits.len(), 1);
+        assert_eq!(splits[0].validation.len(), 3);
+        assert_eq!(splits[0].train.len(), 7);
+    }
+
+    #[test]
+    fn monte_carlo_varies_by_split() {
+        let splits = CvStrategy::MonteCarlo { n_splits: 3, test_fraction: 0.2, seed: 9 }
+            .splits(20)
+            .unwrap();
+        assert_eq!(splits.len(), 3);
+        assert_ne!(splits[0].validation, splits[1].validation);
+        for s in &splits {
+            assert_eq!(s.validation.len(), 4);
+            assert_eq!(s.train.len(), 16);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_rejects_bad_fraction() {
+        for f in [0.0, 1.0, -0.5] {
+            assert!(CvStrategy::MonteCarlo { n_splits: 2, test_fraction: f, seed: 0 }
+                .splits(10)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn sliding_split_no_leakage() {
+        let s = CvStrategy::TimeSeriesSlidingSplit {
+            train_size: 10,
+            buffer: 3,
+            validation_size: 5,
+            k: 4,
+        };
+        let splits = s.splits(40).unwrap();
+        assert_eq!(splits.len(), 4);
+        for sp in &splits {
+            let max_train = *sp.train.iter().max().unwrap();
+            let min_val = *sp.validation.iter().min().unwrap();
+            // every validation index is strictly after train + buffer
+            assert!(min_val > max_train + 2, "buffer must separate train and validation");
+            assert_eq!(min_val, max_train + 4); // buffer of exactly 3
+            // windows are contiguous
+            assert_eq!(sp.train.len(), 10);
+            assert_eq!(sp.validation.len(), 5);
+            assert_eq!(*sp.train.last().unwrap() - sp.train[0], 9);
+        }
+        // the last window ends at the final sample
+        assert_eq!(*splits[3].validation.last().unwrap(), 39);
+        // windows move forward
+        assert!(splits[1].train[0] > splits[0].train[0]);
+    }
+
+    #[test]
+    fn sliding_split_exact_fit_single_position() {
+        let s = CvStrategy::TimeSeriesSlidingSplit {
+            train_size: 5,
+            buffer: 0,
+            validation_size: 2,
+            k: 3,
+        };
+        let splits = s.splits(7).unwrap();
+        // no slack: all three windows identical
+        assert_eq!(splits[0], splits[2]);
+    }
+
+    #[test]
+    fn sliding_split_too_few_samples() {
+        let s = CvStrategy::TimeSeriesSlidingSplit {
+            train_size: 10,
+            buffer: 2,
+            validation_size: 5,
+            k: 2,
+        };
+        assert!(matches!(s.splits(16), Err(CvError::TooFewSamples { have: 16, need: 17 })));
+    }
+
+    #[test]
+    fn stratified_preserves_class_ratio_per_fold() {
+        // 100 samples, 10% positive
+        let y: Vec<f64> = (0..100).map(|i| if i % 10 == 0 { 1.0 } else { 0.0 }).collect();
+        let ds = crate::dataset::Dataset::new(coda_linalg::Matrix::zeros(100, 1))
+            .with_target(y.clone())
+            .unwrap();
+        let splits =
+            CvStrategy::StratifiedKFold { k: 5, seed: 3 }.splits_for(&ds).unwrap();
+        assert_eq!(splits.len(), 5);
+        let mut all_val = BTreeSet::new();
+        for s in &splits {
+            let pos = s.validation.iter().filter(|&&i| y[i] == 1.0).count();
+            assert_eq!(pos, 2, "each fold must hold exactly 1/5 of the positives");
+            assert_eq!(s.validation.len(), 20);
+            for i in &s.validation {
+                assert!(all_val.insert(*i));
+            }
+        }
+        assert_eq!(all_val.len(), 100);
+    }
+
+    #[test]
+    fn stratified_requires_labels_and_enough_samples() {
+        let strat = CvStrategy::StratifiedKFold { k: 3, seed: 0 };
+        assert!(matches!(strat.splits(30), Err(CvError::InvalidConfig(_))));
+        let unlabeled = crate::dataset::Dataset::new(coda_linalg::Matrix::zeros(30, 1));
+        assert!(matches!(strat.splits_for(&unlabeled), Err(CvError::InvalidConfig(_))));
+        let tiny = crate::dataset::Dataset::new(coda_linalg::Matrix::zeros(2, 1))
+            .with_target(vec![0.0, 1.0])
+            .unwrap();
+        assert!(matches!(strat.splits_for(&tiny), Err(CvError::TooFewSamples { .. })));
+    }
+
+    #[test]
+    fn splits_for_falls_back_for_plain_strategies() {
+        let ds = crate::dataset::Dataset::new(coda_linalg::Matrix::zeros(12, 1));
+        let a = CvStrategy::kfold(3).splits_for(&ds).unwrap();
+        let b = CvStrategy::kfold(3).splits(12).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn expanding_split_grows_and_never_leaks() {
+        let splits = CvStrategy::TimeSeriesExpanding { k: 4 }.splits(50).unwrap();
+        assert_eq!(splits.len(), 4);
+        for (i, s) in splits.iter().enumerate() {
+            // training always precedes validation
+            let max_train = *s.train.iter().max().unwrap();
+            let min_val = *s.validation.iter().min().unwrap();
+            assert_eq!(min_val, max_train + 1);
+            // training grows each fold
+            if i > 0 {
+                assert!(s.train.len() > splits[i - 1].train.len());
+            }
+        }
+        // the final validation block ends at the last sample
+        assert_eq!(*splits[3].validation.last().unwrap(), 49);
+    }
+
+    #[test]
+    fn expanding_split_block_sizes_balanced() {
+        let splits = CvStrategy::TimeSeriesExpanding { k: 3 }.splits(10).unwrap();
+        // 10 samples into 4 blocks: 3,3,2,2
+        assert_eq!(splits[0].train.len(), 3);
+        assert_eq!(splits[0].validation.len(), 3);
+        assert_eq!(splits[2].validation.len(), 2);
+    }
+
+    #[test]
+    fn expanding_split_errors() {
+        assert!(matches!(
+            CvStrategy::TimeSeriesExpanding { k: 0 }.splits(10),
+            Err(CvError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            CvStrategy::TimeSeriesExpanding { k: 10 }.splits(5),
+            Err(CvError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn n_splits_matches() {
+        assert_eq!(CvStrategy::kfold(7).n_splits(), 7);
+        assert_eq!(
+            CvStrategy::MonteCarlo { n_splits: 3, test_fraction: 0.5, seed: 0 }.n_splits(),
+            3
+        );
+        assert_eq!(CvStrategy::TrainTestSplit { test_fraction: 0.5, seed: 0 }.n_splits(), 1);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for s in [
+            CvStrategy::kfold(3),
+            CvStrategy::TrainTestSplit { test_fraction: 0.2, seed: 0 },
+            CvStrategy::MonteCarlo { n_splits: 2, test_fraction: 0.2, seed: 0 },
+            CvStrategy::TimeSeriesSlidingSplit {
+                train_size: 5,
+                buffer: 1,
+                validation_size: 2,
+                k: 2,
+            },
+        ] {
+            assert!(!s.to_string().is_empty());
+        }
+    }
+}

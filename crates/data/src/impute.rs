@@ -1,0 +1,316 @@
+//! Data imputation transformers (paper §III: "mean, median, mode, … k
+//! nearest neighbors").
+//!
+//! Missing feature values are represented as `NaN`. Each imputer is a
+//! [`Transformer`], so imputation can be a stage in a Transformer-Estimator
+//! Graph.
+
+use crate::dataset::Dataset;
+use crate::traits::{BoxedTransformer, ComponentError, ParamValue, Transformer};
+
+/// Column statistic used to fill missing values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImputeStrategy {
+    /// Fill with the column mean of observed values.
+    Mean,
+    /// Fill with the column median of observed values.
+    Median,
+    /// Fill with the column mode (most frequent observed value).
+    Mode,
+}
+
+/// Imputes missing values with a per-column statistic.
+///
+/// # Examples
+///
+/// ```
+/// use coda_data::impute::{ImputeStrategy, SimpleImputer};
+/// use coda_data::{Dataset, Transformer};
+/// use coda_linalg::Matrix;
+///
+/// let x = Matrix::from_rows(&[&[1.0], &[f64::NAN], &[3.0]]);
+/// let ds = Dataset::new(x);
+/// let mut imp = SimpleImputer::new(ImputeStrategy::Mean);
+/// let out = imp.fit_transform(&ds).unwrap();
+/// assert_eq!(out.features()[(1, 0)], 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimpleImputer {
+    strategy: ImputeStrategy,
+    fill: Option<Vec<f64>>,
+}
+
+impl SimpleImputer {
+    /// Creates an imputer with the given strategy.
+    pub fn new(strategy: ImputeStrategy) -> Self {
+        SimpleImputer { strategy, fill: None }
+    }
+
+    /// The fitted per-column fill values, if fitted.
+    pub fn fill_values(&self) -> Option<&[f64]> {
+        self.fill.as_deref()
+    }
+}
+
+impl Transformer for SimpleImputer {
+    fn name(&self) -> &str {
+        match self.strategy {
+            ImputeStrategy::Mean => "mean_imputer",
+            ImputeStrategy::Median => "median_imputer",
+            ImputeStrategy::Mode => "mode_imputer",
+        }
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let x = data.features();
+        let mut fill = Vec::with_capacity(x.cols());
+        for c in 0..x.cols() {
+            let observed: Vec<f64> =
+                x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
+            if observed.is_empty() {
+                return Err(ComponentError::InvalidInput(format!(
+                    "column {c} has no observed values to impute from"
+                )));
+            }
+            let v = match self.strategy {
+                ImputeStrategy::Mean => coda_linalg::mean(&observed),
+                ImputeStrategy::Median => coda_linalg::median(&observed),
+                ImputeStrategy::Mode => coda_linalg::mode_value(&observed).unwrap_or(0.0),
+            };
+            fill.push(v);
+        }
+        self.fill = Some(fill);
+        Ok(())
+    }
+
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let fill = self
+            .fill
+            .as_ref()
+            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        if fill.len() != data.n_features() {
+            return Err(ComponentError::InvalidInput(format!(
+                "imputer fitted on {} features, input has {}",
+                fill.len(),
+                data.n_features()
+            )));
+        }
+        let mut x = data.features().clone();
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                if x[(r, c)].is_nan() {
+                    x[(r, c)] = fill[c];
+                }
+            }
+        }
+        Ok(data.replace_features(x))
+    }
+
+    fn clone_box(&self) -> BoxedTransformer {
+        Box::new(SimpleImputer::new(self.strategy))
+    }
+}
+
+/// K-nearest-neighbour imputer: each missing cell is filled with the mean of
+/// that column over the `k` nearest training rows, where distance is
+/// Euclidean over the columns observed in both rows.
+#[derive(Debug, Clone)]
+pub struct KnnImputer {
+    k: usize,
+    train: Option<Dataset>,
+}
+
+impl KnnImputer {
+    /// Creates a kNN imputer with `k` neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnImputer { k, train: None }
+    }
+}
+
+/// Distance between two rows over mutually observed columns, normalized by
+/// the number of shared columns; `None` when no columns are shared.
+fn partial_distance(a: &[f64], b: &[f64]) -> Option<f64> {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (x, y) in a.iter().zip(b) {
+        if !x.is_nan() && !y.is_nan() {
+            total += (x - y) * (x - y);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some((total / n as f64).sqrt())
+    }
+}
+
+impl Transformer for KnnImputer {
+    fn name(&self) -> &str {
+        "knn_imputer"
+    }
+
+    fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
+        match param {
+            "k" | "n_neighbors" => {
+                let k = value.as_usize().filter(|&k| k > 0).ok_or_else(|| {
+                    ComponentError::InvalidParam {
+                        component: self.name().to_string(),
+                        param: param.to_string(),
+                        reason: "must be a positive integer".to_string(),
+                    }
+                })?;
+                self.k = k;
+                Ok(())
+            }
+            _ => Err(ComponentError::UnknownParam {
+                component: self.name().to_string(),
+                param: param.to_string(),
+            }),
+        }
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        if data.n_samples() == 0 {
+            return Err(ComponentError::InvalidInput("empty training data".to_string()));
+        }
+        self.train = Some(data.clone());
+        Ok(())
+    }
+
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let train = self
+            .train
+            .as_ref()
+            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        let tx = train.features();
+        let mut x = data.features().clone();
+        for r in 0..x.rows() {
+            let missing: Vec<usize> =
+                (0..x.cols()).filter(|&c| x[(r, c)].is_nan()).collect();
+            if missing.is_empty() {
+                continue;
+            }
+            // rank training rows by partial distance
+            let row = x.row(r).to_vec();
+            let mut cand: Vec<(f64, usize)> = (0..tx.rows())
+                .filter_map(|tr| partial_distance(&row, tx.row(tr)).map(|d| (d, tr)))
+                .collect();
+            cand.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            for &c in &missing {
+                // take the k nearest rows that observe column c
+                let mut vals = Vec::with_capacity(self.k);
+                for &(_, tr) in &cand {
+                    let v = tx[(tr, c)];
+                    if !v.is_nan() {
+                        vals.push(v);
+                        if vals.len() == self.k {
+                            break;
+                        }
+                    }
+                }
+                if vals.is_empty() {
+                    return Err(ComponentError::InvalidInput(format!(
+                        "no training rows observe column {c}"
+                    )));
+                }
+                x[(r, c)] = coda_linalg::mean(&vals);
+            }
+        }
+        Ok(data.replace_features(x))
+    }
+
+    fn clone_box(&self) -> BoxedTransformer {
+        Box::new(KnnImputer::new(self.k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_linalg::Matrix;
+
+    fn with_gap() -> Dataset {
+        let x = Matrix::from_rows(&[
+            &[1.0, 100.0],
+            &[2.0, f64::NAN],
+            &[3.0, 300.0],
+            &[100.0, 500.0],
+        ]);
+        Dataset::new(x)
+    }
+
+    #[test]
+    fn mean_median_mode_fill() {
+        let ds = with_gap();
+        let mut mean = SimpleImputer::new(ImputeStrategy::Mean);
+        assert_eq!(mean.fit_transform(&ds).unwrap().features()[(1, 1)], 300.0);
+        let mut med = SimpleImputer::new(ImputeStrategy::Median);
+        assert_eq!(med.fit_transform(&ds).unwrap().features()[(1, 1)], 300.0);
+        let x = Matrix::from_rows(&[&[1.0], &[1.0], &[2.0], &[f64::NAN]]);
+        let mut mode = SimpleImputer::new(ImputeStrategy::Mode);
+        assert_eq!(mode.fit_transform(&Dataset::new(x)).unwrap().features()[(3, 0)], 1.0);
+    }
+
+    #[test]
+    fn simple_imputer_not_fitted() {
+        let imp = SimpleImputer::new(ImputeStrategy::Mean);
+        assert!(matches!(imp.transform(&with_gap()), Err(ComponentError::NotFitted(_))));
+    }
+
+    #[test]
+    fn simple_imputer_all_missing_column_errors() {
+        let x = Matrix::from_rows(&[&[f64::NAN], &[f64::NAN]]);
+        let mut imp = SimpleImputer::new(ImputeStrategy::Mean);
+        assert!(imp.fit(&Dataset::new(x)).is_err());
+    }
+
+    #[test]
+    fn simple_imputer_feature_count_mismatch() {
+        let mut imp = SimpleImputer::new(ImputeStrategy::Mean);
+        imp.fit(&with_gap()).unwrap();
+        let other = Dataset::new(Matrix::zeros(2, 3));
+        assert!(imp.transform(&other).is_err());
+    }
+
+    #[test]
+    fn knn_uses_nearest_rows() {
+        // row 1 (x0=2) is nearest to rows 0 and 2 (x0=1,3), far from row 3
+        // (x0=100); with k=2 the fill must be mean(100, 300) = 200.
+        let ds = with_gap();
+        let mut knn = KnnImputer::new(2);
+        let out = knn.fit_transform(&ds).unwrap();
+        assert_eq!(out.features()[(1, 1)], 200.0);
+    }
+
+    #[test]
+    fn knn_k1_takes_single_nearest() {
+        let ds = with_gap();
+        let mut knn = KnnImputer::new(1);
+        let out = knn.fit_transform(&ds).unwrap();
+        assert_eq!(out.features()[(1, 1)], 100.0); // nearest is row 0
+    }
+
+    #[test]
+    fn knn_set_param() {
+        let mut knn = KnnImputer::new(5);
+        knn.set_param("k", ParamValue::from(2usize)).unwrap();
+        assert!(knn.set_param("k", ParamValue::from(0usize)).is_err());
+        assert!(knn.set_param("bogus", ParamValue::from(1usize)).is_err());
+    }
+
+    #[test]
+    fn imputers_leave_observed_cells_untouched() {
+        let ds = with_gap();
+        let mut imp = SimpleImputer::new(ImputeStrategy::Mean);
+        let out = imp.fit_transform(&ds).unwrap();
+        assert_eq!(out.features()[(0, 0)], 1.0);
+        assert_eq!(out.features()[(3, 1)], 500.0);
+        assert!(!out.has_missing());
+    }
+}

@@ -1,0 +1,40 @@
+//! Datasets, component traits, metrics, cross-validation and synthetic data
+//! for the `coda` analytics stack.
+//!
+//! This crate defines the *contract* every analytics component in the system
+//! obeys — the [`Transformer`] and [`Estimator`] traits of the paper's
+//! Transformer-Estimator Graph — plus the data plumbing that real analytics
+//! needs and the paper calls out explicitly: imputation of missing values,
+//! outlier detection, scoring metrics, and cross-validation strategies
+//! (including the `TimeSeriesSlidingSplit` of Fig. 12).
+//!
+//! # Examples
+//!
+//! ```
+//! use coda_data::{synth, metrics};
+//!
+//! let ds = synth::linear_regression(100, 3, 0.1, 42);
+//! assert_eq!(ds.n_samples(), 100);
+//! assert_eq!(ds.n_features(), 3);
+//! let y = ds.target().unwrap();
+//! let yhat: Vec<f64> = y.to_vec();
+//! assert_eq!(metrics::mse(y, &yhat).unwrap(), 0.0);
+//! ```
+
+pub mod cv;
+pub mod dataset;
+pub mod impute;
+pub mod impute_advanced;
+pub mod metrics;
+pub mod outlier;
+pub mod survival;
+pub mod synth;
+pub mod traits;
+
+pub use cv::{CvStrategy, Split};
+pub use dataset::{Dataset, DatasetError};
+pub use metrics::Metric;
+pub use traits::{
+    BoxedEstimator, BoxedTransformer, ComponentError, Estimator, NoOp, ParamValue, Params,
+    TaskKind, Transformer,
+};

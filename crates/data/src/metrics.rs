@@ -1,0 +1,516 @@
+//! Scoring metrics for regression, classification and forecasting.
+//!
+//! The paper lists (§III, §IV-B): MSE, RMSE, MAE, median absolute error,
+//! MSLE, RMSLE, R², MAPE for regression/forecasting, and accuracy, AUC and
+//! F1-score for classification. All are provided here with a uniform
+//! `(&[f64], &[f64]) -> Result<f64, MetricError>` signature plus the
+//! [`Metric`] enum used by graph evaluation.
+
+use std::fmt;
+
+/// Error produced by metric computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// Prediction and truth lengths differ.
+    LengthMismatch {
+        /// Ground-truth length.
+        truth: usize,
+        /// Prediction length.
+        pred: usize,
+    },
+    /// Inputs are empty.
+    Empty,
+    /// Metric is undefined for these inputs (e.g. log of a negative value).
+    Undefined(&'static str),
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::LengthMismatch { truth, pred } => {
+                write!(f, "length mismatch: {truth} truths vs {pred} predictions")
+            }
+            MetricError::Empty => write!(f, "empty inputs"),
+            MetricError::Undefined(why) => write!(f, "metric undefined: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+fn check(y: &[f64], yhat: &[f64]) -> Result<(), MetricError> {
+    if y.len() != yhat.len() {
+        return Err(MetricError::LengthMismatch { truth: y.len(), pred: yhat.len() });
+    }
+    if y.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    Ok(())
+}
+
+/// Mean squared error.
+///
+/// # Errors
+///
+/// [`MetricError::LengthMismatch`] or [`MetricError::Empty`].
+pub fn mse(y: &[f64], yhat: &[f64]) -> Result<f64, MetricError> {
+    check(y, yhat)?;
+    Ok(y.iter().zip(yhat).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / y.len() as f64)
+}
+
+/// Root mean squared error.
+///
+/// # Errors
+///
+/// As for [`mse`].
+pub fn rmse(y: &[f64], yhat: &[f64]) -> Result<f64, MetricError> {
+    Ok(mse(y, yhat)?.sqrt())
+}
+
+/// Mean absolute error.
+///
+/// # Errors
+///
+/// As for [`mse`].
+pub fn mae(y: &[f64], yhat: &[f64]) -> Result<f64, MetricError> {
+    check(y, yhat)?;
+    Ok(y.iter().zip(yhat).map(|(a, b)| (a - b).abs()).sum::<f64>() / y.len() as f64)
+}
+
+/// Median absolute error.
+///
+/// # Errors
+///
+/// As for [`mse`].
+pub fn median_absolute_error(y: &[f64], yhat: &[f64]) -> Result<f64, MetricError> {
+    check(y, yhat)?;
+    let abs: Vec<f64> = y.iter().zip(yhat).map(|(a, b)| (a - b).abs()).collect();
+    Ok(coda_linalg::median(&abs))
+}
+
+/// Mean absolute percentage error (in percent). Zero-truth entries are
+/// skipped; if all truths are zero the metric is undefined.
+///
+/// # Errors
+///
+/// As for [`mse`], plus [`MetricError::Undefined`] when every truth is zero.
+pub fn mape(y: &[f64], yhat: &[f64]) -> Result<f64, MetricError> {
+    check(y, yhat)?;
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (a, b) in y.iter().zip(yhat) {
+        if *a != 0.0 {
+            total += ((a - b) / a).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(MetricError::Undefined("all ground-truth values are zero"));
+    }
+    Ok(100.0 * total / n as f64)
+}
+
+/// Mean squared logarithmic error. Requires `y` and `yhat` ≥ −1 + ε so the
+/// `ln(1+x)` transform is defined.
+///
+/// # Errors
+///
+/// As for [`mse`], plus [`MetricError::Undefined`] on values ≤ −1.
+pub fn msle(y: &[f64], yhat: &[f64]) -> Result<f64, MetricError> {
+    check(y, yhat)?;
+    let mut total = 0.0;
+    for (a, b) in y.iter().zip(yhat) {
+        if *a <= -1.0 || *b <= -1.0 {
+            return Err(MetricError::Undefined("msle requires values > -1"));
+        }
+        let d = (1.0 + a).ln() - (1.0 + b).ln();
+        total += d * d;
+    }
+    Ok(total / y.len() as f64)
+}
+
+/// Root mean squared logarithmic error.
+///
+/// # Errors
+///
+/// As for [`msle`].
+pub fn rmsle(y: &[f64], yhat: &[f64]) -> Result<f64, MetricError> {
+    Ok(msle(y, yhat)?.sqrt())
+}
+
+/// Coefficient of determination R². 1.0 is a perfect fit; 0.0 matches the
+/// mean predictor; negative is worse than the mean predictor.
+///
+/// # Errors
+///
+/// As for [`mse`], plus [`MetricError::Undefined`] for constant truth.
+pub fn r2(y: &[f64], yhat: &[f64]) -> Result<f64, MetricError> {
+    check(y, yhat)?;
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let ss_tot: f64 = y.iter().map(|a| (a - mean) * (a - mean)).sum();
+    if ss_tot == 0.0 {
+        return Err(MetricError::Undefined("constant ground truth"));
+    }
+    let ss_res: f64 = y.iter().zip(yhat).map(|(a, b)| (a - b) * (a - b)).sum();
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+/// Classification accuracy: fraction of exact label matches.
+///
+/// # Errors
+///
+/// As for [`mse`].
+pub fn accuracy(y: &[f64], yhat: &[f64]) -> Result<f64, MetricError> {
+    check(y, yhat)?;
+    let hits = y.iter().zip(yhat).filter(|(a, b)| a == b).count();
+    Ok(hits as f64 / y.len() as f64)
+}
+
+/// Binary confusion counts `(tp, fp, tn, fn)` treating `positive` as the
+/// positive class label.
+///
+/// # Errors
+///
+/// As for [`mse`].
+pub fn confusion(
+    y: &[f64],
+    yhat: &[f64],
+    positive: f64,
+) -> Result<(usize, usize, usize, usize), MetricError> {
+    check(y, yhat)?;
+    let mut tp = 0;
+    let mut fp = 0;
+    let mut tn = 0;
+    let mut fal_n = 0;
+    for (a, b) in y.iter().zip(yhat) {
+        match (*a == positive, *b == positive) {
+            (true, true) => tp += 1,
+            (false, true) => fp += 1,
+            (false, false) => tn += 1,
+            (true, false) => fal_n += 1,
+        }
+    }
+    Ok((tp, fp, tn, fal_n))
+}
+
+/// Precision for the given positive class; 0.0 when no positives predicted.
+///
+/// # Errors
+///
+/// As for [`mse`].
+pub fn precision(y: &[f64], yhat: &[f64], positive: f64) -> Result<f64, MetricError> {
+    let (tp, fp, _, _) = confusion(y, yhat, positive)?;
+    Ok(if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 })
+}
+
+/// Recall for the given positive class; 0.0 when no positives present.
+///
+/// # Errors
+///
+/// As for [`mse`].
+pub fn recall(y: &[f64], yhat: &[f64], positive: f64) -> Result<f64, MetricError> {
+    let (tp, _, _, fal_n) = confusion(y, yhat, positive)?;
+    Ok(if tp + fal_n == 0 { 0.0 } else { tp as f64 / (tp + fal_n) as f64 })
+}
+
+/// F1-score for the given positive class.
+///
+/// # Errors
+///
+/// As for [`mse`].
+pub fn f1_score(y: &[f64], yhat: &[f64], positive: f64) -> Result<f64, MetricError> {
+    let p = precision(y, yhat, positive)?;
+    let r = recall(y, yhat, positive)?;
+    Ok(if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) })
+}
+
+/// Area under the ROC curve from real-valued scores (higher = more positive),
+/// with class-1 as positive. Computed by the rank statistic with tie
+/// correction.
+///
+/// # Errors
+///
+/// As for [`mse`], plus [`MetricError::Undefined`] when only one class is
+/// present.
+pub fn auc(y: &[f64], scores: &[f64]) -> Result<f64, MetricError> {
+    check(y, scores)?;
+    let n_pos = y.iter().filter(|&&v| v == 1.0).count();
+    let n_neg = y.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(MetricError::Undefined("auc requires both classes present"));
+    }
+    // rank the scores (average rank for ties)
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for k in i..=j {
+            ranks[idx[k]] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let sum_pos_ranks: f64 =
+        y.iter().zip(&ranks).filter(|(v, _)| **v == 1.0).map(|(_, r)| r).sum();
+    let u = sum_pos_ranks - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Ok(u / (n_pos * n_neg) as f64)
+}
+
+/// Binary cross-entropy (log loss) from probability scores in `[0, 1]`,
+/// clipped at 1e-15 to avoid infinities.
+///
+/// # Errors
+///
+/// As for [`mse`].
+pub fn log_loss(y: &[f64], probs: &[f64]) -> Result<f64, MetricError> {
+    check(y, probs)?;
+    let eps = 1e-15;
+    let total: f64 = y
+        .iter()
+        .zip(probs)
+        .map(|(a, p)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            if *a == 1.0 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    Ok(total / y.len() as f64)
+}
+
+/// A named scoring metric, as agreed across cooperating users (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Mean squared error (lower is better).
+    Mse,
+    /// Root mean squared error (lower is better).
+    Rmse,
+    /// Mean absolute error (lower is better).
+    Mae,
+    /// Median absolute error (lower is better).
+    MedianAe,
+    /// Mean absolute percentage error (lower is better).
+    Mape,
+    /// Root mean squared log error (lower is better).
+    Rmsle,
+    /// R² (higher is better).
+    R2,
+    /// Accuracy (higher is better).
+    Accuracy,
+    /// F1-score with positive class 1.0 (higher is better).
+    F1,
+    /// AUC with positive class 1.0 (higher is better).
+    Auc,
+}
+
+impl Metric {
+    /// Evaluates the metric.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying metric function's error.
+    pub fn compute(&self, y: &[f64], yhat: &[f64]) -> Result<f64, MetricError> {
+        match self {
+            Metric::Mse => mse(y, yhat),
+            Metric::Rmse => rmse(y, yhat),
+            Metric::Mae => mae(y, yhat),
+            Metric::MedianAe => median_absolute_error(y, yhat),
+            Metric::Mape => mape(y, yhat),
+            Metric::Rmsle => rmsle(y, yhat),
+            Metric::R2 => r2(y, yhat),
+            Metric::Accuracy => accuracy(y, yhat),
+            Metric::F1 => f1_score(y, yhat, 1.0),
+            Metric::Auc => auc(y, yhat),
+        }
+    }
+
+    /// Whether a larger score is better for this metric.
+    pub fn higher_is_better(&self) -> bool {
+        matches!(self, Metric::R2 | Metric::Accuracy | Metric::F1 | Metric::Auc)
+    }
+
+    /// True if score `a` is better than score `b` under this metric.
+    pub fn is_better(&self, a: f64, b: f64) -> bool {
+        if self.higher_is_better() {
+            a > b
+        } else {
+            a < b
+        }
+    }
+
+    /// The worst possible sentinel score for this metric, useful as an
+    /// initial value in arg-best scans.
+    pub fn worst(&self) -> f64 {
+        if self.higher_is_better() {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Parses a metric name (the strings of Listing 2, e.g. `"f1-score"`).
+    pub fn parse(name: &str) -> Option<Metric> {
+        match name.to_ascii_lowercase().as_str() {
+            "mse" => Some(Metric::Mse),
+            "rmse" => Some(Metric::Rmse),
+            "mae" => Some(Metric::Mae),
+            "median-ae" | "median_absolute_error" => Some(Metric::MedianAe),
+            "mape" => Some(Metric::Mape),
+            "rmsle" => Some(Metric::Rmsle),
+            "r2" => Some(Metric::R2),
+            "accuracy" => Some(Metric::Accuracy),
+            "f1-score" | "f1" => Some(Metric::F1),
+            "auc" => Some(Metric::Auc),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Metric::Mse => "mse",
+            Metric::Rmse => "rmse",
+            Metric::Mae => "mae",
+            Metric::MedianAe => "median-ae",
+            Metric::Mape => "mape",
+            Metric::Rmsle => "rmsle",
+            Metric::R2 => "r2",
+            Metric::Accuracy => "accuracy",
+            Metric::F1 => "f1-score",
+            Metric::Auc => "auc",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regression_metrics_known_values() {
+        let y = [1.0, 2.0, 3.0];
+        let yhat = [1.0, 2.0, 5.0];
+        assert!((mse(&y, &yhat).unwrap() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((rmse(&y, &yhat).unwrap() - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&y, &yhat).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(median_absolute_error(&y, &yhat).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&y, &y).unwrap(), 0.0);
+        assert_eq!(r2(&y, &y).unwrap(), 1.0);
+        assert_eq!(mape(&y, &y).unwrap(), 0.0);
+        assert_eq!(rmsle(&y, &y).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn r2_mean_predictor_is_zero() {
+        let y = [1.0, 2.0, 3.0];
+        let mean = [2.0, 2.0, 2.0];
+        assert!((r2(&y, &mean).unwrap()).abs() < 1e-12);
+        assert!(r2(&[5.0, 5.0], &[5.0, 5.0]).is_err()); // constant truth
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        let y = [0.0, 2.0];
+        let yhat = [1.0, 1.0];
+        // only the second term counts: |2-1|/2 = 0.5 -> 50%
+        assert!((mape(&y, &yhat).unwrap() - 50.0).abs() < 1e-12);
+        assert!(mape(&[0.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn msle_rejects_below_minus_one() {
+        assert!(msle(&[-2.0], &[0.0]).is_err());
+        assert!(msle(&[0.0], &[-2.0]).is_err());
+    }
+
+    #[test]
+    fn length_and_empty_checks() {
+        assert!(matches!(mse(&[1.0], &[1.0, 2.0]), Err(MetricError::LengthMismatch { .. })));
+        assert!(matches!(mse(&[], &[]), Err(MetricError::Empty)));
+    }
+
+    #[test]
+    fn classification_metrics() {
+        let y = [1.0, 1.0, 0.0, 0.0];
+        let yhat = [1.0, 0.0, 0.0, 1.0];
+        assert_eq!(accuracy(&y, &yhat).unwrap(), 0.5);
+        let (tp, fp, tn, fal_n) = confusion(&y, &yhat, 1.0).unwrap();
+        assert_eq!((tp, fp, tn, fal_n), (1, 1, 1, 1));
+        assert_eq!(precision(&y, &yhat, 1.0).unwrap(), 0.5);
+        assert_eq!(recall(&y, &yhat, 1.0).unwrap(), 0.5);
+        assert_eq!(f1_score(&y, &yhat, 1.0).unwrap(), 0.5);
+    }
+
+    #[test]
+    fn f1_degenerate_cases() {
+        // no predicted positives -> precision 0, f1 0
+        assert_eq!(f1_score(&[1.0, 0.0], &[0.0, 0.0], 1.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_random_and_inverted() {
+        let y = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&y, &[0.1, 0.2, 0.8, 0.9]).unwrap(), 1.0);
+        assert_eq!(auc(&y, &[0.9, 0.8, 0.2, 0.1]).unwrap(), 0.0);
+        // ties on everything -> 0.5
+        assert_eq!(auc(&y, &[0.5, 0.5, 0.5, 0.5]).unwrap(), 0.5);
+        assert!(auc(&[1.0, 1.0], &[0.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn log_loss_behaviour() {
+        let y = [1.0, 0.0];
+        let good = log_loss(&y, &[0.9, 0.1]).unwrap();
+        let bad = log_loss(&y, &[0.1, 0.9]).unwrap();
+        assert!(good < bad);
+        // extreme but wrong probabilities are clipped, not infinite
+        assert!(log_loss(&y, &[0.0, 1.0]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn metric_enum_dispatch_and_ordering() {
+        let y = [1.0, 2.0, 3.0];
+        let yhat = [1.1, 2.1, 2.9];
+        assert!(Metric::Rmse.compute(&y, &yhat).unwrap() > 0.0);
+        assert!(!Metric::Rmse.higher_is_better());
+        assert!(Metric::R2.higher_is_better());
+        assert!(Metric::Rmse.is_better(0.1, 0.2));
+        assert!(Metric::R2.is_better(0.9, 0.2));
+        assert_eq!(Metric::Rmse.worst(), f64::INFINITY);
+        assert_eq!(Metric::Auc.worst(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn metric_parse_roundtrip() {
+        for m in [
+            Metric::Mse,
+            Metric::Rmse,
+            Metric::Mae,
+            Metric::MedianAe,
+            Metric::Mape,
+            Metric::Rmsle,
+            Metric::R2,
+            Metric::Accuracy,
+            Metric::F1,
+            Metric::Auc,
+        ] {
+            assert_eq!(Metric::parse(&m.to_string()), Some(m));
+        }
+        assert_eq!(Metric::parse("f1-score"), Some(Metric::F1));
+        assert_eq!(Metric::parse("nope"), None);
+    }
+}

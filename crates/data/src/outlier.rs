@@ -1,0 +1,238 @@
+//! Outlier detection (paper §II–III: "data which constitute erroneous and/or
+//! outlying values may need to be identified and discarded").
+//!
+//! Detectors flag sample rows; [`remove_outliers`] drops them. A detector is
+//! also usable as a graph stage via [`OutlierRemover`].
+
+use crate::dataset::Dataset;
+use crate::traits::{BoxedTransformer, ComponentError, ParamValue, Transformer};
+
+/// Row-flagging outlier detection method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OutlierMethod {
+    /// |x − mean| > threshold · std in any column.
+    ZScore {
+        /// Number of standard deviations considered outlying.
+        threshold: f64,
+    },
+    /// Outside `[q1 − k·iqr, q3 + k·iqr]` in any column.
+    Iqr {
+        /// IQR multiplier (1.5 is the classic whisker rule).
+        k: f64,
+    },
+    /// |x − median| > threshold · MAD (scaled) in any column.
+    Mad {
+        /// Number of scaled MADs considered outlying.
+        threshold: f64,
+    },
+}
+
+/// Flags each row: `true` = outlier. NaN cells never flag a row (they are a
+/// missing-data concern, not an outlier concern).
+pub fn detect_outliers(data: &Dataset, method: OutlierMethod) -> Vec<bool> {
+    let x = data.features();
+    let n = x.rows();
+    let mut flags = vec![false; n];
+    for c in 0..x.cols() {
+        let col: Vec<f64> = x.col(c);
+        let observed: Vec<f64> = col.iter().copied().filter(|v| !v.is_nan()).collect();
+        if observed.len() < 3 {
+            continue;
+        }
+        let (lo, hi) = match method {
+            OutlierMethod::ZScore { threshold } => {
+                let m = coda_linalg::mean(&observed);
+                let s = coda_linalg::std_dev(&observed);
+                if s == 0.0 {
+                    continue;
+                }
+                (m - threshold * s, m + threshold * s)
+            }
+            OutlierMethod::Iqr { k } => {
+                let q1 = coda_linalg::percentile(&observed, 25.0);
+                let q3 = coda_linalg::percentile(&observed, 75.0);
+                let iqr = q3 - q1;
+                (q1 - k * iqr, q3 + k * iqr)
+            }
+            OutlierMethod::Mad { threshold } => {
+                let med = coda_linalg::median(&observed);
+                let devs: Vec<f64> = observed.iter().map(|v| (v - med).abs()).collect();
+                // 1.4826 makes MAD a consistent sigma estimator for normals
+                let mad = coda_linalg::median(&devs) * 1.4826;
+                if mad == 0.0 {
+                    continue;
+                }
+                (med - threshold * mad, med + threshold * mad)
+            }
+        };
+        for (r, v) in col.iter().enumerate() {
+            if !v.is_nan() && (*v < lo || *v > hi) {
+                flags[r] = true;
+            }
+        }
+    }
+    flags
+}
+
+/// Returns `data` with outlying rows removed.
+pub fn remove_outliers(data: &Dataset, method: OutlierMethod) -> Dataset {
+    let flags = detect_outliers(data, method);
+    let keep: Vec<usize> =
+        flags.iter().enumerate().filter(|(_, &f)| !f).map(|(i, _)| i).collect();
+    data.select(&keep)
+}
+
+/// Transformer wrapper: removes outliers during `fit_transform` but passes
+/// data through untouched at `transform` time (prediction rows must never be
+/// silently dropped).
+#[derive(Debug, Clone)]
+pub struct OutlierRemover {
+    method: OutlierMethod,
+    fitted: bool,
+}
+
+impl OutlierRemover {
+    /// Creates a remover using `method`.
+    pub fn new(method: OutlierMethod) -> Self {
+        OutlierRemover { method, fitted: false }
+    }
+}
+
+impl Transformer for OutlierRemover {
+    fn name(&self) -> &str {
+        "outlier_remover"
+    }
+
+    fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
+        let as_pos_f64 = |v: &ParamValue| -> Result<f64, ComponentError> {
+            v.as_f64().filter(|t| *t > 0.0).ok_or_else(|| ComponentError::InvalidParam {
+                component: "outlier_remover".to_string(),
+                param: param.to_string(),
+                reason: "must be a positive number".to_string(),
+            })
+        };
+        match (param, &mut self.method) {
+            ("threshold", OutlierMethod::ZScore { threshold })
+            | ("threshold", OutlierMethod::Mad { threshold }) => {
+                *threshold = as_pos_f64(&value)?;
+                Ok(())
+            }
+            ("k", OutlierMethod::Iqr { k }) => {
+                *k = as_pos_f64(&value)?;
+                Ok(())
+            }
+            _ => Err(ComponentError::UnknownParam {
+                component: self.name().to_string(),
+                param: param.to_string(),
+            }),
+        }
+    }
+
+    fn fit(&mut self, _data: &Dataset) -> Result<(), ComponentError> {
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        if !self.fitted {
+            return Err(ComponentError::NotFitted(self.name().to_string()));
+        }
+        Ok(data.clone())
+    }
+
+    fn fit_transform(&mut self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        self.fit(data)?;
+        Ok(remove_outliers(data, self.method))
+    }
+
+    fn clone_box(&self) -> BoxedTransformer {
+        Box::new(OutlierRemover::new(self.method))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_linalg::Matrix;
+
+    fn with_outlier() -> Dataset {
+        let mut rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 * 0.1]).collect();
+        rows.push(vec![1000.0]);
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Dataset::new(Matrix::from_rows(&refs))
+    }
+
+    #[test]
+    fn zscore_flags_extreme() {
+        let ds = with_outlier();
+        let flags = detect_outliers(&ds, OutlierMethod::ZScore { threshold: 3.0 });
+        assert!(flags[20]);
+        assert!(!flags[..20].iter().any(|&f| f));
+    }
+
+    #[test]
+    fn iqr_flags_extreme() {
+        let ds = with_outlier();
+        let flags = detect_outliers(&ds, OutlierMethod::Iqr { k: 1.5 });
+        assert!(flags[20]);
+        assert!(!flags[..20].iter().any(|&f| f));
+    }
+
+    #[test]
+    fn mad_flags_extreme_and_is_robust() {
+        let ds = with_outlier();
+        let flags = detect_outliers(&ds, OutlierMethod::Mad { threshold: 3.5 });
+        assert!(flags[20]);
+        assert!(!flags[..20].iter().any(|&f| f));
+    }
+
+    #[test]
+    fn constant_column_never_flags() {
+        let x = Matrix::from_rows(&[&[5.0], &[5.0], &[5.0], &[5.0]]);
+        let ds = Dataset::new(x);
+        assert!(!detect_outliers(&ds, OutlierMethod::ZScore { threshold: 3.0 })
+            .iter()
+            .any(|&f| f));
+        assert!(!detect_outliers(&ds, OutlierMethod::Mad { threshold: 3.0 })
+            .iter()
+            .any(|&f| f));
+    }
+
+    #[test]
+    fn nan_cells_do_not_flag() {
+        let x = Matrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[f64::NAN]]);
+        let ds = Dataset::new(x);
+        let flags = detect_outliers(&ds, OutlierMethod::ZScore { threshold: 1.0 });
+        assert!(!flags[3]);
+    }
+
+    #[test]
+    fn remove_outliers_drops_rows() {
+        let ds = with_outlier();
+        let clean = remove_outliers(&ds, OutlierMethod::Iqr { k: 1.5 });
+        assert_eq!(clean.n_samples(), 20);
+    }
+
+    #[test]
+    fn remover_transformer_semantics() {
+        let ds = with_outlier();
+        let mut remover = OutlierRemover::new(OutlierMethod::ZScore { threshold: 3.0 });
+        // not fitted yet
+        assert!(remover.transform(&ds).is_err());
+        let cleaned = remover.fit_transform(&ds).unwrap();
+        assert_eq!(cleaned.n_samples(), 20);
+        // at prediction time rows pass through
+        let passed = remover.transform(&ds).unwrap();
+        assert_eq!(passed.n_samples(), 21);
+    }
+
+    #[test]
+    fn remover_params() {
+        let mut r = OutlierRemover::new(OutlierMethod::ZScore { threshold: 3.0 });
+        r.set_param("threshold", ParamValue::from(2.0)).unwrap();
+        assert!(r.set_param("threshold", ParamValue::from(-1.0)).is_err());
+        assert!(r.set_param("k", ParamValue::from(1.0)).is_err()); // wrong method
+        let mut r2 = OutlierRemover::new(OutlierMethod::Iqr { k: 1.5 });
+        r2.set_param("k", ParamValue::from(3.0)).unwrap();
+    }
+}

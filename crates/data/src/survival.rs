@@ -1,0 +1,257 @@
+//! Censored time-to-event analysis (§II flags "the issue of censored data"
+//! among the practical considerations): Kaplan-Meier survival estimation
+//! and the log-rank test, the standard tools when failure times are only
+//! partially observed (assets still healthy when the study ends are
+//! *censored*, not failure-free).
+
+use std::fmt;
+
+/// Error produced by survival computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SurvivalError {
+    /// Durations and censoring flags disagree in length, or are empty.
+    InvalidInput(String),
+}
+
+impl fmt::Display for SurvivalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SurvivalError::InvalidInput(m) => write!(f, "invalid survival data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SurvivalError {}
+
+/// Right-censored time-to-event observations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SurvivalData {
+    durations: Vec<f64>,
+    observed: Vec<bool>,
+}
+
+impl SurvivalData {
+    /// Creates survival data: `durations[i]` is the time to failure when
+    /// `observed[i]` is true, or the censoring time otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`SurvivalError::InvalidInput`] for empty or mismatched inputs or
+    /// non-positive durations.
+    pub fn new(durations: Vec<f64>, observed: Vec<bool>) -> Result<Self, SurvivalError> {
+        if durations.is_empty() {
+            return Err(SurvivalError::InvalidInput("no observations".to_string()));
+        }
+        if durations.len() != observed.len() {
+            return Err(SurvivalError::InvalidInput(format!(
+                "{} durations vs {} flags",
+                durations.len(),
+                observed.len()
+            )));
+        }
+        if durations.iter().any(|d| !d.is_finite() || *d <= 0.0) {
+            return Err(SurvivalError::InvalidInput(
+                "durations must be positive and finite".to_string(),
+            ));
+        }
+        Ok(SurvivalData { durations, observed })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// True when empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.durations.is_empty()
+    }
+
+    /// Number of observed (uncensored) events.
+    pub fn n_events(&self) -> usize {
+        self.observed.iter().filter(|&&o| o).count()
+    }
+
+    /// The Kaplan-Meier survival curve: `(time, S(time))` at each distinct
+    /// event time, starting implicitly from `S(0) = 1`.
+    pub fn kaplan_meier(&self) -> Vec<(f64, f64)> {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.durations[a]
+                .partial_cmp(&self.durations[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut at_risk = self.len() as f64;
+        let mut survival = 1.0;
+        let mut curve: Vec<(f64, f64)> = Vec::new();
+        let mut i = 0;
+        while i < order.len() {
+            let t = self.durations[order[i]];
+            // gather ties at this time
+            let mut events = 0.0;
+            let mut leaving = 0.0;
+            while i < order.len() && self.durations[order[i]] == t {
+                leaving += 1.0;
+                if self.observed[order[i]] {
+                    events += 1.0;
+                }
+                i += 1;
+            }
+            if events > 0.0 {
+                survival *= 1.0 - events / at_risk;
+                curve.push((t, survival));
+            }
+            at_risk -= leaving;
+        }
+        curve
+    }
+
+    /// Median survival time: the first event time where `S(t) <= 0.5`, or
+    /// `None` when survival never drops that far (heavy censoring).
+    pub fn median_survival(&self) -> Option<f64> {
+        self.kaplan_meier().into_iter().find(|(_, s)| *s <= 0.5).map(|(t, _)| t)
+    }
+
+    /// Survival probability at `time` (step-function evaluation).
+    pub fn survival_at(&self, time: f64) -> f64 {
+        let mut s = 1.0;
+        for (t, surv) in self.kaplan_meier() {
+            if t <= time {
+                s = surv;
+            } else {
+                break;
+            }
+        }
+        s
+    }
+}
+
+/// Log-rank test comparing two survival curves. Returns the chi-squared
+/// statistic (1 degree of freedom) and whether it exceeds the 0.05 critical
+/// value (3.841) — i.e. whether the groups' failure behaviour differs.
+///
+/// # Errors
+///
+/// [`SurvivalError::InvalidInput`] when either group is empty.
+pub fn log_rank_test(a: &SurvivalData, b: &SurvivalData) -> Result<(f64, bool), SurvivalError> {
+    // pooled distinct event times
+    let mut event_times: Vec<f64> = a
+        .durations
+        .iter()
+        .zip(&a.observed)
+        .chain(b.durations.iter().zip(&b.observed))
+        .filter(|(_, &o)| o)
+        .map(|(&t, _)| t)
+        .collect();
+    if event_times.is_empty() {
+        return Err(SurvivalError::InvalidInput("no observed events".to_string()));
+    }
+    event_times.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    event_times.dedup();
+    let at_risk = |g: &SurvivalData, t: f64| -> f64 {
+        g.durations.iter().filter(|&&d| d >= t).count() as f64
+    };
+    let events_at = |g: &SurvivalData, t: f64| -> f64 {
+        g.durations
+            .iter()
+            .zip(&g.observed)
+            .filter(|(&d, &o)| d == t && o)
+            .count() as f64
+    };
+    let mut observed_a = 0.0;
+    let mut expected_a = 0.0;
+    let mut variance = 0.0;
+    for &t in &event_times {
+        let n_a = at_risk(a, t);
+        let n_b = at_risk(b, t);
+        let n = n_a + n_b;
+        if n < 2.0 || n_a == 0.0 && n_b == 0.0 {
+            continue;
+        }
+        let d = events_at(a, t) + events_at(b, t);
+        observed_a += events_at(a, t);
+        expected_a += d * n_a / n;
+        variance += d * (n_a / n) * (n_b / n) * (n - d) / (n - 1.0).max(1.0);
+    }
+    if variance <= 0.0 {
+        return Ok((0.0, false));
+    }
+    let chi2 = (observed_a - expected_a).powi(2) / variance;
+    Ok((chi2, chi2 > 3.841))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_censoring_matches_empirical_survival() {
+        // events at 1..=4, no censoring: S steps down by 1/4 each time
+        let data = SurvivalData::new(vec![1.0, 2.0, 3.0, 4.0], vec![true; 4]).unwrap();
+        let km = data.kaplan_meier();
+        let expected = [(1.0, 0.75), (2.0, 0.5), (3.0, 0.25), (4.0, 0.0)];
+        assert_eq!(km.len(), 4);
+        for ((t, s), (et, es)) in km.iter().zip(expected) {
+            assert_eq!(*t, et);
+            assert!((s - es).abs() < 1e-12);
+        }
+        assert_eq!(data.median_survival(), Some(2.0));
+        assert_eq!(data.n_events(), 4);
+    }
+
+    #[test]
+    fn censoring_raises_the_curve() {
+        // same times, but the longest two are censored: survival stays higher
+        let full = SurvivalData::new(vec![1.0, 2.0, 3.0, 4.0], vec![true; 4]).unwrap();
+        let censored =
+            SurvivalData::new(vec![1.0, 2.0, 3.0, 4.0], vec![true, true, false, false])
+                .unwrap();
+        assert!(censored.survival_at(3.5) > full.survival_at(3.5));
+        // classic textbook check: KM with censoring
+        // events at 1 (n=4) and 2 (n=3): S = 3/4 * 2/3 = 0.5
+        assert!((censored.survival_at(2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn survival_at_is_a_step_function() {
+        let data = SurvivalData::new(vec![2.0, 4.0], vec![true, true]).unwrap();
+        assert_eq!(data.survival_at(1.0), 1.0);
+        assert_eq!(data.survival_at(2.0), 0.5);
+        assert_eq!(data.survival_at(3.9), 0.5);
+        assert_eq!(data.survival_at(10.0), 0.0);
+    }
+
+    #[test]
+    fn heavy_censoring_no_median() {
+        let data = SurvivalData::new(
+            vec![1.0, 5.0, 5.0, 5.0, 5.0],
+            vec![true, false, false, false, false],
+        )
+        .unwrap();
+        assert_eq!(data.median_survival(), None);
+        assert!(data.survival_at(100.0) > 0.5);
+    }
+
+    #[test]
+    fn log_rank_separates_different_populations() {
+        // group a fails early, group b late
+        let a = SurvivalData::new((1..=20).map(|i| i as f64).collect(), vec![true; 20]).unwrap();
+        let b = SurvivalData::new((31..=50).map(|i| i as f64).collect(), vec![true; 20]).unwrap();
+        let (chi2, significant) = log_rank_test(&a, &b).unwrap();
+        assert!(significant, "chi2 = {chi2}");
+        // identical groups are not significant
+        let (chi2_same, significant_same) = log_rank_test(&a, &a.clone()).unwrap();
+        assert!(!significant_same, "chi2 = {chi2_same}");
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(SurvivalData::new(vec![], vec![]).is_err());
+        assert!(SurvivalData::new(vec![1.0], vec![true, false]).is_err());
+        assert!(SurvivalData::new(vec![0.0], vec![true]).is_err());
+        assert!(SurvivalData::new(vec![f64::NAN], vec![true]).is_err());
+        let all_censored = SurvivalData::new(vec![1.0, 2.0], vec![false, false]).unwrap();
+        assert!(log_rank_test(&all_censored, &all_censored.clone()).is_err());
+        assert!(all_censored.kaplan_meier().is_empty());
+    }
+}

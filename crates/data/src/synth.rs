@@ -1,0 +1,524 @@
+//! Synthetic data generators.
+//!
+//! The paper evaluates on proprietary heavy-industry customer data it cannot
+//! publish; these generators produce the closest synthetic equivalents with
+//! *known ground truth* so every experiment is checkable (see DESIGN.md §2):
+//! regression/classification tables, autocorrelated and random-walk time
+//! series, and industrial sensor data with degradation-to-failure processes,
+//! injected anomalies and cohort structure.
+
+use crate::dataset::Dataset;
+use coda_linalg::Matrix;
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard normal sample.
+fn randn(rng: &mut StdRng) -> f64 {
+    // Box-Muller
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Linear regression data: `y = X·w + b + noise`, standard-normal features.
+///
+/// # Examples
+///
+/// ```
+/// let ds = coda_data::synth::linear_regression(50, 4, 0.01, 1);
+/// assert_eq!(ds.n_samples(), 50);
+/// assert!(ds.target().is_some());
+/// ```
+pub fn linear_regression(n: usize, d: usize, noise: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let w: Vec<f64> = (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let b: f64 = rng.gen_range(-1.0..1.0);
+    let mut x = Matrix::zeros(n, d);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut t = b;
+        for c in 0..d {
+            let v = randn(&mut rng);
+            x[(r, c)] = v;
+            t += w[c] * v;
+        }
+        y.push(t + noise * randn(&mut rng));
+    }
+    Dataset::new(x).with_target(y).expect("target length matches by construction")
+}
+
+/// Friedman-1-style nonlinear regression:
+/// `y = 10 sin(π x0 x1) + 20 (x2 − 0.5)² + 10 x3 + 5 x4 + noise`, features
+/// uniform in `[0, 1]`. Requires `d ≥ 5`; extra features are irrelevant noise
+/// columns (useful for feature selection).
+///
+/// # Panics
+///
+/// Panics if `d < 5`.
+pub fn friedman1(n: usize, d: usize, noise: f64, seed: u64) -> Dataset {
+    assert!(d >= 5, "friedman1 requires at least 5 features");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, d);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        for c in 0..d {
+            x[(r, c)] = rng.gen_range(0.0..1.0);
+        }
+        let t = 10.0 * (std::f64::consts::PI * x[(r, 0)] * x[(r, 1)]).sin()
+            + 20.0 * (x[(r, 2)] - 0.5).powi(2)
+            + 10.0 * x[(r, 3)]
+            + 5.0 * x[(r, 4)];
+        y.push(t + noise * randn(&mut rng));
+    }
+    Dataset::new(x).with_target(y).expect("target length matches by construction")
+}
+
+/// Regression data with wildly different feature scales (columns scaled by
+/// powers of 10) — the case where the paper's feature-scaling stage matters.
+pub fn badly_scaled_regression(n: usize, d: usize, noise: f64, seed: u64) -> Dataset {
+    let base = linear_regression(n, d, noise, seed);
+    let mut x = base.features().clone();
+    for c in 0..d {
+        let scale = 10f64.powi((c % 7) as i32 - 3);
+        for r in 0..n {
+            x[(r, c)] *= scale;
+        }
+    }
+    base.replace_features(x)
+}
+
+/// Gaussian-blob classification data with `n_classes` labels `0..n_classes`.
+/// Class centres are spread on a scaled simplex; `spread` is the within-class
+/// standard deviation.
+pub fn classification_blobs(
+    n: usize,
+    d: usize,
+    n_classes: usize,
+    spread: f64,
+    seed: u64,
+) -> Dataset {
+    assert!(n_classes >= 2, "need at least two classes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..n_classes)
+        .map(|_| (0..d).map(|_| rng.gen_range(-5.0..5.0)).collect())
+        .collect();
+    let mut x = Matrix::zeros(n, d);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let cls = r % n_classes;
+        for c in 0..d {
+            x[(r, c)] = centers[cls][c] + spread * randn(&mut rng);
+        }
+        y.push(cls as f64);
+    }
+    Dataset::new(x).with_target(y).expect("target length matches by construction")
+}
+
+/// Imbalanced binary classification: positives are a `pos_fraction` minority
+/// drawn from a shifted cluster (the "rare failure cases" of §II).
+pub fn imbalanced_binary(n: usize, d: usize, pos_fraction: f64, seed: u64) -> Dataset {
+    assert!(pos_fraction > 0.0 && pos_fraction < 1.0, "pos_fraction must be in (0,1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, d);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        let positive = rng.gen_range(0.0..1.0) < pos_fraction;
+        let shift = if positive { 2.0 } else { 0.0 };
+        for c in 0..d {
+            x[(r, c)] = shift + randn(&mut rng);
+        }
+        y.push(if positive { 1.0 } else { 0.0 });
+    }
+    Dataset::new(x).with_target(y).expect("target length matches by construction")
+}
+
+/// Punches NaN holes into a fraction of feature cells (missing data, §II).
+pub fn inject_missing(data: &Dataset, fraction: f64, seed: u64) -> Dataset {
+    assert!((0.0..1.0).contains(&fraction), "fraction must be in [0,1)");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = data.features().clone();
+    for r in 0..x.rows() {
+        for c in 0..x.cols() {
+            if rng.gen_range(0.0..1.0) < fraction {
+                x[(r, c)] = f64::NAN;
+            }
+        }
+    }
+    data.replace_features(x)
+}
+
+/// A univariate series with linear trend, sinusoidal seasonality and noise —
+/// strongly autocorrelated, the regime where temporal models should win.
+pub fn trend_seasonal_series(n: usize, period: f64, noise: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|t| {
+            let tf = t as f64;
+            0.05 * tf
+                + 3.0 * (2.0 * std::f64::consts::PI * tf / period).sin()
+                + noise * randn(&mut rng)
+        })
+        .collect()
+}
+
+/// A pure random walk — the regime where the Zero (persistence) model is
+/// near-optimal.
+pub fn random_walk(n: usize, step: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = Vec::with_capacity(n);
+    let mut cur = 0.0;
+    for _ in 0..n {
+        cur += step * randn(&mut rng);
+        v.push(cur);
+    }
+    v
+}
+
+/// An AR(2) process `x_t = a1 x_{t-1} + a2 x_{t-2} + ε`.
+///
+/// # Panics
+///
+/// Panics if the coefficients are non-stationary (|roots| ≤ 1 check by the
+/// simple sufficient condition |a1| + |a2| < 1).
+pub fn ar2_series(n: usize, a1: f64, a2: f64, noise: f64, seed: u64) -> Vec<f64> {
+    assert!(a1.abs() + a2.abs() < 1.0, "AR(2) coefficients must be stationary");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = vec![0.0; n];
+    for t in 2..n {
+        v[t] = a1 * v[t - 1] + a2 * v[t - 2] + noise * randn(&mut rng);
+    }
+    v
+}
+
+/// Multivariate industrial sensor series: `v` channels sharing a latent
+/// regime signal plus channel-specific seasonality and noise. Returns an
+/// `n x v` matrix (rows = timestamps, Fig. 6).
+pub fn multivariate_sensors(n: usize, v: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(n, v);
+    // latent slow regime signal
+    let mut latent = 0.0;
+    for t in 0..n {
+        latent = 0.98 * latent + 0.2 * randn(&mut rng);
+        for c in 0..v {
+            let period = 24.0 + 12.0 * c as f64;
+            m[(t, c)] = latent
+                + (1.0 + 0.3 * c as f64)
+                    * (2.0 * std::f64::consts::PI * t as f64 / period).sin()
+                + 0.3 * randn(&mut rng);
+        }
+    }
+    m
+}
+
+/// Degradation-to-failure sensor data for Failure Prediction Analysis: each
+/// asset runs until a degradation signal crosses a threshold; the label is 1
+/// when failure occurs within `horizon` steps. Returns a tabular dataset of
+/// per-timestep sensor readings with the imminent-failure label.
+pub fn failure_prediction_data(
+    n_assets: usize,
+    steps_per_asset: usize,
+    horizon: usize,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<f64> = Vec::new();
+    for _ in 0..n_assets {
+        // each asset degrades at a random rate
+        let rate = rng.gen_range(0.5..2.0) / steps_per_asset as f64;
+        let mut wear = 0.0f64;
+        let mut history: Vec<(Vec<f64>, usize)> = Vec::new();
+        let mut failed_at: Option<usize> = None;
+        for t in 0..steps_per_asset {
+            wear += rate * (1.0 + 0.3 * randn(&mut rng)).max(0.0);
+            let temp = 60.0 + 25.0 * wear + 2.0 * randn(&mut rng);
+            let vibration = 1.0 + 4.0 * wear * wear + 0.3 * randn(&mut rng);
+            let pressure = 30.0 - 5.0 * wear + 1.0 * randn(&mut rng);
+            let load = 50.0 + 10.0 * randn(&mut rng);
+            history.push((vec![temp, vibration, pressure, load], t));
+            if wear >= 1.0 {
+                failed_at = Some(t);
+                break;
+            }
+        }
+        for (features, t) in history {
+            let label = match failed_at {
+                Some(ft) if ft.saturating_sub(t) <= horizon => 1.0,
+                _ => 0.0,
+            };
+            rows.push(features);
+            labels.push(label);
+        }
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    Dataset::new(Matrix::from_rows(&refs))
+        .with_target(labels)
+        .expect("target length matches by construction")
+        .with_feature_names(vec!["temperature", "vibration", "pressure", "load"])
+        .expect("4 names for 4 columns")
+}
+
+/// Sensor data with injected point anomalies. Returns `(dataset, truth)`
+/// where `truth[i]` is `true` for anomalous rows.
+pub fn anomaly_data(n: usize, d: usize, anomaly_fraction: f64, seed: u64) -> (Dataset, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Matrix::zeros(n, d);
+    let mut truth = vec![false; n];
+    for r in 0..n {
+        let anomalous = rng.gen_range(0.0..1.0) < anomaly_fraction;
+        truth[r] = anomalous;
+        for c in 0..d {
+            let base = randn(&mut rng);
+            x[(r, c)] = if anomalous { base * 8.0 + 10.0 } else { base };
+        }
+    }
+    (Dataset::new(x), truth)
+}
+
+/// Cohort-structured asset behaviour: `n_assets` assets in `n_cohorts`
+/// behavioural groups; each asset contributes a feature vector of behaviour
+/// statistics. Returns `(dataset, truth)` where `truth[i]` is the cohort id.
+pub fn cohort_data(
+    n_assets: usize,
+    n_cohorts: usize,
+    d: usize,
+    seed: u64,
+) -> (Dataset, Vec<usize>) {
+    assert!(n_cohorts >= 2, "need at least two cohorts");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..n_cohorts)
+        .map(|_| (0..d).map(|_| rng.gen_range(-6.0..6.0)).collect())
+        .collect();
+    let mut x = Matrix::zeros(n_assets, d);
+    let mut truth = Vec::with_capacity(n_assets);
+    for r in 0..n_assets {
+        let cohort = r % n_cohorts;
+        truth.push(cohort);
+        for c in 0..d {
+            x[(r, c)] = centers[cohort][c] + 0.8 * randn(&mut rng);
+        }
+    }
+    (Dataset::new(x), truth)
+}
+
+/// Root-cause data: outcome driven by a *known* subset of actionable factors;
+/// returns `(dataset, causal_indices)`. Factors outside the causal set are
+/// pure noise — RCA must rank the causal ones on top.
+pub fn root_cause_data(n: usize, d: usize, n_causal: usize, seed: u64) -> (Dataset, Vec<usize>) {
+    assert!(n_causal <= d, "cannot have more causal factors than features");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut causal: Vec<usize> = (0..d).collect();
+    // deterministic shuffle for the causal subset
+    for i in (1..causal.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        causal.swap(i, j);
+    }
+    causal.truncate(n_causal);
+    causal.sort_unstable();
+    let weights: Vec<f64> = (0..n_causal).map(|i| 2.0 + i as f64).collect();
+    let mut x = Matrix::zeros(n, d);
+    let mut y = Vec::with_capacity(n);
+    for r in 0..n {
+        for c in 0..d {
+            x[(r, c)] = randn(&mut rng);
+        }
+        let mut t = 0.0;
+        for (k, &c) in causal.iter().enumerate() {
+            t += weights[k] * x[(r, c)];
+        }
+        y.push(t + 0.2 * randn(&mut rng));
+    }
+    let ds = Dataset::new(x).with_target(y).expect("target length matches by construction");
+    (ds, causal)
+}
+
+/// Right-censored asset failure times (§II's "censored data"): failure
+/// times are exponential with the given mean; assets still alive at
+/// `study_end` are censored there. Returns `(durations, observed)`.
+///
+/// # Panics
+///
+/// Panics if `mean_lifetime` or `study_end` is non-positive.
+pub fn failure_times(
+    n_assets: usize,
+    mean_lifetime: f64,
+    study_end: f64,
+    seed: u64,
+) -> (Vec<f64>, Vec<bool>) {
+    assert!(mean_lifetime > 0.0 && study_end > 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut durations = Vec::with_capacity(n_assets);
+    let mut observed = Vec::with_capacity(n_assets);
+    for _ in 0..n_assets {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let t = -mean_lifetime * u.ln(); // exponential draw
+        if t <= study_end {
+            durations.push(t);
+            observed.push(true);
+        } else {
+            durations.push(study_end);
+            observed.push(false);
+        }
+    }
+    (durations, observed)
+}
+
+/// Convenience: a Bernoulli(p) draw usable by callers composing generators.
+pub fn bernoulli(rng: &mut StdRng, p: f64) -> bool {
+    rand::distributions::Bernoulli::new(p.clamp(0.0, 1.0))
+        .map(|d| d.sample(rng))
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_linalg::stats;
+
+    #[test]
+    fn linear_regression_reproducible_and_shaped() {
+        let a = linear_regression(30, 3, 0.1, 5);
+        let b = linear_regression(30, 3, 0.1, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.n_samples(), 30);
+        assert_eq!(a.n_features(), 3);
+        let c = linear_regression(30, 3, 0.1, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn friedman_requires_five_features() {
+        let ds = friedman1(40, 7, 0.5, 2);
+        assert_eq!(ds.n_features(), 7);
+        let result = std::panic::catch_unwind(|| friedman1(10, 4, 0.5, 2));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn badly_scaled_has_wide_scales() {
+        let ds = badly_scaled_regression(100, 7, 0.1, 3);
+        let ranges: Vec<f64> = (0..7).map(|c| stats::std_dev(&ds.features().col(c))).collect();
+        let max = ranges.iter().cloned().fold(0.0f64, f64::max);
+        let min = ranges.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 1e4, "scales must differ by orders of magnitude");
+    }
+
+    #[test]
+    fn blobs_have_labels_and_separation() {
+        let ds = classification_blobs(90, 2, 3, 0.3, 7);
+        let classes = ds.classes().unwrap();
+        assert_eq!(classes, vec![0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn imbalanced_minority_fraction() {
+        let ds = imbalanced_binary(2000, 3, 0.05, 11);
+        let pos = ds.target().unwrap().iter().filter(|&&v| v == 1.0).count();
+        let frac = pos as f64 / 2000.0;
+        assert!(frac > 0.02 && frac < 0.09, "positive fraction {frac} out of band");
+    }
+
+    #[test]
+    fn inject_missing_fraction() {
+        let ds = linear_regression(100, 5, 0.1, 1);
+        let holed = inject_missing(&ds, 0.1, 2);
+        let frac = holed.missing_count() as f64 / 500.0;
+        assert!(frac > 0.05 && frac < 0.16);
+        // target untouched
+        assert_eq!(holed.target().unwrap(), ds.target().unwrap());
+    }
+
+    #[test]
+    fn trend_seasonal_is_autocorrelated() {
+        let s = trend_seasonal_series(500, 24.0, 0.2, 3);
+        assert!(stats::autocorrelation(&s, 1) > 0.8);
+    }
+
+    #[test]
+    fn random_walk_diffs_are_noise() {
+        let s = random_walk(1000, 1.0, 4);
+        let diffs: Vec<f64> = s.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(stats::autocorrelation(&diffs, 1).abs() < 0.15);
+    }
+
+    #[test]
+    fn ar2_stationary_required() {
+        let s = ar2_series(300, 0.5, 0.3, 1.0, 5);
+        assert_eq!(s.len(), 300);
+        assert!(std::panic::catch_unwind(|| ar2_series(10, 0.9, 0.5, 1.0, 5)).is_err());
+    }
+
+    #[test]
+    fn sensors_shape() {
+        let m = multivariate_sensors(200, 4, 6);
+        assert_eq!(m.shape(), (200, 4));
+    }
+
+    #[test]
+    fn failure_data_has_both_classes_and_rising_temperature() {
+        let ds = failure_prediction_data(30, 120, 10, 8);
+        let y = ds.target().unwrap();
+        let pos = y.iter().filter(|&&v| v == 1.0).count();
+        assert!(pos > 0 && pos < y.len());
+        assert_eq!(ds.feature_names()[0], "temperature");
+        // temperature for failing rows should exceed that of healthy rows on average
+        let t = ds.features().col(0);
+        let mean_pos = stats::mean(
+            &t.iter().zip(y).filter(|(_, &l)| l == 1.0).map(|(v, _)| *v).collect::<Vec<_>>(),
+        );
+        let mean_neg = stats::mean(
+            &t.iter().zip(y).filter(|(_, &l)| l == 0.0).map(|(v, _)| *v).collect::<Vec<_>>(),
+        );
+        assert!(mean_pos > mean_neg);
+    }
+
+    #[test]
+    fn anomaly_truth_matches_fraction() {
+        let (ds, truth) = anomaly_data(1000, 3, 0.05, 9);
+        assert_eq!(ds.n_samples(), 1000);
+        let frac = truth.iter().filter(|&&t| t).count() as f64 / 1000.0;
+        assert!(frac > 0.02 && frac < 0.09);
+    }
+
+    #[test]
+    fn cohorts_balanced() {
+        let (ds, truth) = cohort_data(60, 3, 4, 10);
+        assert_eq!(ds.n_samples(), 60);
+        for k in 0..3 {
+            assert_eq!(truth.iter().filter(|&&c| c == k).count(), 20);
+        }
+    }
+
+    #[test]
+    fn failure_times_censoring_behaviour() {
+        let (durations, observed) = failure_times(500, 50.0, 60.0, 17);
+        assert_eq!(durations.len(), 500);
+        // censored entries sit exactly at the study end
+        for (d, o) in durations.iter().zip(&observed) {
+            if !o {
+                assert_eq!(*d, 60.0);
+            } else {
+                assert!(*d <= 60.0);
+            }
+        }
+        // with mean 50 and cutoff 60, a solid fraction is censored
+        let censored = observed.iter().filter(|&&o| !o).count() as f64 / 500.0;
+        assert!(censored > 0.15 && censored < 0.5, "censored fraction {censored}");
+    }
+
+    #[test]
+    fn root_cause_indices_valid() {
+        let (ds, causal) = root_cause_data(200, 10, 3, 12);
+        assert_eq!(causal.len(), 3);
+        assert!(causal.iter().all(|&c| c < 10));
+        assert_eq!(ds.n_features(), 10);
+        // causal features correlate with the target; noise features don't
+        let y = ds.target().unwrap();
+        let c0 = stats::pearson(&ds.features().col(causal[0]), y).abs();
+        let noise_idx = (0..10).find(|i| !causal.contains(i)).unwrap();
+        let cn = stats::pearson(&ds.features().col(noise_idx), y).abs();
+        assert!(c0 > cn);
+    }
+}

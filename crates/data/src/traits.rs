@@ -1,0 +1,407 @@
+//! The component contract of the Transformer-Estimator Graph.
+//!
+//! Every node in a graph performs one of two operation kinds (paper §IV):
+//! a **Transform** (`fit` over a collection, then `transform` items) or an
+//! **Estimate** (`fit` over a collection producing a trained model, then
+//! `predict`). These traits capture exactly that contract, plus the
+//! `node__param` external-parameter mechanism of Listing 1.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::dataset::{Dataset, DatasetError};
+
+/// The modelling task a component (or graph) addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// Predict a continuous value.
+    Regression,
+    /// Predict a class label.
+    Classification,
+    /// Forecast future values of a time series.
+    Forecasting,
+}
+
+impl fmt::Display for TaskKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskKind::Regression => write!(f, "regression"),
+            TaskKind::Classification => write!(f, "classification"),
+            TaskKind::Forecasting => write!(f, "forecasting"),
+        }
+    }
+}
+
+/// A parameter value settable on a component via the `node__param` convention.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Floating point parameter.
+    F64(f64),
+    /// Integer parameter.
+    I64(i64),
+    /// Boolean parameter.
+    Bool(bool),
+    /// String parameter.
+    Str(String),
+}
+
+impl ParamValue {
+    /// The value as `f64`, converting integers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            ParamValue::F64(v) => Some(*v),
+            ParamValue::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64`, truncating floats that are exactly integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            ParamValue::I64(v) => Some(*v),
+            ParamValue::F64(v) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `usize` if non-negative integral.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_i64().and_then(|v| usize::try_from(v).ok())
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ParamValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ParamValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::F64(v)
+    }
+}
+
+impl From<i64> for ParamValue {
+    fn from(v: i64) -> Self {
+        ParamValue::I64(v)
+    }
+}
+
+impl From<usize> for ParamValue {
+    fn from(v: usize) -> Self {
+        ParamValue::I64(v as i64)
+    }
+}
+
+impl From<bool> for ParamValue {
+    fn from(v: bool) -> Self {
+        ParamValue::Bool(v)
+    }
+}
+
+impl From<&str> for ParamValue {
+    fn from(v: &str) -> Self {
+        ParamValue::Str(v.to_string())
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::F64(v) => write!(f, "{v}"),
+            ParamValue::I64(v) => write!(f, "{v}"),
+            ParamValue::Bool(v) => write!(f, "{v}"),
+            ParamValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An ordered map of parameter name → value.
+///
+/// Keys follow the sklearn-style convention of the paper: a bare name like
+/// `n_components` when addressed to a component directly, or a qualified
+/// `pca__n_components` when addressed to a named node of a graph.
+pub type Params = BTreeMap<String, ParamValue>;
+
+/// Splits a qualified `node__param` key into `(node, param)`, if qualified.
+///
+/// # Examples
+///
+/// ```
+/// use coda_data::traits::split_param_key;
+/// assert_eq!(split_param_key("pca__n_components"), Some(("pca", "n_components")));
+/// assert_eq!(split_param_key("n_components"), None);
+/// ```
+pub fn split_param_key(key: &str) -> Option<(&str, &str)> {
+    key.split_once("__")
+}
+
+/// Error produced by component fitting, transforming or predicting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ComponentError {
+    /// The component has not been fitted yet.
+    NotFitted(String),
+    /// A parameter name is unknown to the component.
+    UnknownParam {
+        /// Component name.
+        component: String,
+        /// Offending parameter name.
+        param: String,
+    },
+    /// A parameter value is invalid.
+    InvalidParam {
+        /// Component name.
+        component: String,
+        /// Parameter name.
+        param: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// Input data is unusable for this component.
+    InvalidInput(String),
+    /// Underlying dataset error.
+    Dataset(DatasetError),
+    /// Numerical failure during fitting.
+    Numerical(String),
+}
+
+impl fmt::Display for ComponentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComponentError::NotFitted(name) => write!(f, "component {name} is not fitted"),
+            ComponentError::UnknownParam { component, param } => {
+                write!(f, "component {component} has no parameter {param}")
+            }
+            ComponentError::InvalidParam { component, param, reason } => {
+                write!(f, "invalid value for {component}.{param}: {reason}")
+            }
+            ComponentError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ComponentError::Dataset(e) => write!(f, "dataset error: {e}"),
+            ComponentError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ComponentError {}
+
+impl From<DatasetError> for ComponentError {
+    fn from(e: DatasetError) -> Self {
+        ComponentError::Dataset(e)
+    }
+}
+
+/// A Transform-type AI function (paper §IV): learns state from a collection
+/// (`fit`) and rewrites data items (`transform`).
+///
+/// Implementations must be cheap to clone via [`Transformer::clone_box`] so a
+/// graph can be re-fitted per cross-validation fold.
+pub trait Transformer: Send + Sync {
+    /// Stable component name (e.g. `"standard_scaler"`).
+    fn name(&self) -> &str;
+
+    /// Fits internal state on `data`.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; see each component.
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError>;
+
+    /// Rewrites `data` using the fitted state.
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::NotFitted`] when called before [`Transformer::fit`].
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError>;
+
+    /// Fits then transforms in one step (the internal-node training operation
+    /// of Fig. 5).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Transformer::fit`] and [`Transformer::transform`].
+    fn fit_transform(&mut self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        self.fit(data)?;
+        self.transform(data)
+    }
+
+    /// Sets a parameter by bare name.
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::UnknownParam`] or [`ComponentError::InvalidParam`].
+    fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
+        let _ = value;
+        Err(ComponentError::UnknownParam {
+            component: self.name().to_string(),
+            param: param.to_string(),
+        })
+    }
+
+    /// A fresh unfitted clone.
+    fn clone_box(&self) -> BoxedTransformer;
+}
+
+/// Boxed transformer trait object.
+pub type BoxedTransformer = Box<dyn Transformer>;
+
+impl Clone for BoxedTransformer {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// An Estimate-type AI function (paper §IV): trains a model on a collection
+/// (`fit`) and predicts values for data items (`predict`).
+pub trait Estimator: Send + Sync {
+    /// Stable component name (e.g. `"random_forest"`).
+    fn name(&self) -> &str;
+
+    /// The task kind this estimator addresses.
+    fn task(&self) -> TaskKind;
+
+    /// Trains the model on `data` (features + target).
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::Dataset`] if the target is missing; otherwise
+    /// implementation-specific.
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError>;
+
+    /// Predicts a value per sample of `data`.
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::NotFitted`] when called before [`Estimator::fit`].
+    fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError>;
+
+    /// Sets a parameter by bare name.
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::UnknownParam`] or [`ComponentError::InvalidParam`].
+    fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
+        let _ = value;
+        Err(ComponentError::UnknownParam {
+            component: self.name().to_string(),
+            param: param.to_string(),
+        })
+    }
+
+    /// Feature importances (same length as feature count), if the model kind
+    /// supports them. Used for interpretability / root-cause analysis (§II).
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// A fresh unfitted clone.
+    fn clone_box(&self) -> BoxedEstimator;
+}
+
+/// Boxed estimator trait object.
+pub type BoxedEstimator = Box<dyn Estimator>;
+
+impl Clone for BoxedEstimator {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// A no-operation transformer: passes data through untouched.
+///
+/// The paper's graphs use `NoOp()` to let a stage be skipped (Listing 1).
+#[derive(Debug, Clone, Default)]
+pub struct NoOp;
+
+impl NoOp {
+    /// Creates a new no-op transformer.
+    pub fn new() -> Self {
+        NoOp
+    }
+}
+
+impl Transformer for NoOp {
+    fn name(&self) -> &str {
+        "noop"
+    }
+
+    fn fit(&mut self, _data: &Dataset) -> Result<(), ComponentError> {
+        Ok(())
+    }
+
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        Ok(data.clone())
+    }
+
+    fn clone_box(&self) -> BoxedTransformer {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_linalg::Matrix;
+
+    #[test]
+    fn param_value_conversions() {
+        assert_eq!(ParamValue::from(2.5).as_f64(), Some(2.5));
+        assert_eq!(ParamValue::from(3i64).as_f64(), Some(3.0));
+        assert_eq!(ParamValue::from(3.0).as_i64(), Some(3));
+        assert_eq!(ParamValue::from(3.5).as_i64(), None);
+        assert_eq!(ParamValue::from(7usize).as_usize(), Some(7));
+        assert_eq!(ParamValue::from(-1i64).as_usize(), None);
+        assert_eq!(ParamValue::from(true).as_bool(), Some(true));
+        assert_eq!(ParamValue::from("abc").as_str(), Some("abc"));
+        assert_eq!(ParamValue::from("abc").as_f64(), None);
+    }
+
+    #[test]
+    fn split_param_key_variants() {
+        assert_eq!(split_param_key("pca__n_components"), Some(("pca", "n_components")));
+        assert_eq!(split_param_key("plain"), None);
+        // sklearn convention: first "__" splits node from param
+        assert_eq!(split_param_key("a__b__c"), Some(("a", "b__c")));
+    }
+
+    #[test]
+    fn noop_roundtrip() {
+        let ds = Dataset::new(Matrix::from_rows(&[&[1.0], &[2.0]]));
+        let mut op = NoOp::new();
+        let out = op.fit_transform(&ds).unwrap();
+        assert_eq!(out, ds);
+        assert_eq!(op.name(), "noop");
+    }
+
+    #[test]
+    fn default_set_param_is_unknown() {
+        let mut op = NoOp::new();
+        let err = Transformer::set_param(&mut op, "zzz", ParamValue::from(1.0)).unwrap_err();
+        assert!(matches!(err, ComponentError::UnknownParam { .. }));
+    }
+
+    #[test]
+    fn boxed_clone_works() {
+        let op: BoxedTransformer = Box::new(NoOp::new());
+        let cloned = op.clone();
+        assert_eq!(cloned.name(), "noop");
+    }
+
+    #[test]
+    fn display_impls_nonempty() {
+        assert_eq!(TaskKind::Regression.to_string(), "regression");
+        assert_eq!(ParamValue::from(2i64).to_string(), "2");
+        let e = ComponentError::NotFitted("pca".into());
+        assert!(e.to_string().contains("pca"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Matrix decompositions: LU (with partial pivoting), Cholesky, QR.
+
+use crate::matrix::{Matrix, MatrixError};
+
+const SINGULARITY_EPS: f64 = 1e-12;
+
+/// Solves `a * x = b` for square `a` using LU decomposition with partial
+/// pivoting.
+///
+/// # Errors
+///
+/// [`MatrixError::ShapeMismatch`] if `a` is not square or `b` has the wrong
+/// length; [`MatrixError::Singular`] if a pivot is (numerically) zero.
+///
+/// # Examples
+///
+/// ```
+/// use coda_linalg::{lu_solve, Matrix};
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// assert_eq!(lu_solve(&a, &[2.0, 3.0]).unwrap(), vec![3.0, 2.0]);
+/// ```
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MatrixError::ShapeMismatch { left: a.shape(), right: a.shape() });
+    }
+    if b.len() != n {
+        return Err(MatrixError::ShapeMismatch { left: a.shape(), right: (b.len(), 1) });
+    }
+    let mut lu = a.clone();
+    let mut x = b.to_vec();
+    // scale reference for the singularity test
+    let scale = lu.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+    for k in 0..n {
+        // pivot
+        let mut p = k;
+        let mut max = lu[(k, k)].abs();
+        for r in (k + 1)..n {
+            let v = lu[(r, k)].abs();
+            if v > max {
+                max = v;
+                p = r;
+            }
+        }
+        if max <= SINGULARITY_EPS * scale {
+            return Err(MatrixError::Singular);
+        }
+        if p != k {
+            for c in 0..n {
+                let tmp = lu[(k, c)];
+                lu[(k, c)] = lu[(p, c)];
+                lu[(p, c)] = tmp;
+            }
+            x.swap(k, p);
+        }
+        let pivot = lu[(k, k)];
+        for r in (k + 1)..n {
+            let f = lu[(r, k)] / pivot;
+            if f == 0.0 {
+                continue;
+            }
+            lu[(r, k)] = 0.0;
+            for c in (k + 1)..n {
+                let v = lu[(k, c)];
+                lu[(r, c)] -= f * v;
+            }
+            x[r] -= f * x[k];
+        }
+    }
+    // back substitution
+    for k in (0..n).rev() {
+        let mut s = x[k];
+        for c in (k + 1)..n {
+            s -= lu[(k, c)] * x[c];
+        }
+        x[k] = s / lu[(k, k)];
+    }
+    Ok(x)
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix: returns
+/// lower-triangular `L` with `a = L * Lᵀ`.
+///
+/// # Errors
+///
+/// [`MatrixError::ShapeMismatch`] if `a` is not square;
+/// [`MatrixError::NotPositiveDefinite`] if a diagonal pivot is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use coda_linalg::{cholesky, Matrix};
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let l = cholesky(&a).unwrap();
+/// let rebuilt = l.matmul(&l.transpose()).unwrap();
+/// assert!((&rebuilt - &a).frobenius_norm() < 1e-12);
+/// ```
+pub fn cholesky(a: &Matrix) -> Result<Matrix, MatrixError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MatrixError::ShapeMismatch { left: a.shape(), right: a.shape() });
+    }
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s <= 0.0 {
+                    return Err(MatrixError::NotPositiveDefinite);
+                }
+                l[(i, j)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `a x = b` for symmetric positive-definite `a` via Cholesky.
+///
+/// # Errors
+///
+/// Propagates [`cholesky`] errors, plus [`MatrixError::ShapeMismatch`] for a
+/// wrong-length `b`.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+    let l = cholesky(a)?;
+    let n = l.rows();
+    if b.len() != n {
+        return Err(MatrixError::ShapeMismatch { left: a.shape(), right: (b.len(), 1) });
+    }
+    // forward solve L y = b
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * y[k];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // back solve Lᵀ x = y
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Thin QR factorization via modified Gram-Schmidt: `a = Q * R` with
+/// `Q` (m x n, orthonormal columns) and `R` (n x n, upper triangular).
+///
+/// # Errors
+///
+/// [`MatrixError::Singular`] if a column is (numerically) linearly dependent
+/// on earlier columns.
+pub fn qr(a: &Matrix) -> Result<(Matrix, Matrix), MatrixError> {
+    let (m, n) = a.shape();
+    let mut q = a.clone();
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..j {
+            let mut dotv = 0.0;
+            for k in 0..m {
+                dotv += q[(k, i)] * q[(k, j)];
+            }
+            r[(i, j)] = dotv;
+            for k in 0..m {
+                let v = q[(k, i)];
+                q[(k, j)] -= dotv * v;
+            }
+        }
+        let mut norm = 0.0;
+        for k in 0..m {
+            norm += q[(k, j)] * q[(k, j)];
+        }
+        let norm = norm.sqrt();
+        if norm <= SINGULARITY_EPS {
+            return Err(MatrixError::Singular);
+        }
+        r[(j, j)] = norm;
+        for k in 0..m {
+            q[(k, j)] /= norm;
+        }
+    }
+    Ok((q, r))
+}
+
+/// Least-squares solve of `a x ≈ b` (m ≥ n) via QR.
+///
+/// # Errors
+///
+/// Propagates [`qr`] errors, plus [`MatrixError::ShapeMismatch`] for a
+/// wrong-length `b`.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+    let (m, n) = a.shape();
+    if b.len() != m {
+        return Err(MatrixError::ShapeMismatch { left: a.shape(), right: (b.len(), 1) });
+    }
+    let (q, r) = qr(a)?;
+    // qtb = Qᵀ b
+    let mut qtb = vec![0.0; n];
+    for j in 0..n {
+        let mut s = 0.0;
+        for k in 0..m {
+            s += q[(k, j)] * b[k];
+        }
+        qtb[j] = s;
+    }
+    // back solve R x = qtb
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = qtb[i];
+        for k in (i + 1)..n {
+            s -= r[(i, k)] * x[k];
+        }
+        x[i] = s / r[(i, i)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_solve_pivoting_needed() {
+        let a = Matrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+        let x = lu_solve(&a, &[4.0, 3.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_rejects_nonsquare() {
+        let a = Matrix::zeros(2, 3);
+        assert!(lu_solve(&a, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]);
+        let l = cholesky(&a).unwrap();
+        let r = l.matmul(&l.transpose()).unwrap();
+        assert!((&r - &a).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert_eq!(cholesky(&a).unwrap_err(), MatrixError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+        let b = [1.0, 2.0];
+        let x1 = cholesky_solve(&a, &b).unwrap();
+        let x2 = lu_solve(&a, &b).unwrap();
+        assert!((x1[0] - x2[0]).abs() < 1e-12);
+        assert!((x1[1] - x2[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_orthonormal_and_reconstructs() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let (q, r) = qr(&a).unwrap();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!((&qtq - &Matrix::identity(2)).frobenius_norm() < 1e-10);
+        let back = q.matmul(&r).unwrap();
+        assert!((&back - &a).frobenius_norm() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_exact_fit() {
+        // y = 2x + 1 through augmented design [1, x]
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+        let b = [1.0, 3.0, 5.0];
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lstsq_overdetermined_minimizes() {
+        // noisy y = x; residual of solution must be <= residual of slope 0.9/1.1
+        let a = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let b = [0.1, 0.9, 2.1, 2.9];
+        let x = lstsq(&a, &b).unwrap();
+        let resid = |s: f64| -> f64 {
+            (0..4).map(|i| (b[i] - s * a[(i, 0)]).powi(2)).sum()
+        };
+        assert!(resid(x[0]) <= resid(0.9) + 1e-12);
+        assert!(resid(x[0]) <= resid(1.1) + 1e-12);
+    }
+}

@@ -1,0 +1,149 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+
+use crate::matrix::{Matrix, MatrixError};
+
+/// Result of a symmetric eigendecomposition.
+///
+/// Eigenpairs are sorted by descending eigenvalue; `vectors` holds the
+/// eigenvectors as **columns** (so `vectors.col(i)` pairs with `values[i]`).
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, same order as `values`.
+    pub vectors: Matrix,
+}
+
+/// Eigendecomposition of a symmetric matrix by cyclic Jacobi rotations.
+///
+/// # Errors
+///
+/// [`MatrixError::ShapeMismatch`] if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use coda_linalg::{symmetric_eigen, Matrix};
+/// let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 1.0]]);
+/// let e = symmetric_eigen(&a).unwrap();
+/// assert!((e.values[0] - 2.0).abs() < 1e-10);
+/// assert!((e.values[1] - 1.0).abs() < 1e-10);
+/// ```
+pub fn symmetric_eigen(a: &Matrix) -> Result<Eigen, MatrixError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MatrixError::ShapeMismatch { left: a.shape(), right: a.shape() });
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        // off-diagonal magnitude
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += m[(i, j)] * m[(i, j)];
+            }
+        }
+        if off.sqrt() < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // rotate rows/cols p,q of m
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let mut idx: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f64> = idx.iter().map(|&i| diag[i]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_c, &old_c) in idx.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_c)] = v[(r, old_c)];
+        }
+    }
+    Ok(Eigen { values, vectors })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // eigenvector for 3 is (1,1)/sqrt(2) up to sign
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, 0.2], &[0.5, 0.2, 2.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        // A = V diag(w) Vᵀ
+        let mut d = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            d[(i, i)] = e.values[i];
+        }
+        let rec = e.vectors.matmul(&d).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        assert!((&rec - &a).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn vectors_orthonormal() {
+        let a = Matrix::from_rows(&[&[5.0, 2.0], &[2.0, 1.0]]);
+        let e = symmetric_eigen(&a).unwrap();
+        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        assert!((&vtv - &Matrix::identity(2)).frobenius_norm() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_nonsquare() {
+        assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Dense linear-algebra kernels used throughout `coda`.
+//!
+//! This crate is deliberately small and dependency-free: it provides the
+//! row-major [`Matrix`] type plus the decompositions the ML stack needs
+//! (Cholesky, LU, QR, symmetric eigendecomposition) and a handful of
+//! vector/statistics helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use coda_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+//! let x = a.solve(&[4.0, 9.0]).unwrap();
+//! assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
+//! ```
+
+pub mod decomp;
+pub mod eigen;
+pub mod matrix;
+pub mod stats;
+
+pub use decomp::{cholesky, cholesky_solve, lstsq, lu_solve, qr};
+pub use eigen::{symmetric_eigen, Eigen};
+pub use matrix::{Matrix, MatrixError};
+pub use stats::{dot, mean, median, mode_value, norm2, percentile, std_dev, variance};

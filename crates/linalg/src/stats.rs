@@ -1,0 +1,211 @@
+//! Scalar/vector statistics helpers shared by the ML stack.
+//!
+//! All helpers skip NaN-free preconditions: callers are expected to have
+//! removed or imputed missing values first, except where documented.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return 0.0;
+    }
+    a.iter().sum::<f64>() / a.len() as f64
+}
+
+/// Sample variance (divides by `n-1`); `0.0` when fewer than two values.
+pub fn variance(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (a.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(a: &[f64]) -> f64 {
+    variance(a).sqrt()
+}
+
+/// Median; `0.0` for an empty slice.
+pub fn median(a: &[f64]) -> f64 {
+    percentile(a, 50.0)
+}
+
+/// Linear-interpolated percentile `p` in `[0, 100]`; `0.0` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(a: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be within [0, 100]");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = a.to_vec();
+    v.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = rank - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Most frequent value (mode), comparing by bit pattern; `None` for empty input.
+///
+/// Ties are broken toward the smallest value for determinism.
+pub fn mode_value(a: &[f64]) -> Option<f64> {
+    if a.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = a.to_vec();
+    v.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let mut best = v[0];
+    let mut best_count = 1usize;
+    let mut cur = v[0];
+    let mut count = 1usize;
+    for &x in &v[1..] {
+        if x == cur {
+            count += 1;
+        } else {
+            cur = x;
+            count = 1;
+        }
+        if count > best_count {
+            best_count = count;
+            best = cur;
+        }
+    }
+    Some(best)
+}
+
+/// Pearson correlation coefficient of two equal-length slices; `0.0` when a
+/// slice has zero variance.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        num += (x - ma) * (y - mb);
+        da += (x - ma) * (x - ma);
+        db += (y - mb) * (y - mb);
+    }
+    if da == 0.0 || db == 0.0 {
+        return 0.0;
+    }
+    num / (da.sqrt() * db.sqrt())
+}
+
+/// Autocorrelation of `a` at the given lag; `0.0` if the lag leaves fewer
+/// than two points or the series is constant.
+pub fn autocorrelation(a: &[f64], lag: usize) -> f64 {
+    if lag >= a.len() || a.len() - lag < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    let denom: f64 = a.iter().map(|x| (x - m) * (x - m)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..a.len() - lag).map(|i| (a[i] - m) * (a[i + lag] - m)).sum();
+    num / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_variance_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((variance(&v) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&v) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(mode_value(&[]), None);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 100.0), 40.0);
+        assert!((percentile(&v, 25.0) - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_rejects_out_of_range() {
+        percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn mode_prefers_most_frequent_then_smallest() {
+        assert_eq!(mode_value(&[1.0, 2.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(mode_value(&[3.0, 1.0]), Some(1.0)); // tie -> smallest
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let x = [1.0, 2.0, 3.0];
+        assert!((pearson(&x, &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&x, &[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_behaviour() {
+        // strongly positively autocorrelated ramp
+        let ramp: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert!(autocorrelation(&ramp, 1) > 0.9);
+        // alternating series is negatively autocorrelated at lag 1
+        let alt: Vec<f64> = (0..50).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&alt, 1) < -0.9);
+        assert_eq!(autocorrelation(&ramp, 100), 0.0);
+    }
+}

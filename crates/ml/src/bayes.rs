@@ -1,0 +1,206 @@
+//! Gaussian naive Bayes classification.
+
+use coda_data::{BoxedEstimator, ComponentError, Dataset, Estimator, TaskKind};
+
+/// Per-class Gaussian parameters.
+#[derive(Debug, Clone)]
+struct ClassModel {
+    label: f64,
+    log_prior: f64,
+    means: Vec<f64>,
+    vars: Vec<f64>,
+}
+
+/// Gaussian naive Bayes: per-class per-feature normal likelihoods with a
+/// variance floor for numerical stability.
+///
+/// # Examples
+///
+/// ```
+/// use coda_data::{synth, Estimator};
+/// use coda_ml::GaussianNb;
+///
+/// let ds = synth::classification_blobs(200, 3, 2, 0.5, 8);
+/// let mut nb = GaussianNb::new();
+/// nb.fit(&ds)?;
+/// let acc = coda_data::metrics::accuracy(ds.target().unwrap(), &nb.predict(&ds)?)?;
+/// assert!(acc > 0.9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    classes: Vec<ClassModel>,
+}
+
+impl GaussianNb {
+    /// Creates an unfitted Gaussian naive Bayes classifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-class log joint likelihoods for each sample (one inner vec per
+    /// sample, ordered as the fitted classes).
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::NotFitted`] before fitting.
+    pub fn log_likelihoods(&self, data: &Dataset) -> Result<Vec<Vec<f64>>, ComponentError> {
+        if self.classes.is_empty() {
+            return Err(ComponentError::NotFitted(self.name().to_string()));
+        }
+        if self.classes[0].means.len() != data.n_features() {
+            return Err(ComponentError::InvalidInput(format!(
+                "model fitted on {} features, input has {}",
+                self.classes[0].means.len(),
+                data.n_features()
+            )));
+        }
+        let ln_2pi = (2.0 * std::f64::consts::PI).ln();
+        Ok(data
+            .features()
+            .iter_rows()
+            .map(|row| {
+                self.classes
+                    .iter()
+                    .map(|cm| {
+                        let mut ll = cm.log_prior;
+                        for ((x, m), v) in row.iter().zip(&cm.means).zip(&cm.vars) {
+                            ll += -0.5 * (ln_2pi + v.ln() + (x - m) * (x - m) / v);
+                        }
+                        ll
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+impl Estimator for GaussianNb {
+    fn name(&self) -> &str {
+        "gaussian_nb"
+    }
+
+    fn task(&self) -> TaskKind {
+        TaskKind::Classification
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let y = data.target_required()?;
+        if data.n_samples() == 0 {
+            return Err(ComponentError::InvalidInput("empty dataset".to_string()));
+        }
+        let labels = data.classes()?;
+        let n = data.n_samples() as f64;
+        let x = data.features();
+        // variance floor proportional to the largest feature variance
+        let mut max_var = 0.0f64;
+        for c in 0..x.cols() {
+            max_var = max_var.max(coda_linalg::variance(&x.col(c)));
+        }
+        let floor = (1e-9 * max_var).max(1e-12);
+        self.classes = labels
+            .into_iter()
+            .map(|label| {
+                let idx: Vec<usize> =
+                    (0..y.len()).filter(|&i| y[i] == label).collect();
+                let sub = data.select(&idx);
+                let sx = sub.features();
+                let means = sx.column_means();
+                let vars: Vec<f64> = (0..sx.cols())
+                    .map(|c| coda_linalg::variance(&sx.col(c)).max(floor))
+                    .collect();
+                ClassModel {
+                    label,
+                    log_prior: (idx.len() as f64 / n).ln(),
+                    means,
+                    vars,
+                }
+            })
+            .collect();
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
+        let lls = self.log_likelihoods(data)?;
+        Ok(lls
+            .into_iter()
+            .map(|row| {
+                let mut best = 0usize;
+                for (i, v) in row.iter().enumerate() {
+                    if *v > row[best] {
+                        best = i;
+                    }
+                }
+                self.classes[best].label
+            })
+            .collect())
+    }
+
+    fn clone_box(&self) -> BoxedEstimator {
+        Box::new(GaussianNb::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_data::{metrics, synth};
+
+    #[test]
+    fn separates_blobs_multiclass() {
+        let ds = synth::classification_blobs(300, 3, 4, 0.5, 61);
+        let (train, test) = ds.train_test_split(0.3, 10);
+        let mut nb = GaussianNb::new();
+        nb.fit(&train).unwrap();
+        let pred = nb.predict(&test).unwrap();
+        assert!(metrics::accuracy(test.target().unwrap(), &pred).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn priors_affect_decisions() {
+        // overlapping classes, 90/10 imbalance: bayes should favour majority
+        let ds = synth::imbalanced_binary(1000, 2, 0.1, 62);
+        let mut nb = GaussianNb::new();
+        nb.fit(&ds).unwrap();
+        let pred = nb.predict(&ds).unwrap();
+        let pred_pos = pred.iter().filter(|&&v| v == 1.0).count();
+        let true_pos = ds.target().unwrap().iter().filter(|&&v| v == 1.0).count();
+        // predicted positives should be in the same ballpark as the truth,
+        // not half the dataset
+        assert!(pred_pos < true_pos * 3);
+    }
+
+    #[test]
+    fn log_likelihoods_finite_with_constant_feature() {
+        let base = synth::classification_blobs(60, 2, 2, 0.5, 63);
+        // append a constant column (zero variance)
+        let ones = coda_linalg::Matrix::filled(60, 1, 1.0);
+        let x = base.features().hstack(&ones).unwrap();
+        let ds = base.replace_features(x);
+        let mut nb = GaussianNb::new();
+        nb.fit(&ds).unwrap();
+        let lls = nb.log_likelihoods(&ds).unwrap();
+        assert!(lls.iter().flatten().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn errors() {
+        let ds = synth::classification_blobs(30, 2, 2, 0.5, 64);
+        assert!(GaussianNb::new().predict(&ds).is_err());
+        let mut nb = GaussianNb::new();
+        nb.fit(&ds).unwrap();
+        let other = synth::classification_blobs(10, 5, 2, 0.5, 64);
+        assert!(nb.predict(&other).is_err());
+    }
+
+    #[test]
+    fn predictions_are_training_labels() {
+        let ds = synth::classification_blobs(90, 2, 3, 0.4, 65);
+        let mut nb = GaussianNb::new();
+        nb.fit(&ds).unwrap();
+        let classes = ds.classes().unwrap();
+        for p in nb.predict(&ds).unwrap() {
+            assert!(classes.contains(&p));
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Random forests (bagged CART trees with feature subsampling) — the
+//! "Random Forest" of Fig. 3 and Table I.
+
+use coda_data::{BoxedEstimator, ComponentError, Dataset, Estimator, ParamValue, TaskKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tree::{DecisionTreeClassifier, DecisionTreeRegressor};
+
+fn bootstrap_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Number of features to consider per split: `round(sqrt(d))`, at least 1.
+fn default_max_features(d: usize) -> usize {
+    (d as f64).sqrt().round().max(1.0) as usize
+}
+
+macro_rules! forest {
+    ($name:ident, $tree:ident, $display:expr, $task:expr, $agg:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            n_trees: usize,
+            max_depth: usize,
+            seed: u64,
+            trees: Vec<$tree>,
+            n_features: usize,
+        }
+
+        impl $name {
+            /// Creates a forest of `n_trees` trees (depth limit 12).
+            ///
+            /// # Panics
+            ///
+            /// Panics if `n_trees == 0`.
+            pub fn new(n_trees: usize) -> Self {
+                assert!(n_trees > 0, "n_trees must be positive");
+                $name { n_trees, max_depth: 12, seed: 42, trees: Vec::new(), n_features: 0 }
+            }
+
+            /// Sets the per-tree depth limit.
+            pub fn with_max_depth(mut self, depth: usize) -> Self {
+                self.max_depth = depth;
+                self
+            }
+
+            /// Sets the bootstrap seed.
+            pub fn with_seed(mut self, seed: u64) -> Self {
+                self.seed = seed;
+                self
+            }
+
+            /// Number of fitted trees.
+            pub fn n_fitted_trees(&self) -> usize {
+                self.trees.len()
+            }
+        }
+
+        impl Estimator for $name {
+            fn name(&self) -> &str {
+                $display
+            }
+
+            fn task(&self) -> TaskKind {
+                $task
+            }
+
+            fn set_param(
+                &mut self,
+                param: &str,
+                value: ParamValue,
+            ) -> Result<(), ComponentError> {
+                let as_pos = |v: &ParamValue| v.as_usize().filter(|&x| x > 0);
+                match param {
+                    "n_trees" | "n_estimators" => {
+                        self.n_trees = as_pos(&value).ok_or_else(|| {
+                            ComponentError::InvalidParam {
+                                component: $display.to_string(),
+                                param: param.to_string(),
+                                reason: "must be a positive integer".to_string(),
+                            }
+                        })?;
+                        Ok(())
+                    }
+                    "max_depth" => {
+                        self.max_depth = as_pos(&value).ok_or_else(|| {
+                            ComponentError::InvalidParam {
+                                component: $display.to_string(),
+                                param: param.to_string(),
+                                reason: "must be a positive integer".to_string(),
+                            }
+                        })?;
+                        Ok(())
+                    }
+                    _ => Err(ComponentError::UnknownParam {
+                        component: self.name().to_string(),
+                        param: param.to_string(),
+                    }),
+                }
+            }
+
+            fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+                data.target_required()?;
+                if data.n_samples() == 0 {
+                    return Err(ComponentError::InvalidInput("empty dataset".to_string()));
+                }
+                let mut rng = StdRng::seed_from_u64(self.seed);
+                let k = default_max_features(data.n_features());
+                self.trees.clear();
+                self.n_features = data.n_features();
+                for t in 0..self.n_trees {
+                    let mut tree = $tree::new()
+                        .with_max_depth(self.max_depth)
+                        .with_max_features(k)
+                        .with_seed(self.seed.wrapping_add(t as u64).wrapping_mul(2654435761));
+                    let idx = bootstrap_indices(data.n_samples(), &mut rng);
+                    tree.fit_on_indices(data, idx)?;
+                    self.trees.push(tree);
+                }
+                Ok(())
+            }
+
+            fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
+                if self.trees.is_empty() {
+                    return Err(ComponentError::NotFitted(self.name().to_string()));
+                }
+                let per_tree: Vec<Vec<f64>> = self
+                    .trees
+                    .iter()
+                    .map(|t| t.predict(data))
+                    .collect::<Result<_, _>>()?;
+                let n = data.n_samples();
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    let votes: Vec<f64> = per_tree.iter().map(|p| p[i]).collect();
+                    out.push($agg(&votes));
+                }
+                Ok(out)
+            }
+
+            fn feature_importances(&self) -> Option<Vec<f64>> {
+                if self.trees.is_empty() {
+                    return None;
+                }
+                let mut acc = vec![0.0; self.n_features];
+                for t in &self.trees {
+                    if let Some(imp) = t.feature_importances() {
+                        for (a, v) in acc.iter_mut().zip(imp) {
+                            *a += v;
+                        }
+                    }
+                }
+                let total: f64 = acc.iter().sum();
+                if total > 0.0 {
+                    acc.iter_mut().for_each(|v| *v /= total);
+                }
+                Some(acc)
+            }
+
+            fn clone_box(&self) -> BoxedEstimator {
+                let mut fresh = $name::new(self.n_trees);
+                fresh.max_depth = self.max_depth;
+                fresh.seed = self.seed;
+                Box::new(fresh)
+            }
+        }
+    };
+}
+
+fn mean_vote(votes: &[f64]) -> f64 {
+    votes.iter().sum::<f64>() / votes.len() as f64
+}
+
+fn majority_vote(votes: &[f64]) -> f64 {
+    let mut counts = std::collections::BTreeMap::new();
+    for v in votes {
+        *counts.entry(v.to_bits()).or_insert(0usize) += 1;
+    }
+    counts
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(&bits, _)| f64::from_bits(bits))
+        .unwrap_or(0.0)
+}
+
+forest!(
+    RandomForestRegressor,
+    DecisionTreeRegressor,
+    "random_forest_regressor",
+    TaskKind::Regression,
+    mean_vote,
+    "Bagged regression forest averaging per-tree predictions.\n\n\
+     # Examples\n\n\
+     ```\n\
+     use coda_data::{synth, Estimator};\n\
+     use coda_ml::RandomForestRegressor;\n\
+     let ds = synth::friedman1(300, 5, 0.3, 5);\n\
+     let mut rf = RandomForestRegressor::new(20);\n\
+     rf.fit(&ds)?;\n\
+     assert_eq!(rf.predict(&ds)?.len(), 300);\n\
+     # Ok::<(), Box<dyn std::error::Error>>(())\n\
+     ```"
+);
+
+forest!(
+    RandomForestClassifier,
+    DecisionTreeClassifier,
+    "random_forest_classifier",
+    TaskKind::Classification,
+    majority_vote,
+    "Bagged classification forest with per-tree majority vote."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_data::{metrics, synth};
+
+    #[test]
+    fn forest_beats_single_tree_on_noisy_data() {
+        let ds = synth::friedman1(600, 8, 1.0, 31);
+        let (train, test) = ds.train_test_split(0.3, 5);
+        let mut tree = crate::tree::DecisionTreeRegressor::new().with_max_depth(12);
+        tree.fit(&train).unwrap();
+        let tree_r2 =
+            metrics::r2(test.target().unwrap(), &tree.predict(&test).unwrap()).unwrap();
+        let mut rf = RandomForestRegressor::new(30).with_seed(1);
+        rf.fit(&train).unwrap();
+        let rf_r2 = metrics::r2(test.target().unwrap(), &rf.predict(&test).unwrap()).unwrap();
+        assert!(
+            rf_r2 > tree_r2,
+            "forest ({rf_r2:.3}) should beat a single deep tree ({tree_r2:.3})"
+        );
+    }
+
+    #[test]
+    fn classifier_majority_vote_on_blobs() {
+        let ds = synth::classification_blobs(300, 3, 3, 0.6, 32);
+        let (train, test) = ds.train_test_split(0.3, 6);
+        let mut rf = RandomForestClassifier::new(15);
+        rf.fit(&train).unwrap();
+        let pred = rf.predict(&test).unwrap();
+        assert!(metrics::accuracy(test.target().unwrap(), &pred).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = synth::friedman1(200, 5, 0.5, 33);
+        let mut a = RandomForestRegressor::new(10).with_seed(7);
+        let mut b = RandomForestRegressor::new(10).with_seed(7);
+        a.fit(&ds).unwrap();
+        b.fit(&ds).unwrap();
+        assert_eq!(a.predict(&ds).unwrap(), b.predict(&ds).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ds = synth::friedman1(200, 5, 0.5, 34);
+        let mut a = RandomForestRegressor::new(10).with_seed(1);
+        let mut b = RandomForestRegressor::new(10).with_seed(2);
+        a.fit(&ds).unwrap();
+        b.fit(&ds).unwrap();
+        assert_ne!(a.predict(&ds).unwrap(), b.predict(&ds).unwrap());
+    }
+
+    #[test]
+    fn importances_sum_to_one() {
+        let ds = synth::friedman1(300, 6, 0.3, 35);
+        let mut rf = RandomForestRegressor::new(10);
+        rf.fit(&ds).unwrap();
+        let imp = rf.feature_importances().unwrap();
+        assert_eq!(imp.len(), 6);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn params_and_not_fitted() {
+        let mut rf = RandomForestRegressor::new(5);
+        rf.set_param("n_estimators", ParamValue::from(8usize)).unwrap();
+        rf.set_param("max_depth", ParamValue::from(4usize)).unwrap();
+        assert!(rf.set_param("n_trees", ParamValue::from(0usize)).is_err());
+        assert!(rf.set_param("zzz", ParamValue::from(1usize)).is_err());
+        let ds = synth::friedman1(50, 5, 0.1, 36);
+        assert!(RandomForestRegressor::new(3).predict(&ds).is_err());
+    }
+
+    #[test]
+    fn tree_count_tracked() {
+        let ds = synth::friedman1(100, 5, 0.3, 37);
+        let mut rf = RandomForestRegressor::new(7);
+        assert_eq!(rf.n_fitted_trees(), 0);
+        rf.fit(&ds).unwrap();
+        assert_eq!(rf.n_fitted_trees(), 7);
+    }
+}

@@ -1,0 +1,316 @@
+//! Kernel PCA (the "kernal-PCA" of Table I): nonlinear feature
+//! transformation by eigendecomposition of a centred kernel matrix.
+
+use coda_data::{BoxedTransformer, ComponentError, Dataset, ParamValue, Transformer};
+use coda_linalg::{symmetric_eigen, Matrix};
+
+/// Kernel function used by [`KernelPca`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Radial basis function `exp(-gamma * ||x - y||²)`.
+    Rbf {
+        /// Width parameter (> 0).
+        gamma: f64,
+    },
+    /// Polynomial `(xᵀy + c)^degree`.
+    Polynomial {
+        /// Degree (≥ 1).
+        degree: u32,
+        /// Offset.
+        c: f64,
+    },
+}
+
+impl Kernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self {
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                (-gamma * d2).exp()
+            }
+            Kernel::Polynomial { degree, c } => {
+                let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+                (dot + c).powi(*degree as i32)
+            }
+        }
+    }
+}
+
+/// Kernel PCA with double-centring and alpha normalization; `transform`
+/// projects new points via the kernel against the training rows.
+///
+/// # Examples
+///
+/// ```
+/// use coda_data::{Dataset, Transformer};
+/// use coda_linalg::Matrix;
+/// use coda_ml::{Kernel, KernelPca};
+///
+/// // points on two concentric circles become separable along the first
+/// // RBF kernel component
+/// let mut rows = Vec::new();
+/// for i in 0..40 {
+///     let a = i as f64 * 0.157;
+///     let r = if i % 2 == 0 { 1.0 } else { 4.0 };
+///     rows.push(vec![r * a.cos(), r * a.sin()]);
+/// }
+/// let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+/// let ds = Dataset::new(Matrix::from_rows(&refs));
+/// let mut kpca = KernelPca::new(2, Kernel::Rbf { gamma: 0.5 });
+/// let out = kpca.fit_transform(&ds)?;
+/// assert_eq!(out.n_features(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct KernelPca {
+    n_components: usize,
+    kernel: Kernel,
+    train: Option<Matrix>,
+    /// Dual coefficients: n_train x k, already scaled by 1/sqrt(lambda).
+    alphas: Option<Matrix>,
+    /// Per-training-row kernel means (for centring new points).
+    row_means: Option<Vec<f64>>,
+    total_mean: f64,
+}
+
+impl KernelPca {
+    /// Creates a kernel PCA keeping `n_components` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_components == 0` or kernel parameters are invalid.
+    pub fn new(n_components: usize, kernel: Kernel) -> Self {
+        assert!(n_components > 0, "n_components must be positive");
+        if let Kernel::Rbf { gamma } = kernel {
+            assert!(gamma > 0.0, "gamma must be positive");
+        }
+        if let Kernel::Polynomial { degree, .. } = kernel {
+            assert!(degree >= 1, "degree must be >= 1");
+        }
+        KernelPca {
+            n_components,
+            kernel,
+            train: None,
+            alphas: None,
+            row_means: None,
+            total_mean: 0.0,
+        }
+    }
+}
+
+impl Transformer for KernelPca {
+    fn name(&self) -> &str {
+        "kernel_pca"
+    }
+
+    fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
+        let bad = |reason: &str| ComponentError::InvalidParam {
+            component: "kernel_pca".to_string(),
+            param: param.to_string(),
+            reason: reason.to_string(),
+        };
+        match param {
+            "n_components" => {
+                self.n_components = value
+                    .as_usize()
+                    .filter(|&k| k > 0)
+                    .ok_or_else(|| bad("must be a positive integer"))?;
+                Ok(())
+            }
+            "gamma" => match &mut self.kernel {
+                Kernel::Rbf { gamma } => {
+                    *gamma = value
+                        .as_f64()
+                        .filter(|&g| g > 0.0)
+                        .ok_or_else(|| bad("must be positive"))?;
+                    Ok(())
+                }
+                _ => Err(bad("gamma only applies to the rbf kernel")),
+            },
+            _ => Err(ComponentError::UnknownParam {
+                component: self.name().to_string(),
+                param: param.to_string(),
+            }),
+        }
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let x = data.features();
+        let n = x.rows();
+        if n < 2 {
+            return Err(ComponentError::InvalidInput(
+                "kernel pca needs at least two samples".to_string(),
+            ));
+        }
+        // kernel matrix
+        let mut k = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let v = self.kernel.eval(x.row(i), x.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        // double centring: Kc = K - 1K - K1 + 1K1
+        let row_means: Vec<f64> =
+            (0..n).map(|i| k.row(i).iter().sum::<f64>() / n as f64).collect();
+        let total_mean = row_means.iter().sum::<f64>() / n as f64;
+        let mut kc = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                kc[(i, j)] = k[(i, j)] - row_means[i] - row_means[j] + total_mean;
+            }
+        }
+        let eig = symmetric_eigen(&kc)
+            .map_err(|e| ComponentError::Numerical(format!("kernel eigen failed: {e}")))?;
+        let kcomp = self.n_components.min(n);
+        let mut alphas = Matrix::zeros(n, kcomp);
+        for c in 0..kcomp {
+            let lambda = eig.values[c].max(1e-12);
+            let scale = 1.0 / lambda.sqrt();
+            for r in 0..n {
+                alphas[(r, c)] = eig.vectors[(r, c)] * scale;
+            }
+        }
+        self.train = Some(x.clone());
+        self.alphas = Some(alphas);
+        self.row_means = Some(row_means);
+        self.total_mean = total_mean;
+        Ok(())
+    }
+
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let (train, alphas, row_means) = match (&self.train, &self.alphas, &self.row_means) {
+            (Some(t), Some(a), Some(m)) => (t, a, m),
+            _ => return Err(ComponentError::NotFitted(self.name().to_string())),
+        };
+        if train.cols() != data.n_features() {
+            return Err(ComponentError::InvalidInput(format!(
+                "kernel pca fitted on {} features, input has {}",
+                train.cols(),
+                data.n_features()
+            )));
+        }
+        let x = data.features();
+        let n_train = train.rows();
+        let mut projected = Matrix::zeros(x.rows(), alphas.cols());
+        for (r, row) in x.iter_rows().enumerate() {
+            // kernel vector against training rows, centred
+            let kvec: Vec<f64> =
+                (0..n_train).map(|i| self.kernel.eval(row, train.row(i))).collect();
+            let kmean = kvec.iter().sum::<f64>() / n_train as f64;
+            for c in 0..alphas.cols() {
+                let mut acc = 0.0;
+                for i in 0..n_train {
+                    let centred = kvec[i] - kmean - row_means[i] + self.total_mean;
+                    acc += centred * alphas[(i, c)];
+                }
+                projected[(r, c)] = acc;
+            }
+        }
+        Ok(data.replace_features(projected))
+    }
+
+    fn clone_box(&self) -> BoxedTransformer {
+        Box::new(KernelPca::new(self.n_components, self.kernel))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two concentric rings: linearly inseparable, RBF-kernel separable.
+    fn rings(n_per: usize) -> (Dataset, Vec<f64>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..2 * n_per {
+            let angle = i as f64 * std::f64::consts::PI * 2.0 / n_per as f64;
+            let (r, label) = if i % 2 == 0 { (1.0, 0.0) } else { (5.0, 1.0) };
+            rows.push(vec![r * angle.cos(), r * angle.sin()]);
+            labels.push(label);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        (Dataset::new(Matrix::from_rows(&refs)), labels)
+    }
+
+    #[test]
+    fn rbf_separates_rings_where_linear_pca_cannot() {
+        let (ds, labels) = rings(60);
+        // linear PCA: both components mix the rings (projection of circles)
+        let mut lin = crate::Pca::new(1);
+        let lin_out = lin.fit_transform(&ds).unwrap();
+        let lin_sep = class_separation(&lin_out.features().col(0), &labels);
+        // kernel PCA: first component separates by radius
+        let mut kpca = KernelPca::new(1, Kernel::Rbf { gamma: 0.2 });
+        let k_out = kpca.fit_transform(&ds).unwrap();
+        let k_sep = class_separation(&k_out.features().col(0), &labels);
+        assert!(
+            k_sep > 3.0 * lin_sep,
+            "kernel separation {k_sep:.3} must dwarf linear {lin_sep:.3}"
+        );
+    }
+
+    /// |mean difference| / pooled std between the two label groups.
+    fn class_separation(values: &[f64], labels: &[f64]) -> f64 {
+        let a: Vec<f64> = values
+            .iter()
+            .zip(labels)
+            .filter(|(_, &l)| l == 0.0)
+            .map(|(v, _)| *v)
+            .collect();
+        let b: Vec<f64> = values
+            .iter()
+            .zip(labels)
+            .filter(|(_, &l)| l == 1.0)
+            .map(|(v, _)| *v)
+            .collect();
+        let pooled = (coda_linalg::variance(&a) + coda_linalg::variance(&b)).sqrt().max(1e-9);
+        (coda_linalg::mean(&a) - coda_linalg::mean(&b)).abs() / pooled
+    }
+
+    #[test]
+    fn transform_consistent_on_training_points() {
+        let (ds, _) = rings(30);
+        let mut kpca = KernelPca::new(2, Kernel::Rbf { gamma: 0.3 });
+        let fitted = kpca.fit_transform(&ds).unwrap();
+        let again = kpca.transform(&ds).unwrap();
+        for r in 0..fitted.n_samples() {
+            for c in 0..2 {
+                assert!((fitted.features()[(r, c)] - again.features()[(r, c)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn polynomial_kernel_runs() {
+        let (ds, _) = rings(20);
+        let mut kpca = KernelPca::new(2, Kernel::Polynomial { degree: 2, c: 1.0 });
+        let out = kpca.fit_transform(&ds).unwrap();
+        assert_eq!(out.n_features(), 2);
+        assert!(out.features().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn params_and_errors() {
+        let mut kpca = KernelPca::new(2, Kernel::Rbf { gamma: 1.0 });
+        kpca.set_param("n_components", ParamValue::from(3usize)).unwrap();
+        kpca.set_param("gamma", ParamValue::from(0.5)).unwrap();
+        assert!(kpca.set_param("gamma", ParamValue::from(-1.0)).is_err());
+        assert!(kpca.set_param("zzz", ParamValue::from(1.0)).is_err());
+        let mut poly = KernelPca::new(1, Kernel::Polynomial { degree: 2, c: 0.0 });
+        assert!(poly.set_param("gamma", ParamValue::from(0.5)).is_err());
+        let (ds, _) = rings(10);
+        assert!(KernelPca::new(1, Kernel::Rbf { gamma: 1.0 }).transform(&ds).is_err());
+        let one = ds.select(&[0]);
+        assert!(KernelPca::new(1, Kernel::Rbf { gamma: 1.0 }).fit(&one).is_err());
+    }
+
+    #[test]
+    fn components_capped_at_sample_count() {
+        let (ds, _) = rings(3); // 6 samples
+        let mut kpca = KernelPca::new(100, Kernel::Rbf { gamma: 0.1 });
+        let out = kpca.fit_transform(&ds).unwrap();
+        assert_eq!(out.n_features(), 6);
+    }
+}

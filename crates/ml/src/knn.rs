@@ -1,0 +1,220 @@
+//! k-nearest-neighbour regression and classification (the "k nearest
+//! neighbors" of §III).
+
+use coda_data::{BoxedEstimator, ComponentError, Dataset, Estimator, ParamValue, TaskKind};
+
+fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Returns the indices of the `k` nearest training rows to `row`.
+fn nearest(train: &coda_linalg::Matrix, row: &[f64], k: usize) -> Vec<usize> {
+    let mut dists: Vec<(f64, usize)> = train
+        .iter_rows()
+        .enumerate()
+        .map(|(i, r)| (euclidean(r, row), i))
+        .collect();
+    dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    dists.into_iter().take(k).map(|(_, i)| i).collect()
+}
+
+macro_rules! knn {
+    ($name:ident, $display:expr, $task:expr, $agg:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            k: usize,
+            train: Option<Dataset>,
+        }
+
+        impl $name {
+            /// Creates a k-NN model with `k` neighbours.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `k == 0`.
+            pub fn new(k: usize) -> Self {
+                assert!(k > 0, "k must be positive");
+                $name { k, train: None }
+            }
+        }
+
+        impl Estimator for $name {
+            fn name(&self) -> &str {
+                $display
+            }
+
+            fn task(&self) -> TaskKind {
+                $task
+            }
+
+            fn set_param(
+                &mut self,
+                param: &str,
+                value: ParamValue,
+            ) -> Result<(), ComponentError> {
+                match param {
+                    "k" | "n_neighbors" => {
+                        self.k = value.as_usize().filter(|&k| k > 0).ok_or_else(|| {
+                            ComponentError::InvalidParam {
+                                component: $display.to_string(),
+                                param: param.to_string(),
+                                reason: "must be a positive integer".to_string(),
+                            }
+                        })?;
+                        Ok(())
+                    }
+                    _ => Err(ComponentError::UnknownParam {
+                        component: self.name().to_string(),
+                        param: param.to_string(),
+                    }),
+                }
+            }
+
+            fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+                data.target_required()?;
+                if data.n_samples() == 0 {
+                    return Err(ComponentError::InvalidInput("empty dataset".to_string()));
+                }
+                self.train = Some(data.clone());
+                Ok(())
+            }
+
+            fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
+                let train = self
+                    .train
+                    .as_ref()
+                    .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+                if train.n_features() != data.n_features() {
+                    return Err(ComponentError::InvalidInput(format!(
+                        "model fitted on {} features, input has {}",
+                        train.n_features(),
+                        data.n_features()
+                    )));
+                }
+                let y = train.target_required()?;
+                let k = self.k.min(train.n_samples());
+                Ok(data
+                    .features()
+                    .iter_rows()
+                    .map(|row| {
+                        let ids = nearest(train.features(), row, k);
+                        let votes: Vec<f64> = ids.iter().map(|&i| y[i]).collect();
+                        $agg(&votes)
+                    })
+                    .collect())
+            }
+
+            fn clone_box(&self) -> BoxedEstimator {
+                Box::new($name::new(self.k))
+            }
+        }
+    };
+}
+
+fn mean_vote(votes: &[f64]) -> f64 {
+    votes.iter().sum::<f64>() / votes.len() as f64
+}
+
+fn majority_vote(votes: &[f64]) -> f64 {
+    let mut counts = std::collections::BTreeMap::new();
+    for v in votes {
+        *counts.entry(v.to_bits()).or_insert(0usize) += 1;
+    }
+    counts
+        .iter()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
+        .map(|(&bits, _)| f64::from_bits(bits))
+        .unwrap_or(0.0)
+}
+
+knn!(
+    KnnRegressor,
+    "knn_regressor",
+    TaskKind::Regression,
+    mean_vote,
+    "k-NN regressor: predicts the mean target of the k nearest training rows.\n\n\
+     # Examples\n\n\
+     ```\n\
+     use coda_data::{synth, Estimator};\n\
+     use coda_ml::KnnRegressor;\n\
+     let ds = synth::linear_regression(100, 2, 0.1, 4);\n\
+     let mut knn = KnnRegressor::new(3);\n\
+     knn.fit(&ds)?;\n\
+     assert_eq!(knn.predict(&ds)?.len(), 100);\n\
+     # Ok::<(), Box<dyn std::error::Error>>(())\n\
+     ```"
+);
+
+knn!(
+    KnnClassifier,
+    "knn_classifier",
+    TaskKind::Classification,
+    majority_vote,
+    "k-NN classifier: majority label of the k nearest training rows."
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_data::{metrics, synth};
+
+    #[test]
+    fn k1_memorizes_training_data() {
+        let ds = synth::linear_regression(80, 3, 0.5, 41);
+        let mut knn = KnnRegressor::new(1);
+        knn.fit(&ds).unwrap();
+        let pred = knn.predict(&ds).unwrap();
+        assert!(metrics::rmse(ds.target().unwrap(), &pred).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn regressor_generalizes_smooth_function() {
+        let ds = synth::friedman1(800, 5, 0.3, 42);
+        let (train, test) = ds.train_test_split(0.25, 7);
+        let mut knn = KnnRegressor::new(7);
+        knn.fit(&train).unwrap();
+        let pred = knn.predict(&test).unwrap();
+        assert!(metrics::r2(test.target().unwrap(), &pred).unwrap() > 0.6);
+    }
+
+    #[test]
+    fn classifier_on_blobs() {
+        let ds = synth::classification_blobs(200, 2, 2, 0.5, 43);
+        let (train, test) = ds.train_test_split(0.3, 8);
+        let mut knn = KnnClassifier::new(5);
+        knn.fit(&train).unwrap();
+        let pred = knn.predict(&test).unwrap();
+        assert!(metrics::accuracy(test.target().unwrap(), &pred).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn k_capped_at_training_size() {
+        let ds = synth::linear_regression(5, 2, 0.1, 44);
+        let mut knn = KnnRegressor::new(100);
+        knn.fit(&ds).unwrap();
+        let pred = knn.predict(&ds).unwrap();
+        // k = n -> every prediction is the global mean
+        let mean = coda_linalg::mean(ds.target().unwrap());
+        assert!(pred.iter().all(|p| (p - mean).abs() < 1e-12));
+    }
+
+    #[test]
+    fn errors() {
+        let ds = synth::linear_regression(10, 2, 0.1, 45);
+        assert!(KnnRegressor::new(3).predict(&ds).is_err()); // not fitted
+        let mut knn = KnnRegressor::new(3);
+        knn.fit(&ds).unwrap();
+        let other = synth::linear_regression(10, 4, 0.1, 45);
+        assert!(knn.predict(&other).is_err()); // feature mismatch
+        let no_target = coda_data::Dataset::new(coda_linalg::Matrix::zeros(4, 2));
+        assert!(KnnClassifier::new(1).fit(&no_target).is_err());
+    }
+
+    #[test]
+    fn set_param() {
+        let mut knn = KnnClassifier::new(3);
+        knn.set_param("n_neighbors", ParamValue::from(5usize)).unwrap();
+        assert!(knn.set_param("k", ParamValue::from(0usize)).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Linear discriminant analysis (the "LDA" of Table I): supervised
+//! dimensionality reduction maximizing between-class over within-class
+//! scatter.
+
+use coda_data::{BoxedTransformer, ComponentError, Dataset, ParamValue, Transformer};
+use coda_linalg::{symmetric_eigen, Matrix};
+
+/// Fisher LDA transformer: projects onto the top discriminant directions
+/// (at most `n_classes − 1`).
+///
+/// # Examples
+///
+/// ```
+/// use coda_data::{synth, Transformer};
+/// use coda_ml::Lda;
+///
+/// let ds = synth::classification_blobs(150, 5, 3, 0.5, 4);
+/// let mut lda = Lda::new(2);
+/// let out = lda.fit_transform(&ds)?;
+/// assert_eq!(out.n_features(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lda {
+    n_components: usize,
+    projection: Option<Matrix>, // d x k
+    means: Option<Vec<f64>>,
+}
+
+impl Lda {
+    /// Creates an LDA keeping `n_components` discriminants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_components == 0`.
+    pub fn new(n_components: usize) -> Self {
+        assert!(n_components > 0, "n_components must be positive");
+        Lda { n_components, projection: None, means: None }
+    }
+}
+
+impl Transformer for Lda {
+    fn name(&self) -> &str {
+        "lda"
+    }
+
+    fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
+        match param {
+            "n_components" => {
+                self.n_components = value.as_usize().filter(|&k| k > 0).ok_or_else(|| {
+                    ComponentError::InvalidParam {
+                        component: "lda".to_string(),
+                        param: param.to_string(),
+                        reason: "must be a positive integer".to_string(),
+                    }
+                })?;
+                Ok(())
+            }
+            _ => Err(ComponentError::UnknownParam {
+                component: self.name().to_string(),
+                param: param.to_string(),
+            }),
+        }
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let y = data.target_required()?;
+        let classes = data.classes()?;
+        if classes.len() < 2 {
+            return Err(ComponentError::InvalidInput(
+                "lda needs at least two classes".to_string(),
+            ));
+        }
+        let x = data.features();
+        let d = x.cols();
+        let n = x.rows() as f64;
+        let grand_mean = x.column_means();
+        // within-class scatter Sw and between-class scatter Sb
+        let mut sw = Matrix::zeros(d, d);
+        let mut sb = Matrix::zeros(d, d);
+        for class in &classes {
+            let idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == *class).collect();
+            if idx.len() < 2 {
+                continue;
+            }
+            let sub = x.select_rows(&idx);
+            let cmean = sub.column_means();
+            for row in sub.iter_rows() {
+                for i in 0..d {
+                    let di = row[i] - cmean[i];
+                    for j in 0..d {
+                        sw[(i, j)] += di * (row[j] - cmean[j]);
+                    }
+                }
+            }
+            let w = idx.len() as f64 / n;
+            for i in 0..d {
+                let di = cmean[i] - grand_mean[i];
+                for j in 0..d {
+                    sb[(i, j)] += w * di * (cmean[j] - grand_mean[j]);
+                }
+            }
+        }
+        // regularize Sw and solve the symmetrized problem:
+        // Sw^{-1/2} Sb Sw^{-1/2} via Sw^{-1} Sb eigen through a two-step:
+        // use M = Sw^{-1} Sb directly is non-symmetric; instead whiten with
+        // the eigen decomposition of Sw.
+        let scale = sw.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+        for i in 0..d {
+            sw[(i, i)] += 1e-8 * scale;
+        }
+        let sw_eig = symmetric_eigen(&sw)
+            .map_err(|e| ComponentError::Numerical(format!("lda Sw eigen failed: {e}")))?;
+        // W = V diag(1/sqrt(lambda)) Vᵀ  (Sw^{-1/2})
+        let mut dinv = Matrix::zeros(d, d);
+        for i in 0..d {
+            dinv[(i, i)] = 1.0 / sw_eig.values[i].max(1e-12).sqrt();
+        }
+        let whiten = sw_eig
+            .vectors
+            .matmul(&dinv)
+            .and_then(|m| m.matmul(&sw_eig.vectors.transpose()))
+            .map_err(|e| ComponentError::Numerical(e.to_string()))?;
+        let m = whiten
+            .matmul(&sb)
+            .and_then(|t| t.matmul(&whiten))
+            .map_err(|e| ComponentError::Numerical(e.to_string()))?;
+        let eig = symmetric_eigen(&m)
+            .map_err(|e| ComponentError::Numerical(format!("lda eigen failed: {e}")))?;
+        let k = self.n_components.min(classes.len() - 1).min(d);
+        let keep: Vec<usize> = (0..k).collect();
+        let directions = whiten
+            .matmul(&eig.vectors.select_cols(&keep))
+            .map_err(|e| ComponentError::Numerical(e.to_string()))?;
+        self.projection = Some(directions);
+        self.means = Some(grand_mean);
+        Ok(())
+    }
+
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let (proj, means) = match (&self.projection, &self.means) {
+            (Some(p), Some(m)) => (p, m),
+            _ => return Err(ComponentError::NotFitted(self.name().to_string())),
+        };
+        if means.len() != data.n_features() {
+            return Err(ComponentError::InvalidInput(format!(
+                "lda fitted on {} features, input has {}",
+                means.len(),
+                data.n_features()
+            )));
+        }
+        let x = data.features();
+        let mut centred = x.clone();
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                centred[(r, c)] -= means[c];
+            }
+        }
+        let projected =
+            centred.matmul(proj).map_err(|e| ComponentError::Numerical(e.to_string()))?;
+        Ok(data.replace_features(projected))
+    }
+
+    fn clone_box(&self) -> BoxedTransformer {
+        Box::new(Lda::new(self.n_components))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_data::{metrics, synth, Estimator};
+
+    #[test]
+    fn projection_separates_classes_better_than_pca() {
+        // blobs close along the max-variance direction but separated along
+        // a low-variance one: LDA must beat PCA at 1 component
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..200 {
+            let big = (i as f64 * 0.77).sin() * 10.0; // high-variance shared axis
+            let class = (i % 2) as f64;
+            let small = class * 2.0 + (i as f64 * 0.31).cos() * 0.3;
+            rows.push(vec![big, small]);
+            labels.push(class);
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let ds = Dataset::new(Matrix::from_rows(&refs)).with_target(labels).unwrap();
+        let mut lda = Lda::new(1);
+        let lda_out = lda.fit_transform(&ds).unwrap();
+        let mut pca = crate::Pca::new(1);
+        let pca_out = pca.fit_transform(&ds).unwrap();
+        let sep = |v: &[f64], y: &[f64]| {
+            let a: Vec<f64> =
+                v.iter().zip(y).filter(|(_, &l)| l == 0.0).map(|(x, _)| *x).collect();
+            let b: Vec<f64> =
+                v.iter().zip(y).filter(|(_, &l)| l == 1.0).map(|(x, _)| *x).collect();
+            (coda_linalg::mean(&a) - coda_linalg::mean(&b)).abs()
+                / (coda_linalg::std_dev(&a) + coda_linalg::std_dev(&b)).max(1e-9)
+        };
+        let y = ds.target().unwrap();
+        let lda_sep = sep(&lda_out.features().col(0), y);
+        let pca_sep = sep(&pca_out.features().col(0), y);
+        assert!(lda_sep > 5.0 * pca_sep, "lda {lda_sep:.3} vs pca {pca_sep:.3}");
+    }
+
+    #[test]
+    fn components_capped_at_classes_minus_one() {
+        let ds = synth::classification_blobs(120, 6, 3, 0.4, 5);
+        let mut lda = Lda::new(10);
+        let out = lda.fit_transform(&ds).unwrap();
+        assert_eq!(out.n_features(), 2); // 3 classes -> 2 discriminants
+    }
+
+    #[test]
+    fn improves_downstream_classifier_in_pipeline() {
+        let ds = synth::classification_blobs(300, 8, 4, 1.0, 6);
+        let (train, test) = ds.train_test_split(0.3, 1);
+        let mut lda = Lda::new(3);
+        let tr = lda.fit_transform(&train).unwrap();
+        let te = lda.transform(&test).unwrap();
+        let mut knn = crate::KnnClassifier::new(5);
+        knn.fit(&tr).unwrap();
+        let pred = knn.predict(&te).unwrap();
+        let acc = metrics::accuracy(te.target().unwrap(), &pred).unwrap();
+        assert!(acc > 0.85, "accuracy after LDA = {acc}");
+    }
+
+    #[test]
+    fn errors_and_params() {
+        let ds = synth::classification_blobs(40, 3, 2, 0.5, 7);
+        assert!(Lda::new(1).transform(&ds).is_err()); // unfitted
+        let no_target = Dataset::new(Matrix::zeros(10, 2));
+        assert!(Lda::new(1).fit(&no_target).is_err());
+        let single = Dataset::new(Matrix::zeros(4, 2)).with_target(vec![1.0; 4]).unwrap();
+        assert!(Lda::new(1).fit(&single).is_err()); // one class
+        let mut lda = Lda::new(1);
+        lda.set_param("n_components", ParamValue::from(2usize)).unwrap();
+        assert!(lda.set_param("n_components", ParamValue::from(0usize)).is_err());
+        assert!(lda.set_param("x", ParamValue::from(1usize)).is_err());
+    }
+}

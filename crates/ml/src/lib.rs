@@ -1,0 +1,52 @@
+//! Classical transformers and estimators for the `coda` stack.
+//!
+//! Everything here implements the [`coda_data::Transformer`] /
+//! [`coda_data::Estimator`] contract so it can be placed in a
+//! Transformer-Estimator Graph. The catalog covers the components the paper
+//! names in Table I, Fig. 3 and §III: scalers (standard / min-max / robust),
+//! PCA, SelectKBest, linear & ridge & logistic regression, k-NN, CART
+//! decision trees, random forests, gradient boosting and Gaussian naive
+//! Bayes, plus k-means for cohort analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use coda_data::{synth, Estimator};
+//! use coda_ml::LinearRegression;
+//!
+//! let ds = synth::linear_regression(200, 3, 0.01, 7);
+//! let mut lr = LinearRegression::new();
+//! lr.fit(&ds)?;
+//! let preds = lr.predict(&ds)?;
+//! let r2 = coda_data::metrics::r2(ds.target().unwrap(), &preds)?;
+//! assert!(r2 > 0.99);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod balance;
+pub mod bayes;
+pub mod boost;
+pub mod forest;
+pub mod kernel_pca;
+pub mod kmeans;
+pub mod knn;
+pub mod lda;
+pub mod linear;
+pub mod pca;
+pub mod scalers;
+pub mod select;
+pub mod tree;
+
+pub use balance::RandomOversampler;
+pub use bayes::GaussianNb;
+pub use boost::GradientBoostingRegressor;
+pub use forest::{RandomForestClassifier, RandomForestRegressor};
+pub use kernel_pca::{Kernel, KernelPca};
+pub use kmeans::KMeans;
+pub use knn::{KnnClassifier, KnnRegressor};
+pub use lda::Lda;
+pub use linear::{LinearRegression, LogisticRegression, RidgeRegression};
+pub use pca::Pca;
+pub use scalers::{MinMaxScaler, RobustScaler, StandardScaler};
+pub use select::{ScoreFunction, SelectKBest};
+pub use tree::{DecisionTreeClassifier, DecisionTreeRegressor};

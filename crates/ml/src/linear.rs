@@ -1,0 +1,471 @@
+//! Linear models: ordinary least squares, ridge regression and logistic
+//! regression.
+
+use coda_data::{BoxedEstimator, ComponentError, Dataset, Estimator, ParamValue, TaskKind};
+use coda_linalg::decomp::{cholesky_solve, lstsq};
+use coda_linalg::Matrix;
+
+fn design_with_intercept(data: &Dataset) -> Matrix {
+    let x = data.features();
+    let ones = Matrix::filled(x.rows(), 1, 1.0);
+    ones.hstack(x).expect("row counts match by construction")
+}
+
+/// Ordinary least-squares linear regression (QR-based).
+///
+/// # Examples
+///
+/// ```
+/// use coda_data::{synth, Estimator};
+/// use coda_ml::LinearRegression;
+///
+/// let ds = synth::linear_regression(100, 2, 0.0, 3);
+/// let mut lr = LinearRegression::new();
+/// lr.fit(&ds)?;
+/// let pred = lr.predict(&ds)?;
+/// assert!(coda_data::metrics::rmse(ds.target().unwrap(), &pred)? < 1e-8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    coef: Option<Vec<f64>>, // [intercept, w...]
+}
+
+impl LinearRegression {
+    /// Creates an unfitted OLS regressor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fitted `[intercept, w_0, …, w_{d-1}]`, if fitted.
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.coef.as_deref()
+    }
+}
+
+impl Estimator for LinearRegression {
+    fn name(&self) -> &str {
+        "linear_regression"
+    }
+
+    fn task(&self) -> TaskKind {
+        TaskKind::Regression
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let y = data.target_required()?;
+        let design = design_with_intercept(data);
+        if design.rows() < design.cols() {
+            return Err(ComponentError::InvalidInput(format!(
+                "need at least {} samples for {} features",
+                design.cols(),
+                data.n_features()
+            )));
+        }
+        let coef = lstsq(&design, y)
+            .map_err(|e| ComponentError::Numerical(format!("least squares failed: {e}")))?;
+        self.coef = Some(coef);
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
+        let coef = self
+            .coef
+            .as_ref()
+            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        if coef.len() != data.n_features() + 1 {
+            return Err(ComponentError::InvalidInput(format!(
+                "model fitted on {} features, input has {}",
+                coef.len() - 1,
+                data.n_features()
+            )));
+        }
+        let design = design_with_intercept(data);
+        design.matvec(coef).map_err(|e| ComponentError::Numerical(e.to_string()))
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        self.coef.as_ref().map(|c| c[1..].iter().map(|w| w.abs()).collect())
+    }
+
+    fn clone_box(&self) -> BoxedEstimator {
+        Box::new(LinearRegression::new())
+    }
+}
+
+/// Ridge regression: OLS with L2 penalty `alpha` on the weights (intercept
+/// unpenalized), solved via the normal equations with Cholesky.
+#[derive(Debug, Clone)]
+pub struct RidgeRegression {
+    alpha: f64,
+    coef: Option<Vec<f64>>,
+}
+
+impl RidgeRegression {
+    /// Creates a ridge regressor with penalty `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha < 0`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha >= 0.0, "alpha must be non-negative");
+        RidgeRegression { alpha, coef: None }
+    }
+
+    /// Fitted `[intercept, w…]`, if fitted.
+    pub fn coefficients(&self) -> Option<&[f64]> {
+        self.coef.as_deref()
+    }
+}
+
+impl Default for RidgeRegression {
+    fn default() -> Self {
+        RidgeRegression::new(1.0)
+    }
+}
+
+impl Estimator for RidgeRegression {
+    fn name(&self) -> &str {
+        "ridge_regression"
+    }
+
+    fn task(&self) -> TaskKind {
+        TaskKind::Regression
+    }
+
+    fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
+        match param {
+            "alpha" => {
+                self.alpha = value.as_f64().filter(|a| *a >= 0.0).ok_or_else(|| {
+                    ComponentError::InvalidParam {
+                        component: "ridge_regression".to_string(),
+                        param: param.to_string(),
+                        reason: "must be a non-negative number".to_string(),
+                    }
+                })?;
+                Ok(())
+            }
+            _ => Err(ComponentError::UnknownParam {
+                component: self.name().to_string(),
+                param: param.to_string(),
+            }),
+        }
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let y = data.target_required()?;
+        let design = design_with_intercept(data);
+        let mut gram = design.gram();
+        for i in 1..gram.rows() {
+            gram[(i, i)] += self.alpha;
+        }
+        // tiny jitter on the intercept keeps the system PD when alpha = 0
+        gram[(0, 0)] += 1e-10;
+        let xty = design.transpose().matvec(y).expect("shapes match by construction");
+        let coef = cholesky_solve(&gram, &xty)
+            .map_err(|e| ComponentError::Numerical(format!("ridge solve failed: {e}")))?;
+        self.coef = Some(coef);
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
+        let coef = self
+            .coef
+            .as_ref()
+            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        if coef.len() != data.n_features() + 1 {
+            return Err(ComponentError::InvalidInput(format!(
+                "model fitted on {} features, input has {}",
+                coef.len() - 1,
+                data.n_features()
+            )));
+        }
+        let design = design_with_intercept(data);
+        design.matvec(coef).map_err(|e| ComponentError::Numerical(e.to_string()))
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        self.coef.as_ref().map(|c| c[1..].iter().map(|w| w.abs()).collect())
+    }
+
+    fn clone_box(&self) -> BoxedEstimator {
+        Box::new(RidgeRegression::new(self.alpha))
+    }
+}
+
+/// Binary logistic regression trained by full-batch gradient descent with an
+/// L2 penalty. Labels must be `0.0` / `1.0`; `predict` returns hard labels,
+/// [`LogisticRegression::predict_proba`] returns probabilities.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    learning_rate: f64,
+    max_iter: usize,
+    l2: f64,
+    coef: Option<Vec<f64>>,
+}
+
+impl LogisticRegression {
+    /// Creates a logistic regressor with sensible defaults
+    /// (lr = 0.1, 500 iterations, l2 = 1e-4).
+    pub fn new() -> Self {
+        LogisticRegression { learning_rate: 0.1, max_iter: 500, l2: 1e-4, coef: None }
+    }
+
+    /// Probability of class 1 per sample.
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::NotFitted`] before fitting.
+    pub fn predict_proba(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
+        let coef = self
+            .coef
+            .as_ref()
+            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        if coef.len() != data.n_features() + 1 {
+            return Err(ComponentError::InvalidInput(format!(
+                "model fitted on {} features, input has {}",
+                coef.len() - 1,
+                data.n_features()
+            )));
+        }
+        let design = design_with_intercept(data);
+        let z = design.matvec(coef).map_err(|e| ComponentError::Numerical(e.to_string()))?;
+        Ok(z.into_iter().map(sigmoid).collect())
+    }
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Estimator for LogisticRegression {
+    fn name(&self) -> &str {
+        "logistic_regression"
+    }
+
+    fn task(&self) -> TaskKind {
+        TaskKind::Classification
+    }
+
+    fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
+        let pos = |v: &ParamValue| v.as_f64().filter(|x| *x > 0.0);
+        match param {
+            "learning_rate" => {
+                self.learning_rate =
+                    pos(&value).ok_or_else(|| ComponentError::InvalidParam {
+                        component: "logistic_regression".to_string(),
+                        param: param.to_string(),
+                        reason: "must be positive".to_string(),
+                    })?;
+                Ok(())
+            }
+            "max_iter" => {
+                self.max_iter = value.as_usize().filter(|&i| i > 0).ok_or_else(|| {
+                    ComponentError::InvalidParam {
+                        component: "logistic_regression".to_string(),
+                        param: param.to_string(),
+                        reason: "must be a positive integer".to_string(),
+                    }
+                })?;
+                Ok(())
+            }
+            "l2" => {
+                self.l2 = value.as_f64().filter(|x| *x >= 0.0).ok_or_else(|| {
+                    ComponentError::InvalidParam {
+                        component: "logistic_regression".to_string(),
+                        param: param.to_string(),
+                        reason: "must be non-negative".to_string(),
+                    }
+                })?;
+                Ok(())
+            }
+            _ => Err(ComponentError::UnknownParam {
+                component: self.name().to_string(),
+                param: param.to_string(),
+            }),
+        }
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let y = data.target_required()?;
+        if y.iter().any(|&v| v != 0.0 && v != 1.0) {
+            return Err(ComponentError::InvalidInput(
+                "logistic regression requires 0/1 labels".to_string(),
+            ));
+        }
+        let design = design_with_intercept(data);
+        let n = design.rows() as f64;
+        let d = design.cols();
+        let mut w = vec![0.0; d];
+        for _ in 0..self.max_iter {
+            let z = design.matvec(&w).expect("shapes match by construction");
+            let mut grad = vec![0.0; d];
+            for (i, row) in design.iter_rows().enumerate() {
+                let err = sigmoid(z[i]) - y[i];
+                for (g, &x) in grad.iter_mut().zip(row) {
+                    *g += err * x;
+                }
+            }
+            let mut max_step = 0.0f64;
+            for j in 0..d {
+                let reg = if j == 0 { 0.0 } else { self.l2 * w[j] };
+                let step = self.learning_rate * (grad[j] / n + reg);
+                w[j] -= step;
+                max_step = max_step.max(step.abs());
+            }
+            if max_step < 1e-9 {
+                break;
+            }
+        }
+        self.coef = Some(w);
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
+        Ok(self
+            .predict_proba(data)?
+            .into_iter()
+            .map(|p| if p >= 0.5 { 1.0 } else { 0.0 })
+            .collect())
+    }
+
+    fn feature_importances(&self) -> Option<Vec<f64>> {
+        self.coef.as_ref().map(|c| c[1..].iter().map(|w| w.abs()).collect())
+    }
+
+    fn clone_box(&self) -> BoxedEstimator {
+        let mut fresh = LogisticRegression::new();
+        fresh.learning_rate = self.learning_rate;
+        fresh.max_iter = self.max_iter;
+        fresh.l2 = self.l2;
+        Box::new(fresh)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_data::metrics;
+    use coda_data::synth;
+
+    #[test]
+    fn ols_recovers_exact_coefficients() {
+        let ds = synth::linear_regression(200, 4, 0.0, 11);
+        let mut lr = LinearRegression::new();
+        lr.fit(&ds).unwrap();
+        let pred = lr.predict(&ds).unwrap();
+        assert!(metrics::rmse(ds.target().unwrap(), &pred).unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn ols_generalizes_under_noise() {
+        let ds = synth::linear_regression(400, 3, 0.2, 12);
+        let (train, test) = ds.train_test_split(0.25, 1);
+        let mut lr = LinearRegression::new();
+        lr.fit(&train).unwrap();
+        let pred = lr.predict(&test).unwrap();
+        assert!(metrics::r2(test.target().unwrap(), &pred).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn ols_requires_target_and_enough_samples() {
+        let no_target = coda_data::Dataset::new(coda_linalg::Matrix::zeros(5, 2));
+        assert!(LinearRegression::new().fit(&no_target).is_err());
+        let tiny = synth::linear_regression(2, 5, 0.0, 1);
+        assert!(LinearRegression::new().fit(&tiny).is_err());
+    }
+
+    #[test]
+    fn ols_not_fitted_predict() {
+        let ds = synth::linear_regression(10, 2, 0.0, 1);
+        assert!(LinearRegression::new().predict(&ds).is_err());
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let ds = synth::linear_regression(100, 3, 0.1, 13);
+        let mut low = RidgeRegression::new(1e-6);
+        let mut high = RidgeRegression::new(1e4);
+        low.fit(&ds).unwrap();
+        high.fit(&ds).unwrap();
+        let norm = |c: &[f64]| c[1..].iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(high.coefficients().unwrap()) < norm(low.coefficients().unwrap()) / 10.0);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_features() {
+        // duplicate column -> OLS design is singular, ridge must still fit
+        let base = synth::linear_regression(50, 1, 0.05, 14);
+        let x = base.features().hstack(base.features()).unwrap();
+        let ds = base.replace_features(x);
+        let mut ridge = RidgeRegression::new(1.0);
+        ridge.fit(&ds).unwrap();
+        let pred = ridge.predict(&ds).unwrap();
+        assert!(metrics::r2(ds.target().unwrap(), &pred).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn ridge_param_setting() {
+        let mut r = RidgeRegression::default();
+        r.set_param("alpha", ParamValue::from(0.5)).unwrap();
+        assert!(r.set_param("alpha", ParamValue::from(-1.0)).is_err());
+        assert!(r.set_param("beta", ParamValue::from(1.0)).is_err());
+    }
+
+    #[test]
+    fn logistic_separates_blobs() {
+        let ds = synth::classification_blobs(200, 2, 2, 0.5, 15);
+        let (train, test) = ds.train_test_split(0.3, 2);
+        let mut clf = LogisticRegression::new();
+        clf.fit(&train).unwrap();
+        let pred = clf.predict(&test).unwrap();
+        assert!(metrics::accuracy(test.target().unwrap(), &pred).unwrap() > 0.95);
+        // probabilities in [0,1]
+        let probs = clf.predict_proba(&test).unwrap();
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn logistic_rejects_nonbinary_labels() {
+        let ds = synth::classification_blobs(30, 2, 3, 0.5, 16);
+        assert!(LogisticRegression::new().fit(&ds).is_err());
+    }
+
+    #[test]
+    fn logistic_params() {
+        let mut clf = LogisticRegression::new();
+        clf.set_param("learning_rate", ParamValue::from(0.05)).unwrap();
+        clf.set_param("max_iter", ParamValue::from(100usize)).unwrap();
+        clf.set_param("l2", ParamValue::from(0.0)).unwrap();
+        assert!(clf.set_param("max_iter", ParamValue::from(0usize)).is_err());
+        assert!(clf.set_param("nope", ParamValue::from(1.0)).is_err());
+    }
+
+    #[test]
+    fn sigmoid_stable_at_extremes() {
+        assert!(sigmoid(1000.0) <= 1.0);
+        assert!(sigmoid(-1000.0) >= 0.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn importances_match_weight_magnitudes() {
+        let ds = synth::linear_regression(100, 3, 0.01, 17);
+        let mut lr = LinearRegression::new();
+        lr.fit(&ds).unwrap();
+        let imp = lr.feature_importances().unwrap();
+        assert_eq!(imp.len(), 3);
+        assert!(imp.iter().all(|&v| v >= 0.0));
+    }
+}

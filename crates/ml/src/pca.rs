@@ -1,0 +1,208 @@
+//! Principal component analysis (the "covariance based PCA" of Fig. 3).
+
+use coda_data::{BoxedTransformer, ComponentError, Dataset, ParamValue, Transformer};
+use coda_linalg::{symmetric_eigen, Matrix};
+
+/// Covariance-based PCA: learns the top `n_components` principal directions
+/// during `fit` (the Estimate operation of §IV) and projects data onto them
+/// during `transform`.
+///
+/// # Examples
+///
+/// ```
+/// use coda_data::{Dataset, Transformer};
+/// use coda_linalg::Matrix;
+/// use coda_ml::Pca;
+///
+/// // 2-D data lying on the x=y line has one dominant component.
+/// let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0], &[4.0, 4.1]]);
+/// let mut pca = Pca::new(1);
+/// let out = pca.fit_transform(&Dataset::new(x))?;
+/// assert_eq!(out.n_features(), 1);
+/// assert!(pca.explained_variance_ratio().unwrap()[0] > 0.99);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pca {
+    n_components: usize,
+    means: Option<Vec<f64>>,
+    components: Option<Matrix>, // d x k, columns are principal directions
+    explained: Option<Vec<f64>>,
+}
+
+impl Pca {
+    /// Creates a PCA keeping `n_components` components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_components == 0`.
+    pub fn new(n_components: usize) -> Self {
+        assert!(n_components > 0, "n_components must be positive");
+        Pca { n_components, means: None, components: None, explained: None }
+    }
+
+    /// Fraction of total variance explained per kept component, if fitted.
+    pub fn explained_variance_ratio(&self) -> Option<&[f64]> {
+        self.explained.as_deref()
+    }
+
+    /// The fitted components (d x k), if fitted.
+    pub fn components(&self) -> Option<&Matrix> {
+        self.components.as_ref()
+    }
+}
+
+impl Transformer for Pca {
+    fn name(&self) -> &str {
+        "pca"
+    }
+
+    fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
+        match param {
+            "n_components" => {
+                self.n_components = value.as_usize().filter(|&k| k > 0).ok_or_else(|| {
+                    ComponentError::InvalidParam {
+                        component: "pca".to_string(),
+                        param: param.to_string(),
+                        reason: "must be a positive integer".to_string(),
+                    }
+                })?;
+                Ok(())
+            }
+            _ => Err(ComponentError::UnknownParam {
+                component: self.name().to_string(),
+                param: param.to_string(),
+            }),
+        }
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let x = data.features();
+        if x.rows() < 2 {
+            return Err(ComponentError::InvalidInput(
+                "pca needs at least two samples".to_string(),
+            ));
+        }
+        let k = self.n_components.min(x.cols());
+        let cov = x.covariance();
+        let eig = symmetric_eigen(&cov)
+            .map_err(|e| ComponentError::Numerical(format!("eigendecomposition failed: {e}")))?;
+        let total: f64 = eig.values.iter().map(|v| v.max(0.0)).sum();
+        let keep: Vec<usize> = (0..k).collect();
+        let components = eig.vectors.select_cols(&keep);
+        let explained: Vec<f64> = eig.values[..k]
+            .iter()
+            .map(|v| if total > 0.0 { v.max(0.0) / total } else { 0.0 })
+            .collect();
+        self.means = Some(x.column_means());
+        self.components = Some(components);
+        self.explained = Some(explained);
+        Ok(())
+    }
+
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let (means, comps) = match (&self.means, &self.components) {
+            (Some(m), Some(c)) => (m, c),
+            _ => return Err(ComponentError::NotFitted(self.name().to_string())),
+        };
+        if means.len() != data.n_features() {
+            return Err(ComponentError::InvalidInput(format!(
+                "pca fitted on {} features, input has {}",
+                means.len(),
+                data.n_features()
+            )));
+        }
+        let x = data.features();
+        let mut centered = x.clone();
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                centered[(r, c)] -= means[c];
+            }
+        }
+        let projected = centered
+            .matmul(comps)
+            .map_err(|e| ComponentError::Numerical(e.to_string()))?;
+        Ok(data.replace_features(projected))
+    }
+
+    fn clone_box(&self) -> BoxedTransformer {
+        Box::new(Pca::new(self.n_components))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_data::synth;
+
+    #[test]
+    fn reduces_dimensionality() {
+        let ds = synth::linear_regression(100, 5, 0.1, 3);
+        let mut pca = Pca::new(2);
+        let out = pca.fit_transform(&ds).unwrap();
+        assert_eq!(out.n_features(), 2);
+        assert_eq!(out.n_samples(), 100);
+        assert_eq!(out.target().unwrap().len(), 100);
+    }
+
+    #[test]
+    fn explained_variance_sums_to_one_when_all_kept() {
+        let ds = synth::linear_regression(100, 4, 0.1, 3);
+        let mut pca = Pca::new(4);
+        pca.fit(&ds).unwrap();
+        let total: f64 = pca.explained_variance_ratio().unwrap().iter().sum();
+        assert!((total - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn components_capped_at_feature_count() {
+        let ds = synth::linear_regression(50, 3, 0.1, 4);
+        let mut pca = Pca::new(10);
+        let out = pca.fit_transform(&ds).unwrap();
+        assert_eq!(out.n_features(), 3);
+    }
+
+    #[test]
+    fn first_component_has_max_variance() {
+        let ds = synth::linear_regression(200, 4, 0.1, 5);
+        let mut pca = Pca::new(4);
+        let out = pca.fit_transform(&ds).unwrap();
+        let vars: Vec<f64> =
+            (0..4).map(|c| coda_linalg::variance(&out.features().col(c))).collect();
+        for w in vars.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "component variances must be descending");
+        }
+    }
+
+    #[test]
+    fn projected_components_are_decorrelated() {
+        let ds = synth::linear_regression(300, 3, 0.1, 6);
+        let mut pca = Pca::new(3);
+        let out = pca.fit_transform(&ds).unwrap();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let corr = coda_linalg::stats::pearson(
+                    &out.features().col(i),
+                    &out.features().col(j),
+                );
+                assert!(corr.abs() < 1e-6, "components {i},{j} correlate: {corr}");
+            }
+        }
+    }
+
+    #[test]
+    fn set_param_n_components() {
+        let mut pca = Pca::new(1);
+        pca.set_param("n_components", ParamValue::from(3usize)).unwrap();
+        assert!(pca.set_param("n_components", ParamValue::from(0usize)).is_err());
+        assert!(pca.set_param("whatever", ParamValue::from(1usize)).is_err());
+    }
+
+    #[test]
+    fn not_fitted_and_too_small() {
+        let ds = synth::linear_regression(10, 2, 0.1, 1);
+        assert!(Pca::new(1).transform(&ds).is_err());
+        let one = ds.select(&[0]);
+        assert!(Pca::new(1).fit(&one).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Feature scalers: standard, min-max and robust (paper Fig. 3 / Table II).
+
+use coda_data::{BoxedTransformer, ComponentError, Dataset, Transformer};
+use coda_linalg::stats;
+
+/// Standardizes each feature to zero mean and unit variance.
+///
+/// Constant columns are left centred but unscaled (divisor 1), matching
+/// scikit-learn's behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use coda_data::{Dataset, Transformer};
+/// use coda_linalg::Matrix;
+/// use coda_ml::StandardScaler;
+///
+/// let ds = Dataset::new(Matrix::from_rows(&[&[0.0], &[10.0]]));
+/// let mut sc = StandardScaler::new();
+/// let out = sc.fit_transform(&ds)?;
+/// assert!((out.features()[(0, 0)] + out.features()[(1, 0)]).abs() < 1e-12);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StandardScaler {
+    means: Option<Vec<f64>>,
+    stds: Option<Vec<f64>>,
+}
+
+impl StandardScaler {
+    /// Creates an unfitted standard scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fitted per-column means, if fitted.
+    pub fn means(&self) -> Option<&[f64]> {
+        self.means.as_deref()
+    }
+
+    /// Inverse-transforms scaled features back to the original space.
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::NotFitted`] before fitting.
+    pub fn inverse_transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let (means, stds) = self.state()?;
+        let mut x = data.features().clone();
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                x[(r, c)] = x[(r, c)] * stds[c] + means[c];
+            }
+        }
+        Ok(data.replace_features(x))
+    }
+
+    fn state(&self) -> Result<(&[f64], &[f64]), ComponentError> {
+        match (&self.means, &self.stds) {
+            (Some(m), Some(s)) => Ok((m, s)),
+            _ => Err(ComponentError::NotFitted("standard_scaler".to_string())),
+        }
+    }
+}
+
+impl Transformer for StandardScaler {
+    fn name(&self) -> &str {
+        "standard_scaler"
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let x = data.features();
+        if x.rows() == 0 {
+            return Err(ComponentError::InvalidInput("empty dataset".to_string()));
+        }
+        let mut means = Vec::with_capacity(x.cols());
+        let mut stds = Vec::with_capacity(x.cols());
+        for c in 0..x.cols() {
+            let col = x.col(c);
+            means.push(stats::mean(&col));
+            let s = stats::std_dev(&col);
+            stds.push(if s == 0.0 { 1.0 } else { s });
+        }
+        self.means = Some(means);
+        self.stds = Some(stds);
+        Ok(())
+    }
+
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let (means, stds) = self.state()?;
+        if means.len() != data.n_features() {
+            return Err(ComponentError::InvalidInput(format!(
+                "scaler fitted on {} features, input has {}",
+                means.len(),
+                data.n_features()
+            )));
+        }
+        let mut x = data.features().clone();
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                x[(r, c)] = (x[(r, c)] - means[c]) / stds[c];
+            }
+        }
+        Ok(data.replace_features(x))
+    }
+
+    fn clone_box(&self) -> BoxedTransformer {
+        Box::new(StandardScaler::new())
+    }
+}
+
+/// Scales each feature linearly into `[0, 1]` by the fitted min/max.
+///
+/// Constant columns map to `0.0`.
+#[derive(Debug, Clone, Default)]
+pub struct MinMaxScaler {
+    mins: Option<Vec<f64>>,
+    ranges: Option<Vec<f64>>,
+}
+
+impl MinMaxScaler {
+    /// Creates an unfitted min-max scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transformer for MinMaxScaler {
+    fn name(&self) -> &str {
+        "minmax_scaler"
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let x = data.features();
+        if x.rows() == 0 {
+            return Err(ComponentError::InvalidInput("empty dataset".to_string()));
+        }
+        let mut mins = Vec::with_capacity(x.cols());
+        let mut ranges = Vec::with_capacity(x.cols());
+        for c in 0..x.cols() {
+            let col = x.col(c);
+            let mn = col.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mx = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            mins.push(mn);
+            let r = mx - mn;
+            ranges.push(if r == 0.0 { 1.0 } else { r });
+        }
+        self.mins = Some(mins);
+        self.ranges = Some(ranges);
+        Ok(())
+    }
+
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let (mins, ranges) = match (&self.mins, &self.ranges) {
+            (Some(m), Some(r)) => (m, r),
+            _ => return Err(ComponentError::NotFitted(self.name().to_string())),
+        };
+        if mins.len() != data.n_features() {
+            return Err(ComponentError::InvalidInput(format!(
+                "scaler fitted on {} features, input has {}",
+                mins.len(),
+                data.n_features()
+            )));
+        }
+        let mut x = data.features().clone();
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                x[(r, c)] = (x[(r, c)] - mins[c]) / ranges[c];
+            }
+        }
+        Ok(data.replace_features(x))
+    }
+
+    fn clone_box(&self) -> BoxedTransformer {
+        Box::new(MinMaxScaler::new())
+    }
+}
+
+/// Outlier-aware scaler: centres by the median and scales by the
+/// interquartile range, so extreme values cannot distort the fit.
+#[derive(Debug, Clone, Default)]
+pub struct RobustScaler {
+    medians: Option<Vec<f64>>,
+    iqrs: Option<Vec<f64>>,
+}
+
+impl RobustScaler {
+    /// Creates an unfitted robust scaler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Transformer for RobustScaler {
+    fn name(&self) -> &str {
+        "robust_scaler"
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let x = data.features();
+        if x.rows() == 0 {
+            return Err(ComponentError::InvalidInput("empty dataset".to_string()));
+        }
+        let mut medians = Vec::with_capacity(x.cols());
+        let mut iqrs = Vec::with_capacity(x.cols());
+        for c in 0..x.cols() {
+            let col = x.col(c);
+            medians.push(stats::median(&col));
+            let iqr = stats::percentile(&col, 75.0) - stats::percentile(&col, 25.0);
+            iqrs.push(if iqr == 0.0 { 1.0 } else { iqr });
+        }
+        self.medians = Some(medians);
+        self.iqrs = Some(iqrs);
+        Ok(())
+    }
+
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let (medians, iqrs) = match (&self.medians, &self.iqrs) {
+            (Some(m), Some(i)) => (m, i),
+            _ => return Err(ComponentError::NotFitted(self.name().to_string())),
+        };
+        if medians.len() != data.n_features() {
+            return Err(ComponentError::InvalidInput(format!(
+                "scaler fitted on {} features, input has {}",
+                medians.len(),
+                data.n_features()
+            )));
+        }
+        let mut x = data.features().clone();
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                x[(r, c)] = (x[(r, c)] - medians[c]) / iqrs[c];
+            }
+        }
+        Ok(data.replace_features(x))
+    }
+
+    fn clone_box(&self) -> BoxedTransformer {
+        Box::new(RobustScaler::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_linalg::Matrix;
+
+    fn ds() -> Dataset {
+        Dataset::new(Matrix::from_rows(&[&[1.0, 100.0], &[2.0, 200.0], &[3.0, 300.0]]))
+            .with_target(vec![1.0, 2.0, 3.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let mut sc = StandardScaler::new();
+        let out = sc.fit_transform(&ds()).unwrap();
+        for c in 0..2 {
+            let col = out.features().col(c);
+            assert!(stats::mean(&col).abs() < 1e-12);
+            assert!((stats::std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+        // target preserved
+        assert_eq!(out.target().unwrap(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn standard_scaler_inverse_roundtrip() {
+        let original = ds();
+        let mut sc = StandardScaler::new();
+        let scaled = sc.fit_transform(&original).unwrap();
+        let back = sc.inverse_transform(&scaled).unwrap();
+        for r in 0..3 {
+            for c in 0..2 {
+                assert!((back.features()[(r, c)] - original.features()[(r, c)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn standard_scaler_constant_column() {
+        let d = Dataset::new(Matrix::from_rows(&[&[5.0], &[5.0]]));
+        let mut sc = StandardScaler::new();
+        let out = sc.fit_transform(&d).unwrap();
+        assert_eq!(out.features()[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn minmax_into_unit_interval() {
+        let mut sc = MinMaxScaler::new();
+        let out = sc.fit_transform(&ds()).unwrap();
+        for c in 0..2 {
+            let col = out.features().col(c);
+            assert_eq!(col.iter().cloned().fold(f64::INFINITY, f64::min), 0.0);
+            assert_eq!(col.iter().cloned().fold(f64::NEG_INFINITY, f64::max), 1.0);
+        }
+    }
+
+    #[test]
+    fn minmax_extrapolates_outside_fit_range() {
+        let mut sc = MinMaxScaler::new();
+        sc.fit(&ds()).unwrap();
+        let test = Dataset::new(Matrix::from_rows(&[&[5.0, 500.0]]));
+        let out = sc.transform(&test).unwrap();
+        assert!((out.features()[(0, 0)] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_scaler_ignores_outliers() {
+        // with one huge outlier, robust scaling keeps the bulk near zero
+        let mut rows: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64]).collect();
+        rows.push(vec![1e6]);
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let d = Dataset::new(Matrix::from_rows(&refs));
+        let mut sc = RobustScaler::new();
+        let out = sc.fit_transform(&d).unwrap();
+        // the 9 bulk points stay within a few units of 0
+        for r in 0..9 {
+            assert!(out.features()[(r, 0)].abs() < 2.0);
+        }
+        // a standard scaler would squash the bulk to ~0 offsets of each other
+        let mut std = StandardScaler::new();
+        let sout = std.fit_transform(&d).unwrap();
+        let bulk_spread = sout.features()[(8, 0)] - sout.features()[(0, 0)];
+        let robust_spread = out.features()[(8, 0)] - out.features()[(0, 0)];
+        assert!(robust_spread > bulk_spread * 10.0);
+    }
+
+    #[test]
+    fn not_fitted_errors() {
+        let d = ds();
+        assert!(StandardScaler::new().transform(&d).is_err());
+        assert!(MinMaxScaler::new().transform(&d).is_err());
+        assert!(RobustScaler::new().transform(&d).is_err());
+        assert!(StandardScaler::new().inverse_transform(&d).is_err());
+    }
+
+    #[test]
+    fn feature_count_mismatch_errors() {
+        let mut sc = StandardScaler::new();
+        sc.fit(&ds()).unwrap();
+        let other = Dataset::new(Matrix::zeros(1, 5));
+        assert!(sc.transform(&other).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let empty = Dataset::new(Matrix::zeros(0, 2));
+        assert!(StandardScaler::new().fit(&empty).is_err());
+        assert!(MinMaxScaler::new().fit(&empty).is_err());
+        assert!(RobustScaler::new().fit(&empty).is_err());
+    }
+
+    #[test]
+    fn names_stable() {
+        assert_eq!(StandardScaler::new().name(), "standard_scaler");
+        assert_eq!(MinMaxScaler::new().name(), "minmax_scaler");
+        assert_eq!(RobustScaler::new().name(), "robust_scaler");
+    }
+}

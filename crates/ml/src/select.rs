@@ -1,0 +1,397 @@
+//! Univariate feature selection (the `SelectKBest` of Fig. 3 and Table I,
+//! with the information-gain / entropy scoring options Table I lists).
+
+use coda_data::{BoxedTransformer, ComponentError, Dataset, ParamValue, Transformer};
+use coda_linalg::stats;
+
+/// Scoring function used to rank features against the target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreFunction {
+    /// F-statistic of a univariate linear fit (regression targets).
+    FRegression,
+    /// Squared Pearson correlation with the target.
+    CorrelationSquared,
+    /// Mutual information estimated over a binned joint histogram (both
+    /// variables binned — regression targets).
+    MutualInfo,
+    /// Information gain for *classification* targets (Table I's
+    /// "Information Gain"/"Entropy" options): the reduction in exact class
+    /// entropy from binning the feature, `H(Y) − H(Y|bin(X))`.
+    InformationGain,
+    /// Feature variance alone (unsupervised screening).
+    Variance,
+}
+
+/// Selects the `k` best-scoring features.
+///
+/// # Examples
+///
+/// ```
+/// use coda_data::{synth, Transformer};
+/// use coda_ml::{ScoreFunction, SelectKBest};
+///
+/// // friedman1: only the first five features are informative.
+/// let ds = synth::friedman1(300, 10, 0.1, 9);
+/// let mut sel = SelectKBest::new(5, ScoreFunction::MutualInfo);
+/// let out = sel.fit_transform(&ds)?;
+/// assert_eq!(out.n_features(), 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SelectKBest {
+    k: usize,
+    score_fn: ScoreFunction,
+    selected: Option<Vec<usize>>,
+    scores: Option<Vec<f64>>,
+}
+
+impl SelectKBest {
+    /// Creates a selector keeping the `k` top features by `score_fn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, score_fn: ScoreFunction) -> Self {
+        assert!(k > 0, "k must be positive");
+        SelectKBest { k, score_fn, selected: None, scores: None }
+    }
+
+    /// Indices of the selected features (ascending), if fitted.
+    pub fn selected_indices(&self) -> Option<&[usize]> {
+        self.selected.as_deref()
+    }
+
+    /// Per-feature scores from the last fit.
+    pub fn scores(&self) -> Option<&[f64]> {
+        self.scores.as_deref()
+    }
+
+    fn score_feature(&self, col: &[f64], y: Option<&[f64]>) -> Result<f64, ComponentError> {
+        match self.score_fn {
+            ScoreFunction::Variance => Ok(stats::variance(col)),
+            ScoreFunction::CorrelationSquared => {
+                let y = y.ok_or_else(|| {
+                    ComponentError::InvalidInput("score function requires a target".to_string())
+                })?;
+                let r = stats::pearson(col, y);
+                Ok(r * r)
+            }
+            ScoreFunction::FRegression => {
+                let y = y.ok_or_else(|| {
+                    ComponentError::InvalidInput("score function requires a target".to_string())
+                })?;
+                let r = stats::pearson(col, y);
+                let r2 = (r * r).min(1.0 - 1e-12);
+                let n = col.len() as f64;
+                if n < 3.0 {
+                    return Ok(0.0);
+                }
+                Ok(r2 / (1.0 - r2) * (n - 2.0))
+            }
+            ScoreFunction::MutualInfo => {
+                let y = y.ok_or_else(|| {
+                    ComponentError::InvalidInput("score function requires a target".to_string())
+                })?;
+                Ok(binned_mutual_info(col, y, 8))
+            }
+            ScoreFunction::InformationGain => {
+                let y = y.ok_or_else(|| {
+                    ComponentError::InvalidInput("score function requires a target".to_string())
+                })?;
+                Ok(information_gain(col, y, 8))
+            }
+        }
+    }
+}
+
+/// Information gain of discrete labels `y` given `bins` equal-width bins of
+/// feature `x`: `H(Y) − H(Y|bin(X))`, in nats. Labels are matched exactly
+/// (classification), so class entropy is not an approximation.
+pub fn information_gain(x: &[f64], y: &[f64], bins: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "length mismatch");
+    let n = x.len();
+    if n < 2 || bins < 2 {
+        return 0.0;
+    }
+    let entropy = |labels: &[f64]| -> f64 {
+        let mut counts = std::collections::BTreeMap::new();
+        for l in labels {
+            *counts.entry(l.to_bits()).or_insert(0usize) += 1;
+        }
+        let total = labels.len() as f64;
+        counts
+            .values()
+            .map(|&c| {
+                let p = c as f64 / total;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let base = entropy(y);
+    let (lo, hi) = min_max(x);
+    if hi <= lo {
+        return 0.0;
+    }
+    let mut per_bin: Vec<Vec<f64>> = vec![Vec::new(); bins];
+    for (&xv, &yv) in x.iter().zip(y) {
+        let b = (((xv - lo) / (hi - lo) * bins as f64) as usize).min(bins - 1);
+        per_bin[b].push(yv);
+    }
+    let conditional: f64 = per_bin
+        .iter()
+        .filter(|b| !b.is_empty())
+        .map(|b| b.len() as f64 / n as f64 * entropy(b))
+        .sum();
+    (base - conditional).max(0.0)
+}
+
+/// Mutual information between two real-valued variables over a `bins x bins`
+/// equal-width joint histogram, in nats. Returns 0 for degenerate input.
+pub fn binned_mutual_info(a: &[f64], b: &[f64], bins: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let n = a.len();
+    if n < 2 || bins < 2 {
+        return 0.0;
+    }
+    let bin_of = |v: f64, lo: f64, hi: f64| -> usize {
+        if hi <= lo {
+            return 0;
+        }
+        (((v - lo) / (hi - lo) * bins as f64) as usize).min(bins - 1)
+    };
+    let (alo, ahi) = min_max(a);
+    let (blo, bhi) = min_max(b);
+    if ahi <= alo || bhi <= blo {
+        return 0.0;
+    }
+    let mut joint = vec![0.0f64; bins * bins];
+    let mut pa = vec![0.0f64; bins];
+    let mut pb = vec![0.0f64; bins];
+    for (&x, &y) in a.iter().zip(b) {
+        let i = bin_of(x, alo, ahi);
+        let j = bin_of(y, blo, bhi);
+        joint[i * bins + j] += 1.0;
+        pa[i] += 1.0;
+        pb[j] += 1.0;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for i in 0..bins {
+        for j in 0..bins {
+            let pij = joint[i * bins + j] / nf;
+            if pij > 0.0 {
+                mi += pij * (pij / (pa[i] / nf * pb[j] / nf)).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+fn min_max(v: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in v {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+impl Transformer for SelectKBest {
+    fn name(&self) -> &str {
+        "select_k_best"
+    }
+
+    fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
+        match param {
+            "k" => {
+                self.k = value.as_usize().filter(|&k| k > 0).ok_or_else(|| {
+                    ComponentError::InvalidParam {
+                        component: "select_k_best".to_string(),
+                        param: param.to_string(),
+                        reason: "must be a positive integer".to_string(),
+                    }
+                })?;
+                Ok(())
+            }
+            _ => Err(ComponentError::UnknownParam {
+                component: self.name().to_string(),
+                param: param.to_string(),
+            }),
+        }
+    }
+
+    fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+        let x = data.features();
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(ComponentError::InvalidInput("empty dataset".to_string()));
+        }
+        let y = data.target();
+        let mut scores = Vec::with_capacity(x.cols());
+        for c in 0..x.cols() {
+            scores.push(self.score_feature(&x.col(c), y)?);
+        }
+        let k = self.k.min(x.cols());
+        let mut order: Vec<usize> = (0..x.cols()).collect();
+        order.sort_by(|&i, &j| {
+            scores[j].partial_cmp(&scores[i]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut selected: Vec<usize> = order[..k].to_vec();
+        selected.sort_unstable();
+        self.scores = Some(scores);
+        self.selected = Some(selected);
+        Ok(())
+    }
+
+    fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let selected = self
+            .selected
+            .as_ref()
+            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        if selected.iter().any(|&c| c >= data.n_features()) {
+            return Err(ComponentError::InvalidInput(
+                "input has fewer features than the fit data".to_string(),
+            ));
+        }
+        Ok(data.select_features(selected))
+    }
+
+    fn clone_box(&self) -> BoxedTransformer {
+        Box::new(SelectKBest::new(self.k, self.score_fn))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_data::synth;
+    use coda_linalg::Matrix;
+
+    /// Dataset where feature 0 is the target (perfect) and feature 1 is noise.
+    fn informative() -> Dataset {
+        let n = 100;
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let v = (r as f64 * 0.7).sin() * 3.0;
+            x[(r, 0)] = v;
+            x[(r, 1)] = ((r * 7919) % 97) as f64; // pseudo-noise
+            y.push(2.0 * v);
+        }
+        Dataset::new(x).with_target(y).unwrap()
+    }
+
+    #[test]
+    fn selects_informative_feature_all_score_fns() {
+        for sf in [
+            ScoreFunction::FRegression,
+            ScoreFunction::CorrelationSquared,
+            ScoreFunction::MutualInfo,
+        ] {
+            let mut sel = SelectKBest::new(1, sf);
+            sel.fit(&informative()).unwrap();
+            assert_eq!(sel.selected_indices().unwrap(), &[0], "score fn {sf:?}");
+        }
+    }
+
+    #[test]
+    fn variance_selection_is_unsupervised() {
+        let x = Matrix::from_rows(&[&[0.0, 100.0], &[0.1, -100.0], &[0.0, 50.0]]);
+        let ds = Dataset::new(x); // no target
+        let mut sel = SelectKBest::new(1, ScoreFunction::Variance);
+        sel.fit(&ds).unwrap();
+        assert_eq!(sel.selected_indices().unwrap(), &[1]);
+    }
+
+    #[test]
+    fn supervised_selection_requires_target() {
+        let ds = Dataset::new(Matrix::zeros(5, 2));
+        let mut sel = SelectKBest::new(1, ScoreFunction::FRegression);
+        assert!(sel.fit(&ds).is_err());
+    }
+
+    #[test]
+    fn k_capped_at_feature_count() {
+        let ds = informative();
+        let mut sel = SelectKBest::new(10, ScoreFunction::CorrelationSquared);
+        let out = sel.fit_transform(&ds).unwrap();
+        assert_eq!(out.n_features(), 2);
+    }
+
+    #[test]
+    fn friedman_informative_features_found() {
+        let ds = synth::friedman1(500, 10, 0.1, 13);
+        let mut sel = SelectKBest::new(5, ScoreFunction::MutualInfo);
+        sel.fit(&ds).unwrap();
+        let chosen = sel.selected_indices().unwrap();
+        // x3 has the strongest linear effect (10*x3); it must be selected,
+        // and at least 3 of the 5 informative features should be found.
+        assert!(chosen.contains(&3));
+        let informative_found = chosen.iter().filter(|&&c| c < 5).count();
+        assert!(informative_found >= 3, "found {informative_found} informative features");
+    }
+
+    #[test]
+    fn information_gain_ranks_class_relevant_feature() {
+        // feature 0 determines the class; feature 1 is noise
+        let ds = synth::classification_blobs(300, 2, 2, 0.4, 14);
+        let mut sel = SelectKBest::new(1, ScoreFunction::InformationGain);
+        sel.fit(&ds).unwrap();
+        let scores = sel.scores().unwrap();
+        assert!(scores.iter().all(|&s| s >= 0.0));
+        // both blob dimensions are informative here; check properties instead
+        // with a constructed case:
+        let n = 200;
+        let mut x = Matrix::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for r in 0..n {
+            let class = (r % 2) as f64;
+            x[(r, 0)] = class * 10.0 + (r % 7) as f64 * 0.1; // separable
+            x[(r, 1)] = (r % 13) as f64; // label-independent
+            y.push(class);
+        }
+        let ds = Dataset::new(x).with_target(y).unwrap();
+        let mut sel = SelectKBest::new(1, ScoreFunction::InformationGain);
+        sel.fit(&ds).unwrap();
+        assert_eq!(sel.selected_indices().unwrap(), &[0]);
+        let s = sel.scores().unwrap();
+        // perfect separation: IG equals the full class entropy ln(2)
+        assert!((s[0] - std::f64::consts::LN_2).abs() < 0.01, "score {}", s[0]);
+        assert!(s[1] < 0.05);
+    }
+
+    #[test]
+    fn information_gain_degenerate_inputs() {
+        assert_eq!(information_gain(&[1.0, 1.0, 1.0], &[0.0, 1.0, 0.0], 8), 0.0);
+        assert_eq!(information_gain(&[1.0], &[0.0], 8), 0.0);
+    }
+
+    #[test]
+    fn mutual_info_properties() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let same = binned_mutual_info(&a, &a, 8);
+        let noise: Vec<f64> = (0..200).map(|i| ((i * 7919) % 211) as f64).collect();
+        let indep = binned_mutual_info(&a, &noise, 8);
+        assert!(same > 1.0, "self-MI should be near ln(bins)");
+        assert!(indep < same / 2.0);
+        assert_eq!(binned_mutual_info(&[1.0, 1.0], &[2.0, 2.0], 8), 0.0);
+    }
+
+    #[test]
+    fn transform_keeps_target_and_names() {
+        let ds = informative().with_feature_names(vec!["good", "noise"]).unwrap();
+        let mut sel = SelectKBest::new(1, ScoreFunction::CorrelationSquared);
+        let out = sel.fit_transform(&ds).unwrap();
+        assert_eq!(out.feature_names(), &["good".to_string()]);
+        assert!(out.target().is_some());
+    }
+
+    #[test]
+    fn set_param_and_errors() {
+        let mut sel = SelectKBest::new(2, ScoreFunction::Variance);
+        sel.set_param("k", ParamValue::from(1usize)).unwrap();
+        assert!(sel.set_param("k", ParamValue::from(0usize)).is_err());
+        assert!(sel.set_param("x", ParamValue::from(1usize)).is_err());
+        assert!(sel.transform(&informative()).is_err()); // not fitted
+    }
+}

@@ -1,0 +1,446 @@
+//! 1-D convolution and pooling layers for sequence models (the CNN /
+//! WaveNet / SeriesNet estimators of §IV-C2).
+//!
+//! Sequence rows are flattened time-major: cell `(t, c)` of a `len x ch`
+//! window lives at column `t * ch + c`.
+
+use coda_linalg::Matrix;
+
+use crate::layer::{Layer, NnRng};
+
+/// 1-D convolution with optional dilation and causal (left) padding.
+///
+/// With `causal = true` the output length equals the input length and output
+/// step `t` only sees inputs at steps `≤ t` — the WaveNet dilated causal
+/// convolution. With `causal = false` the convolution is "valid" and the
+/// output length is `in_len − (kernel − 1) · dilation`.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    in_len: usize,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    dilation: usize,
+    causal: bool,
+    weights: Matrix, // (kernel * in_ch) x out_ch
+    bias: Matrix,    // 1 x out_ch
+    grad_w: Matrix,
+    grad_b: Matrix,
+    input: Option<Matrix>,
+}
+
+impl Conv1d {
+    /// Creates a convolution layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or a valid convolution would produce
+    /// an empty output.
+    pub fn new(
+        in_len: usize,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        dilation: usize,
+        causal: bool,
+        seed: u64,
+    ) -> Self {
+        assert!(in_len > 0 && in_ch > 0 && out_ch > 0 && kernel > 0 && dilation > 0);
+        if !causal {
+            assert!(
+                in_len > (kernel - 1) * dilation,
+                "valid convolution output would be empty: len {in_len}, kernel {kernel}, dilation {dilation}"
+            );
+        }
+        let mut rng = NnRng::new(seed.wrapping_add(0xC0));
+        let fan_in = (kernel * in_ch) as f64;
+        let scale = (2.0 / fan_in).sqrt();
+        let mut weights = Matrix::zeros(kernel * in_ch, out_ch);
+        for v in weights.as_mut_slice() {
+            *v = rng.normal() * scale;
+        }
+        Conv1d {
+            in_len,
+            in_ch,
+            out_ch,
+            kernel,
+            dilation,
+            causal,
+            weights,
+            bias: Matrix::zeros(1, out_ch),
+            grad_w: Matrix::zeros(kernel * in_ch, out_ch),
+            grad_b: Matrix::zeros(1, out_ch),
+            input: None,
+        }
+    }
+
+    /// Output sequence length.
+    pub fn out_len(&self) -> usize {
+        if self.causal {
+            self.in_len
+        } else {
+            self.in_len - (self.kernel - 1) * self.dilation
+        }
+    }
+
+    /// Output width in flattened columns (`out_len * out_ch`).
+    pub fn out_width(&self) -> usize {
+        self.out_len() * self.out_ch
+    }
+
+    /// For output step `t` and kernel tap `k`, the input step, or `None` when
+    /// the tap falls into causal padding.
+    fn input_step(&self, t: usize, k: usize) -> Option<usize> {
+        if self.causal {
+            let shift = (self.kernel - 1 - k) * self.dilation;
+            t.checked_sub(shift)
+        } else {
+            Some(t + k * self.dilation)
+        }
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.in_len * self.in_ch,
+            "conv1d expects {} columns, got {}",
+            self.in_len * self.in_ch,
+            input.cols()
+        );
+        if training {
+            self.input = Some(input.clone());
+        }
+        let out_len = self.out_len();
+        let mut out = Matrix::zeros(input.rows(), out_len * self.out_ch);
+        for r in 0..input.rows() {
+            let row = input.row(r);
+            for t in 0..out_len {
+                for o in 0..self.out_ch {
+                    let mut acc = self.bias[(0, o)];
+                    for k in 0..self.kernel {
+                        if let Some(ts) = self.input_step(t, k) {
+                            for i in 0..self.in_ch {
+                                acc += self.weights[(k * self.in_ch + i, o)]
+                                    * row[ts * self.in_ch + i];
+                            }
+                        }
+                    }
+                    out[(r, t * self.out_ch + o)] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self.input.as_ref().expect("backward before forward");
+        let out_len = self.out_len();
+        let mut grad_in = Matrix::zeros(input.rows(), input.cols());
+        for r in 0..input.rows() {
+            let row = input.row(r);
+            for t in 0..out_len {
+                for o in 0..self.out_ch {
+                    let g = grad_output[(r, t * self.out_ch + o)];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    self.grad_b[(0, o)] += g;
+                    for k in 0..self.kernel {
+                        if let Some(ts) = self.input_step(t, k) {
+                            for i in 0..self.in_ch {
+                                self.grad_w[(k * self.in_ch + i, o)] +=
+                                    g * row[ts * self.in_ch + i];
+                                grad_in[(r, ts * self.in_ch + i)] +=
+                                    g * self.weights[(k * self.in_ch + i, o)];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
+        vec![(&mut self.weights, &mut self.grad_w), (&mut self.bias, &mut self.grad_b)]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Non-overlapping 1-D max pooling (stride = pool size), per channel.
+#[derive(Debug, Clone)]
+pub struct MaxPool1d {
+    in_len: usize,
+    ch: usize,
+    pool: usize,
+    argmax: Option<Vec<usize>>, // flattened (rows x out cols) -> input column
+    in_rows: usize,
+}
+
+impl MaxPool1d {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool == 0` or `pool > in_len`.
+    pub fn new(in_len: usize, ch: usize, pool: usize) -> Self {
+        assert!(pool > 0 && pool <= in_len, "invalid pool size");
+        MaxPool1d { in_len, ch, pool, argmax: None, in_rows: 0 }
+    }
+
+    /// Output sequence length (`in_len / pool`, floor).
+    pub fn out_len(&self) -> usize {
+        self.in_len / self.pool
+    }
+
+    /// Output width in flattened columns.
+    pub fn out_width(&self) -> usize {
+        self.out_len() * self.ch
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_len * self.ch, "maxpool1d input width mismatch");
+        let out_len = self.out_len();
+        let mut out = Matrix::zeros(input.rows(), out_len * self.ch);
+        let mut argmax = vec![0usize; input.rows() * out_len * self.ch];
+        for r in 0..input.rows() {
+            let row = input.row(r);
+            for t in 0..out_len {
+                for c in 0..self.ch {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_col = 0usize;
+                    for p in 0..self.pool {
+                        let col = (t * self.pool + p) * self.ch + c;
+                        if row[col] > best {
+                            best = row[col];
+                            best_col = col;
+                        }
+                    }
+                    let oc = t * self.ch + c;
+                    out[(r, oc)] = best;
+                    argmax[r * out_len * self.ch + oc] = best_col;
+                }
+            }
+        }
+        if training {
+            self.argmax = Some(argmax);
+            self.in_rows = input.rows();
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let argmax = self.argmax.as_ref().expect("backward before forward");
+        let out_w = self.out_len() * self.ch;
+        let mut grad_in = Matrix::zeros(self.in_rows, self.in_len * self.ch);
+        for r in 0..self.in_rows {
+            for oc in 0..out_w {
+                let col = argmax[r * out_w + oc];
+                grad_in[(r, col)] += grad_output[(r, oc)];
+            }
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Global average pooling over the time axis: `len x ch` → `ch`.
+#[derive(Debug, Clone)]
+pub struct GlobalAvgPool1d {
+    in_len: usize,
+    ch: usize,
+    in_rows: usize,
+}
+
+impl GlobalAvgPool1d {
+    /// Creates a global-average pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_len: usize, ch: usize) -> Self {
+        assert!(in_len > 0 && ch > 0);
+        GlobalAvgPool1d { in_len, ch, in_rows: 0 }
+    }
+}
+
+impl Layer for GlobalAvgPool1d {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        assert_eq!(input.cols(), self.in_len * self.ch, "gap1d input width mismatch");
+        if training {
+            self.in_rows = input.rows();
+        }
+        let mut out = Matrix::zeros(input.rows(), self.ch);
+        for r in 0..input.rows() {
+            let row = input.row(r);
+            for t in 0..self.in_len {
+                for c in 0..self.ch {
+                    out[(r, c)] += row[t * self.ch + c];
+                }
+            }
+            for c in 0..self.ch {
+                out[(r, c)] /= self.in_len as f64;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad_in = Matrix::zeros(self.in_rows, self.in_len * self.ch);
+        let inv = 1.0 / self.in_len as f64;
+        for r in 0..self.in_rows {
+            for t in 0..self.in_len {
+                for c in 0..self.ch {
+                    grad_in[(r, t * self.ch + c)] = grad_output[(r, c)] * inv;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_conv_known_values() {
+        // single channel, kernel 2, weights [1, -1] computes differences
+        let mut conv = Conv1d::new(4, 1, 1, 2, 1, false, 1);
+        conv.weights[(0, 0)] = -1.0;
+        conv.weights[(1, 0)] = 1.0;
+        let x = Matrix::from_rows(&[&[1.0, 3.0, 6.0, 10.0]]);
+        let out = conv.forward(&x, false);
+        assert_eq!(out.shape(), (1, 3));
+        assert_eq!(out.as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn causal_conv_preserves_length_and_causality() {
+        let mut conv = Conv1d::new(5, 1, 1, 2, 1, true, 2);
+        conv.weights[(0, 0)] = 0.0; // tap on t-1
+        conv.weights[(1, 0)] = 1.0; // tap on t
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0]]);
+        let out = conv.forward(&x, false);
+        assert_eq!(out.shape(), (1, 5));
+        // with only the "current" tap active, output = input
+        assert_eq!(out.as_slice(), x.as_slice());
+        // now use only the past tap: output is the input shifted right
+        conv.weights[(0, 0)] = 1.0;
+        conv.weights[(1, 0)] = 0.0;
+        let out = conv.forward(&x, false);
+        assert_eq!(out.as_slice(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn dilated_causal_reaches_back_dilation_steps() {
+        let mut conv = Conv1d::new(6, 1, 1, 2, 2, true, 3);
+        conv.weights[(0, 0)] = 1.0; // tap on t-2
+        conv.weights[(1, 0)] = 0.0;
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]]);
+        let out = conv.forward(&x, false);
+        assert_eq!(out.as_slice(), &[0.0, 0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        let mut conv = Conv1d::new(5, 2, 3, 2, 1, true, 4);
+        let mut x = Matrix::zeros(2, 10);
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f64 * 0.37).sin();
+        }
+        let eps = 1e-6;
+        conv.zero_grads();
+        let out = conv.forward(&x, true);
+        let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
+        conv.backward(&ones);
+        let analytic = conv.grad_w[(1, 2)];
+        let orig = conv.weights[(1, 2)];
+        conv.weights[(1, 2)] = orig + eps;
+        let plus: f64 = conv.forward(&x, false).as_slice().iter().sum();
+        conv.weights[(1, 2)] = orig - eps;
+        let minus: f64 = conv.forward(&x, false).as_slice().iter().sum();
+        conv.weights[(1, 2)] = orig;
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!((analytic - numeric).abs() < 1e-4, "analytic {analytic} numeric {numeric}");
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_finite_difference() {
+        let mut conv = Conv1d::new(4, 1, 2, 2, 1, false, 5);
+        let x = Matrix::from_rows(&[&[0.5, -0.2, 0.8, 0.1]]);
+        let out = conv.forward(&x, true);
+        let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
+        let gin = conv.backward(&ones);
+        let eps = 1e-6;
+        let mut xp = x.clone();
+        xp[(0, 1)] += eps;
+        let plus: f64 = conv.forward(&xp, false).as_slice().iter().sum();
+        let mut xm = x.clone();
+        xm[(0, 1)] -= eps;
+        let minus: f64 = conv.forward(&xm, false).as_slice().iter().sum();
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!((gin[(0, 1)] - numeric).abs() < 1e-4);
+    }
+
+    #[test]
+    fn maxpool_forward_backward() {
+        let mut pool = MaxPool1d::new(4, 1, 2);
+        let x = Matrix::from_rows(&[&[1.0, 5.0, 2.0, 0.5]]);
+        let out = pool.forward(&x, true);
+        assert_eq!(out.as_slice(), &[5.0, 2.0]);
+        let g = pool.backward(&Matrix::from_rows(&[&[1.0, 2.0]]));
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_multichannel() {
+        // len 2, ch 2, pool 2: columns are [t0c0, t0c1, t1c0, t1c1]
+        let mut pool = MaxPool1d::new(2, 2, 2);
+        let x = Matrix::from_rows(&[&[1.0, 9.0, 4.0, 3.0]]);
+        let out = pool.forward(&x, false);
+        assert_eq!(out.as_slice(), &[4.0, 9.0]);
+    }
+
+    #[test]
+    fn gap_average_and_gradient() {
+        let mut gap = GlobalAvgPool1d::new(3, 2);
+        let x = Matrix::from_rows(&[&[1.0, 10.0, 2.0, 20.0, 3.0, 30.0]]);
+        let out = gap.forward(&x, true);
+        assert_eq!(out.as_slice(), &[2.0, 20.0]);
+        let g = gap.backward(&Matrix::from_rows(&[&[3.0, 6.0]]));
+        assert_eq!(g.as_slice(), &[1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn out_helpers() {
+        let conv = Conv1d::new(10, 2, 4, 3, 2, false, 6);
+        assert_eq!(conv.out_len(), 6);
+        assert_eq!(conv.out_width(), 24);
+        let causal = Conv1d::new(10, 2, 4, 3, 2, true, 6);
+        assert_eq!(causal.out_len(), 10);
+        let pool = MaxPool1d::new(7, 3, 2);
+        assert_eq!(pool.out_len(), 3);
+        assert_eq!(pool.out_width(), 9);
+    }
+
+    #[test]
+    fn invalid_configs_panic() {
+        assert!(std::panic::catch_unwind(|| Conv1d::new(3, 1, 1, 5, 1, false, 0)).is_err());
+        assert!(std::panic::catch_unwind(|| MaxPool1d::new(3, 1, 4)).is_err());
+    }
+}

@@ -1,0 +1,379 @@
+//! Estimator adapters: MLP regressor/classifier over tabular datasets.
+//!
+//! These are the paper's "standard DNN" (IID) models (§IV-C3): simple
+//! (2 hidden layers + dropout) and deep (4 hidden layers + dropout)
+//! architectures, each ending in a linear (regression) or sigmoid
+//! (classification) head.
+
+use coda_data::{
+    BoxedEstimator, ComponentError, Dataset, Estimator, ParamValue, TaskKind,
+};
+use coda_linalg::Matrix;
+
+use crate::layer::{Activation, Dense, Dropout};
+use crate::loss::Loss;
+use crate::network::Sequential;
+use crate::optim::Adam;
+
+/// Network depth preset, mirroring the paper's simple/complex variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arch {
+    /// Two hidden layers with dropout.
+    Simple,
+    /// Four hidden layers with dropout.
+    Deep,
+}
+
+fn hidden_sizes(arch: Arch, width: usize) -> Vec<usize> {
+    match arch {
+        Arch::Simple => vec![width, width / 2],
+        Arch::Deep => vec![width, width, width / 2, width / 2],
+    }
+}
+
+fn build_mlp(
+    in_dim: usize,
+    arch: Arch,
+    width: usize,
+    dropout: f64,
+    sigmoid_head: bool,
+    seed: u64,
+) -> Sequential {
+    let mut net = Sequential::new();
+    let mut cur = in_dim;
+    for (i, h) in hidden_sizes(arch, width).into_iter().enumerate() {
+        let h = h.max(2);
+        net = net
+            .push(Dense::new(cur, h, seed.wrapping_add(i as u64 * 17)))
+            .push(Activation::relu())
+            .push(Dropout::new(dropout, seed.wrapping_add(100 + i as u64)));
+        cur = h;
+    }
+    net = net.push(Dense::new(cur, 1, seed.wrapping_add(999)));
+    if sigmoid_head {
+        net = net.push(Activation::sigmoid());
+    }
+    net
+}
+
+macro_rules! mlp_estimator {
+    ($name:ident, $display:expr, $task:expr, $loss:expr, $sigmoid:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            arch: Arch,
+            width: usize,
+            dropout: f64,
+            epochs: usize,
+            batch_size: usize,
+            learning_rate: f64,
+            seed: u64,
+            net: Option<Sequential>,
+        }
+
+        impl $name {
+            /// Creates a simple-architecture network with training defaults
+            /// (width 32, dropout 0.1, 200 epochs, batch 32, Adam 0.01).
+            pub fn new() -> Self {
+                $name {
+                    arch: Arch::Simple,
+                    width: 32,
+                    dropout: 0.1,
+                    epochs: 200,
+                    batch_size: 32,
+                    learning_rate: 0.01,
+                    seed: 0,
+                    net: None,
+                }
+            }
+
+            /// Switches to the deep (4 hidden layer) architecture.
+            pub fn deep() -> Self {
+                let mut m = Self::new();
+                m.arch = Arch::Deep;
+                m
+            }
+
+            /// Sets the training epoch count.
+            pub fn with_epochs(mut self, epochs: usize) -> Self {
+                self.epochs = epochs.max(1);
+                self
+            }
+
+            /// Sets the hidden width.
+            pub fn with_width(mut self, width: usize) -> Self {
+                self.width = width.max(2);
+                self
+            }
+
+            /// Sets the initialization/shuffle seed.
+            pub fn with_seed(mut self, seed: u64) -> Self {
+                self.seed = seed;
+                self
+            }
+
+            /// Sets the Adam learning rate.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lr <= 0`.
+            pub fn with_learning_rate(mut self, lr: f64) -> Self {
+                assert!(lr > 0.0, "learning rate must be positive");
+                self.learning_rate = lr;
+                self
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl Estimator for $name {
+            fn name(&self) -> &str {
+                $display
+            }
+
+            fn task(&self) -> TaskKind {
+                $task
+            }
+
+            fn set_param(
+                &mut self,
+                param: &str,
+                value: ParamValue,
+            ) -> Result<(), ComponentError> {
+                let bad = |reason: &str| ComponentError::InvalidParam {
+                    component: $display.to_string(),
+                    param: param.to_string(),
+                    reason: reason.to_string(),
+                };
+                match param {
+                    "epochs" => {
+                        self.epochs = value
+                            .as_usize()
+                            .filter(|&x| x > 0)
+                            .ok_or_else(|| bad("must be a positive integer"))?;
+                        Ok(())
+                    }
+                    "width" => {
+                        self.width = value
+                            .as_usize()
+                            .filter(|&x| x >= 2)
+                            .ok_or_else(|| bad("must be an integer >= 2"))?;
+                        Ok(())
+                    }
+                    "learning_rate" => {
+                        self.learning_rate = value
+                            .as_f64()
+                            .filter(|&x| x > 0.0)
+                            .ok_or_else(|| bad("must be positive"))?;
+                        Ok(())
+                    }
+                    "dropout" => {
+                        self.dropout = value
+                            .as_f64()
+                            .filter(|&x| (0.0..1.0).contains(&x))
+                            .ok_or_else(|| bad("must be in [0, 1)"))?;
+                        Ok(())
+                    }
+                    "arch" => {
+                        self.arch = match value.as_str() {
+                            Some("simple") => Arch::Simple,
+                            Some("deep") => Arch::Deep,
+                            _ => return Err(bad("must be \"simple\" or \"deep\"")),
+                        };
+                        Ok(())
+                    }
+                    _ => Err(ComponentError::UnknownParam {
+                        component: self.name().to_string(),
+                        param: param.to_string(),
+                    }),
+                }
+            }
+
+            fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+                let y = data.target_required()?;
+                if data.n_samples() == 0 {
+                    return Err(ComponentError::InvalidInput("empty dataset".to_string()));
+                }
+                if $sigmoid && y.iter().any(|&v| v != 0.0 && v != 1.0) {
+                    return Err(ComponentError::InvalidInput(
+                        "classifier requires 0/1 labels".to_string(),
+                    ));
+                }
+                let mut net = build_mlp(
+                    data.n_features(),
+                    self.arch,
+                    self.width,
+                    self.dropout,
+                    $sigmoid,
+                    self.seed,
+                );
+                let ty = Matrix::from_vec(y.len(), 1, y.to_vec());
+                let mut opt = Adam::new(self.learning_rate);
+                net.fit(
+                    data.features(),
+                    &ty,
+                    $loss,
+                    &mut opt,
+                    self.epochs,
+                    self.batch_size.min(data.n_samples()),
+                    self.seed,
+                );
+                self.net = Some(net);
+                Ok(())
+            }
+
+            fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
+                let net = self
+                    .net
+                    .as_ref()
+                    .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+                let mut net = net.clone();
+                let out = net.predict(data.features());
+                if out.cols() != 1 {
+                    return Err(ComponentError::Numerical(
+                        "network produced non-scalar output".to_string(),
+                    ));
+                }
+                let raw: Vec<f64> = out.col(0);
+                Ok(if $sigmoid {
+                    raw.into_iter().map(|p| if p >= 0.5 { 1.0 } else { 0.0 }).collect()
+                } else {
+                    raw
+                })
+            }
+
+            fn clone_box(&self) -> BoxedEstimator {
+                let mut fresh = $name::new();
+                fresh.arch = self.arch;
+                fresh.width = self.width;
+                fresh.dropout = self.dropout;
+                fresh.epochs = self.epochs;
+                fresh.batch_size = self.batch_size;
+                fresh.learning_rate = self.learning_rate;
+                fresh.seed = self.seed;
+                Box::new(fresh)
+            }
+        }
+    };
+}
+
+mlp_estimator!(
+    MlpRegressor,
+    "mlp_regressor",
+    TaskKind::Regression,
+    Loss::Mse,
+    false,
+    "Feed-forward MLP regressor (the \"MLP Regression\" of Fig. 3).\n\n\
+     # Examples\n\n\
+     ```\n\
+     use coda_data::{synth, Estimator};\n\
+     use coda_nn::MlpRegressor;\n\
+     let ds = synth::linear_regression(150, 3, 0.05, 2);\n\
+     let mut mlp = MlpRegressor::new().with_epochs(100);\n\
+     mlp.fit(&ds)?;\n\
+     assert_eq!(mlp.predict(&ds)?.len(), 150);\n\
+     # Ok::<(), Box<dyn std::error::Error>>(())\n\
+     ```"
+);
+
+mlp_estimator!(
+    MlpClassifier,
+    "mlp_classifier",
+    TaskKind::Classification,
+    Loss::BinaryCrossEntropy,
+    true,
+    "Feed-forward MLP binary classifier with a sigmoid head."
+);
+
+/// MLP classifier probability output (class-1 probability per sample).
+impl MlpClassifier {
+    /// Probability of class 1 for each sample.
+    ///
+    /// # Errors
+    ///
+    /// [`ComponentError::NotFitted`] before fitting.
+    pub fn predict_proba(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
+        let net = self
+            .net
+            .as_ref()
+            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        let mut net = net.clone();
+        Ok(net.predict(data.features()).col(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_data::{metrics, synth};
+
+    #[test]
+    fn regressor_fits_linear_relation() {
+        let ds = synth::linear_regression(300, 3, 0.05, 81);
+        let (train, test) = ds.train_test_split(0.25, 1);
+        let mut mlp = MlpRegressor::new().with_epochs(150).with_seed(1);
+        mlp.fit(&train).unwrap();
+        let pred = mlp.predict(&test).unwrap();
+        let r2 = metrics::r2(test.target().unwrap(), &pred).unwrap();
+        assert!(r2 > 0.8, "r2 = {r2}");
+    }
+
+    #[test]
+    fn classifier_separates_blobs() {
+        let ds = synth::classification_blobs(200, 2, 2, 0.6, 82);
+        let (train, test) = ds.train_test_split(0.3, 2);
+        let mut mlp = MlpClassifier::new().with_epochs(150).with_seed(2);
+        mlp.fit(&train).unwrap();
+        let pred = mlp.predict(&test).unwrap();
+        let acc = metrics::accuracy(test.target().unwrap(), &pred).unwrap();
+        assert!(acc > 0.9, "accuracy = {acc}");
+        let probs = mlp.predict_proba(&test).unwrap();
+        assert!(probs.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn deep_architecture_has_more_parameters() {
+        let ds = synth::linear_regression(50, 3, 0.1, 83);
+        let mut simple = MlpRegressor::new().with_epochs(1);
+        let mut deep = MlpRegressor::deep().with_epochs(1);
+        simple.fit(&ds).unwrap();
+        deep.fit(&ds).unwrap();
+        let np = |m: &MlpRegressor| m.net.clone().unwrap().n_parameters();
+        assert!(np(&deep) > np(&simple));
+    }
+
+    #[test]
+    fn params_settable() {
+        let mut mlp = MlpRegressor::new();
+        mlp.set_param("epochs", ParamValue::from(50usize)).unwrap();
+        mlp.set_param("width", ParamValue::from(16usize)).unwrap();
+        mlp.set_param("learning_rate", ParamValue::from(0.005)).unwrap();
+        mlp.set_param("dropout", ParamValue::from(0.0)).unwrap();
+        mlp.set_param("arch", ParamValue::from("deep")).unwrap();
+        assert!(mlp.set_param("arch", ParamValue::from("huge")).is_err());
+        assert!(mlp.set_param("dropout", ParamValue::from(1.0)).is_err());
+        assert!(mlp.set_param("zzz", ParamValue::from(1.0)).is_err());
+    }
+
+    #[test]
+    fn errors() {
+        let ds = synth::linear_regression(20, 2, 0.1, 84);
+        assert!(MlpRegressor::new().predict(&ds).is_err());
+        let multi = synth::classification_blobs(30, 2, 3, 0.5, 84);
+        assert!(MlpClassifier::new().fit(&multi).is_err()); // non-binary labels
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = synth::linear_regression(60, 2, 0.1, 85);
+        let mut a = MlpRegressor::new().with_epochs(20).with_seed(5);
+        let mut b = MlpRegressor::new().with_epochs(20).with_seed(5);
+        a.fit(&ds).unwrap();
+        b.fit(&ds).unwrap();
+        assert_eq!(a.predict(&ds).unwrap(), b.predict(&ds).unwrap());
+    }
+}

@@ -1,0 +1,437 @@
+//! The layer contract plus dense, activation and dropout layers.
+
+use coda_linalg::Matrix;
+
+/// Deterministic xorshift RNG used for weight init and dropout masks so
+/// networks are reproducible without threading a generator through layers.
+#[derive(Debug, Clone)]
+pub(crate) struct NnRng(u64);
+
+impl NnRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        NnRng(seed.wrapping_mul(0x9E3779B97F4A7C15).max(1))
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in [0, 1).
+    pub(crate) fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Standard normal via Box-Muller.
+    pub(crate) fn normal(&mut self) -> f64 {
+        let u1 = self.uniform().max(f64::EPSILON);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+/// A differentiable network layer.
+///
+/// `forward` caches whatever `backward` needs; `backward` receives the loss
+/// gradient w.r.t. the layer output, accumulates parameter gradients, and
+/// returns the gradient w.r.t. the layer input.
+pub trait Layer: Send + Sync {
+    /// Forward pass. `training` enables training-only behaviour (dropout).
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix;
+
+    /// Backward pass; must be preceded by a `forward` in training mode.
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix;
+
+    /// Parameter/gradient pairs for the optimizer, in a stable order.
+    fn params_and_grads(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
+        Vec::new()
+    }
+
+    /// Zeroes accumulated gradients.
+    fn zero_grads(&mut self) {
+        for (_, g) in self.params_and_grads() {
+            g.as_mut_slice().iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// Fresh clone with the same weights.
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Fully-connected layer `y = x W + b` with He-normal initialization.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    weights: Matrix, // in x out
+    bias: Matrix,    // 1 x out
+    grad_w: Matrix,
+    grad_b: Matrix,
+    input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer mapping `in_dim` → `out_dim`, seeded for
+    /// reproducible initialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "dimensions must be positive");
+        let mut rng = NnRng::new(seed.wrapping_add(0xD1CE));
+        let scale = (2.0 / in_dim as f64).sqrt();
+        let mut weights = Matrix::zeros(in_dim, out_dim);
+        for v in weights.as_mut_slice() {
+            *v = rng.normal() * scale;
+        }
+        Dense {
+            weights,
+            bias: Matrix::zeros(1, out_dim),
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: Matrix::zeros(1, out_dim),
+            input: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weights.cols()
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.weights.rows(),
+            "dense layer expects {} inputs, got {}",
+            self.weights.rows(),
+            input.cols()
+        );
+        if training {
+            self.input = Some(input.clone());
+        }
+        let mut out = input.matmul(&self.weights).expect("shape checked above");
+        for r in 0..out.rows() {
+            for c in 0..out.cols() {
+                out[(r, c)] += self.bias[(0, c)];
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let input = self.input.as_ref().expect("backward before forward");
+        // dW = xᵀ g ; db = sum over batch ; dx = g Wᵀ
+        let gw = input.transpose().matmul(grad_output).expect("shapes match");
+        self.grad_w = &self.grad_w + &gw;
+        for c in 0..grad_output.cols() {
+            let mut s = 0.0;
+            for r in 0..grad_output.rows() {
+                s += grad_output[(r, c)];
+            }
+            self.grad_b[(0, c)] += s;
+        }
+        grad_output.matmul(&self.weights.transpose()).expect("shapes match")
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
+        vec![(&mut self.weights, &mut self.grad_w), (&mut self.bias, &mut self.grad_b)]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Element-wise activation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ActKind {
+    Relu,
+    Tanh,
+    Sigmoid,
+    /// Identity (useful as a final "linear activation layer", §IV-C2).
+    Linear,
+}
+
+/// Element-wise activation layer.
+#[derive(Debug, Clone)]
+pub struct Activation {
+    kind: ActKind,
+    output: Option<Matrix>,
+}
+
+impl Activation {
+    /// Rectified linear unit.
+    pub fn relu() -> Self {
+        Activation { kind: ActKind::Relu, output: None }
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh() -> Self {
+        Activation { kind: ActKind::Tanh, output: None }
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid() -> Self {
+        Activation { kind: ActKind::Sigmoid, output: None }
+    }
+
+    /// Identity activation.
+    pub fn linear() -> Self {
+        Activation { kind: ActKind::Linear, output: None }
+    }
+
+    fn apply(&self, v: f64) -> f64 {
+        match self.kind {
+            ActKind::Relu => v.max(0.0),
+            ActKind::Tanh => v.tanh(),
+            ActKind::Sigmoid => {
+                if v >= 0.0 {
+                    1.0 / (1.0 + (-v).exp())
+                } else {
+                    let e = v.exp();
+                    e / (1.0 + e)
+                }
+            }
+            ActKind::Linear => v,
+        }
+    }
+
+    /// Derivative expressed in terms of the *output* value.
+    fn derivative_from_output(&self, y: f64) -> f64 {
+        match self.kind {
+            ActKind::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActKind::Tanh => 1.0 - y * y,
+            ActKind::Sigmoid => y * (1.0 - y),
+            ActKind::Linear => 1.0,
+        }
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        let mut out = input.clone();
+        for v in out.as_mut_slice() {
+            *v = self.apply(*v);
+        }
+        if training {
+            self.output = Some(out.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let out = self.output.as_ref().expect("backward before forward");
+        let mut grad = grad_output.clone();
+        for (g, &y) in grad.as_mut_slice().iter_mut().zip(out.as_slice()) {
+            *g *= self.derivative_from_output(y);
+        }
+        grad
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Inverted dropout: zeroes a fraction `rate` of activations during training
+/// and rescales the survivors by `1/(1-rate)`; identity at inference.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    rate: f64,
+    rng: NnRng,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1)`.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "rate must be in [0, 1)");
+        Dropout { rate, rng: NnRng::new(seed.wrapping_add(0xD20)), mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        if !training || self.rate == 0.0 {
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let mut mask = Matrix::zeros(input.rows(), input.cols());
+        for v in mask.as_mut_slice() {
+            *v = if self.rng.uniform() < keep { 1.0 / keep } else { 0.0 };
+        }
+        let mut out = input.clone();
+        for (o, &m) in out.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+            *o *= m;
+        }
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        match &self.mask {
+            Some(mask) => {
+                let mut grad = grad_output.clone();
+                for (g, &m) in grad.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                    *g *= m;
+                }
+                grad
+            }
+            None => grad_output.clone(),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finite_diff_check(layer: &mut Dense, input: &Matrix) {
+        // numerical gradient of sum(output) w.r.t. first weight
+        let eps = 1e-6;
+        let out = layer.forward(input, true);
+        let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
+        layer.zero_grads();
+        layer.forward(input, true);
+        layer.backward(&ones);
+        let analytic = layer.grad_w[(0, 0)];
+        let orig = layer.weights[(0, 0)];
+        layer.weights[(0, 0)] = orig + eps;
+        let plus: f64 = layer.forward(input, false).as_slice().iter().sum();
+        layer.weights[(0, 0)] = orig - eps;
+        let minus: f64 = layer.forward(input, false).as_slice().iter().sum();
+        layer.weights[(0, 0)] = orig;
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 1e-4,
+            "analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn dense_forward_shape_and_bias() {
+        let mut d = Dense::new(3, 2, 1);
+        d.bias[(0, 0)] = 5.0;
+        let x = Matrix::zeros(4, 3);
+        let out = d.forward(&x, false);
+        assert_eq!(out.shape(), (4, 2));
+        assert_eq!(out[(0, 0)], 5.0); // zero input -> bias only
+    }
+
+    #[test]
+    fn dense_gradient_matches_finite_difference() {
+        let mut d = Dense::new(3, 2, 7);
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.3, -0.7]]);
+        finite_diff_check(&mut d, &x);
+    }
+
+    #[test]
+    fn dense_input_gradient() {
+        // y = xW, dy/dx for sum loss = row sums of Wᵀ broadcast
+        let mut d = Dense::new(2, 2, 3);
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        d.forward(&x, true);
+        let gin = d.backward(&Matrix::filled(1, 2, 1.0));
+        let expect0 = d.weights[(0, 0)] + d.weights[(0, 1)];
+        assert!((gin[(0, 0)] - expect0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activations_values() {
+        let x = Matrix::from_rows(&[&[-1.0, 0.0, 2.0]]);
+        assert_eq!(Activation::relu().forward(&x, false).as_slice(), &[0.0, 0.0, 2.0]);
+        let t = Activation::tanh().forward(&x, false);
+        assert!((t[(0, 2)] - 2.0f64.tanh()).abs() < 1e-12);
+        let s = Activation::sigmoid().forward(&x, false);
+        assert!((s[(0, 1)] - 0.5).abs() < 1e-12);
+        assert_eq!(Activation::linear().forward(&x, false), x);
+    }
+
+    #[test]
+    fn activation_backward_masks_relu() {
+        let x = Matrix::from_rows(&[&[-1.0, 3.0]]);
+        let mut a = Activation::relu();
+        a.forward(&x, true);
+        let g = a.backward(&Matrix::filled(1, 2, 1.0));
+        assert_eq!(g.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_backward_matches_formula() {
+        let x = Matrix::from_rows(&[&[0.7]]);
+        let mut a = Activation::sigmoid();
+        let y = a.forward(&x, true)[(0, 0)];
+        let g = a.backward(&Matrix::filled(1, 1, 1.0));
+        assert!((g[(0, 0)] - y * (1.0 - y)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dropout_inference_is_identity() {
+        let x = Matrix::filled(3, 4, 2.0);
+        let mut d = Dropout::new(0.5, 1);
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn dropout_training_preserves_expectation() {
+        let x = Matrix::filled(100, 100, 1.0);
+        let mut d = Dropout::new(0.3, 2);
+        let out = d.forward(&x, true);
+        let mean: f64 = out.as_slice().iter().sum::<f64>() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps the mean, got {mean}");
+        // some cells must be zero
+        assert!(out.as_slice().contains(&0.0));
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let x = Matrix::filled(1, 50, 1.0);
+        let mut d = Dropout::new(0.5, 3);
+        let out = d.forward(&x, true);
+        let g = d.backward(&Matrix::filled(1, 50, 1.0));
+        for (o, gv) in out.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*o == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_grads_clears() {
+        let mut d = Dense::new(2, 2, 4);
+        let x = Matrix::filled(1, 2, 1.0);
+        d.forward(&x, true);
+        d.backward(&Matrix::filled(1, 2, 1.0));
+        assert!(d.grad_w.as_slice().iter().any(|&v| v != 0.0));
+        d.zero_grads();
+        assert!(d.grad_w.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

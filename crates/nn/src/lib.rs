@@ -1,0 +1,51 @@
+//! Neural-network substrate for `coda`.
+//!
+//! The paper's time-series prediction pipeline uses Keras/TensorFlow deep
+//! networks (LSTM, CNN, WaveNet, SeriesNet, standard DNNs). This crate
+//! rebuilds that substrate from scratch: explicitly backpropagated layers
+//! over the dense [`coda_linalg::Matrix`] type, composed by [`Sequential`],
+//! trained with SGD or Adam.
+//!
+//! Sequence inputs are represented as flattened rows in **time-major**
+//! layout: a window of `len` timesteps with `ch` channels occupies
+//! `len * ch` columns, cell `(t, c)` at column `t * ch + c` — exactly the
+//! flattening the paper's `FlatWindowing` transformer produces (Fig. 8).
+//!
+//! # Examples
+//!
+//! ```
+//! use coda_nn::{Dense, Activation, Sequential, Loss, Adam};
+//! use coda_linalg::Matrix;
+//!
+//! // learn y = x1 + x2 on a tiny network
+//! let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.0], &[0.0, 0.5], &[2.0, 2.0]]);
+//! let y = Matrix::from_rows(&[&[3.0], &[4.0], &[0.5], &[4.0]]);
+//! let mut net = Sequential::new()
+//!     .push(Dense::new(2, 8, 1))
+//!     .push(Activation::relu())
+//!     .push(Dense::new(8, 1, 2));
+//! let mut opt = Adam::new(0.01);
+//! for _ in 0..300 {
+//!     net.train_batch(&x, &y, Loss::Mse, &mut opt);
+//! }
+//! let pred = net.predict(&x);
+//! assert!((pred[(0, 0)] - 3.0).abs() < 0.3);
+//! ```
+
+pub mod conv;
+pub mod estimators;
+pub mod layer;
+pub mod loss;
+pub mod lstm;
+pub mod network;
+pub mod optim;
+pub mod residual;
+
+pub use conv::{Conv1d, GlobalAvgPool1d, MaxPool1d};
+pub use estimators::{MlpClassifier, MlpRegressor};
+pub use layer::{Activation, Dense, Dropout, Layer};
+pub use loss::Loss;
+pub use lstm::Lstm;
+pub use network::Sequential;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use residual::Residual;

@@ -1,0 +1,131 @@
+//! Training losses.
+
+use coda_linalg::Matrix;
+
+/// A differentiable training loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error (regression/forecasting).
+    Mse,
+    /// Binary cross-entropy on sigmoid probabilities.
+    BinaryCrossEntropy,
+}
+
+impl Loss {
+    /// Loss value averaged over all cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn value(&self, pred: &Matrix, target: &Matrix) -> f64 {
+        assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+        let n = (pred.rows() * pred.cols()) as f64;
+        match self {
+            Loss::Mse => {
+                pred.as_slice()
+                    .iter()
+                    .zip(target.as_slice())
+                    .map(|(p, t)| (p - t) * (p - t))
+                    .sum::<f64>()
+                    / n
+            }
+            Loss::BinaryCrossEntropy => {
+                let eps = 1e-12;
+                pred.as_slice()
+                    .iter()
+                    .zip(target.as_slice())
+                    .map(|(p, t)| {
+                        let p = p.clamp(eps, 1.0 - eps);
+                        -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+                    })
+                    .sum::<f64>()
+                    / n
+            }
+        }
+    }
+
+    /// Gradient of the loss w.r.t. predictions (same shape as `pred`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn gradient(&self, pred: &Matrix, target: &Matrix) -> Matrix {
+        assert_eq!(pred.shape(), target.shape(), "loss shape mismatch");
+        let n = (pred.rows() * pred.cols()) as f64;
+        let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+        match self {
+            Loss::Mse => {
+                for ((g, p), t) in grad
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(pred.as_slice())
+                    .zip(target.as_slice())
+                {
+                    *g = 2.0 * (p - t) / n;
+                }
+            }
+            Loss::BinaryCrossEntropy => {
+                let eps = 1e-12;
+                for ((g, p), t) in grad
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(pred.as_slice())
+                    .zip(target.as_slice())
+                {
+                    let p = p.clamp(eps, 1.0 - eps);
+                    *g = (-(t / p) + (1.0 - t) / (1.0 - p)) / n;
+                }
+            }
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let pred = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let target = Matrix::from_rows(&[&[0.0, 2.0]]);
+        assert!((Loss::Mse.value(&pred, &target) - 0.5).abs() < 1e-12);
+        let g = Loss::Mse.gradient(&pred, &target);
+        assert!((g[(0, 0)] - 1.0).abs() < 1e-12);
+        assert_eq!(g[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let mut pred = Matrix::from_rows(&[&[0.3, -0.7], &[1.2, 0.1]]);
+        let target = Matrix::from_rows(&[&[0.0, 0.5], &[1.0, -0.5]]);
+        let g = Loss::Mse.gradient(&pred, &target);
+        let eps = 1e-7;
+        let orig = pred[(1, 0)];
+        pred[(1, 0)] = orig + eps;
+        let plus = Loss::Mse.value(&pred, &target);
+        pred[(1, 0)] = orig - eps;
+        let minus = Loss::Mse.value(&pred, &target);
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!((g[(1, 0)] - numeric).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_prefers_correct_confidence() {
+        let target = Matrix::from_rows(&[&[1.0]]);
+        let good = Loss::BinaryCrossEntropy.value(&Matrix::from_rows(&[&[0.9]]), &target);
+        let bad = Loss::BinaryCrossEntropy.value(&Matrix::from_rows(&[&[0.1]]), &target);
+        assert!(good < bad);
+        // clamped at extremes
+        assert!(Loss::BinaryCrossEntropy
+            .value(&Matrix::from_rows(&[&[0.0]]), &target)
+            .is_finite());
+    }
+
+    #[test]
+    fn bce_gradient_sign() {
+        let target = Matrix::from_rows(&[&[1.0]]);
+        let g = Loss::BinaryCrossEntropy.gradient(&Matrix::from_rows(&[&[0.3]]), &target);
+        assert!(g[(0, 0)] < 0.0, "increasing p toward 1 must reduce the loss");
+    }
+}

@@ -1,0 +1,427 @@
+//! LSTM layer with full backpropagation-through-time (§IV-C2).
+//!
+//! Consumes flattened time-major windows (`len * ch` columns, as produced by
+//! the CascadedWindows transformer) and emits the hidden state of the final
+//! timestep (`hidden` columns), which a dense head then maps to the forecast.
+
+use coda_linalg::Matrix;
+
+use crate::layer::{Layer, NnRng};
+
+/// Per-timestep forward cache for one sample.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vec<f64>,
+    h_prev: Vec<f64>,
+    c_prev: Vec<f64>,
+    gates: Vec<f64>, // [i, f, g, o] each `hidden` wide, post-activation
+    c: Vec<f64>,
+}
+
+/// A single-layer LSTM returning the last hidden state, or — with
+/// [`Lstm::returning_sequences`] — the full hidden sequence so LSTM layers
+/// can be stacked (the paper's deep 4-layer LSTM architecture).
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    len: usize,
+    ch: usize,
+    hidden: usize,
+    return_sequences: bool,
+    weights: Matrix, // (ch + hidden) x (4 * hidden), gate order [i, f, g, o]
+    bias: Matrix,    // 1 x (4 * hidden)
+    grad_w: Matrix,
+    grad_b: Matrix,
+    cache: Option<Vec<Vec<StepCache>>>, // per sample, per timestep
+}
+
+impl Lstm {
+    /// Creates an LSTM over `len`-step windows of `ch` channels with the
+    /// given hidden size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(len: usize, ch: usize, hidden: usize, seed: u64) -> Self {
+        assert!(len > 0 && ch > 0 && hidden > 0, "dimensions must be positive");
+        let mut rng = NnRng::new(seed.wrapping_add(0x157));
+        let fan_in = (ch + hidden) as f64;
+        let scale = (1.0 / fan_in).sqrt();
+        let mut weights = Matrix::zeros(ch + hidden, 4 * hidden);
+        for v in weights.as_mut_slice() {
+            *v = rng.normal() * scale;
+        }
+        let mut bias = Matrix::zeros(1, 4 * hidden);
+        // forget-gate bias of 1.0 — standard trick to keep early gradients alive
+        for j in hidden..2 * hidden {
+            bias[(0, j)] = 1.0;
+        }
+        Lstm {
+            len,
+            ch,
+            hidden,
+            return_sequences: false,
+            weights,
+            bias,
+            grad_w: Matrix::zeros(ch + hidden, 4 * hidden),
+            grad_b: Matrix::zeros(1, 4 * hidden),
+            cache: None,
+        }
+    }
+
+    /// Switches the layer to emit the full hidden sequence
+    /// (`len * hidden` columns, time-major) instead of the last hidden
+    /// state, so another LSTM layer can consume it.
+    pub fn returning_sequences(mut self) -> Self {
+        self.return_sequences = true;
+        self
+    }
+
+    /// Hidden-state width (the layer's output width when not returning
+    /// sequences).
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Window length the layer consumes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the configured window length is zero (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn sigmoid(v: f64) -> f64 {
+        if v >= 0.0 {
+            1.0 / (1.0 + (-v).exp())
+        } else {
+            let e = v.exp();
+            e / (1.0 + e)
+        }
+    }
+
+    /// One timestep forward for one sample; returns `(gates, c, h)`.
+    fn step(&self, x: &[f64], h_prev: &[f64], c_prev: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let hn = self.hidden;
+        let mut pre = vec![0.0; 4 * hn];
+        for (j, slot) in pre.iter_mut().enumerate() {
+            let mut acc = self.bias[(0, j)];
+            for (i, &xv) in x.iter().enumerate() {
+                acc += xv * self.weights[(i, j)];
+            }
+            for (i, &hv) in h_prev.iter().enumerate() {
+                acc += hv * self.weights[(self.ch + i, j)];
+            }
+            *slot = acc;
+        }
+        let mut gates = vec![0.0; 4 * hn];
+        for j in 0..hn {
+            gates[j] = Self::sigmoid(pre[j]); // i
+            gates[hn + j] = Self::sigmoid(pre[hn + j]); // f
+            gates[2 * hn + j] = pre[2 * hn + j].tanh(); // g
+            gates[3 * hn + j] = Self::sigmoid(pre[3 * hn + j]); // o
+        }
+        let mut c = vec![0.0; hn];
+        let mut h = vec![0.0; hn];
+        for j in 0..hn {
+            c[j] = gates[hn + j] * c_prev[j] + gates[j] * gates[2 * hn + j];
+            h[j] = gates[3 * hn + j] * c[j].tanh();
+        }
+        (gates, c, h)
+    }
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.len * self.ch,
+            "lstm expects {} columns, got {}",
+            self.len * self.ch,
+            input.cols()
+        );
+        let hn = self.hidden;
+        let out_cols = if self.return_sequences { self.len * hn } else { hn };
+        let mut out = Matrix::zeros(input.rows(), out_cols);
+        let mut all_caches = Vec::with_capacity(if training { input.rows() } else { 0 });
+        for r in 0..input.rows() {
+            let row = input.row(r);
+            let mut h = vec![0.0; hn];
+            let mut c = vec![0.0; hn];
+            let mut caches = Vec::with_capacity(if training { self.len } else { 0 });
+            for t in 0..self.len {
+                let x = &row[t * self.ch..(t + 1) * self.ch];
+                let (gates, c_new, h_new) = self.step(x, &h, &c);
+                if training {
+                    caches.push(StepCache {
+                        x: x.to_vec(),
+                        h_prev: h.clone(),
+                        c_prev: c.clone(),
+                        gates,
+                        c: c_new.clone(),
+                    });
+                }
+                h = h_new;
+                c = c_new;
+                if self.return_sequences {
+                    out.row_mut(r)[t * hn..(t + 1) * hn].copy_from_slice(&h);
+                }
+            }
+            if !self.return_sequences {
+                out.row_mut(r).copy_from_slice(&h);
+            }
+            if training {
+                all_caches.push(caches);
+            }
+        }
+        if training {
+            self.cache = Some(all_caches);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let caches = self.cache.as_ref().expect("backward before forward");
+        let hn = self.hidden;
+        let mut grad_in = Matrix::zeros(caches.len(), self.len * self.ch);
+        for (r, sample) in caches.iter().enumerate() {
+            let grad_row = grad_output.row(r);
+            let mut dh: Vec<f64> = if self.return_sequences {
+                grad_row[(self.len - 1) * hn..self.len * hn].to_vec()
+            } else {
+                grad_row.to_vec()
+            };
+            let mut dc = vec![0.0; hn];
+            for t in (0..self.len).rev() {
+                let sc = &sample[t];
+                // h = o * tanh(c)
+                let mut dpre = vec![0.0; 4 * hn];
+                for j in 0..hn {
+                    let i_g = sc.gates[j];
+                    let f_g = sc.gates[hn + j];
+                    let g_g = sc.gates[2 * hn + j];
+                    let o_g = sc.gates[3 * hn + j];
+                    let tc = sc.c[j].tanh();
+                    let do_ = dh[j] * tc;
+                    let dct = dc[j] + dh[j] * o_g * (1.0 - tc * tc);
+                    let di = dct * g_g;
+                    let df = dct * sc.c_prev[j];
+                    let dg = dct * i_g;
+                    dc[j] = dct * f_g; // propagate to c_{t-1}
+                    dpre[j] = di * i_g * (1.0 - i_g);
+                    dpre[hn + j] = df * f_g * (1.0 - f_g);
+                    dpre[2 * hn + j] = dg * (1.0 - g_g * g_g);
+                    dpre[3 * hn + j] = do_ * o_g * (1.0 - o_g);
+                }
+                // accumulate parameter grads and input/hidden grads
+                let mut dh_prev = vec![0.0; hn];
+                for (j, &d) in dpre.iter().enumerate() {
+                    if d == 0.0 {
+                        continue;
+                    }
+                    self.grad_b[(0, j)] += d;
+                    for (i, &xv) in sc.x.iter().enumerate() {
+                        self.grad_w[(i, j)] += d * xv;
+                        grad_in[(r, t * self.ch + i)] += d * self.weights[(i, j)];
+                    }
+                    for (i, &hv) in sc.h_prev.iter().enumerate() {
+                        self.grad_w[(self.ch + i, j)] += d * hv;
+                        dh_prev[i] += d * self.weights[(self.ch + i, j)];
+                    }
+                }
+                if self.return_sequences && t > 0 {
+                    // the hidden state at t-1 also fed the output directly
+                    for (d, &g) in dh_prev.iter_mut().zip(&grad_row[(t - 1) * hn..t * hn]) {
+                        *d += g;
+                    }
+                }
+                dh = dh_prev;
+            }
+        }
+        grad_in
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
+        vec![(&mut self.weights, &mut self.grad_w), (&mut self.bias, &mut self.grad_b)]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shape() {
+        let mut lstm = Lstm::new(6, 2, 5, 1);
+        let x = Matrix::zeros(3, 12);
+        let out = lstm.forward(&x, false);
+        assert_eq!(out.shape(), (3, 5));
+    }
+
+    #[test]
+    fn zero_input_gives_bounded_output() {
+        let mut lstm = Lstm::new(4, 1, 3, 2);
+        let x = Matrix::zeros(1, 4);
+        let out = lstm.forward(&x, false);
+        assert!(out.as_slice().iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_difference() {
+        let mut lstm = Lstm::new(3, 2, 2, 3);
+        let mut x = Matrix::zeros(2, 6);
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v = ((i as f64) * 0.7).sin();
+        }
+        lstm.zero_grads();
+        let out = lstm.forward(&x, true);
+        let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
+        lstm.backward(&ones);
+        for &(wi, wj) in &[(0, 0), (1, 3), (3, 5), (2, 7)] {
+            let analytic = lstm.grad_w[(wi, wj)];
+            let eps = 1e-6;
+            let orig = lstm.weights[(wi, wj)];
+            lstm.weights[(wi, wj)] = orig + eps;
+            let plus: f64 = lstm.forward(&x, false).as_slice().iter().sum();
+            lstm.weights[(wi, wj)] = orig - eps;
+            let minus: f64 = lstm.forward(&x, false).as_slice().iter().sum();
+            lstm.weights[(wi, wj)] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-4,
+                "w[{wi},{wj}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut lstm = Lstm::new(3, 1, 2, 4);
+        let x = Matrix::from_rows(&[&[0.3, -0.5, 0.9]]);
+        let out = lstm.forward(&x, true);
+        let ones = Matrix::filled(out.rows(), out.cols(), 1.0);
+        let gin = lstm.backward(&ones);
+        for col in 0..3 {
+            let eps = 1e-6;
+            let mut xp = x.clone();
+            xp[(0, col)] += eps;
+            let plus: f64 = lstm.forward(&xp, false).as_slice().iter().sum();
+            let mut xm = x.clone();
+            xm[(0, col)] -= eps;
+            let minus: f64 = lstm.forward(&xm, false).as_slice().iter().sum();
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (gin[(0, col)] - numeric).abs() < 1e-4,
+                "col {col}: analytic {} vs numeric {numeric}",
+                gin[(0, col)]
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_matches_finite_difference() {
+        let mut lstm = Lstm::new(2, 1, 2, 5);
+        let x = Matrix::from_rows(&[&[0.4, -0.8]]);
+        lstm.zero_grads();
+        let out = lstm.forward(&x, true);
+        lstm.backward(&Matrix::filled(out.rows(), out.cols(), 1.0));
+        let j = 2;
+        let analytic = lstm.grad_b[(0, j)];
+        let eps = 1e-6;
+        let orig = lstm.bias[(0, j)];
+        lstm.bias[(0, j)] = orig + eps;
+        let plus: f64 = lstm.forward(&x, false).as_slice().iter().sum();
+        lstm.bias[(0, j)] = orig - eps;
+        let minus: f64 = lstm.forward(&x, false).as_slice().iter().sum();
+        lstm.bias[(0, j)] = orig;
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!((analytic - numeric).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sequence_mode_shape_and_last_step_matches() {
+        let x = Matrix::from_rows(&[&[0.1, 0.4, -0.3, 0.8]]);
+        let mut last = Lstm::new(4, 1, 3, 7);
+        let mut seq = Lstm::new(4, 1, 3, 7).returning_sequences();
+        let ol = last.forward(&x, false);
+        let os = seq.forward(&x, false);
+        assert_eq!(os.shape(), (1, 12));
+        // the last 3 columns of the sequence output equal the last-state output
+        for j in 0..3 {
+            assert!((os[(0, 9 + j)] - ol[(0, j)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sequence_mode_gradient_matches_finite_difference() {
+        let mut lstm = Lstm::new(3, 1, 2, 8).returning_sequences();
+        let x = Matrix::from_rows(&[&[0.2, -0.6, 0.5]]);
+        lstm.zero_grads();
+        let out = lstm.forward(&x, true);
+        lstm.backward(&Matrix::filled(out.rows(), out.cols(), 1.0));
+        for &(wi, wj) in &[(0, 0), (1, 5), (2, 3)] {
+            let analytic = lstm.grad_w[(wi, wj)];
+            let eps = 1e-6;
+            let orig = lstm.weights[(wi, wj)];
+            lstm.weights[(wi, wj)] = orig + eps;
+            let plus: f64 = lstm.forward(&x, false).as_slice().iter().sum();
+            lstm.weights[(wi, wj)] = orig - eps;
+            let minus: f64 = lstm.forward(&x, false).as_slice().iter().sum();
+            lstm.weights[(wi, wj)] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-4,
+                "w[{wi},{wj}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn stacked_lstms_train() {
+        use crate::layer::Dense;
+        use crate::loss::Loss;
+        use crate::network::Sequential;
+        use crate::optim::Adam;
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..40 {
+            let base = (i as f64 * 0.37).cos();
+            let seq: Vec<f64> = (0..4).map(|t| base + 0.05 * t as f64).collect();
+            targets.push(vec![seq[3]]);
+            rows.push(seq);
+        }
+        let xr: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let yr: Vec<&[f64]> = targets.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&xr);
+        let y = Matrix::from_rows(&yr);
+        let mut net = Sequential::new()
+            .push(Lstm::new(4, 1, 6, 9).returning_sequences())
+            .push(Lstm::new(4, 6, 6, 10))
+            .push(Dense::new(6, 1, 11));
+        let mut opt = Adam::new(0.02);
+        let hist = net.fit(&x, &y, Loss::Mse, &mut opt, 120, 8, 5);
+        assert!(hist.last().unwrap() < &0.05, "final loss {}", hist.last().unwrap());
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        // an LSTM must distinguish a sequence from its reverse
+        let mut lstm = Lstm::new(4, 1, 3, 6);
+        let fwd = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let rev = Matrix::from_rows(&[&[4.0, 3.0, 2.0, 1.0]]);
+        let of = lstm.forward(&fwd, false);
+        let or = lstm.forward(&rev, false);
+        let diff: f64 = of
+            .as_slice()
+            .iter()
+            .zip(or.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 1e-6, "outputs must differ for reversed input");
+    }
+}

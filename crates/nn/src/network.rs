@@ -1,0 +1,355 @@
+//! The [`Sequential`] network: an ordered stack of layers with a mini-batch
+//! training loop.
+
+use coda_linalg::Matrix;
+
+use crate::layer::{Layer, NnRng};
+use crate::loss::Loss;
+use crate::optim::Optimizer;
+
+/// An ordered stack of layers trained end-to-end.
+///
+/// # Examples
+///
+/// ```
+/// use coda_nn::{Activation, Dense, Loss, Sequential, Sgd};
+/// use coda_linalg::Matrix;
+///
+/// let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+/// let y = Matrix::from_rows(&[&[1.0], &[3.0], &[5.0], &[7.0]]); // y = 2x + 1
+/// let mut net = Sequential::new().push(Dense::new(1, 1, 9));
+/// let mut opt = Sgd::new(0.05);
+/// let history = net.fit(&x, &y, Loss::Mse, &mut opt, 200, 4, 0);
+/// assert!(history.last().unwrap() < &0.01);
+/// ```
+#[derive(Clone, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+    grad_clip: Option<f64>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential[{} layers]", self.layers.len())
+    }
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new(), grad_clip: None }
+    }
+
+    /// Clips the global gradient norm to `max_norm` before every optimizer
+    /// step — the standard defence against the exploding gradients §IV-C2
+    /// notes recurrent nets must handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_norm <= 0`.
+    pub fn with_grad_clip(mut self, max_norm: f64) -> Self {
+        assert!(max_norm > 0.0, "max_norm must be positive");
+        self.grad_clip = Some(max_norm);
+        self
+    }
+
+    /// Appends a layer (builder style).
+    pub fn push<L: Layer + 'static>(mut self, layer: L) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push_boxed(mut self, layer: Box<dyn Layer>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total number of trainable scalar parameters.
+    pub fn n_parameters(&mut self) -> usize {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_and_grads())
+            .map(|(p, _)| p.as_slice().len())
+            .sum()
+    }
+
+    /// Inference pass (no caching, dropout disabled).
+    pub fn predict(&mut self, input: &Matrix) -> Matrix {
+        let mut cur = input.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, false);
+        }
+        cur
+    }
+
+    /// One full-batch training step; returns the loss before the update.
+    pub fn train_batch(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f64 {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, true);
+        }
+        let loss_value = loss.value(&cur, y);
+        let mut grad = loss.gradient(&cur, y);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        let mut pairs: Vec<(&mut Matrix, &mut Matrix)> =
+            self.layers.iter_mut().flat_map(|l| l.params_and_grads()).collect();
+        if let Some(max_norm) = self.grad_clip {
+            let total: f64 = pairs
+                .iter()
+                .map(|(_, g)| g.as_slice().iter().map(|v| v * v).sum::<f64>())
+                .sum();
+            let norm = total.sqrt();
+            if norm > max_norm {
+                let scale = max_norm / norm;
+                for (_, g) in pairs.iter_mut() {
+                    g.scale_mut(scale);
+                }
+            }
+        }
+        optimizer.step(&mut pairs);
+        loss_value
+    }
+
+    /// Mini-batch training for `epochs` passes; returns the per-epoch mean
+    /// training loss. Rows are visited in a deterministic shuffled order
+    /// derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` row counts differ or `batch_size == 0`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit(
+        &mut self,
+        x: &Matrix,
+        y: &Matrix,
+        loss: Loss,
+        optimizer: &mut dyn Optimizer,
+        epochs: usize,
+        batch_size: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        assert_eq!(x.rows(), y.rows(), "x and y row counts differ");
+        assert!(batch_size > 0, "batch_size must be positive");
+        let n = x.rows();
+        let mut rng = NnRng::new(seed.wrapping_add(0xF17));
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut history = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            // Fisher-Yates shuffle
+            for i in (1..n).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                order.swap(i, j);
+            }
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch_size) {
+                let bx = x.select_rows(chunk);
+                let by = y.select_rows(chunk);
+                epoch_loss += self.train_batch(&bx, &by, loss, optimizer);
+                batches += 1;
+            }
+            history.push(epoch_loss / batches.max(1) as f64);
+        }
+        history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::{Conv1d, MaxPool1d};
+    use crate::layer::{Activation, Dense, Dropout};
+    use crate::lstm::Lstm;
+    use crate::optim::{Adam, Sgd};
+
+    #[test]
+    fn learns_linear_function() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0], &[4.0]]);
+        let y = Matrix::from_rows(&[&[1.0], &[3.0], &[5.0], &[7.0], &[9.0]]);
+        let mut net = Sequential::new().push(Dense::new(1, 1, 1));
+        let mut opt = Sgd::new(0.03);
+        let hist = net.fit(&x, &y, Loss::Mse, &mut opt, 300, 5, 0);
+        assert!(hist.last().unwrap() < &1e-3, "final loss {}", hist.last().unwrap());
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layer() {
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[1.0], &[1.0], &[0.0]]);
+        let mut net = Sequential::new()
+            .push(Dense::new(2, 8, 2))
+            .push(Activation::tanh())
+            .push(Dense::new(8, 1, 3))
+            .push(Activation::sigmoid());
+        let mut opt = Adam::new(0.05);
+        for _ in 0..800 {
+            net.train_batch(&x, &y, Loss::BinaryCrossEntropy, &mut opt);
+        }
+        let pred = net.predict(&x);
+        assert!(pred[(0, 0)] < 0.3 && pred[(3, 0)] < 0.3);
+        assert!(pred[(1, 0)] > 0.7 && pred[(2, 0)] > 0.7);
+    }
+
+    #[test]
+    fn training_loss_decreases() {
+        let x = Matrix::from_rows(&[&[0.1, 0.9], &[0.8, 0.3], &[0.5, 0.5], &[0.2, 0.7]]);
+        let y = Matrix::from_rows(&[&[1.0], &[1.1], &[1.0], &[0.9]]);
+        let mut net = Sequential::new()
+            .push(Dense::new(2, 6, 4))
+            .push(Activation::relu())
+            .push(Dense::new(6, 1, 5));
+        let mut opt = Adam::new(0.01);
+        let hist = net.fit(&x, &y, Loss::Mse, &mut opt, 50, 2, 1);
+        assert!(hist.last().unwrap() < &hist[0]);
+    }
+
+    #[test]
+    fn conv_pool_dense_stack_trains() {
+        // classify whether the spike is in the first or second half
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let mut r = vec![0.0; 8];
+            let pos = i % 8;
+            r[pos] = 1.0;
+            rows.push(r);
+            labels.push(vec![if pos < 4 { 0.0 } else { 1.0 }]);
+        }
+        let xr: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let yr: Vec<&[f64]> = labels.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&xr);
+        let y = Matrix::from_rows(&yr);
+        let conv = Conv1d::new(8, 1, 4, 3, 1, false, 6);
+        let conv_w = conv.out_width();
+        let conv_len = conv.out_len();
+        let pool = MaxPool1d::new(conv_len, 4, 2);
+        let pool_w = pool.out_width();
+        let mut net = Sequential::new()
+            .push(conv)
+            .push(Activation::relu())
+            .push(pool)
+            .push(Dense::new(pool_w, 1, 7))
+            .push(Activation::sigmoid());
+        assert_eq!(conv_w, conv_len * 4);
+        let mut opt = Adam::new(0.02);
+        let hist = net.fit(&x, &y, Loss::BinaryCrossEntropy, &mut opt, 120, 8, 2);
+        assert!(hist.last().unwrap() < &0.2, "final loss {}", hist.last().unwrap());
+    }
+
+    #[test]
+    fn lstm_dense_learns_sequence_mean_shift() {
+        // target = last value of the sequence (persistence learnable by LSTM)
+        let mut rows = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..60 {
+            let base = (i as f64 * 0.41).sin();
+            let seq: Vec<f64> = (0..5).map(|t| base + t as f64 * 0.1).collect();
+            targets.push(vec![seq[4]]);
+            rows.push(seq);
+        }
+        let xr: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let yr: Vec<&[f64]> = targets.iter().map(|r| r.as_slice()).collect();
+        let x = Matrix::from_rows(&xr);
+        let y = Matrix::from_rows(&yr);
+        let mut net = Sequential::new()
+            .push(Lstm::new(5, 1, 8, 8))
+            .push(Dense::new(8, 1, 9));
+        let mut opt = Adam::new(0.01);
+        let hist = net.fit(&x, &y, Loss::Mse, &mut opt, 150, 10, 3);
+        assert!(hist.last().unwrap() < &0.05, "final loss {}", hist.last().unwrap());
+    }
+
+    #[test]
+    fn dropout_network_still_trains() {
+        let x = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let y = Matrix::from_rows(&[&[0.0], &[2.0], &[4.0], &[6.0]]);
+        let mut net = Sequential::new()
+            .push(Dense::new(1, 16, 10))
+            .push(Activation::relu())
+            .push(Dropout::new(0.2, 11))
+            .push(Dense::new(16, 1, 12));
+        let mut opt = Adam::new(0.02);
+        let hist = net.fit(&x, &y, Loss::Mse, &mut opt, 200, 4, 4);
+        assert!(hist.last().unwrap() < &0.5);
+    }
+
+    #[test]
+    fn parameter_count() {
+        let mut net = Sequential::new().push(Dense::new(3, 4, 0)).push(Dense::new(4, 2, 1));
+        // (3*4 + 4) + (4*2 + 2) = 16 + 10
+        assert_eq!(net.n_parameters(), 26);
+        assert_eq!(net.len(), 2);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn grad_clip_bounds_the_update() {
+        use crate::optim::Sgd;
+        // huge targets produce huge gradients; clipping bounds the step
+        let x = Matrix::from_rows(&[&[1.0]]);
+        let y = Matrix::from_rows(&[&[1e9]]);
+        let step_norm = |clip: Option<f64>| -> f64 {
+            let mut net = Sequential::new().push(Dense::new(1, 1, 20));
+            if let Some(c) = clip {
+                net = net.with_grad_clip(c);
+            }
+            let before = net.predict(&x)[(0, 0)];
+            let mut opt = Sgd::new(0.1);
+            net.train_batch(&x, &y, Loss::Mse, &mut opt);
+            (net.predict(&x)[(0, 0)] - before).abs()
+        };
+        let unclipped = step_norm(None);
+        let clipped = step_norm(Some(1.0));
+        assert!(unclipped > 1e6, "unclipped step {unclipped}");
+        // lr 0.1 x clipped norm 1.0 bounds the parameter move
+        assert!(clipped < 1.0, "clipped step {clipped}");
+    }
+
+    #[test]
+    fn grad_clip_inactive_below_threshold() {
+        use crate::optim::Sgd;
+        let x = Matrix::from_rows(&[&[0.5]]);
+        let y = Matrix::from_rows(&[&[0.6]]);
+        let run = |clip: Option<f64>| {
+            let mut net = Sequential::new().push(Dense::new(1, 1, 21));
+            if let Some(c) = clip {
+                net = net.with_grad_clip(c);
+            }
+            let mut opt = Sgd::new(0.05);
+            net.train_batch(&x, &y, Loss::Mse, &mut opt);
+            net.predict(&x)[(0, 0)]
+        };
+        // tiny gradients: a huge clip threshold must not change anything
+        assert_eq!(run(None).to_bits(), run(Some(1e9)).to_bits());
+    }
+
+    #[test]
+    fn clone_shares_weights_values() {
+        let mut net = Sequential::new().push(Dense::new(2, 2, 13));
+        let mut cloned = net.clone();
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert_eq!(net.predict(&x), cloned.predict(&x));
+    }
+}

@@ -1,0 +1,186 @@
+//! Optimizers: SGD with momentum and Adam.
+
+use coda_linalg::Matrix;
+
+/// A first-order optimizer over a flat list of `(param, grad)` pairs.
+///
+/// The pair order must be stable across steps (the [`crate::Sequential`]
+/// network guarantees this); optimizers key their internal state by position.
+pub trait Optimizer: Send {
+    /// Applies one update step to every parameter.
+    fn step(&mut self, params_and_grads: &mut [(&mut Matrix, &mut Matrix)]);
+
+    /// The configured learning rate.
+    fn learning_rate(&self) -> f64;
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f64,
+    momentum: f64,
+    velocity: Vec<Vec<f64>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        Self::with_momentum(lr, 0.0)
+    }
+
+    /// SGD with momentum in `[0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid hyper-parameters.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params_and_grads: &mut [(&mut Matrix, &mut Matrix)]) {
+        if self.velocity.len() != params_and_grads.len() {
+            self.velocity = params_and_grads
+                .iter()
+                .map(|(p, _)| vec![0.0; p.as_slice().len()])
+                .collect();
+        }
+        for (idx, (param, grad)) in params_and_grads.iter_mut().enumerate() {
+            let vel = &mut self.velocity[idx];
+            for ((p, g), v) in param
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice())
+                .zip(vel.iter_mut())
+            {
+                *v = self.momentum * *v - self.lr * g;
+                *p += *v;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f64) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params_and_grads: &mut [(&mut Matrix, &mut Matrix)]) {
+        if self.m.len() != params_and_grads.len() {
+            self.m = params_and_grads
+                .iter()
+                .map(|(p, _)| vec![0.0; p.as_slice().len()])
+                .collect();
+            self.v = self.m.clone();
+            self.t = 0;
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (idx, (param, grad)) in params_and_grads.iter_mut().enumerate() {
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            for (((p, g), mi), vi) in param
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad.as_slice())
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * g;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * g * g;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f64 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)² with each optimizer.
+    fn minimize(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut x = Matrix::from_rows(&[&[0.0]]);
+        let mut g = Matrix::zeros(1, 1);
+        for _ in 0..steps {
+            g[(0, 0)] = 2.0 * (x[(0, 0)] - 3.0);
+            let mut pairs = vec![(&mut x, &mut g)];
+            opt.step(&mut pairs);
+        }
+        x[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        let x = minimize(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-6, "got {x}");
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let mut plain = Sgd::new(0.01);
+        let mut mom = Sgd::with_momentum(0.01, 0.9);
+        let xp = minimize(&mut plain, 50);
+        let xm = minimize(&mut mom, 50);
+        assert!((xm - 3.0).abs() < (xp - 3.0).abs(), "momentum should be closer");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        let x = minimize(&mut opt, 300);
+        assert!((x - 3.0).abs() < 1e-3, "got {x}");
+    }
+
+    #[test]
+    fn learning_rate_exposed() {
+        assert_eq!(Sgd::new(0.5).learning_rate(), 0.5);
+        assert_eq!(Adam::new(0.01).learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn invalid_hyperparameters_panic() {
+        assert!(std::panic::catch_unwind(|| Sgd::new(0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Sgd::with_momentum(0.1, 1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| Adam::new(-0.1)).is_err());
+    }
+}

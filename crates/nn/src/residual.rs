@@ -1,0 +1,127 @@
+//! Residual wrapper: `y = x + f(x)` for a stack of inner layers — the
+//! skip-connection building block of the SeriesNet architecture (§IV-C2).
+
+use coda_linalg::Matrix;
+
+use crate::layer::Layer;
+
+/// Wraps inner layers with an identity skip connection. The inner stack must
+/// preserve width (`f: R^d -> R^d`).
+pub struct Residual {
+    inner: Vec<Box<dyn Layer>>,
+}
+
+impl Residual {
+    /// Creates a residual block from inner layers.
+    pub fn new(inner: Vec<Box<dyn Layer>>) -> Self {
+        Residual { inner }
+    }
+}
+
+impl Clone for Residual {
+    fn clone(&self) -> Self {
+        Residual { inner: self.inner.iter().map(|l| l.clone_box()).collect() }
+    }
+}
+
+impl std::fmt::Debug for Residual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Residual[{} inner layers]", self.inner.len())
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        let mut cur = input.clone();
+        for layer in &mut self.inner {
+            cur = layer.forward(&cur, training);
+        }
+        assert_eq!(
+            cur.shape(),
+            input.shape(),
+            "residual inner stack must preserve shape"
+        );
+        &cur + input
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad = grad_output.clone();
+        for layer in self.inner.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        &grad + grad_output
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
+        self.inner.iter_mut().flat_map(|l| l.params_and_grads()).collect()
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::Conv1d;
+    use crate::layer::{Activation, Dense};
+
+    #[test]
+    fn identity_inner_doubles_input() {
+        let mut r = Residual::new(vec![Box::new(Activation::linear())]);
+        let x = Matrix::from_rows(&[&[1.0, -2.0]]);
+        let out = r.forward(&x, false);
+        assert_eq!(out.as_slice(), &[2.0, -4.0]);
+    }
+
+    #[test]
+    fn backward_adds_skip_gradient() {
+        // inner = zero map (relu of very negative dense) -> grad = skip only
+        let mut dense = Dense::new(2, 2, 1);
+        for v in dense.params_and_grads()[0].0.as_mut_slice() {
+            *v = 0.0;
+        }
+        let mut r = Residual::new(vec![Box::new(dense)]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        r.forward(&x, true);
+        let g = r.backward(&Matrix::filled(1, 2, 1.0));
+        // zero weights: inner backward contributes 0, skip contributes 1
+        assert_eq!(g.as_slice(), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference_through_conv_block() {
+        let mut block = Residual::new(vec![
+            Box::new(Conv1d::new(5, 2, 2, 2, 1, true, 3)),
+            Box::new(Activation::tanh()),
+        ]);
+        let mut x = Matrix::zeros(1, 10);
+        for (i, v) in x.as_mut_slice().iter_mut().enumerate() {
+            *v = (i as f64 * 0.31).sin();
+        }
+        block.zero_grads();
+        let out = block.forward(&x, true);
+        block.backward(&Matrix::filled(out.rows(), out.cols(), 1.0));
+        let pairs = block.params_and_grads();
+        let analytic = pairs[0].1[(0, 0)];
+        drop(pairs);
+        let eps = 1e-6;
+        let orig = block.params_and_grads()[0].0[(0, 0)];
+        block.params_and_grads()[0].0[(0, 0)] = orig + eps;
+        let plus: f64 = block.forward(&x, false).as_slice().iter().sum();
+        block.params_and_grads()[0].0[(0, 0)] = orig - eps;
+        let minus: f64 = block.forward(&x, false).as_slice().iter().sum();
+        block.params_and_grads()[0].0[(0, 0)] = orig;
+        let numeric = (plus - minus) / (2.0 * eps);
+        assert!((analytic - numeric).abs() < 1e-4, "analytic {analytic} numeric {numeric}");
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve shape")]
+    fn shape_changing_inner_panics() {
+        let mut r = Residual::new(vec![Box::new(Dense::new(2, 3, 1))]);
+        let x = Matrix::zeros(1, 2);
+        r.forward(&x, false);
+    }
+}

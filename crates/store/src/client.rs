@@ -1,0 +1,265 @@
+//! A caching client of a home data store: holds local versions, pulls with
+//! version-aware fetches, and applies push messages (full, delta or
+//! notify-then-pull).
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+use crate::delta::{DeltaCodec, DeltaError};
+use crate::home::{FetchReply, HomeDataStore};
+use crate::lease::UpdateMessage;
+
+/// Error produced when applying an update to the local cache.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// A delta arrived for a version the client does not hold.
+    BaseVersionMismatch {
+        /// Version the delta needs.
+        needed: u64,
+        /// Version the client holds (0 = none).
+        held: u64,
+    },
+    /// Delta application failed.
+    Delta(DeltaError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::BaseVersionMismatch { needed, held } => {
+                write!(f, "delta needs base version {needed}, client holds {held}")
+            }
+            ClientError::Delta(e) => write!(f, "delta application failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<DeltaError> for ClientError {
+    fn from(e: DeltaError) -> Self {
+        ClientError::Delta(e)
+    }
+}
+
+/// A client-side object cache.
+#[derive(Debug, Clone, Default)]
+pub struct CachingClient {
+    name: String,
+    cache: BTreeMap<String, (u64, Bytes)>,
+    /// Bytes received over all pulls/pushes.
+    pub bytes_received: u64,
+}
+
+impl CachingClient {
+    /// Creates a named client with an empty cache.
+    pub fn new<S: Into<String>>(name: S) -> Self {
+        CachingClient { name: name.into(), cache: BTreeMap::new(), bytes_received: 0 }
+    }
+
+    /// The client's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The locally-held version of `object` (None if uncached).
+    pub fn held_version(&self, object: &str) -> Option<u64> {
+        self.cache.get(object).map(|(v, _)| *v)
+    }
+
+    /// The locally-held bytes of `object`.
+    pub fn held_data(&self, object: &str) -> Option<&Bytes> {
+        self.cache.get(object).map(|(_, d)| d)
+    }
+
+    /// Pulls the latest version from the home store, passing the held
+    /// version so the store can reply with a delta (paper §III).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when a received delta cannot be applied.
+    pub fn pull(&mut self, store: &mut HomeDataStore, object: &str) -> Result<bool, ClientError> {
+        let held = self.held_version(object);
+        let Some(reply) = store.fetch(object, held).expect("infallible") else {
+            return Ok(false);
+        };
+        self.bytes_received += reply.wire_size() as u64;
+        match reply {
+            FetchReply::UpToDate { .. } => Ok(true),
+            FetchReply::Full { version, data } => {
+                self.cache.insert(object.to_string(), (version, data));
+                Ok(true)
+            }
+            FetchReply::Delta(delta) => {
+                let (held_v, held_data) = self
+                    .cache
+                    .get(object)
+                    .cloned()
+                    .ok_or(ClientError::BaseVersionMismatch {
+                        needed: delta.base_version,
+                        held: 0,
+                    })?;
+                if held_v != delta.base_version {
+                    return Err(ClientError::BaseVersionMismatch {
+                        needed: delta.base_version,
+                        held: held_v,
+                    });
+                }
+                let rebuilt = DeltaCodec::apply(&held_data, &delta)?;
+                self.cache
+                    .insert(object.to_string(), (delta.target_version, rebuilt));
+                Ok(true)
+            }
+        }
+    }
+
+    /// Applies a push message. `Notify` messages only record that the cache
+    /// is stale; call [`CachingClient::pull`] to refresh on demand.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] when a pushed delta cannot be applied.
+    pub fn apply_push(&mut self, message: &UpdateMessage) -> Result<(), ClientError> {
+        self.bytes_received += message.wire_size() as u64;
+        match message {
+            UpdateMessage::Full { object, version, data, .. } => {
+                self.cache.insert(object.clone(), (*version, data.clone()));
+                Ok(())
+            }
+            UpdateMessage::Delta { object, delta, .. } => {
+                let (held_v, held_data) = self
+                    .cache
+                    .get(object)
+                    .cloned()
+                    .ok_or(ClientError::BaseVersionMismatch {
+                        needed: delta.base_version,
+                        held: 0,
+                    })?;
+                if held_v != delta.base_version {
+                    return Err(ClientError::BaseVersionMismatch {
+                        needed: delta.base_version,
+                        held: held_v,
+                    });
+                }
+                let rebuilt = DeltaCodec::apply(&held_data, delta)?;
+                self.cache.insert(object.clone(), (delta.target_version, rebuilt));
+                Ok(())
+            }
+            UpdateMessage::Notify { .. } => Ok(()),
+        }
+    }
+
+    /// True when the client's held version of `object` is behind `store`.
+    pub fn is_stale(&self, store: &HomeDataStore, object: &str) -> bool {
+        match (self.held_version(object), store.version_of(object)) {
+            (Some(h), Some(s)) => h < s,
+            (None, Some(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lease::PushMode;
+
+    fn patterned(n: usize, seed: u8) -> Bytes {
+        Bytes::from(
+            (0..n).map(|i| ((i as u64 * 13 + seed as u64) % 241) as u8).collect::<Vec<u8>>(),
+        )
+    }
+
+    #[test]
+    fn pull_full_then_delta() {
+        let mut store = HomeDataStore::new("h", 4);
+        let mut client = CachingClient::new("c");
+        let base = patterned(20_000, 1);
+        store.put("o", base.clone());
+        assert!(client.pull(&mut store, "o").unwrap());
+        assert_eq!(client.held_version("o"), Some(1));
+        let full_bytes = client.bytes_received;
+
+        let mut v2 = base.to_vec();
+        v2[100] ^= 0xFF;
+        store.put("o", Bytes::from(v2.clone()));
+        assert!(client.is_stale(&store, "o"));
+        client.pull(&mut store, "o").unwrap();
+        assert_eq!(client.held_version("o"), Some(2));
+        assert_eq!(&client.held_data("o").unwrap()[..], &v2[..]);
+        // the delta pull must be far cheaper than the initial full pull
+        let delta_bytes = client.bytes_received - full_bytes;
+        assert!(delta_bytes < full_bytes / 10, "delta {delta_bytes} vs full {full_bytes}");
+    }
+
+    #[test]
+    fn pull_missing_object() {
+        let mut store = HomeDataStore::new("h", 4);
+        let mut client = CachingClient::new("c");
+        assert!(!client.pull(&mut store, "nope").unwrap());
+    }
+
+    #[test]
+    fn pull_up_to_date_costs_header_only() {
+        let mut store = HomeDataStore::new("h", 4);
+        let mut client = CachingClient::new("c");
+        store.put("o", patterned(1000, 2));
+        client.pull(&mut store, "o").unwrap();
+        let before = client.bytes_received;
+        client.pull(&mut store, "o").unwrap();
+        assert_eq!(client.bytes_received - before, 16);
+        assert!(!client.is_stale(&store, "o"));
+    }
+
+    #[test]
+    fn push_full_and_delta_apply() {
+        let mut store = HomeDataStore::new("h", 4);
+        let mut client = CachingClient::new("c");
+        let base = patterned(10_000, 3);
+        store.put("o", base.clone());
+        client.pull(&mut store, "o").unwrap();
+        store.subscribe("c", "o", PushMode::Delta, 100);
+        let mut v2 = base.to_vec();
+        v2[0] ^= 1;
+        let (_, messages) = store.put("o", Bytes::from(v2.clone()));
+        assert_eq!(messages.len(), 1);
+        client.apply_push(&messages[0]).unwrap();
+        assert_eq!(client.held_version("o"), Some(2));
+        assert_eq!(&client.held_data("o").unwrap()[..], &v2[..]);
+    }
+
+    #[test]
+    fn notify_then_on_demand_pull() {
+        let mut store = HomeDataStore::new("h", 4);
+        let mut client = CachingClient::new("c");
+        let base = patterned(10_000, 4);
+        store.put("o", base.clone());
+        client.pull(&mut store, "o").unwrap();
+        store.subscribe("c", "o", PushMode::NotifyOnly, 100);
+        let mut v2 = base.to_vec();
+        v2[9] ^= 0xF0;
+        let (_, messages) = store.put("o", Bytes::from(v2));
+        client.apply_push(&messages[0]).unwrap();
+        // notify does not update the cache...
+        assert_eq!(client.held_version("o"), Some(1));
+        assert!(client.is_stale(&store, "o"));
+        // ...until the client decides to pull
+        client.pull(&mut store, "o").unwrap();
+        assert_eq!(client.held_version("o"), Some(2));
+    }
+
+    #[test]
+    fn delta_for_wrong_base_rejected() {
+        let mut store = HomeDataStore::new("h", 4);
+        let mut client = CachingClient::new("c");
+        let base = patterned(10_000, 5);
+        store.put("o", base.clone());
+        // client never pulled; a delta push cannot apply
+        store.subscribe("c", "o", PushMode::Delta, 100);
+        let mut v2 = base.to_vec();
+        v2[1] ^= 1;
+        let (_, messages) = store.put("o", Bytes::from(v2));
+        let err = client.apply_push(&messages[0]).unwrap_err();
+        assert!(matches!(err, ClientError::BaseVersionMismatch { held: 0, .. }));
+    }
+}

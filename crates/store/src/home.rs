@@ -1,0 +1,522 @@
+//! The home data store (paper §III): holds the current version of each
+//! object, keeps recent versions plus precomputed deltas
+//! `d(o, k−1, k), d(o, k−2, k), …`, and answers version-aware fetches with
+//! either the full object or a delta — whichever is cheaper on the wire.
+
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::delta::{Delta, DeltaCodec};
+use crate::lease::{Lease, PushMode, UpdateMessage};
+
+/// How far below the full size a delta must be to be preferred
+/// ("considerably smaller" in the paper): delta must be < 1/2 of full.
+const DELTA_ADVANTAGE: f64 = 0.5;
+
+/// Cumulative transfer accounting for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Messages sent.
+    pub messages: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+    /// Full-object transfers.
+    pub full_transfers: u64,
+    /// Delta transfers.
+    pub delta_transfers: u64,
+    /// Notification-only messages.
+    pub notifications: u64,
+}
+
+impl TransferStats {
+    fn record_full(&mut self, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        self.full_transfers += 1;
+    }
+
+    fn record_delta(&mut self, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        self.delta_transfers += 1;
+    }
+
+    fn record_notification(&mut self) {
+        self.messages += 1;
+        self.bytes += 32; // version number + change summary
+        self.notifications += 1;
+    }
+}
+
+/// Reply to a version-aware fetch.
+#[derive(Debug, Clone)]
+pub enum FetchReply {
+    /// The full current version.
+    Full {
+        /// Current version number.
+        version: u64,
+        /// Object bytes.
+        data: Bytes,
+    },
+    /// A delta from the client's version to the current one.
+    Delta(Delta),
+    /// The client is already current.
+    UpToDate {
+        /// Current version number.
+        version: u64,
+    },
+}
+
+impl FetchReply {
+    /// Bytes this reply occupies on the wire.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            FetchReply::Full { data, .. } => data.len() + 16,
+            FetchReply::Delta(d) => d.wire_size(),
+            FetchReply::UpToDate { .. } => 16,
+        }
+    }
+
+    /// The version the reply brings the client to.
+    pub fn version(&self) -> u64 {
+        match self {
+            FetchReply::Full { version, .. } => *version,
+            FetchReply::Delta(d) => d.target_version,
+            FetchReply::UpToDate { version } => *version,
+        }
+    }
+}
+
+/// One stored object: current version plus a bounded history of recent
+/// versions with precomputed deltas to the current version.
+#[derive(Debug, Clone)]
+struct StoredObject {
+    version: u64,
+    data: Bytes,
+    /// (version, full bytes) most-recent-last; bounded by `history_depth`.
+    history: VecDeque<(u64, Bytes)>,
+    /// Precomputed d(o, v, current) keyed by base version v.
+    deltas: BTreeMap<u64, Delta>,
+}
+
+/// An in-process home data store with lease-based push and accounting.
+#[derive(Debug, Clone)]
+pub struct HomeDataStore {
+    name: String,
+    history_depth: usize,
+    objects: BTreeMap<String, StoredObject>,
+    leases: Vec<Lease>,
+    stats: TransferStats,
+    clock: u64,
+}
+
+impl HomeDataStore {
+    /// Creates a store keeping `history_depth` recent versions per object.
+    pub fn new<S: Into<String>>(name: S, history_depth: usize) -> Self {
+        HomeDataStore {
+            name: name.into(),
+            history_depth: history_depth.max(1),
+            objects: BTreeMap::new(),
+            leases: Vec::new(),
+            stats: TransferStats::default(),
+            clock: 0,
+        }
+    }
+
+    /// The store's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cumulative transfer statistics.
+    pub fn stats(&self) -> TransferStats {
+        self.stats
+    }
+
+    /// Resets transfer statistics (between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.stats = TransferStats::default();
+    }
+
+    /// Current logical time.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// Advances the logical clock, expiring leases.
+    pub fn advance_clock(&mut self, ticks: u64) {
+        self.clock += ticks;
+        let now = self.clock;
+        self.leases.retain(|l| l.expires_at > now);
+    }
+
+    /// Current version of an object, if stored.
+    pub fn version_of(&self, id: &str) -> Option<u64> {
+        self.objects.get(id).map(|o| o.version)
+    }
+
+    /// Stores a new version of `id` (creating it at version 1), precomputes
+    /// deltas from retained history, and pushes to subscribed clients.
+    /// Returns the new version number and any push messages to deliver.
+    pub fn put<S: AsRef<str>>(&mut self, id: S, data: Bytes) -> (u64, Vec<UpdateMessage>) {
+        let id = id.as_ref();
+        let entry = self.objects.entry(id.to_string()).or_insert_with(|| StoredObject {
+            version: 0,
+            data: Bytes::new(),
+            history: VecDeque::new(),
+            deltas: BTreeMap::new(),
+        });
+        if entry.version > 0 {
+            entry.history.push_back((entry.version, entry.data.clone()));
+            while entry.history.len() > self.history_depth {
+                entry.history.pop_front();
+            }
+        }
+        entry.version += 1;
+        entry.data = data;
+        // precompute d(o, v, current) for every retained version
+        entry.deltas.clear();
+        let (cur_version, cur_data) = (entry.version, entry.data.clone());
+        for (v, old) in &entry.history {
+            entry
+                .deltas
+                .insert(*v, DeltaCodec::encode(old, &cur_data, *v, cur_version));
+        }
+        // push to lease holders
+        let mut messages = Vec::new();
+        let now = self.clock;
+        let object = self.objects.get(id).expect("just inserted");
+        for lease in self.leases.iter().filter(|l| l.object == id && l.expires_at > now) {
+            let msg = match lease.mode {
+                PushMode::Full => {
+                    self.stats.record_full(object.data.len());
+                    UpdateMessage::Full {
+                        client: lease.client.clone(),
+                        object: id.to_string(),
+                        version: cur_version,
+                        data: object.data.clone(),
+                    }
+                }
+                PushMode::Delta => {
+                    // delta from the immediately preceding version when kept
+                    match object.deltas.get(&(cur_version - 1)) {
+                        Some(d) if (d.wire_size() as f64)
+                            < DELTA_ADVANTAGE * object.data.len() as f64 =>
+                        {
+                            self.stats.record_delta(d.wire_size());
+                            UpdateMessage::Delta {
+                                client: lease.client.clone(),
+                                object: id.to_string(),
+                                delta: d.clone(),
+                            }
+                        }
+                        _ => {
+                            self.stats.record_full(object.data.len());
+                            UpdateMessage::Full {
+                                client: lease.client.clone(),
+                                object: id.to_string(),
+                                version: cur_version,
+                                data: object.data.clone(),
+                            }
+                        }
+                    }
+                }
+                PushMode::NotifyOnly => {
+                    self.stats.record_notification();
+                    let changed = object
+                        .deltas
+                        .get(&(cur_version - 1))
+                        .map(|d| d.literal_bytes())
+                        .unwrap_or(object.data.len());
+                    UpdateMessage::Notify {
+                        client: lease.client.clone(),
+                        object: id.to_string(),
+                        version: cur_version,
+                        changed_bytes: changed,
+                    }
+                }
+            };
+            messages.push(msg);
+        }
+        (cur_version, messages)
+    }
+
+    /// Version-aware fetch (pull paradigm): the client passes its held
+    /// version; the store replies with a delta when one exists and is
+    /// considerably smaller than the full object, otherwise the full copy.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` reserves room for storage-backend
+    /// errors.
+    pub fn fetch(
+        &mut self,
+        id: &str,
+        client_version: Option<u64>,
+    ) -> Result<Option<FetchReply>, std::convert::Infallible> {
+        let Some(object) = self.objects.get(id) else {
+            return Ok(None);
+        };
+        let reply = match client_version {
+            Some(v) if v == object.version => {
+                self.stats.messages += 1;
+                self.stats.bytes += 16;
+                FetchReply::UpToDate { version: v }
+            }
+            Some(v) => match object.deltas.get(&v) {
+                Some(d)
+                    if (d.wire_size() as f64) < DELTA_ADVANTAGE * object.data.len() as f64 =>
+                {
+                    self.stats.record_delta(d.wire_size());
+                    FetchReply::Delta(d.clone())
+                }
+                _ => {
+                    self.stats.record_full(object.data.len());
+                    FetchReply::Full { version: object.version, data: object.data.clone() }
+                }
+            },
+            None => {
+                self.stats.record_full(object.data.len());
+                FetchReply::Full { version: object.version, data: object.data.clone() }
+            }
+        };
+        Ok(Some(reply))
+    }
+
+    /// Grants (or replaces) a lease: `client` subscribes to `object` updates
+    /// in `mode` until logical time `now + duration`.
+    pub fn subscribe<S: Into<String>>(
+        &mut self,
+        client: S,
+        object: S,
+        mode: PushMode,
+        duration: u64,
+    ) -> Lease {
+        let lease = Lease {
+            client: client.into(),
+            object: object.into(),
+            mode,
+            expires_at: self.clock + duration,
+        };
+        self.leases
+            .retain(|l| !(l.client == lease.client && l.object == lease.object));
+        self.leases.push(lease.clone());
+        lease
+    }
+
+    /// Renews an existing lease to `now + duration`. Returns false if no
+    /// matching lease exists (expired leases must be re-subscribed).
+    pub fn renew(&mut self, client: &str, object: &str, duration: u64) -> bool {
+        let now = self.clock;
+        for l in &mut self.leases {
+            if l.client == client && l.object == object && l.expires_at > now {
+                l.expires_at = now + duration;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Cancels a lease early (the paper: clients should cancel leases for
+    /// data they no longer need). Returns true if one was removed.
+    pub fn cancel(&mut self, client: &str, object: &str) -> bool {
+        let before = self.leases.len();
+        self.leases.retain(|l| !(l.client == client && l.object == object));
+        self.leases.len() < before
+    }
+
+    /// Active (unexpired) lease count.
+    pub fn active_leases(&self) -> usize {
+        let now = self.clock;
+        self.leases.iter().filter(|l| l.expires_at > now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta::DeltaCodec;
+
+    fn big(val: u8, n: usize) -> Bytes {
+        Bytes::from(vec![val; n])
+    }
+
+    fn patterned(n: usize, seed: u8) -> Bytes {
+        Bytes::from((0..n).map(|i| ((i as u64 * 31 + seed as u64) % 251) as u8).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn versions_increment() {
+        let mut s = HomeDataStore::new("h", 3);
+        let (v1, _) = s.put("o", big(1, 100));
+        let (v2, _) = s.put("o", big(2, 100));
+        assert_eq!((v1, v2), (1, 2));
+        assert_eq!(s.version_of("o"), Some(2));
+        assert_eq!(s.version_of("missing"), None);
+    }
+
+    #[test]
+    fn fetch_full_when_no_client_version() {
+        let mut s = HomeDataStore::new("h", 3);
+        s.put("o", patterned(5000, 1));
+        let reply = s.fetch("o", None).unwrap().unwrap();
+        assert!(matches!(reply, FetchReply::Full { version: 1, .. }));
+        assert_eq!(s.stats().full_transfers, 1);
+    }
+
+    #[test]
+    fn fetch_delta_for_small_change() {
+        let mut s = HomeDataStore::new("h", 3);
+        let base = patterned(10_000, 2);
+        s.put("o", base.clone());
+        let mut v2 = base.to_vec();
+        v2[123] ^= 0xFF;
+        s.put("o", Bytes::from(v2.clone()));
+        let reply = s.fetch("o", Some(1)).unwrap().unwrap();
+        match &reply {
+            FetchReply::Delta(d) => {
+                assert_eq!(d.base_version, 1);
+                assert_eq!(d.target_version, 2);
+                let rebuilt = DeltaCodec::apply(&base, d).unwrap();
+                assert_eq!(&rebuilt[..], &v2[..]);
+            }
+            other => panic!("expected delta, got {other:?}"),
+        }
+        assert!(reply.wire_size() < 1000);
+        assert_eq!(s.stats().delta_transfers, 1);
+    }
+
+    #[test]
+    fn fetch_full_when_delta_not_worth_it() {
+        let mut s = HomeDataStore::new("h", 3);
+        s.put("o", big(0, 5000));
+        s.put("o", big(255, 5000)); // complete rewrite
+        let reply = s.fetch("o", Some(1)).unwrap().unwrap();
+        assert!(matches!(reply, FetchReply::Full { .. }));
+    }
+
+    #[test]
+    fn fetch_up_to_date() {
+        let mut s = HomeDataStore::new("h", 3);
+        s.put("o", big(1, 100));
+        let reply = s.fetch("o", Some(1)).unwrap().unwrap();
+        assert!(matches!(reply, FetchReply::UpToDate { version: 1 }));
+        assert_eq!(reply.wire_size(), 16);
+    }
+
+    #[test]
+    fn history_depth_bounds_delta_availability() {
+        let mut s = HomeDataStore::new("h", 2);
+        let base = patterned(8000, 3);
+        s.put("o", base.clone()); // v1
+        for k in 0..4u8 {
+            let mut next = base.to_vec();
+            next[10 + k as usize] ^= 0xFF;
+            s.put("o", Bytes::from(next)); // v2..v5
+        }
+        // v1 fell out of the 2-deep history: full transfer
+        let reply = s.fetch("o", Some(1)).unwrap().unwrap();
+        assert!(matches!(reply, FetchReply::Full { .. }));
+        // v4 is retained: delta
+        let reply = s.fetch("o", Some(4)).unwrap().unwrap();
+        assert!(matches!(reply, FetchReply::Delta(_)));
+    }
+
+    #[test]
+    fn missing_object_is_none() {
+        let mut s = HomeDataStore::new("h", 2);
+        assert!(s.fetch("nope", None).unwrap().is_none());
+    }
+
+    #[test]
+    fn push_modes_produce_expected_messages() {
+        let mut s = HomeDataStore::new("h", 3);
+        let base = patterned(10_000, 4);
+        s.put("o", base.clone());
+        s.subscribe("full_client", "o", PushMode::Full, 100);
+        s.subscribe("delta_client", "o", PushMode::Delta, 100);
+        s.subscribe("notify_client", "o", PushMode::NotifyOnly, 100);
+        let mut v2 = base.to_vec();
+        v2[5] ^= 1;
+        let (_, messages) = s.put("o", Bytes::from(v2));
+        assert_eq!(messages.len(), 3);
+        let mut kinds: Vec<&str> = messages
+            .iter()
+            .map(|m| match m {
+                UpdateMessage::Full { .. } => "full",
+                UpdateMessage::Delta { .. } => "delta",
+                UpdateMessage::Notify { .. } => "notify",
+            })
+            .collect();
+        kinds.sort();
+        assert_eq!(kinds, vec!["delta", "full", "notify"]);
+        // notify message reports a small change
+        for m in &messages {
+            if let UpdateMessage::Notify { changed_bytes, version, .. } = m {
+                assert_eq!(*version, 2);
+                assert!(*changed_bytes < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn lease_expiry_stops_pushes() {
+        let mut s = HomeDataStore::new("h", 3);
+        s.put("o", big(1, 100));
+        s.subscribe("c", "o", PushMode::Full, 10);
+        s.advance_clock(11);
+        let (_, messages) = s.put("o", big(2, 100));
+        assert!(messages.is_empty());
+        assert_eq!(s.active_leases(), 0);
+    }
+
+    #[test]
+    fn lease_renewal_extends() {
+        let mut s = HomeDataStore::new("h", 3);
+        s.put("o", big(1, 100));
+        s.subscribe("c", "o", PushMode::Full, 10);
+        s.advance_clock(5);
+        assert!(s.renew("c", "o", 20));
+        s.advance_clock(15); // now 20 < 25
+        let (_, messages) = s.put("o", big(2, 100));
+        assert_eq!(messages.len(), 1);
+        // renewing an expired lease fails
+        s.advance_clock(100);
+        assert!(!s.renew("c", "o", 10));
+    }
+
+    #[test]
+    fn early_cancel_removes_lease() {
+        let mut s = HomeDataStore::new("h", 3);
+        s.put("o", big(1, 100));
+        s.subscribe("c", "o", PushMode::Full, 100);
+        assert!(s.cancel("c", "o"));
+        assert!(!s.cancel("c", "o"));
+        let (_, messages) = s.put("o", big(2, 100));
+        assert!(messages.is_empty());
+    }
+
+    #[test]
+    fn resubscribe_replaces_lease() {
+        let mut s = HomeDataStore::new("h", 3);
+        s.put("o", big(1, 200));
+        s.subscribe("c", "o", PushMode::Full, 100);
+        s.subscribe("c", "o", PushMode::NotifyOnly, 100);
+        let (_, messages) = s.put("o", big(2, 200));
+        assert_eq!(messages.len(), 1);
+        assert!(matches!(messages[0], UpdateMessage::Notify { .. }));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut s = HomeDataStore::new("h", 3);
+        s.put("o", patterned(5000, 5));
+        s.fetch("o", None).unwrap();
+        s.fetch("o", None).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.messages, 2);
+        assert!(stats.bytes >= 10_000);
+        s.reset_stats();
+        assert_eq!(s.stats(), TransferStats::default());
+    }
+}

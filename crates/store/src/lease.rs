@@ -1,0 +1,137 @@
+//! Leases and push-update messages (paper §III, citing Gray & Cheriton's
+//! leases): a client subscribes to an object's updates for a bounded period;
+//! the home store pushes full values, deltas, or notification-only summaries
+//! until the lease expires or is cancelled.
+
+use bytes::Bytes;
+
+use crate::delta::Delta;
+
+/// What the home store sends a subscribed client on update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushMode {
+    /// Push the entire current value.
+    Full,
+    /// Push a delta from the previous version (falls back to full when the
+    /// delta is not considerably smaller).
+    Delta,
+    /// Push only the new version number and a change-size summary; the
+    /// client decides if and when to fetch.
+    NotifyOnly,
+}
+
+/// A subscription to one object's updates, valid until `expires_at`
+/// (logical time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// Subscribing client id.
+    pub client: String,
+    /// Object id.
+    pub object: String,
+    /// Push mode.
+    pub mode: PushMode,
+    /// Logical expiry time (exclusive).
+    pub expires_at: u64,
+}
+
+/// A push message from a home store to a client.
+#[derive(Debug, Clone)]
+pub enum UpdateMessage {
+    /// Full current value.
+    Full {
+        /// Destination client.
+        client: String,
+        /// Object id.
+        object: String,
+        /// New version.
+        version: u64,
+        /// Object bytes.
+        data: Bytes,
+    },
+    /// Delta from the previous version.
+    Delta {
+        /// Destination client.
+        client: String,
+        /// Object id.
+        object: String,
+        /// The edit script.
+        delta: Delta,
+    },
+    /// Notification only: version number and how much changed.
+    Notify {
+        /// Destination client.
+        client: String,
+        /// Object id.
+        object: String,
+        /// New version.
+        version: u64,
+        /// Approximate changed byte count.
+        changed_bytes: usize,
+    },
+}
+
+impl UpdateMessage {
+    /// Destination client id.
+    pub fn client(&self) -> &str {
+        match self {
+            UpdateMessage::Full { client, .. }
+            | UpdateMessage::Delta { client, .. }
+            | UpdateMessage::Notify { client, .. } => client,
+        }
+    }
+
+    /// Object id.
+    pub fn object(&self) -> &str {
+        match self {
+            UpdateMessage::Full { object, .. }
+            | UpdateMessage::Delta { object, .. }
+            | UpdateMessage::Notify { object, .. } => object,
+        }
+    }
+
+    /// Bytes on the wire.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            UpdateMessage::Full { data, .. } => data.len() + 16,
+            UpdateMessage::Delta { delta, .. } => delta.wire_size(),
+            UpdateMessage::Notify { .. } => 32,
+        }
+    }
+
+    /// The version the message advertises.
+    pub fn version(&self) -> u64 {
+        match self {
+            UpdateMessage::Full { version, .. } | UpdateMessage::Notify { version, .. } => {
+                *version
+            }
+            UpdateMessage::Delta { delta, .. } => delta.target_version,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let m = UpdateMessage::Notify {
+            client: "c1".into(),
+            object: "o1".into(),
+            version: 7,
+            changed_bytes: 42,
+        };
+        assert_eq!(m.client(), "c1");
+        assert_eq!(m.object(), "o1");
+        assert_eq!(m.version(), 7);
+        assert_eq!(m.wire_size(), 32);
+        let f = UpdateMessage::Full {
+            client: "c".into(),
+            object: "o".into(),
+            version: 2,
+            data: Bytes::from_static(b"abcd"),
+        };
+        assert_eq!(f.wire_size(), 20);
+        assert_eq!(f.version(), 2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Geographic replication (paper §III: "The data may be replicated across
+//! multiple geographic areas for high availability and disaster recovery in
+//! case one site fails").
+//!
+//! A [`ReplicatedStore`] keeps a primary [`HomeDataStore`] plus replicas.
+//! Writes go to the primary and propagate synchronously (delta-encoded via
+//! each replica's own `put`); reads are served by the first *available*
+//! site, so a primary failure degrades to replica reads and a later
+//! failover promotes a replica to primary without losing committed
+//! versions.
+
+use bytes::Bytes;
+
+use crate::home::{FetchReply, HomeDataStore};
+
+/// Error produced by replicated operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicationError {
+    /// Every site is down.
+    AllSitesDown,
+    /// The named site does not exist.
+    UnknownSite(String),
+}
+
+impl std::fmt::Display for ReplicationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicationError::AllSitesDown => write!(f, "all replica sites are down"),
+            ReplicationError::UnknownSite(s) => write!(f, "unknown site {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicationError {}
+
+/// One replica site: a store plus an up/down flag (failure injection).
+#[derive(Debug, Clone)]
+struct Site {
+    store: HomeDataStore,
+    up: bool,
+}
+
+/// A primary plus replicas with synchronous propagation and failover.
+#[derive(Debug, Clone)]
+pub struct ReplicatedStore {
+    sites: Vec<Site>,
+    /// Index of the current primary within `sites`.
+    primary: usize,
+}
+
+impl ReplicatedStore {
+    /// Creates a replicated store with `n_replicas` secondaries, each site
+    /// keeping `history_depth` versions.
+    pub fn new(n_replicas: usize, history_depth: usize) -> Self {
+        let sites = (0..=n_replicas)
+            .map(|i| Site {
+                store: HomeDataStore::new(format!("site-{i}"), history_depth),
+                up: true,
+            })
+            .collect();
+        ReplicatedStore { sites, primary: 0 }
+    }
+
+    /// The current primary's name.
+    pub fn primary_name(&self) -> &str {
+        self.sites[self.primary].store.name()
+    }
+
+    /// Number of sites (primary + replicas).
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of currently reachable sites.
+    pub fn n_available(&self) -> usize {
+        self.sites.iter().filter(|s| s.up).count()
+    }
+
+    /// Takes a site down (disaster injection).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicationError::UnknownSite`] for a bad name.
+    pub fn fail_site(&mut self, name: &str) -> Result<(), ReplicationError> {
+        let site = self
+            .sites
+            .iter_mut()
+            .find(|s| s.store.name() == name)
+            .ok_or_else(|| ReplicationError::UnknownSite(name.to_string()))?;
+        site.up = false;
+        Ok(())
+    }
+
+    /// Brings a failed site back. Recovered sites catch up lazily on the
+    /// next write (full resync per object).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicationError::UnknownSite`] for a bad name.
+    pub fn recover_site(&mut self, name: &str) -> Result<(), ReplicationError> {
+        let site = self
+            .sites
+            .iter_mut()
+            .find(|s| s.store.name() == name)
+            .ok_or_else(|| ReplicationError::UnknownSite(name.to_string()))?;
+        site.up = true;
+        Ok(())
+    }
+
+    /// Promotes the first available site to primary if the current primary
+    /// is down. Returns true when a failover happened.
+    pub fn failover_if_needed(&mut self) -> Result<bool, ReplicationError> {
+        if self.sites[self.primary].up {
+            return Ok(false);
+        }
+        match self.sites.iter().position(|s| s.up) {
+            Some(next) => {
+                self.primary = next;
+                Ok(true)
+            }
+            None => Err(ReplicationError::AllSitesDown),
+        }
+    }
+
+    /// Writes a new version through the primary (failing over first if
+    /// needed) and synchronously propagates to every available replica.
+    /// Returns the committed version number.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicationError::AllSitesDown`] when no site can accept the write.
+    pub fn put(&mut self, id: &str, data: Bytes) -> Result<u64, ReplicationError> {
+        self.failover_if_needed()?;
+        let (version, _) = self.sites[self.primary].store.put(id, data.clone());
+        let primary = self.primary;
+        for (i, site) in self.sites.iter_mut().enumerate() {
+            if i != primary && site.up {
+                // replicas may be behind after recovery: re-put until their
+                // version catches the primary's
+                loop {
+                    let (v, _) = site.store.put(id, data.clone());
+                    if v >= version {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(version)
+    }
+
+    /// Version-aware read served by the primary, or by the first available
+    /// replica when the primary is down (degraded read — no failover).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicationError::AllSitesDown`] when nothing is reachable.
+    pub fn fetch(
+        &mut self,
+        id: &str,
+        client_version: Option<u64>,
+    ) -> Result<Option<FetchReply>, ReplicationError> {
+        let order: Vec<usize> = std::iter::once(self.primary)
+            .chain((0..self.sites.len()).filter(|&i| i != self.primary))
+            .collect();
+        for i in order {
+            if self.sites[i].up {
+                return Ok(self.sites[i]
+                    .store
+                    .fetch(id, client_version)
+                    .expect("infallible"));
+            }
+        }
+        Err(ReplicationError::AllSitesDown)
+    }
+
+    /// The committed version visible at each available site (diagnostics).
+    pub fn site_versions(&self, id: &str) -> Vec<(String, Option<u64>)> {
+        self.sites
+            .iter()
+            .filter(|s| s.up)
+            .map(|s| (s.store.name().to_string(), s.store.version_of(id)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(v: u8, n: usize) -> Bytes {
+        Bytes::from(vec![v; n])
+    }
+
+    #[test]
+    fn writes_propagate_to_all_replicas() {
+        let mut rs = ReplicatedStore::new(2, 4);
+        rs.put("o", blob(1, 100)).unwrap();
+        rs.put("o", blob(2, 100)).unwrap();
+        for (_, v) in rs.site_versions("o") {
+            assert_eq!(v, Some(2));
+        }
+    }
+
+    #[test]
+    fn replica_serves_reads_when_primary_down() {
+        let mut rs = ReplicatedStore::new(2, 4);
+        rs.put("o", blob(7, 64)).unwrap();
+        rs.fail_site("site-0").unwrap();
+        let reply = rs.fetch("o", None).unwrap().unwrap();
+        match reply {
+            FetchReply::Full { version, data } => {
+                assert_eq!(version, 1);
+                assert_eq!(&data[..], &[7u8; 64][..]);
+            }
+            other => panic!("expected full read, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn failover_promotes_replica_and_writes_continue() {
+        let mut rs = ReplicatedStore::new(2, 4);
+        rs.put("o", blob(1, 64)).unwrap();
+        rs.fail_site("site-0").unwrap();
+        let v = rs.put("o", blob(2, 64)).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(rs.primary_name(), "site-1");
+        // committed data is durable across the failover
+        let reply = rs.fetch("o", Some(1)).unwrap().unwrap();
+        assert_eq!(reply.version(), 2);
+    }
+
+    #[test]
+    fn all_sites_down_is_an_error() {
+        let mut rs = ReplicatedStore::new(1, 4);
+        rs.put("o", blob(1, 10)).unwrap();
+        rs.fail_site("site-0").unwrap();
+        rs.fail_site("site-1").unwrap();
+        assert_eq!(rs.fetch("o", None).unwrap_err(), ReplicationError::AllSitesDown);
+        assert_eq!(rs.put("o", blob(2, 10)).unwrap_err(), ReplicationError::AllSitesDown);
+        assert_eq!(rs.n_available(), 0);
+    }
+
+    #[test]
+    fn recovered_site_catches_up_on_next_write() {
+        let mut rs = ReplicatedStore::new(1, 8);
+        rs.put("o", blob(1, 32)).unwrap();
+        rs.fail_site("site-1").unwrap();
+        rs.put("o", blob(2, 32)).unwrap(); // replica misses this
+        rs.recover_site("site-1").unwrap();
+        rs.put("o", blob(3, 32)).unwrap(); // catch-up happens here
+        let versions = rs.site_versions("o");
+        assert!(versions.iter().all(|(_, v)| *v == Some(3)), "versions: {versions:?}");
+    }
+
+    #[test]
+    fn unknown_site_rejected() {
+        let mut rs = ReplicatedStore::new(1, 4);
+        assert!(matches!(rs.fail_site("nope"), Err(ReplicationError::UnknownSite(_))));
+        assert!(matches!(rs.recover_site("nope"), Err(ReplicationError::UnknownSite(_))));
+    }
+
+    #[test]
+    fn degraded_read_does_not_change_primary() {
+        let mut rs = ReplicatedStore::new(1, 4);
+        rs.put("o", blob(1, 16)).unwrap();
+        rs.fail_site("site-0").unwrap();
+        rs.fetch("o", None).unwrap();
+        assert_eq!(rs.primary_name(), "site-0"); // read alone doesn't fail over
+        rs.failover_if_needed().unwrap();
+        assert_eq!(rs.primary_name(), "site-1");
+    }
+}

@@ -1,0 +1,146 @@
+//! Recomputation triggers (paper §III): decide when data has changed enough
+//! to warrant re-running analytics. Three policies, exactly as listed:
+//! update **count** threshold, update **size** threshold, and an
+//! **application-specific** predicate over the accumulated change.
+
+use std::fmt;
+
+/// Accumulated change since the last recomputation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct UpdateStats {
+    /// Updates observed.
+    pub count: u64,
+    /// Total updated bytes observed.
+    pub bytes: u64,
+    /// Application-supplied magnitude of change (e.g. drift score).
+    pub magnitude: f64,
+}
+
+/// When to recompute analytics over changing data.
+pub enum RecomputeTrigger {
+    /// Recompute after this many updates.
+    UpdateCount(u64),
+    /// Recompute after this many updated bytes.
+    UpdateBytes(u64),
+    /// Application-specific: recompute when the predicate holds. The paper
+    /// calls this "the best way … however harder to implement".
+    AppSpecific(Box<dyn Fn(&UpdateStats) -> bool + Send + Sync>),
+}
+
+impl fmt::Debug for RecomputeTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecomputeTrigger::UpdateCount(n) => write!(f, "UpdateCount({n})"),
+            RecomputeTrigger::UpdateBytes(n) => write!(f, "UpdateBytes({n})"),
+            RecomputeTrigger::AppSpecific(_) => write!(f, "AppSpecific(..)"),
+        }
+    }
+}
+
+impl RecomputeTrigger {
+    /// True when the accumulated change warrants recomputation.
+    pub fn should_recompute(&self, stats: &UpdateStats) -> bool {
+        match self {
+            RecomputeTrigger::UpdateCount(n) => stats.count >= *n,
+            RecomputeTrigger::UpdateBytes(n) => stats.bytes >= *n,
+            RecomputeTrigger::AppSpecific(pred) => pred(stats),
+        }
+    }
+}
+
+/// Tracks change since the last recomputation and fires the trigger.
+pub struct ChangeMonitor {
+    trigger: RecomputeTrigger,
+    stats: UpdateStats,
+    /// Number of recomputations fired.
+    pub recomputations: u64,
+}
+
+impl fmt::Debug for ChangeMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ChangeMonitor({:?}, pending {:?}, fired {})",
+            self.trigger, self.stats, self.recomputations
+        )
+    }
+}
+
+impl ChangeMonitor {
+    /// Creates a monitor with the given policy.
+    pub fn new(trigger: RecomputeTrigger) -> Self {
+        ChangeMonitor { trigger, stats: UpdateStats::default(), recomputations: 0 }
+    }
+
+    /// Accumulated change since the last recomputation.
+    pub fn pending(&self) -> UpdateStats {
+        self.stats
+    }
+
+    /// Records one update; returns true when analytics should be recomputed
+    /// now (and resets the accumulator).
+    pub fn record_update(&mut self, bytes: u64, magnitude: f64) -> bool {
+        self.stats.count += 1;
+        self.stats.bytes += bytes;
+        self.stats.magnitude += magnitude;
+        if self.trigger.should_recompute(&self.stats) {
+            self.stats = UpdateStats::default();
+            self.recomputations += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_trigger_fires_every_n() {
+        let mut m = ChangeMonitor::new(RecomputeTrigger::UpdateCount(3));
+        assert!(!m.record_update(10, 0.0));
+        assert!(!m.record_update(10, 0.0));
+        assert!(m.record_update(10, 0.0));
+        // accumulator reset
+        assert!(!m.record_update(10, 0.0));
+        assert_eq!(m.recomputations, 1);
+        assert_eq!(m.pending().count, 1);
+    }
+
+    #[test]
+    fn bytes_trigger_fires_on_volume() {
+        let mut m = ChangeMonitor::new(RecomputeTrigger::UpdateBytes(100));
+        assert!(!m.record_update(60, 0.0));
+        assert!(m.record_update(60, 0.0)); // 120 >= 100
+        assert!(!m.record_update(99, 0.0));
+        assert!(m.record_update(1, 0.0));
+        assert_eq!(m.recomputations, 2);
+    }
+
+    #[test]
+    fn app_specific_trigger_uses_magnitude() {
+        let trigger =
+            RecomputeTrigger::AppSpecific(Box::new(|s: &UpdateStats| s.magnitude > 1.0));
+        let mut m = ChangeMonitor::new(trigger);
+        assert!(!m.record_update(1_000_000, 0.5)); // big but low-drift
+        assert!(m.record_update(1, 0.6)); // cumulative drift 1.1
+    }
+
+    #[test]
+    fn one_update_can_fire_immediately() {
+        let mut m = ChangeMonitor::new(RecomputeTrigger::UpdateCount(1));
+        assert!(m.record_update(0, 0.0));
+        assert!(m.record_update(0, 0.0));
+        assert_eq!(m.recomputations, 2);
+    }
+
+    #[test]
+    fn debug_impls() {
+        let m = ChangeMonitor::new(RecomputeTrigger::UpdateBytes(5));
+        assert!(format!("{m:?}").contains("UpdateBytes"));
+        let t = RecomputeTrigger::AppSpecific(Box::new(|_| false));
+        assert!(format!("{t:?}").contains("AppSpecific"));
+    }
+}

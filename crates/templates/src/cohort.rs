@@ -1,0 +1,236 @@
+//! Cohort Analysis: "leverages historical sensor data from multiple assets
+//! to model their behaviour … assets are grouped in different buckets or
+//! cohorts" (§IV-E).
+//!
+//! Assets are summarized by behaviour signatures (per-channel mean, spread,
+//! trend and lag-1 autocorrelation) and clustered with k-means; the best
+//! cohort count can be chosen by an elbow scan.
+
+use coda_data::Dataset;
+use coda_linalg::{stats, Matrix};
+use coda_ml::kmeans::purity;
+use coda_ml::KMeans;
+
+use crate::TemplateError;
+
+/// Result of a cohort run.
+#[derive(Debug, Clone)]
+pub struct CohortReport {
+    /// Cohort id per asset.
+    pub assignments: Vec<usize>,
+    /// Number of cohorts.
+    pub n_cohorts: usize,
+    /// Within-cohort inertia of the clustering.
+    pub inertia: f64,
+    /// Asset counts per cohort.
+    pub sizes: Vec<usize>,
+}
+
+impl CohortReport {
+    /// Purity against known cohort labels (1.0 = perfect recovery).
+    pub fn purity_against(&self, truth: &[usize]) -> f64 {
+        purity(&self.assignments, truth)
+    }
+}
+
+/// The Cohort Analysis template.
+#[derive(Debug, Clone)]
+pub struct CohortAnalysis {
+    n_cohorts: usize,
+    seed: u64,
+}
+
+impl CohortAnalysis {
+    /// Creates the template with `n_cohorts` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cohorts == 0`.
+    pub fn new(n_cohorts: usize) -> Self {
+        assert!(n_cohorts > 0);
+        CohortAnalysis { n_cohorts, seed: 23 }
+    }
+
+    /// Sets the clustering seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Behaviour signature of one asset's sensor history
+    /// (timestamps × channels): per channel mean, robust spread, linear
+    /// trend slope and lag-1 autocorrelation.
+    pub fn signature(history: &Matrix) -> Vec<f64> {
+        let mut sig = Vec::with_capacity(history.cols() * 4);
+        let n = history.rows().max(1) as f64;
+        for c in 0..history.cols() {
+            let col = history.col(c);
+            sig.push(stats::mean(&col));
+            sig.push(stats::std_dev(&col));
+            // least-squares slope against time
+            let tbar = (n - 1.0) / 2.0;
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (t, v) in col.iter().enumerate() {
+                let dt = t as f64 - tbar;
+                num += dt * (v - stats::mean(&col));
+                den += dt * dt;
+            }
+            sig.push(if den > 0.0 { num / den } else { 0.0 });
+            sig.push(stats::autocorrelation(&col, 1));
+        }
+        sig
+    }
+
+    /// Builds the signature dataset for a fleet of asset histories.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::InvalidData`] for an empty fleet or inconsistent
+    /// channel counts.
+    pub fn signatures(assets: &[Matrix]) -> Result<Dataset, TemplateError> {
+        if assets.is_empty() {
+            return Err(TemplateError::InvalidData("no assets".to_string()));
+        }
+        let channels = assets[0].cols();
+        if assets.iter().any(|a| a.cols() != channels) {
+            return Err(TemplateError::InvalidData(
+                "assets must share the same sensor channels".to_string(),
+            ));
+        }
+        let rows: Vec<Vec<f64>> = assets.iter().map(Self::signature).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        Ok(Dataset::new(Matrix::from_rows(&refs)))
+    }
+
+    /// Clusters pre-computed behaviour features into cohorts.
+    ///
+    /// # Errors
+    ///
+    /// [`TemplateError::Evaluation`] when clustering fails (e.g. fewer
+    /// assets than cohorts).
+    pub fn run(&self, features: &Dataset) -> Result<CohortReport, TemplateError> {
+        let km = KMeans::new(self.n_cohorts)
+            .with_seed(self.seed)
+            .fit(features)
+            .map_err(|e| TemplateError::Evaluation(e.to_string()))?;
+        let assignments =
+            km.predict(features).map_err(|e| TemplateError::Evaluation(e.to_string()))?;
+        let mut sizes = vec![0usize; self.n_cohorts];
+        for &a in &assignments {
+            sizes[a] += 1;
+        }
+        Ok(CohortReport {
+            assignments,
+            n_cohorts: self.n_cohorts,
+            inertia: km.inertia().unwrap_or(0.0),
+            sizes,
+        })
+    }
+
+    /// Clusters raw asset sensor histories end-to-end.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CohortAnalysis::signatures`] and [`CohortAnalysis::run`].
+    pub fn run_on_histories(&self, assets: &[Matrix]) -> Result<CohortReport, TemplateError> {
+        let features = Self::signatures(assets)?;
+        self.run(&features)
+    }
+
+    /// Elbow scan: inertia for each cohort count in `[2, max_k]` — the data
+    /// scientist picks the knee.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CohortAnalysis::run`].
+    pub fn elbow_scan(
+        features: &Dataset,
+        max_k: usize,
+        seed: u64,
+    ) -> Result<Vec<(usize, f64)>, TemplateError> {
+        let mut out = Vec::new();
+        for k in 2..=max_k.max(2) {
+            let report = CohortAnalysis::new(k).with_seed(seed).run(features)?;
+            out.push((k, report.inertia));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coda_data::synth;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Fleet with two behaviour regimes: flat-noisy vs trending-smooth.
+    fn fleet(n_per: usize, seed: u64) -> (Vec<Matrix>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut assets = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..2 * n_per {
+            let cohort = i % 2;
+            let mut m = Matrix::zeros(100, 2);
+            for t in 0..100 {
+                for c in 0..2 {
+                    m[(t, c)] = if cohort == 0 {
+                        rng.gen_range(-3.0..3.0)
+                    } else {
+                        0.1 * t as f64 + 0.2 * rng.gen_range(-1.0..1.0)
+                    };
+                }
+            }
+            assets.push(m);
+            truth.push(cohort);
+        }
+        (assets, truth)
+    }
+
+    #[test]
+    fn recovers_behaviour_cohorts_from_histories() {
+        let (assets, truth) = fleet(15, 71);
+        let report = CohortAnalysis::new(2).run_on_histories(&assets).unwrap();
+        assert!(report.purity_against(&truth) > 0.9);
+        assert_eq!(report.sizes.iter().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn recovers_synthetic_cohort_features() {
+        let (features, truth) = synth::cohort_data(90, 3, 5, 72);
+        let report = CohortAnalysis::new(3).run(&features).unwrap();
+        assert!(report.purity_against(&truth) > 0.9);
+    }
+
+    #[test]
+    fn signature_captures_trend_and_noise() {
+        let mut trending = Matrix::zeros(50, 1);
+        for t in 0..50 {
+            trending[(t, 0)] = t as f64;
+        }
+        let sig = CohortAnalysis::signature(&trending);
+        // [mean, std, slope, autocorr]
+        assert!((sig[2] - 1.0).abs() < 1e-9, "slope should be 1, got {}", sig[2]);
+        assert!(sig[3] > 0.8, "ramp is autocorrelated");
+    }
+
+    #[test]
+    fn elbow_scan_monotone() {
+        let (features, _) = synth::cohort_data(100, 4, 4, 73);
+        let scan = CohortAnalysis::elbow_scan(&features, 6, 1).unwrap();
+        assert_eq!(scan.len(), 5);
+        for w in scan.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-6, "inertia must not increase with k");
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(CohortAnalysis::signatures(&[]).is_err());
+        let bad = vec![Matrix::zeros(10, 2), Matrix::zeros(10, 3)];
+        assert!(CohortAnalysis::signatures(&bad).is_err());
+        let (features, _) = synth::cohort_data(3, 2, 2, 74);
+        assert!(CohortAnalysis::new(10).run(&features).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Solution templates for domain-specific data analytics (paper §IV-E).
+//!
+//! Each template wraps a full Transformer-Estimator-Graph workflow behind a
+//! one-call API "considerably easier to use than general-purpose machine
+//! learning frameworks", targeting the heavy-industry problems the paper
+//! lists: Failure Prediction Analysis, Root Cause Analysis, Anomaly
+//! Analysis, and Cohort Analysis.
+//!
+//! # Examples
+//!
+//! ```
+//! use coda_data::synth;
+//! use coda_templates::FailurePredictionAnalysis;
+//!
+//! let data = synth::failure_prediction_data(20, 80, 10, 5);
+//! let report = FailurePredictionAnalysis::new().with_fast_settings().run(&data)?;
+//! assert!(report.f1 > 0.3);
+//! assert_eq!(report.factor_ranking.len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod anomaly;
+pub mod cohort;
+pub mod failure;
+pub mod lifetime;
+pub mod rca;
+
+pub use anomaly::{AnomalyAnalysis, AnomalyReport};
+pub use cohort::{CohortAnalysis, CohortReport};
+pub use failure::{FailurePredictionAnalysis, FailureReport};
+pub use lifetime::{FailureTimeAnalysis, LifetimeReport};
+pub use rca::{RootCauseAnalysis, RootCauseReport};
+
+/// Error shared by the solution templates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplateError {
+    /// The input data does not fit the template's requirements.
+    InvalidData(String),
+    /// The underlying graph evaluation failed.
+    Evaluation(String),
+}
+
+impl std::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemplateError::InvalidData(m) => write!(f, "invalid data: {m}"),
+            TemplateError::Evaluation(m) => write!(f, "evaluation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}

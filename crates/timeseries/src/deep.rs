@@ -1,0 +1,624 @@
+//! Deep-learning forecasters (§IV-C2/3): LSTM, CNN, WaveNet, SeriesNet and
+//! standard-DNN estimators over windowed datasets.
+//!
+//! Temporal models consume `CascadedWindows` output and interpret its
+//! columns as a `(history, vars)` time-major grid; the DNN forecaster
+//! consumes `FlatWindowing` / `TsAsIid` output as an unordered feature bag.
+//! Each family offers the paper's *simple* and *deep* architecture variants.
+
+use coda_data::{BoxedEstimator, ComponentError, Dataset, Estimator, ParamValue, TaskKind};
+use coda_linalg::Matrix;
+use coda_nn::{
+    Activation, Adam, Conv1d, Dense, Dropout, GlobalAvgPool1d, Layer, Loss, Lstm, MaxPool1d,
+    Residual, Sequential,
+};
+
+/// Extracts the final timestep's channels from a time-major sequence —
+/// WaveNet's forecast head reads only the last (fully-receptive) position.
+#[derive(Debug, Clone)]
+struct TakeLast1d {
+    len: usize,
+    ch: usize,
+    in_rows: usize,
+}
+
+impl TakeLast1d {
+    fn new(len: usize, ch: usize) -> Self {
+        assert!(len > 0 && ch > 0);
+        TakeLast1d { len, ch, in_rows: 0 }
+    }
+}
+
+impl Layer for TakeLast1d {
+    fn forward(&mut self, input: &Matrix, training: bool) -> Matrix {
+        assert_eq!(input.cols(), self.len * self.ch, "take_last width mismatch");
+        if training {
+            self.in_rows = input.rows();
+        }
+        let mut out = Matrix::zeros(input.rows(), self.ch);
+        let start = (self.len - 1) * self.ch;
+        for r in 0..input.rows() {
+            out.row_mut(r).copy_from_slice(&input.row(r)[start..start + self.ch]);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Matrix) -> Matrix {
+        let mut grad_in = Matrix::zeros(self.in_rows, self.len * self.ch);
+        let start = (self.len - 1) * self.ch;
+        for r in 0..self.in_rows {
+            grad_in.row_mut(r)[start..start + self.ch].copy_from_slice(grad_output.row(r));
+        }
+        grad_in
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Shared training configuration for the deep forecasters.
+#[derive(Debug, Clone, Copy)]
+struct TrainCfg {
+    epochs: usize,
+    batch_size: usize,
+    learning_rate: f64,
+    seed: u64,
+}
+
+impl Default for TrainCfg {
+    fn default() -> Self {
+        TrainCfg { epochs: 120, batch_size: 32, learning_rate: 0.01, seed: 0 }
+    }
+}
+
+fn set_train_param(
+    cfg: &mut TrainCfg,
+    component: &str,
+    param: &str,
+    value: ParamValue,
+) -> Result<(), ComponentError> {
+    let bad = |reason: &str| ComponentError::InvalidParam {
+        component: component.to_string(),
+        param: param.to_string(),
+        reason: reason.to_string(),
+    };
+    match param {
+        "epochs" => {
+            cfg.epochs = value
+                .as_usize()
+                .filter(|&x| x > 0)
+                .ok_or_else(|| bad("must be a positive integer"))?;
+            Ok(())
+        }
+        "learning_rate" => {
+            cfg.learning_rate =
+                value.as_f64().filter(|&x| x > 0.0).ok_or_else(|| bad("must be positive"))?;
+            Ok(())
+        }
+        "batch_size" => {
+            cfg.batch_size = value
+                .as_usize()
+                .filter(|&x| x > 0)
+                .ok_or_else(|| bad("must be a positive integer"))?;
+            Ok(())
+        }
+        "seed" => {
+            cfg.seed = value
+                .as_i64()
+                .map(|x| x as u64)
+                .ok_or_else(|| bad("must be an integer"))?;
+            Ok(())
+        }
+        _ => Err(ComponentError::UnknownParam {
+            component: component.to_string(),
+            param: param.to_string(),
+        }),
+    }
+}
+
+fn check_width(expected: usize, data: &Dataset, name: &str) -> Result<(), ComponentError> {
+    if data.n_features() != expected {
+        return Err(ComponentError::InvalidInput(format!(
+            "{name} expects {expected} columns, input has {}",
+            data.n_features()
+        )));
+    }
+    Ok(())
+}
+
+fn fit_net(
+    net: &mut Sequential,
+    data: &Dataset,
+    cfg: &TrainCfg,
+) -> Result<(), ComponentError> {
+    let y = data.target_required()?;
+    let ty = Matrix::from_vec(y.len(), 1, y.to_vec());
+    let mut opt = Adam::new(cfg.learning_rate);
+    net.fit(
+        data.features(),
+        &ty,
+        Loss::Mse,
+        &mut opt,
+        cfg.epochs,
+        cfg.batch_size.min(data.n_samples().max(1)),
+        cfg.seed,
+    );
+    Ok(())
+}
+
+macro_rules! deep_forecaster_common {
+    ($name:ident, $display:expr) => {
+        impl $name {
+            /// Sets the training epoch count.
+            pub fn with_epochs(mut self, epochs: usize) -> Self {
+                self.cfg.epochs = epochs.max(1);
+                self
+            }
+
+            /// Sets the initialization/shuffle seed.
+            pub fn with_seed(mut self, seed: u64) -> Self {
+                self.cfg.seed = seed;
+                self
+            }
+
+            /// Sets the Adam learning rate.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lr <= 0`.
+            pub fn with_learning_rate(mut self, lr: f64) -> Self {
+                assert!(lr > 0.0, "learning rate must be positive");
+                self.cfg.learning_rate = lr;
+                self
+            }
+        }
+
+        impl Estimator for $name {
+            fn name(&self) -> &str {
+                $display
+            }
+
+            fn task(&self) -> TaskKind {
+                TaskKind::Forecasting
+            }
+
+            fn set_param(
+                &mut self,
+                param: &str,
+                value: ParamValue,
+            ) -> Result<(), ComponentError> {
+                set_train_param(&mut self.cfg, $display, param, value)
+            }
+
+            fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
+                check_width(self.expected_width(), data, $display)?;
+                let mut net = self.build_net()?;
+                fit_net(&mut net, data, &self.cfg)?;
+                self.net = Some(net);
+                Ok(())
+            }
+
+            fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
+                let net = self
+                    .net
+                    .as_ref()
+                    .ok_or_else(|| ComponentError::NotFitted($display.to_string()))?;
+                check_width(self.expected_width(), data, $display)?;
+                let mut net = net.clone();
+                Ok(net.predict(data.features()).col(0))
+            }
+
+            fn clone_box(&self) -> BoxedEstimator {
+                let mut fresh = self.clone();
+                fresh.net = None;
+                Box::new(fresh)
+            }
+        }
+    };
+}
+
+/// LSTM forecaster: simple (1 LSTM layer + dropout) or deep (4 stacked LSTM
+/// layers, each with dropout), finished by a linear dense head — the two
+/// architectures of §IV-C2.
+#[derive(Debug, Clone)]
+pub struct LstmForecaster {
+    history: usize,
+    vars: usize,
+    hidden: usize,
+    deep: bool,
+    cfg: TrainCfg,
+    net: Option<Sequential>,
+}
+
+impl LstmForecaster {
+    /// The simple architecture.
+    pub fn simple(history: usize, vars: usize) -> Self {
+        LstmForecaster {
+            history,
+            vars,
+            hidden: 16,
+            deep: false,
+            cfg: TrainCfg::default(),
+            net: None,
+        }
+    }
+
+    /// The deep (4-layer) architecture.
+    pub fn deep(history: usize, vars: usize) -> Self {
+        let mut m = Self::simple(history, vars);
+        m.deep = true;
+        m
+    }
+
+    fn expected_width(&self) -> usize {
+        self.history * self.vars
+    }
+
+    fn build_net(&self) -> Result<Sequential, ComponentError> {
+        let s = self.cfg.seed;
+        let h = self.hidden;
+        let net = if self.deep {
+            Sequential::new()
+                .push(Lstm::new(self.history, self.vars, h, s).returning_sequences())
+                .push(Dropout::new(0.1, s + 1))
+                .push(Lstm::new(self.history, h, h, s + 2).returning_sequences())
+                .push(Dropout::new(0.1, s + 3))
+                .push(Lstm::new(self.history, h, h, s + 4).returning_sequences())
+                .push(Dropout::new(0.1, s + 5))
+                .push(Lstm::new(self.history, h, h, s + 6))
+                .push(Dropout::new(0.1, s + 7))
+                .push(Dense::new(h, 1, s + 8))
+        } else {
+            Sequential::new()
+                .push(Lstm::new(self.history, self.vars, h, s))
+                .push(Dropout::new(0.1, s + 1))
+                .push(Dense::new(h, 1, s + 2))
+        };
+        // recurrent nets: clip gradients against explosion (§IV-C2)
+        Ok(net.with_grad_clip(5.0))
+    }
+}
+
+deep_forecaster_common!(LstmForecaster, "lstm_forecaster");
+
+/// CNN forecaster (§IV-C2): 1-D convolution, max pooling, a dense ReLU
+/// layer and a linear head; the deep variant stacks two conv/pool blocks.
+#[derive(Debug, Clone)]
+pub struct CnnForecaster {
+    history: usize,
+    vars: usize,
+    filters: usize,
+    deep: bool,
+    cfg: TrainCfg,
+    net: Option<Sequential>,
+}
+
+impl CnnForecaster {
+    /// The simple architecture (one conv/pool block).
+    pub fn simple(history: usize, vars: usize) -> Self {
+        CnnForecaster {
+            history,
+            vars,
+            filters: 8,
+            deep: false,
+            cfg: TrainCfg::default(),
+            net: None,
+        }
+    }
+
+    /// The deep architecture (two conv/pool blocks).
+    pub fn deep(history: usize, vars: usize) -> Self {
+        let mut m = Self::simple(history, vars);
+        m.deep = true;
+        m
+    }
+
+    fn expected_width(&self) -> usize {
+        self.history * self.vars
+    }
+
+    fn build_net(&self) -> Result<Sequential, ComponentError> {
+        let s = self.cfg.seed;
+        let f = self.filters;
+        let need = if self.deep { 10 } else { 4 };
+        if self.history < need {
+            return Err(ComponentError::InvalidInput(format!(
+                "cnn_forecaster needs a history window of at least {need}, got {}",
+                self.history
+            )));
+        }
+        let conv1 = Conv1d::new(self.history, self.vars, f, 3, 1, false, s);
+        let len1 = conv1.out_len();
+        let pool1 = MaxPool1d::new(len1, f, 2);
+        let len1p = pool1.out_len();
+        let mut net = Sequential::new().push(conv1).push(Activation::relu()).push(pool1);
+        let (final_len, final_ch) = if self.deep {
+            let conv2 = Conv1d::new(len1p, f, f * 2, 3, 1, false, s + 1);
+            let len2 = conv2.out_len();
+            let pool2 = MaxPool1d::new(len2, f * 2, 2);
+            let len2p = pool2.out_len();
+            net = net.push(conv2).push(Activation::relu()).push(pool2);
+            (len2p, f * 2)
+        } else {
+            (len1p, f)
+        };
+        let flat = final_len * final_ch;
+        Ok(net
+            .push(Dense::new(flat, 16, s + 2))
+            .push(Activation::relu())
+            .push(Dense::new(16, 1, s + 3)))
+    }
+}
+
+deep_forecaster_common!(CnnForecaster, "cnn_forecaster");
+
+/// WaveNet-style forecaster (§IV-C2): a stack of dilated causal
+/// convolutions (dilations 1, 2, 4, …) with ReLU, read out at the last
+/// (fully receptive) timestep.
+#[derive(Debug, Clone)]
+pub struct WaveNetForecaster {
+    history: usize,
+    vars: usize,
+    channels: usize,
+    n_blocks: usize,
+    cfg: TrainCfg,
+    net: Option<Sequential>,
+}
+
+impl WaveNetForecaster {
+    /// Creates a WaveNet forecaster with three dilated blocks (1, 2, 4).
+    pub fn new(history: usize, vars: usize) -> Self {
+        WaveNetForecaster {
+            history,
+            vars,
+            channels: 8,
+            n_blocks: 3,
+            cfg: TrainCfg::default(),
+            net: None,
+        }
+    }
+
+    fn expected_width(&self) -> usize {
+        self.history * self.vars
+    }
+
+    fn build_net(&self) -> Result<Sequential, ComponentError> {
+        let s = self.cfg.seed;
+        let c = self.channels;
+        let mut net = Sequential::new()
+            .push(Conv1d::new(self.history, self.vars, c, 1, 1, true, s))
+            .push(Activation::relu());
+        for b in 0..self.n_blocks {
+            let dilation = 1usize << b;
+            net = net
+                .push(Conv1d::new(self.history, c, c, 2, dilation, true, s + 1 + b as u64))
+                .push(Activation::relu());
+        }
+        Ok(net
+            .push(TakeLast1d::new(self.history, c))
+            .push(Dense::new(c, 1, s + 100)))
+    }
+}
+
+deep_forecaster_common!(WaveNetForecaster, "wavenet_forecaster");
+
+/// SeriesNet-style forecaster (§IV-C2): WaveNet dilated causal blocks with
+/// residual skip connections, global average pooling and a linear head.
+#[derive(Debug, Clone)]
+pub struct SeriesNetForecaster {
+    history: usize,
+    vars: usize,
+    channels: usize,
+    n_blocks: usize,
+    cfg: TrainCfg,
+    net: Option<Sequential>,
+}
+
+impl SeriesNetForecaster {
+    /// Creates a SeriesNet forecaster with four residual dilated blocks
+    /// (dilations 1, 2, 4, 8).
+    pub fn new(history: usize, vars: usize) -> Self {
+        SeriesNetForecaster {
+            history,
+            vars,
+            channels: 8,
+            n_blocks: 4,
+            cfg: TrainCfg::default(),
+            net: None,
+        }
+    }
+
+    fn expected_width(&self) -> usize {
+        self.history * self.vars
+    }
+
+    fn build_net(&self) -> Result<Sequential, ComponentError> {
+        let s = self.cfg.seed;
+        let c = self.channels;
+        let mut net = Sequential::new()
+            .push(Conv1d::new(self.history, self.vars, c, 1, 1, true, s));
+        for b in 0..self.n_blocks {
+            let dilation = 1usize << b;
+            net = net.push(Residual::new(vec![
+                Box::new(Conv1d::new(self.history, c, c, 2, dilation, true, s + 1 + b as u64)),
+                Box::new(Activation::tanh()),
+            ]));
+        }
+        Ok(net
+            .push(GlobalAvgPool1d::new(self.history, c))
+            .push(Dense::new(c, 1, s + 100)))
+    }
+}
+
+deep_forecaster_common!(SeriesNetForecaster, "seriesnet_forecaster");
+
+/// Standard-DNN forecaster (§IV-C3): treats windowed/transactional input as
+/// IID features. Simple = 2 hidden layers + dropout, deep = 4.
+#[derive(Debug, Clone)]
+pub struct DnnForecaster {
+    in_dim: usize,
+    width: usize,
+    deep: bool,
+    cfg: TrainCfg,
+    net: Option<Sequential>,
+}
+
+impl DnnForecaster {
+    /// The simple architecture over `in_dim` input features.
+    pub fn simple(in_dim: usize) -> Self {
+        DnnForecaster { in_dim, width: 32, deep: false, cfg: TrainCfg::default(), net: None }
+    }
+
+    /// The deep (4 hidden layer) architecture.
+    pub fn deep(in_dim: usize) -> Self {
+        let mut m = Self::simple(in_dim);
+        m.deep = true;
+        m
+    }
+
+    fn expected_width(&self) -> usize {
+        self.in_dim
+    }
+
+    fn build_net(&self) -> Result<Sequential, ComponentError> {
+        let s = self.cfg.seed;
+        let w = self.width;
+        let sizes: Vec<usize> =
+            if self.deep { vec![w, w, w / 2, w / 2] } else { vec![w, w / 2] };
+        let mut net = Sequential::new();
+        let mut cur = self.in_dim;
+        for (i, h) in sizes.into_iter().enumerate() {
+            let h = h.max(2);
+            net = net
+                .push(Dense::new(cur, h, s + i as u64 * 13))
+                .push(Activation::relu())
+                .push(Dropout::new(0.1, s + 50 + i as u64));
+            cur = h;
+        }
+        Ok(net.push(Dense::new(cur, 1, s + 999)))
+    }
+}
+
+deep_forecaster_common!(DnnForecaster, "dnn_forecaster");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SeriesData;
+    use crate::window::{CascadedWindows, TsAsIs, WindowConfig};
+    use coda_data::{metrics, synth, Transformer};
+
+    fn windowed(series: Vec<f64>, p: usize) -> Dataset {
+        let ds = SeriesData::univariate(series).to_dataset();
+        CascadedWindows::new(WindowConfig::new(p, 1)).fit_transform(&ds).unwrap()
+    }
+
+    /// RMSE of a fitted forecaster vs the zero baseline on a sine wave.
+    fn beats_zero(mut model: impl Estimator, p: usize) -> (f64, f64) {
+        let series: Vec<f64> = (0..360)
+            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 24.0).sin() * 3.0)
+            .collect();
+        let data = windowed(series.clone(), p);
+        let (train, test) = data.chronological_split(0.25);
+        model.fit(&train).unwrap();
+        let rmse = metrics::rmse(test.target().unwrap(), &model.predict(&test).unwrap()).unwrap();
+        // zero baseline via TsAsIs lags
+        let lag_ds = TsAsIs::new(WindowConfig::new(p, 1))
+            .fit_transform(&SeriesData::univariate(series).to_dataset())
+            .unwrap();
+        let (ztrain, ztest) = lag_ds.chronological_split(0.25);
+        let mut z = crate::models::ZeroModel::new();
+        z.fit(&ztrain).unwrap();
+        let zero_rmse =
+            metrics::rmse(ztest.target().unwrap(), &z.predict(&ztest).unwrap()).unwrap();
+        (rmse, zero_rmse)
+    }
+
+    #[test]
+    fn lstm_beats_zero_on_sine() {
+        let m = LstmForecaster::simple(12, 1).with_epochs(80).with_seed(1);
+        let (rmse, zero) = beats_zero(m, 12);
+        assert!(rmse < zero, "lstm {rmse:.4} vs zero {zero:.4}");
+    }
+
+    #[test]
+    fn cnn_beats_zero_on_sine() {
+        let m = CnnForecaster::simple(12, 1).with_epochs(100).with_seed(2);
+        let (rmse, zero) = beats_zero(m, 12);
+        assert!(rmse < zero, "cnn {rmse:.4} vs zero {zero:.4}");
+    }
+
+    #[test]
+    fn wavenet_beats_zero_on_sine() {
+        let m = WaveNetForecaster::new(12, 1).with_epochs(100).with_seed(3);
+        let (rmse, zero) = beats_zero(m, 12);
+        assert!(rmse < zero, "wavenet {rmse:.4} vs zero {zero:.4}");
+    }
+
+    #[test]
+    fn seriesnet_beats_zero_on_sine() {
+        let m = SeriesNetForecaster::new(12, 1).with_epochs(100).with_seed(4);
+        let (rmse, zero) = beats_zero(m, 12);
+        assert!(rmse < zero, "seriesnet {rmse:.4} vs zero {zero:.4}");
+    }
+
+    #[test]
+    fn dnn_beats_zero_on_sine() {
+        let m = DnnForecaster::simple(12).with_epochs(150).with_seed(5);
+        let (rmse, zero) = beats_zero(m, 12);
+        assert!(rmse < zero, "dnn {rmse:.4} vs zero {zero:.4}");
+    }
+
+    #[test]
+    fn deep_variants_fit() {
+        let data = windowed(synth::trend_seasonal_series(200, 24.0, 0.2, 21), 12);
+        let mut deep_lstm = LstmForecaster::deep(12, 1).with_epochs(5);
+        deep_lstm.fit(&data).unwrap();
+        assert_eq!(deep_lstm.predict(&data).unwrap().len(), data.n_samples());
+        let mut deep_cnn = CnnForecaster::deep(12, 1).with_epochs(5);
+        deep_cnn.fit(&data).unwrap();
+        let mut deep_dnn = DnnForecaster::deep(12).with_epochs(5);
+        deep_dnn.fit(&data).unwrap();
+    }
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let data = windowed(synth::trend_seasonal_series(100, 24.0, 0.2, 22), 8);
+        let mut m = LstmForecaster::simple(12, 1).with_epochs(2);
+        assert!(m.fit(&data).is_err());
+        let mut ok = LstmForecaster::simple(8, 1).with_epochs(2);
+        ok.fit(&data).unwrap();
+        let wrong = windowed(synth::trend_seasonal_series(100, 24.0, 0.2, 23), 10);
+        assert!(ok.predict(&wrong).is_err());
+    }
+
+    #[test]
+    fn cnn_history_too_short() {
+        let mut m = CnnForecaster::deep(6, 1);
+        let data = windowed(synth::trend_seasonal_series(100, 24.0, 0.2, 24), 6);
+        assert!(m.fit(&data).is_err());
+    }
+
+    #[test]
+    fn not_fitted_and_params() {
+        let data = windowed(synth::trend_seasonal_series(60, 24.0, 0.2, 25), 6);
+        assert!(WaveNetForecaster::new(6, 1).predict(&data).is_err());
+        let mut m = DnnForecaster::simple(6);
+        m.set_param("epochs", ParamValue::from(10usize)).unwrap();
+        m.set_param("learning_rate", ParamValue::from(0.02)).unwrap();
+        m.set_param("batch_size", ParamValue::from(16usize)).unwrap();
+        m.set_param("seed", ParamValue::from(9i64)).unwrap();
+        assert!(m.set_param("epochs", ParamValue::from(0usize)).is_err());
+        assert!(m.set_param("zzz", ParamValue::from(1usize)).is_err());
+    }
+
+    #[test]
+    fn clone_box_is_unfitted() {
+        let data = windowed(synth::trend_seasonal_series(80, 24.0, 0.2, 26), 6);
+        let mut m = DnnForecaster::simple(6).with_epochs(3);
+        m.fit(&data).unwrap();
+        let cloned = m.clone_box();
+        assert!(cloned.predict(&data).is_err());
+    }
+}

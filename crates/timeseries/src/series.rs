@@ -1,0 +1,109 @@
+//! The multivariate time-series representation (Fig. 6).
+
+use coda_data::Dataset;
+use coda_linalg::Matrix;
+
+/// A multivariate time series: `n` timestamps × `v` variables, plus the
+/// index of the variable to forecast.
+///
+/// [`SeriesData::to_dataset`] encodes the series for pipeline consumption:
+/// features = the full series matrix (scalers act on this), target = the
+/// **unscaled** column of the forecast variable (windowing transformers
+/// derive per-window labels from it, so every pipeline path is scored in
+/// original units regardless of its scaling stage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesData {
+    values: Matrix,
+    target_var: usize,
+}
+
+impl SeriesData {
+    /// Creates a series from a timestamps × variables matrix, forecasting
+    /// variable `target_var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_var` is out of range or the matrix is empty.
+    pub fn new(values: Matrix, target_var: usize) -> Self {
+        assert!(values.rows() > 0 && values.cols() > 0, "series must be non-empty");
+        assert!(target_var < values.cols(), "target variable out of range");
+        SeriesData { values, target_var }
+    }
+
+    /// A univariate series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn univariate(values: Vec<f64>) -> Self {
+        let n = values.len();
+        SeriesData::new(Matrix::from_vec(n, 1, values), 0)
+    }
+
+    /// Number of timestamps.
+    pub fn len(&self) -> usize {
+        self.values.rows()
+    }
+
+    /// True when the series has no timestamps (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.values.rows() == 0
+    }
+
+    /// Number of variables.
+    pub fn n_vars(&self) -> usize {
+        self.values.cols()
+    }
+
+    /// Index of the forecast variable.
+    pub fn target_var(&self) -> usize {
+        self.target_var
+    }
+
+    /// The raw series matrix.
+    pub fn values(&self) -> &Matrix {
+        &self.values
+    }
+
+    /// The forecast variable's series.
+    pub fn target_series(&self) -> Vec<f64> {
+        self.values.col(self.target_var)
+    }
+
+    /// Encodes for pipeline consumption (see the type docs).
+    pub fn to_dataset(&self) -> Dataset {
+        Dataset::new(self.values.clone())
+            .with_target(self.target_series())
+            .expect("target length equals row count by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn univariate_roundtrip() {
+        let s = SeriesData::univariate(vec![1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.n_vars(), 1);
+        assert_eq!(s.target_series(), vec![1.0, 2.0, 3.0]);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn multivariate_target_selection() {
+        let m = Matrix::from_rows(&[&[1.0, 10.0], &[2.0, 20.0]]);
+        let s = SeriesData::new(m, 1);
+        assert_eq!(s.target_series(), vec![10.0, 20.0]);
+        let ds = s.to_dataset();
+        assert_eq!(ds.n_features(), 2);
+        assert_eq!(ds.target().unwrap(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn invalid_construction_panics() {
+        assert!(std::panic::catch_unwind(|| SeriesData::new(Matrix::zeros(2, 2), 5)).is_err());
+        assert!(std::panic::catch_unwind(|| SeriesData::univariate(vec![])).is_err());
+    }
+}

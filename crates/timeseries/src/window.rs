@@ -1,0 +1,369 @@
+//! The time-series data-preprocessing transformers of Figs. 7–10.
+//!
+//! Each transformer consumes a series-encoded dataset (features = `L x v`
+//! series matrix, target = the forecast variable's unscaled series) and
+//! emits a supervised dataset whose rows are model inputs and whose target
+//! holds the per-window labels (the value `horizon` steps after each
+//! window).
+//!
+//! | Transformer | Rows | Columns | Consumer (Fig. 11) |
+//! |---|---|---|---|
+//! | [`CascadedWindows`] | `L − p − h + 1` | `p · v` (time-major) | Temporal DNNs |
+//! | [`FlatWindowing`] | `L − p − h + 1` | `p · v` (flattened) | Standard DNNs |
+//! | [`TsAsIid`] | `L − h` | `v` | Standard DNNs |
+//! | [`TsAsIs`] | `L − p − h + 1` | `p` (target lags) | Statistical models |
+//!
+//! `CascadedWindows` and `FlatWindowing` produce numerically identical
+//! matrices in our dense encoding — the paper's distinction (Figs. 7 vs 8)
+//! is whether the downstream estimator *interprets* the columns as a
+//! `(p, v)` temporal grid (LSTM/CNN) or as an unordered feature bag (DNN).
+
+use coda_data::{BoxedTransformer, ComponentError, Dataset, ParamValue, Transformer};
+use coda_linalg::Matrix;
+
+/// History/horizon configuration shared by the windowing transformers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// History window length `p`.
+    pub history: usize,
+    /// Prediction horizon: the label is the target value `horizon` steps
+    /// after the window's end (1 = next step).
+    pub horizon: usize,
+}
+
+impl WindowConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history == 0` or `horizon == 0`.
+    pub fn new(history: usize, horizon: usize) -> Self {
+        assert!(history > 0 && horizon > 0, "history and horizon must be positive");
+        WindowConfig { history, horizon }
+    }
+}
+
+fn series_parts(data: &Dataset) -> Result<(&Matrix, &[f64]), ComponentError> {
+    let target = data.target().ok_or_else(|| {
+        ComponentError::InvalidInput(
+            "series dataset must carry the forecast variable as target".to_string(),
+        )
+    })?;
+    Ok((data.features(), target))
+}
+
+fn set_param_common(
+    cfg: &mut WindowConfig,
+    component: &str,
+    param: &str,
+    value: ParamValue,
+) -> Result<(), ComponentError> {
+    let pos = |v: &ParamValue| v.as_usize().filter(|&x| x > 0);
+    match param {
+        "history" | "p" => {
+            cfg.history = pos(&value).ok_or_else(|| ComponentError::InvalidParam {
+                component: component.to_string(),
+                param: param.to_string(),
+                reason: "must be a positive integer".to_string(),
+            })?;
+            Ok(())
+        }
+        "horizon" => {
+            cfg.horizon = pos(&value).ok_or_else(|| ComponentError::InvalidParam {
+                component: component.to_string(),
+                param: param.to_string(),
+                reason: "must be a positive integer".to_string(),
+            })?;
+            Ok(())
+        }
+        _ => Err(ComponentError::UnknownParam {
+            component: component.to_string(),
+            param: param.to_string(),
+        }),
+    }
+}
+
+/// Builds `(windows, labels)` over all variables, time-major flattening.
+fn window_all_vars(
+    x: &Matrix,
+    y: &[f64],
+    cfg: WindowConfig,
+) -> Result<(Matrix, Vec<f64>), ComponentError> {
+    let l = x.rows();
+    let v = x.cols();
+    let p = cfg.history;
+    let h = cfg.horizon;
+    if l < p + h {
+        return Err(ComponentError::InvalidInput(format!(
+            "series of length {l} too short for history {p} + horizon {h}"
+        )));
+    }
+    let n_windows = l - p - h + 1;
+    let mut out = Matrix::zeros(n_windows, p * v);
+    let mut labels = Vec::with_capacity(n_windows);
+    for w in 0..n_windows {
+        let row = out.row_mut(w);
+        for t in 0..p {
+            let src = x.row(w + t);
+            row[t * v..(t + 1) * v].copy_from_slice(src);
+        }
+        labels.push(y[w + p + h - 1]);
+    }
+    Ok((out, labels))
+}
+
+macro_rules! window_transformer {
+    ($name:ident, $display:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            cfg: WindowConfig,
+            fitted: bool,
+        }
+
+        impl $name {
+            /// Creates the transformer.
+            pub fn new(cfg: WindowConfig) -> Self {
+                $name { cfg, fitted: false }
+            }
+
+            /// The window configuration.
+            pub fn config(&self) -> WindowConfig {
+                self.cfg
+            }
+        }
+
+        impl Transformer for $name {
+            fn name(&self) -> &str {
+                $display
+            }
+
+            fn set_param(
+                &mut self,
+                param: &str,
+                value: ParamValue,
+            ) -> Result<(), ComponentError> {
+                set_param_common(&mut self.cfg, $display, param, value)
+            }
+
+            fn fit(&mut self, _data: &Dataset) -> Result<(), ComponentError> {
+                self.fitted = true;
+                Ok(())
+            }
+
+            fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+                if !self.fitted {
+                    return Err(ComponentError::NotFitted($display.to_string()));
+                }
+                self.windowize(data)
+            }
+
+            fn clone_box(&self) -> BoxedTransformer {
+                Box::new($name::new(self.cfg))
+            }
+        }
+    };
+}
+
+window_transformer!(
+    CascadedWindows,
+    "cascaded_windows",
+    "Cascaded windows (Fig. 7): `L − p − h + 1` overlapping `p x v` windows,\n\
+     flattened time-major, labels = target at window end + horizon. Feeds\n\
+     the temporal DNNs (LSTM/CNN/WaveNet/SeriesNet), which interpret the\n\
+     columns as a `(p, v)` temporal grid."
+);
+
+impl CascadedWindows {
+    fn windowize(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let (x, y) = series_parts(data)?;
+        let (wins, labels) = window_all_vars(x, y, self.cfg)?;
+        Ok(Dataset::new(wins).with_target(labels).expect("lengths match by construction"))
+    }
+}
+
+window_transformer!(
+    FlatWindowing,
+    "flat_windowing",
+    "Flat windowing (Fig. 8): the cascaded windows flattened to `1 x p·v`\n\
+     rows for the standard DNN. Temporal history is available but ordering\n\
+     is not interpreted."
+);
+
+impl FlatWindowing {
+    fn windowize(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let (x, y) = series_parts(data)?;
+        let (wins, labels) = window_all_vars(x, y, self.cfg)?;
+        Ok(Dataset::new(wins).with_target(labels).expect("lengths match by construction"))
+    }
+}
+
+window_transformer!(
+    TsAsIid,
+    "ts_as_iid",
+    "Time series as transactional data (Fig. 9): each timestamp is an\n\
+     independent `v`-feature sample, label = target `horizon` steps later.\n\
+     No recent-history information is preserved."
+);
+
+impl TsAsIid {
+    fn windowize(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let (x, y) = series_parts(data)?;
+        let l = x.rows();
+        let h = self.cfg.horizon;
+        if l <= h {
+            return Err(ComponentError::InvalidInput(format!(
+                "series of length {l} too short for horizon {h}"
+            )));
+        }
+        let n = l - h;
+        let idx: Vec<usize> = (0..n).collect();
+        let features = x.select_rows(&idx);
+        let labels: Vec<f64> = (0..n).map(|t| y[t + h]).collect();
+        Ok(Dataset::new(features).with_target(labels).expect("lengths match by construction"))
+    }
+}
+
+window_transformer!(
+    TsAsIs,
+    "ts_as_is",
+    "Time series with no operation (Fig. 10): the raw (unscaled) target\n\
+     series is handed to the statistical models. Encoded as `p` lag columns\n\
+     of the target variable so Zero/AR models obey the estimator contract;\n\
+     persistence = predict the last lag column."
+);
+
+impl TsAsIs {
+    fn windowize(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
+        let (_, y) = series_parts(data)?;
+        let target_matrix = Matrix::from_vec(y.len(), 1, y.to_vec());
+        let (wins, labels) = window_all_vars(&target_matrix, y, self.cfg)?;
+        Ok(Dataset::new(wins).with_target(labels).expect("lengths match by construction"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SeriesData;
+    use coda_data::synth;
+
+    fn mv_series(n: usize, v: usize) -> Dataset {
+        SeriesData::new(synth::multivariate_sensors(n, v, 7), 0).to_dataset()
+    }
+
+    #[test]
+    fn cascaded_shape_law() {
+        // Fig. 7: L - p windows of shape (p x v) for horizon 1
+        let ds = mv_series(50, 3);
+        let mut w = CascadedWindows::new(WindowConfig::new(8, 1));
+        let out = w.fit_transform(&ds).unwrap();
+        assert_eq!(out.n_samples(), 50 - 8);
+        assert_eq!(out.n_features(), 8 * 3);
+    }
+
+    #[test]
+    fn flat_equals_cascaded_numerically() {
+        // Fig. 8: flattening L-p windows of (p x v) gives (1 x pv) rows
+        let ds = mv_series(40, 2);
+        let cfg = WindowConfig::new(5, 1);
+        let a = CascadedWindows::new(cfg).fit_transform(&ds).unwrap();
+        let b = FlatWindowing::new(cfg).fit_transform(&ds).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn window_contents_and_labels() {
+        let series = SeriesData::univariate((0..10).map(|i| i as f64).collect());
+        let ds = series.to_dataset();
+        let mut w = CascadedWindows::new(WindowConfig::new(3, 1));
+        let out = w.fit_transform(&ds).unwrap();
+        // first window = [0,1,2], label = 3
+        assert_eq!(out.features().row(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(out.target().unwrap()[0], 3.0);
+        // last window = [6,7,8], label = 9
+        assert_eq!(out.features().row(6), &[6.0, 7.0, 8.0]);
+        assert_eq!(out.target().unwrap()[6], 9.0);
+    }
+
+    #[test]
+    fn horizon_shifts_labels() {
+        let series = SeriesData::univariate((0..10).map(|i| i as f64).collect());
+        let ds = series.to_dataset();
+        let mut w = CascadedWindows::new(WindowConfig::new(3, 2));
+        let out = w.fit_transform(&ds).unwrap();
+        assert_eq!(out.n_samples(), 10 - 3 - 2 + 1);
+        assert_eq!(out.target().unwrap()[0], 4.0); // window [0,1,2], 2 ahead
+    }
+
+    #[test]
+    fn ts_as_iid_shape_and_labels() {
+        // Fig. 9: each timestamp is an independent sample
+        let ds = mv_series(30, 4);
+        let mut w = TsAsIid::new(WindowConfig::new(5, 1));
+        let out = w.fit_transform(&ds).unwrap();
+        assert_eq!(out.n_samples(), 29);
+        assert_eq!(out.n_features(), 4);
+        // label at row t is target at t+1
+        assert_eq!(out.target().unwrap()[0], ds.target().unwrap()[1]);
+    }
+
+    #[test]
+    fn ts_as_is_uses_target_lags_only() {
+        // Fig. 10: statistical models see the target series only
+        let ds = mv_series(30, 4);
+        let mut w = TsAsIs::new(WindowConfig::new(6, 1));
+        let out = w.fit_transform(&ds).unwrap();
+        assert_eq!(out.n_features(), 6);
+        assert_eq!(out.n_samples(), 30 - 6);
+        // last lag column equals the target one step before the label
+        let y = ds.target().unwrap();
+        assert_eq!(out.features()[(0, 5)], y[5]);
+        assert_eq!(out.target().unwrap()[0], y[6]);
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        let series = SeriesData::univariate(vec![1.0, 2.0, 3.0]);
+        let ds = series.to_dataset();
+        let mut w = CascadedWindows::new(WindowConfig::new(5, 1));
+        assert!(w.fit_transform(&ds).is_err());
+        let mut iid = TsAsIid::new(WindowConfig::new(1, 5));
+        assert!(iid.fit_transform(&ds).is_err());
+    }
+
+    #[test]
+    fn requires_series_target() {
+        let bare = Dataset::new(coda_linalg::Matrix::zeros(20, 2));
+        let mut w = CascadedWindows::new(WindowConfig::new(3, 1));
+        assert!(w.fit_transform(&bare).is_err());
+    }
+
+    #[test]
+    fn not_fitted_and_params() {
+        let ds = mv_series(30, 2);
+        let w = CascadedWindows::new(WindowConfig::new(3, 1));
+        assert!(w.transform(&ds).is_err());
+        let mut w = FlatWindowing::new(WindowConfig::new(3, 1));
+        w.set_param("history", ParamValue::from(4usize)).unwrap();
+        w.set_param("horizon", ParamValue::from(2usize)).unwrap();
+        assert_eq!(w.config(), WindowConfig::new(4, 2));
+        assert!(w.set_param("history", ParamValue::from(0usize)).is_err());
+        assert!(w.set_param("zzz", ParamValue::from(1usize)).is_err());
+    }
+
+    #[test]
+    fn labels_come_from_unscaled_target() {
+        // scale the features wildly; labels must still be original units
+        let series = SeriesData::univariate((0..20).map(|i| i as f64).collect());
+        let mut ds = series.to_dataset();
+        // simulate a scaler having squashed the features
+        for v in ds.features_mut().as_mut_slice() {
+            *v /= 1000.0;
+        }
+        let mut w = CascadedWindows::new(WindowConfig::new(3, 1));
+        let out = w.fit_transform(&ds).unwrap();
+        assert_eq!(out.target().unwrap()[0], 3.0); // unscaled
+        assert!(out.features()[(0, 2)] < 0.01); // scaled
+    }
+}

@@ -1,0 +1,25 @@
+//! `coda` — Cooperative Data Analytics with Transformer-Estimator Graphs.
+//!
+//! Umbrella crate re-exporting the full workspace. See the individual crates
+//! for detail:
+//! - [`linalg`]: dense linear algebra kernels
+//! - [`data`]: datasets, traits, metrics, cross-validation, synthetic data
+//! - [`ml`]: classical transformers and estimators
+//! - [`nn`]: neural-network substrate
+//! - [`graph`]: the Transformer-Estimator Graph (paper Section IV)
+//! - [`timeseries`]: time-series AI functions and prediction pipeline
+//! - [`store`]: versioned data tier with delta encoding and leases
+//! - [`darr`]: the Data Analytics Results Repository
+//! - [`cluster`]: the simulated distributed system of Fig. 1
+//! - [`templates`]: domain solution templates (Section IV-E)
+
+pub use coda_cluster as cluster;
+pub use coda_core as graph;
+pub use coda_darr as darr;
+pub use coda_data as data;
+pub use coda_linalg as linalg;
+pub use coda_ml as ml;
+pub use coda_nn as nn;
+pub use coda_store as store;
+pub use coda_templates as templates;
+pub use coda_timeseries as timeseries;

@@ -1,0 +1,161 @@
+//! Cross-crate integration: the full Transformer-Estimator-Graph workflow —
+//! data generation, imputation/outlier stages, graph construction, parallel
+//! CV evaluation, grid search, and model selection.
+
+use coda::data::impute::{ImputeStrategy, SimpleImputer};
+use coda::data::outlier::{OutlierMethod, OutlierRemover};
+use coda::data::{synth, CvStrategy, Metric, NoOp};
+use coda::graph::{Evaluator, ParamGrid, TegBuilder};
+use coda::ml::{
+    GradientBoostingRegressor, KnnRegressor, LinearRegression, Pca, RandomForestRegressor,
+    ScoreFunction, SelectKBest, StandardScaler,
+};
+
+#[test]
+fn scaling_matters_on_badly_scaled_data() {
+    // On wildly different feature scales, the best scaled kNN path must
+    // beat the unscaled kNN path — the reason the scaling stage exists.
+    let ds = synth::badly_scaled_regression(300, 7, 0.5, 7);
+    let graph = TegBuilder::new()
+        .add_feature_scalers(vec![
+            Box::new(StandardScaler::new()),
+            Box::new(NoOp::new()),
+        ])
+        .add_models(vec![Box::new(KnnRegressor::new(5))])
+        .create_graph()
+        .unwrap();
+    let report = Evaluator::new(CvStrategy::kfold(5), Metric::Rmse)
+        .evaluate_graph(&graph, &ds)
+        .unwrap();
+    let scaled = report
+        .results
+        .iter()
+        .find(|r| r.spec.steps[0] == "standard_scaler")
+        .unwrap()
+        .mean_score;
+    let unscaled =
+        report.results.iter().find(|r| r.spec.steps[0] == "noop").unwrap().mean_score;
+    assert!(
+        scaled < unscaled * 0.8,
+        "scaled kNN ({scaled:.3}) must clearly beat unscaled ({unscaled:.3})"
+    );
+}
+
+#[test]
+fn dirty_data_pipeline_with_imputation_and_outlier_removal() {
+    // Missing values + gross outliers, cleaned inside the pipeline itself.
+    let clean = synth::linear_regression(250, 4, 0.2, 8);
+    let mut dirty = synth::inject_missing(&clean, 0.05, 9);
+    // inject a gross outlier row
+    for c in 0..4 {
+        dirty.features_mut()[(0, c)] = 1e6;
+    }
+    let graph = TegBuilder::new()
+        .add_transformers(vec![Box::new(SimpleImputer::new(ImputeStrategy::Median))])
+        .add_transformers(vec![Box::new(OutlierRemover::new(OutlierMethod::Mad {
+            threshold: 6.0,
+        }))])
+        .add_feature_scalers(vec![Box::new(StandardScaler::new())])
+        .add_models(vec![Box::new(LinearRegression::new())])
+        .create_graph()
+        .unwrap();
+    // Train each pipeline on the dirty data, score on clean held-out data:
+    // in-pipeline cleaning must recover near-clean accuracy.
+    let holdout = synth::linear_regression(250, 4, 0.2, 8); // same generator, same coefficients
+    let mut cleaned = graph.enumerate_pipelines().unwrap().remove(0);
+    cleaned.fit(&dirty).unwrap();
+    let pred = cleaned.predict(&holdout).unwrap();
+    let r2 = coda::data::metrics::r2(holdout.target().unwrap(), &pred).unwrap();
+    assert!(r2 > 0.9, "cleaned pipeline r2 = {r2}");
+    // Without cleaning, the same training data wrecks the fit.
+    let raw_graph = TegBuilder::new()
+        .add_transformers(vec![Box::new(SimpleImputer::new(ImputeStrategy::Median))])
+        .add_models(vec![Box::new(LinearRegression::new())])
+        .create_graph()
+        .unwrap();
+    let mut raw = raw_graph.enumerate_pipelines().unwrap().remove(0);
+    raw.fit(&dirty).unwrap();
+    let raw_pred = raw.predict(&holdout).unwrap();
+    let raw_r2 = coda::data::metrics::r2(holdout.target().unwrap(), &raw_pred).unwrap();
+    assert!(r2 > raw_r2, "cleaning ({r2:.3}) must beat no cleaning ({raw_r2:.3})");
+}
+
+#[test]
+fn grid_search_finds_better_configuration_than_default() {
+    let ds = synth::friedman1(400, 10, 0.5, 10);
+    let graph = TegBuilder::new()
+        .add_feature_selectors(vec![Box::new(SelectKBest::new(
+            2, // deliberately bad default: friedman1 has 5 informative features
+            ScoreFunction::MutualInfo,
+        ))])
+        .add_models(vec![Box::new(RandomForestRegressor::new(15))])
+        .create_graph()
+        .unwrap();
+    let evaluator = Evaluator::new(CvStrategy::kfold(4), Metric::Rmse);
+    let default_report = evaluator.evaluate_graph(&graph, &ds).unwrap();
+    let mut grid = ParamGrid::new();
+    grid.add("select_k_best__k", vec![2usize.into(), 5usize.into(), 10usize.into()]);
+    let tuned = evaluator.evaluate_graph_with_grid(&graph, &ds, &grid).unwrap();
+    assert_eq!(tuned.results.len(), 3);
+    assert!(
+        tuned.best().unwrap().mean_score < default_report.best().unwrap().mean_score,
+        "k=5 or 10 must beat the k=2 default"
+    );
+    // and the winner is not the bad default
+    let winner_k = tuned.best().unwrap().spec.params.get("select_k_best__k").unwrap();
+    assert_ne!(winner_k, "i2");
+}
+
+#[test]
+fn parallel_evaluation_reproducible_across_thread_counts() {
+    let ds = synth::friedman1(200, 6, 0.4, 11);
+    let graph = TegBuilder::new()
+        .add_feature_scalers(vec![Box::new(StandardScaler::new()), Box::new(NoOp::new())])
+        .add_feature_selectors(vec![Box::new(Pca::new(3)), Box::new(NoOp::new())])
+        .add_models(vec![
+            Box::new(LinearRegression::new()),
+            Box::new(RandomForestRegressor::new(10)),
+            Box::new(GradientBoostingRegressor::new(20, 0.1)),
+        ])
+        .create_graph()
+        .unwrap();
+    let base = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
+        .evaluate_graph(&graph, &ds)
+        .unwrap();
+    for threads in [2usize, 8] {
+        let par = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
+            .with_threads(threads)
+            .evaluate_graph(&graph, &ds)
+            .unwrap();
+        assert_eq!(base.results.len(), par.results.len());
+        for (a, b) in base.results.iter().zip(&par.results) {
+            assert_eq!(a.spec.key(), b.spec.key());
+            assert_eq!(a.fold_scores, b.fold_scores);
+        }
+    }
+}
+
+#[test]
+fn monte_carlo_and_kfold_agree_on_the_winner() {
+    let ds = synth::linear_regression(300, 4, 0.3, 12);
+    let graph = TegBuilder::new()
+        .add_models(vec![
+            Box::new(LinearRegression::new()),
+            Box::new(KnnRegressor::new(3)),
+        ])
+        .create_graph()
+        .unwrap();
+    let kfold = Evaluator::new(CvStrategy::kfold(5), Metric::Rmse)
+        .evaluate_graph(&graph, &ds)
+        .unwrap();
+    let mc = Evaluator::new(
+        CvStrategy::MonteCarlo { n_splits: 8, test_fraction: 0.2, seed: 3 },
+        Metric::Rmse,
+    )
+    .evaluate_graph(&graph, &ds)
+    .unwrap();
+    // linear data: linear regression must win under both strategies
+    assert_eq!(kfold.best().unwrap().spec.steps, vec!["linear_regression"]);
+    assert_eq!(mc.best().unwrap().spec.steps, vec!["linear_regression"]);
+    assert_eq!(mc.best().unwrap().fold_scores.len(), 8);
+}

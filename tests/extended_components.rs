@@ -1,0 +1,185 @@
+//! Cross-crate integration for the extended component set: kernel PCA and
+//! LDA inside graphs, MICE/ALS imputation in dirty-data pipelines, the
+//! oversampler in imbalanced failure prediction, nested CV through the
+//! public API, and the expanding time-series split end-to-end.
+
+use coda::data::impute_advanced::{IterativeImputer, MatrixFactorizationImputer};
+use coda::data::{synth, CvStrategy, Metric};
+use coda::graph::{Evaluator, ParamGrid, Pipeline, TegBuilder};
+use coda::ml::{
+    Kernel, KernelPca, KnnClassifier, Lda, LogisticRegression,
+    RandomOversampler, ScoreFunction, SelectKBest, StandardScaler,
+};
+use coda_linalg::Matrix;
+
+/// Two concentric rings: the classic kernel-methods testbed.
+fn rings(n_per: usize) -> coda::data::Dataset {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..2 * n_per {
+        let angle = i as f64 * std::f64::consts::PI * 2.0 / n_per as f64;
+        let (r, label) = if i % 2 == 0 { (1.0, 0.0) } else { (5.0, 1.0) };
+        rows.push(vec![
+            r * angle.cos() + 0.05 * ((i * 7 % 13) as f64 / 13.0),
+            r * angle.sin(),
+        ]);
+        labels.push(label);
+    }
+    let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    coda::data::Dataset::new(Matrix::from_rows(&refs)).with_target(labels).unwrap()
+}
+
+#[test]
+fn kernel_pca_path_beats_linear_path_on_rings() {
+    let ds = rings(80);
+    let graph = TegBuilder::new()
+        .add_feature_selectors(vec![
+            Box::new(KernelPca::new(2, Kernel::Rbf { gamma: 0.3 })),
+            Box::new(coda::ml::Pca::new(2)),
+        ])
+        .add_models(vec![Box::new(LogisticRegression::new())])
+        .create_graph()
+        .unwrap();
+    let report = Evaluator::new(CvStrategy::KFold { k: 4, shuffle: true, seed: 1 }, Metric::Accuracy)
+        .evaluate_graph(&graph, &ds)
+        .unwrap();
+    let kernel_acc = report
+        .results
+        .iter()
+        .find(|r| r.spec.steps[0] == "kernel_pca")
+        .unwrap()
+        .mean_score;
+    let linear_acc =
+        report.results.iter().find(|r| r.spec.steps[0] == "pca").unwrap().mean_score;
+    assert!(
+        kernel_acc > 0.95 && linear_acc < 0.8,
+        "kernel {kernel_acc:.3} must separate rings where linear PCA ({linear_acc:.3}) cannot"
+    );
+    assert_eq!(report.best().unwrap().spec.steps[0], "kernel_pca");
+}
+
+#[test]
+fn lda_pipeline_with_information_gain_selection() {
+    let ds = synth::classification_blobs(400, 10, 3, 1.2, 2);
+    let graph = TegBuilder::new()
+        .add_feature_selectors(vec![Box::new(SelectKBest::new(
+            6,
+            ScoreFunction::InformationGain,
+        ))])
+        .add_transformers(vec![Box::new(Lda::new(2))])
+        .add_models(vec![Box::new(KnnClassifier::new(5))])
+        .create_graph()
+        .unwrap();
+    let report = Evaluator::new(CvStrategy::KFold { k: 3, shuffle: true, seed: 2 }, Metric::Accuracy)
+        .evaluate_graph(&graph, &ds)
+        .unwrap();
+    assert!(report.best().unwrap().mean_score > 0.85);
+}
+
+#[test]
+fn advanced_imputers_inside_pipelines_beat_mean_downstream() {
+    // correlated features with holes: downstream regression quality depends
+    // on imputation quality. Features are noisy multiples of a latent
+    // factor, so missing cells are recoverable from the observed ones.
+    let latent = synth::linear_regression(300, 1, 0.0, 3);
+    let l = latent.features().col(0);
+    let mut x = Matrix::zeros(300, 4);
+    let mut y = Vec::with_capacity(300);
+    for (r, &v) in l.iter().enumerate() {
+        x[(r, 0)] = v;
+        x[(r, 1)] = 2.0 * v + 0.05 * ((r * 13 % 17) as f64 / 17.0 - 0.5);
+        x[(r, 2)] = -1.5 * v + 0.05 * ((r * 7 % 23) as f64 / 23.0 - 0.5);
+        x[(r, 3)] = 0.5 * v + 0.05 * ((r * 11 % 19) as f64 / 19.0 - 0.5);
+        y.push(3.0 * v + 0.1 * ((r * 3 % 29) as f64 / 29.0 - 0.5));
+    }
+    let clean = coda::data::Dataset::new(x).with_target(y).unwrap();
+    let holed = synth::inject_missing(&clean, 0.2, 4);
+    let score_with = |imputer: coda::data::BoxedTransformer| {
+        let graph = TegBuilder::new()
+            .add_transformers(vec![imputer])
+            .add_feature_scalers(vec![Box::new(StandardScaler::new())])
+            .add_models(vec![Box::new(coda::ml::RidgeRegression::new(0.1))])
+            .create_graph()
+            .unwrap();
+        Evaluator::new(CvStrategy::kfold(4), Metric::Rmse)
+            .evaluate_graph(&graph, &holed)
+            .unwrap()
+            .best()
+            .unwrap()
+            .mean_score
+    };
+    let mice = score_with(Box::new(IterativeImputer::new(4)));
+    let mf = score_with(Box::new(MatrixFactorizationImputer::new(2)));
+    let mean = score_with(Box::new(coda::data::impute::SimpleImputer::new(
+        coda::data::impute::ImputeStrategy::Mean,
+    )));
+    assert!(mice < mean, "mice {mice:.4} must beat mean {mean:.4}");
+    // ALS is weaker on full-rank regression features but must stay sane
+    assert!(mf < mean * 1.5, "mf {mf:.4} vs mean {mean:.4}");
+}
+
+#[test]
+fn oversampler_improves_minority_f1_in_graph() {
+    let ds = synth::imbalanced_binary(2500, 1, 0.04, 5);
+    let run = |with_oversampling: bool| {
+        let mut builder = TegBuilder::new();
+        let builder = if with_oversampling {
+            builder = builder
+                .add_transformers(vec![Box::new(RandomOversampler::new().with_seed(9))]);
+            builder
+        } else {
+            builder
+        };
+        let graph = builder
+            .add_models(vec![Box::new(LogisticRegression::new())])
+            .create_graph()
+            .unwrap();
+        Evaluator::new(CvStrategy::KFold { k: 3, shuffle: true, seed: 6 }, Metric::F1)
+            .evaluate_graph(&graph, &ds)
+            .unwrap()
+            .best()
+            .unwrap()
+            .mean_score
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        with > without + 0.05,
+        "oversampled f1 {with:.3} must clearly beat plain {without:.3}"
+    );
+}
+
+#[test]
+fn nested_cv_through_public_api() {
+    let ds = synth::friedman1(200, 5, 1.0, 7);
+    let pipeline = Pipeline::from_nodes(vec![coda::graph::Node::auto(
+        (Box::new(coda::ml::KnnRegressor::new(1)) as coda::data::BoxedEstimator).into(),
+    )]);
+    let mut grid = ParamGrid::new();
+    grid.add("knn_regressor__k", vec![1usize.into(), 5usize.into(), 11usize.into()]);
+    let eval = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse);
+    let nested = eval.nested_evaluate(&pipeline, &ds, &grid, CvStrategy::kfold(3)).unwrap();
+    assert_eq!(nested.folds.len(), 3);
+    assert!(nested.outer_mean().is_finite());
+    assert!(nested.consensus_params().is_some());
+}
+
+#[test]
+fn expanding_split_selects_forecaster_end_to_end() {
+    use coda::timeseries::{SeriesData, TimeSeriesPipelineBuilder, TsEvaluator};
+    let series = SeriesData::univariate(synth::ar2_series(400, 0.6, 0.2, 0.8, 8));
+    let graph = TimeSeriesPipelineBuilder::new(6, 1, 1)
+        .with_deep_variants(false)
+        .with_all_scalers(false)
+        .with_epochs(5)
+        .build()
+        .unwrap();
+    let report = TsEvaluator::expanding(4, Metric::Rmse)
+        .with_threads(2)
+        .evaluate_graph(&graph, &series)
+        .unwrap();
+    assert!(report.n_ok() >= 5);
+    let ar = report.score_for("ar_forecaster").unwrap();
+    let zero = report.score_for("zero_model").unwrap();
+    assert!(ar < zero, "AR must beat persistence on an AR process (expanding split)");
+}

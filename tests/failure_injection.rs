@@ -1,0 +1,113 @@
+//! Failure injection across the cooperative system: failing pipelines in a
+//! multi-client run, clients desynchronizing from the push stream, and full
+//! site outages with recovery.
+
+use bytes::Bytes;
+use coda::cluster::run_cooperative;
+use coda::data::{synth, CvStrategy, Metric};
+use coda::graph::TegBuilder;
+use coda::ml::{LinearRegression, RidgeRegression};
+use coda::store::{CachingClient, HomeDataStore, PushMode, ReplicatedStore};
+
+#[test]
+fn cooperative_run_survives_failing_paths() {
+    // 12 samples, 6 features: linear regression needs 7+ training samples;
+    // 3-fold leaves 8 — but give it 10 features so it fails, while ridge
+    // (regularized) still fits.
+    let ds = synth::linear_regression(12, 10, 0.01, 301);
+    let graph = TegBuilder::new()
+        .add_models(vec![
+            Box::new(LinearRegression::new()), // needs 11 samples of 8 available -> fails
+            Box::new(RidgeRegression::new(1.0)), // always fits
+        ])
+        .create_graph()
+        .unwrap();
+    for use_darr in [false, true] {
+        let report =
+            run_cooperative(&graph, &ds, CvStrategy::kfold(3), Metric::Rmse, 3, use_darr);
+        assert!(report.best_score.is_finite(), "ridge path must produce a score");
+        // only the viable path is ever *successfully* computed
+        if use_darr {
+            assert!(report.total_evaluations <= report.n_pipelines * 3);
+        }
+    }
+}
+
+#[test]
+fn client_desynchronized_from_push_stream_recovers_by_pull() {
+    let mut store = HomeDataStore::new("home", 2); // short history
+    let mut client = CachingClient::new("c");
+    let mut blob: Vec<u8> =
+        (0..40_000u32).map(|i| (i % 241) as u8).collect();
+    store.put("o", Bytes::from(blob.clone()));
+    client.pull(&mut store, "o").unwrap();
+    store.subscribe("c", "o", PushMode::Delta, 1_000);
+
+    // the client "goes offline": three updates happen; the first two pushes
+    // are lost on the network, only the last arrives
+    let mut last_push = None;
+    for i in 0..3usize {
+        blob[i * 100] ^= 0xFF;
+        let (_, pushes) = store.put("o", Bytes::from(blob.clone()));
+        last_push = pushes.into_iter().next();
+    }
+    // back online: the surviving delta (base v3) cannot apply on held v1
+    let push = last_push.expect("lease was active");
+    assert!(matches!(push, coda::store::UpdateMessage::Delta { .. }));
+    let err = client.apply_push(&push).unwrap_err();
+    assert!(matches!(err, coda::store::client::ClientError::BaseVersionMismatch { .. }));
+    assert_eq!(client.held_version("o"), Some(1), "a bad delta must not corrupt the cache");
+    // version-aware pull resynchronizes; the held version (1) fell out of
+    // the depth-2 history, so the store correctly sends a full copy
+    client.pull(&mut store, "o").unwrap();
+    assert_eq!(client.held_version("o"), Some(4));
+    assert_eq!(&client.held_data("o").unwrap()[..], &blob[..]);
+    assert!(store.stats().full_transfers >= 2);
+}
+
+#[test]
+fn replicated_store_full_outage_then_recovery() {
+    let mut rs = ReplicatedStore::new(2, 4);
+    rs.put("o", Bytes::from_static(b"v1")).unwrap();
+    for site in ["site-0", "site-1", "site-2"] {
+        rs.fail_site(site).unwrap();
+    }
+    assert!(rs.put("o", Bytes::from_static(b"lost")).is_err());
+    assert!(rs.fetch("o", None).is_err());
+    // one site comes back: service resumes from the last committed version
+    rs.recover_site("site-2").unwrap();
+    let reply = rs.fetch("o", None).unwrap().unwrap();
+    assert_eq!(reply.version(), 1, "committed data survives the outage");
+    let v = rs.put("o", Bytes::from_static(b"v2")).unwrap();
+    assert_eq!(v, 2);
+    assert_eq!(rs.primary_name(), "site-2");
+    // remaining sites recover and catch up on the next write
+    rs.recover_site("site-0").unwrap();
+    rs.recover_site("site-1").unwrap();
+    rs.put("o", Bytes::from_static(b"v3")).unwrap();
+    assert!(rs.site_versions("o").iter().all(|(_, v)| *v == Some(3)));
+}
+
+#[test]
+fn lease_cancellation_mid_burst_stops_exactly_there() {
+    let mut store = HomeDataStore::new("home", 4);
+    let mut client = CachingClient::new("c");
+    let mut blob = vec![0u8; 4096];
+    store.put("o", Bytes::from(blob.clone()));
+    client.pull(&mut store, "o").unwrap();
+    store.subscribe("c", "o", PushMode::Full, 1_000);
+    let mut received = 0usize;
+    for i in 0..6usize {
+        if i == 3 {
+            assert!(store.cancel("c", "o"));
+        }
+        blob[i] ^= 1;
+        let (_, pushes) = store.put("o", Bytes::from(blob.clone()));
+        received += pushes.len();
+        for p in &pushes {
+            client.apply_push(p).unwrap();
+        }
+    }
+    assert_eq!(received, 3, "exactly the pre-cancellation updates are pushed");
+    assert!(client.is_stale(&store, "o"));
+}

@@ -1,0 +1,267 @@
+//! Property-based tests over the system's core invariants (proptest).
+
+use bytes::Bytes;
+use coda::data::cv::CvStrategy;
+use coda::data::{synth, Dataset, Transformer};
+use coda::graph::{ParamGrid, PipelineSpec};
+use coda::ml::StandardScaler;
+use coda::store::{DeltaCodec, HomeDataStore};
+use coda::timeseries::{CascadedWindows, FlatWindowing, SeriesData, TsAsIid, WindowConfig};
+use coda_linalg::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Delta encode/apply is the identity on arbitrary byte strings.
+    #[test]
+    fn delta_roundtrip(base in proptest::collection::vec(any::<u8>(), 0..2048),
+                       target in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let delta = DeltaCodec::encode(&base, &target, 1, 2);
+        let rebuilt = DeltaCodec::apply(&base, &delta).unwrap();
+        prop_assert_eq!(&rebuilt[..], &target[..]);
+    }
+
+    /// A delta from a version to itself never exceeds a small header bound
+    /// when the data is block-aligned-compressible.
+    #[test]
+    fn delta_self_is_small(data in proptest::collection::vec(any::<u8>(), 128..1024)) {
+        let delta = DeltaCodec::encode(&data, &data, 1, 2);
+        // tail shorter than one block stays literal; everything else copies
+        prop_assert!(delta.literal_bytes() < 64);
+    }
+
+    /// Sequential store versions always reconstruct through pulls,
+    /// whatever the update pattern.
+    #[test]
+    fn store_pull_always_converges(updates in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..512), 1..6)) {
+        let mut store = HomeDataStore::new("h", 3);
+        let mut client = coda::store::CachingClient::new("c");
+        let mut last = Vec::new();
+        for u in &updates {
+            store.put("o", Bytes::from(u.clone()));
+            last = u.clone();
+        }
+        client.pull(&mut store, "o").unwrap();
+        prop_assert_eq!(&client.held_data("o").unwrap()[..], &last[..]);
+    }
+
+    /// K-fold splits partition the sample index range exactly.
+    #[test]
+    fn kfold_partitions(n in 4usize..200, k in 2usize..8, shuffle in any::<bool>(), seed in any::<u64>()) {
+        prop_assume!(n >= k);
+        let splits = CvStrategy::KFold { k, shuffle, seed }.splits(n).unwrap();
+        prop_assert_eq!(splits.len(), k);
+        let mut seen = vec![false; n];
+        for s in &splits {
+            prop_assert_eq!(s.train.len() + s.validation.len(), n);
+            for &i in &s.validation {
+                prop_assert!(!seen[i], "validation index {} repeated", i);
+                seen[i] = true;
+            }
+            for &i in &s.train {
+                prop_assert!(!s.validation.contains(&i));
+            }
+        }
+        prop_assert!(seen.iter().all(|&v| v));
+    }
+
+    /// Sliding splits never leak: every validation index is strictly after
+    /// every train index plus the buffer.
+    #[test]
+    fn sliding_split_no_leakage(train in 2usize..40, buffer in 0usize..10,
+                                val in 1usize..20, k in 1usize..6, extra in 0usize..50) {
+        let n = train + buffer + val + extra;
+        let splits = CvStrategy::TimeSeriesSlidingSplit {
+            train_size: train, buffer, validation_size: val, k,
+        }.splits(n).unwrap();
+        prop_assert_eq!(splits.len(), k);
+        for s in &splits {
+            let max_train = *s.train.iter().max().unwrap();
+            let min_val = *s.validation.iter().min().unwrap();
+            prop_assert_eq!(min_val, max_train + buffer + 1);
+            prop_assert_eq!(s.train.len(), train);
+            prop_assert_eq!(s.validation.len(), val);
+        }
+    }
+
+    /// Windowing shape laws of Figs. 7-9 hold for all shapes.
+    #[test]
+    fn windowing_shape_laws(l in 4usize..60, v in 1usize..5, p in 1usize..10, h in 1usize..4) {
+        prop_assume!(l >= p + h);
+        let m = synth::multivariate_sensors(l, v, 1);
+        let ds = SeriesData::new(m, 0).to_dataset();
+        let cfg = WindowConfig::new(p, h);
+        let cascaded = CascadedWindows::new(cfg).fit_transform(&ds).unwrap();
+        prop_assert_eq!(cascaded.n_samples(), l - p - h + 1);
+        prop_assert_eq!(cascaded.n_features(), p * v);
+        let flat = FlatWindowing::new(cfg).fit_transform(&ds).unwrap();
+        prop_assert_eq!(&flat, &cascaded);
+        let iid = TsAsIid::new(cfg).fit_transform(&ds).unwrap();
+        prop_assert_eq!(iid.n_samples(), l - h);
+        prop_assert_eq!(iid.n_features(), v);
+    }
+
+    /// Standard scaling is invertible on arbitrary data with non-constant
+    /// columns.
+    #[test]
+    fn scaler_roundtrip(rows in 2usize..30, cols in 1usize..6, seed in any::<u64>()) {
+        let ds = synth::linear_regression(rows, cols, 0.5, seed);
+        let mut scaler = StandardScaler::new();
+        let scaled = scaler.fit_transform(&ds).unwrap();
+        let back = scaler.inverse_transform(&scaled).unwrap();
+        for r in 0..rows {
+            for c in 0..cols {
+                prop_assert!((back.features()[(r, c)] - ds.features()[(r, c)]).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Grid expansion size equals the product of value-list lengths, and
+    /// every assignment is distinct.
+    #[test]
+    fn grid_cartesian(sizes in proptest::collection::vec(1usize..5, 0..4)) {
+        let mut grid = ParamGrid::new();
+        for (i, n) in sizes.iter().enumerate() {
+            grid.add(format!("n{i}__p"), (0..*n).map(|v| (v as i64).into()).collect());
+        }
+        let expected: usize = sizes.iter().product();
+        let expanded = grid.expand();
+        prop_assert_eq!(expanded.len(), expected.max(1));
+        let mut keys: Vec<String> = expanded.iter()
+            .map(|p| PipelineSpec::new(vec!["x"]).with_params(p).key())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), expanded.len());
+    }
+
+    /// Metric bounds: accuracy/F1 in [0,1], RMSE >= 0, and R² <= 1.
+    #[test]
+    fn metric_bounds(n in 2usize..50, seed in any::<u64>()) {
+        let ds = synth::classification_blobs(n.max(4), 2, 2, 1.0, seed);
+        let y = ds.target().unwrap();
+        let yhat: Vec<f64> = y.iter().rev().cloned().collect();
+        let acc = coda::data::metrics::accuracy(y, &yhat).unwrap();
+        prop_assert!((0.0..=1.0).contains(&acc));
+        let f1 = coda::data::metrics::f1_score(y, &yhat, 1.0).unwrap();
+        prop_assert!((0.0..=1.0).contains(&f1));
+        let reg = synth::linear_regression(n.max(3), 2, 1.0, seed);
+        let t = reg.target().unwrap();
+        let pred: Vec<f64> = t.iter().map(|v| v + 1.0).collect();
+        prop_assert!(coda::data::metrics::rmse(t, &pred).unwrap() >= 0.0);
+        if let Ok(r2) = coda::data::metrics::r2(t, &pred) {
+            prop_assert!(r2 <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Matrix algebra laws: associativity of multiplication and the
+    /// transpose product rule, on arbitrary small matrices.
+    #[test]
+    fn matrix_algebra_laws(m in 1usize..6, k in 1usize..6, n in 1usize..6, p in 1usize..6,
+                           seed in any::<u32>()) {
+        let fill = |rows: usize, cols: usize, salt: u64| {
+            let mut mx = Matrix::zeros(rows, cols);
+            for (i, v) in mx.as_mut_slice().iter_mut().enumerate() {
+                *v = (((i as u64 + salt).wrapping_mul(seed as u64 + 1) % 1000) as f64) / 100.0 - 5.0;
+            }
+            mx
+        };
+        let a = fill(m, k, 1);
+        let b = fill(k, n, 2);
+        let c = fill(n, p, 3);
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!((&left - &right).frobenius_norm() < 1e-6 * (1.0 + left.frobenius_norm()));
+        // (AB)ᵀ = Bᵀ Aᵀ
+        let t1 = a.matmul(&b).unwrap().transpose();
+        let t2 = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!((&t1 - &t2).frobenius_norm() < 1e-9 * (1.0 + t1.frobenius_norm()));
+    }
+
+    /// Solving a well-conditioned diagonal-dominant system reproduces the
+    /// planted solution.
+    #[test]
+    fn lu_solve_recovers_planted_solution(n in 1usize..8, seed in any::<u32>()) {
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = (((i * 7 + j * 13 + seed as usize) % 19) as f64) / 19.0 - 0.5;
+                a[(i, j)] = if i == j { v + n as f64 } else { v };
+            }
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            prop_assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    /// AUC is invariant under strictly monotone transforms of the scores.
+    #[test]
+    fn auc_monotone_invariance(n in 4usize..60, seed in any::<u64>()) {
+        let ds = synth::imbalanced_binary(n.max(10), 1, 0.4, seed);
+        let y = ds.target().unwrap();
+        prop_assume!(y.contains(&1.0) && y.contains(&0.0));
+        let scores: Vec<f64> = ds.features().col(0);
+        let transformed: Vec<f64> = scores.iter().map(|s| (s * 0.3).exp() + 7.0).collect();
+        let a1 = coda::data::metrics::auc(y, &scores).unwrap();
+        let a2 = coda::data::metrics::auc(y, &transformed).unwrap();
+        prop_assert!((a1 - a2).abs() < 1e-12);
+    }
+
+    /// TEG path count equals the product of stage widths for staged graphs.
+    #[test]
+    fn teg_path_count_is_width_product(widths in proptest::collection::vec(1usize..4, 1..4)) {
+        use coda::graph::TegBuilder;
+        use coda::data::NoOp;
+        let mut builder = TegBuilder::new();
+        for w in &widths {
+            let stage: Vec<coda::data::BoxedTransformer> =
+                (0..*w).map(|_| Box::new(NoOp::new()) as coda::data::BoxedTransformer).collect();
+            builder = builder.add_transformers(stage);
+        }
+        let builder = builder.add_models(vec![
+            Box::new(coda::ml::LinearRegression::new()),
+            Box::new(coda::ml::KnnRegressor::new(3)),
+        ]);
+        let graph = builder.create_graph().unwrap();
+        let expected: usize = widths.iter().product::<usize>() * 2;
+        prop_assert_eq!(graph.enumerate_paths().len(), expected);
+    }
+
+    /// Dataset binary serialization round-trips for arbitrary shapes,
+    /// including NaN (missing) cells.
+    #[test]
+    fn dataset_bytes_roundtrip(rows in 1usize..20, cols in 1usize..6,
+                               with_target in any::<bool>(), nan_every in 2usize..10) {
+        let mut m = Matrix::zeros(rows, cols);
+        for (i, v) in m.as_mut_slice().iter_mut().enumerate() {
+            *v = if i % nan_every == 0 { f64::NAN } else { i as f64 * 0.37 - 3.0 };
+        }
+        let ds = if with_target {
+            Dataset::new(m).with_target((0..rows).map(|r| r as f64).collect()).unwrap()
+        } else {
+            Dataset::new(m)
+        };
+        let back = Dataset::from_bytes(&ds.to_bytes()).unwrap();
+        prop_assert_eq!(back.n_samples(), ds.n_samples());
+        prop_assert_eq!(back.n_features(), ds.n_features());
+        prop_assert_eq!(back.target().is_some(), with_target);
+        for (a, b) in back.features().as_slice().iter().zip(ds.features().as_slice()) {
+            prop_assert!(a == b || (a.is_nan() && b.is_nan()));
+        }
+    }
+
+    /// Train/test split partitions and respects the requested fraction.
+    #[test]
+    fn train_test_split_partitions(n in 4usize..200, frac in 0.05f64..0.95, seed in any::<u64>()) {
+        let ds = Dataset::new(Matrix::zeros(n, 1)).with_target(vec![0.0; n]).unwrap();
+        let (train, test) = ds.train_test_split(frac, seed);
+        prop_assert_eq!(train.n_samples() + test.n_samples(), n);
+        prop_assert!(test.n_samples() >= 1);
+        prop_assert!(train.n_samples() >= 1);
+    }
+}

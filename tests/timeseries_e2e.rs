@@ -1,0 +1,113 @@
+//! Cross-crate integration: the Fig. 11 time-series prediction pipeline on
+//! series with known structure — the qualitative model ordering the paper's
+//! design implies must hold.
+
+use coda::data::{synth, Metric};
+use coda::timeseries::{
+    SeriesData, TimeSeriesPipelineBuilder, TsEvaluator,
+};
+use coda_linalg::Matrix;
+
+/// Statistical-models-only graph evaluates fast; used for ordering checks.
+fn stat_graph(history: usize) -> coda::graph::Teg {
+    TimeSeriesPipelineBuilder::new(history, 1, 1)
+        .with_deep_variants(false)
+        .with_all_scalers(false)
+        .with_epochs(30)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn ar_beats_zero_on_autocorrelated_series_and_not_on_random_walk() {
+    let eval = TsEvaluator::sliding(300, 10, 80, 3, Metric::Rmse).with_threads(4);
+
+    // strongly mean-reverting AR(2): AR must beat persistence
+    let ar_series = SeriesData::univariate(synth::ar2_series(600, 0.5, 0.2, 1.0, 21));
+    let report = eval.evaluate_graph(&stat_graph(8), &ar_series).unwrap();
+    let ar = report.score_for("ar_forecaster").unwrap();
+    let zero = report.score_for("zero_model").unwrap();
+    assert!(ar < zero, "AR {ar:.4} must beat Zero {zero:.4} on an AR process");
+
+    // pure random walk: Zero is near-optimal; AR must not beat it by much
+    let walk = SeriesData::univariate(synth::random_walk(600, 1.0, 22));
+    let report = eval.evaluate_graph(&stat_graph(8), &walk).unwrap();
+    let ar = report.score_for("ar_forecaster").unwrap();
+    let zero = report.score_for("zero_model").unwrap();
+    assert!(
+        zero < ar * 1.15,
+        "Zero ({zero:.4}) must be within 15% of AR ({ar:.4}) on a random walk"
+    );
+}
+
+#[test]
+fn temporal_models_beat_iid_dnn_on_seasonal_series() {
+    // a clean seasonal signal: history windows are informative, single
+    // timestamps are not
+    let series: Vec<f64> = (0..500)
+        .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin() * 3.0)
+        .collect();
+    let series = SeriesData::univariate(series);
+    let graph = TimeSeriesPipelineBuilder::new(16, 1, 1)
+        .with_deep_variants(false)
+        .with_all_scalers(false)
+        .with_epochs(60)
+        .with_seed(5)
+        .build()
+        .unwrap();
+    let eval = TsEvaluator::sliding(280, 8, 60, 2, Metric::Rmse).with_threads(4);
+    let report = eval.evaluate_graph(&graph, &series).unwrap();
+    let lstm = report.score_for("lstm_simple").unwrap();
+    let wavenet = report.score_for("wavenet").unwrap();
+    let iid = report.score_for("dnn_iid_simple").unwrap();
+    let zero = report.score_for("zero_model").unwrap();
+    let best_temporal = lstm.min(wavenet);
+    assert!(
+        best_temporal < iid,
+        "temporal ({best_temporal:.4}) must beat TS-as-IID DNN ({iid:.4}) on seasonal data"
+    );
+    assert!(
+        best_temporal < zero,
+        "temporal ({best_temporal:.4}) must beat persistence ({zero:.4}) on seasonal data"
+    );
+}
+
+#[test]
+fn multivariate_pipeline_runs_end_to_end() {
+    let raw: Matrix = synth::multivariate_sensors(400, 3, 23);
+    let series = SeriesData::new(raw, 1);
+    let graph = TimeSeriesPipelineBuilder::new(12, 1, 3)
+        .with_deep_variants(false)
+        .with_epochs(15)
+        .build()
+        .unwrap();
+    let eval = TsEvaluator::sliding(250, 5, 50, 2, Metric::Mae).with_threads(8);
+    let report = eval.evaluate_graph(&graph, &series).unwrap();
+    // every family produced a result
+    for family in ["lstm_simple", "cnn_simple", "wavenet", "seriesnet", "dnn_simple", "dnn_iid_simple", "zero_model", "ar_forecaster"] {
+        assert!(
+            report.score_for(family).is_some(),
+            "family {family} missing from report"
+        );
+    }
+    assert!(report.best().unwrap().mean_score.is_finite());
+}
+
+#[test]
+fn horizon_two_predicts_two_steps_ahead() {
+    // deterministic ramp: two steps ahead is exactly +2
+    let series = SeriesData::univariate((0..200).map(|i| i as f64).collect());
+    let graph = TimeSeriesPipelineBuilder::new(6, 2, 1)
+        .with_deep_variants(false)
+        .with_all_scalers(false)
+        .with_epochs(10)
+        .build()
+        .unwrap();
+    let eval = TsEvaluator::sliding(120, 4, 30, 2, Metric::Mae);
+    let report = eval.evaluate_graph(&graph, &series).unwrap();
+    // persistence is exactly 2.0 off at horizon 2; differenced AR is ~exact
+    let zero = report.score_for("zero_model").unwrap();
+    let ari = report.score_for("ari_forecaster").unwrap();
+    assert!((zero - 2.0).abs() < 1e-6, "zero mae at horizon 2 should be 2, got {zero}");
+    assert!(ari < 0.05, "differenced AR should nail a pure trend, got {ari}");
+}

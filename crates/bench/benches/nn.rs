@@ -4,17 +4,16 @@
 
 use coda_data::{synth, Estimator, Transformer};
 use coda_timeseries::{
-    CascadedWindows, CnnForecaster, DnnForecaster, LstmForecaster, SeriesData,
-    WaveNetForecaster, WindowConfig,
+    CascadedWindows, CnnForecaster, DnnForecaster, LstmForecaster, SeriesData, WaveNetForecaster,
+    WindowConfig,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_forecaster_training(c: &mut Criterion) {
     let p = 16;
     let series = SeriesData::univariate(synth::trend_seasonal_series(200, 16.0, 0.5, 1));
-    let windowed = CascadedWindows::new(WindowConfig::new(p, 1))
-        .fit_transform(&series.to_dataset())
-        .unwrap();
+    let windowed =
+        CascadedWindows::new(WindowConfig::new(p, 1)).fit_transform(&series.to_dataset()).unwrap();
     let mut group = c.benchmark_group("nn/train_5_epochs");
     group.sample_size(10);
     group.bench_function("dnn_simple", |b| {
@@ -47,9 +46,8 @@ fn bench_forecaster_training(c: &mut Criterion) {
 fn bench_inference(c: &mut Criterion) {
     let p = 16;
     let series = SeriesData::univariate(synth::trend_seasonal_series(200, 16.0, 0.5, 2));
-    let windowed = CascadedWindows::new(WindowConfig::new(p, 1))
-        .fit_transform(&series.to_dataset())
-        .unwrap();
+    let windowed =
+        CascadedWindows::new(WindowConfig::new(p, 1)).fit_transform(&series.to_dataset()).unwrap();
     let mut dnn = DnnForecaster::simple(p).with_epochs(3);
     dnn.fit(&windowed).unwrap();
     let mut lstm = LstmForecaster::simple(p, 1).with_epochs(3);

@@ -20,14 +20,10 @@ fn bench_templates(c: &mut Criterion) {
     });
     let (sensor, _) = synth::anomaly_data(1000, 4, 0.03, 3);
     group.bench_function("anomaly_fit_detect", |b| {
-        b.iter(|| {
-            AnomalyAnalysis::new().fit(&sensor).unwrap().detect(&sensor).unwrap()
-        })
+        b.iter(|| AnomalyAnalysis::new().fit(&sensor).unwrap().detect(&sensor).unwrap())
     });
     let (assets, _) = synth::cohort_data(100, 4, 6, 4);
-    group.bench_function("cohort", |b| {
-        b.iter(|| CohortAnalysis::new(4).run(&assets).unwrap())
-    });
+    group.bench_function("cohort", |b| b.iter(|| CohortAnalysis::new(4).run(&assets).unwrap()));
     group.finish();
 }
 

@@ -13,9 +13,7 @@ fn bench_windowing(c: &mut Criterion) {
         let series = SeriesData::new(synth::multivariate_sensors(n, 4, 1), 0);
         let ds = series.to_dataset();
         group.bench_with_input(BenchmarkId::new("cascaded", n), &ds, |b, ds| {
-            b.iter(|| {
-                CascadedWindows::new(WindowConfig::new(24, 1)).fit_transform(ds).unwrap()
-            })
+            b.iter(|| CascadedWindows::new(WindowConfig::new(24, 1)).fit_transform(ds).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("ts_as_is", n), &ds, |b, ds| {
             b.iter(|| TsAsIs::new(WindowConfig::new(24, 1)).fit_transform(ds).unwrap())
@@ -27,9 +25,7 @@ fn bench_windowing(c: &mut Criterion) {
 fn bench_models(c: &mut Criterion) {
     use coda_data::Estimator;
     let series = SeriesData::univariate(synth::ar2_series(800, 0.5, 0.2, 1.0, 2));
-    let lags = TsAsIs::new(WindowConfig::new(8, 1))
-        .fit_transform(&series.to_dataset())
-        .unwrap();
+    let lags = TsAsIs::new(WindowConfig::new(8, 1)).fit_transform(&series.to_dataset()).unwrap();
     let mut group = c.benchmark_group("ts/model_fit");
     group.bench_function("zero", |b| {
         b.iter(|| {

@@ -36,6 +36,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("d1", "§III: delta encoding vs full transfer"),
     ("d2", "§III: pull/push/lease propagation costs"),
     ("d3", "§III: recomputation triggers"),
+    ("d4", "robustness: cooperative run under injected faults"),
     ("s1", "§IV-E: the four solution templates"),
     ("s2", "§II: censored failure-time analysis (Kaplan-Meier)"),
     ("a1", "ablation: delta history depth"),
@@ -110,6 +111,9 @@ fn main() {
     if run("d3") {
         exp_d3();
     }
+    if run("d4") {
+        exp_d4();
+    }
     if run("s1") {
         exp_s1();
     }
@@ -180,7 +184,11 @@ fn exp_t2() {
         vec!["Model Evaluation".into(), "TimeSeriesSlidingSplit".into()],
         vec!["Model Score".into(), "rmse, mape".into()],
     ];
-    print_table("T2 — Table II component catalog (all implemented)", &["Step", "Components"], &rows);
+    print_table(
+        "T2 — Table II component catalog (all implemented)",
+        &["Step", "Components"],
+        &rows,
+    );
     let series = SeriesData::univariate(synth::trend_seasonal_series(500, 24.0, 0.4, 2));
     let graph = TimeSeriesPipelineBuilder::new(24, 1, 1)
         .with_deep_variants(false)
@@ -230,7 +238,13 @@ fn exp_f1() {
     let mut net = SimNetwork::new(1.0, 2_000.0);
     net.disconnect("edge", "dc");
     let d = Scheduler::place(&task, &client, &cloud, &net);
-    rows.push(vec!["disconnected".into(), "16".into(), format!("{:.0}", d.local_ms), "-".into(), format!("{:?}", d.placement)]);
+    rows.push(vec![
+        "disconnected".into(),
+        "16".into(),
+        format!("{:.0}", d.local_ms),
+        "-".into(),
+        format!("{:?}", d.placement),
+    ]);
     print_table(
         "F1 — placement: local vs elastic cloud (36-pipeline grid)",
         &["latency ms", "VMs", "local ms", "cloud ms", "decision"],
@@ -270,7 +284,11 @@ fn exp_f3() {
     let n = graph.enumerate_paths().len();
     println!("\n## F3 — Fig. 3 example graph");
     println!("paper: \"The total number of Pipelines for our working example ... is 36\"");
-    println!("measured: {} nodes, {} edges, {n} root->leaf pipelines", graph.n_nodes(), graph.n_edges());
+    println!(
+        "measured: {} nodes, {} edges, {n} root->leaf pipelines",
+        graph.n_nodes(),
+        graph.n_edges()
+    );
     assert_eq!(n, 36);
     let ds = synth::badly_scaled_regression(300, 7, 0.5, 4);
     let report = Evaluator::new(CvStrategy::kfold(5), Metric::Rmse)
@@ -429,15 +447,21 @@ fn exp_f11() {
     let regimes: Vec<(&str, Vec<f64>)> = vec![
         (
             "seasonal (period 16)",
-            (0..500)
-                .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin() * 3.0)
-                .collect(),
+            (0..500).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin() * 3.0).collect(),
         ),
         ("AR(2) mean-reverting", synth::ar2_series(500, 0.5, 0.2, 1.0, 9)),
         ("random walk", synth::random_walk(500, 1.0, 10)),
     ];
-    let families =
-        ["lstm_simple", "cnn_simple", "wavenet", "seriesnet", "dnn_simple", "dnn_iid_simple", "zero_model", "ar_forecaster"];
+    let families = [
+        "lstm_simple",
+        "cnn_simple",
+        "wavenet",
+        "seriesnet",
+        "dnn_simple",
+        "dnn_iid_simple",
+        "zero_model",
+        "ar_forecaster",
+    ];
     let mut rows = Vec::new();
     for (name, series) in &regimes {
         let report = eval
@@ -445,9 +469,7 @@ fn exp_f11() {
             .expect("series long enough");
         let mut row = vec![name.to_string()];
         for f in families {
-            row.push(
-                report.score_for(f).map(|s| format!("{s:.3}")).unwrap_or_else(|| "-".into()),
-            );
+            row.push(report.score_for(f).map(|s| format!("{s:.3}")).unwrap_or_else(|| "-".into()));
         }
         row.push(report.best().map(|b| b.spec.steps.last().unwrap().clone()).unwrap_or_default());
         rows.push(row);
@@ -461,14 +483,10 @@ fn exp_f11() {
 
 /// F12 — Fig. 12: sliding split vs naive K-fold on time series.
 fn exp_f12() {
-    let splits = CvStrategy::TimeSeriesSlidingSplit {
-        train_size: 40,
-        buffer: 5,
-        validation_size: 15,
-        k: 3,
-    }
-    .splits(100)
-    .expect("fits");
+    let splits =
+        CvStrategy::TimeSeriesSlidingSplit { train_size: 40, buffer: 5, validation_size: 15, k: 3 }
+            .splits(100)
+            .expect("fits");
     let rows: Vec<Vec<String>> = splits
         .iter()
         .enumerate()
@@ -495,12 +513,10 @@ fn exp_f12() {
     let pipeline = Pipeline::from_nodes(vec![coda_core::Node::auto(
         (Box::new(coda_timeseries::ArForecaster::new()) as coda_data::BoxedEstimator).into(),
     )]);
-    let kfold_scores = Evaluator::new(
-        CvStrategy::KFold { k: 5, shuffle: true, seed: 1 },
-        Metric::Rmse,
-    )
-    .evaluate_pipeline(&pipeline, &lagged)
-    .expect("evaluates");
+    let kfold_scores =
+        Evaluator::new(CvStrategy::KFold { k: 5, shuffle: true, seed: 1 }, Metric::Rmse)
+            .evaluate_pipeline(&pipeline, &lagged)
+            .expect("evaluates");
     let sliding_scores = Evaluator::new(
         CvStrategy::TimeSeriesSlidingSplit {
             train_size: 200,
@@ -542,7 +558,14 @@ fn exp_d1() {
     }
     print_table(
         "D1 — delta vs full transfer, 256 KiB object",
-        &["changed", "full bytes", "delta (contiguous)", "ratio", "delta (scattered)", "store sends"],
+        &[
+            "changed",
+            "full bytes",
+            "delta (contiguous)",
+            "ratio",
+            "delta (scattered)",
+            "store sends",
+        ],
         &rows,
     );
     println!("paper: \"this delta may be considerably smaller than version 3 of o1\" — measured: true until the changed fraction crosses the advantage threshold, where the store falls back to full transfers.");
@@ -605,10 +628,7 @@ fn exp_d3() {
     let policies: Vec<(&str, RecomputeTrigger)> = vec![
         ("count >= 5", RecomputeTrigger::UpdateCount(5)),
         ("bytes >= 32768", RecomputeTrigger::UpdateBytes(32_768)),
-        (
-            "app: drift > 2.0",
-            RecomputeTrigger::AppSpecific(Box::new(|s| s.magnitude > 2.0)),
-        ),
+        ("app: drift > 2.0", RecomputeTrigger::AppSpecific(Box::new(|s| s.magnitude > 2.0))),
     ];
     let mut rows = Vec::new();
     for (name, trigger) in policies {
@@ -621,11 +641,7 @@ fn exp_d3() {
                 fired_at.push(i);
             }
         }
-        rows.push(vec![
-            name.into(),
-            monitor.recomputations.to_string(),
-            format!("{fired_at:?}"),
-        ]);
+        rows.push(vec![name.into(), monitor.recomputations.to_string(), format!("{fired_at:?}")]);
     }
     print_table(
         "D3 — recompute triggers over 50 updates (4 KiB each, drift spike at #30)",
@@ -633,6 +649,84 @@ fn exp_d3() {
         &rows,
     );
     println!("paper: app-specific triggers are \"the best way\" — measured: they fire once, exactly at the drift spike, while count/bytes policies fire on a fixed cadence.");
+}
+
+/// D4 — robustness: the seeded chaos driver sweeps fault intensity over a
+/// 4-client cooperative run and reports what the resilience machinery did.
+fn exp_d4() {
+    use coda_cluster::{run_chaos_coop, ChaosCoopConfig};
+    let base = ChaosCoopConfig {
+        seed: 17,
+        n_clients: 4,
+        n_keys: 16,
+        drop_probability: 0.0,
+        darr_partition: None,
+        crash: None,
+        claim_duration: 200,
+        max_rounds: 10_000,
+    };
+    let scenarios: Vec<(&str, ChaosCoopConfig)> = vec![
+        ("fault-free", base),
+        ("20% drops", ChaosCoopConfig { drop_probability: 0.2, ..base }),
+        (
+            "drops + crash",
+            ChaosCoopConfig { drop_probability: 0.2, crash: Some((2, 150.0, 650.0)), ..base },
+        ),
+        (
+            "drops + crash + partition",
+            ChaosCoopConfig {
+                drop_probability: 0.2,
+                crash: Some((2, 150.0, 650.0)),
+                darr_partition: Some((300.0, 700.0)),
+                ..base
+            },
+        ),
+        (
+            "40% drops + crash + partition",
+            ChaosCoopConfig {
+                drop_probability: 0.4,
+                crash: Some((2, 150.0, 650.0)),
+                darr_partition: Some((300.0, 700.0)),
+                ..base
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, cfg) in &scenarios {
+        let r = run_chaos_coop(cfg);
+        assert_eq!(r, run_chaos_coop(cfg), "same seed must replay identically");
+        rows.push(vec![
+            name.to_string(),
+            format!("{}/{}", r.completed, r.n_keys),
+            r.computed.to_string(),
+            r.reused.to_string(),
+            r.journaled.to_string(),
+            r.replayed.to_string(),
+            r.duplicates.to_string(),
+            r.takeovers.to_string(),
+            r.retry.retries.to_string(),
+            format!("{:.0}", r.retry.total_backoff_ms),
+            r.faults.dropped.to_string(),
+        ]);
+    }
+    print_table(
+        "D4 — chaos: 4 clients x 16 evaluations under injected faults (seed 17)",
+        &[
+            "scenario",
+            "done",
+            "computed",
+            "reused",
+            "journaled",
+            "replayed",
+            "dups",
+            "takeovers",
+            "retries",
+            "backoff ms",
+            "dropped",
+        ],
+        &rows,
+    );
+    println!("shape: every scenario completes all 16 evaluations; faults shift work from reuse to retries, journals and takeovers, and every duplicate computation is accounted — none are silent. Each row is verified to replay bit-identically from its seed.");
 }
 
 /// S1 — §IV-E solution templates on synthetic industrial data.
@@ -649,7 +743,8 @@ fn exp_s1() {
     let top3: Vec<String> = rca.top_factors(3).iter().map(|s| s.to_string()).collect();
     let recovered = causal_names.iter().filter(|c| top3.contains(c)).count();
     let (sensor, truth) = synth::anomaly_data(2000, 4, 0.03, 14);
-    let anomalies = AnomalyAnalysis::new().fit(&sensor).expect("fits").detect(&sensor).expect("detects");
+    let anomalies =
+        AnomalyAnalysis::new().fit(&sensor).expect("fits").detect(&sensor).expect("detects");
     let truth_f: Vec<f64> = truth.iter().map(|&t| if t { 1.0 } else { 0.0 }).collect();
     let flags_f: Vec<f64> = anomalies.flags.iter().map(|&f| if f { 1.0 } else { 0.0 }).collect();
     let anomaly_f1 = coda_data::metrics::f1_score(&truth_f, &flags_f, 1.0).expect("computable");
@@ -677,7 +772,11 @@ fn exp_s1() {
             format!("sizes {:?}", cohorts.sizes),
         ],
     ];
-    print_table("S1 — solution templates on synthetic industrial data", &["Template", "Quality", "Detail"], &rows);
+    print_table(
+        "S1 — solution templates on synthetic industrial data",
+        &["Template", "Quality", "Detail"],
+        &rows,
+    );
 }
 
 /// A1 — ablation: delta history depth vs transfer mix. Clients lag by a
@@ -757,8 +856,7 @@ fn exp_a3() {
             .fit_transform(&SeriesData::univariate(series.clone()).to_dataset())
             .expect("windows");
         let pipeline = Pipeline::from_nodes(vec![coda_core::Node::auto(
-            (Box::new(coda_timeseries::ArForecaster::new()) as coda_data::BoxedEstimator)
-                .into(),
+            (Box::new(coda_timeseries::ArForecaster::new()) as coda_data::BoxedEstimator).into(),
         )]);
         let scores = Evaluator::new(
             CvStrategy::TimeSeriesSlidingSplit {
@@ -791,8 +889,7 @@ fn exp_a3() {
 /// repeated draws so the selection bias is visible above fold noise.
 fn exp_a4() {
     use coda_ml::KnnRegressor;
-    let grid_values: Vec<coda_data::ParamValue> =
-        (1..=15).map(|k| (k as usize).into()).collect();
+    let grid_values: Vec<coda_data::ParamValue> = (1..=15).map(|k| (k as usize).into()).collect();
     let mut grid = coda_core::ParamGrid::new();
     grid.add("knn_regressor__k", grid_values);
     let pipeline = Pipeline::from_nodes(vec![coda_core::Node::auto(
@@ -812,17 +909,15 @@ fn exp_a4() {
         let eval = Evaluator::new(CvStrategy::kfold(4), Metric::Rmse);
         let plain = eval.evaluate_graph_with_grid(&graph, &ds, &grid).expect("evaluates");
         plain_sum += plain.best().expect("paths evaluated").mean_score;
-        let nested = eval
-            .nested_evaluate(&pipeline, &ds, &grid, CvStrategy::kfold(3))
-            .expect("evaluates");
+        let nested =
+            eval.nested_evaluate(&pipeline, &ds, &grid, CvStrategy::kfold(3)).expect("evaluates");
         nested_sum += nested.outer_mean();
         let params = nested.consensus_params().expect("folds ran").clone();
         let mut deployed = pipeline.fresh_clone();
         deployed.apply_matching_params(&params).expect("grid params valid");
         deployed.fit(&ds).expect("fits");
         let pred = deployed.predict(&fresh).expect("predicts");
-        truth_sum +=
-            coda_data::metrics::rmse(fresh.target().unwrap(), &pred).expect("computable");
+        truth_sum += coda_data::metrics::rmse(fresh.target().unwrap(), &pred).expect("computable");
     }
     let n = reps as f64;
     let rows = vec![
@@ -898,8 +993,7 @@ fn exp_a6() {
         m.fit(&windowed).expect("fits");
         let ms = start.elapsed().as_secs_f64() * 1000.0;
         let pred = m.predict(&windowed).expect("predicts");
-        let rmse =
-            coda_data::metrics::rmse(windowed.target().unwrap(), &pred).expect("computable");
+        let rmse = coda_data::metrics::rmse(windowed.target().unwrap(), &pred).expect("computable");
         (ms, rmse)
     };
     let jobs: Vec<(&str, Box<dyn Estimator>)> = vec![
@@ -944,9 +1038,7 @@ fn exp_a7() {
     let exhaustive_ms = start.elapsed().as_secs_f64() * 1000.0;
     let exhaustive_cost = 36 * 4 * ds.n_samples();
     let start = std::time::Instant::now();
-    let halving = eval
-        .successive_halving(&graph, &ds, 80, 3)
-        .expect("search succeeds");
+    let halving = eval.successive_halving(&graph, &ds, 80, 3).expect("search succeeds");
     let halving_ms = start.elapsed().as_secs_f64() * 1000.0;
     let rows = vec![
         vec![
@@ -991,8 +1083,7 @@ fn exp_s2() {
     let mut rows = Vec::new();
     for study_end in [30.0, 60.0, 120.0] {
         let (durations, observed) = synth::failure_times(2000, true_mean, study_end, 61);
-        let censored =
-            observed.iter().filter(|&&o| !o).count() as f64 / observed.len() as f64;
+        let censored = observed.iter().filter(|&&o| !o).count() as f64 / observed.len() as f64;
         let report = fta.run(durations, observed).expect("valid survival data");
         rows.push(vec![
             format!("{study_end}"),

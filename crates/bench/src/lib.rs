@@ -4,8 +4,8 @@
 use coda_core::{Teg, TegBuilder};
 use coda_data::{BoxedEstimator, BoxedTransformer, NoOp};
 use coda_ml::{
-    DecisionTreeRegressor, KnnRegressor, MinMaxScaler, Pca, RandomForestRegressor,
-    RobustScaler, ScoreFunction, SelectKBest, StandardScaler,
+    DecisionTreeRegressor, KnnRegressor, MinMaxScaler, Pca, RandomForestRegressor, RobustScaler,
+    ScoreFunction, SelectKBest, StandardScaler,
 };
 
 /// Prints a fixed-width table with a header rule.
@@ -26,10 +26,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
     println!("{}", line(&head));
-    println!(
-        "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
-    );
+    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
     for row in rows {
         println!("{}", line(row));
     }

@@ -1,0 +1,329 @@
+//! Seeded fault plans and the injector that executes them: probabilistic
+//! message drops, scheduled link flaps, slow transfers, node
+//! crash/restart windows and payload corruption — all deterministic
+//! functions of the plan's seed and the injector's logical clock.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduled link outage: the link between `a` and `b` is down for
+/// logical times in `[down_at, up_at)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFlap {
+    /// One endpoint.
+    pub a: String,
+    /// Other endpoint.
+    pub b: String,
+    /// Outage start (inclusive), logical ms.
+    pub down_at: f64,
+    /// Outage end (exclusive), logical ms.
+    pub up_at: f64,
+}
+
+/// A scheduled node outage: `node` is crashed for logical times in
+/// `[down_at, up_at)`; messages to or from it fail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeCrash {
+    /// The crashed node's name.
+    pub node: String,
+    /// Crash time (inclusive), logical ms.
+    pub down_at: f64,
+    /// Restart time (exclusive), logical ms.
+    pub up_at: f64,
+}
+
+/// The declarative fault schedule for one chaos run. All probabilities are
+/// per message; all times are logical milliseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// RNG seed; same seed + same call sequence = identical faults.
+    pub seed: u64,
+    /// Probability a message is dropped in flight.
+    pub drop_probability: f64,
+    /// Probability a payload is corrupted in flight (bit flip).
+    pub corrupt_probability: f64,
+    /// Probability a message is slowed down.
+    pub slow_probability: f64,
+    /// Transfer-time multiplier applied to slowed messages (>= 1).
+    pub slowdown_factor: f64,
+    /// Scheduled link outages.
+    pub link_flaps: Vec<LinkFlap>,
+    /// Scheduled node crash/restart windows.
+    pub crashes: Vec<NodeCrash>,
+}
+
+impl FaultPlan {
+    /// A no-fault plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_probability: 0.0,
+            corrupt_probability: 0.0,
+            slow_probability: 0.0,
+            slowdown_factor: 1.0,
+            link_flaps: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Sets the per-message drop probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.drop_probability = p;
+        self
+    }
+
+    /// Sets the per-payload corruption probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]`.
+    pub fn with_corrupt_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.corrupt_probability = p;
+        self
+    }
+
+    /// Slows a fraction `p` of messages by `factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p` is outside `[0, 1]` or `factor < 1`.
+    pub fn with_slowdown(mut self, p: f64, factor: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        assert!(factor >= 1.0, "slowdown must not speed transfers up");
+        self.slow_probability = p;
+        self.slowdown_factor = factor;
+        self
+    }
+
+    /// Schedules a link outage between `a` and `b` for `[down_at, up_at)`.
+    pub fn with_link_flap(mut self, a: &str, b: &str, down_at: f64, up_at: f64) -> Self {
+        self.link_flaps.push(LinkFlap { a: a.to_string(), b: b.to_string(), down_at, up_at });
+        self
+    }
+
+    /// Schedules a crash/restart window for `node`.
+    pub fn with_crash(mut self, node: &str, down_at: f64, up_at: f64) -> Self {
+        self.crashes.push(NodeCrash { node: node.to_string(), down_at, up_at });
+        self
+    }
+}
+
+/// Counters kept by the injector — the ground truth a chaos report prints.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages the injector was consulted about.
+    pub messages_seen: u64,
+    /// Messages dropped by the random-drop fault.
+    pub dropped: u64,
+    /// Messages refused because a scheduled link flap was active.
+    pub link_down: u64,
+    /// Messages refused because an endpoint was inside a crash window.
+    pub node_down: u64,
+    /// Payloads corrupted.
+    pub corrupted: u64,
+    /// Messages slowed.
+    pub slowed: u64,
+}
+
+/// Executes a [`FaultPlan`]: the network/store layers consult it per
+/// message. Deterministic: faults depend only on the plan (seed +
+/// schedule), the injector's logical clock, and the call sequence.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    now_ms: f64,
+    stats: FaultStats,
+}
+
+impl FaultInjector {
+    /// Creates an injector at logical time zero.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed);
+        FaultInjector { plan, rng, now_ms: 0.0, stats: FaultStats::default() }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Current logical time.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// Advances the logical clock (never backwards).
+    pub fn advance_to(&mut self, now_ms: f64) {
+        if now_ms > self.now_ms {
+            self.now_ms = now_ms;
+        }
+    }
+
+    /// True when `node` is outside every scheduled crash window right now.
+    pub fn node_up(&self, node: &str) -> bool {
+        !self
+            .plan
+            .crashes
+            .iter()
+            .any(|c| c.node == node && self.now_ms >= c.down_at && self.now_ms < c.up_at)
+    }
+
+    /// True when no scheduled flap holds the `a`–`b` link down right now
+    /// (symmetric) and both endpoints are up.
+    pub fn link_up(&self, a: &str, b: &str) -> bool {
+        if !self.node_up(a) || !self.node_up(b) {
+            return false;
+        }
+        !self.plan.link_flaps.iter().any(|f| {
+            ((f.a == a && f.b == b) || (f.a == b && f.b == a))
+                && self.now_ms >= f.down_at
+                && self.now_ms < f.up_at
+        })
+    }
+
+    /// Consults the injector about one message from `a` to `b`: returns
+    /// true when the message must be dropped (scheduled outage or random
+    /// drop). Advances the RNG only for the random-drop draw.
+    pub fn should_drop(&mut self, a: &str, b: &str) -> bool {
+        self.stats.messages_seen += 1;
+        if !self.node_up(a) || !self.node_up(b) {
+            self.stats.node_down += 1;
+            return true;
+        }
+        if !self.link_up(a, b) {
+            self.stats.link_down += 1;
+            return true;
+        }
+        if self.plan.drop_probability > 0.0 && self.rng.gen_bool(self.plan.drop_probability) {
+            self.stats.dropped += 1;
+            return true;
+        }
+        false
+    }
+
+    /// The transfer-time multiplier for one (not dropped) message.
+    pub fn delay_factor(&mut self) -> f64 {
+        if self.plan.slow_probability > 0.0 && self.rng.gen_bool(self.plan.slow_probability) {
+            self.stats.slowed += 1;
+            self.plan.slowdown_factor
+        } else {
+            1.0
+        }
+    }
+
+    /// Possibly corrupts `payload` in flight (one deterministic bit flip).
+    /// Returns true when corruption happened.
+    pub fn corrupt(&mut self, payload: &mut [u8]) -> bool {
+        if payload.is_empty()
+            || self.plan.corrupt_probability <= 0.0
+            || !self.rng.gen_bool(self.plan.corrupt_probability)
+        {
+            return false;
+        }
+        let idx = self.rng.gen_range(0..payload.len());
+        let bit = self.rng.gen_range(0..8u32);
+        payload[idx] ^= 1 << bit;
+        self.stats.corrupted += 1;
+        true
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fault_plan_is_transparent() {
+        let mut inj = FaultInjector::new(FaultPlan::new(1));
+        for _ in 0..100 {
+            assert!(!inj.should_drop("a", "b"));
+            assert_eq!(inj.delay_factor(), 1.0);
+        }
+        let mut payload = vec![1, 2, 3];
+        assert!(!inj.corrupt(&mut payload));
+        assert_eq!(payload, vec![1, 2, 3]);
+        assert_eq!(inj.stats().messages_seen, 100);
+        assert_eq!(inj.stats().dropped, 0);
+    }
+
+    #[test]
+    fn drops_match_probability_and_replay() {
+        let run = || {
+            let mut inj = FaultInjector::new(FaultPlan::new(42).with_drop_probability(0.2));
+            (0..1000).filter(|_| inj.should_drop("a", "b")).count()
+        };
+        let drops = run();
+        assert_eq!(drops, run(), "same seed must replay identically");
+        assert!((100..300).contains(&drops), "~20% of 1000, got {drops}");
+    }
+
+    #[test]
+    fn scheduled_link_flap_follows_clock() {
+        let plan = FaultPlan::new(3).with_link_flap("x", "y", 100.0, 200.0);
+        let mut inj = FaultInjector::new(plan);
+        assert!(inj.link_up("x", "y"));
+        assert!(!inj.should_drop("x", "y"));
+        inj.advance_to(150.0);
+        assert!(!inj.link_up("x", "y"));
+        assert!(!inj.link_up("y", "x"), "flaps are symmetric");
+        assert!(inj.should_drop("x", "y"));
+        assert!(inj.link_up("x", "z"), "other links unaffected");
+        inj.advance_to(200.0);
+        assert!(inj.link_up("x", "y"));
+        assert_eq!(inj.stats().link_down, 1);
+    }
+
+    #[test]
+    fn crash_window_fails_all_node_traffic() {
+        let plan = FaultPlan::new(4).with_crash("n1", 50.0, 80.0);
+        let mut inj = FaultInjector::new(plan);
+        inj.advance_to(60.0);
+        assert!(!inj.node_up("n1"));
+        assert!(inj.should_drop("n1", "other"));
+        assert!(inj.should_drop("other", "n1"), "both directions fail");
+        inj.advance_to(80.0);
+        assert!(inj.node_up("n1"));
+        assert!(!inj.should_drop("n1", "other"));
+        assert_eq!(inj.stats().node_down, 2);
+    }
+
+    #[test]
+    fn clock_never_goes_backwards() {
+        let mut inj = FaultInjector::new(FaultPlan::new(5));
+        inj.advance_to(100.0);
+        inj.advance_to(50.0);
+        assert_eq!(inj.now_ms(), 100.0);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut inj = FaultInjector::new(FaultPlan::new(6).with_corrupt_probability(1.0));
+        let original = vec![0u8; 64];
+        let mut payload = original.clone();
+        assert!(inj.corrupt(&mut payload));
+        let diff: u32 = original.iter().zip(&payload).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(diff, 1);
+        assert_eq!(inj.stats().corrupted, 1);
+    }
+
+    #[test]
+    fn slowdown_applies_to_a_fraction() {
+        let mut inj = FaultInjector::new(FaultPlan::new(7).with_slowdown(0.5, 4.0));
+        let factors: Vec<f64> = (0..200).map(|_| inj.delay_factor()).collect();
+        assert!(factors.contains(&4.0));
+        assert!(factors.contains(&1.0));
+        assert_eq!(inj.stats().slowed as usize, factors.iter().filter(|&&f| f == 4.0).count());
+    }
+}

@@ -1,0 +1,385 @@
+//! Deterministic chaos driver: N logical clients cooperating over a shared
+//! DARR while a seeded [`FaultInjector`] drops messages, partitions the
+//! repository and crashes a client mid-computation. The driver is
+//! single-threaded round-robin — every source of randomness is seeded and
+//! every clock is logical — so a run with the same [`ChaosCoopConfig`]
+//! replays bit-identically, which is what the resilience acceptance test
+//! asserts.
+//!
+//! Resilience paths exercised per step:
+//! - unreachable DARR → [`RetryPolicy`] backoff, then offline compute with
+//!   a write-behind journal replayed (keep-newer merge) after the heal;
+//! - a claim held by a crashed client → lease expiry, then takeover;
+//! - message drops on the claim/complete round trips → seeded retries.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use coda_chaos::{FaultInjector, FaultPlan, FaultStats, RetryPolicy, RetryStats};
+use coda_darr::{AnalyticsRecord, ClaimOutcome, ComputationKey, Darr};
+
+/// Logical milliseconds (and DARR ticks) per driver round.
+const STEP_MS: f64 = 20.0;
+/// Rounds a claimed computation takes — claims outlive steps, so a crash
+/// mid-computation leaves a dangling claim for others to take over.
+const WORK_STEPS: usize = 2;
+
+/// Configuration of one chaos run. All times are logical milliseconds on
+/// the driver clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosCoopConfig {
+    /// Seed for the fault injector and retry jitter.
+    pub seed: u64,
+    /// Number of logical cooperating clients.
+    pub n_clients: usize,
+    /// Number of pipeline evaluations (work items).
+    pub n_keys: usize,
+    /// Per-message drop probability on every client↔DARR exchange.
+    pub drop_probability: f64,
+    /// Window during which the DARR is unreachable for every client.
+    pub darr_partition: Option<(f64, f64)>,
+    /// `(client index, down_at, up_at)`: one client crashes and restarts.
+    pub crash: Option<(usize, f64, f64)>,
+    /// Claim lease duration in DARR ticks.
+    pub claim_duration: u64,
+    /// Safety cap on driver rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for ChaosCoopConfig {
+    fn default() -> Self {
+        ChaosCoopConfig {
+            seed: 7,
+            n_clients: 3,
+            n_keys: 12,
+            drop_probability: 0.2,
+            darr_partition: Some((400.0, 800.0)),
+            crash: Some((1, 200.0, 600.0)),
+            claim_duration: 200,
+            max_rounds: 10_000,
+        }
+    }
+}
+
+/// What happened in one chaos run — the ground truth the acceptance test
+/// and the D4 experiment compare across seeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosCoopReport {
+    /// Work items configured.
+    pub n_keys: usize,
+    /// Distinct results stored in the DARR at the end.
+    pub completed: usize,
+    /// Computations completed online (claim → compute → complete).
+    pub computed: usize,
+    /// Stored results reused instead of recomputed.
+    pub reused: usize,
+    /// Results computed offline and journaled during unreachability.
+    pub journaled: usize,
+    /// Journaled records the DARR accepted on replay.
+    pub replayed: usize,
+    /// Journaled records rejected on replay because the key was already
+    /// computed — every duplicate computation is counted here, none are
+    /// silent.
+    pub duplicates: usize,
+    /// Claims taken over after a holder's lease expired.
+    pub takeovers: usize,
+    /// Computations lost to the crash (claimed, never completed — redone
+    /// by someone else via takeover).
+    pub lost_to_crash: usize,
+    /// Driver rounds executed.
+    pub rounds: usize,
+    /// Aggregated retry/backoff accounting over every DARR exchange.
+    pub retry: RetryStats,
+    /// The injector's fault counters.
+    pub faults: FaultStats,
+}
+
+/// Per-client driver state.
+struct ClientState {
+    name: String,
+    /// Rotated work cursor (key indices still to try).
+    pending: VecDeque<usize>,
+    /// In-flight claimed computation: (key index, rounds remaining).
+    working: Option<(usize, usize)>,
+    /// Offline results waiting for replay.
+    journal: Vec<AnalyticsRecord>,
+    /// Whether the previous round saw this client crashed (restart edge).
+    was_down: bool,
+}
+
+/// One retried client↔DARR round trip: request and response legs each risk
+/// an injected drop; backoffs advance both the chaos and DARR clocks so
+/// scheduled windows can heal. Returns reachability plus retry accounting.
+fn reach(
+    injector: &mut FaultInjector,
+    client: &str,
+    policy: &RetryPolicy,
+    now_ms: &mut f64,
+    darr: &Darr,
+) -> (bool, RetryStats) {
+    let mut state = policy.state();
+    loop {
+        state.begin_attempt();
+        let request_dropped = injector.should_drop(client, "darr");
+        let response_dropped = injector.should_drop("darr", client);
+        if !request_dropped && !response_dropped {
+            return (true, state.finish(true));
+        }
+        match state.next_backoff_ms() {
+            Some(backoff) => {
+                *now_ms += backoff;
+                injector.advance_to(*now_ms);
+                darr.advance_clock(backoff.ceil() as u64);
+            }
+            None => return (false, state.finish(false)),
+        }
+    }
+}
+
+/// Deterministic score for key `idx` — the "pipeline evaluation" stand-in.
+fn score_for(idx: usize) -> f64 {
+    0.1 * (idx as f64 + 1.0)
+}
+
+/// Runs one seeded chaos scenario to completion (or the round cap).
+pub fn run_chaos_coop(cfg: &ChaosCoopConfig) -> ChaosCoopReport {
+    assert!(cfg.n_clients >= 1 && cfg.n_keys >= 1, "need clients and work");
+    let keys: Vec<ComputationKey> = (0..cfg.n_keys)
+        .map(|i| ComputationKey::new("chaos-ds", 1, &format!("p{i}") as &str, "kfold(3)", "rmse"))
+        .collect();
+
+    let mut plan = FaultPlan::new(cfg.seed).with_drop_probability(cfg.drop_probability);
+    let client_names: Vec<String> = (0..cfg.n_clients).map(|c| format!("client-{c}")).collect();
+    if let Some((from, to)) = cfg.darr_partition {
+        for name in &client_names {
+            plan = plan.with_link_flap(name, "darr", from, to);
+        }
+    }
+    if let Some((idx, down, up)) = cfg.crash {
+        plan = plan.with_crash(&client_names[idx % cfg.n_clients], down, up);
+    }
+    let mut injector = FaultInjector::new(plan);
+    let policy =
+        RetryPolicy::exponential(5.0, 2.0, 40.0, 4).with_jitter(0.1, cfg.seed.wrapping_add(1));
+
+    let darr = Darr::new();
+    let mut clients: Vec<ClientState> = (0..cfg.n_clients)
+        .map(|c| {
+            // rotated start offsets spread clients over the work list
+            let offset = c * cfg.n_keys / cfg.n_clients;
+            let pending = (0..cfg.n_keys).map(|i| (i + offset) % cfg.n_keys).collect();
+            ClientState {
+                name: client_names[c].clone(),
+                pending,
+                working: None,
+                journal: Vec::new(),
+                was_down: false,
+            }
+        })
+        .collect();
+
+    let mut report = ChaosCoopReport {
+        n_keys: cfg.n_keys,
+        completed: 0,
+        computed: 0,
+        reused: 0,
+        journaled: 0,
+        replayed: 0,
+        duplicates: 0,
+        takeovers: 0,
+        lost_to_crash: 0,
+        rounds: 0,
+        retry: RetryStats::default(),
+        faults: FaultStats::default(),
+    };
+    // keys that ever answered HeldBy: a later successful claim on one of
+    // these (with no stored result) is a takeover of an expired lease
+    let mut held_seen: BTreeSet<usize> = BTreeSet::new();
+    // keys whose claim holder crashed mid-computation: the dangling claim
+    // expires and the next successful claim is a takeover
+    let mut orphaned: BTreeSet<usize> = BTreeSet::new();
+    let mut now_ms = 0.0f64;
+
+    for round in 0..cfg.max_rounds {
+        report.rounds = round + 1;
+        for client in &mut clients {
+            if !injector.node_up(&client.name) {
+                // crashed: in-flight work is lost; its claim dangles
+                if let Some((idx, _)) = client.working.take() {
+                    report.lost_to_crash += 1;
+                    orphaned.insert(idx);
+                }
+                client.was_down = true;
+                continue;
+            }
+            client.was_down = false;
+
+            // finish in-flight work first
+            if let Some((idx, remaining)) = client.working {
+                if remaining > 1 {
+                    client.working = Some((idx, remaining - 1));
+                    continue;
+                }
+                client.working = None;
+                let (ok, stats) = reach(&mut injector, &client.name, &policy, &mut now_ms, &darr);
+                report.retry.merge(&stats);
+                if ok {
+                    darr.complete(&keys[idx], &client.name, score_for(idx), vec![], "chaos");
+                    report.computed += 1;
+                } else {
+                    // completion lost: journal the finished result instead
+                    client.journal.push(AnalyticsRecord {
+                        key: keys[idx].clone(),
+                        score: score_for(idx),
+                        fold_scores: vec![],
+                        explanation: "chaos (journaled)".to_string(),
+                        producer: client.name.clone(),
+                        stored_at: darr.now(),
+                    });
+                    report.journaled += 1;
+                }
+                continue;
+            }
+
+            // replay any journal as soon as the DARR answers again
+            if !client.journal.is_empty() {
+                let (ok, stats) = reach(&mut injector, &client.name, &policy, &mut now_ms, &darr);
+                report.retry.merge(&stats);
+                if ok {
+                    for record in client.journal.drain(..) {
+                        if darr.lookup(&record.key).is_some() {
+                            report.duplicates += 1; // someone else got there
+                        } else {
+                            darr.merge_record(record);
+                            report.replayed += 1;
+                        }
+                    }
+                }
+                continue;
+            }
+
+            // pick up the next work item
+            let Some(idx) = client.pending.pop_front() else {
+                continue; // this client is done
+            };
+            let (ok, stats) = reach(&mut injector, &client.name, &policy, &mut now_ms, &darr);
+            report.retry.merge(&stats);
+            if !ok {
+                // DARR unreachable: degrade gracefully — compute locally
+                // now, journal for replay after the heal
+                client.journal.push(AnalyticsRecord {
+                    key: keys[idx].clone(),
+                    score: score_for(idx),
+                    fold_scores: vec![],
+                    explanation: "chaos (offline)".to_string(),
+                    producer: client.name.clone(),
+                    stored_at: darr.now(),
+                });
+                report.journaled += 1;
+                continue;
+            }
+            match darr.try_claim(&keys[idx], &client.name, cfg.claim_duration) {
+                ClaimOutcome::AlreadyComputed(_) => report.reused += 1,
+                ClaimOutcome::Claimed => {
+                    if orphaned.remove(&idx) || held_seen.contains(&idx) {
+                        report.takeovers += 1;
+                    }
+                    client.working = Some((idx, WORK_STEPS));
+                }
+                ClaimOutcome::HeldBy(_) => {
+                    held_seen.insert(idx);
+                    client.pending.push_back(idx); // revisit with backoff
+                }
+            }
+        }
+
+        now_ms += STEP_MS;
+        injector.advance_to(now_ms);
+        darr.advance_clock(STEP_MS as u64);
+
+        let all_idle = clients
+            .iter()
+            .all(|cl| cl.pending.is_empty() && cl.working.is_none() && cl.journal.is_empty());
+        if all_idle && darr.len() >= cfg.n_keys {
+            break;
+        }
+    }
+
+    report.completed = darr.len();
+    report.faults = injector.stats();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_run_completes_without_retries() {
+        let cfg = ChaosCoopConfig {
+            drop_probability: 0.0,
+            darr_partition: None,
+            crash: None,
+            ..ChaosCoopConfig::default()
+        };
+        let report = run_chaos_coop(&cfg);
+        assert_eq!(report.completed, cfg.n_keys);
+        assert_eq!(report.journaled, 0);
+        assert_eq!(report.duplicates, 0);
+        assert_eq!(report.retry.retries, 0);
+        assert_eq!(report.faults.dropped, 0);
+        // cooperation still partitions the work across the three clients
+        assert_eq!(report.computed, cfg.n_keys);
+    }
+
+    #[test]
+    fn chaotic_run_completes_all_work() {
+        let report = run_chaos_coop(&ChaosCoopConfig::default());
+        assert_eq!(report.completed, report.n_keys, "no result may be lost");
+        assert!(report.rounds < ChaosCoopConfig::default().max_rounds, "run must converge");
+        // every computation is accounted: online completions plus replayed
+        // journal entries cover the key space; duplicates are all visible
+        assert_eq!(
+            report.computed + report.replayed + report.duplicates,
+            report.n_keys + report.duplicates,
+        );
+        assert!(report.faults.dropped > 0, "drops must actually occur");
+        assert!(report.retry.retries > 0, "retries must actually occur");
+        assert!(report.journaled > 0, "the partition must force offline compute");
+        assert_eq!(report.journaled, report.replayed + report.duplicates);
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let cfg = ChaosCoopConfig::default();
+        let a = run_chaos_coop(&cfg);
+        let b = run_chaos_coop(&cfg);
+        assert_eq!(a, b, "identical seeds must produce identical counters");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run_chaos_coop(&ChaosCoopConfig::default());
+        let b = run_chaos_coop(&ChaosCoopConfig { seed: 99, ..ChaosCoopConfig::default() });
+        // both complete, but the fault sequences differ
+        assert_eq!(a.completed, a.n_keys);
+        assert_eq!(b.completed, b.n_keys);
+        assert_ne!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn crash_forces_takeover() {
+        // aggressive: long crash window, no other noise, so the crashed
+        // client's claim must be taken over via lease expiry
+        let cfg = ChaosCoopConfig {
+            drop_probability: 0.0,
+            darr_partition: None,
+            crash: Some((0, 30.0, 2000.0)),
+            claim_duration: 100,
+            ..ChaosCoopConfig::default()
+        };
+        let report = run_chaos_coop(&cfg);
+        assert_eq!(report.completed, cfg.n_keys);
+        assert!(report.lost_to_crash >= 1, "the crash must interrupt work");
+        assert!(report.takeovers >= 1, "expired claims must be taken over");
+    }
+}

@@ -8,7 +8,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use coda_core::{Evaluator, Teg};
-use coda_darr::{ComputationKey, CooperativeClient, CoopOutcome, Darr};
+use coda_darr::{ComputationKey, CoopOutcome, CooperativeClient, Darr};
 use coda_data::{CvStrategy, Dataset, Metric};
 
 /// Outcome of a cooperative (or independent) multi-client run.
@@ -139,8 +139,7 @@ pub fn run_cooperative(
                             if darr.try_claim(&key, &client_name, 60_000).is_claimed() {
                                 evaluations.fetch_add(1, Ordering::SeqCst);
                                 if let Ok(scores) = evaluator.evaluate_pipeline(pipeline, data) {
-                                    let mean =
-                                        scores.iter().sum::<f64>() / scores.len() as f64;
+                                    let mean = scores.iter().sum::<f64>() / scores.len() as f64;
                                     darr.complete(&key, &client_name, mean, scores, "takeover");
                                     record_best(mean);
                                 }
@@ -176,10 +175,7 @@ mod tests {
 
     fn graph() -> Teg {
         TegBuilder::new()
-            .add_feature_scalers(vec![
-                Box::new(StandardScaler::new()),
-                Box::new(NoOp::new()),
-            ])
+            .add_feature_scalers(vec![Box::new(StandardScaler::new()), Box::new(NoOp::new())])
             .add_models(vec![
                 Box::new(LinearRegression::new()),
                 Box::new(RidgeRegression::new(1.0)),
@@ -192,8 +188,7 @@ mod tests {
     #[test]
     fn without_darr_every_client_computes_everything() {
         let ds = synth::linear_regression(80, 3, 0.1, 201);
-        let report =
-            run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 3, false);
+        let report = run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 3, false);
         assert_eq!(report.n_pipelines, 6);
         assert_eq!(report.total_evaluations, 18);
         assert_eq!(report.redundant_evaluations, 12);
@@ -203,13 +198,9 @@ mod tests {
     #[test]
     fn with_darr_work_is_partitioned() {
         let ds = synth::linear_regression(80, 3, 0.1, 202);
-        let report =
-            run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 3, true);
+        let report = run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 3, true);
         assert_eq!(report.n_pipelines, 6);
-        assert_eq!(
-            report.total_evaluations, 6,
-            "cooperation must eliminate redundant evaluations"
-        );
+        assert_eq!(report.total_evaluations, 6, "cooperation must eliminate redundant evaluations");
         assert_eq!(report.redundant_evaluations, 0);
         // every client still sees all six results: 3 clients x 6 = 18 views,
         // 6 computed + 12 reused
@@ -221,8 +212,7 @@ mod tests {
     fn single_client_darr_matches_plain() {
         let ds = synth::linear_regression(60, 2, 0.1, 203);
         let with = run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 1, true);
-        let without =
-            run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 1, false);
+        let without = run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 1, false);
         assert_eq!(with.total_evaluations, without.total_evaluations);
         assert!((with.best_score - without.best_score).abs() < 1e-12);
     }
@@ -230,8 +220,7 @@ mod tests {
     #[test]
     fn best_score_is_linear_model_on_linear_data() {
         let ds = synth::linear_regression(100, 3, 0.05, 204);
-        let report =
-            run_cooperative(&graph(), &ds, CvStrategy::kfold(4), Metric::Rmse, 2, true);
+        let report = run_cooperative(&graph(), &ds, CvStrategy::kfold(4), Metric::Rmse, 2, true);
         assert!(report.best_score < 0.1, "best rmse {}", report.best_score);
     }
 }

@@ -27,18 +27,20 @@
 //! assert_eq!(offline.placement, Placement::Local);  // no connectivity
 //! ```
 
+pub mod chaos;
 pub mod coop;
+pub mod lifecycle;
 pub mod network;
 pub mod node;
-pub mod lifecycle;
 pub mod placement;
 pub mod registry;
 pub mod webservice;
 
+pub use chaos::{run_chaos_coop, ChaosCoopConfig, ChaosCoopReport};
 pub use coop::{run_cooperative, CoopRunReport};
-pub use network::SimNetwork;
 pub use lifecycle::{BatchRecord, ModelLifecycle, RetrainPolicy};
+pub use network::SimNetwork;
 pub use node::{AnalyticsTask, ComputeNode};
-pub use placement::{Placement, PlacementDecision, Scheduler};
-pub use registry::{run_job, ComponentRegistry, JobError, JobSpec, SpecValue};
+pub use placement::{ExecutionOutcome, Placement, PlacementDecision, Scheduler};
+pub use registry::{run_job, run_job_with_retry, ComponentRegistry, JobError, JobSpec, SpecValue};
 pub use webservice::SimWebService;

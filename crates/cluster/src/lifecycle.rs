@@ -120,10 +120,9 @@ impl ModelLifecycle {
                 if self.recent_errors.len() < window {
                     return false;
                 }
-                let recent: f64 = self.recent_errors[self.recent_errors.len() - window..]
-                    .iter()
-                    .sum::<f64>()
-                    / window as f64;
+                let recent: f64 =
+                    self.recent_errors[self.recent_errors.len() - window..].iter().sum::<f64>()
+                        / window as f64;
                 if self.metric.higher_is_better() {
                     recent < self.baseline_error * (1.0 - tolerance_ratio)
                 } else {
@@ -157,9 +156,8 @@ impl ModelLifecycle {
             .map_err(|e| ComponentError::InvalidInput(e.to_string()))?;
         let mut target = self.accumulated.target_required()?.to_vec();
         target.extend_from_slice(truth);
-        self.accumulated = Dataset::new(features)
-            .with_target(target)
-            .map_err(ComponentError::from)?;
+        self.accumulated =
+            Dataset::new(features).with_target(target).map_err(ComponentError::from)?;
         let retrained = if self.should_retrain() {
             self.retrain()?;
             true
@@ -293,13 +291,8 @@ mod tests {
             lc.process_batch(&batch(50, 1.0, 400 + i)).unwrap();
         }
         assert_eq!(lc.retrain_count, 3);
-        let retrain_positions: Vec<usize> = lc
-            .history
-            .iter()
-            .enumerate()
-            .filter(|(_, b)| b.retrained)
-            .map(|(i, _)| i)
-            .collect();
+        let retrain_positions: Vec<usize> =
+            lc.history.iter().enumerate().filter(|(_, b)| b.retrained).map(|(i, _)| i).collect();
         assert_eq!(retrain_positions, vec![2, 5, 8]);
     }
 
@@ -328,7 +321,10 @@ mod tests {
             run(RetrainPolicy::OnDrift { tolerance_ratio: 0.5, window: 1 });
         assert_eq!(never_cost, 0);
         assert!(drift_err < never_err, "drift ({drift_err:.3}) must beat never ({never_err:.3})");
-        assert!(drift_cost < cadence_cost, "drift retrains ({drift_cost}) must cost less than every-batch ({cadence_cost})");
+        assert!(
+            drift_cost < cadence_cost,
+            "drift retrains ({drift_cost}) must cost less than every-batch ({cadence_cost})"
+        );
         // and its accuracy is in the same league as the expensive cadence
         assert!(drift_err < cadence_err * 2.0 + 0.5);
     }
@@ -336,13 +332,9 @@ mod tests {
     #[test]
     fn predict_uses_current_model() {
         let initial = batch(100, 2.0, 6);
-        let lc = ModelLifecycle::deploy(
-            linear_pipeline(),
-            &initial,
-            Metric::Rmse,
-            RetrainPolicy::Never,
-        )
-        .unwrap();
+        let lc =
+            ModelLifecycle::deploy(linear_pipeline(), &initial, Metric::Rmse, RetrainPolicy::Never)
+                .unwrap();
         let test = batch(20, 2.0, 7);
         let pred = lc.predict(&test).unwrap();
         let rmse = coda_data::metrics::rmse(test.target().unwrap(), &pred).unwrap();

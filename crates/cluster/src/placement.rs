@@ -3,6 +3,8 @@
 //! network latency and works offline; cloud execution parallelizes the grid
 //! across VMs.
 
+use coda_chaos::{RetryPolicy, RetryStats};
+
 use crate::network::SimNetwork;
 use crate::node::{AnalyticsTask, ComputeNode};
 
@@ -24,6 +26,19 @@ pub struct PlacementDecision {
     pub local_ms: f64,
     /// Predicted cloud completion time (ms), `None` when disconnected.
     pub cloud_ms: Option<f64>,
+}
+
+/// What actually happened when a placement decision was executed under
+/// possible network faults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionOutcome {
+    /// Where the work actually ran (a cloud decision degrades to local when
+    /// the link keeps failing).
+    pub realized: Placement,
+    /// Realized completion time (ms).
+    pub elapsed_ms: f64,
+    /// Retry accounting for the cloud round-trip attempts.
+    pub retry: RetryStats,
 }
 
 /// The placement scheduler.
@@ -65,8 +80,27 @@ impl Scheduler {
         PlacementDecision { placement, local_ms, cloud_ms }
     }
 
+    /// One attempted cloud round trip: upload, remote execution, download.
+    /// `None` when either network leg fails (disconnect or injected fault).
+    fn cloud_round_trip(
+        task: &AnalyticsTask,
+        client: &ComputeNode,
+        cloud: &ComputeNode,
+        net: &mut SimNetwork,
+    ) -> Option<f64> {
+        let up = net.transfer(client.name(), cloud.name(), task.input_bytes)?;
+        let down = net.transfer(
+            cloud.name(),
+            client.name(),
+            task.n_subtasks as u64 * RESULT_BYTES_PER_SUBTASK,
+        )?;
+        Some(up + cloud.execution_time(task) + down)
+    }
+
     /// Executes the decision against the real (accounted) network, returning
-    /// the realized completion time.
+    /// the realized completion time. A cloud decision whose transfer fails
+    /// mid-execution (the link dropped after placement, or a fault was
+    /// injected) degrades gracefully to local execution instead of failing.
     pub fn execute(
         decision: &PlacementDecision,
         task: &AnalyticsTask,
@@ -76,18 +110,51 @@ impl Scheduler {
     ) -> f64 {
         match decision.placement {
             Placement::Local => client.execution_time(task),
-            Placement::Cloud => {
-                let up = net
-                    .transfer(client.name(), cloud.name(), task.input_bytes)
-                    .expect("placement chose cloud while connected");
-                let down = net
-                    .transfer(
-                        cloud.name(),
-                        client.name(),
-                        task.n_subtasks as u64 * RESULT_BYTES_PER_SUBTASK,
-                    )
-                    .expect("placement chose cloud while connected");
-                up + cloud.execution_time(task) + down
+            Placement::Cloud => Self::cloud_round_trip(task, client, cloud, net)
+                .unwrap_or_else(|| client.execution_time(task)),
+        }
+    }
+
+    /// Executes a cloud decision under a retry policy: failed round trips
+    /// are retried with backoff (advancing any attached chaos clock so
+    /// scheduled outages can heal); when the policy exhausts, the work runs
+    /// locally — the offload degrades, the task still completes.
+    pub fn execute_with_retry(
+        decision: &PlacementDecision,
+        task: &AnalyticsTask,
+        client: &ComputeNode,
+        cloud: &ComputeNode,
+        net: &mut SimNetwork,
+        policy: &RetryPolicy,
+    ) -> ExecutionOutcome {
+        let mut state = policy.state();
+        if decision.placement == Placement::Local {
+            state.begin_attempt();
+            return ExecutionOutcome {
+                realized: Placement::Local,
+                elapsed_ms: client.execution_time(task),
+                retry: state.finish(true),
+            };
+        }
+        loop {
+            state.begin_attempt();
+            if let Some(elapsed) = Self::cloud_round_trip(task, client, cloud, net) {
+                return ExecutionOutcome {
+                    realized: Placement::Cloud,
+                    elapsed_ms: elapsed,
+                    retry: state.finish(true),
+                };
+            }
+            match state.next_backoff_ms() {
+                Some(backoff) => net.advance_chaos_clock(backoff),
+                None => {
+                    let stats = state.finish(false);
+                    return ExecutionOutcome {
+                        realized: Placement::Local,
+                        elapsed_ms: stats.total_backoff_ms + client.execution_time(task),
+                        retry: stats,
+                    };
+                }
             }
         }
     }
@@ -143,6 +210,48 @@ mod tests {
         let d_big = Scheduler::place(&task, &client, &big, &net);
         assert!(d_big.cloud_ms.unwrap() < d_small.cloud_ms.unwrap());
         assert_eq!(d_big.placement, Placement::Cloud);
+    }
+
+    #[test]
+    fn cloud_execute_degrades_to_local_when_link_dies() {
+        let (client, cloud, task) = setup();
+        let mut net = SimNetwork::new(5.0, 10_000.0);
+        let d = Scheduler::place(&task, &client, &cloud, &net);
+        assert_eq!(d.placement, Placement::Cloud);
+        // the link dies between placement and execution
+        net.disconnect("edge", "dc");
+        let realized = Scheduler::execute(&d, &task, &client, &cloud, &mut net);
+        assert!((realized - d.local_ms).abs() < 1e-9, "fell back to local time");
+    }
+
+    #[test]
+    fn execute_with_retry_rides_out_transient_drops() {
+        use coda_chaos::{FaultInjector, FaultPlan, RetryPolicy};
+        let (client, cloud, task) = setup();
+        let mut net = SimNetwork::new(5.0, 10_000.0);
+        let d = Scheduler::place(&task, &client, &cloud, &net);
+        assert_eq!(d.placement, Placement::Cloud);
+        net.set_fault_injector(FaultInjector::new(FaultPlan::new(3).with_drop_probability(0.5)));
+        let policy = RetryPolicy::exponential(5.0, 2.0, 50.0, 10);
+        let out = Scheduler::execute_with_retry(&d, &task, &client, &cloud, &mut net, &policy);
+        assert_eq!(out.realized, Placement::Cloud);
+        assert_eq!(out.retry.successes, 1);
+    }
+
+    #[test]
+    fn execute_with_retry_exhausts_to_local_fallback() {
+        use coda_chaos::{FaultInjector, FaultPlan, RetryPolicy};
+        let (client, cloud, task) = setup();
+        let mut net = SimNetwork::new(5.0, 10_000.0);
+        let d = Scheduler::place(&task, &client, &cloud, &net);
+        net.set_fault_injector(FaultInjector::new(FaultPlan::new(3).with_drop_probability(1.0)));
+        let policy = RetryPolicy::fixed(10.0, 4);
+        let out = Scheduler::execute_with_retry(&d, &task, &client, &cloud, &mut net, &policy);
+        assert_eq!(out.realized, Placement::Local);
+        assert_eq!(out.retry.exhausted, 1);
+        assert_eq!(out.retry.attempts, 4);
+        // the fallback still completes the work, paying backoff + local time
+        assert!(out.elapsed_ms >= d.local_ms);
     }
 
     #[test]

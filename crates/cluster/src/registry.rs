@@ -20,7 +20,7 @@ use coda_darr::{ComputationKey, CoopOutcome, CooperativeClient, Darr};
 use coda_data::{
     BoxedEstimator, BoxedTransformer, CvStrategy, Dataset, Metric, NoOp, ParamValue, Params,
 };
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// Error produced by spec resolution or execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,8 +29,22 @@ pub enum JobError {
     UnknownComponent(String),
     /// The metric name is not recognized.
     UnknownMetric(String),
+    /// Another client holds the claim on this computation — transient; a
+    /// retry policy can wait for the holder to finish or its lease to
+    /// expire.
+    ClaimHeld {
+        /// The claim holder's client name.
+        owner: String,
+    },
     /// The job failed during evaluation.
     Execution(String),
+}
+
+impl JobError {
+    /// True for errors a retry can resolve (currently only a held claim).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, JobError::ClaimHeld { .. })
+    }
 }
 
 impl fmt::Display for JobError {
@@ -38,6 +52,7 @@ impl fmt::Display for JobError {
         match self {
             JobError::UnknownComponent(n) => write!(f, "unknown component {n}"),
             JobError::UnknownMetric(m) => write!(f, "unknown metric {m}"),
+            JobError::ClaimHeld { owner } => write!(f, "claim held by {owner}; retry later"),
             JobError::Execution(e) => write!(f, "job execution failed: {e}"),
         }
     }
@@ -47,7 +62,7 @@ impl std::error::Error for JobError {}
 
 /// A declarative analytics job: everything needed to (re)run one structured
 /// calculation, serializable for interchange between clients.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Dataset identity in the data tier.
     pub dataset_id: String,
@@ -65,9 +80,9 @@ pub struct JobSpec {
     pub metric: String,
 }
 
-/// A JSON-friendly parameter value.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(untagged)]
+/// A JSON-friendly parameter value, serialized untagged (a bare JSON
+/// number/bool/string).
+#[derive(Debug, Clone, PartialEq)]
 pub enum SpecValue {
     /// Integer parameter.
     Int(i64),
@@ -77,6 +92,31 @@ pub enum SpecValue {
     Bool(bool),
     /// String parameter.
     Str(String),
+}
+
+serde::impl_serde_struct!(JobSpec { dataset_id, dataset_version, steps, params, cv_folds, metric });
+
+impl Serialize for SpecValue {
+    fn to_value(&self) -> Value {
+        match self {
+            SpecValue::Int(i) => Value::Int(*i),
+            SpecValue::Float(f) => Value::Float(*f),
+            SpecValue::Bool(b) => Value::Bool(*b),
+            SpecValue::Str(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+impl Deserialize for SpecValue {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Int(i) => Ok(SpecValue::Int(*i)),
+            Value::Float(f) => Ok(SpecValue::Float(*f)),
+            Value::Bool(b) => Ok(SpecValue::Bool(*b)),
+            Value::Str(s) => Ok(SpecValue::Str(s.clone())),
+            other => Err(format!("expected number/bool/string parameter, got {other:?}")),
+        }
+    }
 }
 
 impl From<&SpecValue> for ParamValue {
@@ -178,23 +218,17 @@ impl ComponentRegistry {
             Box::new(ml::SelectKBest::new(2, ml::ScoreFunction::FRegression))
         });
         r.register_transformer("mean_imputer", || {
-            Box::new(coda_data::impute::SimpleImputer::new(
-                coda_data::impute::ImputeStrategy::Mean,
-            ))
+            Box::new(coda_data::impute::SimpleImputer::new(coda_data::impute::ImputeStrategy::Mean))
         });
         r.register_transformer("median_imputer", || {
             Box::new(coda_data::impute::SimpleImputer::new(
                 coda_data::impute::ImputeStrategy::Median,
             ))
         });
-        r.register_transformer("random_oversampler", || {
-            Box::new(ml::RandomOversampler::new())
-        });
+        r.register_transformer("random_oversampler", || Box::new(ml::RandomOversampler::new()));
         r.register_estimator("linear_regression", || Box::new(ml::LinearRegression::new()));
         r.register_estimator("ridge_regression", || Box::new(ml::RidgeRegression::new(1.0)));
-        r.register_estimator("logistic_regression", || {
-            Box::new(ml::LogisticRegression::new())
-        });
+        r.register_estimator("logistic_regression", || Box::new(ml::LogisticRegression::new()));
         r.register_estimator("knn_regressor", || Box::new(ml::KnnRegressor::new(5)));
         r.register_estimator("knn_classifier", || Box::new(ml::KnnClassifier::new(5)));
         r.register_estimator("decision_tree_regressor", || {
@@ -225,10 +259,8 @@ impl ComponentRegistry {
     pub fn build_pipeline(&self, spec: &JobSpec) -> Result<Pipeline, JobError> {
         let mut nodes = Vec::with_capacity(spec.steps.len());
         for name in &spec.steps {
-            let factory = self
-                .factories
-                .get(name)
-                .ok_or_else(|| JobError::UnknownComponent(name.clone()))?;
+            let factory =
+                self.factories.get(name).ok_or_else(|| JobError::UnknownComponent(name.clone()))?;
             let node = match factory {
                 Factory::Transform(f) => Node::new(name.clone(), f().into()),
                 Factory::Estimate(f) => Node::new(name.clone(), f().into()),
@@ -238,9 +270,7 @@ impl ComponentRegistry {
         let mut pipeline = Pipeline::from_nodes(nodes);
         let params: Params =
             spec.params.iter().map(|(k, v)| (k.clone(), ParamValue::from(v))).collect();
-        pipeline
-            .apply_params(&params)
-            .map_err(|e| JobError::Execution(e.to_string()))?;
+        pipeline.apply_params(&params).map_err(|e| JobError::Execution(e.to_string()))?;
         Ok(pipeline)
     }
 }
@@ -273,18 +303,40 @@ pub fn run_job(
     let client = CooperativeClient::new(darr, client_name, 60_000);
     let outcome = client.process(&key, || {
         let evaluator = Evaluator::new(CvStrategy::kfold(spec.cv_folds), metric);
-        let scores = evaluator
-            .evaluate_pipeline(&pipeline, data)
-            .map_err(|e| e.to_string())?;
+        let scores = evaluator.evaluate_pipeline(&pipeline, data).map_err(|e| e.to_string())?;
         let mean = scores.iter().sum::<f64>() / scores.len() as f64;
         Ok((mean, scores, format!("job spec: {}", spec.to_json())))
     });
     match outcome {
         CoopOutcome::Computed(r) | CoopOutcome::Reused(r) => Ok(r),
-        CoopOutcome::SkippedHeld(owner) => {
-            Err(JobError::Execution(format!("claim held by {owner}; retry later")))
-        }
+        CoopOutcome::SkippedHeld(owner) => Err(JobError::ClaimHeld { owner }),
         CoopOutcome::Failed(e) => Err(JobError::Execution(e)),
+    }
+}
+
+/// [`run_job`] under a retry policy: a held claim backs off by advancing the
+/// DARR's logical clock (so the holder either finishes — the result is then
+/// reused — or its lease expires and this client takes over). Permanent
+/// errors return immediately. Returns the result plus retry accounting.
+pub fn run_job_with_retry(
+    registry: &ComponentRegistry,
+    spec: &JobSpec,
+    data: &Dataset,
+    darr: &Darr,
+    client_name: &str,
+    policy: &coda_chaos::RetryPolicy,
+) -> (Result<coda_darr::AnalyticsRecord, JobError>, coda_chaos::RetryStats) {
+    let mut state = policy.state();
+    loop {
+        state.begin_attempt();
+        match run_job(registry, spec, data, darr, client_name) {
+            Ok(record) => return (Ok(record), state.finish(true)),
+            Err(e) if e.is_transient() => match state.next_backoff_ms() {
+                Some(backoff) => darr.advance_clock(backoff.ceil() as u64),
+                None => return (Err(e), state.finish(false)),
+            },
+            Err(e) => return (Err(e), state.finish(false)),
+        }
     }
 }
 
@@ -349,10 +401,7 @@ mod tests {
         let registry = ComponentRegistry::standard();
         let mut bad = spec();
         bad.steps[1] = "quantum_annealer".to_string();
-        assert!(matches!(
-            registry.build_pipeline(&bad),
-            Err(JobError::UnknownComponent(_))
-        ));
+        assert!(matches!(registry.build_pipeline(&bad), Err(JobError::UnknownComponent(_))));
         let mut bad_metric = spec();
         bad_metric.metric = "vibes".to_string();
         let darr = Darr::new();
@@ -372,6 +421,46 @@ mod tests {
         let mut unknown = spec();
         unknown.params.insert("nonexistent__x".to_string(), SpecValue::Int(1));
         assert!(matches!(registry.build_pipeline(&unknown), Err(JobError::Execution(_))));
+    }
+
+    #[test]
+    fn held_claim_surfaces_as_typed_error() {
+        let registry = ComponentRegistry::standard();
+        let darr = Darr::new();
+        let ds = synth::linear_regression(60, 4, 0.2, 403);
+        let s = spec();
+        darr.try_claim(&s.computation_key(), "someone-else", 60_000);
+        match run_job(&registry, &s, &ds, &darr, "client-a") {
+            Err(JobError::ClaimHeld { owner }) => {
+                assert_eq!(owner, "someone-else");
+                assert!(JobError::ClaimHeld { owner }.is_transient());
+            }
+            other => panic!("expected ClaimHeld, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_job_with_retry_takes_over_expired_claim() {
+        use coda_chaos::RetryPolicy;
+        let registry = ComponentRegistry::standard();
+        let darr = Darr::new();
+        let ds = synth::linear_regression(60, 4, 0.2, 404);
+        let s = spec();
+        // a dead client holds the claim for 100 ticks
+        darr.try_claim(&s.computation_key(), "dead", 100);
+        let policy = RetryPolicy::fixed(60.0, 5);
+        let (result, stats) = run_job_with_retry(&registry, &s, &ds, &darr, "client-a", &policy);
+        let record = result.unwrap();
+        assert_eq!(record.producer, "client-a");
+        assert!(stats.retries >= 1);
+        assert_eq!(stats.successes, 1);
+
+        // non-transient errors do not retry
+        let mut bad = spec();
+        bad.metric = "vibes".to_string();
+        let (result, stats) = run_job_with_retry(&registry, &bad, &ds, &darr, "c", &policy);
+        assert!(matches!(result, Err(JobError::UnknownMetric(_))));
+        assert_eq!(stats.attempts, 1);
     }
 
     #[test]

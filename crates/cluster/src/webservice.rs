@@ -74,14 +74,11 @@ pub fn route_capability(services: &[SimWebService], capability: &str) -> Option<
         .min_by(|(_, a), (_, b)| {
             let cost_a = if a.calls >= a.free_calls { a.per_call_cost } else { 0.0 };
             let cost_b = if b.calls >= b.free_calls { b.per_call_cost } else { 0.0 };
-            cost_a
-                .partial_cmp(&cost_b)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(
-                    a.per_call_latency_ms
-                        .partial_cmp(&b.per_call_latency_ms)
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
+            cost_a.partial_cmp(&cost_b).unwrap_or(std::cmp::Ordering::Equal).then(
+                a.per_call_latency_ms
+                    .partial_cmp(&b.per_call_latency_ms)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         })
         .map(|(i, _)| i)
 }

@@ -321,8 +321,7 @@ impl Evaluator {
         }
         match self.evaluate_pipeline(&pipeline, data) {
             Ok(fold_scores) => {
-                let mean_score =
-                    fold_scores.iter().sum::<f64>() / fold_scores.len().max(1) as f64;
+                let mean_score = fold_scores.iter().sum::<f64>() / fold_scores.len().max(1) as f64;
                 PathResult { spec, fold_scores, mean_score, error: None }
             }
             Err(e) => PathResult {
@@ -342,20 +341,13 @@ mod tests {
     use crate::node::Node;
     use coda_data::{synth, BoxedEstimator, NoOp};
     use coda_ml::{
-        DecisionTreeRegressor, KnnRegressor, LinearRegression, Pca, RidgeRegression,
-        StandardScaler,
+        DecisionTreeRegressor, KnnRegressor, LinearRegression, Pca, RidgeRegression, StandardScaler,
     };
 
     fn small_graph() -> crate::graph::Teg {
         TegBuilder::new()
-            .add_feature_scalers(vec![
-                Box::new(StandardScaler::new()),
-                Box::new(NoOp::new()),
-            ])
-            .add_models(vec![
-                Box::new(LinearRegression::new()),
-                Box::new(KnnRegressor::new(3)),
-            ])
+            .add_feature_scalers(vec![Box::new(StandardScaler::new()), Box::new(NoOp::new())])
+            .add_models(vec![Box::new(LinearRegression::new()), Box::new(KnnRegressor::new(3))])
             .create_graph()
             .unwrap()
     }
@@ -401,10 +393,7 @@ mod tests {
     fn parallel_matches_serial() {
         let ds = synth::friedman1(150, 5, 0.3, 104);
         let graph = TegBuilder::new()
-            .add_feature_scalers(vec![
-                Box::new(StandardScaler::new()),
-                Box::new(NoOp::new()),
-            ])
+            .add_feature_scalers(vec![Box::new(StandardScaler::new()), Box::new(NoOp::new())])
             .add_feature_selectors(vec![Box::new(Pca::new(3)), Box::new(NoOp::new())])
             .add_models(vec![
                 Box::new(LinearRegression::new()),
@@ -412,9 +401,8 @@ mod tests {
             ])
             .create_graph()
             .unwrap();
-        let serial = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
-            .evaluate_graph(&graph, &ds)
-            .unwrap();
+        let serial =
+            Evaluator::new(CvStrategy::kfold(3), Metric::Rmse).evaluate_graph(&graph, &ds).unwrap();
         let parallel = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
             .with_threads(4)
             .evaluate_graph(&graph, &ds)
@@ -454,10 +442,7 @@ mod tests {
             .create_graph()
             .unwrap();
         let eval = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse);
-        assert!(matches!(
-            eval.evaluate_graph(&graph, &ds),
-            Err(EvalError::NothingEvaluated)
-        ));
+        assert!(matches!(eval.evaluate_graph(&graph, &ds), Err(EvalError::NothingEvaluated)));
     }
 
     #[test]

@@ -130,10 +130,7 @@ impl Teg {
     /// [`GraphError::PathEndsInTransformer`] or
     /// [`GraphError::EstimatorNotLast`] when a path is not a valid pipeline.
     pub fn enumerate_pipelines(&self) -> Result<Vec<Pipeline>, GraphError> {
-        self.enumerate_paths()
-            .into_iter()
-            .map(|p| self.pipeline_for_path(&p))
-            .collect()
+        self.enumerate_paths().into_iter().map(|p| self.pipeline_for_path(&p)).collect()
     }
 
     /// Builds the pipeline for one path of node indices.
@@ -301,8 +298,7 @@ impl TegBuilder {
             }
         }
         // cycle check via Kahn's algorithm
-        let mut queue: Vec<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut indeg = indegree.clone();
         let mut visited = 0usize;
         while let Some(u) = queue.pop() {
@@ -340,8 +336,8 @@ mod tests {
     use super::*;
     use coda_data::{BoxedEstimator, BoxedTransformer, NoOp};
     use coda_ml::{
-        DecisionTreeRegressor, KnnRegressor, LinearRegression, MinMaxScaler, Pca,
-        RobustScaler, ScoreFunction, SelectKBest, StandardScaler,
+        DecisionTreeRegressor, KnnRegressor, LinearRegression, MinMaxScaler, Pca, RobustScaler,
+        ScoreFunction, SelectKBest, StandardScaler,
     };
 
     fn listing1_graph() -> Teg {
@@ -449,19 +445,14 @@ mod tests {
             .add_feature_scalers(vec![Box::new(NoOp::new())])
             .create_graph()
             .unwrap();
-        assert!(matches!(
-            g.enumerate_pipelines(),
-            Err(GraphError::PathEndsInTransformer(_))
-        ));
+        assert!(matches!(g.enumerate_pipelines(), Err(GraphError::PathEndsInTransformer(_))));
     }
 
     #[test]
     fn estimator_mid_path_rejected() {
         let mut b = TegBuilder::new();
-        let m = b.add_node(Node::new(
-            "m",
-            (Box::new(LinearRegression::new()) as BoxedEstimator).into(),
-        ));
+        let m = b
+            .add_node(Node::new("m", (Box::new(LinearRegression::new()) as BoxedEstimator).into()));
         let t = b.add_node(Node::new("t", (Box::new(NoOp::new()) as BoxedTransformer).into()));
         let m2 = b.add_node(Node::new(
             "m2",
@@ -477,10 +468,8 @@ mod tests {
     fn duplicate_edges_collapsed() {
         let mut b = TegBuilder::new();
         let a = b.add_node(Node::new("a", (Box::new(NoOp::new()) as BoxedTransformer).into()));
-        let m = b.add_node(Node::new(
-            "m",
-            (Box::new(LinearRegression::new()) as BoxedEstimator).into(),
-        ));
+        let m = b
+            .add_node(Node::new("m", (Box::new(LinearRegression::new()) as BoxedEstimator).into()));
         b.connect(&a, &m);
         b.connect(&a, &m);
         let g = b.create_graph().unwrap();

@@ -98,10 +98,8 @@ mod tests {
         let e = g.expand();
         assert_eq!(e.len(), 6);
         // every combination appears exactly once
-        let mut keys: Vec<String> = e
-            .iter()
-            .map(|p| format!("{:?}{:?}", p["a__x"], p["b__y"]))
-            .collect();
+        let mut keys: Vec<String> =
+            e.iter().map(|p| format!("{:?}{:?}", p["a__x"], p["b__y"])).collect();
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), 6);

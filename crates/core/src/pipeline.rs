@@ -10,7 +10,6 @@ use std::fmt;
 
 use coda_data::traits::split_param_key;
 use coda_data::{ComponentError, Dataset, ParamValue, Params, TaskKind};
-use serde::{Deserialize, Serialize};
 
 use crate::node::{Component, Node};
 
@@ -72,14 +71,12 @@ impl Pipeline {
                     param: key.clone(),
                 });
             };
-            let node = self
-                .nodes
-                .iter_mut()
-                .find(|n| n.name() == node_name)
-                .ok_or_else(|| ComponentError::UnknownParam {
+            let node = self.nodes.iter_mut().find(|n| n.name() == node_name).ok_or_else(|| {
+                ComponentError::UnknownParam {
                     component: "pipeline".to_string(),
                     param: key.clone(),
-                })?;
+                }
+            })?;
             node.component_mut().set_param(param, value.clone())?;
         }
         Ok(())
@@ -231,13 +228,15 @@ impl fmt::Display for Pipeline {
 
 /// A canonical, serializable pipeline description: ordered step names plus
 /// parameter assignments. Two equal specs denote the same computation.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct PipelineSpec {
     /// Ordered node names.
     pub steps: Vec<String>,
     /// Qualified parameter assignments rendered to strings (canonical form).
     pub params: std::collections::BTreeMap<String, String>,
 }
+
+serde::impl_serde_struct!(PipelineSpec { steps, params });
 
 impl PipelineSpec {
     /// Creates a spec from step names.
@@ -250,8 +249,7 @@ impl PipelineSpec {
 
     /// Attaches parameters (rendered canonically).
     pub fn with_params(mut self, params: &Params) -> Self {
-        self.params =
-            params.iter().map(|(k, v)| (k.clone(), render_param(v))).collect();
+        self.params = params.iter().map(|(k, v)| (k.clone(), render_param(v))).collect();
         self
     }
 

@@ -94,10 +94,8 @@ impl Evaluator {
         // cheap screening rounds with a single train/validation split
         while alive.len() > min_finalists && samples < n {
             let subset = data.select(&shuffled[..samples]);
-            let screen = Evaluator::new(
-                CvStrategy::TrainTestSplit { test_fraction: 0.3, seed: 11 },
-                metric,
-            );
+            let screen =
+                Evaluator::new(CvStrategy::TrainTestSplit { test_fraction: 0.3, seed: 11 }, metric);
             let mut scored: Vec<(usize, f64)> = Vec::new();
             for (i, pipeline) in alive.iter().enumerate() {
                 if let Ok(score) = screen.score_pipeline(pipeline, &subset) {
@@ -118,8 +116,7 @@ impl Evaluator {
                 }
             });
             let keep = (scored.len() / 2).max(min_finalists).min(scored.len());
-            let mut keep_idx: Vec<usize> =
-                scored[..keep].iter().map(|(i, _)| *i).collect();
+            let mut keep_idx: Vec<usize> = scored[..keep].iter().map(|(i, _)| *i).collect();
             keep_idx.sort_unstable();
             alive = keep_idx.into_iter().rev().map(|i| alive.swap_remove(i)).collect();
             rounds.push(RoundSummary { round, samples, survivors: alive.len() });
@@ -182,10 +179,7 @@ mod tests {
 
     fn wide_graph() -> Teg {
         TegBuilder::new()
-            .add_feature_scalers(vec![
-                Box::new(StandardScaler::new()),
-                Box::new(NoOp::new()),
-            ])
+            .add_feature_scalers(vec![Box::new(StandardScaler::new()), Box::new(NoOp::new())])
             .add_models(vec![
                 Box::new(LinearRegression::new()),
                 Box::new(RidgeRegression::new(1.0)),

@@ -50,11 +50,7 @@ impl NestedCvResult {
     pub fn consensus_params(&self) -> Option<&Params> {
         let mut best: Option<(&Params, usize)> = None;
         for f in &self.folds {
-            let count = self
-                .folds
-                .iter()
-                .filter(|g| g.chosen_params == f.chosen_params)
-                .count();
+            let count = self.folds.iter().filter(|g| g.chosen_params == f.chosen_params).count();
             if best.is_none_or(|(_, c)| count > c) {
                 best = Some((&f.chosen_params, count));
             }
@@ -109,9 +105,7 @@ impl Evaluator {
             winner.apply_matching_params(&chosen_params)?;
             winner.fit(&outer_train)?;
             let pred = winner.predict(&outer_val)?;
-            let truth = outer_val
-                .target_required()
-                .map_err(coda_data::ComponentError::from)?;
+            let truth = outer_val.target_required().map_err(coda_data::ComponentError::from)?;
             let outer_score = metric.compute(truth, &pred)?;
             folds.push(OuterFoldResult { chosen_params, inner_score, outer_score });
         }
@@ -134,10 +128,7 @@ mod tests {
 
     fn k_grid() -> ParamGrid {
         let mut grid = ParamGrid::new();
-        grid.add(
-            "knn_regressor__k",
-            vec![1usize.into(), 5usize.into(), 15usize.into()],
-        );
+        grid.add("knn_regressor__k", vec![1usize.into(), 5usize.into(), 15usize.into()]);
         grid
     }
 
@@ -145,9 +136,8 @@ mod tests {
     fn produces_one_result_per_outer_fold() {
         let ds = synth::friedman1(250, 5, 0.8, 31);
         let eval = Evaluator::new(CvStrategy::kfold(4), Metric::Rmse);
-        let nested = eval
-            .nested_evaluate(&knn_pipeline(), &ds, &k_grid(), CvStrategy::kfold(3))
-            .unwrap();
+        let nested =
+            eval.nested_evaluate(&knn_pipeline(), &ds, &k_grid(), CvStrategy::kfold(3)).unwrap();
         assert_eq!(nested.folds.len(), 4);
         for f in &nested.folds {
             assert!(f.chosen_params.contains_key("knn_regressor__k"));
@@ -161,9 +151,8 @@ mod tests {
         // noisy data: k=1 memorizes; inner CV must pick a larger k
         let ds = synth::friedman1(300, 5, 2.0, 32);
         let eval = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse);
-        let nested = eval
-            .nested_evaluate(&knn_pipeline(), &ds, &k_grid(), CvStrategy::kfold(3))
-            .unwrap();
+        let nested =
+            eval.nested_evaluate(&knn_pipeline(), &ds, &k_grid(), CvStrategy::kfold(3)).unwrap();
         for f in &nested.folds {
             let k = f.chosen_params["knn_regressor__k"].clone();
             assert_ne!(k, ParamValue::from(1usize), "inner CV must reject k=1 under noise");
@@ -176,17 +165,15 @@ mod tests {
         let ds = synth::friedman1(400, 5, 1.0, 33);
         let fresh = synth::friedman1(400, 5, 1.0, 34);
         let eval = Evaluator::new(CvStrategy::kfold(4), Metric::Rmse);
-        let nested = eval
-            .nested_evaluate(&knn_pipeline(), &ds, &k_grid(), CvStrategy::kfold(3))
-            .unwrap();
+        let nested =
+            eval.nested_evaluate(&knn_pipeline(), &ds, &k_grid(), CvStrategy::kfold(3)).unwrap();
         // deploy the consensus model on all of ds, score on fresh data
         let params = nested.consensus_params().unwrap().clone();
         let mut deployed = knn_pipeline();
         deployed.apply_matching_params(&params).unwrap();
         deployed.fit(&ds).unwrap();
         let pred = deployed.predict(&fresh).unwrap();
-        let true_rmse =
-            coda_data::metrics::rmse(fresh.target().unwrap(), &pred).unwrap();
+        let true_rmse = coda_data::metrics::rmse(fresh.target().unwrap(), &pred).unwrap();
         let gap = (nested.outer_mean() - true_rmse).abs() / true_rmse;
         assert!(gap < 0.25, "outer estimate {:.3} vs true {true_rmse:.3}", nested.outer_mean());
     }

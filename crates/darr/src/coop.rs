@@ -3,6 +3,8 @@
 //! ones, and computing only what no other client has covered — the
 //! cooperation protocol of Fig. 2.
 
+use coda_chaos::{RetryPolicy, RetryStats};
+
 use crate::record::{AnalyticsRecord, ComputationKey};
 use crate::repo::{ClaimOutcome, Darr};
 
@@ -17,6 +19,16 @@ pub enum CoopOutcome {
     SkippedHeld(String),
     /// The computation failed; the claim was released.
     Failed(String),
+}
+
+/// Accounting from a retry-aware worklist pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetryReport {
+    /// Aggregated retry/backoff accounting over all deferred keys.
+    pub stats: RetryStats,
+    /// Keys this client computed after another client's claim lease
+    /// expired (takeovers of presumed-dead owners).
+    pub takeovers: usize,
 }
 
 /// Per-client counters from a cooperative pass.
@@ -100,6 +112,64 @@ impl<'a> CooperativeClient<'a> {
         }
         (summary, outcomes)
     }
+
+    /// Like [`CooperativeClient::run_worklist`], but keys skipped because
+    /// another client held the claim are *revisited* under `policy`: each
+    /// retry backs off by advancing the shared DARR clock (so the holder's
+    /// lease can expire), then reclaims. A key whose holder finished in the
+    /// meantime resolves to `Reused`; a key whose holder's lease expired is
+    /// taken over and `Computed` here. Keys still held when the policy
+    /// exhausts stay `SkippedHeld`.
+    pub fn run_worklist_with_retry<F>(
+        &self,
+        keys: &[ComputationKey],
+        mut compute: F,
+        policy: &RetryPolicy,
+    ) -> (CoopSummary, Vec<CoopOutcome>, RetryReport)
+    where
+        F: FnMut(&ComputationKey) -> Result<(f64, Vec<f64>, String), String>,
+    {
+        let (mut summary, mut outcomes) = self.run_worklist(keys, &mut compute);
+        let mut report = RetryReport::default();
+        for idx in 0..outcomes.len() {
+            if !matches!(outcomes[idx], CoopOutcome::SkippedHeld(_)) {
+                continue;
+            }
+            let key = &keys[idx];
+            let mut state = policy.state();
+            state.begin_attempt(); // the first pass was attempt 1
+            let resolved = loop {
+                let Some(backoff) = state.next_backoff_ms() else {
+                    break None;
+                };
+                // back off in DARR logical time so the holder's lease ages
+                self.darr.advance_clock(backoff.ceil() as u64);
+                state.begin_attempt();
+                match self.process(key, || compute(key)) {
+                    CoopOutcome::SkippedHeld(_) => continue,
+                    other => break Some(other),
+                }
+            };
+            match resolved {
+                Some(outcome) => {
+                    summary.skipped -= 1;
+                    match &outcome {
+                        CoopOutcome::Computed(_) => {
+                            summary.computed += 1;
+                            report.takeovers += 1;
+                        }
+                        CoopOutcome::Reused(_) => summary.reused += 1,
+                        CoopOutcome::Failed(_) => summary.failed += 1,
+                        CoopOutcome::SkippedHeld(_) => unreachable!(),
+                    }
+                    report.stats.merge(&state.finish(true));
+                    outcomes[idx] = outcome;
+                }
+                None => report.stats.merge(&state.finish(false)),
+            }
+        }
+        (summary, outcomes, report)
+    }
 }
 
 #[cfg(test)]
@@ -119,9 +189,8 @@ mod tests {
         let darr = Darr::new();
         let client = CooperativeClient::new(&darr, "a", 100);
         let work = keys(5);
-        let (summary, _) = client.run_worklist(&work, |k| {
-            Ok((k.pipeline.len() as f64, vec![], "test".to_string()))
-        });
+        let (summary, _) = client
+            .run_worklist(&work, |k| Ok((k.pipeline.len() as f64, vec![], "test".to_string())));
         assert_eq!(summary.computed, 5);
         // a second pass reuses all five
         let (summary2, outcomes) = client.run_worklist(&work, |_| unreachable!());
@@ -165,6 +234,66 @@ mod tests {
         let a = CooperativeClient::new(&darr, "a", 100);
         let outcome = a.process(k, || unreachable!());
         assert_eq!(outcome, CoopOutcome::SkippedHeld("other".to_string()));
+    }
+
+    #[test]
+    fn retry_takes_over_expired_claim() {
+        use coda_chaos::RetryPolicy;
+        let darr = Darr::new();
+        let work = keys(1);
+        // a client that died mid-compute holds the claim for 50 ticks
+        darr.try_claim(&work[0], "dead", 50);
+        let a = CooperativeClient::new(&darr, "a", 100);
+        let policy = RetryPolicy::fixed(30.0, 5);
+        let (summary, outcomes, report) =
+            a.run_worklist_with_retry(&work, |_| Ok((1.0, vec![], String::new())), &policy);
+        assert_eq!(summary.computed, 1);
+        assert_eq!(summary.skipped, 0);
+        assert_eq!(report.takeovers, 1);
+        assert!(report.stats.retries >= 1);
+        assert!(matches!(outcomes[0], CoopOutcome::Computed(_)));
+        assert_eq!(darr.lookup(&work[0]).unwrap().producer, "a");
+    }
+
+    #[test]
+    fn retry_reuses_result_finished_by_holder() {
+        use coda_chaos::RetryPolicy;
+        let darr = Darr::new();
+        let work = keys(2);
+        // "other" holds p1 and finishes it while we compute p0
+        darr.try_claim(&work[1], "other", 1000);
+        let a = CooperativeClient::new(&darr, "a", 100);
+        let policy = RetryPolicy::fixed(10.0, 4);
+        let (summary, outcomes, report) = a.run_worklist_with_retry(
+            &work,
+            |k| {
+                if k == &work[0] {
+                    darr.complete(&work[1], "other", 0.7, vec![], "done elsewhere");
+                }
+                Ok((1.0, vec![], String::new()))
+            },
+            &policy,
+        );
+        assert_eq!(summary.computed, 1);
+        assert_eq!(summary.reused, 1);
+        assert_eq!(report.takeovers, 0, "a reuse is not a takeover");
+        assert!(matches!(outcomes[1], CoopOutcome::Reused(_)));
+    }
+
+    #[test]
+    fn retry_exhausts_against_live_holder() {
+        use coda_chaos::RetryPolicy;
+        let darr = Darr::new();
+        let work = keys(1);
+        darr.try_claim(&work[0], "busy", 1_000_000);
+        let a = CooperativeClient::new(&darr, "a", 100);
+        let policy = RetryPolicy::fixed(10.0, 3);
+        let (summary, outcomes, report) =
+            a.run_worklist_with_retry(&work, |_| unreachable!(), &policy);
+        assert_eq!(summary.skipped, 1);
+        assert_eq!(report.takeovers, 0);
+        assert_eq!(report.stats.exhausted, 1);
+        assert!(matches!(outcomes[0], CoopOutcome::SkippedHeld(_)));
     }
 
     #[test]

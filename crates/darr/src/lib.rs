@@ -27,7 +27,9 @@
 pub mod coop;
 pub mod record;
 pub mod repo;
+pub mod resilient;
 
-pub use coop::{CooperativeClient, CoopOutcome};
+pub use coop::{CoopOutcome, CoopSummary, CooperativeClient, RetryReport};
 pub use record::{AnalyticsRecord, ComputationKey};
 pub use repo::{ClaimOutcome, Darr, DarrStats};
+pub use resilient::{DarrLink, ResilientClient, ResilientSummary, WriteBehindJournal};

@@ -1,12 +1,11 @@
 //! Computation keys and result records.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The identity of one analytics computation: dataset (id + version),
 /// pipeline spec key, CV configuration and metric. Two equal keys denote a
 /// redundant computation.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ComputationKey {
     /// Dataset identifier.
     pub dataset_id: String,
@@ -60,7 +59,7 @@ impl fmt::Display for ComputationKey {
 /// A stored analytics result, with the explanation of how it was achieved
 /// (paper: clients place results "along with an explanation of how the
 /// results were achieved" in the DARR).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnalyticsRecord {
     /// What was computed.
     pub key: ComputationKey,
@@ -75,6 +74,16 @@ pub struct AnalyticsRecord {
     /// Logical time the result was stored.
     pub stored_at: u64,
 }
+
+serde::impl_serde_struct!(ComputationKey { dataset_id, dataset_version, pipeline, cv, metric });
+serde::impl_serde_struct!(AnalyticsRecord {
+    key,
+    score,
+    fold_scores,
+    explanation,
+    producer,
+    stored_at,
+});
 
 impl AnalyticsRecord {
     /// Serializes to canonical JSON (for interchange or hashing).

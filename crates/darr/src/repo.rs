@@ -156,17 +156,16 @@ impl Darr {
         metric: &str,
         higher_is_better: bool,
     ) -> Option<AnalyticsRecord> {
-        self.computed_for(dataset_id)
-            .into_iter()
-            .filter(|r| r.key.metric == metric)
-            .reduce(|a, b| {
+        self.computed_for(dataset_id).into_iter().filter(|r| r.key.metric == metric).reduce(
+            |a, b| {
                 let better = if higher_is_better { b.score > a.score } else { b.score < a.score };
                 if better {
                     b
                 } else {
                     a
                 }
-            })
+            },
+        )
     }
 
     /// Attempts to claim `key` for `client` for `duration` logical ticks.
@@ -236,17 +235,32 @@ impl Darr {
         record
     }
 
+    /// Merges one externally-produced record (e.g. replayed from a client's
+    /// write-behind journal after a partition healed), keeping the *newer*
+    /// `stored_at` on conflict — the same rule as [`Darr::import_records`].
+    /// Releases any claim on the key and returns true when the record was
+    /// applied.
+    pub fn merge_record(&self, record: AnalyticsRecord) -> bool {
+        let mut inner = self.inner.write();
+        let keep_incoming = inner
+            .records
+            .get(&record.key)
+            .map(|existing| record.stored_at > existing.stored_at)
+            .unwrap_or(true);
+        if keep_incoming {
+            inner.claims.remove(&record.key);
+            inner.records.insert(record.key.clone(), record);
+            inner.stats.stored += 1;
+        }
+        keep_incoming
+    }
+
     /// Serializes every stored record to JSON lines — the repository is a
     /// durable cloud artifact in the paper, so its contents must survive
     /// process restarts and travel between sites.
     pub fn export_records(&self) -> String {
         let inner = self.inner.read();
-        inner
-            .records
-            .values()
-            .map(|r| r.to_json())
-            .collect::<Vec<_>>()
-            .join("\n")
+        inner.records.values().map(|r| r.to_json()).collect::<Vec<_>>().join("\n")
     }
 
     /// Imports records from [`Darr::export_records`] output, merging into
@@ -373,13 +387,7 @@ mod tests {
         let darr = Darr::new();
         darr.complete(&key("p1"), "a", 0.9, vec![], "");
         darr.complete(&key("p2"), "b", 0.3, vec![], "");
-        darr.complete(
-            &ComputationKey::new("other", 1, "p", "cv", "rmse"),
-            "c",
-            0.1,
-            vec![],
-            "",
-        );
+        darr.complete(&ComputationKey::new("other", 1, "p", "cv", "rmse"), "c", 0.1, vec![], "");
         assert_eq!(darr.computed_for("ds").len(), 2);
         // rmse: lower is better
         let best = darr.best_for("ds", "rmse", false).unwrap();
@@ -441,6 +449,39 @@ mod tests {
         assert!(restored.import_records("not json").is_err());
         // empty snapshot is a no-op
         assert_eq!(restored.import_records("").unwrap(), 0);
+    }
+
+    #[test]
+    fn merge_record_keeps_newer_and_clears_claims() {
+        let darr = Darr::new();
+        darr.advance_clock(10);
+        darr.complete(&key("p"), "a", 0.5, vec![], "local");
+        // an older journaled record loses to the local one
+        let old = AnalyticsRecord {
+            key: key("p"),
+            score: 0.9,
+            fold_scores: vec![],
+            explanation: "stale".to_string(),
+            producer: "b".to_string(),
+            stored_at: 5,
+        };
+        assert!(!darr.merge_record(old));
+        assert_eq!(darr.lookup(&key("p")).unwrap().producer, "a");
+        // a newer one wins and releases any claim on the key
+        darr.try_claim(&key("p2"), "c", 100);
+        let newer = AnalyticsRecord {
+            key: key("p2"),
+            score: 0.1,
+            fold_scores: vec![0.1],
+            explanation: "journaled".to_string(),
+            producer: "b".to_string(),
+            stored_at: 50,
+        };
+        assert!(darr.merge_record(newer));
+        match darr.try_claim(&key("p2"), "d", 100) {
+            ClaimOutcome::AlreadyComputed(r) => assert_eq!(r.producer, "b"),
+            other => panic!("expected AlreadyComputed, got {other:?}"),
+        }
     }
 
     #[test]

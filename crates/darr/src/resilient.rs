@@ -1,0 +1,311 @@
+//! Graceful degradation when the DARR is unreachable: a [`ResilientClient`]
+//! keeps computing locally during a partition, journaling results into a
+//! [`WriteBehindJournal`] that is replayed into the repository (keep-newer
+//! merge) once the [`DarrLink`] reconnects. Cooperation degrades — claims
+//! cannot be checked offline — but no result is ever lost.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use coda_chaos::RetryPolicy;
+
+use crate::coop::{CoopOutcome, CoopSummary, CooperativeClient, RetryReport};
+use crate::record::{AnalyticsRecord, ComputationKey};
+use crate::repo::Darr;
+
+/// A client's (possibly partitioned) connection to the shared repository.
+#[derive(Debug)]
+pub struct DarrLink<'a> {
+    darr: &'a Darr,
+    up: AtomicBool,
+}
+
+impl<'a> DarrLink<'a> {
+    /// A connected link to `darr`.
+    pub fn new(darr: &'a Darr) -> Self {
+        DarrLink { darr, up: AtomicBool::new(true) }
+    }
+
+    /// True when the repository is reachable.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::SeqCst)
+    }
+
+    /// Partitions (`false`) or heals (`true`) the link.
+    pub fn set_up(&self, up: bool) {
+        self.up.store(up, Ordering::SeqCst);
+    }
+
+    /// The repository, when reachable.
+    pub fn darr(&self) -> Option<&'a Darr> {
+        if self.is_up() {
+            Some(self.darr)
+        } else {
+            None
+        }
+    }
+}
+
+/// Results computed while partitioned, waiting to be replayed.
+#[derive(Debug, Default)]
+pub struct WriteBehindJournal {
+    pending: Mutex<Vec<AnalyticsRecord>>,
+}
+
+impl WriteBehindJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a locally-computed record.
+    pub fn journal(&self, record: AnalyticsRecord) {
+        self.pending.lock().push(record);
+    }
+
+    /// Records waiting for replay.
+    pub fn len(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Replays every queued record into `darr` (keep-newer merge), clearing
+    /// the journal. Returns how many records the repository applied —
+    /// records another client recomputed with a newer timestamp during the
+    /// partition are dropped, not duplicated.
+    pub fn replay(&self, darr: &Darr) -> usize {
+        let drained: Vec<AnalyticsRecord> = std::mem::take(&mut *self.pending.lock());
+        drained.into_iter().filter(|r| darr.merge_record(r.clone())).count()
+    }
+}
+
+/// Counters from a resilient worklist pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResilientSummary {
+    /// Cooperative counters for the keys processed online.
+    pub coop: CoopSummary,
+    /// Retry/takeover accounting for the online keys.
+    pub retry: RetryReport,
+    /// Keys computed locally and journaled during a partition.
+    pub journaled: usize,
+    /// Journaled records the repository accepted on replay.
+    pub replayed: usize,
+}
+
+/// A cooperating client that keeps working through DARR partitions.
+#[derive(Debug)]
+pub struct ResilientClient<'a> {
+    link: &'a DarrLink<'a>,
+    name: String,
+    claim_duration: u64,
+    journal: WriteBehindJournal,
+    /// Logical timestamp for offline records; bumped per journaled result
+    /// so replay ordering is well defined even while the DARR clock is
+    /// unreachable.
+    local_clock: AtomicU64,
+}
+
+impl<'a> ResilientClient<'a> {
+    /// Creates a client working over `link`.
+    pub fn new<S: Into<String>>(link: &'a DarrLink<'a>, name: S, claim_duration: u64) -> Self {
+        ResilientClient {
+            link,
+            name: name.into(),
+            claim_duration,
+            journal: WriteBehindJournal::new(),
+            local_clock: AtomicU64::new(0),
+        }
+    }
+
+    /// The client's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Results journaled and not yet replayed.
+    pub fn journaled(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// Replays the journal if the link is up. Returns records applied, or
+    /// None while still partitioned.
+    pub fn replay_journal(&self) -> Option<usize> {
+        self.link.darr().map(|darr| self.journal.replay(darr))
+    }
+
+    /// Runs a work list. Online keys go through the cooperative protocol
+    /// with `policy`-driven revisits of held claims; while the DARR is
+    /// unreachable the client computes locally and journals the result.
+    /// Any healed link at the end triggers a journal replay.
+    pub fn run_worklist<F>(
+        &self,
+        keys: &[ComputationKey],
+        mut compute: F,
+        policy: &RetryPolicy,
+    ) -> (ResilientSummary, Vec<CoopOutcome>)
+    where
+        F: FnMut(&ComputationKey) -> Result<(f64, Vec<f64>, String), String>,
+    {
+        let mut summary = ResilientSummary::default();
+        let mut outcomes = Vec::with_capacity(keys.len());
+        let mut online: Vec<usize> = Vec::new();
+        for (idx, key) in keys.iter().enumerate() {
+            if self.link.is_up() {
+                online.push(idx);
+                outcomes.push(CoopOutcome::SkippedHeld(String::new())); // placeholder
+                continue;
+            }
+            // partitioned: compute locally, journal for later replay
+            match compute(key) {
+                Ok((score, folds, explanation)) => {
+                    let stored_at = self.local_clock.fetch_add(1, Ordering::SeqCst) + 1;
+                    let record = AnalyticsRecord {
+                        key: key.clone(),
+                        score,
+                        fold_scores: folds,
+                        explanation,
+                        producer: self.name.clone(),
+                        stored_at,
+                    };
+                    self.journal.journal(record.clone());
+                    summary.journaled += 1;
+                    outcomes.push(CoopOutcome::Computed(record));
+                }
+                Err(e) => {
+                    summary.coop.failed += 1;
+                    outcomes.push(CoopOutcome::Failed(e));
+                }
+            }
+        }
+        // the online keys run the full cooperative protocol in one batch
+        if !online.is_empty() {
+            let darr = self.link.darr().expect("link was up when keys were gathered");
+            let coop = CooperativeClient::new(darr, self.name.clone(), self.claim_duration);
+            let online_keys: Vec<ComputationKey> =
+                online.iter().map(|&i| keys[i].clone()).collect();
+            let (coop_summary, coop_outcomes, report) =
+                coop.run_worklist_with_retry(&online_keys, &mut compute, policy);
+            summary.coop = coop_summary;
+            summary.retry = report;
+            for (slot, outcome) in online.into_iter().zip(coop_outcomes) {
+                outcomes[slot] = outcome;
+            }
+        }
+        if let Some(applied) = self.replay_journal() {
+            summary.replayed = applied;
+        }
+        (summary, outcomes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<ComputationKey> {
+        (0..n)
+            .map(|i| ComputationKey::new("ds", 1, &format!("p{i}") as &str, "kfold(3)", "rmse"))
+            .collect()
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::fixed(10.0, 3)
+    }
+
+    #[test]
+    fn online_pass_matches_cooperative_protocol() {
+        let darr = Darr::new();
+        let link = DarrLink::new(&darr);
+        let client = ResilientClient::new(&link, "a", 100);
+        let work = keys(4);
+        let (summary, outcomes) =
+            client.run_worklist(&work, |_| Ok((1.0, vec![], String::new())), &policy());
+        assert_eq!(summary.coop.computed, 4);
+        assert_eq!(summary.journaled, 0);
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(darr.len(), 4);
+    }
+
+    #[test]
+    fn partition_journals_then_replays_on_heal() {
+        let darr = Darr::new();
+        let link = DarrLink::new(&darr);
+        let client = ResilientClient::new(&link, "a", 100);
+        let work = keys(3);
+        link.set_up(false);
+        let (summary, outcomes) =
+            client.run_worklist(&work, |_| Ok((2.0, vec![], String::new())), &policy());
+        assert_eq!(summary.journaled, 3);
+        assert_eq!(summary.replayed, 0, "still partitioned — nothing replayed");
+        assert!(outcomes.iter().all(|o| matches!(o, CoopOutcome::Computed(_))));
+        assert_eq!(darr.len(), 0, "repository saw nothing during the partition");
+        assert_eq!(client.journaled(), 3);
+
+        link.set_up(true);
+        assert_eq!(client.replay_journal(), Some(3));
+        assert_eq!(client.journaled(), 0);
+        assert_eq!(darr.len(), 3);
+        assert_eq!(darr.lookup(&work[0]).unwrap().producer, "a");
+    }
+
+    #[test]
+    fn replay_defers_to_newer_results_from_other_clients() {
+        let darr = Darr::new();
+        let link = DarrLink::new(&darr);
+        let client = ResilientClient::new(&link, "offline", 100);
+        let work = keys(2);
+        link.set_up(false);
+        client.run_worklist(&work, |_| Ok((1.0, vec![], String::new())), &policy());
+        // while partitioned, another client computes one of the keys with a
+        // later DARR timestamp
+        darr.advance_clock(1000);
+        darr.complete(&work[0], "online", 9.0, vec![], "fresher");
+        link.set_up(true);
+        assert_eq!(client.replay_journal(), Some(1), "only the unseen key applies");
+        assert_eq!(darr.lookup(&work[0]).unwrap().producer, "online");
+        assert_eq!(darr.lookup(&work[1]).unwrap().producer, "offline");
+    }
+
+    #[test]
+    fn heal_mid_worklist_replays_at_the_end() {
+        let darr = Darr::new();
+        let link = DarrLink::new(&darr);
+        let client = ResilientClient::new(&link, "a", 100);
+        let work = keys(4);
+        link.set_up(false);
+        let mut seen = 0;
+        let (summary, _) = client.run_worklist(
+            &work,
+            |_| {
+                seen += 1;
+                if seen == 2 {
+                    // the partition heals while we are mid-list
+                    link.set_up(true);
+                }
+                Ok((1.0, vec![], String::new()))
+            },
+            &policy(),
+        );
+        assert_eq!(summary.journaled, 2);
+        assert_eq!(summary.coop.computed, 2);
+        assert_eq!(summary.replayed, 2);
+        assert_eq!(darr.len(), 4, "nothing lost across the heal");
+    }
+
+    #[test]
+    fn offline_compute_failure_is_counted_not_journaled() {
+        let darr = Darr::new();
+        let link = DarrLink::new(&darr);
+        let client = ResilientClient::new(&link, "a", 100);
+        link.set_up(false);
+        let (summary, outcomes) =
+            client.run_worklist(&keys(1), |_| Err("boom".to_string()), &policy());
+        assert_eq!(summary.coop.failed, 1);
+        assert_eq!(summary.journaled, 0);
+        assert!(matches!(outcomes[0], CoopOutcome::Failed(_)));
+    }
+}

@@ -416,9 +416,8 @@ mod tests {
 
     #[test]
     fn monte_carlo_varies_by_split() {
-        let splits = CvStrategy::MonteCarlo { n_splits: 3, test_fraction: 0.2, seed: 9 }
-            .splits(20)
-            .unwrap();
+        let splits =
+            CvStrategy::MonteCarlo { n_splits: 3, test_fraction: 0.2, seed: 9 }.splits(20).unwrap();
         assert_eq!(splits.len(), 3);
         assert_ne!(splits[0].validation, splits[1].validation);
         for s in &splits {
@@ -452,7 +451,7 @@ mod tests {
             // every validation index is strictly after train + buffer
             assert!(min_val > max_train + 2, "buffer must separate train and validation");
             assert_eq!(min_val, max_train + 4); // buffer of exactly 3
-            // windows are contiguous
+                                                // windows are contiguous
             assert_eq!(sp.train.len(), 10);
             assert_eq!(sp.validation.len(), 5);
             assert_eq!(*sp.train.last().unwrap() - sp.train[0], 9);
@@ -494,8 +493,7 @@ mod tests {
         let ds = crate::dataset::Dataset::new(coda_linalg::Matrix::zeros(100, 1))
             .with_target(y.clone())
             .unwrap();
-        let splits =
-            CvStrategy::StratifiedKFold { k: 5, seed: 3 }.splits_for(&ds).unwrap();
+        let splits = CvStrategy::StratifiedKFold { k: 5, seed: 3 }.splits_for(&ds).unwrap();
         assert_eq!(splits.len(), 5);
         let mut all_val = BTreeSet::new();
         for s in &splits {

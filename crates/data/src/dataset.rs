@@ -172,10 +172,7 @@ impl Dataset {
     /// Panics if any index is out of bounds.
     pub fn select(&self, indices: &[usize]) -> Dataset {
         let features = self.features.select_rows(indices);
-        let target = self
-            .target
-            .as_ref()
-            .map(|t| indices.iter().map(|&i| t[i]).collect());
+        let target = self.target.as_ref().map(|t| indices.iter().map(|&i| t[i]).collect());
         Dataset { features, target, feature_names: self.feature_names.clone() }
     }
 
@@ -220,10 +217,7 @@ impl Dataset {
     ///
     /// Panics if `test_fraction` is not within `(0, 1)`.
     pub fn train_test_split(&self, test_fraction: f64, seed: u64) -> (Dataset, Dataset) {
-        assert!(
-            test_fraction > 0.0 && test_fraction < 1.0,
-            "test_fraction must be in (0, 1)"
-        );
+        assert!(test_fraction > 0.0 && test_fraction < 1.0, "test_fraction must be in (0, 1)");
         let n = self.n_samples();
         let mut idx: Vec<usize> = (0..n).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -241,10 +235,7 @@ impl Dataset {
     ///
     /// Panics if `test_fraction` is not within `(0, 1)`.
     pub fn chronological_split(&self, test_fraction: f64) -> (Dataset, Dataset) {
-        assert!(
-            test_fraction > 0.0 && test_fraction < 1.0,
-            "test_fraction must be in (0, 1)"
-        );
+        assert!(test_fraction > 0.0 && test_fraction < 1.0, "test_fraction must be in (0, 1)");
         let n = self.n_samples();
         let n_train = ((n as f64) * (1.0 - test_fraction)).round() as usize;
         let n_train = n_train.clamp(1, n.saturating_sub(1));
@@ -307,8 +298,7 @@ impl Dataset {
         if has_target {
             let mut target = Vec::with_capacity(n);
             for _ in 0..n {
-                target
-                    .push(f64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes")));
+                target.push(f64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes")));
                 off += 8;
             }
             ds.with_target(target)

@@ -65,8 +65,7 @@ impl Transformer for SimpleImputer {
         let x = data.features();
         let mut fill = Vec::with_capacity(x.cols());
         for c in 0..x.cols() {
-            let observed: Vec<f64> =
-                x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
+            let observed: Vec<f64> = x.col(c).into_iter().filter(|v| !v.is_nan()).collect();
             if observed.is_empty() {
                 return Err(ComponentError::InvalidInput(format!(
                     "column {c} has no observed values to impute from"
@@ -84,10 +83,8 @@ impl Transformer for SimpleImputer {
     }
 
     fn transform(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
-        let fill = self
-            .fill
-            .as_ref()
-            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        let fill =
+            self.fill.as_ref().ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
         if fill.len() != data.n_features() {
             return Err(ComponentError::InvalidInput(format!(
                 "imputer fitted on {} features, input has {}",
@@ -191,8 +188,7 @@ impl Transformer for KnnImputer {
         let tx = train.features();
         let mut x = data.features().clone();
         for r in 0..x.rows() {
-            let missing: Vec<usize> =
-                (0..x.cols()).filter(|&c| x[(r, c)].is_nan()).collect();
+            let missing: Vec<usize> = (0..x.cols()).filter(|&c| x[(r, c)].is_nan()).collect();
             if missing.is_empty() {
                 continue;
             }
@@ -236,12 +232,8 @@ mod tests {
     use coda_linalg::Matrix;
 
     fn with_gap() -> Dataset {
-        let x = Matrix::from_rows(&[
-            &[1.0, 100.0],
-            &[2.0, f64::NAN],
-            &[3.0, 300.0],
-            &[100.0, 500.0],
-        ]);
+        let x =
+            Matrix::from_rows(&[&[1.0, 100.0], &[2.0, f64::NAN], &[3.0, 300.0], &[100.0, 500.0]]);
         Dataset::new(x)
     }
 

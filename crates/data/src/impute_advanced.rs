@@ -251,8 +251,7 @@ impl MatrixFactorizationImputer {
             *val = (((i as u64).wrapping_mul(2654435761) >> 16) % 1000) as f64 / 1000.0 - 0.5;
         }
         for (i, val) in v.as_mut_slice().iter_mut().enumerate() {
-            *val = (((i as u64 + 77).wrapping_mul(2654435761) >> 16) % 1000) as f64 / 1000.0
-                - 0.5;
+            *val = (((i as u64 + 77).wrapping_mul(2654435761) >> 16) % 1000) as f64 / 1000.0 - 0.5;
         }
         let observed: Vec<(usize, usize, f64)> = (0..n)
             .flat_map(|r| {

@@ -255,8 +255,7 @@ pub fn auc(y: &[f64], scores: &[f64]) -> Result<f64, MetricError> {
         }
         i = j + 1;
     }
-    let sum_pos_ranks: f64 =
-        y.iter().zip(&ranks).filter(|(v, _)| **v == 1.0).map(|(_, r)| r).sum();
+    let sum_pos_ranks: f64 = y.iter().zip(&ranks).filter(|(v, _)| **v == 1.0).map(|(_, r)| r).sum();
     let u = sum_pos_ranks - (n_pos * (n_pos + 1)) as f64 / 2.0;
     Ok(u / (n_pos * n_neg) as f64)
 }

@@ -77,8 +77,7 @@ pub fn detect_outliers(data: &Dataset, method: OutlierMethod) -> Vec<bool> {
 /// Returns `data` with outlying rows removed.
 pub fn remove_outliers(data: &Dataset, method: OutlierMethod) -> Dataset {
     let flags = detect_outliers(data, method);
-    let keep: Vec<usize> =
-        flags.iter().enumerate().filter(|(_, &f)| !f).map(|(i, _)| i).collect();
+    let keep: Vec<usize> = flags.iter().enumerate().filter(|(_, &f)| !f).map(|(i, _)| i).collect();
     data.select(&keep)
 }
 
@@ -190,12 +189,8 @@ mod tests {
     fn constant_column_never_flags() {
         let x = Matrix::from_rows(&[&[5.0], &[5.0], &[5.0], &[5.0]]);
         let ds = Dataset::new(x);
-        assert!(!detect_outliers(&ds, OutlierMethod::ZScore { threshold: 3.0 })
-            .iter()
-            .any(|&f| f));
-        assert!(!detect_outliers(&ds, OutlierMethod::Mad { threshold: 3.0 })
-            .iter()
-            .any(|&f| f));
+        assert!(!detect_outliers(&ds, OutlierMethod::ZScore { threshold: 3.0 }).iter().any(|&f| f));
+        assert!(!detect_outliers(&ds, OutlierMethod::Mad { threshold: 3.0 }).iter().any(|&f| f));
     }
 
     #[test]

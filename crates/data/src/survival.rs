@@ -77,9 +77,7 @@ impl SurvivalData {
     pub fn kaplan_meier(&self) -> Vec<(f64, f64)> {
         let mut order: Vec<usize> = (0..self.len()).collect();
         order.sort_by(|&a, &b| {
-            self.durations[a]
-                .partial_cmp(&self.durations[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            self.durations[a].partial_cmp(&self.durations[b]).unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut at_risk = self.len() as f64;
         let mut survival = 1.0;
@@ -152,11 +150,7 @@ pub fn log_rank_test(a: &SurvivalData, b: &SurvivalData) -> Result<(f64, bool), 
         g.durations.iter().filter(|&&d| d >= t).count() as f64
     };
     let events_at = |g: &SurvivalData, t: f64| -> f64 {
-        g.durations
-            .iter()
-            .zip(&g.observed)
-            .filter(|(&d, &o)| d == t && o)
-            .count() as f64
+        g.durations.iter().zip(&g.observed).filter(|(&d, &o)| d == t && o).count() as f64
     };
     let mut observed_a = 0.0;
     let mut expected_a = 0.0;
@@ -204,8 +198,7 @@ mod tests {
         // same times, but the longest two are censored: survival stays higher
         let full = SurvivalData::new(vec![1.0, 2.0, 3.0, 4.0], vec![true; 4]).unwrap();
         let censored =
-            SurvivalData::new(vec![1.0, 2.0, 3.0, 4.0], vec![true, true, false, false])
-                .unwrap();
+            SurvivalData::new(vec![1.0, 2.0, 3.0, 4.0], vec![true, true, false, false]).unwrap();
         assert!(censored.survival_at(3.5) > full.survival_at(3.5));
         // classic textbook check: KM with censoring
         // events at 1 (n=4) and 2 (n=3): S = 3/4 * 2/3 = 0.5

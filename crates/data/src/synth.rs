@@ -100,9 +100,8 @@ pub fn classification_blobs(
 ) -> Dataset {
     assert!(n_classes >= 2, "need at least two classes");
     let mut rng = StdRng::seed_from_u64(seed);
-    let centers: Vec<Vec<f64>> = (0..n_classes)
-        .map(|_| (0..d).map(|_| rng.gen_range(-5.0..5.0)).collect())
-        .collect();
+    let centers: Vec<Vec<f64>> =
+        (0..n_classes).map(|_| (0..d).map(|_| rng.gen_range(-5.0..5.0)).collect()).collect();
     let mut x = Matrix::zeros(n, d);
     let mut y = Vec::with_capacity(n);
     for r in 0..n {
@@ -204,8 +203,7 @@ pub fn multivariate_sensors(n: usize, v: usize, seed: u64) -> Matrix {
         for c in 0..v {
             let period = 24.0 + 12.0 * c as f64;
             m[(t, c)] = latent
-                + (1.0 + 0.3 * c as f64)
-                    * (2.0 * std::f64::consts::PI * t as f64 / period).sin()
+                + (1.0 + 0.3 * c as f64) * (2.0 * std::f64::consts::PI * t as f64 / period).sin()
                 + 0.3 * randn(&mut rng);
         }
     }
@@ -288,9 +286,8 @@ pub fn cohort_data(
 ) -> (Dataset, Vec<usize>) {
     assert!(n_cohorts >= 2, "need at least two cohorts");
     let mut rng = StdRng::seed_from_u64(seed);
-    let centers: Vec<Vec<f64>> = (0..n_cohorts)
-        .map(|_| (0..d).map(|_| rng.gen_range(-6.0..6.0)).collect())
-        .collect();
+    let centers: Vec<Vec<f64>> =
+        (0..n_cohorts).map(|_| (0..d).map(|_| rng.gen_range(-6.0..6.0)).collect()).collect();
     let mut x = Matrix::zeros(n_assets, d);
     let mut truth = Vec::with_capacity(n_assets);
     for r in 0..n_assets {
@@ -367,9 +364,7 @@ pub fn failure_times(
 
 /// Convenience: a Bernoulli(p) draw usable by callers composing generators.
 pub fn bernoulli(rng: &mut StdRng, p: f64) -> bool {
-    rand::distributions::Bernoulli::new(p.clamp(0.0, 1.0))
-        .map(|d| d.sample(rng))
-        .unwrap_or(false)
+    rand::distributions::Bernoulli::new(p.clamp(0.0, 1.0)).map(|d| d.sample(rng)).unwrap_or(false)
 }
 
 #[cfg(test)]

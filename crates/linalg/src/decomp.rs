@@ -293,9 +293,7 @@ mod tests {
         let a = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
         let b = [0.1, 0.9, 2.1, 2.9];
         let x = lstsq(&a, &b).unwrap();
-        let resid = |s: f64| -> f64 {
-            (0..4).map(|i| (b[i] - s * a[(i, 0)]).powi(2)).sum()
-        };
+        let resid = |s: f64| -> f64 { (0..4).map(|i| (b[i] - s * a[(i, 0)]).powi(2)).sum() };
         assert!(resid(x[0]) <= resid(0.9) + 1e-12);
         assert!(resid(x[0]) <= resid(1.1) + 1e-12);
     }

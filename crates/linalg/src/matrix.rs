@@ -212,15 +212,9 @@ impl Matrix {
     /// Returns [`MatrixError::ShapeMismatch`] if `v.len() != self.cols`.
     pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, MatrixError> {
         if v.len() != self.cols {
-            return Err(MatrixError::ShapeMismatch {
-                left: self.shape(),
-                right: (v.len(), 1),
-            });
+            return Err(MatrixError::ShapeMismatch { left: self.shape(), right: (v.len(), 1) });
         }
-        Ok(self
-            .iter_rows()
-            .map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum())
-            .collect())
+        Ok(self.iter_rows().map(|row| row.iter().zip(v).map(|(a, b)| a * b).sum()).collect())
     }
 
     /// Scales every entry by `s`, in place.

@@ -54,13 +54,13 @@ impl Transformer for RandomOversampler {
     fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
         match param {
             "target_ratio" => {
-                self.target_ratio = value
-                    .as_f64()
-                    .filter(|&r| r > 0.0 && r <= 1.0)
-                    .ok_or_else(|| ComponentError::InvalidParam {
-                        component: "random_oversampler".to_string(),
-                        param: param.to_string(),
-                        reason: "must be in (0, 1]".to_string(),
+                self.target_ratio =
+                    value.as_f64().filter(|&r| r > 0.0 && r <= 1.0).ok_or_else(|| {
+                        ComponentError::InvalidParam {
+                            component: "random_oversampler".to_string(),
+                            param: param.to_string(),
+                            reason: "must be in (0, 1]".to_string(),
+                        }
                     })?;
                 Ok(())
             }
@@ -87,10 +87,8 @@ impl Transformer for RandomOversampler {
         self.fit(data)?;
         let y = data.target_required()?;
         let classes = data.classes()?;
-        let counts: Vec<usize> = classes
-            .iter()
-            .map(|c| y.iter().filter(|&&v| v == *c).count())
-            .collect();
+        let counts: Vec<usize> =
+            classes.iter().map(|c| y.iter().filter(|&&v| v == *c).count()).collect();
         let majority = *counts.iter().max().expect("at least one class");
         let target = ((majority as f64) * self.target_ratio).round() as usize;
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -99,8 +97,7 @@ impl Transformer for RandomOversampler {
             if count >= target || count == 0 {
                 continue;
             }
-            let members: Vec<usize> =
-                (0..y.len()).filter(|&i| y[i] == *class).collect();
+            let members: Vec<usize> = (0..y.len()).filter(|&i| y[i] == *class).collect();
             for _ in 0..(target - count) {
                 indices.push(members[rng.gen_range(0..members.len())]);
             }

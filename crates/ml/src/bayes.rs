@@ -101,20 +101,13 @@ impl Estimator for GaussianNb {
         self.classes = labels
             .into_iter()
             .map(|label| {
-                let idx: Vec<usize> =
-                    (0..y.len()).filter(|&i| y[i] == label).collect();
+                let idx: Vec<usize> = (0..y.len()).filter(|&i| y[i] == label).collect();
                 let sub = data.select(&idx);
                 let sx = sub.features();
                 let means = sx.column_means();
-                let vars: Vec<f64> = (0..sx.cols())
-                    .map(|c| coda_linalg::variance(&sx.col(c)).max(floor))
-                    .collect();
-                ClassModel {
-                    label,
-                    log_prior: (idx.len() as f64 / n).ln(),
-                    means,
-                    vars,
-                }
+                let vars: Vec<f64> =
+                    (0..sx.cols()).map(|c| coda_linalg::variance(&sx.col(c)).max(floor)).collect();
+                ClassModel { label, log_prior: (idx.len() as f64 / n).ln(), means, vars }
             })
             .collect();
         Ok(())

@@ -106,14 +106,13 @@ impl Estimator for GradientBoostingRegressor {
                 Ok(())
             }
             "learning_rate" => {
-                self.learning_rate =
-                    value.as_f64().filter(|&x| x > 0.0).ok_or_else(|| {
-                        ComponentError::InvalidParam {
-                            component: self.name().to_string(),
-                            param: param.to_string(),
-                            reason: "must be positive".to_string(),
-                        }
-                    })?;
+                self.learning_rate = value.as_f64().filter(|&x| x > 0.0).ok_or_else(|| {
+                    ComponentError::InvalidParam {
+                        component: self.name().to_string(),
+                        param: param.to_string(),
+                        reason: "must be positive".to_string(),
+                    }
+                })?;
                 Ok(())
             }
             "max_depth" => {
@@ -228,8 +227,7 @@ mod tests {
         let (train, test) = ds.train_test_split(0.3, 9);
         let mut stump = DecisionTreeRegressor::new().with_max_depth(3);
         stump.fit(&train).unwrap();
-        let stump_r2 =
-            metrics::r2(test.target().unwrap(), &stump.predict(&test).unwrap()).unwrap();
+        let stump_r2 = metrics::r2(test.target().unwrap(), &stump.predict(&test).unwrap()).unwrap();
         let mut gb = GradientBoostingRegressor::new(80, 0.1);
         gb.fit(&train).unwrap();
         let gb_r2 = metrics::r2(test.target().unwrap(), &gb.predict(&test).unwrap()).unwrap();
@@ -239,9 +237,8 @@ mod tests {
     #[test]
     fn constant_target_predicts_constant() {
         let base = synth::linear_regression(50, 2, 0.0, 53);
-        let ds = coda_data::Dataset::new(base.features().clone())
-            .with_target(vec![3.0; 50])
-            .unwrap();
+        let ds =
+            coda_data::Dataset::new(base.features().clone()).with_target(vec![3.0; 50]).unwrap();
         let mut gb = GradientBoostingRegressor::new(10, 0.5);
         gb.fit(&ds).unwrap();
         assert!(gb.predict(&ds).unwrap().iter().all(|p| (p - 3.0).abs() < 1e-9));

@@ -66,31 +66,25 @@ macro_rules! forest {
                 $task
             }
 
-            fn set_param(
-                &mut self,
-                param: &str,
-                value: ParamValue,
-            ) -> Result<(), ComponentError> {
+            fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
                 let as_pos = |v: &ParamValue| v.as_usize().filter(|&x| x > 0);
                 match param {
                     "n_trees" | "n_estimators" => {
-                        self.n_trees = as_pos(&value).ok_or_else(|| {
-                            ComponentError::InvalidParam {
+                        self.n_trees =
+                            as_pos(&value).ok_or_else(|| ComponentError::InvalidParam {
                                 component: $display.to_string(),
                                 param: param.to_string(),
                                 reason: "must be a positive integer".to_string(),
-                            }
-                        })?;
+                            })?;
                         Ok(())
                     }
                     "max_depth" => {
-                        self.max_depth = as_pos(&value).ok_or_else(|| {
-                            ComponentError::InvalidParam {
+                        self.max_depth =
+                            as_pos(&value).ok_or_else(|| ComponentError::InvalidParam {
                                 component: $display.to_string(),
                                 param: param.to_string(),
                                 reason: "must be a positive integer".to_string(),
-                            }
-                        })?;
+                            })?;
                         Ok(())
                     }
                     _ => Err(ComponentError::UnknownParam {
@@ -125,11 +119,8 @@ macro_rules! forest {
                 if self.trees.is_empty() {
                     return Err(ComponentError::NotFitted(self.name().to_string()));
                 }
-                let per_tree: Vec<Vec<f64>> = self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict(data))
-                    .collect::<Result<_, _>>()?;
+                let per_tree: Vec<Vec<f64>> =
+                    self.trees.iter().map(|t| t.predict(data)).collect::<Result<_, _>>()?;
                 let n = data.n_samples();
                 let mut out = Vec::with_capacity(n);
                 for i in 0..n {
@@ -223,8 +214,7 @@ mod tests {
         let (train, test) = ds.train_test_split(0.3, 5);
         let mut tree = crate::tree::DecisionTreeRegressor::new().with_max_depth(12);
         tree.fit(&train).unwrap();
-        let tree_r2 =
-            metrics::r2(test.target().unwrap(), &tree.predict(&test).unwrap()).unwrap();
+        let tree_r2 = metrics::r2(test.target().unwrap(), &tree.predict(&test).unwrap()).unwrap();
         let mut rf = RandomForestRegressor::new(30).with_seed(1);
         rf.fit(&train).unwrap();
         let rf_r2 = metrics::r2(test.target().unwrap(), &rf.predict(&test).unwrap()).unwrap();

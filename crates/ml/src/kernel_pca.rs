@@ -152,8 +152,7 @@ impl Transformer for KernelPca {
             }
         }
         // double centring: Kc = K - 1K - K1 + 1K1
-        let row_means: Vec<f64> =
-            (0..n).map(|i| k.row(i).iter().sum::<f64>() / n as f64).collect();
+        let row_means: Vec<f64> = (0..n).map(|i| k.row(i).iter().sum::<f64>() / n as f64).collect();
         let total_mean = row_means.iter().sum::<f64>() / n as f64;
         let mut kc = Matrix::zeros(n, n);
         for i in 0..n {
@@ -253,18 +252,10 @@ mod tests {
 
     /// |mean difference| / pooled std between the two label groups.
     fn class_separation(values: &[f64], labels: &[f64]) -> f64 {
-        let a: Vec<f64> = values
-            .iter()
-            .zip(labels)
-            .filter(|(_, &l)| l == 0.0)
-            .map(|(v, _)| *v)
-            .collect();
-        let b: Vec<f64> = values
-            .iter()
-            .zip(labels)
-            .filter(|(_, &l)| l == 1.0)
-            .map(|(v, _)| *v)
-            .collect();
+        let a: Vec<f64> =
+            values.iter().zip(labels).filter(|(_, &l)| l == 0.0).map(|(v, _)| *v).collect();
+        let b: Vec<f64> =
+            values.iter().zip(labels).filter(|(_, &l)| l == 1.0).map(|(v, _)| *v).collect();
         let pooled = (coda_linalg::variance(&a) + coda_linalg::variance(&b)).sqrt().max(1e-9);
         (coda_linalg::mean(&a) - coda_linalg::mean(&b)).abs() / pooled
     }

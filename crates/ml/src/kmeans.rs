@@ -119,9 +119,7 @@ impl KMeans {
         let mut centers = Matrix::zeros(self.k, d);
         let first = rng.gen_range(0..n);
         centers.row_mut(0).copy_from_slice(x.row(first));
-        let mut dist2: Vec<f64> = (0..n)
-            .map(|i| sq_dist(x.row(i), centers.row(0)))
-            .collect();
+        let mut dist2: Vec<f64> = (0..n).map(|i| sq_dist(x.row(i), centers.row(0))).collect();
         for c in 1..self.k {
             let total: f64 = dist2.iter().sum();
             let pick = if total <= 0.0 {
@@ -199,10 +197,8 @@ impl KMeans {
     ///
     /// [`ComponentError::NotFitted`] before fitting.
     pub fn predict(&self, data: &Dataset) -> Result<Vec<usize>, ComponentError> {
-        let centers = self
-            .centers
-            .as_ref()
-            .ok_or_else(|| ComponentError::NotFitted("kmeans".to_string()))?;
+        let centers =
+            self.centers.as_ref().ok_or_else(|| ComponentError::NotFitted("kmeans".to_string()))?;
         if centers.cols() != data.n_features() {
             return Err(ComponentError::InvalidInput(format!(
                 "model fitted on {} features, input has {}",
@@ -240,15 +236,15 @@ pub fn purity(assignments: &[usize], truth: &[usize]) -> f64 {
     if assignments.is_empty() {
         return 0.0;
     }
-    let mut per_cluster: std::collections::BTreeMap<usize, std::collections::BTreeMap<usize, usize>> =
-        std::collections::BTreeMap::new();
+    let mut per_cluster: std::collections::BTreeMap<
+        usize,
+        std::collections::BTreeMap<usize, usize>,
+    > = std::collections::BTreeMap::new();
     for (&a, &t) in assignments.iter().zip(truth) {
         *per_cluster.entry(a).or_default().entry(t).or_insert(0) += 1;
     }
-    let majority_sum: usize = per_cluster
-        .values()
-        .map(|counts| counts.values().copied().max().unwrap_or(0))
-        .sum();
+    let majority_sum: usize =
+        per_cluster.values().map(|counts| counts.values().copied().max().unwrap_or(0)).sum();
     majority_sum as f64 / assignments.len() as f64
 }
 

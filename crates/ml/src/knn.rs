@@ -9,11 +9,8 @@ fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 
 /// Returns the indices of the `k` nearest training rows to `row`.
 fn nearest(train: &coda_linalg::Matrix, row: &[f64], k: usize) -> Vec<usize> {
-    let mut dists: Vec<(f64, usize)> = train
-        .iter_rows()
-        .enumerate()
-        .map(|(i, r)| (euclidean(r, row), i))
-        .collect();
+    let mut dists: Vec<(f64, usize)> =
+        train.iter_rows().enumerate().map(|(i, r)| (euclidean(r, row), i)).collect();
     dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
     dists.into_iter().take(k).map(|(_, i)| i).collect()
 }
@@ -48,11 +45,7 @@ macro_rules! knn {
                 $task
             }
 
-            fn set_param(
-                &mut self,
-                param: &str,
-                value: ParamValue,
-            ) -> Result<(), ComponentError> {
+            fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
                 match param {
                     "k" | "n_neighbors" => {
                         self.k = value.as_usize().filter(|&k| k > 0).ok_or_else(|| {

@@ -67,9 +67,7 @@ impl Transformer for Lda {
         let y = data.target_required()?;
         let classes = data.classes()?;
         if classes.len() < 2 {
-            return Err(ComponentError::InvalidInput(
-                "lda needs at least two classes".to_string(),
-            ));
+            return Err(ComponentError::InvalidInput("lda needs at least two classes".to_string()));
         }
         let x = data.features();
         let d = x.cols();
@@ -191,10 +189,8 @@ mod tests {
         let mut pca = crate::Pca::new(1);
         let pca_out = pca.fit_transform(&ds).unwrap();
         let sep = |v: &[f64], y: &[f64]| {
-            let a: Vec<f64> =
-                v.iter().zip(y).filter(|(_, &l)| l == 0.0).map(|(x, _)| *x).collect();
-            let b: Vec<f64> =
-                v.iter().zip(y).filter(|(_, &l)| l == 1.0).map(|(x, _)| *x).collect();
+            let a: Vec<f64> = v.iter().zip(y).filter(|(_, &l)| l == 0.0).map(|(x, _)| *x).collect();
+            let b: Vec<f64> = v.iter().zip(y).filter(|(_, &l)| l == 1.0).map(|(x, _)| *x).collect();
             (coda_linalg::mean(&a) - coda_linalg::mean(&b)).abs()
                 / (coda_linalg::std_dev(&a) + coda_linalg::std_dev(&b)).max(1e-9)
         };

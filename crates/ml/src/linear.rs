@@ -69,10 +69,8 @@ impl Estimator for LinearRegression {
     }
 
     fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
-        let coef = self
-            .coef
-            .as_ref()
-            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        let coef =
+            self.coef.as_ref().ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
         if coef.len() != data.n_features() + 1 {
             return Err(ComponentError::InvalidInput(format!(
                 "model fitted on {} features, input has {}",
@@ -169,10 +167,8 @@ impl Estimator for RidgeRegression {
     }
 
     fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
-        let coef = self
-            .coef
-            .as_ref()
-            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        let coef =
+            self.coef.as_ref().ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
         if coef.len() != data.n_features() + 1 {
             return Err(ComponentError::InvalidInput(format!(
                 "model fitted on {} features, input has {}",
@@ -217,10 +213,8 @@ impl LogisticRegression {
     ///
     /// [`ComponentError::NotFitted`] before fitting.
     pub fn predict_proba(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
-        let coef = self
-            .coef
-            .as_ref()
-            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        let coef =
+            self.coef.as_ref().ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
         if coef.len() != data.n_features() + 1 {
             return Err(ComponentError::InvalidInput(format!(
                 "model fitted on {} features, input has {}",
@@ -262,12 +256,11 @@ impl Estimator for LogisticRegression {
         let pos = |v: &ParamValue| v.as_f64().filter(|x| *x > 0.0);
         match param {
             "learning_rate" => {
-                self.learning_rate =
-                    pos(&value).ok_or_else(|| ComponentError::InvalidParam {
-                        component: "logistic_regression".to_string(),
-                        param: param.to_string(),
-                        reason: "must be positive".to_string(),
-                    })?;
+                self.learning_rate = pos(&value).ok_or_else(|| ComponentError::InvalidParam {
+                    component: "logistic_regression".to_string(),
+                    param: param.to_string(),
+                    reason: "must be positive".to_string(),
+                })?;
                 Ok(())
             }
             "max_iter" => {

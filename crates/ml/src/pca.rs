@@ -79,9 +79,7 @@ impl Transformer for Pca {
     fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
         let x = data.features();
         if x.rows() < 2 {
-            return Err(ComponentError::InvalidInput(
-                "pca needs at least two samples".to_string(),
-            ));
+            return Err(ComponentError::InvalidInput("pca needs at least two samples".to_string()));
         }
         let k = self.n_components.min(x.cols());
         let cov = x.covariance();
@@ -119,9 +117,8 @@ impl Transformer for Pca {
                 centered[(r, c)] -= means[c];
             }
         }
-        let projected = centered
-            .matmul(comps)
-            .map_err(|e| ComponentError::Numerical(e.to_string()))?;
+        let projected =
+            centered.matmul(comps).map_err(|e| ComponentError::Numerical(e.to_string()))?;
         Ok(data.replace_features(projected))
     }
 
@@ -181,10 +178,8 @@ mod tests {
         let out = pca.fit_transform(&ds).unwrap();
         for i in 0..3 {
             for j in (i + 1)..3 {
-                let corr = coda_linalg::stats::pearson(
-                    &out.features().col(i),
-                    &out.features().col(j),
-                );
+                let corr =
+                    coda_linalg::stats::pearson(&out.features().col(i), &out.features().col(j));
                 assert!(corr.abs() < 1e-6, "components {i},{j} correlate: {corr}");
             }
         }

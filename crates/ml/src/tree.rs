@@ -7,15 +7,8 @@ use coda_linalg::Matrix;
 /// A fitted tree node.
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf {
-        value: f64,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: usize,
-        right: usize,
-    },
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
 }
 
 /// Growth hyper-parameters shared by the regressor and classifier.
@@ -129,10 +122,7 @@ fn grow(
         nodes.push(Node::Leaf { value: leaf_value(y, &indices, criterion) });
         id
     };
-    if depth >= cfg.max_depth
-        || indices.len() < cfg.min_samples_split
-        || node_impurity <= 1e-12
-    {
+    if depth >= cfg.max_depth || indices.len() < cfg.min_samples_split || node_impurity <= 1e-12 {
         return make_leaf(nodes);
     }
     // choose candidate features
@@ -264,12 +254,10 @@ impl Tree {
                     out.push(format!("if {cond} then predict {value:.4}"));
                 }
                 Node::Split { feature, threshold, left, right } => {
-                    conditions
-                        .push(format!("{} <= {threshold:.4}", name(feature_names, *feature)));
+                    conditions.push(format!("{} <= {threshold:.4}", name(feature_names, *feature)));
                     rec(nodes, feature_names, *left, conditions, out);
                     conditions.pop();
-                    conditions
-                        .push(format!("{} > {threshold:.4}", name(feature_names, *feature)));
+                    conditions.push(format!("{} > {threshold:.4}", name(feature_names, *feature)));
                     rec(nodes, feature_names, *right, conditions, out);
                     conditions.pop();
                 }
@@ -375,21 +363,16 @@ macro_rules! tree_estimator {
                 $task
             }
 
-            fn set_param(
-                &mut self,
-                param: &str,
-                value: ParamValue,
-            ) -> Result<(), ComponentError> {
+            fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
                 let as_pos = |v: &ParamValue| v.as_usize().filter(|&x| x > 0);
                 match param {
                     "max_depth" => {
-                        self.cfg.max_depth = as_pos(&value).ok_or_else(|| {
-                            ComponentError::InvalidParam {
+                        self.cfg.max_depth =
+                            as_pos(&value).ok_or_else(|| ComponentError::InvalidParam {
                                 component: $display.to_string(),
                                 param: param.to_string(),
                                 reason: "must be a positive integer".to_string(),
-                            }
-                        })?;
+                            })?;
                         Ok(())
                     }
                     "min_samples_split" => {
@@ -403,13 +386,12 @@ macro_rules! tree_estimator {
                         Ok(())
                     }
                     "min_samples_leaf" => {
-                        self.cfg.min_samples_leaf = as_pos(&value).ok_or_else(|| {
-                            ComponentError::InvalidParam {
+                        self.cfg.min_samples_leaf =
+                            as_pos(&value).ok_or_else(|| ComponentError::InvalidParam {
                                 component: $display.to_string(),
                                 param: param.to_string(),
                                 reason: "must be a positive integer".to_string(),
-                            }
-                        })?;
+                            })?;
                         Ok(())
                     }
                     _ => Err(ComponentError::UnknownParam {
@@ -509,8 +491,7 @@ mod tests {
     fn min_samples_leaf_prevents_tiny_leaves() {
         let ds = synth::friedman1(100, 5, 0.1, 24);
         let mut deep = DecisionTreeRegressor::new().with_max_depth(20);
-        let mut stumpy =
-            DecisionTreeRegressor::new().with_max_depth(20).with_min_samples_leaf(25);
+        let mut stumpy = DecisionTreeRegressor::new().with_max_depth(20).with_min_samples_leaf(25);
         deep.fit(&ds).unwrap();
         stumpy.fit(&ds).unwrap();
         assert!(stumpy.fitted_depth().unwrap() < deep.fitted_depth().unwrap());

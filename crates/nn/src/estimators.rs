@@ -5,9 +5,7 @@
 //! architectures, each ending in a linear (regression) or sigmoid
 //! (classification) head.
 
-use coda_data::{
-    BoxedEstimator, ComponentError, Dataset, Estimator, ParamValue, TaskKind,
-};
+use coda_data::{BoxedEstimator, ComponentError, Dataset, Estimator, ParamValue, TaskKind};
 use coda_linalg::Matrix;
 
 use crate::layer::{Activation, Dense, Dropout};
@@ -139,11 +137,7 @@ macro_rules! mlp_estimator {
                 $task
             }
 
-            fn set_param(
-                &mut self,
-                param: &str,
-                value: ParamValue,
-            ) -> Result<(), ComponentError> {
+            fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
                 let bad = |reason: &str| ComponentError::InvalidParam {
                     component: $display.to_string(),
                     param: param.to_string(),
@@ -297,10 +291,8 @@ impl MlpClassifier {
     ///
     /// [`ComponentError::NotFitted`] before fitting.
     pub fn predict_proba(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
-        let net = self
-            .net
-            .as_ref()
-            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        let net =
+            self.net.as_ref().ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
         let mut net = net.clone();
         Ok(net.predict(data.features()).col(0))
     }

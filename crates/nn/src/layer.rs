@@ -332,10 +332,7 @@ mod tests {
         let minus: f64 = layer.forward(input, false).as_slice().iter().sum();
         layer.weights[(0, 0)] = orig;
         let numeric = (plus - minus) / (2.0 * eps);
-        assert!(
-            (analytic - numeric).abs() < 1e-4,
-            "analytic {analytic} vs numeric {numeric}"
-        );
+        assert!((analytic - numeric).abs() < 1e-4, "analytic {analytic} vs numeric {numeric}");
     }
 
     #[test]

@@ -55,22 +55,16 @@ impl Loss {
         let mut grad = Matrix::zeros(pred.rows(), pred.cols());
         match self {
             Loss::Mse => {
-                for ((g, p), t) in grad
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(pred.as_slice())
-                    .zip(target.as_slice())
+                for ((g, p), t) in
+                    grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
                 {
                     *g = 2.0 * (p - t) / n;
                 }
             }
             Loss::BinaryCrossEntropy => {
                 let eps = 1e-12;
-                for ((g, p), t) in grad
-                    .as_mut_slice()
-                    .iter_mut()
-                    .zip(pred.as_slice())
-                    .zip(target.as_slice())
+                for ((g, p), t) in
+                    grad.as_mut_slice().iter_mut().zip(pred.as_slice()).zip(target.as_slice())
                 {
                     let p = p.clamp(eps, 1.0 - eps);
                     *g = (-(t / p) + (1.0 - t) / (1.0 - p)) / n;
@@ -117,9 +111,7 @@ mod tests {
         let bad = Loss::BinaryCrossEntropy.value(&Matrix::from_rows(&[&[0.1]]), &target);
         assert!(good < bad);
         // clamped at extremes
-        assert!(Loss::BinaryCrossEntropy
-            .value(&Matrix::from_rows(&[&[0.0]]), &target)
-            .is_finite());
+        assert!(Loss::BinaryCrossEntropy.value(&Matrix::from_rows(&[&[0.0]]), &target).is_finite());
     }
 
     #[test]

@@ -416,12 +416,7 @@ mod tests {
         let rev = Matrix::from_rows(&[&[4.0, 3.0, 2.0, 1.0]]);
         let of = lstm.forward(&fwd, false);
         let or = lstm.forward(&rev, false);
-        let diff: f64 = of
-            .as_slice()
-            .iter()
-            .zip(or.as_slice())
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let diff: f64 = of.as_slice().iter().zip(or.as_slice()).map(|(a, b)| (a - b).abs()).sum();
         assert!(diff > 1e-6, "outputs must differ for reversed input");
     }
 }

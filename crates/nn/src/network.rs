@@ -116,10 +116,8 @@ impl Sequential {
         let mut pairs: Vec<(&mut Matrix, &mut Matrix)> =
             self.layers.iter_mut().flat_map(|l| l.params_and_grads()).collect();
         if let Some(max_norm) = self.grad_clip {
-            let total: f64 = pairs
-                .iter()
-                .map(|(_, g)| g.as_slice().iter().map(|v| v * v).sum::<f64>())
-                .sum();
+            let total: f64 =
+                pairs.iter().map(|(_, g)| g.as_slice().iter().map(|v| v * v).sum::<f64>()).sum();
             let norm = total.sqrt();
             if norm > max_norm {
                 let scale = max_norm / norm;
@@ -273,9 +271,7 @@ mod tests {
         let yr: Vec<&[f64]> = targets.iter().map(|r| r.as_slice()).collect();
         let x = Matrix::from_rows(&xr);
         let y = Matrix::from_rows(&yr);
-        let mut net = Sequential::new()
-            .push(Lstm::new(5, 1, 8, 8))
-            .push(Dense::new(8, 1, 9));
+        let mut net = Sequential::new().push(Lstm::new(5, 1, 8, 8)).push(Dense::new(8, 1, 9));
         let mut opt = Adam::new(0.01);
         let hist = net.fit(&x, &y, Loss::Mse, &mut opt, 150, 10, 3);
         assert!(hist.last().unwrap() < &0.05, "final loss {}", hist.last().unwrap());

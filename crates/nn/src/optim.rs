@@ -47,18 +47,13 @@ impl Sgd {
 impl Optimizer for Sgd {
     fn step(&mut self, params_and_grads: &mut [(&mut Matrix, &mut Matrix)]) {
         if self.velocity.len() != params_and_grads.len() {
-            self.velocity = params_and_grads
-                .iter()
-                .map(|(p, _)| vec![0.0; p.as_slice().len()])
-                .collect();
+            self.velocity =
+                params_and_grads.iter().map(|(p, _)| vec![0.0; p.as_slice().len()]).collect();
         }
         for (idx, (param, grad)) in params_and_grads.iter_mut().enumerate() {
             let vel = &mut self.velocity[idx];
-            for ((p, g), v) in param
-                .as_mut_slice()
-                .iter_mut()
-                .zip(grad.as_slice())
-                .zip(vel.iter_mut())
+            for ((p, g), v) in
+                param.as_mut_slice().iter_mut().zip(grad.as_slice()).zip(vel.iter_mut())
             {
                 *v = self.momentum * *v - self.lr * g;
                 *p += *v;
@@ -98,10 +93,7 @@ impl Adam {
 impl Optimizer for Adam {
     fn step(&mut self, params_and_grads: &mut [(&mut Matrix, &mut Matrix)]) {
         if self.m.len() != params_and_grads.len() {
-            self.m = params_and_grads
-                .iter()
-                .map(|(p, _)| vec![0.0; p.as_slice().len()])
-                .collect();
+            self.m = params_and_grads.iter().map(|(p, _)| vec![0.0; p.as_slice().len()]).collect();
             self.v = self.m.clone();
             self.t = 0;
         }

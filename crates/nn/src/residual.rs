@@ -36,11 +36,7 @@ impl Layer for Residual {
         for layer in &mut self.inner {
             cur = layer.forward(&cur, training);
         }
-        assert_eq!(
-            cur.shape(),
-            input.shape(),
-            "residual inner stack must preserve shape"
-        );
+        assert_eq!(cur.shape(), input.shape(), "residual inner stack must preserve shape");
         &cur + input
     }
 

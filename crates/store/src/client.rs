@@ -3,9 +3,10 @@
 //! notify-then-pull).
 
 use bytes::Bytes;
+use coda_chaos::{FaultInjector, RetryPolicy, RetryStats};
 use std::collections::BTreeMap;
 
-use crate::delta::{DeltaCodec, DeltaError};
+use crate::delta::{content_hash, DeltaCodec, DeltaError};
 use crate::home::{FetchReply, HomeDataStore};
 use crate::lease::UpdateMessage;
 
@@ -21,6 +22,17 @@ pub enum ClientError {
     },
     /// Delta application failed.
     Delta(DeltaError),
+    /// A pushed full value hashed differently from its recorded checksum —
+    /// the payload was corrupted in flight.
+    ChecksumMismatch {
+        /// Checksum recorded by the home store.
+        expected: u64,
+        /// Checksum of the received bytes.
+        actual: u64,
+    },
+    /// The home store could not be reached (message dropped, link down or
+    /// node crashed) — a transient fault worth retrying.
+    Unreachable,
 }
 
 impl std::fmt::Display for ClientError {
@@ -30,6 +42,10 @@ impl std::fmt::Display for ClientError {
                 write!(f, "delta needs base version {needed}, client holds {held}")
             }
             ClientError::Delta(e) => write!(f, "delta application failed: {e}"),
+            ClientError::ChecksumMismatch { expected, actual } => {
+                write!(f, "push payload checksum {actual:#018x}, expected {expected:#018x}")
+            }
+            ClientError::Unreachable => write!(f, "home store unreachable"),
         }
     }
 }
@@ -91,11 +107,8 @@ impl CachingClient {
                 Ok(true)
             }
             FetchReply::Delta(delta) => {
-                let (held_v, held_data) = self
-                    .cache
-                    .get(object)
-                    .cloned()
-                    .ok_or(ClientError::BaseVersionMismatch {
+                let (held_v, held_data) =
+                    self.cache.get(object).cloned().ok_or(ClientError::BaseVersionMismatch {
                         needed: delta.base_version,
                         held: 0,
                     })?;
@@ -106,8 +119,7 @@ impl CachingClient {
                     });
                 }
                 let rebuilt = DeltaCodec::apply(&held_data, &delta)?;
-                self.cache
-                    .insert(object.to_string(), (delta.target_version, rebuilt));
+                self.cache.insert(object.to_string(), (delta.target_version, rebuilt));
                 Ok(true)
             }
         }
@@ -122,16 +134,17 @@ impl CachingClient {
     pub fn apply_push(&mut self, message: &UpdateMessage) -> Result<(), ClientError> {
         self.bytes_received += message.wire_size() as u64;
         match message {
-            UpdateMessage::Full { object, version, data, .. } => {
+            UpdateMessage::Full { object, version, data, checksum, .. } => {
+                let actual = content_hash(data);
+                if actual != *checksum {
+                    return Err(ClientError::ChecksumMismatch { expected: *checksum, actual });
+                }
                 self.cache.insert(object.clone(), (*version, data.clone()));
                 Ok(())
             }
             UpdateMessage::Delta { object, delta, .. } => {
-                let (held_v, held_data) = self
-                    .cache
-                    .get(object)
-                    .cloned()
-                    .ok_or(ClientError::BaseVersionMismatch {
+                let (held_v, held_data) =
+                    self.cache.get(object).cloned().ok_or(ClientError::BaseVersionMismatch {
                         needed: delta.base_version,
                         held: 0,
                     })?;
@@ -146,6 +159,77 @@ impl CachingClient {
                 Ok(())
             }
             UpdateMessage::Notify { .. } => Ok(()),
+        }
+    }
+
+    /// Applies a push message; on any integrity failure (corrupted payload,
+    /// unusable delta) falls back to a fresh pull from the home store so the
+    /// cache still converges. Returns true when a fallback pull was needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] only when the fallback pull itself fails.
+    pub fn apply_push_or_repull(
+        &mut self,
+        store: &mut HomeDataStore,
+        message: &UpdateMessage,
+    ) -> Result<bool, ClientError> {
+        match self.apply_push(message) {
+            Ok(()) => Ok(false),
+            Err(_) => {
+                // the push payload is unusable; drop it and re-fetch
+                self.cache.remove(message.object());
+                self.pull(store, message.object())?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Like [`CachingClient::pull`], but the message (request + reply) is
+    /// subject to fault injection: a dropped message in either direction
+    /// surfaces as [`ClientError::Unreachable`].
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Unreachable`] on an injected drop, otherwise as
+    /// [`CachingClient::pull`].
+    pub fn pull_via(
+        &mut self,
+        store: &mut HomeDataStore,
+        object: &str,
+        chaos: &mut FaultInjector,
+    ) -> Result<bool, ClientError> {
+        let store_name = store.name().to_string();
+        if chaos.should_drop(&self.name, &store_name) || chaos.should_drop(&store_name, &self.name)
+        {
+            return Err(ClientError::Unreachable);
+        }
+        self.pull(store, object)
+    }
+
+    /// Pulls under a retry policy: transient [`ClientError::Unreachable`]
+    /// failures are retried with backoff (advancing the injector's logical
+    /// clock, so scheduled outages can heal between attempts); permanent
+    /// errors return immediately. Returns the final result plus per-call
+    /// retry accounting.
+    pub fn pull_with_retry(
+        &mut self,
+        store: &mut HomeDataStore,
+        object: &str,
+        chaos: &mut FaultInjector,
+        policy: &RetryPolicy,
+    ) -> (Result<bool, ClientError>, RetryStats) {
+        let mut state = policy.state();
+        loop {
+            state.begin_attempt();
+            match self.pull_via(store, object, chaos) {
+                Ok(found) => return (Ok(found), state.finish(true)),
+                Err(ClientError::Unreachable) => match state.next_backoff_ms() {
+                    Some(backoff) => chaos.advance_to(chaos.now_ms() + backoff),
+                    None => return (Err(ClientError::Unreachable), state.finish(false)),
+                },
+                Err(e) => return (Err(e), state.finish(false)),
+            }
         }
     }
 
@@ -261,5 +345,69 @@ mod tests {
         let (_, messages) = store.put("o", Bytes::from(v2));
         let err = client.apply_push(&messages[0]).unwrap_err();
         assert!(matches!(err, ClientError::BaseVersionMismatch { held: 0, .. }));
+    }
+
+    #[test]
+    fn corrupted_full_push_rejected_then_repulled() {
+        use crate::lease::UpdateMessage;
+        let mut store = HomeDataStore::new("h", 4);
+        let mut client = CachingClient::new("c");
+        let base = patterned(2000, 6);
+        store.put("o", base.clone());
+        client.pull(&mut store, "o").unwrap();
+        store.subscribe("c", "o", PushMode::Full, 100);
+        let v2: Vec<u8> = base.iter().map(|b| b ^ 0xAA).collect();
+        let (_, mut messages) = store.put("o", Bytes::from(v2.clone()));
+        // corrupt the payload in flight without touching the checksum
+        if let UpdateMessage::Full { data, .. } = &mut messages[0] {
+            let mut raw = data.to_vec();
+            raw[7] ^= 0x10;
+            *data = Bytes::from(raw);
+        }
+        let err = client.apply_push(&messages[0]).unwrap_err();
+        assert!(matches!(err, ClientError::ChecksumMismatch { .. }));
+        assert_eq!(client.held_version("o"), Some(1), "corrupt push must not apply");
+        // graceful fallback: reject the push, re-fetch from the store
+        assert!(client.apply_push_or_repull(&mut store, &messages[0]).unwrap());
+        assert_eq!(client.held_version("o"), Some(2));
+        assert_eq!(&client.held_data("o").unwrap()[..], &v2[..]);
+    }
+
+    #[test]
+    fn pull_with_retry_rides_out_random_drops() {
+        use coda_chaos::{FaultInjector, FaultPlan, RetryPolicy};
+        let mut store = HomeDataStore::new("h", 4);
+        let mut client = CachingClient::new("c");
+        store.put("o", patterned(500, 7));
+        let mut chaos = FaultInjector::new(FaultPlan::new(11).with_drop_probability(0.5));
+        let policy = RetryPolicy::exponential(5.0, 2.0, 40.0, 12);
+        let (result, stats) = client.pull_with_retry(&mut store, "o", &mut chaos, &policy);
+        assert_eq!(result, Ok(true));
+        assert_eq!(client.held_version("o"), Some(1));
+        assert_eq!(stats.successes, 1);
+        assert_eq!(stats.attempts, stats.retries + 1);
+    }
+
+    #[test]
+    fn pull_with_retry_waits_out_scheduled_outage() {
+        use coda_chaos::{FaultInjector, FaultPlan, RetryPolicy};
+        let mut store = HomeDataStore::new("h", 4);
+        let mut client = CachingClient::new("c");
+        store.put("o", patterned(500, 8));
+        let mut chaos = FaultInjector::new(FaultPlan::new(1).with_link_flap("c", "h", 0.0, 50.0));
+        // 20ms backoffs: the link heals at t=50, the fourth attempt succeeds
+        let policy = RetryPolicy::fixed(20.0, 6);
+        let (result, stats) = client.pull_with_retry(&mut store, "o", &mut chaos, &policy);
+        assert_eq!(result, Ok(true));
+        assert_eq!(stats.attempts, 4);
+        assert!(chaos.now_ms() >= 50.0);
+
+        // with too small an attempt budget the same outage is fatal
+        let mut client2 = CachingClient::new("c");
+        let mut chaos2 = FaultInjector::new(FaultPlan::new(1).with_link_flap("c", "h", 0.0, 50.0));
+        let tight = RetryPolicy::fixed(10.0, 3);
+        let (result2, stats2) = client2.pull_with_retry(&mut store, "o", &mut chaos2, &tight);
+        assert_eq!(result2, Err(ClientError::Unreachable));
+        assert_eq!(stats2.exhausted, 1);
     }
 }

@@ -32,17 +32,27 @@ pub enum DeltaError {
         /// Actual reconstructed size.
         actual: usize,
     },
+    /// The reconstructed bytes hash differently from the recorded target
+    /// checksum — the script or a literal was corrupted in flight.
+    ChecksumMismatch {
+        /// Checksum recorded at encode time.
+        expected: u64,
+        /// Checksum of the reconstructed bytes.
+        actual: u64,
+    },
 }
 
 impl fmt::Display for DeltaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeltaError::CopyOutOfRange { offset, len, base_len } => write!(
-                f,
-                "copy op [{offset}, {offset}+{len}) exceeds base length {base_len}"
-            ),
+            DeltaError::CopyOutOfRange { offset, len, base_len } => {
+                write!(f, "copy op [{offset}, {offset}+{len}) exceeds base length {base_len}")
+            }
             DeltaError::SizeMismatch { expected, actual } => {
                 write!(f, "reconstructed {actual} bytes, expected {expected}")
+            }
+            DeltaError::ChecksumMismatch { expected, actual } => {
+                write!(f, "reconstructed checksum {actual:#018x}, expected {expected:#018x}")
             }
         }
     }
@@ -73,6 +83,8 @@ pub struct Delta {
     pub target_version: u64,
     /// Size of the target, for integrity checking.
     pub target_len: usize,
+    /// Content hash of the target, for end-to-end integrity checking.
+    pub target_checksum: u64,
     /// The edit script.
     pub ops: Vec<DeltaOp>,
 }
@@ -88,7 +100,7 @@ impl Delta {
                 DeltaOp::Insert(b) => 9 + b.len(),
             })
             .sum::<usize>()
-            + 24 // versions + target_len header
+            + 32 // versions + target_len + target_checksum header
     }
 
     /// Number of literal (inserted) bytes.
@@ -115,6 +127,12 @@ fn block_hash(block: &[u8]) -> u64 {
         h = h.wrapping_mul(0x100000001b3);
     }
     h
+}
+
+/// Content hash (FNV-1a) used for end-to-end payload integrity: recorded at
+/// encode/push time, verified after reconstruction/receipt.
+pub fn content_hash(data: &[u8]) -> u64 {
+    block_hash(data)
 }
 
 impl DeltaCodec {
@@ -151,8 +169,7 @@ impl DeltaCodec {
                                 ))));
                             }
                             // merge with a preceding contiguous copy
-                            if let Some(DeltaOp::Copy { base_offset, len: plen }) = ops.last_mut()
-                            {
+                            if let Some(DeltaOp::Copy { base_offset, len: plen }) = ops.last_mut() {
                                 if *base_offset + *plen == cand {
                                     *plen += len;
                                     i += len;
@@ -176,7 +193,13 @@ impl DeltaCodec {
         if !pending.is_empty() {
             ops.push(DeltaOp::Insert(Bytes::from(pending)));
         }
-        Delta { base_version, target_version, target_len: target.len(), ops }
+        Delta {
+            base_version,
+            target_version,
+            target_len: target.len(),
+            target_checksum: content_hash(target),
+            ops,
+        }
     }
 
     /// Applies `delta` to `base`, reconstructing the target bytes.
@@ -184,7 +207,9 @@ impl DeltaCodec {
     /// # Errors
     ///
     /// [`DeltaError::CopyOutOfRange`] for corrupt scripts;
-    /// [`DeltaError::SizeMismatch`] when the output size disagrees.
+    /// [`DeltaError::SizeMismatch`] when the output size disagrees;
+    /// [`DeltaError::ChecksumMismatch`] when the output hashes differently
+    /// from the checksum recorded at encode time.
     pub fn apply(base: &[u8], delta: &Delta) -> Result<Bytes, DeltaError> {
         let mut out = Vec::with_capacity(delta.target_len);
         for op in &delta.ops {
@@ -203,10 +228,11 @@ impl DeltaCodec {
             }
         }
         if out.len() != delta.target_len {
-            return Err(DeltaError::SizeMismatch {
-                expected: delta.target_len,
-                actual: out.len(),
-            });
+            return Err(DeltaError::SizeMismatch { expected: delta.target_len, actual: out.len() });
+        }
+        let actual = content_hash(&out);
+        if actual != delta.target_checksum {
+            return Err(DeltaError::ChecksumMismatch { expected: delta.target_checksum, actual });
         }
         Ok(Bytes::from(out))
     }
@@ -298,6 +324,7 @@ mod tests {
             base_version: 1,
             target_version: 2,
             target_len: 10,
+            target_checksum: 0,
             ops: vec![DeltaOp::Copy { base_offset: 100, len: 10 }],
         };
         assert!(matches!(
@@ -312,12 +339,29 @@ mod tests {
             base_version: 1,
             target_version: 2,
             target_len: 99,
+            target_checksum: 0,
             ops: vec![DeltaOp::Insert(Bytes::from_static(b"abc"))],
         };
-        assert!(matches!(
-            DeltaCodec::apply(b"", &delta),
-            Err(DeltaError::SizeMismatch { .. })
-        ));
+        assert!(matches!(DeltaCodec::apply(b"", &delta), Err(DeltaError::SizeMismatch { .. })));
+    }
+
+    #[test]
+    fn corrupted_literal_rejected_by_checksum() {
+        let base: Vec<u8> = (0..1024).map(|i| (i % 251) as u8).collect();
+        let mut target = base.clone();
+        target[512] ^= 0x01;
+        let mut d = DeltaCodec::encode(&base, &target, 1, 2);
+        // flip one bit in a literal in flight: size still matches, so only
+        // the checksum catches it
+        for op in &mut d.ops {
+            if let DeltaOp::Insert(b) = op {
+                let mut raw = b.to_vec();
+                raw[0] ^= 0x80;
+                *b = Bytes::from(raw);
+                break;
+            }
+        }
+        assert!(matches!(DeltaCodec::apply(&base, &d), Err(DeltaError::ChecksumMismatch { .. })));
     }
 
     #[test]
@@ -326,11 +370,12 @@ mod tests {
             base_version: 1,
             target_version: 2,
             target_len: 8,
+            target_checksum: 0,
             ops: vec![
                 DeltaOp::Copy { base_offset: 0, len: 5 },
                 DeltaOp::Insert(Bytes::from_static(b"abc")),
             ],
         };
-        assert_eq!(d.wire_size(), 9 + (9 + 3) + 24);
+        assert_eq!(d.wire_size(), 9 + (9 + 3) + 32);
     }
 }

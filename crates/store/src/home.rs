@@ -6,7 +6,7 @@
 use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::delta::{Delta, DeltaCodec};
+use crate::delta::{content_hash, Delta, DeltaCodec};
 use crate::lease::{Lease, PushMode, UpdateMessage};
 
 /// How far below the full size a delta must be to be preferred
@@ -178,9 +178,7 @@ impl HomeDataStore {
         entry.deltas.clear();
         let (cur_version, cur_data) = (entry.version, entry.data.clone());
         for (v, old) in &entry.history {
-            entry
-                .deltas
-                .insert(*v, DeltaCodec::encode(old, &cur_data, *v, cur_version));
+            entry.deltas.insert(*v, DeltaCodec::encode(old, &cur_data, *v, cur_version));
         }
         // push to lease holders
         let mut messages = Vec::new();
@@ -195,13 +193,15 @@ impl HomeDataStore {
                         object: id.to_string(),
                         version: cur_version,
                         data: object.data.clone(),
+                        checksum: content_hash(&object.data),
                     }
                 }
                 PushMode::Delta => {
                     // delta from the immediately preceding version when kept
                     match object.deltas.get(&(cur_version - 1)) {
-                        Some(d) if (d.wire_size() as f64)
-                            < DELTA_ADVANTAGE * object.data.len() as f64 =>
+                        Some(d)
+                            if (d.wire_size() as f64)
+                                < DELTA_ADVANTAGE * object.data.len() as f64 =>
                         {
                             self.stats.record_delta(d.wire_size());
                             UpdateMessage::Delta {
@@ -217,6 +217,7 @@ impl HomeDataStore {
                                 object: id.to_string(),
                                 version: cur_version,
                                 data: object.data.clone(),
+                                checksum: content_hash(&object.data),
                             }
                         }
                     }
@@ -264,9 +265,7 @@ impl HomeDataStore {
                 FetchReply::UpToDate { version: v }
             }
             Some(v) => match object.deltas.get(&v) {
-                Some(d)
-                    if (d.wire_size() as f64) < DELTA_ADVANTAGE * object.data.len() as f64 =>
-                {
+                Some(d) if (d.wire_size() as f64) < DELTA_ADVANTAGE * object.data.len() as f64 => {
                     self.stats.record_delta(d.wire_size());
                     FetchReply::Delta(d.clone())
                 }
@@ -298,8 +297,7 @@ impl HomeDataStore {
             mode,
             expires_at: self.clock + duration,
         };
-        self.leases
-            .retain(|l| !(l.client == lease.client && l.object == lease.object));
+        self.leases.retain(|l| !(l.client == lease.client && l.object == lease.object));
         self.leases.push(lease.clone());
         lease
     }
@@ -342,7 +340,9 @@ mod tests {
     }
 
     fn patterned(n: usize, seed: u8) -> Bytes {
-        Bytes::from((0..n).map(|i| ((i as u64 * 31 + seed as u64) % 251) as u8).collect::<Vec<u8>>())
+        Bytes::from(
+            (0..n).map(|i| ((i as u64 * 31 + seed as u64) % 251) as u8).collect::<Vec<u8>>(),
+        )
     }
 
     #[test]

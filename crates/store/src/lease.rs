@@ -47,6 +47,9 @@ pub enum UpdateMessage {
         version: u64,
         /// Object bytes.
         data: Bytes,
+        /// Content hash of `data` recorded at the home store, verified by
+        /// the receiving client.
+        checksum: u64,
     },
     /// Delta from the previous version.
     Delta {
@@ -92,7 +95,7 @@ impl UpdateMessage {
     /// Bytes on the wire.
     pub fn wire_size(&self) -> usize {
         match self {
-            UpdateMessage::Full { data, .. } => data.len() + 16,
+            UpdateMessage::Full { data, .. } => data.len() + 24,
             UpdateMessage::Delta { delta, .. } => delta.wire_size(),
             UpdateMessage::Notify { .. } => 32,
         }
@@ -101,9 +104,7 @@ impl UpdateMessage {
     /// The version the message advertises.
     pub fn version(&self) -> u64 {
         match self {
-            UpdateMessage::Full { version, .. } | UpdateMessage::Notify { version, .. } => {
-                *version
-            }
+            UpdateMessage::Full { version, .. } | UpdateMessage::Notify { version, .. } => *version,
             UpdateMessage::Delta { delta, .. } => delta.target_version,
         }
     }
@@ -130,8 +131,9 @@ mod tests {
             object: "o".into(),
             version: 2,
             data: Bytes::from_static(b"abcd"),
+            checksum: crate::delta::content_hash(b"abcd"),
         };
-        assert_eq!(f.wire_size(), 20);
+        assert_eq!(f.wire_size(), 28);
         assert_eq!(f.version(), 2);
     }
 }

@@ -33,8 +33,8 @@ pub mod replication;
 pub mod tier;
 pub mod trigger;
 
-pub use client::CachingClient;
-pub use delta::{Delta, DeltaCodec, DeltaError};
+pub use client::{CachingClient, ClientError};
+pub use delta::{content_hash, Delta, DeltaCodec, DeltaError, DeltaOp};
 pub use home::{FetchReply, HomeDataStore, TransferStats};
 pub use lease::{Lease, PushMode, UpdateMessage};
 pub use replication::{ReplicatedStore, ReplicationError};

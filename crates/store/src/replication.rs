@@ -10,6 +10,7 @@
 //! versions.
 
 use bytes::Bytes;
+use coda_chaos::{RetryPolicy, RetryStats};
 
 use crate::home::{FetchReply, HomeDataStore};
 
@@ -164,13 +165,58 @@ impl ReplicatedStore {
             .collect();
         for i in order {
             if self.sites[i].up {
-                return Ok(self.sites[i]
-                    .store
-                    .fetch(id, client_version)
-                    .expect("infallible"));
+                return Ok(self.sites[i].store.fetch(id, client_version).expect("infallible"));
             }
         }
         Err(ReplicationError::AllSitesDown)
+    }
+
+    /// Writes under a retry policy: [`ReplicationError::AllSitesDown`] is
+    /// treated as transient (a disaster window that may heal), so between
+    /// attempts `repair` is called with the store and the 1-based attempt
+    /// number — recovery hooks (site restarts driven by a fault schedule)
+    /// run there. Returns the final result plus retry accounting.
+    pub fn put_with_retry(
+        &mut self,
+        id: &str,
+        data: Bytes,
+        policy: &RetryPolicy,
+        mut repair: impl FnMut(&mut Self, u32),
+    ) -> (Result<u64, ReplicationError>, RetryStats) {
+        let mut state = policy.state();
+        loop {
+            let attempt = state.begin_attempt();
+            match self.put(id, data.clone()) {
+                Ok(v) => return (Ok(v), state.finish(true)),
+                Err(ReplicationError::AllSitesDown) => match state.next_backoff_ms() {
+                    Some(_) => repair(self, attempt),
+                    None => return (Err(ReplicationError::AllSitesDown), state.finish(false)),
+                },
+                Err(e) => return (Err(e), state.finish(false)),
+            }
+        }
+    }
+
+    /// Read-side twin of [`ReplicatedStore::put_with_retry`].
+    pub fn fetch_with_retry(
+        &mut self,
+        id: &str,
+        client_version: Option<u64>,
+        policy: &RetryPolicy,
+        mut repair: impl FnMut(&mut Self, u32),
+    ) -> (Result<Option<FetchReply>, ReplicationError>, RetryStats) {
+        let mut state = policy.state();
+        loop {
+            let attempt = state.begin_attempt();
+            match self.fetch(id, client_version) {
+                Ok(reply) => return (Ok(reply), state.finish(true)),
+                Err(ReplicationError::AllSitesDown) => match state.next_backoff_ms() {
+                    Some(_) => repair(self, attempt),
+                    None => return (Err(ReplicationError::AllSitesDown), state.finish(false)),
+                },
+                Err(e) => return (Err(e), state.finish(false)),
+            }
+        }
     }
 
     /// The committed version visible at each available site (diagnostics).
@@ -250,6 +296,40 @@ mod tests {
         rs.put("o", blob(3, 32)).unwrap(); // catch-up happens here
         let versions = rs.site_versions("o");
         assert!(versions.iter().all(|(_, v)| *v == Some(3)), "versions: {versions:?}");
+    }
+
+    #[test]
+    fn put_with_retry_waits_for_site_recovery() {
+        use coda_chaos::RetryPolicy;
+        let mut rs = ReplicatedStore::new(1, 4);
+        rs.put("o", blob(1, 32)).unwrap();
+        rs.fail_site("site-0").unwrap();
+        rs.fail_site("site-1").unwrap();
+        let policy = RetryPolicy::fixed(10.0, 5);
+        // the disaster heals on the 3rd attempt
+        let (result, stats) = rs.put_with_retry("o", blob(2, 32), &policy, |store, attempt| {
+            if attempt == 2 {
+                store.recover_site("site-1").unwrap();
+            }
+        });
+        assert_eq!(result, Ok(2));
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.successes, 1);
+        assert_eq!(rs.primary_name(), "site-1");
+    }
+
+    #[test]
+    fn fetch_with_retry_exhausts_when_nothing_recovers() {
+        use coda_chaos::RetryPolicy;
+        let mut rs = ReplicatedStore::new(1, 4);
+        rs.put("o", blob(1, 16)).unwrap();
+        rs.fail_site("site-0").unwrap();
+        rs.fail_site("site-1").unwrap();
+        let policy = RetryPolicy::fixed(5.0, 3);
+        let (result, stats) = rs.fetch_with_retry("o", None, &policy, |_, _| {});
+        assert_eq!(result.unwrap_err(), ReplicationError::AllSitesDown);
+        assert_eq!(stats.attempts, 3);
+        assert_eq!(stats.exhausted, 1);
     }
 
     #[test]

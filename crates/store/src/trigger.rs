@@ -121,8 +121,7 @@ mod tests {
 
     #[test]
     fn app_specific_trigger_uses_magnitude() {
-        let trigger =
-            RecomputeTrigger::AppSpecific(Box::new(|s: &UpdateStats| s.magnitude > 1.0));
+        let trigger = RecomputeTrigger::AppSpecific(Box::new(|s: &UpdateStats| s.magnitude > 1.0));
         let mut m = ChangeMonitor::new(trigger);
         assert!(!m.record_update(1_000_000, 0.5)); // big but low-drift
         assert!(m.record_update(1, 0.6)); // cumulative drift 1.1

@@ -186,8 +186,7 @@ mod tests {
         let detector = AnomalyAnalysis::new().fit(&data).unwrap();
         let report = detector.detect(&data).unwrap();
         let truth_f: Vec<f64> = truth.iter().map(|&t| if t { 1.0 } else { 0.0 }).collect();
-        let flags_f: Vec<f64> =
-            report.flags.iter().map(|&f| if f { 1.0 } else { 0.0 }).collect();
+        let flags_f: Vec<f64> = report.flags.iter().map(|&f| if f { 1.0 } else { 0.0 }).collect();
         let f1 = metrics::f1_score(&truth_f, &flags_f, 1.0).unwrap();
         assert!(f1 > 0.7, "f1 = {f1}");
     }

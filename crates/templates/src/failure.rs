@@ -5,8 +5,8 @@
 use coda_core::{Evaluator, TegBuilder};
 use coda_data::{CvStrategy, Dataset, Metric, NoOp};
 use coda_ml::{
-    DecisionTreeClassifier, GaussianNb, KnnClassifier, LogisticRegression,
-    RandomForestClassifier, StandardScaler,
+    DecisionTreeClassifier, GaussianNb, KnnClassifier, LogisticRegression, RandomForestClassifier,
+    StandardScaler,
 };
 
 use crate::TemplateError;
@@ -74,10 +74,7 @@ impl FailurePredictionAnalysis {
             ));
         }
         let graph = TegBuilder::new()
-            .add_feature_scalers(vec![
-                Box::new(StandardScaler::new()),
-                Box::new(NoOp::new()),
-            ])
+            .add_feature_scalers(vec![Box::new(StandardScaler::new()), Box::new(NoOp::new())])
             .add_models(vec![
                 Box::new(LogisticRegression::new()),
                 Box::new(DecisionTreeClassifier::new()),
@@ -103,14 +100,9 @@ impl FailurePredictionAnalysis {
         use coda_data::Estimator;
         rf.fit(data).map_err(|e| TemplateError::Evaluation(e.to_string()))?;
         let importances = rf.feature_importances().unwrap_or_default();
-        let mut factor_ranking: Vec<(String, f64)> = data
-            .feature_names()
-            .iter()
-            .cloned()
-            .zip(importances)
-            .collect();
-        factor_ranking
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let mut factor_ranking: Vec<(String, f64)> =
+            data.feature_names().iter().cloned().zip(importances).collect();
+        factor_ranking.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
         Ok(FailureReport {
             best_pipeline: best.spec.steps.clone(),
             f1: best.mean_score,
@@ -150,9 +142,8 @@ mod tests {
         // temperature and vibration track wear; load is pure noise
         let data = synth::failure_prediction_data(22, 70, 10, 42);
         let report = FailurePredictionAnalysis::new().with_fast_settings().run(&data).unwrap();
-        let rank_of = |name: &str| {
-            report.factor_ranking.iter().position(|(n, _)| n == name).unwrap()
-        };
+        let rank_of =
+            |name: &str| report.factor_ranking.iter().position(|(n, _)| n == name).unwrap();
         assert!(rank_of("load") > rank_of("temperature"));
         assert!(rank_of("load") > rank_of("vibration"));
     }

@@ -42,12 +42,8 @@ impl FailureTimeAnalysis {
         observed: Vec<bool>,
     ) -> Result<LifetimeReport, TemplateError> {
         let naive_mean = {
-            let failures: Vec<f64> = durations
-                .iter()
-                .zip(&observed)
-                .filter(|(_, &o)| o)
-                .map(|(&d, _)| d)
-                .collect();
+            let failures: Vec<f64> =
+                durations.iter().zip(&observed).filter(|(_, &o)| o).map(|(&d, _)| d).collect();
             coda_linalg::mean(&failures)
         };
         let data = SurvivalData::new(durations, observed)
@@ -72,10 +68,10 @@ impl FailureTimeAnalysis {
         a: (Vec<f64>, Vec<bool>),
         b: (Vec<f64>, Vec<bool>),
     ) -> Result<(f64, bool), TemplateError> {
-        let sa = SurvivalData::new(a.0, a.1)
-            .map_err(|e| TemplateError::InvalidData(e.to_string()))?;
-        let sb = SurvivalData::new(b.0, b.1)
-            .map_err(|e| TemplateError::InvalidData(e.to_string()))?;
+        let sa =
+            SurvivalData::new(a.0, a.1).map_err(|e| TemplateError::InvalidData(e.to_string()))?;
+        let sb =
+            SurvivalData::new(b.0, b.1).map_err(|e| TemplateError::InvalidData(e.to_string()))?;
         log_rank_test(&sa, &sb).map_err(|e| TemplateError::InvalidData(e.to_string()))
     }
 }

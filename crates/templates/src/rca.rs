@@ -111,9 +111,7 @@ impl RootCauseAnalysis {
             // collinear designs: fall back to ridge
             Err(_) => {
                 let mut ridge = coda_ml::RidgeRegression::new(1.0);
-                ridge
-                    .fit(&standardized)
-                    .map_err(|e| TemplateError::Evaluation(e.to_string()))?;
+                ridge.fit(&standardized).map_err(|e| TemplateError::Evaluation(e.to_string()))?;
                 ridge.coefficients().expect("fitted")[1..].to_vec()
             }
         };
@@ -155,8 +153,7 @@ mod tests {
         let (data, causal) = synth::root_cause_data(400, 8, 3, 51);
         let report = RootCauseAnalysis::new().with_fast_settings().run(&data).unwrap();
         assert!(report.explained_r2 > 0.8, "r2 = {}", report.explained_r2);
-        let top: Vec<String> =
-            report.top_factors(3).into_iter().map(str::to_string).collect();
+        let top: Vec<String> = report.top_factors(3).into_iter().map(str::to_string).collect();
         for c in &causal {
             let name = format!("x{c}");
             assert!(top.contains(&name), "causal factor {name} missing from top-3 {top:?}");
@@ -209,10 +206,7 @@ mod tests {
         assert!(report.rules.len() <= 8, "depth-3 surrogate");
         let causal_names: Vec<String> = causal.iter().map(|c| format!("x{c}")).collect();
         assert!(
-            report
-                .rules
-                .iter()
-                .any(|r| causal_names.iter().any(|n| r.contains(n.as_str()))),
+            report.rules.iter().any(|r| causal_names.iter().any(|n| r.contains(n.as_str()))),
             "rules must reference a causal factor: {:?}",
             report.rules
         );
@@ -221,9 +215,6 @@ mod tests {
     #[test]
     fn requires_target() {
         let bare = coda_data::Dataset::new(coda_linalg::Matrix::zeros(10, 3));
-        assert!(matches!(
-            RootCauseAnalysis::new().run(&bare),
-            Err(TemplateError::InvalidData(_))
-        ));
+        assert!(matches!(RootCauseAnalysis::new().run(&bare), Err(TemplateError::InvalidData(_))));
     }
 }

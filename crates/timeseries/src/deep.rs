@@ -104,10 +104,7 @@ fn set_train_param(
             Ok(())
         }
         "seed" => {
-            cfg.seed = value
-                .as_i64()
-                .map(|x| x as u64)
-                .ok_or_else(|| bad("must be an integer"))?;
+            cfg.seed = value.as_i64().map(|x| x as u64).ok_or_else(|| bad("must be an integer"))?;
             Ok(())
         }
         _ => Err(ComponentError::UnknownParam {
@@ -127,11 +124,7 @@ fn check_width(expected: usize, data: &Dataset, name: &str) -> Result<(), Compon
     Ok(())
 }
 
-fn fit_net(
-    net: &mut Sequential,
-    data: &Dataset,
-    cfg: &TrainCfg,
-) -> Result<(), ComponentError> {
+fn fit_net(net: &mut Sequential, data: &Dataset, cfg: &TrainCfg) -> Result<(), ComponentError> {
     let y = data.target_required()?;
     let ty = Matrix::from_vec(y.len(), 1, y.to_vec());
     let mut opt = Adam::new(cfg.learning_rate);
@@ -183,11 +176,7 @@ macro_rules! deep_forecaster_common {
                 TaskKind::Forecasting
             }
 
-            fn set_param(
-                &mut self,
-                param: &str,
-                value: ParamValue,
-            ) -> Result<(), ComponentError> {
+            fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
                 set_train_param(&mut self.cfg, $display, param, value)
             }
 
@@ -344,10 +333,11 @@ impl CnnForecaster {
             (len1p, f)
         };
         let flat = final_len * final_ch;
-        Ok(net
-            .push(Dense::new(flat, 16, s + 2))
-            .push(Activation::relu())
-            .push(Dense::new(16, 1, s + 3)))
+        Ok(net.push(Dense::new(flat, 16, s + 2)).push(Activation::relu()).push(Dense::new(
+            16,
+            1,
+            s + 3,
+        )))
     }
 }
 
@@ -395,9 +385,7 @@ impl WaveNetForecaster {
                 .push(Conv1d::new(self.history, c, c, 2, dilation, true, s + 1 + b as u64))
                 .push(Activation::relu());
         }
-        Ok(net
-            .push(TakeLast1d::new(self.history, c))
-            .push(Dense::new(c, 1, s + 100)))
+        Ok(net.push(TakeLast1d::new(self.history, c)).push(Dense::new(c, 1, s + 100)))
     }
 }
 
@@ -436,8 +424,8 @@ impl SeriesNetForecaster {
     fn build_net(&self) -> Result<Sequential, ComponentError> {
         let s = self.cfg.seed;
         let c = self.channels;
-        let mut net = Sequential::new()
-            .push(Conv1d::new(self.history, self.vars, c, 1, 1, true, s));
+        let mut net =
+            Sequential::new().push(Conv1d::new(self.history, self.vars, c, 1, 1, true, s));
         for b in 0..self.n_blocks {
             let dilation = 1usize << b;
             net = net.push(Residual::new(vec![
@@ -445,9 +433,7 @@ impl SeriesNetForecaster {
                 Box::new(Activation::tanh()),
             ]));
         }
-        Ok(net
-            .push(GlobalAvgPool1d::new(self.history, c))
-            .push(Dense::new(c, 1, s + 100)))
+        Ok(net.push(GlobalAvgPool1d::new(self.history, c)).push(Dense::new(c, 1, s + 100)))
     }
 }
 
@@ -484,8 +470,7 @@ impl DnnForecaster {
     fn build_net(&self) -> Result<Sequential, ComponentError> {
         let s = self.cfg.seed;
         let w = self.width;
-        let sizes: Vec<usize> =
-            if self.deep { vec![w, w, w / 2, w / 2] } else { vec![w, w / 2] };
+        let sizes: Vec<usize> = if self.deep { vec![w, w, w / 2, w / 2] } else { vec![w, w / 2] };
         let mut net = Sequential::new();
         let mut cur = self.in_dim;
         for (i, h) in sizes.into_iter().enumerate() {
@@ -516,9 +501,8 @@ mod tests {
 
     /// RMSE of a fitted forecaster vs the zero baseline on a sine wave.
     fn beats_zero(mut model: impl Estimator, p: usize) -> (f64, f64) {
-        let series: Vec<f64> = (0..360)
-            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 24.0).sin() * 3.0)
-            .collect();
+        let series: Vec<f64> =
+            (0..360).map(|i| (2.0 * std::f64::consts::PI * i as f64 / 24.0).sin() * 3.0).collect();
         let data = windowed(series.clone(), p);
         let (train, test) = data.chronological_split(0.25);
         model.fit(&train).unwrap();

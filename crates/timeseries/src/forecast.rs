@@ -62,8 +62,7 @@ pub fn recursive_forecast(
         // label slot is the unknown next value we want.
         let mut extended = history.clone();
         extended.push(*history.last().expect("series is non-empty"));
-        let current =
-            SeriesData::new(Matrix::from_vec(extended.len(), 1, extended), 0);
+        let current = SeriesData::new(Matrix::from_vec(extended.len(), 1, extended), 0);
         let preds = pipeline.predict(&current.to_dataset())?;
         let next = *preds.last().ok_or_else(|| {
             ComponentError::InvalidInput("pipeline produced no predictions".to_string())
@@ -122,18 +121,15 @@ mod tests {
             Box::new(ArForecaster::new())
         };
         Pipeline::from_nodes(vec![
-            Node::auto(
-                (Box::new(TsAsIs::new(WindowConfig::new(p, 1))) as BoxedTransformer).into(),
-            ),
+            Node::auto((Box::new(TsAsIs::new(WindowConfig::new(p, 1))) as BoxedTransformer).into()),
             Node::auto(model.into()),
         ])
     }
 
     #[test]
     fn tracks_a_sine_wave_over_many_steps() {
-        let series: Vec<f64> = (0..200)
-            .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin() * 3.0)
-            .collect();
+        let series: Vec<f64> =
+            (0..200).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin() * 3.0).collect();
         let train = SeriesData::univariate(series[..160].to_vec());
         let mut pipeline = ar_pipeline(20, false);
         pipeline.fit(&train.to_dataset()).unwrap();
@@ -158,9 +154,7 @@ mod tests {
     fn zero_model_forecast_is_flat() {
         let series = SeriesData::univariate(synth::random_walk(100, 1.0, 51));
         let mut pipeline = Pipeline::from_nodes(vec![
-            Node::auto(
-                (Box::new(TsAsIs::new(WindowConfig::new(5, 1))) as BoxedTransformer).into(),
-            ),
+            Node::auto((Box::new(TsAsIs::new(WindowConfig::new(5, 1))) as BoxedTransformer).into()),
             Node::auto((Box::new(ZeroModel::new()) as BoxedEstimator).into()),
         ]);
         pipeline.fit(&series.to_dataset()).unwrap();
@@ -172,9 +166,7 @@ mod tests {
     #[test]
     fn backtest_ranks_ar_above_zero_on_seasonal_data() {
         let series = SeriesData::univariate(
-            (0..300)
-                .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin() * 2.0)
-                .collect(),
+            (0..300).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin() * 2.0).collect(),
         );
         let mut ar = ar_pipeline(12, false);
         let ar_rmse = backtest_forecast(&mut ar, &series, 250).unwrap();
@@ -195,7 +187,7 @@ mod tests {
         assert!(recursive_forecast(&pipeline, &mv, 3).is_err());
         let uni = SeriesData::univariate((0..50).map(|i| i as f64).collect());
         assert!(recursive_forecast(&pipeline, &uni, 0).is_err()); // steps = 0
-        // unfitted pipeline fails inside predict
+                                                                  // unfitted pipeline fails inside predict
         assert!(recursive_forecast(&pipeline, &uni, 2).is_err());
         let mut p = ar_pipeline(4, false);
         assert!(backtest_forecast(&mut p, &uni, 0).is_err());

@@ -36,7 +36,9 @@ pub mod pipeline;
 pub mod series;
 pub mod window;
 
-pub use deep::{CnnForecaster, DnnForecaster, LstmForecaster, SeriesNetForecaster, WaveNetForecaster};
+pub use deep::{
+    CnnForecaster, DnnForecaster, LstmForecaster, SeriesNetForecaster, WaveNetForecaster,
+};
 pub use models::{ArForecaster, SeasonalNaive, ZeroModel};
 pub use pipeline::{TimeSeriesPipelineBuilder, TsEvaluator, TsReport};
 pub use series::SeriesData;

@@ -168,10 +168,7 @@ impl Estimator for ArForecaster {
             y.to_vec()
         } else {
             let last = data.n_features() - 1;
-            y.iter()
-                .enumerate()
-                .map(|(r, v)| v - data.features()[(r, last)])
-                .collect()
+            y.iter().enumerate().map(|(r, v)| v - data.features()[(r, last)]).collect()
         };
         // Ridge-stabilized normal equations: lag columns are frequently
         // collinear (e.g. constant differences on a pure trend), which a
@@ -182,23 +179,17 @@ impl Estimator for ArForecaster {
             for i in 0..gram.rows() {
                 gram[(i, i)] += 1e-8 * scale;
             }
-            let xty = design
-                .transpose()
-                .matvec(&target)
-                .expect("shapes match by construction");
+            let xty = design.transpose().matvec(&target).expect("shapes match by construction");
             coda_linalg::decomp::cholesky_solve(&gram, &xty)
         });
-        let coef =
-            coef.map_err(|e| ComponentError::Numerical(format!("AR fit failed: {e}")))?;
+        let coef = coef.map_err(|e| ComponentError::Numerical(format!("AR fit failed: {e}")))?;
         self.coef = Some(coef);
         Ok(())
     }
 
     fn predict(&self, data: &Dataset) -> Result<Vec<f64>, ComponentError> {
-        let coef = self
-            .coef
-            .as_ref()
-            .ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
+        let coef =
+            self.coef.as_ref().ok_or_else(|| ComponentError::NotFitted(self.name().to_string()))?;
         let design = self.design(data.features())?;
         if design.cols() != coef.len() {
             return Err(ComponentError::InvalidInput(format!(
@@ -207,9 +198,7 @@ impl Estimator for ArForecaster {
                 design.cols()
             )));
         }
-        let base = design
-            .matvec(coef)
-            .map_err(|e| ComponentError::Numerical(e.to_string()))?;
+        let base = design.matvec(coef).map_err(|e| ComponentError::Numerical(e.to_string()))?;
         Ok(if self.d == 0 {
             base
         } else {
@@ -335,8 +324,7 @@ mod tests {
         let (train, test) = ds.chronological_split(0.3);
         let mut z = ZeroModel::new();
         z.fit(&train).unwrap();
-        let zero_rmse =
-            metrics::rmse(test.target().unwrap(), &z.predict(&test).unwrap()).unwrap();
+        let zero_rmse = metrics::rmse(test.target().unwrap(), &z.predict(&test).unwrap()).unwrap();
         // the best achievable RMSE on a unit random walk is ~1 (the step std)
         assert!(zero_rmse < 1.3, "zero rmse {zero_rmse}");
     }
@@ -348,12 +336,10 @@ mod tests {
         let (train, test) = ds.chronological_split(0.25);
         let mut ar = ArForecaster::new();
         ar.fit(&train).unwrap();
-        let ar_rmse =
-            metrics::rmse(test.target().unwrap(), &ar.predict(&test).unwrap()).unwrap();
+        let ar_rmse = metrics::rmse(test.target().unwrap(), &ar.predict(&test).unwrap()).unwrap();
         let mut z = ZeroModel::new();
         z.fit(&train).unwrap();
-        let zero_rmse =
-            metrics::rmse(test.target().unwrap(), &z.predict(&test).unwrap()).unwrap();
+        let zero_rmse = metrics::rmse(test.target().unwrap(), &z.predict(&test).unwrap()).unwrap();
         assert!(
             ar_rmse < zero_rmse,
             "AR ({ar_rmse:.3}) must beat persistence ({zero_rmse:.3}) on an AR(2) process"
@@ -373,15 +359,13 @@ mod tests {
 
     #[test]
     fn seasonal_naive_beats_zero_on_periodic_data() {
-        let series: Vec<f64> = (0..400)
-            .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin() * 5.0)
-            .collect();
+        let series: Vec<f64> =
+            (0..400).map(|i| (2.0 * std::f64::consts::PI * i as f64 / 12.0).sin() * 5.0).collect();
         let ds = lagged(series, 24);
         let (train, test) = ds.chronological_split(0.3);
         let mut sn = SeasonalNaive::new(12);
         sn.fit(&train).unwrap();
-        let sn_rmse =
-            metrics::rmse(test.target().unwrap(), &sn.predict(&test).unwrap()).unwrap();
+        let sn_rmse = metrics::rmse(test.target().unwrap(), &sn.predict(&test).unwrap()).unwrap();
         let mut z = ZeroModel::new();
         z.fit(&train).unwrap();
         let z_rmse = metrics::rmse(test.target().unwrap(), &z.predict(&test).unwrap()).unwrap();

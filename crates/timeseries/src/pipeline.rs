@@ -9,9 +9,7 @@
 //! returns the best-performing set of transformers and estimators.
 
 use coda_core::{GraphError, Node, PathResult, Pipeline, PipelineSpec, Teg, TegBuilder};
-use coda_data::{
-    BoxedEstimator, BoxedTransformer, CvStrategy, Dataset, Metric, NoOp,
-};
+use coda_data::{BoxedEstimator, BoxedTransformer, CvStrategy, Dataset, Metric, NoOp};
 use coda_ml::{MinMaxScaler, RobustScaler, StandardScaler};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -108,30 +106,25 @@ impl TimeSeriesPipelineBuilder {
         // Stage 1: data scaling
         let mut scalers: Vec<String> = Vec::new();
         if self.all_scalers {
-            scalers.push(b.add_node(Node::auto(
-                (Box::new(MinMaxScaler::new()) as BoxedTransformer).into(),
-            )));
-            scalers.push(b.add_node(Node::auto(
-                (Box::new(RobustScaler::new()) as BoxedTransformer).into(),
-            )));
+            scalers.push(
+                b.add_node(Node::auto((Box::new(MinMaxScaler::new()) as BoxedTransformer).into())),
+            );
+            scalers.push(
+                b.add_node(Node::auto((Box::new(RobustScaler::new()) as BoxedTransformer).into())),
+            );
             scalers.push(b.add_node(Node::auto(
                 (Box::new(StandardScaler::new()) as BoxedTransformer).into(),
             )));
         }
-        scalers
-            .push(b.add_node(Node::auto((Box::new(NoOp::new()) as BoxedTransformer).into())));
+        scalers.push(b.add_node(Node::auto((Box::new(NoOp::new()) as BoxedTransformer).into())));
 
         // Stage 2: data preprocessing
-        let cascaded = b.add_node(Node::auto(
-            (Box::new(CascadedWindows::new(cfg)) as BoxedTransformer).into(),
-        ));
-        let flat = b.add_node(Node::auto(
-            (Box::new(FlatWindowing::new(cfg)) as BoxedTransformer).into(),
-        ));
-        let iid = b
-            .add_node(Node::auto((Box::new(TsAsIid::new(cfg)) as BoxedTransformer).into()));
-        let asis = b
-            .add_node(Node::auto((Box::new(TsAsIs::new(cfg)) as BoxedTransformer).into()));
+        let cascaded = b
+            .add_node(Node::auto((Box::new(CascadedWindows::new(cfg)) as BoxedTransformer).into()));
+        let flat =
+            b.add_node(Node::auto((Box::new(FlatWindowing::new(cfg)) as BoxedTransformer).into()));
+        let iid = b.add_node(Node::auto((Box::new(TsAsIid::new(cfg)) as BoxedTransformer).into()));
+        let asis = b.add_node(Node::auto((Box::new(TsAsIs::new(cfg)) as BoxedTransformer).into()));
         for s in &scalers {
             for pre in [&cascaded, &flat, &iid, &asis] {
                 b.connect(s, pre);
@@ -168,18 +161,22 @@ impl TimeSeriesPipelineBuilder {
             )),
         ];
         if self.deep_variants {
-            temporal.push(b.add_node(Node::new(
-                "lstm_deep",
-                (Box::new(LstmForecaster::deep(p, v).with_epochs(ep).with_seed(seed + 4))
-                    as BoxedEstimator)
-                    .into(),
-            )));
-            temporal.push(b.add_node(Node::new(
-                "cnn_deep",
-                (Box::new(CnnForecaster::deep(p, v).with_epochs(ep).with_seed(seed + 5))
-                    as BoxedEstimator)
-                    .into(),
-            )));
+            temporal.push(
+                b.add_node(Node::new(
+                    "lstm_deep",
+                    (Box::new(LstmForecaster::deep(p, v).with_epochs(ep).with_seed(seed + 4))
+                        as BoxedEstimator)
+                        .into(),
+                )),
+            );
+            temporal.push(
+                b.add_node(Node::new(
+                    "cnn_deep",
+                    (Box::new(CnnForecaster::deep(p, v).with_epochs(ep).with_seed(seed + 5))
+                        as BoxedEstimator)
+                        .into(),
+                )),
+            );
         }
         let mut dnn_flat: Vec<String> = vec![b.add_node(Node::new(
             "dnn_simple",
@@ -188,12 +185,14 @@ impl TimeSeriesPipelineBuilder {
                 .into(),
         ))];
         if self.deep_variants {
-            dnn_flat.push(b.add_node(Node::new(
-                "dnn_deep",
-                (Box::new(DnnForecaster::deep(p * v).with_epochs(ep).with_seed(seed + 7))
-                    as BoxedEstimator)
-                    .into(),
-            )));
+            dnn_flat.push(
+                b.add_node(Node::new(
+                    "dnn_deep",
+                    (Box::new(DnnForecaster::deep(p * v).with_epochs(ep).with_seed(seed + 7))
+                        as BoxedEstimator)
+                        .into(),
+                )),
+            );
         }
         let mut dnn_iid: Vec<String> = vec![b.add_node(Node::new(
             "dnn_iid_simple",
@@ -202,12 +201,14 @@ impl TimeSeriesPipelineBuilder {
                 .into(),
         ))];
         if self.deep_variants {
-            dnn_iid.push(b.add_node(Node::new(
-                "dnn_iid_deep",
-                (Box::new(DnnForecaster::deep(v).with_epochs(ep).with_seed(seed + 9))
-                    as BoxedEstimator)
-                    .into(),
-            )));
+            dnn_iid.push(
+                b.add_node(Node::new(
+                    "dnn_iid_deep",
+                    (Box::new(DnnForecaster::deep(v).with_epochs(ep).with_seed(seed + 9))
+                        as BoxedEstimator)
+                        .into(),
+                )),
+            );
         }
         let statistical: Vec<String> = vec![
             b.add_node(Node::auto((Box::new(ZeroModel::new()) as BoxedEstimator).into())),
@@ -336,7 +337,13 @@ impl TsEvaluator {
     }
 
     /// Convenience constructor with window sizes.
-    pub fn sliding(train: usize, buffer: usize, validation: usize, k: usize, metric: Metric) -> Self {
+    pub fn sliding(
+        train: usize,
+        buffer: usize,
+        validation: usize,
+        k: usize,
+        metric: Metric,
+    ) -> Self {
         TsEvaluator::new(
             CvStrategy::TimeSeriesSlidingSplit {
                 train_size: train,
@@ -378,15 +385,13 @@ impl TsEvaluator {
             let train = series_ds.select(&split.train);
             let validation = series_ds.select(&split.validation);
             let mut p = pipeline.fresh_clone();
-            let outcome = p
-                .fit(&train)
-                .and_then(|_| p.transform_only(&validation))
-                .and_then(|transformed| {
+            let outcome =
+                p.fit(&train).and_then(|_| p.transform_only(&validation)).and_then(|transformed| {
                     let preds = p.predict(&validation)?;
                     let truth = transformed.target_required()?;
-                    self.metric.compute(truth, &preds).map_err(|e| {
-                        coda_data::ComponentError::InvalidInput(e.to_string())
-                    })
+                    self.metric
+                        .compute(truth, &preds)
+                        .map_err(|e| coda_data::ComponentError::InvalidInput(e.to_string()))
                 });
             match outcome {
                 Ok(score) => fold_scores.push(score),
@@ -501,9 +506,8 @@ mod tests {
 
     #[test]
     fn evaluator_requires_sliding_split() {
-        let result = std::panic::catch_unwind(|| {
-            TsEvaluator::new(CvStrategy::kfold(5), Metric::Rmse)
-        });
+        let result =
+            std::panic::catch_unwind(|| TsEvaluator::new(CvStrategy::kfold(5), Metric::Rmse));
         assert!(result.is_err());
     }
 
@@ -552,9 +556,6 @@ mod tests {
             .unwrap();
         let series = SeriesData::univariate(vec![1.0; 30]);
         let eval = TsEvaluator::sliding(100, 5, 20, 3, Metric::Rmse);
-        assert!(matches!(
-            eval.evaluate_graph(&g, &series),
-            Err(TsEvalError::NothingEvaluated)
-        ));
+        assert!(matches!(eval.evaluate_graph(&g, &series), Err(TsEvalError::NothingEvaluated)));
     }
 }

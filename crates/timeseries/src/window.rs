@@ -138,11 +138,7 @@ macro_rules! window_transformer {
                 $display
             }
 
-            fn set_param(
-                &mut self,
-                param: &str,
-                value: ParamValue,
-            ) -> Result<(), ComponentError> {
+            fn set_param(&mut self, param: &str, value: ParamValue) -> Result<(), ComponentError> {
                 set_param_common(&mut self.cfg, $display, param, value)
             }
 

@@ -7,14 +7,14 @@
 
 use bytes::Bytes;
 use coda::cluster::run_cooperative;
+use coda::cluster::{run_job, ComponentRegistry, JobSpec, SpecValue};
+use coda::darr::Darr;
 use coda::data::{synth, CvStrategy, Metric, NoOp};
 use coda::graph::TegBuilder;
 use coda::ml::{
     GradientBoostingRegressor, KnnRegressor, LinearRegression, RandomForestRegressor,
     RidgeRegression, StandardScaler,
 };
-use coda::cluster::{run_job, ComponentRegistry, JobSpec, SpecValue};
-use coda::darr::Darr;
 use coda::store::{CachingClient, HomeDataStore, PushMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,22 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .create_graph()?;
 
     for n_clients in [1usize, 2, 4] {
-        let without = run_cooperative(
-            &graph,
-            &dataset,
-            CvStrategy::kfold(5),
-            Metric::Rmse,
-            n_clients,
-            false,
-        );
-        let with = run_cooperative(
-            &graph,
-            &dataset,
-            CvStrategy::kfold(5),
-            Metric::Rmse,
-            n_clients,
-            true,
-        );
+        let without =
+            run_cooperative(&graph, &dataset, CvStrategy::kfold(5), Metric::Rmse, n_clients, false);
+        let with =
+            run_cooperative(&graph, &dataset, CvStrategy::kfold(5), Metric::Rmse, n_clients, true);
         println!(
             "{n_clients} clients x {} pipelines | no DARR: {:3} evaluations ({} redundant), {:7.1} ms | \
              DARR: {:3} evaluations, {} reused, {:7.1} ms",

@@ -7,8 +7,8 @@
 use coda::data::{synth, CvStrategy, Metric, NoOp};
 use coda::graph::{to_dot, Evaluator, ParamGrid, TegBuilder};
 use coda::ml::{
-    DecisionTreeRegressor, KnnRegressor, MinMaxScaler, Pca, RandomForestRegressor,
-    RobustScaler, ScoreFunction, SelectKBest, StandardScaler,
+    DecisionTreeRegressor, KnnRegressor, MinMaxScaler, Pca, RandomForestRegressor, RobustScaler,
+    ScoreFunction, SelectKBest, StandardScaler,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .create_graph()?;
 
     let n_pipelines = graph.enumerate_pipelines()?.len();
-    println!("graph: {} nodes, {} edges, {n_pipelines} pipelines", graph.n_nodes(), graph.n_edges());
+    println!(
+        "graph: {} nodes, {} edges, {n_pipelines} pipelines",
+        graph.n_nodes(),
+        graph.n_edges()
+    );
     println!("\nGraphviz (paste into `dot -Tpng`):\n{}", to_dot(&graph));
 
     // Listing 2: 10-fold CV; RMSE as the agreed scoring mechanism.

@@ -47,8 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let detector = AnomalyAnalysis::new().fit(&sensor)?;
     let anomalies = detector.detect(&sensor)?;
     let truth_f: Vec<f64> = truth.iter().map(|&t| if t { 1.0 } else { 0.0 }).collect();
-    let flags_f: Vec<f64> =
-        anomalies.flags.iter().map(|&f| if f { 1.0 } else { 0.0 }).collect();
+    let flags_f: Vec<f64> = anomalies.flags.iter().map(|&f| if f { 1.0 } else { 0.0 }).collect();
     println!(
         "flagged {:.1}% of samples; F1 vs ground truth {:.3}",
         anomalies.flagged_fraction * 100.0,

@@ -12,7 +12,9 @@
 //! - [`darr`]: the Data Analytics Results Repository
 //! - [`cluster`]: the simulated distributed system of Fig. 1
 //! - [`templates`]: domain solution templates (Section IV-E)
+//! - [`chaos`]: deterministic fault injection and retry/backoff policies
 
+pub use coda_chaos as chaos;
 pub use coda_cluster as cluster;
 pub use coda_core as graph;
 pub use coda_darr as darr;

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-9712b32057d04b78.d: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9712b32057d04b78.rlib: vendor/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-9712b32057d04b78.rmeta: vendor/bytes/src/lib.rs
+
+vendor/bytes/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_e2e-3394149355cdae2e.d: tests/chaos_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_e2e-3394149355cdae2e.rmeta: tests/chaos_e2e.rs Cargo.toml
+
+tests/chaos_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_e2e-b6a2ec37de94fc2c.d: tests/chaos_e2e.rs
+
+/root/repo/target/debug/deps/chaos_e2e-b6a2ec37de94fc2c: tests/chaos_e2e.rs
+
+tests/chaos_e2e.rs:

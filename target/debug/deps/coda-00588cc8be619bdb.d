@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coda-00588cc8be619bdb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda-00588cc8be619bdb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

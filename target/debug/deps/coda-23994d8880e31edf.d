@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coda-23994d8880e31edf.d: src/lib.rs
+
+/root/repo/target/debug/deps/coda-23994d8880e31edf: src/lib.rs
+
+src/lib.rs:

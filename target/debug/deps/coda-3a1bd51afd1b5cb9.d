@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coda-3a1bd51afd1b5cb9.d: src/lib.rs
+
+/root/repo/target/debug/deps/coda-3a1bd51afd1b5cb9: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coda-946c5fc71ce10258.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcoda-946c5fc71ce10258.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcoda-946c5fc71ce10258.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coda-d9e308258e17f17f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcoda-d9e308258e17f17f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcoda-d9e308258e17f17f.rmeta: src/lib.rs
+
+src/lib.rs:

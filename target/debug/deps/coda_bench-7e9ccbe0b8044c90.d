@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coda_bench-7e9ccbe0b8044c90.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcoda_bench-7e9ccbe0b8044c90.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcoda_bench-7e9ccbe0b8044c90.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

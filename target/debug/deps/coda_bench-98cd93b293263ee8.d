@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coda_bench-98cd93b293263ee8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/coda_bench-98cd93b293263ee8: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

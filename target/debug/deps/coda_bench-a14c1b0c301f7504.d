@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coda_bench-a14c1b0c301f7504.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_bench-a14c1b0c301f7504.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

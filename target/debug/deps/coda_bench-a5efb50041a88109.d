@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coda_bench-a5efb50041a88109.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcoda_bench-a5efb50041a88109.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcoda_bench-a5efb50041a88109.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

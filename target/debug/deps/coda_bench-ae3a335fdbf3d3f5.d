@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coda_bench-ae3a335fdbf3d3f5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/coda_bench-ae3a335fdbf3d3f5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coda_chaos-5a3b040c8703d6da.d: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/retry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_chaos-5a3b040c8703d6da.rmeta: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/retry.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/fault.rs:
+crates/chaos/src/retry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

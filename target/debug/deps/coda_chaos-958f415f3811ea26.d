@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coda_chaos-958f415f3811ea26.d: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/retry.rs
+
+/root/repo/target/debug/deps/libcoda_chaos-958f415f3811ea26.rlib: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/retry.rs
+
+/root/repo/target/debug/deps/libcoda_chaos-958f415f3811ea26.rmeta: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/retry.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/fault.rs:
+crates/chaos/src/retry.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/coda_chaos-9772967e5c632cb7.d: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/retry.rs
+
+/root/repo/target/debug/deps/coda_chaos-9772967e5c632cb7: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/retry.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/fault.rs:
+crates/chaos/src/retry.rs:

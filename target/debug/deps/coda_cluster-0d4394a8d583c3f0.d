@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/coda_cluster-0d4394a8d583c3f0.d: crates/cluster/src/lib.rs crates/cluster/src/chaos.rs crates/cluster/src/coop.rs crates/cluster/src/lifecycle.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_cluster-0d4394a8d583c3f0.rmeta: crates/cluster/src/lib.rs crates/cluster/src/chaos.rs crates/cluster/src/coop.rs crates/cluster/src/lifecycle.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/chaos.rs:
+crates/cluster/src/coop.rs:
+crates/cluster/src/lifecycle.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/placement.rs:
+crates/cluster/src/registry.rs:
+crates/cluster/src/webservice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coda_cluster-2e00a5a1e29c9639.d: crates/cluster/src/lib.rs crates/cluster/src/coop.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/lifecycle.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs
+
+/root/repo/target/debug/deps/libcoda_cluster-2e00a5a1e29c9639.rlib: crates/cluster/src/lib.rs crates/cluster/src/coop.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/lifecycle.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs
+
+/root/repo/target/debug/deps/libcoda_cluster-2e00a5a1e29c9639.rmeta: crates/cluster/src/lib.rs crates/cluster/src/coop.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/lifecycle.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/coop.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/lifecycle.rs:
+crates/cluster/src/placement.rs:
+crates/cluster/src/registry.rs:
+crates/cluster/src/webservice.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/coda_cluster-611f37b21c75afee.d: crates/cluster/src/lib.rs crates/cluster/src/coop.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/lifecycle.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs
+
+/root/repo/target/debug/deps/coda_cluster-611f37b21c75afee: crates/cluster/src/lib.rs crates/cluster/src/coop.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/lifecycle.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/coop.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/lifecycle.rs:
+crates/cluster/src/placement.rs:
+crates/cluster/src/registry.rs:
+crates/cluster/src/webservice.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coda_cluster-a5a69d63c7ebb781.d: crates/cluster/src/lib.rs crates/cluster/src/chaos.rs crates/cluster/src/coop.rs crates/cluster/src/lifecycle.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs
+
+/root/repo/target/debug/deps/coda_cluster-a5a69d63c7ebb781: crates/cluster/src/lib.rs crates/cluster/src/chaos.rs crates/cluster/src/coop.rs crates/cluster/src/lifecycle.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/chaos.rs:
+crates/cluster/src/coop.rs:
+crates/cluster/src/lifecycle.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/placement.rs:
+crates/cluster/src/registry.rs:
+crates/cluster/src/webservice.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coda_core-456e3bf2ebee4562.d: crates/core/src/lib.rs crates/core/src/dot.rs crates/core/src/eval.rs crates/core/src/graph.rs crates/core/src/grid.rs crates/core/src/node.rs crates/core/src/pipeline.rs crates/core/src/search.rs crates/core/src/tuning.rs
+
+/root/repo/target/debug/deps/coda_core-456e3bf2ebee4562: crates/core/src/lib.rs crates/core/src/dot.rs crates/core/src/eval.rs crates/core/src/graph.rs crates/core/src/grid.rs crates/core/src/node.rs crates/core/src/pipeline.rs crates/core/src/search.rs crates/core/src/tuning.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dot.rs:
+crates/core/src/eval.rs:
+crates/core/src/graph.rs:
+crates/core/src/grid.rs:
+crates/core/src/node.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/search.rs:
+crates/core/src/tuning.rs:

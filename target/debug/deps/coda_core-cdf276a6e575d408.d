@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coda_core-cdf276a6e575d408.d: crates/core/src/lib.rs crates/core/src/dot.rs crates/core/src/eval.rs crates/core/src/graph.rs crates/core/src/grid.rs crates/core/src/node.rs crates/core/src/pipeline.rs crates/core/src/search.rs crates/core/src/tuning.rs
+
+/root/repo/target/debug/deps/libcoda_core-cdf276a6e575d408.rlib: crates/core/src/lib.rs crates/core/src/dot.rs crates/core/src/eval.rs crates/core/src/graph.rs crates/core/src/grid.rs crates/core/src/node.rs crates/core/src/pipeline.rs crates/core/src/search.rs crates/core/src/tuning.rs
+
+/root/repo/target/debug/deps/libcoda_core-cdf276a6e575d408.rmeta: crates/core/src/lib.rs crates/core/src/dot.rs crates/core/src/eval.rs crates/core/src/graph.rs crates/core/src/grid.rs crates/core/src/node.rs crates/core/src/pipeline.rs crates/core/src/search.rs crates/core/src/tuning.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dot.rs:
+crates/core/src/eval.rs:
+crates/core/src/graph.rs:
+crates/core/src/grid.rs:
+crates/core/src/node.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/search.rs:
+crates/core/src/tuning.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/coda_core-ff7e6dd89092d2f2.d: crates/core/src/lib.rs crates/core/src/dot.rs crates/core/src/eval.rs crates/core/src/graph.rs crates/core/src/grid.rs crates/core/src/node.rs crates/core/src/pipeline.rs crates/core/src/search.rs crates/core/src/tuning.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_core-ff7e6dd89092d2f2.rmeta: crates/core/src/lib.rs crates/core/src/dot.rs crates/core/src/eval.rs crates/core/src/graph.rs crates/core/src/grid.rs crates/core/src/node.rs crates/core/src/pipeline.rs crates/core/src/search.rs crates/core/src/tuning.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/dot.rs:
+crates/core/src/eval.rs:
+crates/core/src/graph.rs:
+crates/core/src/grid.rs:
+crates/core/src/node.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/search.rs:
+crates/core/src/tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coda_darr-0eb42cdac12cb0d5.d: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs
+
+/root/repo/target/debug/deps/libcoda_darr-0eb42cdac12cb0d5.rlib: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs
+
+/root/repo/target/debug/deps/libcoda_darr-0eb42cdac12cb0d5.rmeta: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs
+
+crates/darr/src/lib.rs:
+crates/darr/src/coop.rs:
+crates/darr/src/record.rs:
+crates/darr/src/repo.rs:
+crates/darr/src/resilient.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coda_darr-180747bb9d3256bf.d: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs
+
+/root/repo/target/debug/deps/coda_darr-180747bb9d3256bf: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs
+
+crates/darr/src/lib.rs:
+crates/darr/src/coop.rs:
+crates/darr/src/record.rs:
+crates/darr/src/repo.rs:
+crates/darr/src/resilient.rs:

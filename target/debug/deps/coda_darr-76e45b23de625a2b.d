@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/coda_darr-76e45b23de625a2b.d: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs
+
+/root/repo/target/debug/deps/coda_darr-76e45b23de625a2b: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs
+
+crates/darr/src/lib.rs:
+crates/darr/src/coop.rs:
+crates/darr/src/record.rs:
+crates/darr/src/repo.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/coda_darr-8cf3876e3d144cf6.d: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs
+
+/root/repo/target/debug/deps/libcoda_darr-8cf3876e3d144cf6.rlib: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs
+
+/root/repo/target/debug/deps/libcoda_darr-8cf3876e3d144cf6.rmeta: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs
+
+crates/darr/src/lib.rs:
+crates/darr/src/coop.rs:
+crates/darr/src/record.rs:
+crates/darr/src/repo.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coda_darr-9a03ef2c5f427b67.d: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_darr-9a03ef2c5f427b67.rmeta: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs Cargo.toml
+
+crates/darr/src/lib.rs:
+crates/darr/src/coop.rs:
+crates/darr/src/record.rs:
+crates/darr/src/repo.rs:
+crates/darr/src/resilient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coda_darr-e325b168dc16c9ec.d: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_darr-e325b168dc16c9ec.rmeta: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs Cargo.toml
+
+crates/darr/src/lib.rs:
+crates/darr/src/coop.rs:
+crates/darr/src/record.rs:
+crates/darr/src/repo.rs:
+crates/darr/src/resilient.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

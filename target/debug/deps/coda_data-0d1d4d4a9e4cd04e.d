@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coda_data-0d1d4d4a9e4cd04e.d: crates/data/src/lib.rs crates/data/src/cv.rs crates/data/src/dataset.rs crates/data/src/impute.rs crates/data/src/impute_advanced.rs crates/data/src/metrics.rs crates/data/src/outlier.rs crates/data/src/survival.rs crates/data/src/synth.rs crates/data/src/traits.rs
+
+/root/repo/target/debug/deps/coda_data-0d1d4d4a9e4cd04e: crates/data/src/lib.rs crates/data/src/cv.rs crates/data/src/dataset.rs crates/data/src/impute.rs crates/data/src/impute_advanced.rs crates/data/src/metrics.rs crates/data/src/outlier.rs crates/data/src/survival.rs crates/data/src/synth.rs crates/data/src/traits.rs
+
+crates/data/src/lib.rs:
+crates/data/src/cv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/impute.rs:
+crates/data/src/impute_advanced.rs:
+crates/data/src/metrics.rs:
+crates/data/src/outlier.rs:
+crates/data/src/survival.rs:
+crates/data/src/synth.rs:
+crates/data/src/traits.rs:

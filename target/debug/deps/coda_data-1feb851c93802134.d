@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/coda_data-1feb851c93802134.d: crates/data/src/lib.rs crates/data/src/cv.rs crates/data/src/dataset.rs crates/data/src/impute.rs crates/data/src/impute_advanced.rs crates/data/src/metrics.rs crates/data/src/outlier.rs crates/data/src/survival.rs crates/data/src/synth.rs crates/data/src/traits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_data-1feb851c93802134.rmeta: crates/data/src/lib.rs crates/data/src/cv.rs crates/data/src/dataset.rs crates/data/src/impute.rs crates/data/src/impute_advanced.rs crates/data/src/metrics.rs crates/data/src/outlier.rs crates/data/src/survival.rs crates/data/src/synth.rs crates/data/src/traits.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/cv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/impute.rs:
+crates/data/src/impute_advanced.rs:
+crates/data/src/metrics.rs:
+crates/data/src/outlier.rs:
+crates/data/src/survival.rs:
+crates/data/src/synth.rs:
+crates/data/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

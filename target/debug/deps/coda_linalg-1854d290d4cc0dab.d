@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coda_linalg-1854d290d4cc0dab.d: crates/linalg/src/lib.rs crates/linalg/src/decomp.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_linalg-1854d290d4cc0dab.rmeta: crates/linalg/src/lib.rs crates/linalg/src/decomp.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/decomp.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

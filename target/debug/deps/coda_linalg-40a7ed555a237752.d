@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coda_linalg-40a7ed555a237752.d: crates/linalg/src/lib.rs crates/linalg/src/decomp.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libcoda_linalg-40a7ed555a237752.rlib: crates/linalg/src/lib.rs crates/linalg/src/decomp.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/libcoda_linalg-40a7ed555a237752.rmeta: crates/linalg/src/lib.rs crates/linalg/src/decomp.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/decomp.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coda_linalg-8af87dcfcf0dd62d.d: crates/linalg/src/lib.rs crates/linalg/src/decomp.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+/root/repo/target/debug/deps/coda_linalg-8af87dcfcf0dd62d: crates/linalg/src/lib.rs crates/linalg/src/decomp.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/decomp.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/stats.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/coda_ml-89fdc2dabf2a49a4.d: crates/ml/src/lib.rs crates/ml/src/balance.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/forest.rs crates/ml/src/kernel_pca.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/lda.rs crates/ml/src/linear.rs crates/ml/src/pca.rs crates/ml/src/scalers.rs crates/ml/src/select.rs crates/ml/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_ml-89fdc2dabf2a49a4.rmeta: crates/ml/src/lib.rs crates/ml/src/balance.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/forest.rs crates/ml/src/kernel_pca.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/lda.rs crates/ml/src/linear.rs crates/ml/src/pca.rs crates/ml/src/scalers.rs crates/ml/src/select.rs crates/ml/src/tree.rs Cargo.toml
+
+crates/ml/src/lib.rs:
+crates/ml/src/balance.rs:
+crates/ml/src/bayes.rs:
+crates/ml/src/boost.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/kernel_pca.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/lda.rs:
+crates/ml/src/linear.rs:
+crates/ml/src/pca.rs:
+crates/ml/src/scalers.rs:
+crates/ml/src/select.rs:
+crates/ml/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/coda_ml-ee6c69e95a0db2a8.d: crates/ml/src/lib.rs crates/ml/src/balance.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/forest.rs crates/ml/src/kernel_pca.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/lda.rs crates/ml/src/linear.rs crates/ml/src/pca.rs crates/ml/src/scalers.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/coda_ml-ee6c69e95a0db2a8: crates/ml/src/lib.rs crates/ml/src/balance.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/forest.rs crates/ml/src/kernel_pca.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/lda.rs crates/ml/src/linear.rs crates/ml/src/pca.rs crates/ml/src/scalers.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/balance.rs:
+crates/ml/src/bayes.rs:
+crates/ml/src/boost.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/kernel_pca.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/lda.rs:
+crates/ml/src/linear.rs:
+crates/ml/src/pca.rs:
+crates/ml/src/scalers.rs:
+crates/ml/src/select.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coda_nn-265a386630f6ca91.d: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/estimators.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/residual.rs
+
+/root/repo/target/debug/deps/libcoda_nn-265a386630f6ca91.rlib: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/estimators.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/residual.rs
+
+/root/repo/target/debug/deps/libcoda_nn-265a386630f6ca91.rmeta: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/estimators.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/residual.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/estimators.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/lstm.rs:
+crates/nn/src/network.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/residual.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/coda_nn-660219e6478719dd.d: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/estimators.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/residual.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_nn-660219e6478719dd.rmeta: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/estimators.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/residual.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/estimators.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/lstm.rs:
+crates/nn/src/network.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/residual.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

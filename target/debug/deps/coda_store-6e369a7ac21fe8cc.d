@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coda_store-6e369a7ac21fe8cc.d: crates/store/src/lib.rs crates/store/src/client.rs crates/store/src/delta.rs crates/store/src/home.rs crates/store/src/lease.rs crates/store/src/replication.rs crates/store/src/tier.rs crates/store/src/trigger.rs
+
+/root/repo/target/debug/deps/libcoda_store-6e369a7ac21fe8cc.rlib: crates/store/src/lib.rs crates/store/src/client.rs crates/store/src/delta.rs crates/store/src/home.rs crates/store/src/lease.rs crates/store/src/replication.rs crates/store/src/tier.rs crates/store/src/trigger.rs
+
+/root/repo/target/debug/deps/libcoda_store-6e369a7ac21fe8cc.rmeta: crates/store/src/lib.rs crates/store/src/client.rs crates/store/src/delta.rs crates/store/src/home.rs crates/store/src/lease.rs crates/store/src/replication.rs crates/store/src/tier.rs crates/store/src/trigger.rs
+
+crates/store/src/lib.rs:
+crates/store/src/client.rs:
+crates/store/src/delta.rs:
+crates/store/src/home.rs:
+crates/store/src/lease.rs:
+crates/store/src/replication.rs:
+crates/store/src/tier.rs:
+crates/store/src/trigger.rs:

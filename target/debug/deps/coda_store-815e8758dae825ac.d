@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/coda_store-815e8758dae825ac.d: crates/store/src/lib.rs crates/store/src/client.rs crates/store/src/delta.rs crates/store/src/home.rs crates/store/src/lease.rs crates/store/src/replication.rs crates/store/src/tier.rs crates/store/src/trigger.rs
+
+/root/repo/target/debug/deps/coda_store-815e8758dae825ac: crates/store/src/lib.rs crates/store/src/client.rs crates/store/src/delta.rs crates/store/src/home.rs crates/store/src/lease.rs crates/store/src/replication.rs crates/store/src/tier.rs crates/store/src/trigger.rs
+
+crates/store/src/lib.rs:
+crates/store/src/client.rs:
+crates/store/src/delta.rs:
+crates/store/src/home.rs:
+crates/store/src/lease.rs:
+crates/store/src/replication.rs:
+crates/store/src/tier.rs:
+crates/store/src/trigger.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/coda_store-910e16e44da94f21.d: crates/store/src/lib.rs crates/store/src/client.rs crates/store/src/delta.rs crates/store/src/home.rs crates/store/src/lease.rs crates/store/src/replication.rs crates/store/src/tier.rs crates/store/src/trigger.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_store-910e16e44da94f21.rmeta: crates/store/src/lib.rs crates/store/src/client.rs crates/store/src/delta.rs crates/store/src/home.rs crates/store/src/lease.rs crates/store/src/replication.rs crates/store/src/tier.rs crates/store/src/trigger.rs Cargo.toml
+
+crates/store/src/lib.rs:
+crates/store/src/client.rs:
+crates/store/src/delta.rs:
+crates/store/src/home.rs:
+crates/store/src/lease.rs:
+crates/store/src/replication.rs:
+crates/store/src/tier.rs:
+crates/store/src/trigger.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

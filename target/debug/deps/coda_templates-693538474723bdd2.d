@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/coda_templates-693538474723bdd2.d: crates/templates/src/lib.rs crates/templates/src/anomaly.rs crates/templates/src/cohort.rs crates/templates/src/failure.rs crates/templates/src/lifetime.rs crates/templates/src/rca.rs
+
+/root/repo/target/debug/deps/libcoda_templates-693538474723bdd2.rlib: crates/templates/src/lib.rs crates/templates/src/anomaly.rs crates/templates/src/cohort.rs crates/templates/src/failure.rs crates/templates/src/lifetime.rs crates/templates/src/rca.rs
+
+/root/repo/target/debug/deps/libcoda_templates-693538474723bdd2.rmeta: crates/templates/src/lib.rs crates/templates/src/anomaly.rs crates/templates/src/cohort.rs crates/templates/src/failure.rs crates/templates/src/lifetime.rs crates/templates/src/rca.rs
+
+crates/templates/src/lib.rs:
+crates/templates/src/anomaly.rs:
+crates/templates/src/cohort.rs:
+crates/templates/src/failure.rs:
+crates/templates/src/lifetime.rs:
+crates/templates/src/rca.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/coda_templates-69470906447a7e6b.d: crates/templates/src/lib.rs crates/templates/src/anomaly.rs crates/templates/src/cohort.rs crates/templates/src/failure.rs crates/templates/src/lifetime.rs crates/templates/src/rca.rs
+
+/root/repo/target/debug/deps/coda_templates-69470906447a7e6b: crates/templates/src/lib.rs crates/templates/src/anomaly.rs crates/templates/src/cohort.rs crates/templates/src/failure.rs crates/templates/src/lifetime.rs crates/templates/src/rca.rs
+
+crates/templates/src/lib.rs:
+crates/templates/src/anomaly.rs:
+crates/templates/src/cohort.rs:
+crates/templates/src/failure.rs:
+crates/templates/src/lifetime.rs:
+crates/templates/src/rca.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/coda_templates-cfd5d7276dc3a102.d: crates/templates/src/lib.rs crates/templates/src/anomaly.rs crates/templates/src/cohort.rs crates/templates/src/failure.rs crates/templates/src/lifetime.rs crates/templates/src/rca.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_templates-cfd5d7276dc3a102.rmeta: crates/templates/src/lib.rs crates/templates/src/anomaly.rs crates/templates/src/cohort.rs crates/templates/src/failure.rs crates/templates/src/lifetime.rs crates/templates/src/rca.rs Cargo.toml
+
+crates/templates/src/lib.rs:
+crates/templates/src/anomaly.rs:
+crates/templates/src/cohort.rs:
+crates/templates/src/failure.rs:
+crates/templates/src/lifetime.rs:
+crates/templates/src/rca.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

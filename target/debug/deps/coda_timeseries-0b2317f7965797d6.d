@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coda_timeseries-0b2317f7965797d6.d: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_timeseries-0b2317f7965797d6.rmeta: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs Cargo.toml
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/deep.rs:
+crates/timeseries/src/forecast.rs:
+crates/timeseries/src/models.rs:
+crates/timeseries/src/pipeline.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/coda_timeseries-6f85fcb1e4b3eb57.d: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs
+
+/root/repo/target/debug/deps/coda_timeseries-6f85fcb1e4b3eb57: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/deep.rs:
+crates/timeseries/src/forecast.rs:
+crates/timeseries/src/models.rs:
+crates/timeseries/src/pipeline.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/window.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/coda_timeseries-9d5f3b358ac4bc82.d: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoda_timeseries-9d5f3b358ac4bc82.rmeta: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs Cargo.toml
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/deep.rs:
+crates/timeseries/src/forecast.rs:
+crates/timeseries/src/models.rs:
+crates/timeseries/src/pipeline.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

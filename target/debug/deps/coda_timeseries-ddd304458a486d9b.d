@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/coda_timeseries-ddd304458a486d9b.d: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs
+
+/root/repo/target/debug/deps/libcoda_timeseries-ddd304458a486d9b.rlib: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs
+
+/root/repo/target/debug/deps/libcoda_timeseries-ddd304458a486d9b.rmeta: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/deep.rs:
+crates/timeseries/src/forecast.rs:
+crates/timeseries/src/models.rs:
+crates/timeseries/src/pipeline.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/window.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cv-d196bed43855ae56.d: crates/bench/benches/cv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcv-d196bed43855ae56.rmeta: crates/bench/benches/cv.rs Cargo.toml
+
+crates/bench/benches/cv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/darr_coop-7c2b38ab6f365256.d: crates/bench/benches/darr_coop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdarr_coop-7c2b38ab6f365256.rmeta: crates/bench/benches/darr_coop.rs Cargo.toml
+
+crates/bench/benches/darr_coop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

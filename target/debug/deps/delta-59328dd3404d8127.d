@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/delta-59328dd3404d8127.d: crates/bench/benches/delta.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdelta-59328dd3404d8127.rmeta: crates/bench/benches/delta.rs Cargo.toml
+
+crates/bench/benches/delta.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

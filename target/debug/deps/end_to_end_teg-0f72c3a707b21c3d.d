@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_teg-0f72c3a707b21c3d.d: tests/end_to_end_teg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_teg-0f72c3a707b21c3d.rmeta: tests/end_to_end_teg.rs Cargo.toml
+
+tests/end_to_end_teg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_teg-240f7d5b5eea16b3.d: tests/end_to_end_teg.rs
+
+/root/repo/target/debug/deps/end_to_end_teg-240f7d5b5eea16b3: tests/end_to_end_teg.rs
+
+tests/end_to_end_teg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_teg-81a5aef6f3d81a7b.d: tests/end_to_end_teg.rs
+
+/root/repo/target/debug/deps/end_to_end_teg-81a5aef6f3d81a7b: tests/end_to_end_teg.rs
+
+tests/end_to_end_teg.rs:

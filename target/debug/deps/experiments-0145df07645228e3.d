@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-0145df07645228e3.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-0145df07645228e3: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

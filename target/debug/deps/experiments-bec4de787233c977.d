@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-bec4de787233c977.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-bec4de787233c977: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

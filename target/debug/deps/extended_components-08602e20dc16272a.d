@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended_components-08602e20dc16272a.d: tests/extended_components.rs
+
+/root/repo/target/debug/deps/extended_components-08602e20dc16272a: tests/extended_components.rs
+
+tests/extended_components.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extended_components-0c8b532512c1176f.d: tests/extended_components.rs
+
+/root/repo/target/debug/deps/extended_components-0c8b532512c1176f: tests/extended_components.rs
+
+tests/extended_components.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extended_components-df42803b85928df7.d: tests/extended_components.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextended_components-df42803b85928df7.rmeta: tests/extended_components.rs Cargo.toml
+
+tests/extended_components.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

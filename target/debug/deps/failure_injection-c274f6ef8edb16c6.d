@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-c274f6ef8edb16c6.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-c274f6ef8edb16c6: tests/failure_injection.rs
+
+tests/failure_injection.rs:

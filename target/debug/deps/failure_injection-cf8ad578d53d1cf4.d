@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-cf8ad578d53d1cf4.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-cf8ad578d53d1cf4: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_system-1d3c7f34001f77f0.d: tests/fig1_system.rs
+
+/root/repo/target/debug/deps/fig1_system-1d3c7f34001f77f0: tests/fig1_system.rs
+
+tests/fig1_system.rs:

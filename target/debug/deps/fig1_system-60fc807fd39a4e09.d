@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_system-60fc807fd39a4e09.d: tests/fig1_system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_system-60fc807fd39a4e09.rmeta: tests/fig1_system.rs Cargo.toml
+
+tests/fig1_system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

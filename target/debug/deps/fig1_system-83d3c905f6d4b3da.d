@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_system-83d3c905f6d4b3da.d: tests/fig1_system.rs
+
+/root/repo/target/debug/deps/fig1_system-83d3c905f6d4b3da: tests/fig1_system.rs
+
+tests/fig1_system.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nn-2770a0f8ea7456f7.d: crates/bench/benches/nn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnn-2770a0f8ea7456f7.rmeta: crates/bench/benches/nn.rs Cargo.toml
+
+crates/bench/benches/nn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3d067e7687082cd8.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3d067e7687082cd8: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c6ba05949f6c603f.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c6ba05949f6c603f: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-129dda8920571634.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-129dda8920571634: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

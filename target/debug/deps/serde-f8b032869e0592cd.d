@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-f8b032869e0592cd.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f8b032869e0592cd.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-f8b032869e0592cd.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

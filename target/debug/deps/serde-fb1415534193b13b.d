@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-fb1415534193b13b.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-fb1415534193b13b: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

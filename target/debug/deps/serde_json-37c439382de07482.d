@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-37c439382de07482.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-37c439382de07482: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-7af2a6baaf486795.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7af2a6baaf486795.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7af2a6baaf486795.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/store_and_darr-95b23c8d0e7cf100.d: tests/store_and_darr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstore_and_darr-95b23c8d0e7cf100.rmeta: tests/store_and_darr.rs Cargo.toml
+
+tests/store_and_darr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

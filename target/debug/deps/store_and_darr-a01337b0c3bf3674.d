@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_and_darr-a01337b0c3bf3674.d: tests/store_and_darr.rs
+
+/root/repo/target/debug/deps/store_and_darr-a01337b0c3bf3674: tests/store_and_darr.rs
+
+tests/store_and_darr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/store_and_darr-f12f96a05372d58b.d: tests/store_and_darr.rs
+
+/root/repo/target/debug/deps/store_and_darr-f12f96a05372d58b: tests/store_and_darr.rs
+
+tests/store_and_darr.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/teg_eval-ab90d212d5d3dff9.d: crates/bench/benches/teg_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libteg_eval-ab90d212d5d3dff9.rmeta: crates/bench/benches/teg_eval.rs Cargo.toml
+
+crates/bench/benches/teg_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

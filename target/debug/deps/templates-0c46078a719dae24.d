@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/templates-0c46078a719dae24.d: crates/bench/benches/templates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtemplates-0c46078a719dae24.rmeta: crates/bench/benches/templates.rs Cargo.toml
+
+crates/bench/benches/templates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeseries_e2e-0a9dd86333023851.d: tests/timeseries_e2e.rs
+
+/root/repo/target/debug/deps/timeseries_e2e-0a9dd86333023851: tests/timeseries_e2e.rs
+
+tests/timeseries_e2e.rs:

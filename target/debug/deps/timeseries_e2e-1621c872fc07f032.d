@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timeseries_e2e-1621c872fc07f032.d: tests/timeseries_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtimeseries_e2e-1621c872fc07f032.rmeta: tests/timeseries_e2e.rs Cargo.toml
+
+tests/timeseries_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeseries_e2e-6b14be337887da28.d: tests/timeseries_e2e.rs
+
+/root/repo/target/debug/deps/timeseries_e2e-6b14be337887da28: tests/timeseries_e2e.rs
+
+tests/timeseries_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ts_pipeline-fb972b183257babf.d: crates/bench/benches/ts_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libts_pipeline-fb972b183257babf.rmeta: crates/bench/benches/ts_pipeline.rs Cargo.toml
+
+crates/bench/benches/ts_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

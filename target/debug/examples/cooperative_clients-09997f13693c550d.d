@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cooperative_clients-09997f13693c550d.d: examples/cooperative_clients.rs
+
+/root/repo/target/debug/examples/cooperative_clients-09997f13693c550d: examples/cooperative_clients.rs
+
+examples/cooperative_clients.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cooperative_clients-2bc82f51844adf95.d: examples/cooperative_clients.rs
+
+/root/repo/target/debug/examples/cooperative_clients-2bc82f51844adf95: examples/cooperative_clients.rs
+
+examples/cooperative_clients.rs:

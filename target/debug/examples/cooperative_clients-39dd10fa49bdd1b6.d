@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/cooperative_clients-39dd10fa49bdd1b6.d: examples/cooperative_clients.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcooperative_clients-39dd10fa49bdd1b6.rmeta: examples/cooperative_clients.rs Cargo.toml
+
+examples/cooperative_clients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

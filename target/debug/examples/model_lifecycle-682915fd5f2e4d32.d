@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_lifecycle-682915fd5f2e4d32.d: examples/model_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_lifecycle-682915fd5f2e4d32.rmeta: examples/model_lifecycle.rs Cargo.toml
+
+examples/model_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_lifecycle-b54fa7b4b574baec.d: examples/model_lifecycle.rs
+
+/root/repo/target/debug/examples/model_lifecycle-b54fa7b4b574baec: examples/model_lifecycle.rs
+
+examples/model_lifecycle.rs:

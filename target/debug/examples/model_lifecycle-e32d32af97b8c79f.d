@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_lifecycle-e32d32af97b8c79f.d: examples/model_lifecycle.rs
+
+/root/repo/target/debug/examples/model_lifecycle-e32d32af97b8c79f: examples/model_lifecycle.rs
+
+examples/model_lifecycle.rs:

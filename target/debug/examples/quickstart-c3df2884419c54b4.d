@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c3df2884419c54b4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c3df2884419c54b4: examples/quickstart.rs
+
+examples/quickstart.rs:

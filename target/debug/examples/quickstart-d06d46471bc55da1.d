@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d06d46471bc55da1.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d06d46471bc55da1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selective_search-45e580c5b0e3f40f.d: examples/selective_search.rs
+
+/root/repo/target/debug/examples/selective_search-45e580c5b0e3f40f: examples/selective_search.rs
+
+examples/selective_search.rs:

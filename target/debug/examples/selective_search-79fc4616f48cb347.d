@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/selective_search-79fc4616f48cb347.d: examples/selective_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libselective_search-79fc4616f48cb347.rmeta: examples/selective_search.rs Cargo.toml
+
+examples/selective_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

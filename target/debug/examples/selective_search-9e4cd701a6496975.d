@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selective_search-9e4cd701a6496975.d: examples/selective_search.rs
+
+/root/repo/target/debug/examples/selective_search-9e4cd701a6496975: examples/selective_search.rs
+
+examples/selective_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/solution_templates-1f0642b1063ebc85.d: examples/solution_templates.rs
+
+/root/repo/target/debug/examples/solution_templates-1f0642b1063ebc85: examples/solution_templates.rs
+
+examples/solution_templates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/solution_templates-3fc48436c606c34d.d: examples/solution_templates.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsolution_templates-3fc48436c606c34d.rmeta: examples/solution_templates.rs Cargo.toml
+
+examples/solution_templates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

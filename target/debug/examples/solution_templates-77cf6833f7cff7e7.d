@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/solution_templates-77cf6833f7cff7e7.d: examples/solution_templates.rs
+
+/root/repo/target/debug/examples/solution_templates-77cf6833f7cff7e7: examples/solution_templates.rs
+
+examples/solution_templates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timeseries_forecast-c164cd079e7f402f.d: examples/timeseries_forecast.rs
+
+/root/repo/target/debug/examples/timeseries_forecast-c164cd079e7f402f: examples/timeseries_forecast.rs
+
+examples/timeseries_forecast.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/timeseries_forecast-db66fe9e787b4fe6.d: examples/timeseries_forecast.rs
+
+/root/repo/target/debug/examples/timeseries_forecast-db66fe9e787b4fe6: examples/timeseries_forecast.rs
+
+examples/timeseries_forecast.rs:

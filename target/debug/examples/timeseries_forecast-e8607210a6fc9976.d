@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/timeseries_forecast-e8607210a6fc9976.d: examples/timeseries_forecast.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtimeseries_forecast-e8607210a6fc9976.rmeta: examples/timeseries_forecast.rs Cargo.toml
+
+examples/timeseries_forecast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

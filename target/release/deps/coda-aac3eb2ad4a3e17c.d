@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/coda-aac3eb2ad4a3e17c.d: src/lib.rs
+
+/root/repo/target/release/deps/libcoda-aac3eb2ad4a3e17c.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcoda-aac3eb2ad4a3e17c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/coda_bench-8b5ec08c67be1eac.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcoda_bench-8b5ec08c67be1eac.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libcoda_bench-8b5ec08c67be1eac.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

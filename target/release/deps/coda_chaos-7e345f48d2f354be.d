@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/coda_chaos-7e345f48d2f354be.d: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/retry.rs
+
+/root/repo/target/release/deps/libcoda_chaos-7e345f48d2f354be.rlib: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/retry.rs
+
+/root/repo/target/release/deps/libcoda_chaos-7e345f48d2f354be.rmeta: crates/chaos/src/lib.rs crates/chaos/src/fault.rs crates/chaos/src/retry.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/fault.rs:
+crates/chaos/src/retry.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/coda_cluster-c44e98d43a0e37b9.d: crates/cluster/src/lib.rs crates/cluster/src/chaos.rs crates/cluster/src/coop.rs crates/cluster/src/lifecycle.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs
+
+/root/repo/target/release/deps/libcoda_cluster-c44e98d43a0e37b9.rlib: crates/cluster/src/lib.rs crates/cluster/src/chaos.rs crates/cluster/src/coop.rs crates/cluster/src/lifecycle.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs
+
+/root/repo/target/release/deps/libcoda_cluster-c44e98d43a0e37b9.rmeta: crates/cluster/src/lib.rs crates/cluster/src/chaos.rs crates/cluster/src/coop.rs crates/cluster/src/lifecycle.rs crates/cluster/src/network.rs crates/cluster/src/node.rs crates/cluster/src/placement.rs crates/cluster/src/registry.rs crates/cluster/src/webservice.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/chaos.rs:
+crates/cluster/src/coop.rs:
+crates/cluster/src/lifecycle.rs:
+crates/cluster/src/network.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/placement.rs:
+crates/cluster/src/registry.rs:
+crates/cluster/src/webservice.rs:

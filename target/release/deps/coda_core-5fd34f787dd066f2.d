@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/coda_core-5fd34f787dd066f2.d: crates/core/src/lib.rs crates/core/src/dot.rs crates/core/src/eval.rs crates/core/src/graph.rs crates/core/src/grid.rs crates/core/src/node.rs crates/core/src/pipeline.rs crates/core/src/search.rs crates/core/src/tuning.rs
+
+/root/repo/target/release/deps/libcoda_core-5fd34f787dd066f2.rlib: crates/core/src/lib.rs crates/core/src/dot.rs crates/core/src/eval.rs crates/core/src/graph.rs crates/core/src/grid.rs crates/core/src/node.rs crates/core/src/pipeline.rs crates/core/src/search.rs crates/core/src/tuning.rs
+
+/root/repo/target/release/deps/libcoda_core-5fd34f787dd066f2.rmeta: crates/core/src/lib.rs crates/core/src/dot.rs crates/core/src/eval.rs crates/core/src/graph.rs crates/core/src/grid.rs crates/core/src/node.rs crates/core/src/pipeline.rs crates/core/src/search.rs crates/core/src/tuning.rs
+
+crates/core/src/lib.rs:
+crates/core/src/dot.rs:
+crates/core/src/eval.rs:
+crates/core/src/graph.rs:
+crates/core/src/grid.rs:
+crates/core/src/node.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/search.rs:
+crates/core/src/tuning.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/coda_darr-bc44fc413396710e.d: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs
+
+/root/repo/target/release/deps/libcoda_darr-bc44fc413396710e.rlib: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs
+
+/root/repo/target/release/deps/libcoda_darr-bc44fc413396710e.rmeta: crates/darr/src/lib.rs crates/darr/src/coop.rs crates/darr/src/record.rs crates/darr/src/repo.rs crates/darr/src/resilient.rs
+
+crates/darr/src/lib.rs:
+crates/darr/src/coop.rs:
+crates/darr/src/record.rs:
+crates/darr/src/repo.rs:
+crates/darr/src/resilient.rs:

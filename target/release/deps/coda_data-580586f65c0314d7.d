@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/coda_data-580586f65c0314d7.d: crates/data/src/lib.rs crates/data/src/cv.rs crates/data/src/dataset.rs crates/data/src/impute.rs crates/data/src/impute_advanced.rs crates/data/src/metrics.rs crates/data/src/outlier.rs crates/data/src/survival.rs crates/data/src/synth.rs crates/data/src/traits.rs
+
+/root/repo/target/release/deps/libcoda_data-580586f65c0314d7.rlib: crates/data/src/lib.rs crates/data/src/cv.rs crates/data/src/dataset.rs crates/data/src/impute.rs crates/data/src/impute_advanced.rs crates/data/src/metrics.rs crates/data/src/outlier.rs crates/data/src/survival.rs crates/data/src/synth.rs crates/data/src/traits.rs
+
+/root/repo/target/release/deps/libcoda_data-580586f65c0314d7.rmeta: crates/data/src/lib.rs crates/data/src/cv.rs crates/data/src/dataset.rs crates/data/src/impute.rs crates/data/src/impute_advanced.rs crates/data/src/metrics.rs crates/data/src/outlier.rs crates/data/src/survival.rs crates/data/src/synth.rs crates/data/src/traits.rs
+
+crates/data/src/lib.rs:
+crates/data/src/cv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/impute.rs:
+crates/data/src/impute_advanced.rs:
+crates/data/src/metrics.rs:
+crates/data/src/outlier.rs:
+crates/data/src/survival.rs:
+crates/data/src/synth.rs:
+crates/data/src/traits.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/coda_linalg-cb3e2f5fcc0aff95.d: crates/linalg/src/lib.rs crates/linalg/src/decomp.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libcoda_linalg-cb3e2f5fcc0aff95.rlib: crates/linalg/src/lib.rs crates/linalg/src/decomp.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+/root/repo/target/release/deps/libcoda_linalg-cb3e2f5fcc0aff95.rmeta: crates/linalg/src/lib.rs crates/linalg/src/decomp.rs crates/linalg/src/eigen.rs crates/linalg/src/matrix.rs crates/linalg/src/stats.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/decomp.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/stats.rs:

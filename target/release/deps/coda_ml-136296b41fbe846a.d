@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/coda_ml-136296b41fbe846a.d: crates/ml/src/lib.rs crates/ml/src/balance.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/forest.rs crates/ml/src/kernel_pca.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/lda.rs crates/ml/src/linear.rs crates/ml/src/pca.rs crates/ml/src/scalers.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libcoda_ml-136296b41fbe846a.rlib: crates/ml/src/lib.rs crates/ml/src/balance.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/forest.rs crates/ml/src/kernel_pca.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/lda.rs crates/ml/src/linear.rs crates/ml/src/pca.rs crates/ml/src/scalers.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libcoda_ml-136296b41fbe846a.rmeta: crates/ml/src/lib.rs crates/ml/src/balance.rs crates/ml/src/bayes.rs crates/ml/src/boost.rs crates/ml/src/forest.rs crates/ml/src/kernel_pca.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/lda.rs crates/ml/src/linear.rs crates/ml/src/pca.rs crates/ml/src/scalers.rs crates/ml/src/select.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/balance.rs:
+crates/ml/src/bayes.rs:
+crates/ml/src/boost.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/kernel_pca.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/lda.rs:
+crates/ml/src/linear.rs:
+crates/ml/src/pca.rs:
+crates/ml/src/scalers.rs:
+crates/ml/src/select.rs:
+crates/ml/src/tree.rs:

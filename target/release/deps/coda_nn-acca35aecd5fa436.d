@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/coda_nn-acca35aecd5fa436.d: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/estimators.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/residual.rs
+
+/root/repo/target/release/deps/libcoda_nn-acca35aecd5fa436.rlib: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/estimators.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/residual.rs
+
+/root/repo/target/release/deps/libcoda_nn-acca35aecd5fa436.rmeta: crates/nn/src/lib.rs crates/nn/src/conv.rs crates/nn/src/estimators.rs crates/nn/src/layer.rs crates/nn/src/loss.rs crates/nn/src/lstm.rs crates/nn/src/network.rs crates/nn/src/optim.rs crates/nn/src/residual.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/estimators.rs:
+crates/nn/src/layer.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/lstm.rs:
+crates/nn/src/network.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/residual.rs:

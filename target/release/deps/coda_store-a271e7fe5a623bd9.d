@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/coda_store-a271e7fe5a623bd9.d: crates/store/src/lib.rs crates/store/src/client.rs crates/store/src/delta.rs crates/store/src/home.rs crates/store/src/lease.rs crates/store/src/replication.rs crates/store/src/tier.rs crates/store/src/trigger.rs
+
+/root/repo/target/release/deps/libcoda_store-a271e7fe5a623bd9.rlib: crates/store/src/lib.rs crates/store/src/client.rs crates/store/src/delta.rs crates/store/src/home.rs crates/store/src/lease.rs crates/store/src/replication.rs crates/store/src/tier.rs crates/store/src/trigger.rs
+
+/root/repo/target/release/deps/libcoda_store-a271e7fe5a623bd9.rmeta: crates/store/src/lib.rs crates/store/src/client.rs crates/store/src/delta.rs crates/store/src/home.rs crates/store/src/lease.rs crates/store/src/replication.rs crates/store/src/tier.rs crates/store/src/trigger.rs
+
+crates/store/src/lib.rs:
+crates/store/src/client.rs:
+crates/store/src/delta.rs:
+crates/store/src/home.rs:
+crates/store/src/lease.rs:
+crates/store/src/replication.rs:
+crates/store/src/tier.rs:
+crates/store/src/trigger.rs:

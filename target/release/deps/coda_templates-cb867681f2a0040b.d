@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/coda_templates-cb867681f2a0040b.d: crates/templates/src/lib.rs crates/templates/src/anomaly.rs crates/templates/src/cohort.rs crates/templates/src/failure.rs crates/templates/src/lifetime.rs crates/templates/src/rca.rs
+
+/root/repo/target/release/deps/libcoda_templates-cb867681f2a0040b.rlib: crates/templates/src/lib.rs crates/templates/src/anomaly.rs crates/templates/src/cohort.rs crates/templates/src/failure.rs crates/templates/src/lifetime.rs crates/templates/src/rca.rs
+
+/root/repo/target/release/deps/libcoda_templates-cb867681f2a0040b.rmeta: crates/templates/src/lib.rs crates/templates/src/anomaly.rs crates/templates/src/cohort.rs crates/templates/src/failure.rs crates/templates/src/lifetime.rs crates/templates/src/rca.rs
+
+crates/templates/src/lib.rs:
+crates/templates/src/anomaly.rs:
+crates/templates/src/cohort.rs:
+crates/templates/src/failure.rs:
+crates/templates/src/lifetime.rs:
+crates/templates/src/rca.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/coda_timeseries-733e736cdc7dfef7.d: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs
+
+/root/repo/target/release/deps/libcoda_timeseries-733e736cdc7dfef7.rlib: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs
+
+/root/repo/target/release/deps/libcoda_timeseries-733e736cdc7dfef7.rmeta: crates/timeseries/src/lib.rs crates/timeseries/src/deep.rs crates/timeseries/src/forecast.rs crates/timeseries/src/models.rs crates/timeseries/src/pipeline.rs crates/timeseries/src/series.rs crates/timeseries/src/window.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/deep.rs:
+crates/timeseries/src/forecast.rs:
+crates/timeseries/src/models.rs:
+crates/timeseries/src/pipeline.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/window.rs:

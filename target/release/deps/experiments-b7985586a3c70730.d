@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-b7985586a3c70730.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-b7985586a3c70730: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

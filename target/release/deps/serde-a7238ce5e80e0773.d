@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-a7238ce5e80e0773.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a7238ce5e80e0773.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a7238ce5e80e0773.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-867a2b8a91718faa.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-867a2b8a91718faa.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-867a2b8a91718faa.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

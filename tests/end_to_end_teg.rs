@@ -17,24 +17,15 @@ fn scaling_matters_on_badly_scaled_data() {
     // beat the unscaled kNN path — the reason the scaling stage exists.
     let ds = synth::badly_scaled_regression(300, 7, 0.5, 7);
     let graph = TegBuilder::new()
-        .add_feature_scalers(vec![
-            Box::new(StandardScaler::new()),
-            Box::new(NoOp::new()),
-        ])
+        .add_feature_scalers(vec![Box::new(StandardScaler::new()), Box::new(NoOp::new())])
         .add_models(vec![Box::new(KnnRegressor::new(5))])
         .create_graph()
         .unwrap();
-    let report = Evaluator::new(CvStrategy::kfold(5), Metric::Rmse)
-        .evaluate_graph(&graph, &ds)
-        .unwrap();
-    let scaled = report
-        .results
-        .iter()
-        .find(|r| r.spec.steps[0] == "standard_scaler")
-        .unwrap()
-        .mean_score;
-    let unscaled =
-        report.results.iter().find(|r| r.spec.steps[0] == "noop").unwrap().mean_score;
+    let report =
+        Evaluator::new(CvStrategy::kfold(5), Metric::Rmse).evaluate_graph(&graph, &ds).unwrap();
+    let scaled =
+        report.results.iter().find(|r| r.spec.steps[0] == "standard_scaler").unwrap().mean_score;
+    let unscaled = report.results.iter().find(|r| r.spec.steps[0] == "noop").unwrap().mean_score;
     assert!(
         scaled < unscaled * 0.8,
         "scaled kNN ({scaled:.3}) must clearly beat unscaled ({unscaled:.3})"
@@ -119,9 +110,8 @@ fn parallel_evaluation_reproducible_across_thread_counts() {
         ])
         .create_graph()
         .unwrap();
-    let base = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
-        .evaluate_graph(&graph, &ds)
-        .unwrap();
+    let base =
+        Evaluator::new(CvStrategy::kfold(3), Metric::Rmse).evaluate_graph(&graph, &ds).unwrap();
     for threads in [2usize, 8] {
         let par = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
             .with_threads(threads)
@@ -139,15 +129,11 @@ fn parallel_evaluation_reproducible_across_thread_counts() {
 fn monte_carlo_and_kfold_agree_on_the_winner() {
     let ds = synth::linear_regression(300, 4, 0.3, 12);
     let graph = TegBuilder::new()
-        .add_models(vec![
-            Box::new(LinearRegression::new()),
-            Box::new(KnnRegressor::new(3)),
-        ])
+        .add_models(vec![Box::new(LinearRegression::new()), Box::new(KnnRegressor::new(3))])
         .create_graph()
         .unwrap();
-    let kfold = Evaluator::new(CvStrategy::kfold(5), Metric::Rmse)
-        .evaluate_graph(&graph, &ds)
-        .unwrap();
+    let kfold =
+        Evaluator::new(CvStrategy::kfold(5), Metric::Rmse).evaluate_graph(&graph, &ds).unwrap();
     let mc = Evaluator::new(
         CvStrategy::MonteCarlo { n_splits: 8, test_fraction: 0.2, seed: 3 },
         Metric::Rmse,

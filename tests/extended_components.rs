@@ -7,8 +7,8 @@ use coda::data::impute_advanced::{IterativeImputer, MatrixFactorizationImputer};
 use coda::data::{synth, CvStrategy, Metric};
 use coda::graph::{Evaluator, ParamGrid, Pipeline, TegBuilder};
 use coda::ml::{
-    Kernel, KernelPca, KnnClassifier, Lda, LogisticRegression,
-    RandomOversampler, ScoreFunction, SelectKBest, StandardScaler,
+    Kernel, KernelPca, KnnClassifier, Lda, LogisticRegression, RandomOversampler, ScoreFunction,
+    SelectKBest, StandardScaler,
 };
 use coda_linalg::Matrix;
 
@@ -19,10 +19,7 @@ fn rings(n_per: usize) -> coda::data::Dataset {
     for i in 0..2 * n_per {
         let angle = i as f64 * std::f64::consts::PI * 2.0 / n_per as f64;
         let (r, label) = if i % 2 == 0 { (1.0, 0.0) } else { (5.0, 1.0) };
-        rows.push(vec![
-            r * angle.cos() + 0.05 * ((i * 7 % 13) as f64 / 13.0),
-            r * angle.sin(),
-        ]);
+        rows.push(vec![r * angle.cos() + 0.05 * ((i * 7 % 13) as f64 / 13.0), r * angle.sin()]);
         labels.push(label);
     }
     let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
@@ -40,17 +37,13 @@ fn kernel_pca_path_beats_linear_path_on_rings() {
         .add_models(vec![Box::new(LogisticRegression::new())])
         .create_graph()
         .unwrap();
-    let report = Evaluator::new(CvStrategy::KFold { k: 4, shuffle: true, seed: 1 }, Metric::Accuracy)
-        .evaluate_graph(&graph, &ds)
-        .unwrap();
-    let kernel_acc = report
-        .results
-        .iter()
-        .find(|r| r.spec.steps[0] == "kernel_pca")
-        .unwrap()
-        .mean_score;
-    let linear_acc =
-        report.results.iter().find(|r| r.spec.steps[0] == "pca").unwrap().mean_score;
+    let report =
+        Evaluator::new(CvStrategy::KFold { k: 4, shuffle: true, seed: 1 }, Metric::Accuracy)
+            .evaluate_graph(&graph, &ds)
+            .unwrap();
+    let kernel_acc =
+        report.results.iter().find(|r| r.spec.steps[0] == "kernel_pca").unwrap().mean_score;
+    let linear_acc = report.results.iter().find(|r| r.spec.steps[0] == "pca").unwrap().mean_score;
     assert!(
         kernel_acc > 0.95 && linear_acc < 0.8,
         "kernel {kernel_acc:.3} must separate rings where linear PCA ({linear_acc:.3}) cannot"
@@ -62,17 +55,15 @@ fn kernel_pca_path_beats_linear_path_on_rings() {
 fn lda_pipeline_with_information_gain_selection() {
     let ds = synth::classification_blobs(400, 10, 3, 1.2, 2);
     let graph = TegBuilder::new()
-        .add_feature_selectors(vec![Box::new(SelectKBest::new(
-            6,
-            ScoreFunction::InformationGain,
-        ))])
+        .add_feature_selectors(vec![Box::new(SelectKBest::new(6, ScoreFunction::InformationGain))])
         .add_transformers(vec![Box::new(Lda::new(2))])
         .add_models(vec![Box::new(KnnClassifier::new(5))])
         .create_graph()
         .unwrap();
-    let report = Evaluator::new(CvStrategy::KFold { k: 3, shuffle: true, seed: 2 }, Metric::Accuracy)
-        .evaluate_graph(&graph, &ds)
-        .unwrap();
+    let report =
+        Evaluator::new(CvStrategy::KFold { k: 3, shuffle: true, seed: 2 }, Metric::Accuracy)
+            .evaluate_graph(&graph, &ds)
+            .unwrap();
     assert!(report.best().unwrap().mean_score > 0.85);
 }
 
@@ -124,16 +115,14 @@ fn oversampler_improves_minority_f1_in_graph() {
     let run = |with_oversampling: bool| {
         let mut builder = TegBuilder::new();
         let builder = if with_oversampling {
-            builder = builder
-                .add_transformers(vec![Box::new(RandomOversampler::new().with_seed(9))]);
+            builder =
+                builder.add_transformers(vec![Box::new(RandomOversampler::new().with_seed(9))]);
             builder
         } else {
             builder
         };
-        let graph = builder
-            .add_models(vec![Box::new(LogisticRegression::new())])
-            .create_graph()
-            .unwrap();
+        let graph =
+            builder.add_models(vec![Box::new(LogisticRegression::new())]).create_graph().unwrap();
         Evaluator::new(CvStrategy::KFold { k: 3, shuffle: true, seed: 6 }, Metric::F1)
             .evaluate_graph(&graph, &ds)
             .unwrap()
@@ -143,10 +132,7 @@ fn oversampler_improves_minority_f1_in_graph() {
     };
     let with = run(true);
     let without = run(false);
-    assert!(
-        with > without + 0.05,
-        "oversampled f1 {with:.3} must clearly beat plain {without:.3}"
-    );
+    assert!(with > without + 0.05, "oversampled f1 {with:.3} must clearly beat plain {without:.3}");
 }
 
 #[test]

@@ -3,7 +3,9 @@
 //! site outages with recovery.
 
 use bytes::Bytes;
+use coda::chaos::RetryPolicy;
 use coda::cluster::run_cooperative;
+use coda::darr::{ClaimOutcome, ComputationKey, CoopOutcome, CooperativeClient, Darr};
 use coda::data::{synth, CvStrategy, Metric};
 use coda::graph::TegBuilder;
 use coda::ml::{LinearRegression, RidgeRegression};
@@ -23,8 +25,7 @@ fn cooperative_run_survives_failing_paths() {
         .create_graph()
         .unwrap();
     for use_darr in [false, true] {
-        let report =
-            run_cooperative(&graph, &ds, CvStrategy::kfold(3), Metric::Rmse, 3, use_darr);
+        let report = run_cooperative(&graph, &ds, CvStrategy::kfold(3), Metric::Rmse, 3, use_darr);
         assert!(report.best_score.is_finite(), "ridge path must produce a score");
         // only the viable path is ever *successfully* computed
         if use_darr {
@@ -37,8 +38,7 @@ fn cooperative_run_survives_failing_paths() {
 fn client_desynchronized_from_push_stream_recovers_by_pull() {
     let mut store = HomeDataStore::new("home", 2); // short history
     let mut client = CachingClient::new("c");
-    let mut blob: Vec<u8> =
-        (0..40_000u32).map(|i| (i % 241) as u8).collect();
+    let mut blob: Vec<u8> = (0..40_000u32).map(|i| (i % 241) as u8).collect();
     store.put("o", Bytes::from(blob.clone()));
     client.pull(&mut store, "o").unwrap();
     store.subscribe("c", "o", PushMode::Delta, 1_000);
@@ -86,6 +86,76 @@ fn replicated_store_full_outage_then_recovery() {
     rs.recover_site("site-1").unwrap();
     rs.put("o", Bytes::from_static(b"v3")).unwrap();
     assert!(rs.site_versions("o").iter().all(|(_, v)| *v == Some(3)));
+}
+
+#[test]
+fn darr_claim_taken_over_after_lease_expiry() {
+    // a client claims a computation and dies: its lease expires on the
+    // logical clock and another client takes the work over — no key is
+    // permanently wedged by a crashed holder
+    let darr = Darr::new();
+    let key = ComputationKey::new("ds", 1, "pipe|ridge", "kfold(3)", "rmse");
+    assert_eq!(darr.try_claim(&key, "dead-client", 50), ClaimOutcome::Claimed);
+    // while the lease is live, the work is protected from duplication
+    assert_eq!(
+        darr.try_claim(&key, "survivor", 50),
+        ClaimOutcome::HeldBy("dead-client".to_string())
+    );
+    darr.advance_clock(60); // lease expires; the holder never completed
+    let survivor = CooperativeClient::new(&darr, "survivor", 50);
+    let outcome = survivor.process(&key, || Ok((0.25, vec![0.2, 0.3], "takeover".into())));
+    match outcome {
+        CoopOutcome::Computed(record) => assert_eq!(record.producer, "survivor"),
+        other => panic!("expected takeover compute, got {other:?}"),
+    }
+    assert_eq!(darr.lookup(&key).unwrap().score, 0.25);
+}
+
+#[test]
+fn skipped_held_keys_eventually_reused_across_two_clients() {
+    // client A holds claims mid-computation; client B's first pass skips
+    // them, then B's bounded-backoff revisit finds A's finished results
+    // and reuses them — nothing is recomputed and nothing is lost
+    let darr = Darr::new();
+    let keys: Vec<ComputationKey> = (0..4)
+        .map(|i| {
+            ComputationKey::new(
+                "ds".to_string(),
+                1,
+                format!("p{i}"),
+                "kfold(3)".into(),
+                "rmse".into(),
+            )
+        })
+        .collect();
+    // A is busy computing the middle two keys
+    assert_eq!(darr.try_claim(&keys[1], "a", 1_000), ClaimOutcome::Claimed);
+    assert_eq!(darr.try_claim(&keys[2], "a", 1_000), ClaimOutcome::Claimed);
+    let b = CooperativeClient::new(&darr, "b", 1_000);
+    let policy = RetryPolicy::fixed(10.0, 5);
+    let mut b_revisits = 0;
+    let (summary, outcomes, report) = b.run_worklist_with_retry(
+        &keys,
+        |key| {
+            // emulate A finishing concurrently: A completes both held keys
+            // while B computes its last unheld key (after the first pass
+            // already skipped the held ones), so only the revisit sees them
+            b_revisits += 1;
+            if b_revisits == 2 {
+                darr.complete(&keys[1], "a", 0.1, vec![], "by a");
+                darr.complete(&keys[2], "a", 0.2, vec![], "by a");
+            }
+            Ok((0.5, vec![], format!("by b: {}", key.pipeline)))
+        },
+        &policy,
+    );
+    assert_eq!(summary.computed, 2, "B computes exactly the unheld keys");
+    assert_eq!(summary.reused, 2, "held keys resolve to A's results on revisit");
+    assert_eq!(summary.skipped, 0, "no key may remain skipped");
+    assert!(report.stats.retries >= 1, "revisits must go through the retry policy");
+    assert!(matches!(outcomes[1], CoopOutcome::Reused(ref r) if r.producer == "a"));
+    assert!(matches!(outcomes[2], CoopOutcome::Reused(ref r) if r.producer == "a"));
+    assert_eq!(darr.len(), 4);
 }
 
 #[test]

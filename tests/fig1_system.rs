@@ -7,8 +7,7 @@
 use bytes::Bytes;
 use coda::cluster::webservice::route_capability;
 use coda::cluster::{
-    run_cooperative, AnalyticsTask, ComputeNode, Placement, Scheduler, SimNetwork,
-    SimWebService,
+    run_cooperative, AnalyticsTask, ComputeNode, Placement, Scheduler, SimNetwork, SimWebService,
 };
 use coda::data::{synth, CvStrategy, Dataset, Metric, NoOp};
 use coda::graph::TegBuilder;
@@ -37,11 +36,8 @@ fn full_fig1_scenario() {
     let client = ComputeNode::client("plant-edge", 1.0);
     let cloud = ComputeNode::cloud("region-dc", 4.0, 8);
     let mut net = SimNetwork::new(20.0, 5_000.0);
-    let task = AnalyticsTask {
-        n_subtasks: 8,
-        work_per_subtask: 400.0,
-        input_bytes: blob.len() as u64,
-    };
+    let task =
+        AnalyticsTask { n_subtasks: 8, work_per_subtask: 400.0, input_bytes: blob.len() as u64 };
     let decision = Scheduler::place(&task, &client, &cloud, &net);
     assert_eq!(decision.placement, Placement::Cloud, "fast link + 8 VMs favours the cloud");
     let realized = Scheduler::execute(&decision, &task, &client, &cloud, &mut net);

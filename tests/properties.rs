@@ -255,6 +255,60 @@ proptest! {
         }
     }
 
+    /// Corruption never round-trips: flipping any bit of a delta's literal
+    /// payload in flight is caught by the end-to-end checksum — apply
+    /// errors instead of silently rebuilding wrong data.
+    #[test]
+    fn corrupted_delta_never_roundtrips(
+        base in proptest::collection::vec(any::<u8>(), 0..1024),
+        target in proptest::collection::vec(any::<u8>(), 1..1024),
+        pick in any::<usize>(), bit in 0u8..8) {
+        let mut delta = DeltaCodec::encode(&base, &target, 1, 2);
+        let literal_bytes = delta.literal_bytes();
+        prop_assume!(literal_bytes > 0);
+        // flip one bit of the pick-th literal byte across all Insert ops
+        let mut remaining = pick % literal_bytes;
+        for op in &mut delta.ops {
+            if let coda::store::DeltaOp::Insert(data) = op {
+                if remaining < data.len() {
+                    let mut raw = data.to_vec();
+                    raw[remaining] ^= 1 << bit;
+                    *data = Bytes::from(raw);
+                    break;
+                }
+                remaining -= data.len();
+            }
+        }
+        match DeltaCodec::apply(&base, &delta) {
+            Err(coda::store::DeltaError::ChecksumMismatch { .. }) => {}
+            other => prop_assert!(false, "corruption must be caught, got {:?}", other),
+        }
+    }
+
+    /// Corruption never round-trips on the push path either: a full-copy
+    /// push whose payload was damaged in flight is rejected by the client
+    /// and leaves its cache untouched.
+    #[test]
+    fn corrupted_full_push_is_rejected(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        pos in any::<usize>(), bit in 0u8..8) {
+        let mut corrupted = data.clone();
+        corrupted[pos % data.len()] ^= 1 << bit;
+        let push = coda::store::UpdateMessage::Full {
+            client: "c".to_string(),
+            object: "o".to_string(),
+            version: 2,
+            data: Bytes::from(corrupted),
+            checksum: coda::store::content_hash(&data),
+        };
+        let mut client = coda::store::CachingClient::new("c");
+        match client.apply_push(&push) {
+            Err(coda::store::ClientError::ChecksumMismatch { .. }) => {}
+            other => prop_assert!(false, "corruption must be caught, got {:?}", other),
+        }
+        prop_assert_eq!(client.held_version("o"), None);
+    }
+
     /// Train/test split partitions and respects the requested fraction.
     #[test]
     fn train_test_split_partitions(n in 4usize..200, frac in 0.05f64..0.95, seed in any::<u64>()) {

@@ -5,9 +5,7 @@
 
 use bytes::Bytes;
 use coda::darr::{ComputationKey, CooperativeClient, Darr};
-use coda::store::{
-    CachingClient, ChangeMonitor, HomeDataStore, PushMode, RecomputeTrigger,
-};
+use coda::store::{CachingClient, ChangeMonitor, HomeDataStore, PushMode, RecomputeTrigger};
 
 fn dataset_blob(version_salt: u8, n: usize) -> Bytes {
     Bytes::from((0..n).map(|i| ((i as u64 * 31) % 251) as u8 ^ version_salt).collect::<Vec<u8>>())
@@ -46,8 +44,7 @@ fn update_flow_store_trigger_darr() {
     // all v1 results are now stale: nothing to reuse
     assert!(darr.computed_for("ds").is_empty());
     let new_keys: Vec<ComputationKey> = keys.iter().map(|k| k.at_version(4)).collect();
-    let (summary2, _) =
-        client.run_worklist(&new_keys, |_| Ok((2.0, vec![], "v4".to_string())));
+    let (summary2, _) = client.run_worklist(&new_keys, |_| Ok((2.0, vec![], "v4".to_string())));
     assert_eq!(summary2.computed, 4, "stale results must not be reused");
     assert_eq!(summary2.reused, 0);
 }

@@ -3,9 +3,7 @@
 //! design implies must hold.
 
 use coda::data::{synth, Metric};
-use coda::timeseries::{
-    SeriesData, TimeSeriesPipelineBuilder, TsEvaluator,
-};
+use coda::timeseries::{SeriesData, TimeSeriesPipelineBuilder, TsEvaluator};
 use coda_linalg::Matrix;
 
 /// Statistical-models-only graph evaluates fast; used for ordering checks.
@@ -44,9 +42,8 @@ fn ar_beats_zero_on_autocorrelated_series_and_not_on_random_walk() {
 fn temporal_models_beat_iid_dnn_on_seasonal_series() {
     // a clean seasonal signal: history windows are informative, single
     // timestamps are not
-    let series: Vec<f64> = (0..500)
-        .map(|t| (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin() * 3.0)
-        .collect();
+    let series: Vec<f64> =
+        (0..500).map(|t| (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin() * 3.0).collect();
     let series = SeriesData::univariate(series);
     let graph = TimeSeriesPipelineBuilder::new(16, 1, 1)
         .with_deep_variants(false)
@@ -84,11 +81,17 @@ fn multivariate_pipeline_runs_end_to_end() {
     let eval = TsEvaluator::sliding(250, 5, 50, 2, Metric::Mae).with_threads(8);
     let report = eval.evaluate_graph(&graph, &series).unwrap();
     // every family produced a result
-    for family in ["lstm_simple", "cnn_simple", "wavenet", "seriesnet", "dnn_simple", "dnn_iid_simple", "zero_model", "ar_forecaster"] {
-        assert!(
-            report.score_for(family).is_some(),
-            "family {family} missing from report"
-        );
+    for family in [
+        "lstm_simple",
+        "cnn_simple",
+        "wavenet",
+        "seriesnet",
+        "dnn_simple",
+        "dnn_iid_simple",
+        "zero_model",
+        "ar_forecaster",
+    ] {
+        assert!(report.score_for(family).is_some(), "family {family} missing from report");
     }
     assert!(report.best().unwrap().mean_score.is_finite());
 }

@@ -1,0 +1,338 @@
+//! Offline stand-in for `proptest`: the `proptest!` macro, range/`any`
+//! strategies and `prop_assert*` macros over a deterministic per-test RNG.
+//! No shrinking — a failing case reports its index and seed instead.
+
+use std::ops::Range;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a property case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Deterministic test RNG (SplitMix64 keyed by the property name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates an RNG whose stream is a pure function of `key`.
+    pub fn from_key(key: &str) -> Self {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for b in key.bytes() {
+            state = (state ^ b as u64).wrapping_mul(0x100000001B3);
+        }
+        TestRng { state }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform usize in [lo, hi).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// Generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + (self.end - self.start) * rng.next_f64()
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Types with a full-range [`any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy { _marker: std::marker::PhantomData }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // finite, broad-range floats; NaN/inf handling is a non-goal here
+        (rng.next_f64() - 0.5) * 2.0e6
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface mirrored from real proptest.
+
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Defines property tests. Mirrors real proptest's surface syntax:
+/// an optional `#![proptest_config(..)]` inner attribute followed by
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_key(concat!(module_path!(), "::", stringify!($name)));
+            let mut ran = 0u32;
+            let mut attempts = 0u32;
+            while ran < config.cases && attempts < config.cases * 16 {
+                attempts += 1;
+                $(let $arg = $crate::Strategy::sample(&{ $strategy }, &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => ran += 1,
+                    Err($crate::TestCaseError::Reject) => continue,
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed on case {} (attempt {}): {}",
+                            stringify!($name), ran, attempts, msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not panicking
+/// directly) so the harness can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn assume_skips(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0, "n = {} should be even", n);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in collection::vec(any::<u8>(), 3..10)) {
+            prop_assert!((3..10).contains(&v.len()));
+        }
+
+        #[test]
+        fn nested_vec(vv in collection::vec(collection::vec(any::<u8>(), 0..4), 1..5)) {
+            prop_assert!(!vv.is_empty());
+            for v in &vv {
+                prop_assert!(v.len() < 4);
+            }
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = TestRng::from_key("k");
+        let mut b = TestRng::from_key("k");
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(TestRng::from_key("k").next_u64(), TestRng::from_key("k2").next_u64());
+    }
+}

@@ -1,0 +1,281 @@
+//! Offline stand-in for `serde`. Instead of the full data-model/visitor
+//! machinery, this crate defines a concrete JSON [`Value`], two traits —
+//! [`Serialize`] (to a `Value`) and [`Deserialize`] (from a `Value`) — and
+//! an [`impl_serde_struct!`] helper macro replacing the derive for plain
+//! field structs. `serde_json` (the sibling stand-in) supplies the text
+//! format on top of `Value`.
+
+use std::collections::BTreeMap;
+
+/// A JSON value. Integers and floats are distinct so round-trips preserve
+/// the numeric flavor (`3` stays an integer, `3.0` stays a float).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer number (no decimal point or exponent in the source).
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with sorted keys (deterministic output).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object map, when this is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, when this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization to the JSON value model.
+pub trait Serialize {
+    /// Renders `self` as a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialization from the JSON value model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first mismatch.
+    fn from_value(v: &Value) -> Result<Self, String>;
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_str().map(str::to_string).ok_or_else(|| format!("expected string, got {v:?}"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(format!("expected bool, got {v:?}")),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            _ => Err(format!("expected number, got {v:?}")),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, String> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i)
+                        .map_err(|_| format!("integer {i} out of range for {}", stringify!($t))),
+                    _ => Err(format!("expected integer, got {v:?}")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_array()
+            .ok_or_else(|| format!("expected array, got {v:?}"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeMap<String, T> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, t)| (k.clone(), t.to_value())).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for BTreeMap<String, T> {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        v.as_object()
+            .ok_or_else(|| format!("expected object, got {v:?}"))?
+            .iter()
+            .map(|(k, fv)| T::from_value(fv).map(|t| (k.clone(), t)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, String> {
+        Ok(v.clone())
+    }
+}
+
+/// Implements [`Serialize`]/[`Deserialize`] for a plain named-field struct,
+/// replacing `#[derive(Serialize, Deserialize)]`:
+///
+/// ```
+/// #[derive(PartialEq, Debug)]
+/// struct Point { x: i64, y: i64 }
+/// serde::impl_serde_struct!(Point { x, y });
+/// let v = serde::Serialize::to_value(&Point { x: 1, y: 2 });
+/// let back: Point = serde::Deserialize::from_value(&v).unwrap();
+/// assert_eq!(back, Point { x: 1, y: 2 });
+/// ```
+#[macro_export]
+macro_rules! impl_serde_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Serialize for $ty {
+            fn to_value(&self) -> $crate::Value {
+                let mut map = ::std::collections::BTreeMap::new();
+                $(
+                    map.insert(
+                        stringify!($field).to_string(),
+                        $crate::Serialize::to_value(&self.$field),
+                    );
+                )+
+                $crate::Value::Object(map)
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn from_value(v: &$crate::Value) -> ::std::result::Result<Self, String> {
+                let obj = v
+                    .as_object()
+                    .ok_or_else(|| format!("expected object for {}", stringify!($ty)))?;
+                Ok($ty {
+                    $(
+                        $field: match obj.get(stringify!($field)) {
+                            Some(fv) => $crate::Deserialize::from_value(fv).map_err(|e| {
+                                format!("{}.{}: {e}", stringify!($ty), stringify!($field))
+                            })?,
+                            None => {
+                                return Err(format!(
+                                    "{} missing field {}",
+                                    stringify!($ty),
+                                    stringify!($field)
+                                ))
+                            }
+                        },
+                    )+
+                })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        name: String,
+        count: u64,
+        ratio: f64,
+        tags: Vec<String>,
+    }
+
+    impl_serde_struct!(Demo { name, count, ratio, tags });
+
+    #[test]
+    fn struct_roundtrip() {
+        let d = Demo { name: "x".into(), count: 3, ratio: 0.5, tags: vec!["a".into(), "b".into()] };
+        let v = d.to_value();
+        let back = Demo::from_value(&v).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn missing_field_and_wrong_type_error() {
+        let v = Value::Object(BTreeMap::new());
+        assert!(Demo::from_value(&v).is_err());
+        assert!(String::from_value(&Value::Int(1)).is_err());
+        assert!(u64::from_value(&Value::Int(-1)).is_err());
+        assert_eq!(f64::from_value(&Value::Int(2)).unwrap(), 2.0);
+    }
+}

@@ -37,6 +37,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("d2", "§III: pull/push/lease propagation costs"),
     ("d3", "§III: recomputation triggers"),
     ("d4", "robustness: cooperative run under injected faults"),
+    ("d5", "prefix cache: cached vs uncached TEG evaluation speedup"),
     ("s1", "§IV-E: the four solution templates"),
     ("s2", "§II: censored failure-time analysis (Kaplan-Meier)"),
     ("a1", "ablation: delta history depth"),
@@ -113,6 +114,9 @@ fn main() {
     }
     if run("d4") {
         exp_d4();
+    }
+    if run("d5") {
+        exp_d5();
     }
     if run("s1") {
         exp_s1();
@@ -727,6 +731,82 @@ fn exp_d4() {
         &rows,
     );
     println!("shape: every scenario completes all 16 evaluations; faults shift work from reuse to retries, journals and takeovers, and every duplicate computation is accounted — none are silent. Each row is verified to replay bit-identically from its seed.");
+}
+
+/// D5 — shared-prefix transform caching: cached vs uncached wall-clock on
+/// fan-out TEGs, by path count and grid size. Every fan-out path shares a
+/// 3-stage transformer prefix, so the cache fits it once per fold instead
+/// of once per path per fold.
+fn exp_d5() {
+    use coda_bench::fan_out_graph;
+    use coda_core::ParamGrid;
+
+    let ds = synth::friedman1(1500, 30, 0.4, 55);
+    let cv = CvStrategy::kfold(5);
+    let time_eval = |cached: bool, graph: &coda_core::Teg, grid: Option<&ParamGrid>| {
+        let eval = Evaluator::new(cv.clone(), Metric::Rmse).with_prefix_cache(cached);
+        let start = std::time::Instant::now();
+        let report = match grid {
+            Some(g) => eval.evaluate_graph_with_grid(graph, &ds, g),
+            None => eval.evaluate_graph(graph, &ds),
+        }
+        .expect("fan-out graph evaluates");
+        (start.elapsed().as_secs_f64() * 1000.0, report)
+    };
+
+    let mut rows = Vec::new();
+    for n_paths in [2usize, 4, 8, 16] {
+        let graph = fan_out_graph(n_paths);
+        let (uncached_ms, base) = time_eval(false, &graph, None);
+        let (cached_ms, report) = time_eval(true, &graph, None);
+        for (a, b) in base.results.iter().zip(&report.results) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.mean_score.to_bits(), b.mean_score.to_bits(), "cached ≡ uncached");
+        }
+        let stats = report.cache.expect("cached run reports stats");
+        assert!(stats.hits > 0, "fan-out must produce cache hits");
+        rows.push(vec![
+            n_paths.to_string(),
+            "—".to_string(),
+            format!("{uncached_ms:.0}"),
+            format!("{cached_ms:.0}"),
+            format!("{:.2}x", uncached_ms / cached_ms),
+            format!("{}/{}", stats.hits, stats.lookups()),
+            format!("{:.0}%", stats.hit_rate() * 100.0),
+        ]);
+    }
+    // grid sweep over the estimator only: the transformer prefix stays
+    // shared across every assignment, so hits scale with grid size too
+    for grid_size in [2usize, 4] {
+        let graph = fan_out_graph(4);
+        let mut grid = ParamGrid::new();
+        grid.add(
+            "ridge_regression__alpha",
+            (0..grid_size).map(|i| (0.01 * 10f64.powi(i as i32)).into()).collect(),
+        );
+        let (uncached_ms, base) = time_eval(false, &graph, Some(&grid));
+        let (cached_ms, report) = time_eval(true, &graph, Some(&grid));
+        for (a, b) in base.results.iter().zip(&report.results) {
+            assert_eq!(a.mean_score.to_bits(), b.mean_score.to_bits(), "cached ≡ uncached");
+        }
+        let stats = report.cache.expect("cached run reports stats");
+        assert!(stats.hits > 0, "grid fan-out must produce cache hits");
+        rows.push(vec![
+            "4".to_string(),
+            grid_size.to_string(),
+            format!("{uncached_ms:.0}"),
+            format!("{cached_ms:.0}"),
+            format!("{:.2}x", uncached_ms / cached_ms),
+            format!("{}/{}", stats.hits, stats.lookups()),
+            format!("{:.0}%", stats.hit_rate() * 100.0),
+        ]);
+    }
+    print_table(
+        "D5 — prefix cache: fan-out TEG (3-stage shared prefix), 1500x30 friedman1, 5-fold CV",
+        &["paths", "grid", "uncached ms", "cached ms", "speedup", "hits/lookups", "hit rate"],
+        &rows,
+    );
+    println!("shape: speedup grows with fan-out (more paths amortize each prefix fit) and holds under estimator-only grids; reports are verified bit-identical to the uncached run in every row.");
 }
 
 /// S1 — §IV-E solution templates on synthetic industrial data.

@@ -73,6 +73,28 @@ pub fn small_graph() -> Teg {
         .expect("fixed wiring is acyclic")
 }
 
+/// A fan-out graph for prefix-cache benches: a fixed 3-stage transformer
+/// prefix (standard scaler → PCA → select-k-best) shared by `n_models`
+/// ridge regressors with distinct regularization strengths. Every path
+/// shares the whole prefix, so a prefix cache fits it once per fold
+/// instead of `n_models` times.
+pub fn fan_out_graph(n_models: usize) -> Teg {
+    let models: Vec<BoxedEstimator> = (0..n_models)
+        .map(|i| {
+            Box::new(coda_ml::RidgeRegression::new(0.01 * 1.5f64.powi(i as i32))) as BoxedEstimator
+        })
+        .collect();
+    TegBuilder::new()
+        .add_feature_scalers(vec![Box::new(StandardScaler::new()) as BoxedTransformer])
+        .add_feature_selectors(vec![Box::new(Pca::new(12)) as BoxedTransformer])
+        .add_transformers(vec![
+            Box::new(SelectKBest::new(8, ScoreFunction::FRegression)) as BoxedTransformer
+        ])
+        .add_models(models)
+        .create_graph()
+        .expect("fixed wiring is acyclic")
+}
+
 /// Patterned bytes for delta-encoding workloads.
 pub fn patterned_bytes(n: usize, seed: u8) -> Vec<u8> {
     (0..n).map(|i| ((i as u64 * 131 + seed as u64) % 251) as u8).collect()

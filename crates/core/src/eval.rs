@@ -1,17 +1,22 @@
 //! Model validation and selection (paper §IV-B, Fig. 4): evaluate every
 //! pipeline of a graph under a cross-validation strategy and scoring metric,
-//! pick the best path, optionally expanding a parameter grid and running
-//! paths in parallel across threads.
+//! pick the best path, optionally expanding a parameter grid, running paths
+//! in parallel across threads, and reusing shared transformer prefixes
+//! through a [`TransformCache`].
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-use coda_data::cv::CvError;
+use coda_data::cv::{CvError, Split};
 use coda_data::metrics::MetricError;
 use coda_data::{ComponentError, CvStrategy, Dataset, Metric, Params};
 
+use crate::cache::{CacheStats, TransformCache};
 use crate::graph::{GraphError, Teg};
+use crate::grid::restrict_params;
+use crate::node::Component;
 use crate::pipeline::{Pipeline, PipelineSpec};
 
 /// Error produced by pipeline/graph evaluation.
@@ -95,6 +100,10 @@ pub struct GraphReport {
     /// All path results (successful and failed), in ranked order:
     /// successful paths best-first, then failures.
     pub results: Vec<PathResult>,
+    /// Prefix-cache accounting when the evaluation ran with
+    /// [`Evaluator::with_prefix_cache`]; `None` for uncached runs. The
+    /// `results` themselves are bit-identical either way.
+    pub cache: Option<CacheStats>,
 }
 
 impl GraphReport {
@@ -123,6 +132,9 @@ impl fmt::Display for GraphReport {
                 Some(e) => writeln!(f, "  {:>12}  {} [{e}]", "failed", r.spec.key())?,
             }
         }
+        if let Some(stats) = &self.cache {
+            writeln!(f, "  prefix cache: {stats}")?;
+        }
         Ok(())
     }
 }
@@ -134,12 +146,14 @@ pub struct Evaluator {
     cv: CvStrategy,
     metric: Metric,
     n_threads: usize,
+    use_cache: bool,
 }
 
 impl Evaluator {
-    /// Creates an evaluator. Defaults to single-threaded evaluation.
+    /// Creates an evaluator. Defaults to single-threaded, uncached
+    /// evaluation.
     pub fn new(cv: CvStrategy, metric: Metric) -> Self {
-        Evaluator { cv, metric, n_threads: 1 }
+        Evaluator { cv, metric, n_threads: 1, use_cache: false }
     }
 
     /// Enables parallel path evaluation over `n` worker threads — the
@@ -152,6 +166,21 @@ impl Evaluator {
         assert!(n > 0, "thread count must be positive");
         self.n_threads = n;
         self
+    }
+
+    /// Enables (or disables) the shared-prefix [`TransformCache`]: each
+    /// distinct transformer prefix is fitted once per fold and reused by
+    /// every path sharing it. Results are bit-identical to an uncached run
+    /// (transformers are deterministic); the accounting lands on
+    /// [`GraphReport::cache`].
+    pub fn with_prefix_cache(mut self, enabled: bool) -> Self {
+        self.use_cache = enabled;
+        self
+    }
+
+    /// True when shared-prefix caching is enabled.
+    pub fn prefix_cache_enabled(&self) -> bool {
+        self.use_cache
     }
 
     /// The configured metric.
@@ -234,19 +263,12 @@ impl Evaluator {
         let mut jobs = Vec::new();
         let mut seen = std::collections::BTreeSet::new();
         for pipeline in &pipelines {
-            let names: std::collections::BTreeSet<&str> =
-                pipeline.node_names().into_iter().collect();
+            let names: BTreeSet<&str> = pipeline.node_names().into_iter().collect();
             for params in &assignments {
-                // restrict to the params that touch this path
-                let relevant: Params = params
-                    .iter()
-                    .filter(|(k, _)| {
-                        coda_data::traits::split_param_key(k)
-                            .map(|(n, _)| names.contains(n))
-                            .unwrap_or(false)
-                    })
-                    .map(|(k, v)| (k.clone(), v.clone()))
-                    .collect();
+                // restrict to the params that touch this path; the spec key
+                // includes the step names, so paths with disjoint param
+                // namespaces can never collide in `seen`
+                let relevant = restrict_params(params, &names);
                 let spec = pipeline.spec().with_params(&relevant);
                 if seen.insert(spec.key()) {
                     jobs.push((pipeline.fresh_clone(), relevant));
@@ -256,12 +278,16 @@ impl Evaluator {
         self.evaluate_jobs(jobs, data)
     }
 
-    /// Core evaluation over (pipeline, params) jobs, parallel if configured.
+    /// Core evaluation over (pipeline, params) jobs, parallel if configured
+    /// and prefix-cached if enabled.
     fn evaluate_jobs(
         &self,
         jobs: Vec<(Pipeline, Params)>,
         data: &Dataset,
     ) -> Result<GraphReport, EvalError> {
+        if self.use_cache {
+            return self.evaluate_jobs_cached(jobs, data);
+        }
         let results: Vec<PathResult> = if self.n_threads <= 1 || jobs.len() <= 1 {
             jobs.into_iter().map(|(p, params)| self.run_job(p, &params, data)).collect()
         } else {
@@ -287,6 +313,85 @@ impl Evaluator {
             collected.sort_by_key(|(i, _)| *i);
             collected.into_iter().map(|(_, r)| r).collect()
         };
+        self.rank(results, None)
+    }
+
+    /// Cached evaluation: splits are computed once, jobs are dispatched
+    /// grouped by shared transformer prefix (so reuse lands early), results
+    /// are restored to enumeration order before ranking — keeping reports
+    /// bit-identical to the uncached path, tie order included.
+    fn evaluate_jobs_cached(
+        &self,
+        jobs: Vec<(Pipeline, Params)>,
+        data: &Dataset,
+    ) -> Result<GraphReport, EvalError> {
+        let splits = self.cv.splits_for(data);
+        // prefix-aware planning: stable order by full transformer-prefix
+        // key, original index as tiebreak, so jobs sharing a prefix are
+        // adjacent in dispatch order
+        let plan_keys: Vec<String> = jobs
+            .iter()
+            .map(|(pipeline, params)| {
+                let steps: Vec<String> = pipeline
+                    .nodes()
+                    .iter()
+                    .filter(|n| !n.component().is_estimator())
+                    .map(|n| n.name().to_string())
+                    .collect();
+                prefix_cache_key(&steps, params)
+            })
+            .collect();
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| plan_keys[a].cmp(&plan_keys[b]).then(a.cmp(&b)));
+        let cache = TransformCache::new();
+        let mut indexed: Vec<(usize, PathResult)> = if self.n_threads <= 1 || jobs.len() <= 1 {
+            order
+                .iter()
+                .map(|&i| {
+                    let (pipeline, params) = &jobs[i];
+                    (i, self.run_job_cached(pipeline.fresh_clone(), params, data, &splits, &cache))
+                })
+                .collect()
+        } else {
+            let counter = AtomicUsize::new(0);
+            let out: Mutex<Vec<(usize, PathResult)>> = Mutex::new(Vec::new());
+            let (jobs_ref, order_ref, splits_ref, cache_ref) = (&jobs, &order, &splits, &cache);
+            let counter_ref = &counter;
+            let out_ref = &out;
+            std::thread::scope(|scope| {
+                for _ in 0..self.n_threads.min(jobs_ref.len()) {
+                    scope.spawn(move || loop {
+                        let pos = counter_ref.fetch_add(1, Ordering::Relaxed);
+                        if pos >= order_ref.len() {
+                            break;
+                        }
+                        let i = order_ref[pos];
+                        let (pipeline, params) = &jobs_ref[i];
+                        let result = self.run_job_cached(
+                            pipeline.fresh_clone(),
+                            params,
+                            data,
+                            splits_ref,
+                            cache_ref,
+                        );
+                        out_ref.lock().expect("no panics hold this lock").push((i, result));
+                    });
+                }
+            });
+            out.into_inner().expect("threads joined")
+        };
+        indexed.sort_by_key(|(i, _)| *i);
+        let results = indexed.into_iter().map(|(_, r)| r).collect();
+        self.rank(results, Some(cache.stats()))
+    }
+
+    /// Ranks results (successes best-first by the metric, then failures)
+    /// and assembles the report.
+    fn rank(
+        &self,
+        results: Vec<PathResult>,
+        cache: Option<CacheStats>,
+    ) -> Result<GraphReport, EvalError> {
         if results.iter().all(|r| !r.is_ok()) {
             return Err(EvalError::NothingEvaluated);
         }
@@ -306,7 +411,7 @@ impl Evaluator {
                 }
             }
         });
-        Ok(GraphReport { metric, results: ranked })
+        Ok(GraphReport { metric, results: ranked, cache })
     }
 
     fn run_job(&self, mut pipeline: Pipeline, params: &Params, data: &Dataset) -> PathResult {
@@ -332,6 +437,118 @@ impl Evaluator {
             },
         }
     }
+
+    /// The cached counterpart of [`Evaluator::run_job`]: identical
+    /// semantics and error strings, but every transformer-prefix fit goes
+    /// through the shared [`TransformCache`].
+    fn run_job_cached(
+        &self,
+        mut pipeline: Pipeline,
+        params: &Params,
+        data: &Dataset,
+        splits: &Result<Vec<Split>, CvError>,
+        cache: &TransformCache,
+    ) -> PathResult {
+        let spec = pipeline.spec().with_params(params);
+        let failed = |error: String| PathResult {
+            spec: spec.clone(),
+            fold_scores: Vec::new(),
+            mean_score: self.metric.worst(),
+            error: Some(error),
+        };
+        if let Err(e) = pipeline.apply_matching_params(params) {
+            return failed(e.to_string());
+        }
+        let splits = match splits {
+            Ok(s) => s,
+            Err(e) => return failed(EvalError::Cv(e.clone()).to_string()),
+        };
+        let mut fold_scores = Vec::with_capacity(splits.len());
+        for (fold, split) in splits.iter().enumerate() {
+            match self.score_fold_cached(&pipeline, params, data, fold, split, cache) {
+                Ok(score) => fold_scores.push(score),
+                Err(e) => return failed(e.to_string()),
+            }
+        }
+        let mean_score = fold_scores.iter().sum::<f64>() / fold_scores.len().max(1) as f64;
+        PathResult { spec, fold_scores, mean_score, error: None }
+    }
+
+    /// Scores one pipeline on one fold, reusing cached prefix outputs. The
+    /// node walk, validity checks and error messages mirror
+    /// [`Pipeline::fit`]/[`Pipeline::predict`] exactly so a cached run is
+    /// indistinguishable from an uncached one.
+    fn score_fold_cached(
+        &self,
+        pipeline: &Pipeline,
+        params: &Params,
+        data: &Dataset,
+        fold: usize,
+        split: &Split,
+        cache: &TransformCache,
+    ) -> Result<f64, EvalError> {
+        let nodes = pipeline.nodes();
+        if nodes.is_empty() {
+            return Err(ComponentError::InvalidInput("empty pipeline".to_string()).into());
+        }
+        let last = nodes.len() - 1;
+        let train0 = data.select(&split.train);
+        let validation0 = data.select(&split.validation);
+        let mut cur: Option<Arc<(Dataset, Dataset)>> = None;
+        let mut prefix_steps: Vec<String> = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            match node.component() {
+                Component::Transform(t) => {
+                    if i == last {
+                        return Err(ComponentError::InvalidInput(format!(
+                            "pipeline ends in transformer {}",
+                            t.name()
+                        ))
+                        .into());
+                    }
+                    prefix_steps.push(node.name().to_string());
+                    let key = prefix_cache_key(&prefix_steps, params);
+                    let prev = cur.clone();
+                    let out = cache.get_or_fit(fold, &key, || {
+                        let (train, validation) = match &prev {
+                            Some(pair) => (&pair.0, &pair.1),
+                            None => (&train0, &validation0),
+                        };
+                        let mut fresh = t.clone_box();
+                        let train_next = fresh.fit_transform(train)?;
+                        let validation_next = fresh.transform(validation)?;
+                        Ok((train_next, validation_next))
+                    });
+                    cur = Some(out.map_err(EvalError::Component)?);
+                }
+                Component::Estimate(e) => {
+                    if i != last {
+                        return Err(ComponentError::InvalidInput(format!(
+                            "estimator {} is not the final node",
+                            e.name()
+                        ))
+                        .into());
+                    }
+                    let (train, validation) = match &cur {
+                        Some(pair) => (&pair.0, &pair.1),
+                        None => (&train0, &validation0),
+                    };
+                    let mut model = e.clone_box();
+                    model.fit(train)?;
+                    let pred = model.predict(validation)?;
+                    let truth = validation0.target_required().map_err(ComponentError::from)?;
+                    return Ok(self.metric.compute(truth, &pred)?);
+                }
+            }
+        }
+        Err(ComponentError::InvalidInput("pipeline has no estimator".to_string()).into())
+    }
+}
+
+/// See [`PipelineSpec::prefix_key`] — the canonical cache key of a
+/// transformer prefix within one graph evaluation.
+fn prefix_cache_key(steps: &[String], params: &Params) -> String {
+    PipelineSpec::prefix_key(steps, params)
 }
 
 #[cfg(test)]
@@ -461,6 +678,197 @@ mod tests {
         // pca path: 2 pca values x 2 k values = 4; noop path: k values only = 2
         assert_eq!(report.results.len(), 6);
         assert_eq!(report.n_failed(), 0);
+    }
+
+    fn fan_out_graph(n_models: usize) -> crate::graph::Teg {
+        let models: Vec<coda_data::BoxedEstimator> = (0..n_models)
+            .map(|i| {
+                Box::new(RidgeRegression::new(0.1 + i as f64 * 0.2)) as coda_data::BoxedEstimator
+            })
+            .collect();
+        TegBuilder::new()
+            .add_feature_scalers(vec![Box::new(StandardScaler::new())])
+            .add_feature_selectors(vec![Box::new(Pca::new(2))])
+            .add_models(models)
+            .create_graph()
+            .unwrap()
+    }
+
+    fn assert_identical(a: &GraphReport, b: &GraphReport) {
+        assert_eq!(a.results.len(), b.results.len());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.spec, y.spec);
+            assert_eq!(x.error, y.error);
+            assert_eq!(x.fold_scores.len(), y.fold_scores.len());
+            for (s, t) in x.fold_scores.iter().zip(&y.fold_scores) {
+                assert_eq!(s.to_bits(), t.to_bits(), "fold scores must be bit-identical");
+            }
+            assert_eq!(x.mean_score.to_bits(), y.mean_score.to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_report_bit_identical_to_uncached() {
+        let ds = synth::friedman1(120, 5, 0.3, 201);
+        let graph = fan_out_graph(4);
+        let uncached =
+            Evaluator::new(CvStrategy::kfold(3), Metric::Rmse).evaluate_graph(&graph, &ds).unwrap();
+        let cached = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
+            .with_prefix_cache(true)
+            .evaluate_graph(&graph, &ds)
+            .unwrap();
+        assert_identical(&uncached, &cached);
+        assert!(uncached.cache.is_none());
+        assert!(cached.cache.is_some());
+    }
+
+    #[test]
+    fn cached_parallel_matches_serial() {
+        let ds = synth::friedman1(150, 5, 0.3, 202);
+        let graph = fan_out_graph(6);
+        let eval = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse).with_prefix_cache(true);
+        let serial = eval.clone().evaluate_graph(&graph, &ds).unwrap();
+        let parallel = eval.with_threads(4).evaluate_graph(&graph, &ds).unwrap();
+        assert_identical(&serial, &parallel);
+        // slot-serialized cache: accounting is deterministic under threads
+        assert_eq!(serial.cache, parallel.cache);
+    }
+
+    #[test]
+    fn cache_stats_linear_chain_zero_hits() {
+        // a linear chain shares nothing: every lookup is a distinct fit
+        let ds = synth::friedman1(90, 5, 0.3, 203);
+        let graph = TegBuilder::new()
+            .add_feature_scalers(vec![Box::new(StandardScaler::new())])
+            .add_feature_selectors(vec![Box::new(Pca::new(2))])
+            .add_models(vec![Box::new(LinearRegression::new())])
+            .create_graph()
+            .unwrap();
+        let report = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
+            .with_prefix_cache(true)
+            .evaluate_graph(&graph, &ds)
+            .unwrap();
+        let stats = report.cache.unwrap();
+        let (distinct, visits) = graph.transform_prefix_counts();
+        assert_eq!((distinct, visits), (2, 2));
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2 * 3, "2 prefixes x 3 folds");
+        assert_eq!(stats.hits + stats.misses, (visits * 3) as u64);
+    }
+
+    #[test]
+    fn cache_stats_fan_out_predicted_hits() {
+        // 4 models share a 2-stage prefix: per fold, 8 lookups, 2 fits
+        let ds = synth::friedman1(90, 5, 0.3, 204);
+        let graph = fan_out_graph(4);
+        let k = 3u64;
+        let report = Evaluator::new(CvStrategy::kfold(k as usize), Metric::Rmse)
+            .with_prefix_cache(true)
+            .evaluate_graph(&graph, &ds)
+            .unwrap();
+        let stats = report.cache.unwrap();
+        let (distinct, visits) = graph.transform_prefix_counts();
+        assert_eq!((distinct, visits), (2, 8));
+        assert_eq!(stats.misses, distinct as u64 * k);
+        assert_eq!(stats.hits, (visits - distinct) as u64 * k);
+        assert_eq!(stats.refits_avoided, stats.hits);
+        assert!(stats.bytes > 0);
+        assert_eq!(stats.hits + stats.misses, visits as u64 * k);
+    }
+
+    #[test]
+    fn cached_grid_matches_uncached_grid() {
+        let ds = synth::friedman1(90, 6, 0.3, 205);
+        let graph = TegBuilder::new()
+            .add_feature_selectors(vec![Box::new(Pca::new(2)), Box::new(NoOp::new())])
+            .add_models(vec![Box::new(KnnRegressor::new(3))])
+            .create_graph()
+            .unwrap();
+        let mut grid = crate::grid::ParamGrid::new();
+        grid.add("pca__n_components", vec![2usize.into(), 4usize.into()]);
+        grid.add("knn_regressor__k", vec![3usize.into(), 7usize.into()]);
+        let uncached = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
+            .evaluate_graph_with_grid(&graph, &ds, &grid)
+            .unwrap();
+        let cached = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
+            .with_prefix_cache(true)
+            .evaluate_graph_with_grid(&graph, &ds, &grid)
+            .unwrap();
+        assert_identical(&uncached, &cached);
+        // pca prefix: 2 distinct param values x 3 folds; noop prefix: 3 folds
+        let stats = cached.cache.unwrap();
+        assert_eq!(stats.misses, (2 + 1) * 3);
+        // 6 jobs x 1 prefix visit x 3 folds = 18 lookups
+        assert_eq!(stats.hits + stats.misses, 18);
+    }
+
+    #[test]
+    fn grid_disjoint_param_namespaces_do_not_collide() {
+        // regression: paths with disjoint param namespaces must neither
+        // collide in the dedup set (the spec key embeds the step names) nor
+        // silently drop jobs
+        let ds = synth::friedman1(90, 6, 0.3, 206);
+        let graph = TegBuilder::new()
+            .add_feature_selectors(vec![Box::new(Pca::new(2)), Box::new(NoOp::new())])
+            .add_models(vec![Box::new(KnnRegressor::new(3)), Box::new(RidgeRegression::new(1.0))])
+            .create_graph()
+            .unwrap();
+        let mut grid = crate::grid::ParamGrid::new();
+        grid.add("pca__n_components", vec![2usize.into(), 3usize.into()]);
+        grid.add("knn_regressor__k", vec![3usize.into(), 5usize.into()]);
+        grid.add("ridge_regression__alpha", vec![0.1.into(), 1.0.into()]);
+        for use_cache in [false, true] {
+            let report = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
+                .with_prefix_cache(use_cache)
+                .evaluate_graph_with_grid(&graph, &ds, &grid)
+                .unwrap();
+            // pca>knn: 2x2=4; pca>ridge: 2x2=4; noop>knn: 2; noop>ridge: 2
+            assert_eq!(report.results.len(), 12, "no jobs dropped or merged");
+            let keys: std::collections::BTreeSet<String> =
+                report.results.iter().map(|r| r.spec.key()).collect();
+            assert_eq!(keys.len(), 12, "every surviving job has a distinct spec key");
+        }
+    }
+
+    #[test]
+    fn cached_failing_and_malformed_paths_report_identical_errors() {
+        // one path fails per-fold (linear regression with too few samples),
+        // the other succeeds; error strings must match the uncached run
+        let ds = synth::linear_regression(12, 6, 0.01, 207);
+        let graph = TegBuilder::new()
+            .add_feature_scalers(vec![Box::new(StandardScaler::new())])
+            .add_models(vec![
+                Box::new(LinearRegression::new()),
+                Box::new(RidgeRegression::new(1.0)),
+            ])
+            .create_graph()
+            .unwrap();
+        // kfold(2) trains on 6 rows < 7 design columns: OLS fails per fold
+        let uncached =
+            Evaluator::new(CvStrategy::kfold(2), Metric::Rmse).evaluate_graph(&graph, &ds).unwrap();
+        let cached = Evaluator::new(CvStrategy::kfold(2), Metric::Rmse)
+            .with_prefix_cache(true)
+            .evaluate_graph(&graph, &ds)
+            .unwrap();
+        assert_eq!(uncached.n_failed(), 1, "the OLS branch must actually fail");
+        assert_eq!(uncached.n_ok(), 1);
+        assert_identical(&uncached, &cached);
+    }
+
+    #[test]
+    fn cached_cv_error_matches_uncached() {
+        let ds = synth::linear_regression(4, 2, 0.1, 208);
+        let graph = TegBuilder::new()
+            .add_models(vec![Box::new(LinearRegression::new())])
+            .create_graph()
+            .unwrap();
+        let uncached =
+            Evaluator::new(CvStrategy::kfold(10), Metric::Rmse).evaluate_graph(&graph, &ds);
+        let cached = Evaluator::new(CvStrategy::kfold(10), Metric::Rmse)
+            .with_prefix_cache(true)
+            .evaluate_graph(&graph, &ds);
+        assert!(matches!(uncached, Err(EvalError::NothingEvaluated)));
+        assert!(matches!(cached, Err(EvalError::NothingEvaluated)));
     }
 
     #[test]

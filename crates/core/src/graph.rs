@@ -156,6 +156,36 @@ impl Teg {
         Ok(Pipeline::from_nodes(steps))
     }
 
+    /// Counts transformer prefixes across all root→leaf paths, returning
+    /// `(distinct prefixes, total prefix visits)`.
+    ///
+    /// A prefix-cached evaluation (see `Evaluator::with_prefix_cache`) fits
+    /// each *distinct* transformer prefix once per cross-validation fold
+    /// and looks one prefix up per stage visit, so with no parameter grid
+    /// the predicted per-fold cache accounting is `misses = distinct` and
+    /// `hits = visits - distinct`. A linear chain has `distinct == visits`
+    /// (nothing shared); a wide fan-out shares everything but the leaves.
+    pub fn transform_prefix_counts(&self) -> (usize, usize) {
+        let mut distinct = BTreeSet::new();
+        let mut visits = 0usize;
+        for path in self.enumerate_paths() {
+            let mut chain = String::new();
+            for &idx in &path {
+                let node = &self.nodes[idx];
+                if node.component().is_estimator() {
+                    break;
+                }
+                if !chain.is_empty() {
+                    chain.push('>');
+                }
+                chain.push_str(node.name());
+                visits += 1;
+                distinct.insert(chain.clone());
+            }
+        }
+        (distinct.len(), visits)
+    }
+
     /// Human-readable path name, e.g. `input -> robust_scaler -> pca -> rf`.
     pub fn path_name(&self, path: &[usize]) -> String {
         let mut s = String::from("input");
@@ -475,6 +505,33 @@ mod tests {
         let g = b.create_graph().unwrap();
         assert_eq!(g.n_edges(), 1);
         assert_eq!(g.enumerate_paths().len(), 1);
+    }
+
+    #[test]
+    fn prefix_counts_linear_vs_fanout() {
+        // linear chain: 1 path, 2 transformer stages, nothing shared
+        let linear = TegBuilder::new()
+            .add_feature_scalers(vec![Box::new(StandardScaler::new())])
+            .add_feature_selectors(vec![Box::new(Pca::new(2))])
+            .add_models(vec![Box::new(LinearRegression::new())])
+            .create_graph()
+            .unwrap();
+        assert_eq!(linear.transform_prefix_counts(), (2, 2));
+        // fan-out: 3 models share one 2-stage prefix
+        let fanout = TegBuilder::new()
+            .add_feature_scalers(vec![Box::new(StandardScaler::new())])
+            .add_feature_selectors(vec![Box::new(Pca::new(2))])
+            .add_models(vec![
+                Box::new(LinearRegression::new()),
+                Box::new(KnnRegressor::new(3)),
+                Box::new(DecisionTreeRegressor::new()),
+            ])
+            .create_graph()
+            .unwrap();
+        // distinct: scaler, scaler>pca; visits: 3 paths x 2 stages
+        assert_eq!(fanout.transform_prefix_counts(), (2, 6));
+        // listing1: 4 scalers + 4x3 selector chains distinct; 36 paths x 2
+        assert_eq!(listing1_graph().transform_prefix_counts(), (4 + 12, 72));
     }
 
     #[test]

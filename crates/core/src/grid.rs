@@ -1,6 +1,23 @@
 //! Parameter grids: the `node__param` hyper-parameter sweep of §IV.
 
+use std::collections::BTreeSet;
+
 use coda_data::{ParamValue, Params};
+
+/// Restricts qualified `node__param` assignments to the nodes named in
+/// `names` — the params that actually touch one path (or prefix) of a
+/// graph. Unqualified keys are dropped. This is the canonicalization used
+/// both for per-path grid deduplication and for prefix cache keys, so one
+/// definition keeps the two in lockstep.
+pub fn restrict_params(params: &Params, names: &BTreeSet<&str>) -> Params {
+    params
+        .iter()
+        .filter(|(k, _)| {
+            coda_data::traits::split_param_key(k).map(|(n, _)| names.contains(n)).unwrap_or(false)
+        })
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
+}
 
 /// A grid of qualified parameter values; [`ParamGrid::expand`] produces the
 /// cartesian product as concrete [`Params`] assignments.
@@ -119,5 +136,17 @@ mod tests {
         let mut g = ParamGrid::new();
         g.add("a__x", vec![]);
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn restrict_params_filters_by_node() {
+        let mut p = Params::new();
+        p.insert("pca__n_components".to_string(), ParamValue::from(2usize));
+        p.insert("knn__k".to_string(), ParamValue::from(5usize));
+        p.insert("unqualified".to_string(), ParamValue::from(1usize));
+        let names: BTreeSet<&str> = ["pca", "scaler"].into_iter().collect();
+        let r = restrict_params(&p, &names);
+        assert_eq!(r.len(), 1);
+        assert!(r.contains_key("pca__n_components"));
     }
 }

@@ -47,6 +47,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cache;
 pub mod dot;
 pub mod eval;
 pub mod graph;
@@ -56,10 +57,11 @@ pub mod pipeline;
 pub mod search;
 pub mod tuning;
 
+pub use cache::{CacheStats, TransformCache};
 pub use dot::to_dot;
 pub use eval::{EvalError, Evaluator, GraphReport, PathResult};
 pub use graph::{GraphError, Teg, TegBuilder};
-pub use grid::ParamGrid;
+pub use grid::{restrict_params, ParamGrid};
 pub use node::{Component, Node};
 pub use pipeline::{Pipeline, PipelineSpec};
 pub use search::{HalvingReport, RoundSummary};

@@ -261,6 +261,18 @@ impl PipelineSpec {
         }
         s
     }
+
+    /// The canonical cache key of a transformer prefix: the prefix's step
+    /// names plus `params` restricted to those steps, rendered through
+    /// [`PipelineSpec::key`]. Within one graph, node names uniquely
+    /// identify node instances, so this key is canonical for one
+    /// evaluation; it is *not* meaningful across different graphs.
+    pub fn prefix_key(steps: &[String], params: &Params) -> String {
+        let names: std::collections::BTreeSet<&str> = steps.iter().map(String::as_str).collect();
+        PipelineSpec::new(steps.to_vec())
+            .with_params(&crate::grid::restrict_params(params, &names))
+            .key()
+    }
 }
 
 fn render_param(v: &ParamValue) -> String {
@@ -340,6 +352,24 @@ mod tests {
             Node::auto((Box::new(StandardScaler::new()) as BoxedTransformer).into()),
             Node::auto((Box::new(LinearRegression::new()) as BoxedEstimator).into()),
         ])
+    }
+
+    #[test]
+    fn prefix_key_restricts_params_to_prefix_steps() {
+        let steps = vec!["scaler".to_string(), "pca".to_string()];
+        let mut params = Params::new();
+        params.insert("pca__n_components".to_string(), ParamValue::from(3usize));
+        params.insert("knn__k".to_string(), ParamValue::from(5usize));
+        let key = PipelineSpec::prefix_key(&steps, &params);
+        assert!(key.starts_with("scaler>pca"));
+        assert!(key.contains("pca__n_components"), "prefix params are part of the key");
+        assert!(!key.contains("knn__k"), "downstream params must not leak into the key");
+        // a param change downstream of the prefix leaves the key unchanged
+        params.insert("knn__k".to_string(), ParamValue::from(9usize));
+        assert_eq!(key, PipelineSpec::prefix_key(&steps, &params));
+        // a param change inside the prefix changes the key
+        params.insert("pca__n_components".to_string(), ParamValue::from(4usize));
+        assert_ne!(key, PipelineSpec::prefix_key(&steps, &params));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! cooperation protocol of Fig. 2.
 
 use coda_chaos::{RetryPolicy, RetryStats};
+use coda_core::CacheStats;
 
 use crate::record::{AnalyticsRecord, ComputationKey};
 use crate::repo::{ClaimOutcome, Darr};
@@ -111,6 +112,56 @@ impl<'a> CooperativeClient<'a> {
             outcomes.push(outcome);
         }
         (summary, outcomes)
+    }
+
+    /// Resolves the keys whose exact computation key already has a record
+    /// in the DARR — the warm-start set — without generating any claim
+    /// traffic. Returns the resolved `(index, record)` pairs, the indices
+    /// still needing work (both in original `keys` order), and
+    /// [`CacheStats`] accounting each resolution as a `warm_start_skip`.
+    pub fn warm_start(
+        &self,
+        keys: &[ComputationKey],
+    ) -> (Vec<(usize, AnalyticsRecord)>, Vec<usize>, CacheStats) {
+        let mut resolved = Vec::new();
+        let mut remaining = Vec::new();
+        for (idx, key) in keys.iter().enumerate() {
+            match self.darr.lookup(key) {
+                Some(record) => resolved.push((idx, record)),
+                None => remaining.push(idx),
+            }
+        }
+        let stats = CacheStats { warm_start_skips: resolved.len() as u64, ..CacheStats::default() };
+        (resolved, remaining, stats)
+    }
+
+    /// Like [`CooperativeClient::run_worklist`], but with a warm-start
+    /// pass first: keys whose exact spec key already has a local record
+    /// resolve to [`CoopOutcome::Reused`] immediately (no claim traffic),
+    /// and only the remainder goes through the claim/compute protocol.
+    /// Outcomes come back in the original `keys` order; the returned
+    /// [`CacheStats`] counts one `warm_start_skip` per job skipped.
+    pub fn run_worklist_warm<F>(
+        &self,
+        keys: &[ComputationKey],
+        mut compute: F,
+    ) -> (CoopSummary, Vec<CoopOutcome>, CacheStats)
+    where
+        F: FnMut(&ComputationKey) -> Result<(f64, Vec<f64>, String), String>,
+    {
+        let (resolved, remaining, stats) = self.warm_start(keys);
+        let cold: Vec<ComputationKey> = remaining.iter().map(|&i| keys[i].clone()).collect();
+        let (mut summary, cold_outcomes) = self.run_worklist(&cold, &mut compute);
+        summary.reused += resolved.len();
+        let mut outcomes: Vec<Option<CoopOutcome>> = vec![None; keys.len()];
+        for (idx, record) in resolved {
+            outcomes[idx] = Some(CoopOutcome::Reused(record));
+        }
+        for (&idx, outcome) in remaining.iter().zip(cold_outcomes) {
+            outcomes[idx] = Some(outcome);
+        }
+        let outcomes = outcomes.into_iter().map(Option::unwrap).collect();
+        (summary, outcomes, stats)
     }
 
     /// Like [`CooperativeClient::run_worklist`], but keys skipped because
@@ -294,6 +345,61 @@ mod tests {
         assert_eq!(report.takeovers, 0);
         assert_eq!(report.stats.exhausted, 1);
         assert!(matches!(outcomes[0], CoopOutcome::SkippedHeld(_)));
+    }
+
+    #[test]
+    fn warm_start_partitions_known_and_unknown_keys() {
+        let darr = Darr::new();
+        let client = CooperativeClient::new(&darr, "a", 100);
+        let work = keys(4);
+        // records already exist for keys 1 and 3
+        darr.try_claim(&work[1], "earlier", 100);
+        darr.complete(&work[1], "earlier", 0.5, vec![], "old");
+        darr.try_claim(&work[3], "earlier", 100);
+        darr.complete(&work[3], "earlier", 0.9, vec![], "old");
+        let (resolved, remaining, stats) = client.warm_start(&work);
+        assert_eq!(resolved.iter().map(|(i, _)| *i).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(remaining, vec![0, 2]);
+        assert_eq!(stats.warm_start_skips, 2);
+        assert_eq!(stats.hits + stats.misses, 0, "warm start is not a prefix lookup");
+    }
+
+    #[test]
+    fn warm_worklist_skips_known_keys_without_claim_traffic() {
+        let darr = Darr::new();
+        let client = CooperativeClient::new(&darr, "a", 100);
+        let work = keys(5);
+        darr.try_claim(&work[2], "earlier", 100);
+        darr.complete(&work[2], "earlier", 0.5, vec![], "old");
+        let computed = Arc::new(AtomicUsize::new(0));
+        let computed2 = Arc::clone(&computed);
+        let (summary, outcomes, stats) = client.run_worklist_warm(&work, |_| {
+            computed2.fetch_add(1, Ordering::SeqCst);
+            Ok((1.0, vec![], String::new()))
+        });
+        assert_eq!(computed.load(Ordering::SeqCst), 4, "only cold keys computed");
+        assert_eq!(summary.computed, 4);
+        assert_eq!(summary.reused, 1);
+        assert_eq!(stats.warm_start_skips, 1);
+        assert_eq!(outcomes.len(), 5, "outcomes stay in original key order");
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if i == 2 {
+                assert!(matches!(outcome, CoopOutcome::Reused(r) if r.producer == "earlier"));
+            } else {
+                assert!(matches!(outcome, CoopOutcome::Computed(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn warm_worklist_on_empty_darr_is_all_cold() {
+        let darr = Darr::new();
+        let client = CooperativeClient::new(&darr, "a", 100);
+        let work = keys(3);
+        let (summary, _, stats) =
+            client.run_worklist_warm(&work, |_| Ok((1.0, vec![], String::new())));
+        assert_eq!(summary.computed, 3);
+        assert_eq!(stats.warm_start_skips, 0);
     }
 
     #[test]

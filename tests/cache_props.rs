@@ -1,0 +1,139 @@
+//! Property-based tests for the prefix cache (proptest): over arbitrary
+//! small TEGs, grids, and CV configurations, a cached evaluation must
+//! report exactly what an uncached one does, and thread count must never
+//! change a report, cached or not.
+
+mod common;
+
+use coda::data::{BoxedEstimator, BoxedTransformer, CvStrategy, Metric, NoOp};
+use coda::graph::{Evaluator, ParamGrid, Teg, TegBuilder};
+use coda::ml::{KnnRegressor, Pca, RidgeRegression, ScoreFunction, SelectKBest, StandardScaler};
+use common::{assert_reports_identical, dataset};
+use proptest::prelude::*;
+
+/// Builds a small TEG from drawn shape parameters: an optional scaler
+/// stage, a selector stage with `n_selectors` choices, and `n_models`
+/// ridge/knn models — up to 2 × 3 × 4 = 24 paths.
+fn build_teg(with_scaler: bool, n_selectors: usize, n_models: usize) -> Teg {
+    let mut b = TegBuilder::new();
+    if with_scaler {
+        b = b.add_feature_scalers(vec![Box::new(StandardScaler::new()) as BoxedTransformer]);
+    }
+    let mut selectors: Vec<BoxedTransformer> = vec![Box::new(Pca::new(3))];
+    if n_selectors >= 2 {
+        selectors.push(Box::new(SelectKBest::new(3, ScoreFunction::FRegression)));
+    }
+    if n_selectors >= 3 {
+        selectors.push(Box::new(NoOp::new()));
+    }
+    let models: Vec<BoxedEstimator> = (0..n_models)
+        .map(|i| {
+            if i % 2 == 0 {
+                Box::new(RidgeRegression::new(0.1 * (i + 1) as f64)) as BoxedEstimator
+            } else {
+                Box::new(KnnRegressor::new(2 * i + 1))
+            }
+        })
+        .collect();
+    b.add_feature_selectors(selectors).add_models(models).create_graph().expect("acyclic")
+}
+
+/// Builds a grid from drawn sweep sizes (0 disables that sweep).
+fn build_grid(pca_values: usize, knn_values: usize) -> ParamGrid {
+    let mut grid = ParamGrid::new();
+    if pca_values > 0 {
+        grid.add("pca__n_components", (0..pca_values).map(|i| (i + 2).into()).collect());
+    }
+    if knn_values > 0 {
+        grid.add("knn_regressor__k", (0..knn_values).map(|i| (2 * i + 3).into()).collect());
+    }
+    grid
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite 1: on arbitrary small TEGs, grids, and CV configs the
+    /// cached report has identical path ranking and fold scores to the
+    /// uncached one.
+    #[test]
+    fn cached_report_equals_uncached(
+        with_scaler in any::<bool>(),
+        n_selectors in 1usize..4,
+        n_models in 1usize..5,
+        k in 2usize..6,
+        shuffle in any::<bool>(),
+        seed in 0u64..1000,
+        pca_values in 0usize..3,
+        knn_values in 0usize..3,
+    ) {
+        let graph = build_teg(with_scaler, n_selectors, n_models);
+        let ds = dataset(seed);
+        let cv = CvStrategy::KFold { k, shuffle, seed };
+        let grid = build_grid(pca_values, knn_values);
+        let uncached = Evaluator::new(cv.clone(), Metric::Rmse)
+            .evaluate_graph_with_grid(&graph, &ds, &grid)
+            .unwrap();
+        let cached = Evaluator::new(cv, Metric::Rmse)
+            .with_prefix_cache(true)
+            .evaluate_graph_with_grid(&graph, &ds, &grid)
+            .unwrap();
+        assert_reports_identical(&uncached, &cached);
+        let stats = cached.cache.expect("cached run reports stats");
+        prop_assert_eq!(stats.refits_avoided, stats.hits);
+    }
+
+    /// Satellite 2: thread count never changes the report — for
+    /// n ∈ {1, 2, 8}, cached and uncached runs all agree.
+    #[test]
+    fn thread_count_never_changes_report(
+        with_scaler in any::<bool>(),
+        n_selectors in 1usize..4,
+        n_models in 1usize..5,
+        k in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let graph = build_teg(with_scaler, n_selectors, n_models);
+        let ds = dataset(seed);
+        let cv = CvStrategy::kfold(k);
+        let baseline = Evaluator::new(cv.clone(), Metric::Rmse)
+            .evaluate_graph(&graph, &ds)
+            .unwrap();
+        for cached in [false, true] {
+            for threads in [1usize, 2, 8] {
+                let mut eval = Evaluator::new(cv.clone(), Metric::Rmse)
+                    .with_prefix_cache(cached);
+                if threads > 1 {
+                    eval = eval.with_threads(threads);
+                }
+                let report = eval.evaluate_graph(&graph, &ds).unwrap();
+                assert_reports_identical(&baseline, &report);
+            }
+        }
+    }
+
+    /// Cached accounting is structural: hits + misses equals the graph's
+    /// total prefix visits × folds, and misses equals distinct prefixes ×
+    /// folds (no grid), for any graph shape and thread count.
+    #[test]
+    fn cache_accounting_matches_graph_structure(
+        with_scaler in any::<bool>(),
+        n_selectors in 1usize..4,
+        n_models in 1usize..5,
+        k in 2usize..5,
+        threads in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let graph = build_teg(with_scaler, n_selectors, n_models);
+        let ds = dataset(seed);
+        let (distinct, visits) = graph.transform_prefix_counts();
+        let mut eval = Evaluator::new(CvStrategy::kfold(k), Metric::Rmse)
+            .with_prefix_cache(true);
+        if threads > 1 {
+            eval = eval.with_threads(threads);
+        }
+        let stats = eval.evaluate_graph(&graph, &ds).unwrap().cache.unwrap();
+        prop_assert_eq!(stats.misses, (distinct * k) as u64);
+        prop_assert_eq!(stats.hits + stats.misses, (visits * k) as u64);
+    }
+}

@@ -1,0 +1,126 @@
+//! Shared fixture for the prefix-cache equivalence harness: seeded TEG
+//! builders, grids, and a bit-exact report comparator.
+
+#![allow(dead_code)]
+
+use coda::data::{synth, BoxedEstimator, BoxedTransformer, Dataset, NoOp};
+use coda::graph::{GraphReport, ParamGrid, Teg, TegBuilder};
+use coda::ml::{
+    DecisionTreeRegressor, KnnRegressor, LinearRegression, MinMaxScaler, Pca, RidgeRegression,
+    ScoreFunction, SelectKBest, StandardScaler,
+};
+
+/// Asserts two reports are identical path-for-path: same ranking, same
+/// spec keys, same error strings, and bit-identical fold scores and means.
+/// The `cache` field is deliberately ignored — it is the only permitted
+/// difference between a cached and an uncached run.
+pub fn assert_reports_identical(a: &GraphReport, b: &GraphReport) {
+    assert_eq!(a.metric, b.metric, "ranking metric differs");
+    assert_eq!(a.results.len(), b.results.len(), "result counts differ");
+    for (i, (x, y)) in a.results.iter().zip(&b.results).enumerate() {
+        assert_eq!(x.spec, y.spec, "rank {i}: spec/order differs");
+        assert_eq!(x.error, y.error, "rank {i} ({}): error differs", x.spec.key());
+        assert_eq!(
+            x.fold_scores.len(),
+            y.fold_scores.len(),
+            "rank {i} ({}): fold count differs",
+            x.spec.key()
+        );
+        for (f, (s, t)) in x.fold_scores.iter().zip(&y.fold_scores).enumerate() {
+            assert_eq!(
+                s.to_bits(),
+                t.to_bits(),
+                "rank {i} ({}), fold {f}: {s} vs {t} not bit-identical",
+                x.spec.key()
+            );
+        }
+        assert_eq!(
+            x.mean_score.to_bits(),
+            y.mean_score.to_bits(),
+            "rank {i} ({}): mean not bit-identical",
+            x.spec.key()
+        );
+    }
+}
+
+/// A seeded regression dataset sized so every fixture graph evaluates.
+pub fn dataset(seed: u64) -> Dataset {
+    synth::friedman1(160, 8, 0.3, seed)
+}
+
+/// `n_models` ridge regressors behind a shared 2-stage transformer prefix —
+/// the best case for the cache.
+pub fn fan_out_teg(n_models: usize) -> Teg {
+    let models: Vec<BoxedEstimator> = (0..n_models)
+        .map(|i| Box::new(RidgeRegression::new(0.05 * 2f64.powi(i as i32))) as BoxedEstimator)
+        .collect();
+    TegBuilder::new()
+        .add_feature_scalers(vec![Box::new(StandardScaler::new()) as BoxedTransformer])
+        .add_feature_selectors(vec![Box::new(Pca::new(4)) as BoxedTransformer])
+        .add_models(models)
+        .create_graph()
+        .expect("fixed wiring is acyclic")
+}
+
+/// A single root→leaf chain: nothing is shared, so the cache sees only
+/// misses — the degenerate case that must still be bit-identical.
+pub fn linear_chain_teg() -> Teg {
+    TegBuilder::new()
+        .add_feature_scalers(vec![Box::new(StandardScaler::new()) as BoxedTransformer])
+        .add_feature_selectors(vec![Box::new(Pca::new(4)) as BoxedTransformer])
+        .add_models(vec![Box::new(LinearRegression::new()) as BoxedEstimator])
+        .create_graph()
+        .expect("fixed wiring is acyclic")
+}
+
+/// A Listing-1-shaped mixed graph: 2 scalers × 3 selectors × 3 models =
+/// 18 paths with partially shared prefixes, mixing fast and slow models.
+pub fn mixed_teg() -> Teg {
+    TegBuilder::new()
+        .add_feature_scalers(vec![
+            Box::new(StandardScaler::new()) as BoxedTransformer,
+            Box::new(MinMaxScaler::new()),
+        ])
+        .add_feature_selectors(vec![
+            Box::new(Pca::new(4)) as BoxedTransformer,
+            Box::new(SelectKBest::new(4, ScoreFunction::FRegression)),
+            Box::new(NoOp::new()),
+        ])
+        .add_models(vec![
+            Box::new(LinearRegression::new()) as BoxedEstimator,
+            Box::new(KnnRegressor::new(5)),
+            Box::new(DecisionTreeRegressor::new()),
+        ])
+        .create_graph()
+        .expect("fixed wiring is acyclic")
+}
+
+/// A tiny wide dataset on which ordinary least squares is underdetermined
+/// per fold (train rows < design columns) and fails, while ridge succeeds —
+/// exercises the cached error-replay path with a mix of failing and passing
+/// pipelines. Use with 3-fold CV or fewer samples than features + 1.
+pub fn tiny_wide_dataset(seed: u64) -> Dataset {
+    synth::linear_regression(12, 12, 0.01, seed)
+}
+
+/// Paired with [`tiny_wide_dataset`]: the OLS branch fails on every fold,
+/// the ridge branch succeeds; both share the scaler prefix.
+pub fn failing_branch_teg() -> Teg {
+    TegBuilder::new()
+        .add_feature_scalers(vec![Box::new(StandardScaler::new()) as BoxedTransformer])
+        .add_models(vec![
+            Box::new(LinearRegression::new()) as BoxedEstimator,
+            Box::new(RidgeRegression::new(1.0)),
+        ])
+        .create_graph()
+        .expect("fixed wiring is acyclic")
+}
+
+/// A grid that sweeps both a transformer and estimator parameter, so the
+/// cache must key prefixes by resolved node params, not just step names.
+pub fn mixed_grid() -> ParamGrid {
+    let mut grid = ParamGrid::new();
+    grid.add("pca__n_components", vec![3usize.into(), 5usize.into()]);
+    grid.add("knn_regressor__k", vec![3usize.into(), 7usize.into()]);
+    grid
+}

@@ -4,6 +4,7 @@
 //!
 //! Run everything:   `cargo run --release -p coda-bench --bin experiments`
 //! Run one:          `cargo run --release -p coda-bench --bin experiments -- --exp f3`
+//! With metrics:     `cargo run --release -p coda-bench --bin experiments -- --exp d5 --metrics`
 
 use bytes::Bytes;
 use coda_bench::{listing1_graph, mutate_fraction, patterned_bytes, print_table, small_graph};
@@ -11,6 +12,7 @@ use coda_cluster::{run_cooperative, AnalyticsTask, ComputeNode, Scheduler, SimNe
 use coda_core::{Evaluator, Pipeline};
 use coda_data::{synth, CvStrategy, Dataset, Metric, Transformer};
 use coda_ml::LinearRegression;
+use coda_obs::Obs;
 use coda_store::{
     CachingClient, ChangeMonitor, DeltaCodec, HomeDataStore, PushMode, RecomputeTrigger,
 };
@@ -53,7 +55,9 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--list" || a == "--help" || a == "-h") {
         println!("coda experiment harness — every table/figure of Iyengar et al., ICDCS 2019");
-        println!("usage: experiments [--exp <id>] [--list]\n");
+        println!("usage: experiments [--exp <id>] [--metrics] [--list]\n");
+        println!("  --metrics  collect a unified MetricsRegistry snapshot across the run");
+        println!("             and dump it (Prometheus text + JSON) at the end\n");
         for (id, what) in EXPERIMENTS {
             println!("  {id:<4} {what}");
         }
@@ -71,6 +75,7 @@ fn main() {
         }
     }
     let run = |id: &str| only.as_deref().is_none_or(|o| o == id);
+    let obs = args.iter().any(|a| a == "--metrics").then(Obs::wall);
 
     println!("coda experiment harness — paper: Iyengar et al., ICDCS 2019");
     if run("t1") {
@@ -113,10 +118,10 @@ fn main() {
         exp_d3();
     }
     if run("d4") {
-        exp_d4();
+        exp_d4(obs.as_ref());
     }
     if run("d5") {
-        exp_d5();
+        exp_d5(obs.as_ref());
     }
     if run("s1") {
         exp_s1();
@@ -144,6 +149,28 @@ fn main() {
     }
     if run("a7") {
         exp_a7();
+    }
+
+    if let Some(o) = &obs {
+        println!("\n=== metrics snapshot (prometheus) ===");
+        print!("{}", o.registry().render_prometheus());
+        let json = o.registry().snapshot().to_json();
+        println!("=== metrics snapshot (json) ===");
+        println!("{json}");
+        let parsed =
+            coda_obs::MetricsSnapshot::from_json(&json).expect("snapshot JSON must round-trip");
+        if run("d5") {
+            assert!(
+                parsed.counter("coda_core_cache_hits") > 0,
+                "a cached evaluation ran, so cache-hit counters must be nonzero"
+            );
+        }
+        println!(
+            "metrics: {} counters, {} gauges, {} histograms; JSON snapshot parses back",
+            parsed.counters.len(),
+            parsed.gauges.len(),
+            parsed.histograms.len()
+        );
     }
 }
 
@@ -657,8 +684,8 @@ fn exp_d3() {
 
 /// D4 — robustness: the seeded chaos driver sweeps fault intensity over a
 /// 4-client cooperative run and reports what the resilience machinery did.
-fn exp_d4() {
-    use coda_cluster::{run_chaos_coop, ChaosCoopConfig};
+fn exp_d4(obs: Option<&Obs>) {
+    use coda_cluster::{run_chaos_coop, run_chaos_coop_obs, ChaosCoopConfig};
     let base = ChaosCoopConfig {
         seed: 17,
         n_clients: 4,
@@ -697,7 +724,7 @@ fn exp_d4() {
     ];
     let mut rows = Vec::new();
     for (name, cfg) in &scenarios {
-        let r = run_chaos_coop(cfg);
+        let r = run_chaos_coop_obs(cfg, obs);
         assert_eq!(r, run_chaos_coop(cfg), "same seed must replay identically");
         rows.push(vec![
             name.to_string(),
@@ -737,14 +764,17 @@ fn exp_d4() {
 /// fan-out TEGs, by path count and grid size. Every fan-out path shares a
 /// 3-stage transformer prefix, so the cache fits it once per fold instead
 /// of once per path per fold.
-fn exp_d5() {
+fn exp_d5(obs: Option<&Obs>) {
     use coda_bench::fan_out_graph;
     use coda_core::ParamGrid;
 
     let ds = synth::friedman1(1500, 30, 0.4, 55);
     let cv = CvStrategy::kfold(5);
     let time_eval = |cached: bool, graph: &coda_core::Teg, grid: Option<&ParamGrid>| {
-        let eval = Evaluator::new(cv.clone(), Metric::Rmse).with_prefix_cache(cached);
+        let mut eval = Evaluator::new(cv.clone(), Metric::Rmse).with_prefix_cache(cached);
+        if let Some(o) = obs {
+            eval = eval.with_obs(o.clone());
+        }
         let start = std::time::Instant::now();
         let report = match grid {
             Some(g) => eval.evaluate_graph_with_grid(graph, &ds, g),

@@ -131,6 +131,25 @@ pub struct FaultStats {
     pub slowed: u64,
 }
 
+impl FaultStats {
+    /// Faults actually injected (dropped, refused, corrupted, or slowed).
+    pub fn injected(&self) -> u64 {
+        self.dropped + self.link_down + self.node_down + self.corrupted + self.slowed
+    }
+}
+
+impl coda_obs::Publish for FaultStats {
+    fn publish(&self, registry: &coda_obs::MetricsRegistry) {
+        registry.count("coda_chaos_faults_messages_seen", self.messages_seen);
+        registry.count("coda_chaos_faults_dropped", self.dropped);
+        registry.count("coda_chaos_faults_link_down", self.link_down);
+        registry.count("coda_chaos_faults_node_down", self.node_down);
+        registry.count("coda_chaos_faults_corrupted", self.corrupted);
+        registry.count("coda_chaos_faults_slowed", self.slowed);
+        registry.count("coda_chaos_faults_injected", self.injected());
+    }
+}
+
 /// Executes a [`FaultPlan`]: the network/store layers consult it per
 /// message. Deterministic: faults depend only on the plan (seed +
 /// schedule), the injector's logical clock, and the call sequence.

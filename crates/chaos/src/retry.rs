@@ -233,6 +233,18 @@ impl RetryStats {
     }
 }
 
+impl coda_obs::Publish for RetryStats {
+    fn publish(&self, registry: &coda_obs::MetricsRegistry) {
+        registry.count("coda_chaos_retry_calls", u64::from(self.calls));
+        registry.count("coda_chaos_retry_attempts", u64::from(self.attempts));
+        registry.count("coda_chaos_retry_retries", u64::from(self.retries));
+        registry.count("coda_chaos_retry_successes", u64::from(self.successes));
+        registry.count("coda_chaos_retry_exhausted", u64::from(self.exhausted));
+        registry.count("coda_chaos_retry_deadline_hits", u64::from(self.deadline_hits));
+        registry.gauge("coda_chaos_retry_backoff_ms").add(self.total_backoff_ms);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,6 +16,7 @@ use std::collections::{BTreeSet, VecDeque};
 
 use coda_chaos::{FaultInjector, FaultPlan, FaultStats, RetryPolicy, RetryStats};
 use coda_darr::{AnalyticsRecord, ClaimOutcome, ComputationKey, Darr};
+use coda_obs::Obs;
 
 /// Logical milliseconds (and DARR ticks) per driver round.
 const STEP_MS: f64 = 20.0;
@@ -93,6 +94,27 @@ pub struct ChaosCoopReport {
     pub faults: FaultStats,
 }
 
+impl coda_obs::Publish for ChaosCoopReport {
+    fn publish(&self, registry: &coda_obs::MetricsRegistry) {
+        registry.count("coda_cluster_chaos_keys", self.n_keys as u64);
+        registry.count("coda_cluster_chaos_completed", self.completed as u64);
+        registry.count("coda_cluster_chaos_computed", self.computed as u64);
+        registry.count("coda_cluster_chaos_reused", self.reused as u64);
+        registry.count("coda_cluster_chaos_journaled", self.journaled as u64);
+        registry.count("coda_cluster_chaos_replayed", self.replayed as u64);
+        registry.count("coda_cluster_chaos_duplicates", self.duplicates as u64);
+        registry.count("coda_cluster_chaos_takeovers", self.takeovers as u64);
+        registry.count("coda_cluster_chaos_lost_to_crash", self.lost_to_crash as u64);
+        registry.count("coda_cluster_chaos_rounds", self.rounds as u64);
+        // faults the injector *injected* vs retries the clients *observed*:
+        // comparing the two tells whether chaos actually bit the protocol
+        registry.count("coda_cluster_faults_injected", self.faults.injected());
+        registry.count("coda_cluster_faults_observed", u64::from(self.retry.retries));
+        self.retry.publish(registry);
+        self.faults.publish(registry);
+    }
+}
+
 /// Per-client driver state.
 struct ClientState {
     name: String,
@@ -142,6 +164,16 @@ fn score_for(idx: usize) -> f64 {
 
 /// Runs one seeded chaos scenario to completion (or the round cap).
 pub fn run_chaos_coop(cfg: &ChaosCoopConfig) -> ChaosCoopReport {
+    run_chaos_coop_obs(cfg, None)
+}
+
+/// Like [`run_chaos_coop`], but with optional observability: protocol
+/// events (claims, takeovers, journal writes, replays, crash losses) are
+/// traced with the driver's own logical timestamps, the shared DARR counts
+/// live into the registry, and the final report is published. All
+/// instrumentation is stamped from the deterministic driver clock, so two
+/// same-seed runs emit byte-identical trace logs.
+pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoopReport {
     assert!(cfg.n_clients >= 1 && cfg.n_keys >= 1, "need clients and work");
     let keys: Vec<ComputationKey> = (0..cfg.n_keys)
         .map(|i| ComputationKey::new("chaos-ds", 1, &format!("p{i}") as &str, "kfold(3)", "rmse"))
@@ -162,6 +194,14 @@ pub fn run_chaos_coop(cfg: &ChaosCoopConfig) -> ChaosCoopReport {
         RetryPolicy::exponential(5.0, 2.0, 40.0, 4).with_jitter(0.1, cfg.seed.wrapping_add(1));
 
     let darr = Darr::new();
+    if let Some(o) = obs {
+        darr.attach_obs(o.clone());
+    }
+    let trace = |at_ms: f64, name: &str, client: &str, key: &str| {
+        if let Some(o) = obs {
+            o.tracer().event_at(at_ms, name, &[("client", client), ("key", key)]);
+        }
+    };
     let mut clients: Vec<ClientState> = (0..cfg.n_clients)
         .map(|c| {
             // rotated start offsets spread clients over the work list
@@ -207,6 +247,7 @@ pub fn run_chaos_coop(cfg: &ChaosCoopConfig) -> ChaosCoopReport {
                 if let Some((idx, _)) = client.working.take() {
                     report.lost_to_crash += 1;
                     orphaned.insert(idx);
+                    trace(now_ms, "chaos.crash_loss", &client.name, &keys[idx].pipeline);
                 }
                 client.was_down = true;
                 continue;
@@ -225,6 +266,7 @@ pub fn run_chaos_coop(cfg: &ChaosCoopConfig) -> ChaosCoopReport {
                 if ok {
                     darr.complete(&keys[idx], &client.name, score_for(idx), vec![], "chaos");
                     report.computed += 1;
+                    trace(now_ms, "chaos.complete", &client.name, &keys[idx].pipeline);
                 } else {
                     // completion lost: journal the finished result instead
                     client.journal.push(AnalyticsRecord {
@@ -236,6 +278,7 @@ pub fn run_chaos_coop(cfg: &ChaosCoopConfig) -> ChaosCoopReport {
                         stored_at: darr.now(),
                     });
                     report.journaled += 1;
+                    trace(now_ms, "chaos.journal", &client.name, &keys[idx].pipeline);
                 }
                 continue;
             }
@@ -248,7 +291,9 @@ pub fn run_chaos_coop(cfg: &ChaosCoopConfig) -> ChaosCoopReport {
                     for record in client.journal.drain(..) {
                         if darr.lookup(&record.key).is_some() {
                             report.duplicates += 1; // someone else got there
+                            trace(now_ms, "chaos.duplicate", &client.name, &record.key.pipeline);
                         } else {
+                            trace(now_ms, "chaos.replay", &client.name, &record.key.pipeline);
                             darr.merge_record(record);
                             report.replayed += 1;
                         }
@@ -275,19 +320,26 @@ pub fn run_chaos_coop(cfg: &ChaosCoopConfig) -> ChaosCoopReport {
                     stored_at: darr.now(),
                 });
                 report.journaled += 1;
+                trace(now_ms, "chaos.journal", &client.name, &keys[idx].pipeline);
                 continue;
             }
             match darr.try_claim(&keys[idx], &client.name, cfg.claim_duration) {
-                ClaimOutcome::AlreadyComputed(_) => report.reused += 1,
+                ClaimOutcome::AlreadyComputed(_) => {
+                    report.reused += 1;
+                    trace(now_ms, "chaos.reuse", &client.name, &keys[idx].pipeline);
+                }
                 ClaimOutcome::Claimed => {
                     if orphaned.remove(&idx) || held_seen.contains(&idx) {
                         report.takeovers += 1;
+                        trace(now_ms, "chaos.takeover", &client.name, &keys[idx].pipeline);
                     }
                     client.working = Some((idx, WORK_STEPS));
+                    trace(now_ms, "chaos.claim", &client.name, &keys[idx].pipeline);
                 }
                 ClaimOutcome::HeldBy(_) => {
                     held_seen.insert(idx);
                     client.pending.push_back(idx); // revisit with backoff
+                    trace(now_ms, "chaos.held", &client.name, &keys[idx].pipeline);
                 }
             }
         }
@@ -306,6 +358,9 @@ pub fn run_chaos_coop(cfg: &ChaosCoopConfig) -> ChaosCoopReport {
 
     report.completed = darr.len();
     report.faults = injector.stats();
+    if let Some(o) = obs {
+        o.publish(&report);
+    }
     report
 }
 

@@ -36,11 +36,14 @@ pub mod placement;
 pub mod registry;
 pub mod webservice;
 
-pub use chaos::{run_chaos_coop, ChaosCoopConfig, ChaosCoopReport};
+pub use chaos::{run_chaos_coop, run_chaos_coop_obs, ChaosCoopConfig, ChaosCoopReport};
 pub use coop::{run_cooperative, CoopRunReport};
 pub use lifecycle::{BatchRecord, ModelLifecycle, RetrainPolicy};
 pub use network::SimNetwork;
 pub use node::{AnalyticsTask, ComputeNode};
 pub use placement::{ExecutionOutcome, Placement, PlacementDecision, Scheduler};
-pub use registry::{run_job, run_job_with_retry, ComponentRegistry, JobError, JobSpec, SpecValue};
+pub use registry::{
+    run_job, run_job_observed, run_job_with_retry, run_job_with_retry_obs, ComponentRegistry,
+    JobError, JobSpec, SpecValue,
+};
 pub use webservice::SimWebService;

@@ -12,6 +12,7 @@
 
 use coda_core::Pipeline;
 use coda_data::{ComponentError, Dataset, Metric};
+use coda_obs::Obs;
 
 /// When to retrain the deployed model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +57,7 @@ pub struct ModelLifecycle {
     pub retrain_count: u64,
     /// Per-batch history.
     pub history: Vec<BatchRecord>,
+    obs: Option<Obs>,
 }
 
 impl ModelLifecycle {
@@ -87,7 +89,15 @@ impl ModelLifecycle {
             batches_since_retrain: 0,
             retrain_count: 0,
             history: Vec::new(),
+            obs: None,
         })
+    }
+
+    /// Attaches an observability handle: batches and retrains count live
+    /// into its registry (`coda_cluster_batches`, `coda_cluster_retrains`)
+    /// and the rolling batch error is exported as a gauge.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// Baseline error at the last (re)training.
@@ -166,6 +176,10 @@ impl ModelLifecycle {
         };
         let record = BatchRecord { error, retrained };
         self.history.push(record);
+        if let Some(o) = &self.obs {
+            o.count("coda_cluster_batches", 1);
+            o.registry().gauge("coda_cluster_batch_error").set(error);
+        }
         Ok(record)
     }
 
@@ -187,6 +201,9 @@ impl ModelLifecycle {
         self.recent_errors.clear();
         self.batches_since_retrain = 0;
         self.retrain_count += 1;
+        if let Some(o) = &self.obs {
+            o.count("coda_cluster_retrains", 1);
+        }
         Ok(())
     }
 }

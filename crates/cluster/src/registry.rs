@@ -20,6 +20,7 @@ use coda_darr::{ComputationKey, CoopOutcome, CooperativeClient, Darr};
 use coda_data::{
     BoxedEstimator, BoxedTransformer, CvStrategy, Dataset, Metric, NoOp, ParamValue, Params,
 };
+use coda_obs::Obs;
 use serde::{Deserialize, Serialize, Value};
 
 /// Error produced by spec resolution or execution.
@@ -314,6 +315,30 @@ pub fn run_job(
     }
 }
 
+/// [`run_job`] with job-lifecycle observability: the whole job runs under a
+/// `cluster.job` span and every lifecycle transition counts into the
+/// registry (`coda_cluster_jobs_submitted` → `_completed` / `_held` /
+/// `_failed`).
+pub fn run_job_observed(
+    registry: &ComponentRegistry,
+    spec: &JobSpec,
+    data: &Dataset,
+    darr: &Darr,
+    client_name: &str,
+    obs: &Obs,
+) -> Result<coda_darr::AnalyticsRecord, JobError> {
+    let _span = obs.span("cluster.job", &[("client", client_name), ("dataset", &spec.dataset_id)]);
+    obs.count("coda_cluster_jobs_submitted", 1);
+    let result = run_job(registry, spec, data, darr, client_name);
+    let transition = match &result {
+        Ok(_) => "coda_cluster_jobs_completed",
+        Err(JobError::ClaimHeld { .. }) => "coda_cluster_jobs_held",
+        Err(_) => "coda_cluster_jobs_failed",
+    };
+    obs.count(transition, 1);
+    result
+}
+
 /// [`run_job`] under a retry policy: a held claim backs off by advancing the
 /// DARR's logical clock (so the holder either finishes — the result is then
 /// reused — or its lease expires and this client takes over). Permanent
@@ -326,16 +351,52 @@ pub fn run_job_with_retry(
     client_name: &str,
     policy: &coda_chaos::RetryPolicy,
 ) -> (Result<coda_darr::AnalyticsRecord, JobError>, coda_chaos::RetryStats) {
+    run_job_with_retry_obs(registry, spec, data, darr, client_name, policy, None)
+}
+
+/// [`run_job_with_retry`] with optional observability: lifecycle
+/// transitions count as in [`run_job_observed`], plus one
+/// `coda_cluster_job_retries` per placement retry against a held claim.
+#[allow(clippy::too_many_arguments)]
+pub fn run_job_with_retry_obs(
+    registry: &ComponentRegistry,
+    spec: &JobSpec,
+    data: &Dataset,
+    darr: &Darr,
+    client_name: &str,
+    policy: &coda_chaos::RetryPolicy,
+    obs: Option<&Obs>,
+) -> (Result<coda_darr::AnalyticsRecord, JobError>, coda_chaos::RetryStats) {
+    let _span = obs
+        .map(|o| o.span("cluster.job", &[("client", client_name), ("dataset", &spec.dataset_id)]));
+    let count = |name: &str| {
+        if let Some(o) = obs {
+            o.count(name, 1);
+        }
+    };
+    count("coda_cluster_jobs_submitted");
     let mut state = policy.state();
     loop {
         state.begin_attempt();
         match run_job(registry, spec, data, darr, client_name) {
-            Ok(record) => return (Ok(record), state.finish(true)),
+            Ok(record) => {
+                count("coda_cluster_jobs_completed");
+                return (Ok(record), state.finish(true));
+            }
             Err(e) if e.is_transient() => match state.next_backoff_ms() {
-                Some(backoff) => darr.advance_clock(backoff.ceil() as u64),
-                None => return (Err(e), state.finish(false)),
+                Some(backoff) => {
+                    count("coda_cluster_job_retries");
+                    darr.advance_clock(backoff.ceil() as u64);
+                }
+                None => {
+                    count("coda_cluster_jobs_held");
+                    return (Err(e), state.finish(false));
+                }
             },
-            Err(e) => return (Err(e), state.finish(false)),
+            Err(e) => {
+                count("coda_cluster_jobs_failed");
+                return (Err(e), state.finish(false));
+            }
         }
     }
 }

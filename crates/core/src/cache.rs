@@ -76,6 +76,16 @@ impl CacheStats {
     }
 }
 
+impl coda_obs::Publish for CacheStats {
+    fn publish(&self, registry: &coda_obs::MetricsRegistry) {
+        registry.count("coda_core_cache_hits", self.hits);
+        registry.count("coda_core_cache_misses", self.misses);
+        registry.count("coda_core_cache_bytes", self.bytes);
+        registry.count("coda_core_cache_refits_avoided", self.refits_avoided);
+        registry.count("coda_core_cache_warm_start_skips", self.warm_start_skips);
+    }
+}
+
 impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -12,6 +12,7 @@ use std::sync::{Arc, Mutex};
 use coda_data::cv::{CvError, Split};
 use coda_data::metrics::MetricError;
 use coda_data::{ComponentError, CvStrategy, Dataset, Metric, Params};
+use coda_obs::{Histogram, HistogramSnapshot, Obs, DEFAULT_MS_BOUNDS};
 
 use crate::cache::{CacheStats, TransformCache};
 use crate::graph::{GraphError, Teg};
@@ -92,6 +93,17 @@ impl PathResult {
     }
 }
 
+/// Timing accounting for one graph evaluation, present when the evaluator
+/// runs with [`Evaluator::with_obs`] (timestamps come from the obs clock,
+/// so a [`ManualClock`](coda_obs::ManualClock) keeps it deterministic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalTiming {
+    /// Wall-clock milliseconds for the whole evaluation.
+    pub wall_ms: f64,
+    /// Histogram of per-path evaluation times (milliseconds).
+    pub path_ms: HistogramSnapshot,
+}
+
 /// Report over all evaluated paths of a graph, ranked by the metric.
 #[derive(Debug, Clone)]
 pub struct GraphReport {
@@ -104,6 +116,10 @@ pub struct GraphReport {
     /// [`Evaluator::with_prefix_cache`]; `None` for uncached runs. The
     /// `results` themselves are bit-identical either way.
     pub cache: Option<CacheStats>,
+    /// Timing histograms when the evaluation ran with
+    /// [`Evaluator::with_obs`]; `None` otherwise. Purely observational —
+    /// never feeds back into results or ranking.
+    pub timing: Option<EvalTiming>,
 }
 
 impl GraphReport {
@@ -135,6 +151,15 @@ impl fmt::Display for GraphReport {
         if let Some(stats) = &self.cache {
             writeln!(f, "  prefix cache: {stats}")?;
         }
+        if let Some(t) = &self.timing {
+            writeln!(
+                f,
+                "  timing: {:.1} ms total, {:.1} ms mean/path over {} paths",
+                t.wall_ms,
+                t.path_ms.mean(),
+                t.path_ms.count
+            )?;
+        }
         Ok(())
     }
 }
@@ -147,13 +172,23 @@ pub struct Evaluator {
     metric: Metric,
     n_threads: usize,
     use_cache: bool,
+    obs: Option<Obs>,
 }
 
 impl Evaluator {
-    /// Creates an evaluator. Defaults to single-threaded, uncached
-    /// evaluation.
+    /// Creates an evaluator. Defaults to single-threaded, uncached,
+    /// uninstrumented evaluation.
     pub fn new(cv: CvStrategy, metric: Metric) -> Self {
-        Evaluator { cv, metric, n_threads: 1, use_cache: false }
+        Evaluator { cv, metric, n_threads: 1, use_cache: false, obs: None }
+    }
+
+    /// Attaches an observability handle: per-pipeline (`eval.path`) and
+    /// per-fold (`eval.fold`) spans, `coda_core_*` registry metrics, and
+    /// timing histograms on [`GraphReport::timing`]. Observational only:
+    /// results stay bit-identical to an uninstrumented run.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Enables parallel path evaluation over `n` worker threads — the
@@ -208,7 +243,14 @@ impl Evaluator {
     ) -> Result<Vec<f64>, EvalError> {
         let splits = self.cv.splits_for(data)?;
         let mut scores = Vec::with_capacity(splits.len());
-        for split in &splits {
+        for (fold, split) in splits.iter().enumerate() {
+            let _span = self
+                .obs
+                .as_ref()
+                .map(|o| o.span("eval.fold", &[("fold", &fold.to_string() as &str)]));
+            if let Some(obs) = &self.obs {
+                obs.count("coda_core_eval_folds", 1);
+            }
             let train = data.select(&split.train);
             let validation = data.select(&split.validation);
             let mut fold_pipeline = pipeline.fresh_clone();
@@ -278,6 +320,79 @@ impl Evaluator {
         self.evaluate_jobs(jobs, data)
     }
 
+    /// Opens the per-evaluation observation scope: a graph span, a local
+    /// per-path timing histogram, and the evaluation's start time.
+    fn obs_scope(&self, n_jobs: usize) -> Option<(coda_obs::SpanGuard<'_>, Histogram, f64)> {
+        self.obs.as_ref().map(|o| {
+            let span = o.span("eval.graph", &[("paths", &n_jobs.to_string() as &str)]);
+            (span, Histogram::new(DEFAULT_MS_BOUNDS), o.now_ms())
+        })
+    }
+
+    /// Closes the observation scope: folds the local path histogram into
+    /// the registry, bumps graph/path counters, and returns the report's
+    /// [`EvalTiming`].
+    fn obs_finish(
+        &self,
+        scope: Option<(coda_obs::SpanGuard<'_>, Histogram, f64)>,
+        n_jobs: usize,
+    ) -> Option<EvalTiming> {
+        let (span, hist, start) = scope?;
+        drop(span);
+        let obs = self.obs.as_ref()?;
+        let path_ms = hist.snapshot();
+        obs.registry().histogram("coda_core_eval_path_ms", DEFAULT_MS_BOUNDS).merge(&path_ms);
+        obs.count("coda_core_eval_graphs", 1);
+        obs.count("coda_core_eval_paths", n_jobs as u64);
+        Some(EvalTiming { wall_ms: obs.now_ms() - start, path_ms })
+    }
+
+    /// [`Evaluator::run_job`] under the observation scope: an `eval.path`
+    /// span keyed by the resolved spec, timed into `hist`.
+    fn run_job_traced(
+        &self,
+        pipeline: Pipeline,
+        params: &Params,
+        data: &Dataset,
+        hist: Option<&Histogram>,
+    ) -> PathResult {
+        let Some(obs) = &self.obs else {
+            return self.run_job(pipeline, params, data);
+        };
+        let key = pipeline.spec().with_params(params).key();
+        let _span = obs.span("eval.path", &[("spec", &key as &str)]);
+        let start = obs.now_ms();
+        let result = self.run_job(pipeline, params, data);
+        if let Some(h) = hist {
+            h.observe(obs.now_ms() - start);
+        }
+        result
+    }
+
+    /// [`Evaluator::run_job_cached`] under the observation scope.
+    #[allow(clippy::too_many_arguments)]
+    fn run_job_cached_traced(
+        &self,
+        pipeline: Pipeline,
+        params: &Params,
+        data: &Dataset,
+        splits: &Result<Vec<Split>, CvError>,
+        cache: &TransformCache,
+        hist: Option<&Histogram>,
+    ) -> PathResult {
+        let Some(obs) = &self.obs else {
+            return self.run_job_cached(pipeline, params, data, splits, cache);
+        };
+        let key = pipeline.spec().with_params(params).key();
+        let _span = obs.span("eval.path", &[("spec", &key as &str)]);
+        let start = obs.now_ms();
+        let result = self.run_job_cached(pipeline, params, data, splits, cache);
+        if let Some(h) = hist {
+            h.observe(obs.now_ms() - start);
+        }
+        result
+    }
+
     /// Core evaluation over (pipeline, params) jobs, parallel if configured
     /// and prefix-cached if enabled.
     fn evaluate_jobs(
@@ -288,8 +403,13 @@ impl Evaluator {
         if self.use_cache {
             return self.evaluate_jobs_cached(jobs, data);
         }
+        let n_jobs = jobs.len();
+        let scope = self.obs_scope(n_jobs);
+        let hist = scope.as_ref().map(|(_, h, _)| h);
         let results: Vec<PathResult> = if self.n_threads <= 1 || jobs.len() <= 1 {
-            jobs.into_iter().map(|(p, params)| self.run_job(p, &params, data)).collect()
+            jobs.into_iter()
+                .map(|(p, params)| self.run_job_traced(p, &params, data, hist))
+                .collect()
         } else {
             let counter = AtomicUsize::new(0);
             let out: Mutex<Vec<(usize, PathResult)>> = Mutex::new(Vec::new());
@@ -304,7 +424,8 @@ impl Evaluator {
                             break;
                         }
                         let (pipeline, params) = &jobs_ref[i];
-                        let result = self.run_job(pipeline.fresh_clone(), params, data);
+                        let result =
+                            self.run_job_traced(pipeline.fresh_clone(), params, data, hist);
                         out_ref.lock().expect("no panics hold this lock").push((i, result));
                     });
                 }
@@ -313,7 +434,8 @@ impl Evaluator {
             collected.sort_by_key(|(i, _)| *i);
             collected.into_iter().map(|(_, r)| r).collect()
         };
-        self.rank(results, None)
+        let timing = self.obs_finish(scope, n_jobs);
+        self.rank(results, None, timing)
     }
 
     /// Cached evaluation: splits are computed once, jobs are dispatched
@@ -344,12 +466,25 @@ impl Evaluator {
         let mut order: Vec<usize> = (0..jobs.len()).collect();
         order.sort_by(|&a, &b| plan_keys[a].cmp(&plan_keys[b]).then(a.cmp(&b)));
         let cache = TransformCache::new();
+        let n_jobs = jobs.len();
+        let scope_obs = self.obs_scope(n_jobs);
+        let hist = scope_obs.as_ref().map(|(_, h, _)| h);
         let mut indexed: Vec<(usize, PathResult)> = if self.n_threads <= 1 || jobs.len() <= 1 {
             order
                 .iter()
                 .map(|&i| {
                     let (pipeline, params) = &jobs[i];
-                    (i, self.run_job_cached(pipeline.fresh_clone(), params, data, &splits, &cache))
+                    (
+                        i,
+                        self.run_job_cached_traced(
+                            pipeline.fresh_clone(),
+                            params,
+                            data,
+                            &splits,
+                            &cache,
+                            hist,
+                        ),
+                    )
                 })
                 .collect()
         } else {
@@ -367,12 +502,13 @@ impl Evaluator {
                         }
                         let i = order_ref[pos];
                         let (pipeline, params) = &jobs_ref[i];
-                        let result = self.run_job_cached(
+                        let result = self.run_job_cached_traced(
                             pipeline.fresh_clone(),
                             params,
                             data,
                             splits_ref,
                             cache_ref,
+                            hist,
                         );
                         out_ref.lock().expect("no panics hold this lock").push((i, result));
                     });
@@ -382,7 +518,8 @@ impl Evaluator {
         };
         indexed.sort_by_key(|(i, _)| *i);
         let results = indexed.into_iter().map(|(_, r)| r).collect();
-        self.rank(results, Some(cache.stats()))
+        let timing = self.obs_finish(scope_obs, n_jobs);
+        self.rank(results, Some(cache.stats()), timing)
     }
 
     /// Ranks results (successes best-first by the metric, then failures)
@@ -391,7 +528,11 @@ impl Evaluator {
         &self,
         results: Vec<PathResult>,
         cache: Option<CacheStats>,
+        timing: Option<EvalTiming>,
     ) -> Result<GraphReport, EvalError> {
+        if let (Some(obs), Some(stats)) = (&self.obs, &cache) {
+            obs.publish(stats);
+        }
         if results.iter().all(|r| !r.is_ok()) {
             return Err(EvalError::NothingEvaluated);
         }
@@ -411,7 +552,7 @@ impl Evaluator {
                 }
             }
         });
-        Ok(GraphReport { metric, results: ranked, cache })
+        Ok(GraphReport { metric, results: ranked, cache, timing })
     }
 
     fn run_job(&self, mut pipeline: Pipeline, params: &Params, data: &Dataset) -> PathResult {
@@ -487,6 +628,11 @@ impl Evaluator {
         split: &Split,
         cache: &TransformCache,
     ) -> Result<f64, EvalError> {
+        let _span =
+            self.obs.as_ref().map(|o| o.span("eval.fold", &[("fold", &fold.to_string() as &str)]));
+        if let Some(obs) = &self.obs {
+            obs.count("coda_core_eval_folds", 1);
+        }
         let nodes = pipeline.nodes();
         if nodes.is_empty() {
             return Err(ComponentError::InvalidInput("empty pipeline".to_string()).into());
@@ -869,6 +1015,38 @@ mod tests {
             .evaluate_graph(&graph, &ds);
         assert!(matches!(uncached, Err(EvalError::NothingEvaluated)));
         assert!(matches!(cached, Err(EvalError::NothingEvaluated)));
+    }
+
+    #[test]
+    fn obs_instrumentation_is_observational_only() {
+        let ds = synth::friedman1(120, 5, 0.3, 209);
+        let graph = fan_out_graph(4);
+        let plain = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
+            .with_prefix_cache(true)
+            .evaluate_graph(&graph, &ds)
+            .unwrap();
+        let obs = coda_obs::Obs::wall();
+        let observed = Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
+            .with_prefix_cache(true)
+            .with_obs(obs.clone())
+            .evaluate_graph(&graph, &ds)
+            .unwrap();
+        assert_identical(&plain, &observed);
+        assert_eq!(plain.cache, observed.cache, "cache accounting unchanged by obs");
+        assert!(plain.timing.is_none());
+        let timing = observed.timing.expect("instrumented run reports timing");
+        assert_eq!(timing.path_ms.count, 4, "one timing observation per path");
+        assert!(timing.wall_ms >= timing.path_ms.sum, "serial paths fit inside the wall time");
+        let snap = obs.registry().snapshot();
+        assert!(snap.counter("coda_core_cache_hits") > 0, "cache stats published");
+        assert_eq!(snap.counter("coda_core_eval_graphs"), 1);
+        assert_eq!(snap.counter("coda_core_eval_paths"), 4);
+        assert_eq!(snap.counter("coda_core_eval_folds"), 12, "4 paths x 3 folds");
+        assert_eq!(snap.histograms["coda_core_eval_path_ms"].count, 4);
+        // span taxonomy: 1 eval.graph + 4 eval.path + 12 eval.fold, each
+        // recording a start and an end event
+        assert_eq!(obs.tracer().len(), 2 * (1 + 4 + 12));
+        assert!(obs.tracer().render_log().contains("span_start eval.path spec="));
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub mod tuning;
 
 pub use cache::{CacheStats, TransformCache};
 pub use dot::to_dot;
-pub use eval::{EvalError, Evaluator, GraphReport, PathResult};
+pub use eval::{EvalError, EvalTiming, Evaluator, GraphReport, PathResult};
 pub use graph::{GraphError, Teg, TegBuilder};
 pub use grid::{restrict_params, ParamGrid};
 pub use node::{Component, Node};

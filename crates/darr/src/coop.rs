@@ -5,6 +5,7 @@
 
 use coda_chaos::{RetryPolicy, RetryStats};
 use coda_core::CacheStats;
+use coda_obs::Obs;
 
 use crate::record::{AnalyticsRecord, ComputationKey};
 use crate::repo::{ClaimOutcome, Darr};
@@ -32,6 +33,13 @@ pub struct RetryReport {
     pub takeovers: usize,
 }
 
+impl coda_obs::Publish for RetryReport {
+    fn publish(&self, registry: &coda_obs::MetricsRegistry) {
+        self.stats.publish(registry);
+        registry.count("coda_darr_takeovers", self.takeovers as u64);
+    }
+}
+
 /// Per-client counters from a cooperative pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoopSummary {
@@ -45,18 +53,42 @@ pub struct CoopSummary {
     pub failed: usize,
 }
 
+impl coda_obs::Publish for CoopSummary {
+    fn publish(&self, registry: &coda_obs::MetricsRegistry) {
+        registry.count("coda_darr_computed", self.computed as u64);
+        registry.count("coda_darr_reused", self.reused as u64);
+        registry.count("coda_darr_skipped_held", self.skipped as u64);
+        registry.count("coda_darr_failed", self.failed as u64);
+    }
+}
+
 /// A cooperating client bound to a shared [`Darr`].
 #[derive(Debug)]
 pub struct CooperativeClient<'a> {
     darr: &'a Darr,
     name: String,
     claim_duration: u64,
+    obs: Option<Obs>,
 }
 
 impl<'a> CooperativeClient<'a> {
     /// Creates a client named `name` with the given claim lease duration.
     pub fn new<S: Into<String>>(darr: &'a Darr, name: S, claim_duration: u64) -> Self {
-        CooperativeClient { darr, name: name.into(), claim_duration }
+        CooperativeClient { darr, name: name.into(), claim_duration, obs: None }
+    }
+
+    /// Attaches an observability handle: per-key outcomes, takeovers and
+    /// warm-start skips count live into its registry under `coda_darr_*`
+    /// names, and each processed key is traced as a `darr.process` span.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    fn obs_count(&self, name: &str, n: u64) {
+        if let Some(o) = &self.obs {
+            o.count(name, n);
+        }
     }
 
     /// The client's name.
@@ -71,23 +103,34 @@ impl<'a> CooperativeClient<'a> {
     where
         F: FnOnce() -> Result<(f64, Vec<f64>, String), String>,
     {
-        match self.darr.try_claim(key, &self.name, self.claim_duration) {
-            ClaimOutcome::AlreadyComputed(record) => CoopOutcome::Reused(record),
-            ClaimOutcome::HeldBy(owner) => CoopOutcome::SkippedHeld(owner),
-            ClaimOutcome::Claimed => match compute() {
-                Ok((score, folds, explanation)) => CoopOutcome::Computed(self.darr.complete(
-                    key,
-                    &self.name,
-                    score,
-                    folds,
-                    &explanation,
-                )),
-                Err(e) => {
-                    self.darr.release_claim(key, &self.name);
-                    CoopOutcome::Failed(e)
+        let _span = self
+            .obs
+            .as_ref()
+            .map(|o| o.span("darr.process", &[("client", &self.name), ("key", &key.pipeline)]));
+        let outcome =
+            match self.darr.try_claim(key, &self.name, self.claim_duration) {
+                ClaimOutcome::AlreadyComputed(record) => CoopOutcome::Reused(record),
+                ClaimOutcome::HeldBy(owner) => CoopOutcome::SkippedHeld(owner),
+                ClaimOutcome::Claimed => {
+                    match compute() {
+                        Ok((score, folds, explanation)) => CoopOutcome::Computed(
+                            self.darr.complete(key, &self.name, score, folds, &explanation),
+                        ),
+                        Err(e) => {
+                            self.darr.release_claim(key, &self.name);
+                            CoopOutcome::Failed(e)
+                        }
+                    }
                 }
-            },
-        }
+            };
+        let metric = match &outcome {
+            CoopOutcome::Computed(_) => "coda_darr_computed",
+            CoopOutcome::Reused(_) => "coda_darr_reused",
+            CoopOutcome::SkippedHeld(_) => "coda_darr_skipped_held",
+            CoopOutcome::Failed(_) => "coda_darr_failed",
+        };
+        self.obs_count(metric, 1);
+        outcome
     }
 
     /// Runs a full work list, returning the summary and per-key outcomes.
@@ -132,6 +175,7 @@ impl<'a> CooperativeClient<'a> {
             }
         }
         let stats = CacheStats { warm_start_skips: resolved.len() as u64, ..CacheStats::default() };
+        self.obs_count("coda_darr_warm_start_skips", resolved.len() as u64);
         (resolved, remaining, stats)
     }
 
@@ -208,6 +252,7 @@ impl<'a> CooperativeClient<'a> {
                         CoopOutcome::Computed(_) => {
                             summary.computed += 1;
                             report.takeovers += 1;
+                            self.obs_count("coda_darr_takeovers", 1);
                         }
                         CoopOutcome::Reused(_) => summary.reused += 1,
                         CoopOutcome::Failed(_) => summary.failed += 1,

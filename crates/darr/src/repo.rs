@@ -5,6 +5,8 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use coda_obs::Obs;
+
 use crate::record::{AnalyticsRecord, ComputationKey};
 
 /// Result of attempting to claim a computation.
@@ -40,6 +42,16 @@ pub struct DarrStats {
     pub claims_refused: u64,
 }
 
+impl coda_obs::Publish for DarrStats {
+    fn publish(&self, registry: &coda_obs::MetricsRegistry) {
+        registry.count("coda_darr_lookup_hits", self.hits);
+        registry.count("coda_darr_lookup_misses", self.misses);
+        registry.count("coda_darr_records_stored", self.stored);
+        registry.count("coda_darr_claims_granted", self.claims_granted);
+        registry.count("coda_darr_claims_refused", self.claims_refused);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Claim {
     owner: String,
@@ -53,6 +65,16 @@ struct Inner {
     /// Latest known version per dataset id (for staleness checks).
     dataset_versions: BTreeMap<String, u64>,
     stats: DarrStats,
+    obs: Option<Obs>,
+}
+
+/// Counts into the attached registry (no-op without one). Uses the same
+/// `coda_darr_*` names as [`DarrStats`]'s `Publish` impl — attach *or*
+/// publish, not both, to avoid double counting.
+fn obs_count(inner: &Inner, name: &str, n: u64) {
+    if let Some(o) = &inner.obs {
+        o.count(name, n);
+    }
 }
 
 /// The shared Data Analytics Results Repository. Cheap to share across
@@ -80,6 +102,12 @@ impl Darr {
     /// Creates an empty repository.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches an observability handle: lookups, claims and stores count
+    /// live into its registry under `coda_darr_*` names.
+    pub fn attach_obs(&self, obs: Obs) {
+        self.inner.write().obs = Some(obs);
     }
 
     /// Current logical time.
@@ -121,15 +149,18 @@ impl Darr {
         let mut inner = self.inner.write();
         if Self::is_stale(&inner, key) {
             inner.stats.misses += 1;
+            obs_count(&inner, "coda_darr_lookup_misses", 1);
             return None;
         }
         match inner.records.get(key).cloned() {
             Some(r) => {
                 inner.stats.hits += 1;
+                obs_count(&inner, "coda_darr_lookup_hits", 1);
                 Some(r)
             }
             None => {
                 inner.stats.misses += 1;
+                obs_count(&inner, "coda_darr_lookup_misses", 1);
                 None
             }
         }
@@ -175,6 +206,7 @@ impl Darr {
         if !Self::is_stale(&inner, key) {
             if let Some(r) = inner.records.get(key).cloned() {
                 inner.stats.hits += 1;
+                obs_count(&inner, "coda_darr_lookup_hits", 1);
                 return ClaimOutcome::AlreadyComputed(r);
             }
         }
@@ -186,6 +218,7 @@ impl Darr {
         match holder {
             Some(owner) => {
                 inner.stats.claims_refused += 1;
+                obs_count(&inner, "coda_darr_claims_refused", 1);
                 ClaimOutcome::HeldBy(owner)
             }
             None => {
@@ -194,6 +227,7 @@ impl Darr {
                     Claim { owner: client.to_string(), expires_at: now + duration },
                 );
                 inner.stats.claims_granted += 1;
+                obs_count(&inner, "coda_darr_claims_granted", 1);
                 ClaimOutcome::Claimed
             }
         }
@@ -232,6 +266,7 @@ impl Darr {
         inner.claims.remove(key);
         inner.records.insert(key.clone(), record.clone());
         inner.stats.stored += 1;
+        obs_count(&inner, "coda_darr_records_stored", 1);
         record
     }
 
@@ -251,6 +286,7 @@ impl Darr {
             inner.claims.remove(&record.key);
             inner.records.insert(record.key.clone(), record);
             inner.stats.stored += 1;
+            obs_count(&inner, "coda_darr_records_stored", 1);
         }
         keep_incoming
     }

@@ -1,0 +1,94 @@
+//! Pluggable time sources for the tracer and timing histograms.
+//!
+//! Production code uses [`WallClock`]; tests and the deterministic chaos
+//! driver use [`ManualClock`] so two runs with the same seed read the same
+//! timestamps and produce byte-identical trace logs (DESIGN.md §9).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic source of logical milliseconds.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Milliseconds elapsed since the clock's origin.
+    fn now_ms(&self) -> f64;
+}
+
+/// Real elapsed time since construction.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// Creates a wall clock whose origin is now.
+    pub fn new() -> Self {
+        WallClock { start: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1000.0
+    }
+}
+
+/// A logical clock advanced explicitly by the driver — reads are exact and
+/// replayable, which is what makes traces deterministic under test.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_bits: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a manual clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the clock to an absolute time in milliseconds.
+    pub fn set_ms(&self, ms: f64) {
+        self.now_bits.store(ms.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Advances the clock by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: f64) {
+        self.set_ms(self.now_ms() + ms);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> f64 {
+        f64::from_bits(self.now_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_is_explicit() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ms(), 0.0);
+        c.advance_ms(12.5);
+        assert_eq!(c.now_ms(), 12.5);
+        c.set_ms(3.0);
+        assert_eq!(c.now_ms(), 3.0);
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_ms();
+        let b = c.now_ms();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+}

@@ -1,0 +1,430 @@
+//! A lock-cheap registry of named counters, gauges, and fixed-bucket
+//! histograms, with two exposition surfaces: Prometheus-style text and a
+//! `serde_json` snapshot.
+//!
+//! Metric names follow `coda_<crate>_<name>` (DESIGN.md §9). Instruments
+//! are `Arc`-shared: a registration returns a handle whose updates are
+//! plain atomic operations; the registry lock (a `parking_lot::RwLock`
+//! around a `BTreeMap`) is touched only on registration and snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::impl_serde_struct;
+
+/// Default bucket upper bounds (milliseconds) for timing histograms.
+pub const DEFAULT_MS_BOUNDS: &[f64] =
+    &[0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an arbitrary `f64` (stored as bits in an atomic).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at `0.0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` to the gauge (compare-and-swap loop).
+    pub fn add(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram: `bounds` are inclusive upper bounds, with an
+/// implicit `+Inf` bucket at the end.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given sorted upper bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.iter().position(|b| v <= *b).unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Folds another histogram's snapshot into this one. Bucket-by-bucket
+    /// when the bounds match; otherwise each of `snap`'s observations is
+    /// re-bucketed conservatively at its bound's value.
+    pub fn merge(&self, snap: &HistogramSnapshot) {
+        if snap.bounds == self.bounds {
+            for (bucket, n) in self.buckets.iter().zip(&snap.counts) {
+                bucket.fetch_add(*n, Ordering::Relaxed);
+            }
+            self.count.fetch_add(snap.count, Ordering::Relaxed);
+            let mut cur = self.sum_bits.load(Ordering::Relaxed);
+            loop {
+                let next = (f64::from_bits(cur) + snap.sum).to_bits();
+                match self.sum_bits.compare_exchange_weak(
+                    cur,
+                    next,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+        for (i, n) in snap.counts.iter().enumerate() {
+            let at = snap.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            for _ in 0..*n {
+                self.observe(at);
+            }
+        }
+    }
+
+    /// Point-in-time snapshot of the buckets.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A frozen copy of one histogram's buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bucket bounds (the final `+Inf` bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+}
+
+impl_serde_struct!(HistogramSnapshot { bounds, counts, count, sum });
+
+impl HistogramSnapshot {
+    /// Mean observed value, or `0.0` with no observations.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A frozen copy of every instrument in a [`MetricsRegistry`] — the JSON
+/// exposition surface (`serde_json`-serializable, deterministic key order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram buckets by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl_serde_struct!(MetricsSnapshot { counters, gauges, histograms });
+
+impl MetricsSnapshot {
+    /// A named counter's value, or 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Serializes the snapshot to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot values are always representable")
+    }
+
+    /// Parses a snapshot back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse/shape error message on malformed input.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let value = serde_json::parse(s).map_err(|e| e.to_string())?;
+        serde::Deserialize::from_value(&value)
+    }
+}
+
+/// The process-wide metric registry: named instruments, shared by `Arc`.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MetricsRegistry({} counters, {} gauges, {} histograms)",
+            self.counters.read().len(),
+            self.gauges.read().len(),
+            self.histograms.read().len()
+        )
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.counters.write().entry(name.to_string()).or_default())
+    }
+
+    /// Returns (registering on first use) the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gauges.write().entry(name.to_string()).or_default())
+    }
+
+    /// Returns the histogram named `name`, registering it with `bounds` on
+    /// first use (later `bounds` are ignored — first registration wins).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            self.histograms
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Shorthand: add `n` to the counter named `name`.
+    pub fn count(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Shorthand: record `v` in the histogram named `name` (registered with
+    /// [`DEFAULT_MS_BOUNDS`] on first use).
+    pub fn observe_ms(&self, name: &str, v: f64) {
+        self.histogram(name, DEFAULT_MS_BOUNDS).observe(v);
+    }
+
+    /// A frozen copy of every instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.read().iter().map(|(k, c)| (k.clone(), c.get())).collect(),
+            gauges: self.gauges.read().iter().map(|(k, g)| (k.clone(), g.get())).collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// Renders every instrument in Prometheus text exposition format,
+    /// names sorted, deterministically.
+    pub fn render_prometheus(&self) -> String {
+        let snap = self.snapshot();
+        let mut out = String::new();
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+        }
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+        }
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (i, n) in h.counts.iter().enumerate() {
+                cumulative += n;
+                let le = match h.bounds.get(i) {
+                    Some(b) => format!("{b}"),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_once() {
+        let reg = MetricsRegistry::new();
+        reg.counter("coda_test_ops").add(3);
+        reg.counter("coda_test_ops").inc();
+        reg.gauge("coda_test_level").set(2.5);
+        reg.gauge("coda_test_level").add(0.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("coda_test_ops"), 4);
+        assert_eq!(snap.gauges["coda_test_level"], 3.0);
+        assert_eq!(snap.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_observations() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 1.0, 5.0, 100.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 1], "le=1: {{0.5, 1.0}}, le=10: {{5.0}}, +Inf: {{100}}");
+        assert_eq!(s.count, 4);
+        assert!((s.sum - 106.5).abs() < 1e-12);
+        assert!((s.mean() - 26.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_same_bounds_is_exact() {
+        let a = Histogram::new(&[1.0, 10.0]);
+        let b = Histogram::new(&[1.0, 10.0]);
+        a.observe(0.5);
+        b.observe(5.0);
+        b.observe(50.0);
+        a.merge(&b.snapshot());
+        let s = a.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 1]);
+        assert_eq!(s.count, 3);
+        assert!((s.sum - 55.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.count("coda_test_a", 7);
+        reg.gauge("coda_test_g").set(1.25);
+        reg.observe_ms("coda_test_ms", 3.0);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let back = MetricsSnapshot::from_json(&json).expect("snapshot JSON parses");
+        assert_eq!(back, snap);
+        assert!(MetricsSnapshot::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_typed() {
+        let reg = MetricsRegistry::new();
+        reg.count("coda_test_b", 2);
+        reg.count("coda_test_a", 1);
+        reg.observe_ms("coda_test_ms", 2.0);
+        let text = reg.render_prometheus();
+        assert_eq!(text, reg.render_prometheus());
+        // names sorted, counters before the histogram of this snapshot
+        let a = text.find("coda_test_a 1").unwrap();
+        let b = text.find("coda_test_b 2").unwrap();
+        assert!(a < b);
+        assert!(text.contains("# TYPE coda_test_ms histogram"));
+        assert!(text.contains("coda_test_ms_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("coda_test_ms_count 1"));
+    }
+
+    #[test]
+    fn registry_handles_are_shared_across_threads() {
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let reg = std::sync::Arc::clone(&reg);
+                scope.spawn(move || {
+                    let c = reg.counter("coda_test_shared");
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot().counter("coda_test_shared"), 4000);
+    }
+}

@@ -1,0 +1,225 @@
+//! A lightweight span/event tracer.
+//!
+//! Spans (`tracer.span("eval.fold", &[("fold", "2")])`) record a start
+//! event immediately and an end event (with duration) when the guard
+//! drops; point events record once. Timestamps come from the pluggable
+//! [`Clock`], so a single-threaded driver over a [`ManualClock`] produces
+//! byte-identical logs across same-seed runs — the determinism contract
+//! the chaos regression test asserts (DESIGN.md §9).
+//!
+//! [`ManualClock`]: crate::clock::ManualClock
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+
+/// What a [`TraceEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed (fields carry `dur_ms`).
+    SpanEnd,
+    /// A point event.
+    Event,
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::SpanStart => write!(f, "span_start"),
+            EventKind::SpanEnd => write!(f, "span_end"),
+            EventKind::Event => write!(f, "event"),
+        }
+    }
+}
+
+/// One recorded trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span/event name (dot-separated taxonomy, e.g. `eval.fold`).
+    pub name: String,
+    /// Start, end, or point event.
+    pub kind: EventKind,
+    /// Clock reading when recorded, in milliseconds.
+    pub at_ms: f64,
+    /// Key-value annotations.
+    pub fields: Vec<(String, String)>,
+}
+
+impl TraceEvent {
+    fn render(&self) -> String {
+        let mut line = format!("{:.3} {} {}", self.at_ms, self.kind, self.name);
+        for (k, v) in &self.fields {
+            line.push_str(&format!(" {k}={v}"));
+        }
+        line
+    }
+}
+
+/// Records spans and events against a pluggable [`Clock`].
+pub struct Tracer {
+    clock: Arc<dyn Clock>,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tracer({} events, clock {:?})", self.events.lock().len(), self.clock)
+    }
+}
+
+fn own_fields(fields: &[(&str, &str)]) -> Vec<(String, String)> {
+    fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+impl Tracer {
+    /// Creates a tracer reading time from `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Tracer { clock, events: Mutex::new(Vec::new()) }
+    }
+
+    /// The tracer's clock reading, in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.clock.now_ms()
+    }
+
+    /// Opens a span: records the start now, and the end (with `dur_ms`)
+    /// when the returned guard drops.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span(&self, name: &str, fields: &[(&str, &str)]) -> SpanGuard<'_> {
+        let start = self.now_ms();
+        self.push(TraceEvent {
+            name: name.to_string(),
+            kind: EventKind::SpanStart,
+            at_ms: start,
+            fields: own_fields(fields),
+        });
+        SpanGuard { tracer: self, name: name.to_string(), start }
+    }
+
+    /// Records a point event stamped with the clock's current reading.
+    pub fn event(&self, name: &str, fields: &[(&str, &str)]) {
+        self.event_at(self.now_ms(), name, fields);
+    }
+
+    /// Records a point event at an explicit timestamp — used by drivers
+    /// that carry their own logical clock (e.g. the chaos driver).
+    pub fn event_at(&self, at_ms: f64, name: &str, fields: &[(&str, &str)]) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            kind: EventKind::Event,
+            at_ms,
+            fields: own_fields(fields),
+        });
+    }
+
+    fn push(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+
+    /// A copy of every recorded event, in record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders the full event log as text, one event per line — the byte
+    /// surface the deterministic-trace regression test compares.
+    pub fn render_log(&self) -> String {
+        let events = self.events.lock();
+        let mut out = String::with_capacity(events.len() * 48);
+        for e in events.iter() {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Closes its span (recording `dur_ms`) on drop.
+pub struct SpanGuard<'a> {
+    tracer: &'a Tracer,
+    name: String,
+    start: f64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end = self.tracer.now_ms();
+        self.tracer.push(TraceEvent {
+            name: std::mem::take(&mut self.name),
+            kind: EventKind::SpanEnd,
+            at_ms: end,
+            fields: vec![("dur_ms".to_string(), format!("{:.3}", end - self.start))],
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    fn manual_tracer() -> (Arc<ManualClock>, Tracer) {
+        let clock = Arc::new(ManualClock::new());
+        let tracer = Tracer::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        (clock, tracer)
+    }
+
+    #[test]
+    fn span_records_start_and_end_with_duration() {
+        let (clock, tracer) = manual_tracer();
+        {
+            let _span = tracer.span("eval.fold", &[("fold", "2")]);
+            clock.advance_ms(7.0);
+        }
+        let events = tracer.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::SpanStart);
+        assert_eq!(events[0].fields, vec![("fold".to_string(), "2".to_string())]);
+        assert_eq!(events[1].kind, EventKind::SpanEnd);
+        assert_eq!(events[1].at_ms, 7.0);
+        assert_eq!(events[1].fields[0], ("dur_ms".to_string(), "7.000".to_string()));
+    }
+
+    #[test]
+    fn manual_clock_makes_logs_replayable() {
+        let run = || {
+            let (clock, tracer) = manual_tracer();
+            for i in 0..3 {
+                tracer.event("tick", &[("i", &i.to_string())]);
+                clock.advance_ms(10.0);
+            }
+            tracer.event_at(99.5, "done", &[]);
+            tracer.render_log()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same driver sequence must produce byte-identical logs");
+        assert!(a.contains("0.000 event tick i=0"));
+        assert!(a.contains("20.000 event tick i=2"));
+        assert!(a.contains("99.500 event done"));
+    }
+
+    #[test]
+    fn tracer_len_and_emptiness() {
+        let (_clock, tracer) = manual_tracer();
+        assert!(tracer.is_empty());
+        tracer.event("x", &[]);
+        assert_eq!(tracer.len(), 1);
+        assert!(!tracer.is_empty());
+    }
+}

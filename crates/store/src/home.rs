@@ -6,6 +6,8 @@
 use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
 
+use coda_obs::Obs;
+
 use crate::delta::{content_hash, Delta, DeltaCodec};
 use crate::lease::{Lease, PushMode, UpdateMessage};
 
@@ -45,6 +47,16 @@ impl TransferStats {
         self.messages += 1;
         self.bytes += 32; // version number + change summary
         self.notifications += 1;
+    }
+}
+
+impl coda_obs::Publish for TransferStats {
+    fn publish(&self, registry: &coda_obs::MetricsRegistry) {
+        registry.count("coda_store_transfer_messages", self.messages);
+        registry.count("coda_store_transfer_bytes", self.bytes);
+        registry.count("coda_store_full_transfers", self.full_transfers);
+        registry.count("coda_store_delta_transfers", self.delta_transfers);
+        registry.count("coda_store_notifications", self.notifications);
     }
 }
 
@@ -108,6 +120,7 @@ pub struct HomeDataStore {
     leases: Vec<Lease>,
     stats: TransferStats,
     clock: u64,
+    obs: Option<Obs>,
 }
 
 impl HomeDataStore {
@@ -120,6 +133,20 @@ impl HomeDataStore {
             leases: Vec::new(),
             stats: TransferStats::default(),
             clock: 0,
+            obs: None,
+        }
+    }
+
+    /// Attaches an observability handle: subsequent `put`/`fetch` calls
+    /// count live into its registry under `coda_store_*` names.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
+    }
+
+    /// Increments a counter when an [`Obs`] handle is attached.
+    fn obs_count(&self, name: &str, n: u64) {
+        if let Some(o) = &self.obs {
+            o.count(name, n);
         }
     }
 
@@ -239,6 +266,23 @@ impl HomeDataStore {
             };
             messages.push(msg);
         }
+        self.obs_count("coda_store_puts", 1);
+        self.obs_count("coda_store_push_messages", messages.len() as u64);
+        for msg in &messages {
+            match msg {
+                UpdateMessage::Full { data, .. } => {
+                    self.obs_count("coda_store_full_transfers", 1);
+                    self.obs_count("coda_store_full_bytes", data.len() as u64);
+                }
+                UpdateMessage::Delta { delta, .. } => {
+                    self.obs_count("coda_store_delta_transfers", 1);
+                    self.obs_count("coda_store_delta_bytes", delta.wire_size() as u64);
+                }
+                UpdateMessage::Notify { .. } => {
+                    self.obs_count("coda_store_notifications", 1);
+                }
+            }
+        }
         (cur_version, messages)
     }
 
@@ -279,6 +323,20 @@ impl HomeDataStore {
                 FetchReply::Full { version: object.version, data: object.data.clone() }
             }
         };
+        self.obs_count("coda_store_pulls", 1);
+        match &reply {
+            FetchReply::Full { data, .. } => {
+                self.obs_count("coda_store_full_transfers", 1);
+                self.obs_count("coda_store_full_bytes", data.len() as u64);
+            }
+            FetchReply::Delta(d) => {
+                self.obs_count("coda_store_delta_transfers", 1);
+                self.obs_count("coda_store_delta_bytes", d.wire_size() as u64);
+            }
+            FetchReply::UpToDate { .. } => {
+                self.obs_count("coda_store_pull_up_to_date", 1);
+            }
+        }
         Ok(Some(reply))
     }
 

@@ -11,6 +11,7 @@
 
 use bytes::Bytes;
 use coda_chaos::{RetryPolicy, RetryStats};
+use coda_obs::Obs;
 
 use crate::home::{FetchReply, HomeDataStore};
 
@@ -47,6 +48,7 @@ pub struct ReplicatedStore {
     sites: Vec<Site>,
     /// Index of the current primary within `sites`.
     primary: usize,
+    obs: Option<Obs>,
 }
 
 impl ReplicatedStore {
@@ -59,7 +61,24 @@ impl ReplicatedStore {
                 up: true,
             })
             .collect();
-        ReplicatedStore { sites, primary: 0 }
+        ReplicatedStore { sites, primary: 0, obs: None }
+    }
+
+    /// Attaches an observability handle: failovers and replication retries
+    /// count live into its registry under `coda_store_*` names. Every
+    /// site's store is instrumented, so replica propagation shows up as
+    /// store traffic (each synchronous replica write is a real transfer).
+    pub fn attach_obs(&mut self, obs: Obs) {
+        for site in &mut self.sites {
+            site.store.attach_obs(obs.clone());
+        }
+        self.obs = Some(obs);
+    }
+
+    fn obs_count(&self, name: &str, n: u64) {
+        if let Some(o) = &self.obs {
+            o.count(name, n);
+        }
     }
 
     /// The current primary's name.
@@ -117,6 +136,7 @@ impl ReplicatedStore {
         match self.sites.iter().position(|s| s.up) {
             Some(next) => {
                 self.primary = next;
+                self.obs_count("coda_store_failovers", 1);
                 Ok(true)
             }
             None => Err(ReplicationError::AllSitesDown),
@@ -189,7 +209,10 @@ impl ReplicatedStore {
             match self.put(id, data.clone()) {
                 Ok(v) => return (Ok(v), state.finish(true)),
                 Err(ReplicationError::AllSitesDown) => match state.next_backoff_ms() {
-                    Some(_) => repair(self, attempt),
+                    Some(_) => {
+                        self.obs_count("coda_store_replication_retries", 1);
+                        repair(self, attempt);
+                    }
                     None => return (Err(ReplicationError::AllSitesDown), state.finish(false)),
                 },
                 Err(e) => return (Err(e), state.finish(false)),
@@ -211,7 +234,10 @@ impl ReplicatedStore {
             match self.fetch(id, client_version) {
                 Ok(reply) => return (Ok(reply), state.finish(true)),
                 Err(ReplicationError::AllSitesDown) => match state.next_backoff_ms() {
-                    Some(_) => repair(self, attempt),
+                    Some(_) => {
+                        self.obs_count("coda_store_replication_retries", 1);
+                        repair(self, attempt);
+                    }
                     None => return (Err(ReplicationError::AllSitesDown), state.finish(false)),
                 },
                 Err(e) => return (Err(e), state.finish(false)),

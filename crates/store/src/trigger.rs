@@ -5,6 +5,8 @@
 
 use std::fmt;
 
+use coda_obs::Obs;
+
 /// Accumulated change since the last recomputation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct UpdateStats {
@@ -54,6 +56,7 @@ pub struct ChangeMonitor {
     stats: UpdateStats,
     /// Number of recomputations fired.
     pub recomputations: u64,
+    obs: Option<Obs>,
 }
 
 impl fmt::Debug for ChangeMonitor {
@@ -69,7 +72,14 @@ impl fmt::Debug for ChangeMonitor {
 impl ChangeMonitor {
     /// Creates a monitor with the given policy.
     pub fn new(trigger: RecomputeTrigger) -> Self {
-        ChangeMonitor { trigger, stats: UpdateStats::default(), recomputations: 0 }
+        ChangeMonitor { trigger, stats: UpdateStats::default(), recomputations: 0, obs: None }
+    }
+
+    /// Attaches an observability handle: every recorded update increments
+    /// `coda_store_trigger_updates` and every firing increments
+    /// `coda_store_trigger_firings`.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// Accumulated change since the last recomputation.
@@ -83,9 +93,15 @@ impl ChangeMonitor {
         self.stats.count += 1;
         self.stats.bytes += bytes;
         self.stats.magnitude += magnitude;
+        if let Some(o) = &self.obs {
+            o.count("coda_store_trigger_updates", 1);
+        }
         if self.trigger.should_recompute(&self.stats) {
             self.stats = UpdateStats::default();
             self.recomputations += 1;
+            if let Some(o) = &self.obs {
+                o.count("coda_store_trigger_firings", 1);
+            }
             true
         } else {
             false
@@ -133,6 +149,70 @@ mod tests {
         assert!(m.record_update(0, 0.0));
         assert!(m.record_update(0, 0.0));
         assert_eq!(m.recomputations, 2);
+    }
+
+    #[test]
+    fn count_trigger_fires_at_exact_threshold() {
+        // ">= n", not "> n": the nth update itself fires (Paper §III,
+        // "recompute after this many updates").
+        let mut m = ChangeMonitor::new(RecomputeTrigger::UpdateCount(2));
+        assert!(!m.record_update(0, 0.0));
+        assert!(m.record_update(0, 0.0));
+    }
+
+    #[test]
+    fn bytes_trigger_fires_at_exact_threshold() {
+        let mut m = ChangeMonitor::new(RecomputeTrigger::UpdateBytes(100));
+        assert!(!m.record_update(99, 0.0));
+        assert!(m.record_update(1, 0.0), "accumulated bytes == threshold fires");
+        assert_eq!(m.pending(), UpdateStats::default(), "firing resets the accumulator");
+    }
+
+    #[test]
+    fn zero_byte_updates_never_fire_bytes_trigger() {
+        let mut m = ChangeMonitor::new(RecomputeTrigger::UpdateBytes(1));
+        for _ in 0..10 {
+            assert!(!m.record_update(0, 1.0));
+        }
+        assert_eq!(m.pending().count, 10, "updates still accumulate");
+        assert_eq!(m.recomputations, 0);
+    }
+
+    #[test]
+    fn app_specific_can_combine_count_and_bytes() {
+        // The paper calls app-specific triggers "the best way": the
+        // predicate sees the whole accumulated UpdateStats at once.
+        let trigger = RecomputeTrigger::AppSpecific(Box::new(|s: &UpdateStats| {
+            s.count >= 2 && s.bytes >= 50
+        }));
+        let mut m = ChangeMonitor::new(trigger);
+        assert!(!m.record_update(100, 0.0), "bytes alone insufficient");
+        assert!(m.record_update(1, 0.0), "count joined in");
+        assert!(!m.record_update(10, 0.0));
+        assert!(!m.record_update(10, 0.0), "bytes below 50 after reset");
+        assert_eq!(m.recomputations, 1);
+    }
+
+    #[test]
+    fn app_specific_magnitude_resets_after_fire() {
+        let trigger = RecomputeTrigger::AppSpecific(Box::new(|s: &UpdateStats| s.magnitude > 1.0));
+        let mut m = ChangeMonitor::new(trigger);
+        assert!(m.record_update(0, 1.5));
+        assert!(!m.record_update(0, 0.9), "drift accumulator restarted from zero");
+        assert_eq!(m.recomputations, 1);
+    }
+
+    #[test]
+    fn monitor_publishes_updates_and_firings() {
+        let obs = coda_obs::Obs::deterministic();
+        let mut m = ChangeMonitor::new(RecomputeTrigger::UpdateCount(2));
+        m.attach_obs(obs.clone());
+        for _ in 0..5 {
+            m.record_update(8, 0.0);
+        }
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("coda_store_trigger_updates"), 5);
+        assert_eq!(snap.counter("coda_store_trigger_firings"), 2);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! - [`cluster`]: the simulated distributed system of Fig. 1
 //! - [`templates`]: domain solution templates (Section IV-E)
 //! - [`chaos`]: deterministic fault injection and retry/backoff policies
+//! - [`obs`]: unified tracing + metrics (counters, histograms, spans)
 
 pub use coda_chaos as chaos;
 pub use coda_cluster as cluster;
@@ -22,6 +23,7 @@ pub use coda_data as data;
 pub use coda_linalg as linalg;
 pub use coda_ml as ml;
 pub use coda_nn as nn;
+pub use coda_obs as obs;
 pub use coda_store as store;
 pub use coda_templates as templates;
 pub use coda_timeseries as timeseries;

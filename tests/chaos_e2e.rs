@@ -5,7 +5,8 @@
 //! statistics, and replay bit-identically from the same seed.
 
 use coda::chaos::{FaultPlan, RetryPolicy};
-use coda::cluster::{run_chaos_coop, ChaosCoopConfig};
+use coda::cluster::{run_chaos_coop, run_chaos_coop_obs, ChaosCoopConfig};
+use coda::obs::Obs;
 
 /// The scenario from the issue: 20% drops, one client crashing and
 /// restarting mid-run, and a DARR partition that heals.
@@ -58,6 +59,36 @@ fn same_seed_produces_identical_run_report() {
     let c = run_chaos_coop(&acceptance_config(18));
     assert_ne!(a.faults, c.faults, "a different seed must draw different faults");
     assert_eq!(c.completed, c.n_keys, "...but still lose nothing");
+}
+
+#[test]
+fn same_seed_produces_byte_identical_trace_and_metrics() {
+    // observability must not disturb determinism: every trace event is
+    // stamped from the driver's logical clock, so two same-seed runs with
+    // fresh deterministic Obs handles render byte-identical logs
+    let obs_a = Obs::deterministic();
+    let report_a = run_chaos_coop_obs(&acceptance_config(17), Some(&obs_a));
+    let obs_b = Obs::deterministic();
+    let report_b = run_chaos_coop_obs(&acceptance_config(17), Some(&obs_b));
+
+    assert_eq!(report_a, report_b, "reports must replay bit-identically");
+    let log_a = obs_a.tracer().render_log();
+    assert!(!log_a.is_empty(), "the run must emit trace events");
+    assert_eq!(log_a, obs_b.tracer().render_log(), "trace logs must be byte-identical");
+    assert_eq!(
+        obs_a.registry().render_prometheus(),
+        obs_b.registry().render_prometheus(),
+        "metric expositions must be byte-identical"
+    );
+
+    // an instrumented run must not perturb the uninstrumented ground truth
+    assert_eq!(report_a, run_chaos_coop(&acceptance_config(17)));
+
+    // the log carries the protocol events the driver counted
+    assert!(log_a.contains("event chaos.claim "));
+    assert!(log_a.contains("event chaos.journal "));
+    let claims = log_a.matches("event chaos.claim ").count();
+    assert!(claims >= report_a.computed, "every online completion was claimed first");
 }
 
 #[test]

@@ -55,9 +55,11 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--list" || a == "--help" || a == "-h") {
         println!("coda experiment harness — every table/figure of Iyengar et al., ICDCS 2019");
-        println!("usage: experiments [--exp <id>] [--metrics] [--list]\n");
-        println!("  --metrics  collect a unified MetricsRegistry snapshot across the run");
-        println!("             and dump it (Prometheus text + JSON) at the end\n");
+        println!("usage: experiments [--exp <id>] [--metrics] [--trace-out <path>] [--list]\n");
+        println!("  --metrics          collect a unified MetricsRegistry snapshot across the run");
+        println!("                     and dump it (Prometheus text + JSON) at the end");
+        println!("  --trace-out PATH   trace the run and write a Chrome trace-event JSON file");
+        println!("                     (load it at ui.perfetto.dev or chrome://tracing)\n");
         for (id, what) in EXPERIMENTS {
             println!("  {id:<4} {what}");
         }
@@ -75,7 +77,12 @@ fn main() {
         }
     }
     let run = |id: &str| only.as_deref().is_none_or(|o| o == id);
-    let obs = args.iter().any(|a| a == "--metrics").then(Obs::wall);
+    let trace_out: Option<String> = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_string());
+    let obs = (args.iter().any(|a| a == "--metrics") || trace_out.is_some()).then(Obs::wall);
 
     println!("coda experiment harness — paper: Iyengar et al., ICDCS 2019");
     if run("t1") {
@@ -152,25 +159,59 @@ fn main() {
     }
 
     if let Some(o) = &obs {
-        println!("\n=== metrics snapshot (prometheus) ===");
-        print!("{}", o.registry().render_prometheus());
-        let json = o.registry().snapshot().to_json();
-        println!("=== metrics snapshot (json) ===");
-        println!("{json}");
-        let parsed =
-            coda_obs::MetricsSnapshot::from_json(&json).expect("snapshot JSON must round-trip");
-        if run("d5") {
-            assert!(
-                parsed.counter("coda_core_cache_hits") > 0,
-                "a cached evaluation ran, so cache-hit counters must be nonzero"
+        if args.iter().any(|a| a == "--metrics") {
+            println!("\n=== metrics snapshot (prometheus) ===");
+            print!("{}", o.registry().render_prometheus());
+            let json = o.registry().snapshot().to_json();
+            println!("=== metrics snapshot (json) ===");
+            println!("{json}");
+            let parsed =
+                coda_obs::MetricsSnapshot::from_json(&json).expect("snapshot JSON must round-trip");
+            if run("d5") {
+                assert!(
+                    parsed.counter("coda_core_cache_hits") > 0,
+                    "a cached evaluation ran, so cache-hit counters must be nonzero"
+                );
+            }
+            println!(
+                "metrics: {} counters, {} gauges, {} histograms; JSON snapshot parses back",
+                parsed.counters.len(),
+                parsed.gauges.len(),
+                parsed.histograms.len()
             );
+            if !parsed.histograms.is_empty() {
+                println!("=== latency quantiles ===");
+                for (name, h) in &parsed.histograms {
+                    println!(
+                        "{name}: p50={:.3} p95={:.3} p99={:.3} ms (count={})",
+                        h.quantile(0.50),
+                        h.quantile(0.95),
+                        h.quantile(0.99),
+                        h.count
+                    );
+                }
+            }
         }
-        println!(
-            "metrics: {} counters, {} gauges, {} histograms; JSON snapshot parses back",
-            parsed.counters.len(),
-            parsed.gauges.len(),
-            parsed.histograms.len()
-        );
+        if let Some(path) = &trace_out {
+            let forest = o.forest();
+            let chrome = forest.to_chrome_json();
+            std::fs::write(path, &chrome).expect("trace file must be writable");
+            // self-check: the exported file must load back into an
+            // equivalent forest (what Perfetto will see is what we traced)
+            let back = coda_obs::TraceForest::from_chrome_json(&chrome)
+                .expect("exported trace must parse back");
+            assert!(back.same_shape(&forest), "round-tripped trace must preserve the span forest");
+            println!("\n=== trace export ===");
+            println!(
+                "wrote {path}: {} spans in {} traces ({} orphans)",
+                forest.len(),
+                forest.trace_ids().len(),
+                forest.orphans().len()
+            );
+            for line in forest.render_summary().lines().take(8) {
+                println!("{line}");
+            }
+        }
     }
 }
 

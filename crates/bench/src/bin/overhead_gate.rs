@@ -1,0 +1,85 @@
+//! CI overhead gate for the observability layer: evaluates the same
+//! fan-out TEG with and without an attached `Obs` handle, interleaving
+//! trials and comparing best-of-N wall-clock times. Fails (exit 1) when
+//! the instrumented run exceeds the budget — a multiplicative ratio plus a
+//! small absolute allowance for fixed costs — so tracing regressions are
+//! caught before they land. Reports must also stay bit-identical, so the
+//! instrumentation is provably observational.
+//!
+//! Usage: `overhead_gate [max_ratio]` (default 1.30, i.e. +30%).
+
+use coda_bench::fan_out_graph;
+use coda_core::{Evaluator, GraphReport};
+use coda_data::{synth, CvStrategy, Metric};
+use coda_obs::Obs;
+
+const TRIALS: usize = 5;
+const DEFAULT_MAX_RATIO: f64 = 1.30;
+/// Absolute allowance for fixed instrumentation costs (ms) so tiny
+/// workloads on noisy runners don't trip the ratio.
+const ABS_SLACK_MS: f64 = 60.0;
+
+fn main() {
+    let max_ratio: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("max_ratio must be a float"))
+        .unwrap_or(DEFAULT_MAX_RATIO);
+
+    let ds = synth::friedman1(800, 20, 0.4, 55);
+    let graph = fan_out_graph(8);
+    let cv = CvStrategy::kfold(5);
+
+    let run = |obs: Option<&Obs>| -> (f64, GraphReport) {
+        let mut eval = Evaluator::new(cv.clone(), Metric::Rmse).with_prefix_cache(true);
+        if let Some(o) = obs {
+            eval = eval.with_obs(o.clone());
+        }
+        let start = std::time::Instant::now();
+        let report = eval.evaluate_graph(&graph, &ds).expect("gate graph evaluates");
+        (start.elapsed().as_secs_f64() * 1000.0, report)
+    };
+
+    // warmup, then interleaved timed trials (best-of-N per mode rides out
+    // scheduler noise on shared CI runners)
+    run(None);
+    let mut plain_ms = f64::INFINITY;
+    let mut traced_ms = f64::INFINITY;
+    let mut spans = 0;
+    let mut baseline: Option<GraphReport> = None;
+    for _ in 0..TRIALS {
+        let (p, plain_report) = run(None);
+        plain_ms = plain_ms.min(p);
+        let obs = Obs::wall();
+        let (t, traced_report) = run(Some(&obs));
+        traced_ms = traced_ms.min(t);
+        spans = obs.tracer().len();
+
+        // observational-only: the instrumented report is bit-identical
+        for (a, b) in plain_report.results.iter().zip(&traced_report.results) {
+            assert_eq!(a.spec, b.spec, "specs must match");
+            assert_eq!(
+                a.mean_score.to_bits(),
+                b.mean_score.to_bits(),
+                "instrumented scores must be bit-identical"
+            );
+        }
+        baseline = Some(plain_report);
+    }
+    let report = baseline.expect("at least one trial ran");
+    let paths = report.results.len();
+    let ratio = traced_ms / plain_ms;
+    let budget_ms = plain_ms * max_ratio + ABS_SLACK_MS;
+
+    println!("observability overhead gate ({paths} paths, best of {TRIALS} trials)");
+    println!("  plain:        {plain_ms:.1} ms");
+    println!("  instrumented: {traced_ms:.1} ms ({spans} trace events)");
+    println!("  ratio:        {ratio:.3}x  (budget {max_ratio:.2}x + {ABS_SLACK_MS:.0} ms)");
+
+    if traced_ms > budget_ms {
+        eprintln!(
+            "FAIL: instrumented eval took {traced_ms:.1} ms, over the {budget_ms:.1} ms budget"
+        );
+        std::process::exit(1);
+    }
+    println!("PASS: within budget ({traced_ms:.1} ms <= {budget_ms:.1} ms)");
+}

@@ -16,7 +16,7 @@ use std::collections::{BTreeSet, VecDeque};
 
 use coda_chaos::{FaultInjector, FaultPlan, FaultStats, RetryPolicy, RetryStats};
 use coda_darr::{AnalyticsRecord, ClaimOutcome, ComputationKey, Darr};
-use coda_obs::Obs;
+use coda_obs::{Obs, SpanContext};
 
 /// Logical milliseconds (and DARR ticks) per driver round.
 const STEP_MS: f64 = 20.0;
@@ -120,8 +120,9 @@ struct ClientState {
     name: String,
     /// Rotated work cursor (key indices still to try).
     pending: VecDeque<usize>,
-    /// In-flight claimed computation: (key index, rounds remaining).
-    working: Option<(usize, usize)>,
+    /// In-flight claimed computation: (key index, rounds remaining, the
+    /// `chaos.attempt` span covering this claim → work → complete cycle).
+    working: Option<(usize, usize, Option<SpanContext>)>,
     /// Offline results waiting for replay.
     journal: Vec<AnalyticsRecord>,
     /// Whether the previous round saw this client crashed (restart edge).
@@ -130,13 +131,16 @@ struct ClientState {
 
 /// One retried client↔DARR round trip: request and response legs each risk
 /// an injected drop; backoffs advance both the chaos and DARR clocks so
-/// scheduled windows can heal. Returns reachability plus retry accounting.
+/// scheduled windows can heal — and keep an attached observer's manual
+/// clock in lockstep so trace timestamps stay logical. Returns
+/// reachability plus retry accounting.
 fn reach(
     injector: &mut FaultInjector,
     client: &str,
     policy: &RetryPolicy,
     now_ms: &mut f64,
     darr: &Darr,
+    obs: Option<&Obs>,
 ) -> (bool, RetryStats) {
     let mut state = policy.state();
     loop {
@@ -151,8 +155,45 @@ fn reach(
                 *now_ms += backoff;
                 injector.advance_to(*now_ms);
                 darr.advance_clock(backoff.ceil() as u64);
+                if let Some(o) = obs {
+                    o.sync_manual_ms(*now_ms);
+                }
             }
             None => return (false, state.finish(false)),
+        }
+    }
+}
+
+/// Lazily opens the per-key root span the first time any client touches
+/// key `idx`; every later protocol step for that key hangs off it.
+fn key_root(
+    obs: Option<&Obs>,
+    key_spans: &mut [Option<SpanContext>],
+    key_open: &mut [bool],
+    keys: &[ComputationKey],
+    idx: usize,
+) -> Option<SpanContext> {
+    let o = obs?;
+    if key_spans[idx].is_none() {
+        key_spans[idx] =
+            Some(o.tracer().begin_span("chaos.key", None, &[("key", &keys[idx].pipeline)]));
+        key_open[idx] = true;
+    }
+    key_spans[idx]
+}
+
+/// Closes key `idx`'s root span (once) with a terminal outcome.
+fn close_key(
+    obs: Option<&Obs>,
+    key_spans: &[Option<SpanContext>],
+    key_open: &mut [bool],
+    idx: usize,
+    outcome: &str,
+) {
+    if let (Some(o), Some(ctx)) = (obs, key_spans[idx]) {
+        if key_open[idx] {
+            key_open[idx] = false;
+            o.tracer().end_span(ctx, &[("outcome", outcome)]);
         }
     }
 }
@@ -167,12 +208,15 @@ pub fn run_chaos_coop(cfg: &ChaosCoopConfig) -> ChaosCoopReport {
     run_chaos_coop_obs(cfg, None)
 }
 
-/// Like [`run_chaos_coop`], but with optional observability: protocol
-/// events (claims, takeovers, journal writes, replays, crash losses) are
-/// traced with the driver's own logical timestamps, the shared DARR counts
-/// live into the registry, and the final report is published. All
-/// instrumentation is stamped from the deterministic driver clock, so two
-/// same-seed runs emit byte-identical trace logs.
+/// Like [`run_chaos_coop`], but with optional observability: every work
+/// item gets a `chaos.key` root span, each claim → work → complete cycle a
+/// `chaos.attempt` child, and protocol events (claims, takeovers, journal
+/// writes, replays, crash losses) attach to those spans — the DARR's own
+/// `darr.claim`/`darr.complete`/`darr.merge` spans link in through the
+/// carried [`SpanContext`], so the whole run yields one coherent trace
+/// forest. If the observer's clock is a manual clock it is kept in
+/// lockstep with the driver's logical time, so two same-seed runs emit
+/// byte-identical trace logs.
 pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoopReport {
     assert!(cfg.n_clients >= 1 && cfg.n_keys >= 1, "need clients and work");
     let keys: Vec<ComputationKey> = (0..cfg.n_keys)
@@ -196,12 +240,17 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
     let darr = Darr::new();
     if let Some(o) = obs {
         darr.attach_obs(o.clone());
+        o.sync_manual_ms(0.0);
     }
-    let trace = |at_ms: f64, name: &str, client: &str, key: &str| {
-        if let Some(o) = obs {
-            o.tracer().event_at(at_ms, name, &[("client", client), ("key", key)]);
+    // a point event inside the key's trace: every protocol step carries the
+    // span context of the key it belongs to (or of the attempt cycle)
+    let trace = |ctx: Option<SpanContext>, name: &str, client: &str, key: &str| {
+        if let (Some(o), Some(c)) = (obs, ctx) {
+            o.tracer().event_in(c, name, &[("client", client), ("key", key)]);
         }
     };
+    let mut key_spans: Vec<Option<SpanContext>> = vec![None; cfg.n_keys];
+    let mut key_open: Vec<bool> = vec![false; cfg.n_keys];
     let mut clients: Vec<ClientState> = (0..cfg.n_clients)
         .map(|c| {
             // rotated start offsets spread clients over the work list
@@ -244,10 +293,15 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
         for client in &mut clients {
             if !injector.node_up(&client.name) {
                 // crashed: in-flight work is lost; its claim dangles
-                if let Some((idx, _)) = client.working.take() {
+                if let Some((idx, _, attempt)) = client.working.take() {
                     report.lost_to_crash += 1;
                     orphaned.insert(idx);
-                    trace(now_ms, "chaos.crash_loss", &client.name, &keys[idx].pipeline);
+                    let ctx = attempt
+                        .or_else(|| key_root(obs, &mut key_spans, &mut key_open, &keys, idx));
+                    trace(ctx, "chaos.crash_loss", &client.name, &keys[idx].pipeline);
+                    if let (Some(o), Some(a)) = (obs, attempt) {
+                        o.tracer().end_span(a, &[("outcome", "crashed")]);
+                    }
                 }
                 client.was_down = true;
                 continue;
@@ -255,18 +309,30 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
             client.was_down = false;
 
             // finish in-flight work first
-            if let Some((idx, remaining)) = client.working {
+            if let Some((idx, remaining, attempt)) = client.working {
                 if remaining > 1 {
-                    client.working = Some((idx, remaining - 1));
+                    client.working = Some((idx, remaining - 1, attempt));
                     continue;
                 }
                 client.working = None;
-                let (ok, stats) = reach(&mut injector, &client.name, &policy, &mut now_ms, &darr);
+                let (ok, stats) =
+                    reach(&mut injector, &client.name, &policy, &mut now_ms, &darr, obs);
                 report.retry.merge(&stats);
                 if ok {
-                    darr.complete(&keys[idx], &client.name, score_for(idx), vec![], "chaos");
+                    darr.complete_in(
+                        &keys[idx],
+                        &client.name,
+                        score_for(idx),
+                        vec![],
+                        "chaos",
+                        attempt,
+                    );
                     report.computed += 1;
-                    trace(now_ms, "chaos.complete", &client.name, &keys[idx].pipeline);
+                    trace(attempt, "chaos.complete", &client.name, &keys[idx].pipeline);
+                    if let (Some(o), Some(a)) = (obs, attempt) {
+                        o.tracer().end_span(a, &[("outcome", "completed")]);
+                    }
+                    close_key(obs, &key_spans, &mut key_open, idx, "computed");
                 } else {
                     // completion lost: journal the finished result instead
                     client.journal.push(AnalyticsRecord {
@@ -278,24 +344,34 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
                         stored_at: darr.now(),
                     });
                     report.journaled += 1;
-                    trace(now_ms, "chaos.journal", &client.name, &keys[idx].pipeline);
+                    trace(attempt, "chaos.journal", &client.name, &keys[idx].pipeline);
+                    if let (Some(o), Some(a)) = (obs, attempt) {
+                        o.tracer().end_span(a, &[("outcome", "journaled")]);
+                    }
                 }
                 continue;
             }
 
             // replay any journal as soon as the DARR answers again
             if !client.journal.is_empty() {
-                let (ok, stats) = reach(&mut injector, &client.name, &policy, &mut now_ms, &darr);
+                let (ok, stats) =
+                    reach(&mut injector, &client.name, &policy, &mut now_ms, &darr, obs);
                 report.retry.merge(&stats);
                 if ok {
                     for record in client.journal.drain(..) {
+                        let idx = keys
+                            .iter()
+                            .position(|k| *k == record.key)
+                            .expect("journaled keys come from the work list");
+                        let ctx = key_root(obs, &mut key_spans, &mut key_open, &keys, idx);
                         if darr.lookup(&record.key).is_some() {
                             report.duplicates += 1; // someone else got there
-                            trace(now_ms, "chaos.duplicate", &client.name, &record.key.pipeline);
+                            trace(ctx, "chaos.duplicate", &client.name, &record.key.pipeline);
                         } else {
-                            trace(now_ms, "chaos.replay", &client.name, &record.key.pipeline);
-                            darr.merge_record(record);
+                            trace(ctx, "chaos.replay", &client.name, &record.key.pipeline);
+                            darr.merge_record_in(record, ctx);
                             report.replayed += 1;
+                            close_key(obs, &key_spans, &mut key_open, idx, "replayed");
                         }
                     }
                 }
@@ -306,7 +382,8 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
             let Some(idx) = client.pending.pop_front() else {
                 continue; // this client is done
             };
-            let (ok, stats) = reach(&mut injector, &client.name, &policy, &mut now_ms, &darr);
+            let root = key_root(obs, &mut key_spans, &mut key_open, &keys, idx);
+            let (ok, stats) = reach(&mut injector, &client.name, &policy, &mut now_ms, &darr, obs);
             report.retry.merge(&stats);
             if !ok {
                 // DARR unreachable: degrade gracefully — compute locally
@@ -320,26 +397,33 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
                     stored_at: darr.now(),
                 });
                 report.journaled += 1;
-                trace(now_ms, "chaos.journal", &client.name, &keys[idx].pipeline);
+                trace(root, "chaos.journal", &client.name, &keys[idx].pipeline);
                 continue;
             }
-            match darr.try_claim(&keys[idx], &client.name, cfg.claim_duration) {
+            match darr.try_claim_in(&keys[idx], &client.name, cfg.claim_duration, root) {
                 ClaimOutcome::AlreadyComputed(_) => {
                     report.reused += 1;
-                    trace(now_ms, "chaos.reuse", &client.name, &keys[idx].pipeline);
+                    trace(root, "chaos.reuse", &client.name, &keys[idx].pipeline);
                 }
                 ClaimOutcome::Claimed => {
+                    let attempt = obs.zip(root).map(|(o, r)| {
+                        o.tracer().begin_span(
+                            "chaos.attempt",
+                            Some(r),
+                            &[("client", &client.name), ("key", &keys[idx].pipeline)],
+                        )
+                    });
                     if orphaned.remove(&idx) || held_seen.contains(&idx) {
                         report.takeovers += 1;
-                        trace(now_ms, "chaos.takeover", &client.name, &keys[idx].pipeline);
+                        trace(attempt, "chaos.takeover", &client.name, &keys[idx].pipeline);
                     }
-                    client.working = Some((idx, WORK_STEPS));
-                    trace(now_ms, "chaos.claim", &client.name, &keys[idx].pipeline);
+                    client.working = Some((idx, WORK_STEPS, attempt));
+                    trace(attempt, "chaos.claim", &client.name, &keys[idx].pipeline);
                 }
                 ClaimOutcome::HeldBy(_) => {
                     held_seen.insert(idx);
                     client.pending.push_back(idx); // revisit with backoff
-                    trace(now_ms, "chaos.held", &client.name, &keys[idx].pipeline);
+                    trace(root, "chaos.held", &client.name, &keys[idx].pipeline);
                 }
             }
         }
@@ -347,6 +431,9 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
         now_ms += STEP_MS;
         injector.advance_to(now_ms);
         darr.advance_clock(STEP_MS as u64);
+        if let Some(o) = obs {
+            o.sync_manual_ms(now_ms);
+        }
 
         let all_idle = clients
             .iter()
@@ -356,6 +443,10 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
         }
     }
 
+    // end sweep: any key root still open never reached a stored result
+    for idx in 0..cfg.n_keys {
+        close_key(obs, &key_spans, &mut key_open, idx, "unresolved");
+    }
     report.completed = darr.len();
     report.faults = injector.stats();
     if let Some(o) = obs {

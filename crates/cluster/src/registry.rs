@@ -20,7 +20,7 @@ use coda_darr::{ComputationKey, CoopOutcome, CooperativeClient, Darr};
 use coda_data::{
     BoxedEstimator, BoxedTransformer, CvStrategy, Dataset, Metric, NoOp, ParamValue, Params,
 };
-use coda_obs::Obs;
+use coda_obs::{Obs, SpanContext};
 use serde::{Deserialize, Serialize, Value};
 
 /// Error produced by spec resolution or execution.
@@ -297,12 +297,31 @@ pub fn run_job(
     darr: &Darr,
     client_name: &str,
 ) -> Result<coda_darr::AnalyticsRecord, JobError> {
+    run_job_in(registry, spec, data, darr, client_name, None, None)
+}
+
+/// [`run_job`] with in-band trace context: when `obs` is attached the
+/// cooperative client traces its `darr.process` subtree, and `parent` links
+/// that subtree under the dispatching span (a `cluster.job` or a chaos
+/// driver's per-key root).
+pub fn run_job_in(
+    registry: &ComponentRegistry,
+    spec: &JobSpec,
+    data: &Dataset,
+    darr: &Darr,
+    client_name: &str,
+    obs: Option<&Obs>,
+    parent: Option<SpanContext>,
+) -> Result<coda_darr::AnalyticsRecord, JobError> {
     let metric =
         Metric::parse(&spec.metric).ok_or_else(|| JobError::UnknownMetric(spec.metric.clone()))?;
     let pipeline = registry.build_pipeline(spec)?;
     let key = spec.computation_key();
-    let client = CooperativeClient::new(darr, client_name, 60_000);
-    let outcome = client.process(&key, || {
+    let mut client = CooperativeClient::new(darr, client_name, 60_000);
+    if let Some(o) = obs {
+        client = client.with_obs(o.clone());
+    }
+    let outcome = client.process_in(&key, parent, || {
         let evaluator = Evaluator::new(CvStrategy::kfold(spec.cv_folds), metric);
         let scores = evaluator.evaluate_pipeline(&pipeline, data).map_err(|e| e.to_string())?;
         let mean = scores.iter().sum::<f64>() / scores.len() as f64;
@@ -316,9 +335,9 @@ pub fn run_job(
 }
 
 /// [`run_job`] with job-lifecycle observability: the whole job runs under a
-/// `cluster.job` span and every lifecycle transition counts into the
-/// registry (`coda_cluster_jobs_submitted` → `_completed` / `_held` /
-/// `_failed`).
+/// `cluster.job` span whose context propagates into the cooperative
+/// protocol, and every lifecycle transition counts into the registry
+/// (`coda_cluster_jobs_submitted` → `_completed` / `_held` / `_failed`).
 pub fn run_job_observed(
     registry: &ComponentRegistry,
     spec: &JobSpec,
@@ -327,9 +346,10 @@ pub fn run_job_observed(
     client_name: &str,
     obs: &Obs,
 ) -> Result<coda_darr::AnalyticsRecord, JobError> {
-    let _span = obs.span("cluster.job", &[("client", client_name), ("dataset", &spec.dataset_id)]);
+    let span = obs.span("cluster.job", &[("client", client_name), ("dataset", &spec.dataset_id)]);
     obs.count("coda_cluster_jobs_submitted", 1);
-    let result = run_job(registry, spec, data, darr, client_name);
+    let result =
+        run_job_in(registry, spec, data, darr, client_name, Some(obs), Some(span.context()));
     let transition = match &result {
         Ok(_) => "coda_cluster_jobs_completed",
         Err(JobError::ClaimHeld { .. }) => "coda_cluster_jobs_held",
@@ -367,8 +387,9 @@ pub fn run_job_with_retry_obs(
     policy: &coda_chaos::RetryPolicy,
     obs: Option<&Obs>,
 ) -> (Result<coda_darr::AnalyticsRecord, JobError>, coda_chaos::RetryStats) {
-    let _span = obs
+    let span = obs
         .map(|o| o.span("cluster.job", &[("client", client_name), ("dataset", &spec.dataset_id)]));
+    let ctx = span.as_ref().map(|s| s.context());
     let count = |name: &str| {
         if let Some(o) = obs {
             o.count(name, 1);
@@ -378,7 +399,7 @@ pub fn run_job_with_retry_obs(
     let mut state = policy.state();
     loop {
         state.begin_attempt();
-        match run_job(registry, spec, data, darr, client_name) {
+        match run_job_in(registry, spec, data, darr, client_name, obs, ctx) {
             Ok(record) => {
                 count("coda_cluster_jobs_completed");
                 return (Ok(record), state.finish(true));
@@ -386,6 +407,10 @@ pub fn run_job_with_retry_obs(
             Err(e) if e.is_transient() => match state.next_backoff_ms() {
                 Some(backoff) => {
                     count("coda_cluster_job_retries");
+                    if let (Some(o), Some(c)) = (obs, ctx) {
+                        let ms = format!("{backoff:.3}");
+                        o.event_in(c, "cluster.job_retry", &[("backoff_ms", &ms)]);
+                    }
                     darr.advance_clock(backoff.ceil() as u64);
                 }
                 None => {

@@ -348,19 +348,22 @@ impl Evaluator {
     }
 
     /// [`Evaluator::run_job`] under the observation scope: an `eval.path`
-    /// span keyed by the resolved spec, timed into `hist`.
+    /// span keyed by the resolved spec, timed into `hist`. The span links
+    /// explicitly to the enclosing `eval.graph` context so paths running
+    /// on worker threads still land in the graph's trace tree.
     fn run_job_traced(
         &self,
         pipeline: Pipeline,
         params: &Params,
         data: &Dataset,
         hist: Option<&Histogram>,
+        parent: Option<coda_obs::SpanContext>,
     ) -> PathResult {
         let Some(obs) = &self.obs else {
             return self.run_job(pipeline, params, data);
         };
         let key = pipeline.spec().with_params(params).key();
-        let _span = obs.span("eval.path", &[("spec", &key as &str)]);
+        let _span = obs.tracer().span_with_parent(parent, "eval.path", &[("spec", &key as &str)]);
         let start = obs.now_ms();
         let result = self.run_job(pipeline, params, data);
         if let Some(h) = hist {
@@ -379,12 +382,13 @@ impl Evaluator {
         splits: &Result<Vec<Split>, CvError>,
         cache: &TransformCache,
         hist: Option<&Histogram>,
+        parent: Option<coda_obs::SpanContext>,
     ) -> PathResult {
         let Some(obs) = &self.obs else {
             return self.run_job_cached(pipeline, params, data, splits, cache);
         };
         let key = pipeline.spec().with_params(params).key();
-        let _span = obs.span("eval.path", &[("spec", &key as &str)]);
+        let _span = obs.tracer().span_with_parent(parent, "eval.path", &[("spec", &key as &str)]);
         let start = obs.now_ms();
         let result = self.run_job_cached(pipeline, params, data, splits, cache);
         if let Some(h) = hist {
@@ -406,9 +410,10 @@ impl Evaluator {
         let n_jobs = jobs.len();
         let scope = self.obs_scope(n_jobs);
         let hist = scope.as_ref().map(|(_, h, _)| h);
+        let graph_ctx = scope.as_ref().map(|(s, _, _)| s.context());
         let results: Vec<PathResult> = if self.n_threads <= 1 || jobs.len() <= 1 {
             jobs.into_iter()
-                .map(|(p, params)| self.run_job_traced(p, &params, data, hist))
+                .map(|(p, params)| self.run_job_traced(p, &params, data, hist, graph_ctx))
                 .collect()
         } else {
             let counter = AtomicUsize::new(0);
@@ -424,8 +429,13 @@ impl Evaluator {
                             break;
                         }
                         let (pipeline, params) = &jobs_ref[i];
-                        let result =
-                            self.run_job_traced(pipeline.fresh_clone(), params, data, hist);
+                        let result = self.run_job_traced(
+                            pipeline.fresh_clone(),
+                            params,
+                            data,
+                            hist,
+                            graph_ctx,
+                        );
                         out_ref.lock().expect("no panics hold this lock").push((i, result));
                     });
                 }
@@ -469,6 +479,7 @@ impl Evaluator {
         let n_jobs = jobs.len();
         let scope_obs = self.obs_scope(n_jobs);
         let hist = scope_obs.as_ref().map(|(_, h, _)| h);
+        let graph_ctx = scope_obs.as_ref().map(|(s, _, _)| s.context());
         let mut indexed: Vec<(usize, PathResult)> = if self.n_threads <= 1 || jobs.len() <= 1 {
             order
                 .iter()
@@ -483,6 +494,7 @@ impl Evaluator {
                             &splits,
                             &cache,
                             hist,
+                            graph_ctx,
                         ),
                     )
                 })
@@ -509,6 +521,7 @@ impl Evaluator {
                             splits_ref,
                             cache_ref,
                             hist,
+                            graph_ctx,
                         );
                         out_ref.lock().expect("no panics hold this lock").push((i, result));
                     });
@@ -1046,7 +1059,23 @@ mod tests {
         // span taxonomy: 1 eval.graph + 4 eval.path + 12 eval.fold, each
         // recording a start and an end event
         assert_eq!(obs.tracer().len(), 2 * (1 + 4 + 12));
-        assert!(obs.tracer().render_log().contains("span_start eval.path spec="));
+        let log = obs.tracer().render_log();
+        assert!(log.contains("span_start eval.path "));
+        assert!(log.contains("spec="));
+        // causal structure: every path hangs off the graph span, every fold
+        // off a path span — a single trace with no orphans
+        let forest = obs.forest();
+        assert!(forest.orphans().is_empty(), "no orphaned spans");
+        assert_eq!(forest.trace_ids().len(), 1, "one trace per graph evaluation");
+        let graph_span =
+            forest.spans().find(|s| s.name == "eval.graph").expect("graph span present").ctx;
+        for path in forest.spans().filter(|s| s.name == "eval.path") {
+            assert_eq!(path.parent, Some(graph_span.span_id), "paths parent to the graph");
+        }
+        for fold in forest.spans().filter(|s| s.name == "eval.fold") {
+            let parent = fold.parent.expect("folds have a parent");
+            assert_eq!(forest.span(parent).expect("parent resolves").name, "eval.path");
+        }
     }
 
     #[test]

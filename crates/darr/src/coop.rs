@@ -5,7 +5,7 @@
 
 use coda_chaos::{RetryPolicy, RetryStats};
 use coda_core::CacheStats;
-use coda_obs::Obs;
+use coda_obs::{Obs, SpanContext};
 
 use crate::record::{AnalyticsRecord, ComputationKey};
 use crate::repo::{ClaimOutcome, Darr};
@@ -103,25 +103,45 @@ impl<'a> CooperativeClient<'a> {
     where
         F: FnOnce() -> Result<(f64, Vec<f64>, String), String>,
     {
-        let _span = self
-            .obs
-            .as_ref()
-            .map(|o| o.span("darr.process", &[("client", &self.name), ("key", &key.pipeline)]));
+        self.process_in(key, None, compute)
+    }
+
+    /// [`CooperativeClient::process`] inside a causal trace: the
+    /// `darr.process` span becomes a child of the carried `parent`
+    /// context (a dispatching job, a chaos driver's attempt, …), and the
+    /// span's own context propagates into the repository's claim and
+    /// complete operations — so the whole reuse/claim/compute story for
+    /// one key reads as a single subtree.
+    pub fn process_in<F>(
+        &self,
+        key: &ComputationKey,
+        parent: Option<SpanContext>,
+        compute: F,
+    ) -> CoopOutcome
+    where
+        F: FnOnce() -> Result<(f64, Vec<f64>, String), String>,
+    {
+        let span = self.obs.as_ref().map(|o| {
+            o.tracer().span_with_parent(
+                parent,
+                "darr.process",
+                &[("client", &self.name), ("key", &key.pipeline)],
+            )
+        });
+        let ctx = span.as_ref().map(|s| s.context()).or(parent);
         let outcome =
-            match self.darr.try_claim(key, &self.name, self.claim_duration) {
+            match self.darr.try_claim_in(key, &self.name, self.claim_duration, ctx) {
                 ClaimOutcome::AlreadyComputed(record) => CoopOutcome::Reused(record),
                 ClaimOutcome::HeldBy(owner) => CoopOutcome::SkippedHeld(owner),
-                ClaimOutcome::Claimed => {
-                    match compute() {
-                        Ok((score, folds, explanation)) => CoopOutcome::Computed(
-                            self.darr.complete(key, &self.name, score, folds, &explanation),
-                        ),
-                        Err(e) => {
-                            self.darr.release_claim(key, &self.name);
-                            CoopOutcome::Failed(e)
-                        }
+                ClaimOutcome::Claimed => match compute() {
+                    Ok((score, folds, explanation)) => CoopOutcome::Computed(
+                        self.darr.complete_in(key, &self.name, score, folds, &explanation, ctx),
+                    ),
+                    Err(e) => {
+                        self.darr.release_claim(key, &self.name);
+                        CoopOutcome::Failed(e)
                     }
-                }
+                },
             };
         let metric = match &outcome {
             CoopOutcome::Computed(_) => "coda_darr_computed",
@@ -445,6 +465,30 @@ mod tests {
             client.run_worklist_warm(&work, |_| Ok((1.0, vec![], String::new())));
         assert_eq!(summary.computed, 3);
         assert_eq!(stats.warm_start_skips, 0);
+    }
+
+    #[test]
+    fn process_in_traces_the_whole_key_as_one_subtree() {
+        use coda_obs::{Obs, TraceForest};
+        let obs = Obs::deterministic();
+        let darr = Darr::new();
+        darr.attach_obs(obs.clone());
+        let client = CooperativeClient::new(&darr, "a", 100).with_obs(obs.clone());
+        let job = obs.tracer().begin_span("cluster.job", None, &[]);
+        let outcome =
+            client.process_in(&keys(1)[0], Some(job), || Ok((1.0, vec![], String::new())));
+        obs.tracer().end_span(job, &[]);
+        assert!(matches!(outcome, CoopOutcome::Computed(_)));
+        let forest = TraceForest::from_events(&obs.tracer().events());
+        assert!(forest.orphans().is_empty());
+        assert_eq!(forest.unresolved_points(), 0);
+        let process = forest.spans().find(|s| s.name == "darr.process").unwrap();
+        assert_eq!(process.parent, Some(job.span_id));
+        for name in ["darr.claim", "darr.complete"] {
+            let span = forest.spans().find(|s| s.name == name).unwrap();
+            assert_eq!(span.parent, Some(process.ctx.span_id), "{name} nests under the process");
+            assert_eq!(span.ctx.trace_id, job.trace_id, "one trace end to end");
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use coda_obs::Obs;
+use coda_obs::{Obs, SpanContext};
 
 use crate::record::{AnalyticsRecord, ComputationKey};
 
@@ -199,6 +199,47 @@ impl Darr {
         )
     }
 
+    /// The attached observability handle, if any (cheap clone of two
+    /// `Arc`s) — taken *before* repository operations so span recording
+    /// never runs under the inner lock.
+    fn obs_handle(&self) -> Option<Obs> {
+        self.inner.read().obs.clone()
+    }
+
+    /// [`Darr::try_claim`] inside a causal trace: when the requesting
+    /// client carries a [`SpanContext`] (and an [`Obs`] is attached), the
+    /// claim runs in a `darr.claim` child span of that context, with the
+    /// outcome recorded as a point event — so a coordinator's trace shows
+    /// exactly where contention and reuse happened. Without a carried
+    /// context this is identical to `try_claim`.
+    pub fn try_claim_in(
+        &self,
+        key: &ComputationKey,
+        client: &str,
+        duration: u64,
+        parent: Option<SpanContext>,
+    ) -> ClaimOutcome {
+        let obs = self.obs_handle();
+        let span = match (parent, obs.as_ref()) {
+            (Some(p), Some(o)) => Some(o.tracer().span_child(
+                p,
+                "darr.claim",
+                &[("client", client), ("key", &key.pipeline)],
+            )),
+            _ => None,
+        };
+        let outcome = self.try_claim(key, client, duration);
+        if let (Some(s), Some(o)) = (&span, obs.as_ref()) {
+            let label = match &outcome {
+                ClaimOutcome::Claimed => "claimed",
+                ClaimOutcome::HeldBy(_) => "held",
+                ClaimOutcome::AlreadyComputed(_) => "reused",
+            };
+            o.event_in(s.context(), "darr.claim_outcome", &[("outcome", label)]);
+        }
+        outcome
+    }
+
     /// Attempts to claim `key` for `client` for `duration` logical ticks.
     pub fn try_claim(&self, key: &ComputationKey, client: &str, duration: u64) -> ClaimOutcome {
         let now = self.now();
@@ -245,6 +286,30 @@ impl Darr {
         }
     }
 
+    /// [`Darr::complete`] inside a causal trace: the store-and-release runs
+    /// in a `darr.complete` child span of the producing client's carried
+    /// context (no-op linkage without one).
+    pub fn complete_in(
+        &self,
+        key: &ComputationKey,
+        client: &str,
+        score: f64,
+        fold_scores: Vec<f64>,
+        explanation: &str,
+        parent: Option<SpanContext>,
+    ) -> AnalyticsRecord {
+        let obs = self.obs_handle();
+        let _span = match (parent, obs.as_ref()) {
+            (Some(p), Some(o)) => Some(o.tracer().span_child(
+                p,
+                "darr.complete",
+                &[("client", client), ("key", &key.pipeline)],
+            )),
+            _ => None,
+        };
+        self.complete(key, client, score, fold_scores, explanation)
+    }
+
     /// Stores a completed result and releases the claim.
     pub fn complete(
         &self,
@@ -268,6 +333,27 @@ impl Darr {
         inner.stats.stored += 1;
         obs_count(&inner, "coda_darr_records_stored", 1);
         record
+    }
+
+    /// [`Darr::merge_record`] inside a causal trace: the journal-replay
+    /// merge runs in a `darr.merge` child span of the replaying client's
+    /// carried context, its applied/ignored outcome recorded as an event.
+    pub fn merge_record_in(&self, record: AnalyticsRecord, parent: Option<SpanContext>) -> bool {
+        let obs = self.obs_handle();
+        let span = match (parent, obs.as_ref()) {
+            (Some(p), Some(o)) => Some(o.tracer().span_child(
+                p,
+                "darr.merge",
+                &[("producer", &record.producer), ("key", &record.key.pipeline)],
+            )),
+            _ => None,
+        };
+        let applied = self.merge_record(record);
+        if let (Some(s), Some(o)) = (&span, obs.as_ref()) {
+            let label = if applied { "applied" } else { "ignored" };
+            o.event_in(s.context(), "darr.merge_outcome", &[("outcome", label)]);
+        }
+        applied
     }
 
     /// Merges one externally-produced record (e.g. replayed from a client's
@@ -518,6 +604,30 @@ mod tests {
             ClaimOutcome::AlreadyComputed(r) => assert_eq!(r.producer, "b"),
             other => panic!("expected AlreadyComputed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn claim_and_complete_link_to_the_carried_context() {
+        use coda_obs::{Obs, TraceForest};
+        let obs = Obs::deterministic();
+        let darr = Darr::new();
+        darr.attach_obs(obs.clone());
+        let req = obs.tracer().begin_span("client.process", None, &[]);
+        assert!(darr.try_claim_in(&key("p"), "a", 50, Some(req)).is_claimed());
+        darr.complete_in(&key("p"), "a", 0.5, vec![], "done", Some(req));
+        obs.tracer().end_span(req, &[]);
+        let forest = TraceForest::from_events(&obs.tracer().events());
+        assert!(forest.orphans().is_empty());
+        assert_eq!(forest.unresolved_points(), 0);
+        for name in ["darr.claim", "darr.complete"] {
+            let span = forest.spans().find(|s| s.name == name).unwrap();
+            assert_eq!(span.parent, Some(req.span_id), "{name} hangs off the request");
+        }
+        // without a carried context the operations trace nothing
+        let quiet = Darr::new();
+        quiet.attach_obs(Obs::deterministic());
+        quiet.try_claim_in(&key("q"), "a", 50, None);
+        assert_eq!(quiet.obs_handle().unwrap().tracer().len(), 0);
     }
 
     #[test]

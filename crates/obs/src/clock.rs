@@ -12,6 +12,13 @@ use std::time::Instant;
 pub trait Clock: Send + Sync + fmt::Debug {
     /// Milliseconds elapsed since the clock's origin.
     fn now_ms(&self) -> f64;
+
+    /// Downcast hook: `Some` when this clock is a [`ManualClock`] a driver
+    /// may set explicitly (used to sync a shared tracer clock to a
+    /// simulation's logical time); `None` for real clocks.
+    fn as_manual(&self) -> Option<&ManualClock> {
+        None
+    }
 }
 
 /// Real elapsed time since construction.
@@ -67,6 +74,10 @@ impl Clock for ManualClock {
     fn now_ms(&self) -> f64 {
         f64::from_bits(self.now_bits.load(Ordering::Relaxed))
     }
+
+    fn as_manual(&self) -> Option<&ManualClock> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]
@@ -81,6 +92,16 @@ mod tests {
         assert_eq!(c.now_ms(), 12.5);
         c.set_ms(3.0);
         assert_eq!(c.now_ms(), 3.0);
+    }
+
+    #[test]
+    fn as_manual_downcasts_only_manual_clocks() {
+        let manual = ManualClock::new();
+        let wall = WallClock::new();
+        assert!((&manual as &dyn Clock).as_manual().is_some());
+        assert!((&wall as &dyn Clock).as_manual().is_none());
+        (&manual as &dyn Clock).as_manual().unwrap().set_ms(4.0);
+        assert_eq!(manual.now_ms(), 4.0);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! assert_eq!(parsed, snap);
 //! ```
 
+pub mod analyze;
 pub mod clock;
 pub mod metrics;
 pub mod publish;
@@ -29,13 +30,14 @@ pub mod trace;
 
 use std::sync::Arc;
 
+pub use analyze::{SpanNode, TraceForest};
 pub use clock::{Clock, ManualClock, WallClock};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     DEFAULT_MS_BOUNDS,
 };
 pub use publish::Publish;
-pub use trace::{EventKind, SpanGuard, TraceEvent, Tracer};
+pub use trace::{EventKind, SpanContext, SpanGuard, SpanId, TraceEvent, TraceId, Tracer};
 
 /// The handle instrumented components hold: a shared registry plus a
 /// tracer, cheap to clone (two `Arc`s).
@@ -89,9 +91,44 @@ impl Obs {
         self.tracer.span(name, fields)
     }
 
+    /// Shorthand: open a span as a child of a carried [`SpanContext`].
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span_child(
+        &self,
+        parent: SpanContext,
+        name: &str,
+        fields: &[(&str, &str)],
+    ) -> SpanGuard<'_> {
+        self.tracer.span_child(parent, name, fields)
+    }
+
     /// Shorthand: record a point event on the tracer.
     pub fn event(&self, name: &str, fields: &[(&str, &str)]) {
         self.tracer.event(name, fields);
+    }
+
+    /// Shorthand: record a point event inside a carried [`SpanContext`].
+    pub fn event_in(&self, ctx: SpanContext, name: &str, fields: &[(&str, &str)]) {
+        self.tracer.event_in(ctx, name, fields);
+    }
+
+    /// Syncs the tracer clock to `ms` when it is a [`ManualClock`] — lets a
+    /// deterministic driver stamp every span from its own logical time.
+    /// No-op (returns `false`) on real clocks.
+    pub fn sync_manual_ms(&self, ms: f64) -> bool {
+        match self.tracer.clock().as_manual() {
+            Some(manual) => {
+                manual.set_ms(ms);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reconstructs the causal span forest from everything the tracer has
+    /// recorded so far.
+    pub fn forest(&self) -> TraceForest {
+        TraceForest::from_events(&self.tracer.events())
     }
 
     /// Shorthand: publish a stats snapshot into the registry.

@@ -190,6 +190,54 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) by locating the bucket
+    /// that crosses rank `q * count` and interpolating linearly inside it
+    /// (the Prometheus `histogram_quantile` rule). The open `+Inf` bucket
+    /// has no upper edge, so ranks landing there report its lower bound.
+    /// Returns `0.0` with no observations.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, n) in self.counts.iter().enumerate() {
+            let before = cumulative;
+            cumulative += n;
+            if *n > 0 && cumulative as f64 >= rank {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = match self.bounds.get(i) {
+                    Some(b) => *b,
+                    None => return lower,
+                };
+                let fraction = ((rank - before as f64) / *n as f64).clamp(0.0, 1.0);
+                return lower + fraction * (upper - lower);
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
+
+    /// Bucket-wise delta `self - before` for two snapshots of the same
+    /// histogram (saturating at zero, so a reset or mismatched pairing
+    /// cannot underflow). With different bounds, returns `self` unchanged —
+    /// the two snapshots are not comparable.
+    pub fn diff(&self, before: &HistogramSnapshot) -> HistogramSnapshot {
+        if self.bounds != before.bounds {
+            return self.clone();
+        }
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .zip(&before.counts)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            count: self.count.saturating_sub(before.count),
+            sum: (self.sum - before.sum).max(0.0),
+        }
+    }
 }
 
 /// A frozen copy of every instrument in a [`MetricsRegistry`] — the JSON
@@ -225,6 +273,34 @@ impl MetricsSnapshot {
     pub fn from_json(s: &str) -> Result<Self, String> {
         let value = serde_json::parse(s).map_err(|e| e.to_string())?;
         serde::Deserialize::from_value(&value)
+    }
+
+    /// What happened between `before` and `self`: per-name counter deltas,
+    /// gauge differences, and histogram bucket deltas. Deltas saturate at
+    /// zero for monotonic instruments; names only present in `before` are
+    /// dropped (nothing new to attribute). This is the before/after
+    /// attribution primitive — snapshot, run a phase, snapshot, diff.
+    pub fn diff(&self, before: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.saturating_sub(before.counter(k))))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v - before.gauges.get(k).copied().unwrap_or(0.0)))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| match before.histograms.get(k) {
+                    Some(b) => (k.clone(), h.diff(b)),
+                    None => (k.clone(), h.clone()),
+                })
+                .collect(),
+        }
     }
 }
 
@@ -379,6 +455,52 @@ mod tests {
         assert_eq!(s.counts, vec![1, 1, 1]);
         assert_eq!(s.count, 3);
         assert!((s.sum - 55.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_buckets() {
+        let h = Histogram::new(&[10.0, 20.0, 40.0]);
+        for v in [5.0, 12.0, 14.0, 18.0, 30.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // counts: le=10 -> 1, le=20 -> 3, le=40 -> 1. Median rank 2.5 lands
+        // in the le=20 bucket at fraction (2.5-1)/3 of [10, 20].
+        assert_eq!(s.quantile(0.5), 15.0);
+        assert_eq!(s.quantile(0.0), 0.0, "rank 0 interpolates to the first bucket's floor");
+        assert_eq!(s.quantile(1.0), 40.0);
+        assert_eq!(s.quantile(2.0), 40.0, "q clamps into [0, 1]");
+        assert_eq!(
+            HistogramSnapshot { bounds: vec![], counts: vec![], count: 0, sum: 0.0 }.quantile(0.5),
+            0.0
+        );
+        // Observations past the last bound land in +Inf: report its floor.
+        let inf = Histogram::new(&[10.0]);
+        inf.observe(99.0);
+        assert_eq!(inf.snapshot().quantile(0.9), 10.0);
+    }
+
+    #[test]
+    fn snapshot_diff_attributes_a_phase() {
+        let reg = MetricsRegistry::new();
+        reg.count("coda_test_ops", 5);
+        reg.gauge("coda_test_level").set(2.0);
+        reg.observe_ms("coda_test_ms", 1.0);
+        let before = reg.snapshot();
+        reg.count("coda_test_ops", 3);
+        reg.count("coda_test_new", 2);
+        reg.gauge("coda_test_level").set(2.5);
+        reg.observe_ms("coda_test_ms", 100.0);
+        let delta = reg.snapshot().diff(&before);
+        assert_eq!(delta.counter("coda_test_ops"), 3);
+        assert_eq!(delta.counter("coda_test_new"), 2, "names absent before count in full");
+        assert_eq!(delta.gauges["coda_test_level"], 0.5);
+        let h = &delta.histograms["coda_test_ms"];
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 100.0);
+        assert_eq!(h.counts.iter().sum::<u64>(), 1, "exactly the phase's observation remains");
+        // Diffing against a later snapshot saturates instead of wrapping.
+        assert_eq!(before.diff(&reg.snapshot()).counter("coda_test_ops"), 0);
     }
 
     #[test]

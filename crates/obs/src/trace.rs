@@ -1,27 +1,100 @@
-//! A lightweight span/event tracer.
+//! A causal span/event tracer (Dapper-style).
 //!
-//! Spans (`tracer.span("eval.fold", &[("fold", "2")])`) record a start
-//! event immediately and an end event (with duration) when the guard
-//! drops; point events record once. Timestamps come from the pluggable
-//! [`Clock`], so a single-threaded driver over a [`ManualClock`] produces
-//! byte-identical logs across same-seed runs — the determinism contract
-//! the chaos regression test asserts (DESIGN.md §9).
+//! Every span carries a [`SpanId`], the [`TraceId`] of the request tree it
+//! belongs to, and an optional parent span — so a cross-tier request
+//! (store update → trigger → re-eval → DARR record) reconstructs as one
+//! tree instead of a flat stream. A [`SpanContext`] is the cheap-to-copy
+//! `(trace_id, span_id)` pair that travels *in-band* with messages across
+//! simulated distributed boundaries (`store::lease::UpdateMessage`, DARR
+//! claim/complete calls, cluster job dispatch).
+//!
+//! Parenting is explicit or implicit:
+//! - implicit: [`Tracer::span`] parents under the innermost open span on
+//!   the *current thread* (a per-thread context stack), so lexical nesting
+//!   just works;
+//! - explicit: [`Tracer::span_child`] links to a carried [`SpanContext`]
+//!   from another thread, node, or message — the propagation primitive;
+//! - non-lexical: [`Tracer::begin_span`]/[`Tracer::end_span`] for drivers
+//!   whose spans outlive any stack frame (e.g. a chaos claim held across
+//!   rounds).
+//!
+//! Ids are allocated from sequence counters (never time or randomness), so
+//! a single-threaded driver over a [`ManualClock`] produces byte-identical
+//! logs across same-seed runs — the determinism contract the chaos
+//! regression test asserts (DESIGN.md §9).
 //!
 //! [`ManualClock`]: crate::clock::ManualClock
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::thread::ThreadId;
 
 use parking_lot::Mutex;
 
 use crate::clock::Clock;
+
+/// Identity of one trace (a tree of spans rooted at one request).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identity of one span within a tracer (unique across traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// The propagation token: which trace a message belongs to and which span
+/// caused it. Two words, `Copy`, and serializable as `t<trace>.s<span>` —
+/// cheap enough to ride along every simulated wire message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanContext {
+    /// The trace this context belongs to.
+    pub trace_id: TraceId,
+    /// The originating span.
+    pub span_id: SpanId,
+}
+
+impl SpanContext {
+    /// Serializes to the compact wire form `t<trace>.s<span>`.
+    pub fn encode(&self) -> String {
+        format!("t{}.s{}", self.trace_id.0, self.span_id.0)
+    }
+
+    /// Parses the wire form produced by [`SpanContext::encode`].
+    pub fn decode(s: &str) -> Option<Self> {
+        let rest = s.strip_prefix('t')?;
+        let (trace, span) = rest.split_once(".s")?;
+        Some(SpanContext {
+            trace_id: TraceId(trace.parse().ok()?),
+            span_id: SpanId(span.parse().ok()?),
+        })
+    }
+}
+
+impl fmt::Display for SpanContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.encode())
+    }
+}
 
 /// What a [`TraceEvent`] marks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
     /// A span opened.
     SpanStart,
-    /// A span closed (fields carry `dur_ms`).
+    /// A span closed (fields carry `dur_ms` when the guard knew its start).
     SpanEnd,
     /// A point event.
     Event,
@@ -46,6 +119,11 @@ pub struct TraceEvent {
     pub kind: EventKind,
     /// Clock reading when recorded, in milliseconds.
     pub at_ms: f64,
+    /// For span start/end: the span's own identity. For point events: the
+    /// span the event belongs to (`None` when emitted outside any span).
+    pub ctx: Option<SpanContext>,
+    /// Parent span (span-start events only; roots carry `None`).
+    pub parent: Option<SpanId>,
     /// Key-value annotations.
     pub fields: Vec<(String, String)>,
 }
@@ -53,6 +131,12 @@ pub struct TraceEvent {
 impl TraceEvent {
     fn render(&self) -> String {
         let mut line = format!("{:.3} {} {}", self.at_ms, self.kind, self.name);
+        if let Some(ctx) = &self.ctx {
+            line.push_str(&format!(" trace={} span={}", ctx.trace_id, ctx.span_id));
+        }
+        if let Some(parent) = &self.parent {
+            line.push_str(&format!(" parent={parent}"));
+        }
         for (k, v) in &self.fields {
             line.push_str(&format!(" {k}={v}"));
         }
@@ -60,10 +144,14 @@ impl TraceEvent {
     }
 }
 
-/// Records spans and events against a pluggable [`Clock`].
+/// Records causally-linked spans and events against a pluggable [`Clock`].
 pub struct Tracer {
     clock: Arc<dyn Clock>,
     events: Mutex<Vec<TraceEvent>>,
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
+    /// Per-thread stack of open spans (implicit parenting).
+    stacks: Mutex<HashMap<ThreadId, Vec<SpanContext>>>,
 }
 
 impl fmt::Debug for Tracer {
@@ -79,7 +167,13 @@ fn own_fields(fields: &[(&str, &str)]) -> Vec<(String, String)> {
 impl Tracer {
     /// Creates a tracer reading time from `clock`.
     pub fn new(clock: Arc<dyn Clock>) -> Self {
-        Tracer { clock, events: Mutex::new(Vec::new()) }
+        Tracer {
+            clock,
+            events: Mutex::new(Vec::new()),
+            next_trace: AtomicU64::new(1),
+            next_span: AtomicU64::new(1),
+            stacks: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The tracer's clock reading, in milliseconds.
@@ -87,23 +181,145 @@ impl Tracer {
         self.clock.now_ms()
     }
 
-    /// Opens a span: records the start now, and the end (with `dur_ms`)
-    /// when the returned guard drops.
-    #[must_use = "the span closes when the guard drops"]
-    pub fn span(&self, name: &str, fields: &[(&str, &str)]) -> SpanGuard<'_> {
-        let start = self.now_ms();
+    /// The tracer's clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    fn alloc_span(&self) -> SpanId {
+        SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn alloc_trace(&self) -> TraceId {
+        TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The innermost open span on the *current thread*, if any.
+    pub fn current_context(&self) -> Option<SpanContext> {
+        let stacks = self.stacks.lock();
+        stacks.get(&std::thread::current().id()).and_then(|s| s.last().copied())
+    }
+
+    fn push_current(&self, ctx: SpanContext) {
+        self.stacks.lock().entry(std::thread::current().id()).or_default().push(ctx);
+    }
+
+    fn pop_current(&self, ctx: SpanContext) {
+        let mut stacks = self.stacks.lock();
+        let id = std::thread::current().id();
+        if let Some(stack) = stacks.get_mut(&id) {
+            if let Some(pos) = stack.iter().rposition(|c| *c == ctx) {
+                stack.remove(pos);
+            }
+            if stack.is_empty() {
+                stacks.remove(&id);
+            }
+        }
+    }
+
+    fn start_span(
+        &self,
+        at_ms: f64,
+        name: &str,
+        parent: Option<SpanContext>,
+        fields: &[(&str, &str)],
+    ) -> SpanContext {
+        let span_id = self.alloc_span();
+        let trace_id = match parent {
+            Some(p) => p.trace_id,
+            None => self.alloc_trace(),
+        };
+        let ctx = SpanContext { trace_id, span_id };
         self.push(TraceEvent {
             name: name.to_string(),
             kind: EventKind::SpanStart,
-            at_ms: start,
+            at_ms,
+            ctx: Some(ctx),
+            parent: parent.map(|p| p.span_id),
             fields: own_fields(fields),
         });
-        SpanGuard { tracer: self, name: name.to_string(), start }
+        ctx
     }
 
-    /// Records a point event stamped with the clock's current reading.
+    /// Opens a span parented under the innermost open span on this thread
+    /// (a new root trace when there is none): records the start now, and
+    /// the end (with `dur_ms`) when the returned guard drops.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span(&self, name: &str, fields: &[(&str, &str)]) -> SpanGuard<'_> {
+        self.span_with_parent(self.current_context(), name, fields)
+    }
+
+    /// Opens a span as an explicit child of `parent` — the propagation
+    /// primitive for contexts carried across threads or messages.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span_child(
+        &self,
+        parent: SpanContext,
+        name: &str,
+        fields: &[(&str, &str)],
+    ) -> SpanGuard<'_> {
+        self.span_with_parent(Some(parent), name, fields)
+    }
+
+    /// Opens a span under an optional explicit parent; `None` falls back to
+    /// the current thread's innermost span, then to a fresh root trace.
+    #[must_use = "the span closes when the guard drops"]
+    pub fn span_with_parent(
+        &self,
+        parent: Option<SpanContext>,
+        name: &str,
+        fields: &[(&str, &str)],
+    ) -> SpanGuard<'_> {
+        let parent = parent.or_else(|| self.current_context());
+        let start = self.now_ms();
+        let ctx = self.start_span(start, name, parent, fields);
+        self.push_current(ctx);
+        SpanGuard { tracer: self, ctx, start }
+    }
+
+    /// Opens a non-lexical span stamped at the clock's current reading and
+    /// returns its context; close it with [`Tracer::end_span`]. Does not
+    /// touch the implicit per-thread stack — drivers whose spans outlive
+    /// any stack frame (claims held across rounds) manage contexts
+    /// themselves.
+    pub fn begin_span(
+        &self,
+        name: &str,
+        parent: Option<SpanContext>,
+        fields: &[(&str, &str)],
+    ) -> SpanContext {
+        self.start_span(self.now_ms(), name, parent, fields)
+    }
+
+    /// Closes a span opened with [`Tracer::begin_span`].
+    pub fn end_span(&self, ctx: SpanContext, fields: &[(&str, &str)]) {
+        self.push(TraceEvent {
+            name: String::new(),
+            kind: EventKind::SpanEnd,
+            at_ms: self.now_ms(),
+            ctx: Some(ctx),
+            parent: None,
+            fields: own_fields(fields),
+        });
+    }
+
+    /// Records a point event stamped with the clock's current reading,
+    /// attached to the innermost open span on this thread (if any).
     pub fn event(&self, name: &str, fields: &[(&str, &str)]) {
         self.event_at(self.now_ms(), name, fields);
+    }
+
+    /// Records a point event attached to the span identified by `ctx` —
+    /// used when the owning context was carried in-band with a message.
+    pub fn event_in(&self, ctx: SpanContext, name: &str, fields: &[(&str, &str)]) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            kind: EventKind::Event,
+            at_ms: self.now_ms(),
+            ctx: Some(ctx),
+            parent: None,
+            fields: own_fields(fields),
+        });
     }
 
     /// Records a point event at an explicit timestamp — used by drivers
@@ -113,6 +329,8 @@ impl Tracer {
             name: name.to_string(),
             kind: EventKind::Event,
             at_ms,
+            ctx: self.current_context(),
+            parent: None,
             fields: own_fields(fields),
         });
     }
@@ -140,7 +358,7 @@ impl Tracer {
     /// surface the deterministic-trace regression test compares.
     pub fn render_log(&self) -> String {
         let events = self.events.lock();
-        let mut out = String::with_capacity(events.len() * 48);
+        let mut out = String::with_capacity(events.len() * 64);
         for e in events.iter() {
             out.push_str(&e.render());
             out.push('\n');
@@ -149,20 +367,32 @@ impl Tracer {
     }
 }
 
-/// Closes its span (recording `dur_ms`) on drop.
+/// Closes its span (recording `dur_ms`) on drop; exposes the span's
+/// [`SpanContext`] for in-band propagation while it is open.
 pub struct SpanGuard<'a> {
     tracer: &'a Tracer,
-    name: String,
+    ctx: SpanContext,
     start: f64,
+}
+
+impl SpanGuard<'_> {
+    /// The open span's context — copy this into messages so downstream
+    /// work can link child spans back to it.
+    pub fn context(&self) -> SpanContext {
+        self.ctx
+    }
 }
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let end = self.tracer.now_ms();
+        self.tracer.pop_current(self.ctx);
         self.tracer.push(TraceEvent {
-            name: std::mem::take(&mut self.name),
+            name: String::new(),
             kind: EventKind::SpanEnd,
             at_ms: end,
+            ctx: Some(self.ctx),
+            parent: None,
             fields: vec![("dur_ms".to_string(), format!("{:.3}", end - self.start))],
         });
     }
@@ -190,9 +420,75 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].kind, EventKind::SpanStart);
         assert_eq!(events[0].fields, vec![("fold".to_string(), "2".to_string())]);
+        assert_eq!(events[0].parent, None, "first span is a root");
         assert_eq!(events[1].kind, EventKind::SpanEnd);
         assert_eq!(events[1].at_ms, 7.0);
+        assert_eq!(events[1].ctx, events[0].ctx, "end carries the same identity");
         assert_eq!(events[1].fields[0], ("dur_ms".to_string(), "7.000".to_string()));
+    }
+
+    #[test]
+    fn nested_spans_parent_implicitly_and_events_attach() {
+        let (_clock, tracer) = manual_tracer();
+        {
+            let outer = tracer.span("outer", &[]);
+            tracer.event("note", &[]);
+            {
+                let _inner = tracer.span("inner", &[]);
+            }
+            drop(outer);
+        }
+        let events = tracer.events();
+        let outer_ctx = events[0].ctx.unwrap();
+        assert_eq!(events[1].ctx, Some(outer_ctx), "event attaches to the open span");
+        let inner_start = &events[2];
+        assert_eq!(inner_start.kind, EventKind::SpanStart);
+        assert_eq!(inner_start.parent, Some(outer_ctx.span_id));
+        assert_eq!(inner_start.ctx.unwrap().trace_id, outer_ctx.trace_id, "same trace");
+        assert!(tracer.current_context().is_none(), "stack drains with the guards");
+    }
+
+    #[test]
+    fn explicit_child_links_across_carried_context() {
+        let (_clock, tracer) = manual_tracer();
+        let carried = {
+            let root = tracer.span("root", &[]);
+            root.context()
+        };
+        {
+            let child = tracer.span_child(carried, "remote.child", &[]);
+            assert_eq!(child.context().trace_id, carried.trace_id);
+        }
+        let events = tracer.events();
+        let child_start = events.iter().find(|e| e.name == "remote.child").unwrap();
+        assert_eq!(child_start.parent, Some(carried.span_id));
+    }
+
+    #[test]
+    fn non_lexical_spans_for_drivers() {
+        let (clock, tracer) = manual_tracer();
+        let root = tracer.begin_span("driver.key", None, &[("key", "p0")]);
+        clock.advance_ms(20.0);
+        let attempt = tracer.begin_span("driver.attempt", Some(root), &[]);
+        tracer.event_in(attempt, "driver.tick", &[]);
+        clock.advance_ms(20.0);
+        tracer.end_span(attempt, &[]);
+        tracer.end_span(root, &[]);
+        let events = tracer.events();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[1].parent, Some(root.span_id));
+        assert_eq!(events[2].ctx, Some(attempt));
+        assert_eq!(events[4].at_ms, 40.0);
+        assert!(tracer.current_context().is_none(), "begin_span leaves the stack alone");
+    }
+
+    #[test]
+    fn span_context_encodes_and_decodes() {
+        let ctx = SpanContext { trace_id: TraceId(12), span_id: SpanId(34) };
+        assert_eq!(ctx.encode(), "t12.s34");
+        assert_eq!(SpanContext::decode("t12.s34"), Some(ctx));
+        assert_eq!(SpanContext::decode("nonsense"), None);
+        assert_eq!(SpanContext::decode("t1.sx"), None);
     }
 
     #[test]
@@ -212,6 +508,22 @@ mod tests {
         assert!(a.contains("0.000 event tick i=0"));
         assert!(a.contains("20.000 event tick i=2"));
         assert!(a.contains("99.500 event done"));
+    }
+
+    #[test]
+    fn ids_are_sequential_and_deterministic() {
+        let run = || {
+            let (_clock, tracer) = manual_tracer();
+            let a = tracer.span("a", &[]);
+            let b = tracer.span("b", &[]);
+            (a.context(), b.context())
+        };
+        let (a1, b1) = run();
+        let (a2, b2) = run();
+        assert_eq!((a1, b1), (a2, b2), "sequence counters replay identically");
+        assert_eq!(a1.span_id, SpanId(1));
+        assert_eq!(b1.span_id, SpanId(2));
+        assert_eq!(b1.trace_id, a1.trace_id, "b nests under a via the thread stack");
     }
 
     #[test]

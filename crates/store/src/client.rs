@@ -4,6 +4,7 @@
 
 use bytes::Bytes;
 use coda_chaos::{FaultInjector, RetryPolicy, RetryStats};
+use coda_obs::Obs;
 use std::collections::BTreeMap;
 
 use crate::delta::{content_hash, DeltaCodec, DeltaError};
@@ -65,12 +66,21 @@ pub struct CachingClient {
     cache: BTreeMap<String, (u64, Bytes)>,
     /// Bytes received over all pulls/pushes.
     pub bytes_received: u64,
+    obs: Option<Obs>,
 }
 
 impl CachingClient {
     /// Creates a named client with an empty cache.
     pub fn new<S: Into<String>>(name: S) -> Self {
-        CachingClient { name: name.into(), cache: BTreeMap::new(), bytes_received: 0 }
+        CachingClient { name: name.into(), cache: BTreeMap::new(), bytes_received: 0, obs: None }
+    }
+
+    /// Attaches an observability handle: applying a push that carries a
+    /// [`coda_obs::SpanContext`] records a `store.apply_update` span as a
+    /// child of the originating `put` — the receive side of the in-band
+    /// context propagated through [`UpdateMessage`].
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
     }
 
     /// The client's name.
@@ -132,6 +142,14 @@ impl CachingClient {
     ///
     /// [`ClientError`] when a pushed delta cannot be applied.
     pub fn apply_push(&mut self, message: &UpdateMessage) -> Result<(), ClientError> {
+        let obs = self.obs.clone();
+        let _span = obs.as_ref().zip(message.context()).map(|(o, ctx)| {
+            o.tracer().span_child(
+                ctx,
+                "store.apply_update",
+                &[("client", &self.name), ("object", message.object())],
+            )
+        });
         self.bytes_received += message.wire_size() as u64;
         match message {
             UpdateMessage::Full { object, version, data, checksum, .. } => {
@@ -371,6 +389,29 @@ mod tests {
         assert!(client.apply_push_or_repull(&mut store, &messages[0]).unwrap());
         assert_eq!(client.held_version("o"), Some(2));
         assert_eq!(&client.held_data("o").unwrap()[..], &v2[..]);
+    }
+
+    #[test]
+    fn push_carries_context_and_apply_links_to_it() {
+        use coda_obs::{Obs, TraceForest};
+        let obs = Obs::deterministic();
+        let mut store = HomeDataStore::new("h", 4);
+        store.attach_obs(obs.clone());
+        let mut client = CachingClient::new("c");
+        client.attach_obs(obs.clone());
+        let base = patterned(4_000, 9);
+        store.put("o", base.clone());
+        client.pull(&mut store, "o").unwrap();
+        store.subscribe("c", "o", PushMode::Full, 100);
+        let v2: Vec<u8> = base.iter().map(|b| b ^ 0x3C).collect();
+        let (_, messages) = store.put("o", Bytes::from(v2));
+        let put_ctx = messages[0].context().expect("instrumented put stamps its context");
+        client.apply_push(&messages[0]).unwrap();
+        let forest = TraceForest::from_events(&obs.tracer().events());
+        assert!(forest.orphans().is_empty());
+        let apply = forest.spans().find(|s| s.name == "store.apply_update").unwrap();
+        assert_eq!(apply.parent, Some(put_ctx.span_id), "apply is a child of the causing put");
+        assert_eq!(apply.ctx.trace_id, put_ctx.trace_id, "one trace spans the wire");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use bytes::Bytes;
 use std::collections::{BTreeMap, VecDeque};
 
-use coda_obs::Obs;
+use coda_obs::{Obs, SpanContext};
 
 use crate::delta::{content_hash, Delta, DeltaCodec};
 use crate::lease::{Lease, PushMode, UpdateMessage};
@@ -186,7 +186,30 @@ impl HomeDataStore {
     /// deltas from retained history, and pushes to subscribed clients.
     /// Returns the new version number and any push messages to deliver.
     pub fn put<S: AsRef<str>>(&mut self, id: S, data: Bytes) -> (u64, Vec<UpdateMessage>) {
+        self.put_in(id, data, None)
+    }
+
+    /// [`HomeDataStore::put`] inside a causal trace: opens a `store.put`
+    /// span (child of `parent` when carried in, else of the caller's
+    /// current span) and stamps every push message with the span's
+    /// [`SpanContext`], so receiving clients link their apply work back to
+    /// this update. Uninstrumented stores pass `parent` through unchanged.
+    pub fn put_in<S: AsRef<str>>(
+        &mut self,
+        id: S,
+        data: Bytes,
+        parent: Option<SpanContext>,
+    ) -> (u64, Vec<UpdateMessage>) {
         let id = id.as_ref();
+        let obs = self.obs.clone();
+        let span = obs.as_ref().map(|o| {
+            o.tracer().span_with_parent(
+                parent,
+                "store.put",
+                &[("object", id), ("store", &self.name)],
+            )
+        });
+        let push_ctx = span.as_ref().map(|s| s.context()).or(parent);
         let entry = self.objects.entry(id.to_string()).or_insert_with(|| StoredObject {
             version: 0,
             data: Bytes::new(),
@@ -221,6 +244,7 @@ impl HomeDataStore {
                         version: cur_version,
                         data: object.data.clone(),
                         checksum: content_hash(&object.data),
+                        ctx: push_ctx,
                     }
                 }
                 PushMode::Delta => {
@@ -235,6 +259,7 @@ impl HomeDataStore {
                                 client: lease.client.clone(),
                                 object: id.to_string(),
                                 delta: d.clone(),
+                                ctx: push_ctx,
                             }
                         }
                         _ => {
@@ -245,6 +270,7 @@ impl HomeDataStore {
                                 version: cur_version,
                                 data: object.data.clone(),
                                 checksum: content_hash(&object.data),
+                                ctx: push_ctx,
                             }
                         }
                     }
@@ -261,6 +287,7 @@ impl HomeDataStore {
                         object: id.to_string(),
                         version: cur_version,
                         changed_bytes: changed,
+                        ctx: push_ctx,
                     }
                 }
             };
@@ -299,6 +326,31 @@ impl HomeDataStore {
         id: &str,
         client_version: Option<u64>,
     ) -> Result<Option<FetchReply>, std::convert::Infallible> {
+        self.fetch_in(id, client_version, None)
+    }
+
+    /// [`HomeDataStore::fetch`] inside a causal trace: the pull work runs
+    /// in a `store.fetch` span linked to the requesting client's carried
+    /// context (pull-paradigm counterpart to [`HomeDataStore::put_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; the `Result` reserves room for storage-backend
+    /// errors.
+    pub fn fetch_in(
+        &mut self,
+        id: &str,
+        client_version: Option<u64>,
+        parent: Option<SpanContext>,
+    ) -> Result<Option<FetchReply>, std::convert::Infallible> {
+        let obs = self.obs.clone();
+        let _span = obs.as_ref().map(|o| {
+            o.tracer().span_with_parent(
+                parent,
+                "store.fetch",
+                &[("object", id), ("store", &self.name)],
+            )
+        });
         let Some(object) = self.objects.get(id) else {
             return Ok(None);
         };

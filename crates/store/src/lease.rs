@@ -4,6 +4,7 @@
 //! until the lease expires or is cancelled.
 
 use bytes::Bytes;
+use coda_obs::SpanContext;
 
 use crate::delta::Delta;
 
@@ -35,6 +36,11 @@ pub struct Lease {
 }
 
 /// A push message from a home store to a client.
+///
+/// Every variant carries the originating [`SpanContext`] in-band (the
+/// distributed-tracing propagation header): the span of the `put` that
+/// produced the update, so a receiving client's apply work links back to
+/// the causing request across the simulated wire.
 #[derive(Debug, Clone)]
 pub enum UpdateMessage {
     /// Full current value.
@@ -50,6 +56,8 @@ pub enum UpdateMessage {
         /// Content hash of `data` recorded at the home store, verified by
         /// the receiving client.
         checksum: u64,
+        /// Trace context of the originating `put`, when instrumented.
+        ctx: Option<SpanContext>,
     },
     /// Delta from the previous version.
     Delta {
@@ -59,6 +67,8 @@ pub enum UpdateMessage {
         object: String,
         /// The edit script.
         delta: Delta,
+        /// Trace context of the originating `put`, when instrumented.
+        ctx: Option<SpanContext>,
     },
     /// Notification only: version number and how much changed.
     Notify {
@@ -70,6 +80,8 @@ pub enum UpdateMessage {
         version: u64,
         /// Approximate changed byte count.
         changed_bytes: usize,
+        /// Trace context of the originating `put`, when instrumented.
+        ctx: Option<SpanContext>,
     },
 }
 
@@ -108,6 +120,15 @@ impl UpdateMessage {
             UpdateMessage::Delta { delta, .. } => delta.target_version,
         }
     }
+
+    /// The originating trace context carried with the message, if any.
+    pub fn context(&self) -> Option<SpanContext> {
+        match self {
+            UpdateMessage::Full { ctx, .. }
+            | UpdateMessage::Delta { ctx, .. }
+            | UpdateMessage::Notify { ctx, .. } => *ctx,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,19 +142,24 @@ mod tests {
             object: "o1".into(),
             version: 7,
             changed_bytes: 42,
+            ctx: None,
         };
         assert_eq!(m.client(), "c1");
         assert_eq!(m.object(), "o1");
         assert_eq!(m.version(), 7);
         assert_eq!(m.wire_size(), 32);
+        assert_eq!(m.context(), None);
+        let ctx = SpanContext { trace_id: coda_obs::TraceId(1), span_id: coda_obs::SpanId(2) };
         let f = UpdateMessage::Full {
             client: "c".into(),
             object: "o".into(),
             version: 2,
             data: Bytes::from_static(b"abcd"),
             checksum: crate::delta::content_hash(b"abcd"),
+            ctx: Some(ctx),
         };
         assert_eq!(f.wire_size(), 28);
         assert_eq!(f.version(), 2);
+        assert_eq!(f.context(), Some(ctx), "the tracing header rides along the push");
     }
 }

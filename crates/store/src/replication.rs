@@ -11,7 +11,7 @@
 
 use bytes::Bytes;
 use coda_chaos::{RetryPolicy, RetryStats};
-use coda_obs::Obs;
+use coda_obs::{Obs, SpanContext};
 
 use crate::home::{FetchReply, HomeDataStore};
 
@@ -151,15 +151,38 @@ impl ReplicatedStore {
     ///
     /// [`ReplicationError::AllSitesDown`] when no site can accept the write.
     pub fn put(&mut self, id: &str, data: Bytes) -> Result<u64, ReplicationError> {
+        self.put_in(id, data, None)
+    }
+
+    /// [`ReplicatedStore::put`] inside a causal trace: the whole write runs
+    /// in a `store.replicate_put` span (child of `parent` when carried in)
+    /// whose context propagates into the primary's and every replica's
+    /// `put_in`, so each synchronous replica write appears as a child span
+    /// of the replicated operation.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicationError::AllSitesDown`] when no site can accept the write.
+    pub fn put_in(
+        &mut self,
+        id: &str,
+        data: Bytes,
+        parent: Option<SpanContext>,
+    ) -> Result<u64, ReplicationError> {
+        let obs = self.obs.clone();
+        let span = obs
+            .as_ref()
+            .map(|o| o.tracer().span_with_parent(parent, "store.replicate_put", &[("object", id)]));
+        let ctx = span.as_ref().map(|s| s.context()).or(parent);
         self.failover_if_needed()?;
-        let (version, _) = self.sites[self.primary].store.put(id, data.clone());
+        let (version, _) = self.sites[self.primary].store.put_in(id, data.clone(), ctx);
         let primary = self.primary;
         for (i, site) in self.sites.iter_mut().enumerate() {
             if i != primary && site.up {
                 // replicas may be behind after recovery: re-put until their
                 // version catches the primary's
                 loop {
-                    let (v, _) = site.store.put(id, data.clone());
+                    let (v, _) = site.store.put_in(id, data.clone(), ctx);
                     if v >= version {
                         break;
                     }
@@ -180,12 +203,36 @@ impl ReplicatedStore {
         id: &str,
         client_version: Option<u64>,
     ) -> Result<Option<FetchReply>, ReplicationError> {
+        self.fetch_in(id, client_version, None)
+    }
+
+    /// [`ReplicatedStore::fetch`] inside a causal trace: the read (wherever
+    /// it lands) runs in a `store.replicate_fetch` span and propagates its
+    /// context into the serving site's `fetch_in`.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicationError::AllSitesDown`] when nothing is reachable.
+    pub fn fetch_in(
+        &mut self,
+        id: &str,
+        client_version: Option<u64>,
+        parent: Option<SpanContext>,
+    ) -> Result<Option<FetchReply>, ReplicationError> {
+        let obs = self.obs.clone();
+        let span = obs.as_ref().map(|o| {
+            o.tracer().span_with_parent(parent, "store.replicate_fetch", &[("object", id)])
+        });
+        let ctx = span.as_ref().map(|s| s.context()).or(parent);
         let order: Vec<usize> = std::iter::once(self.primary)
             .chain((0..self.sites.len()).filter(|&i| i != self.primary))
             .collect();
         for i in order {
             if self.sites[i].up {
-                return Ok(self.sites[i].store.fetch(id, client_version).expect("infallible"));
+                return Ok(self.sites[i]
+                    .store
+                    .fetch_in(id, client_version, ctx)
+                    .expect("infallible"));
             }
         }
         Err(ReplicationError::AllSitesDown)
@@ -356,6 +403,27 @@ mod tests {
         assert_eq!(result.unwrap_err(), ReplicationError::AllSitesDown);
         assert_eq!(stats.attempts, 3);
         assert_eq!(stats.exhausted, 1);
+    }
+
+    #[test]
+    fn replica_writes_trace_as_children_of_the_replicated_put() {
+        use coda_obs::{Obs, TraceForest};
+        let obs = Obs::deterministic();
+        let mut rs = ReplicatedStore::new(2, 4);
+        rs.attach_obs(obs.clone());
+        let root = obs.tracer().begin_span("client.request", None, &[]);
+        rs.put_in("o", blob(5, 64), Some(root)).unwrap();
+        obs.tracer().end_span(root, &[]);
+        let forest = TraceForest::from_events(&obs.tracer().events());
+        assert!(forest.orphans().is_empty());
+        let rep = forest.spans().find(|s| s.name == "store.replicate_put").expect("replicate span");
+        assert_eq!(rep.parent, Some(root.span_id));
+        let site_puts: Vec<_> = forest.spans().filter(|s| s.name == "store.put").collect();
+        assert_eq!(site_puts.len(), 3, "primary + 2 replicas");
+        for p in site_puts {
+            assert_eq!(p.parent, Some(rep.ctx.span_id), "site writes hang off the replicate op");
+            assert_eq!(p.ctx.trace_id, rep.ctx.trace_id);
+        }
     }
 
     #[test]

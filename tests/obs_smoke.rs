@@ -99,6 +99,52 @@ fn obs_smoke_snapshot_renders_and_round_trips() {
 }
 
 #[test]
+fn obs_smoke_snapshot_diff_attributes_each_phase() {
+    // before/after snapshot deltas isolate what each phase contributed to
+    // the shared registry, even though every phase writes into it
+    let obs = Obs::wall();
+
+    let before_eval = obs.registry().snapshot();
+    let ds = dataset(41);
+    let graph = fan_out_teg(4);
+    Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
+        .with_prefix_cache(true)
+        .with_obs(obs.clone())
+        .evaluate_graph(&graph, &ds)
+        .expect("fixture graph evaluates");
+    let after_eval = obs.registry().snapshot();
+
+    let cfg = ChaosCoopConfig {
+        seed: 9,
+        n_clients: 3,
+        n_keys: 8,
+        drop_probability: 0.0,
+        darr_partition: None,
+        crash: None,
+        claim_duration: 200,
+        max_rounds: 10_000,
+    };
+    run_chaos_coop_obs(&cfg, Some(&obs));
+    let after_chaos = obs.registry().snapshot();
+
+    let eval_phase = after_eval.diff(&before_eval);
+    assert_eq!(eval_phase.counter("coda_core_eval_graphs"), 1, "the eval phase ran one graph");
+    assert!(eval_phase.counter("coda_core_cache_hits") > 0);
+    assert_eq!(eval_phase.counter("coda_darr_records_stored"), 0, "no DARR work in this phase");
+
+    let chaos_phase = after_chaos.diff(&after_eval);
+    assert_eq!(chaos_phase.counter("coda_core_eval_graphs"), 0, "no eval work in this phase");
+    assert_eq!(chaos_phase.counter("coda_cluster_chaos_keys"), 8);
+    assert!(chaos_phase.counter("coda_darr_records_stored") > 0);
+    // histograms diff too: the eval phase owns all path timings
+    assert_eq!(
+        eval_phase.histograms["coda_core_eval_path_ms"].count,
+        after_chaos.histograms["coda_core_eval_path_ms"].count,
+        "the chaos phase adds no eval-path observations"
+    );
+}
+
+#[test]
 fn obs_smoke_spans_cover_the_taxonomy() {
     let obs = Obs::wall();
     exercise_all_crates(&obs);

@@ -300,6 +300,7 @@ proptest! {
             version: 2,
             data: Bytes::from(corrupted),
             checksum: coda::store::content_hash(&data),
+            ctx: None,
         };
         let mut client = coda::store::CachingClient::new("c");
         match client.apply_push(&push) {

@@ -362,6 +362,7 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
                         let idx = keys
                             .iter()
                             .position(|k| *k == record.key)
+                            // lint:allow(panic_safety) journal entries are only created from work-list keys earlier in this function
                             .expect("journaled keys come from the work list");
                         let ctx = key_root(obs, &mut key_spans, &mut key_open, &keys, idx);
                         if darr.lookup(&record.key).is_some() {

@@ -5,11 +5,11 @@
 //! non-overlapping pipelines and share results (`m` evaluations total).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 use coda_core::{Evaluator, Teg};
 use coda_darr::{ComputationKey, CoopOutcome, CooperativeClient, Darr};
 use coda_data::{CvStrategy, Dataset, Metric};
+use coda_obs::{Clock, WallClock};
 
 /// Outcome of a cooperative (or independent) multi-client run.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +50,9 @@ fn computation_key(
 /// With `use_darr` the clients cooperate through a shared repository;
 /// without it every client evaluates everything (the paper's baseline).
 ///
+/// Timing uses the ambient [`WallClock`]; deterministic harnesses should
+/// call [`run_cooperative_with_clock`] with a `ManualClock` instead.
+///
 /// # Panics
 ///
 /// Panics if the graph has no valid pipelines or `n_clients == 0`.
@@ -61,7 +64,27 @@ pub fn run_cooperative(
     n_clients: usize,
     use_darr: bool,
 ) -> CoopRunReport {
+    run_cooperative_with_clock(graph, data, cv, metric, n_clients, use_darr, &WallClock::new())
+}
+
+/// [`run_cooperative`] with an explicit [`Clock`] for `wall_ms`: under a
+/// `ManualClock` the report is byte-identical across same-seed runs, which
+/// is what lets chaos replays and CI assertions compare whole reports.
+///
+/// # Panics
+///
+/// Panics if the graph has no valid pipelines or `n_clients == 0`.
+pub fn run_cooperative_with_clock(
+    graph: &Teg,
+    data: &Dataset,
+    cv: CvStrategy,
+    metric: Metric,
+    n_clients: usize,
+    use_darr: bool,
+    clock: &dyn Clock,
+) -> CoopRunReport {
     assert!(n_clients > 0, "need at least one client");
+    // lint:allow(panic_safety) documented panic contract: an invalid graph is a caller bug
     let pipelines = graph.enumerate_pipelines().expect("graph must yield valid pipelines");
     assert!(!pipelines.is_empty(), "graph has no pipelines");
     let n_pipelines = pipelines.len();
@@ -71,7 +94,7 @@ pub fn run_cooperative(
     let evaluator = Evaluator::new(cv.clone(), metric);
     let best = parking_lot::Mutex::new(metric.worst());
 
-    let start = Instant::now();
+    let start_ms = clock.now_ms();
     std::thread::scope(|scope| {
         for c in 0..n_clients {
             let pipelines = &pipelines;
@@ -152,7 +175,7 @@ pub fn run_cooperative(
             });
         }
     });
-    let wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let wall_ms = clock.now_ms() - start_ms;
     let total_evaluations = evaluations.load(Ordering::SeqCst);
     let best_score = *best.lock();
     CoopRunReport {
@@ -215,6 +238,28 @@ mod tests {
         let without = run_cooperative(&graph(), &ds, CvStrategy::kfold(3), Metric::Rmse, 1, false);
         assert_eq!(with.total_evaluations, without.total_evaluations);
         assert!((with.best_score - without.best_score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn manual_clock_makes_reports_byte_identical() {
+        use coda_obs::ManualClock;
+        let ds = synth::linear_regression(60, 2, 0.1, 205);
+        let run = || {
+            let clock = ManualClock::new();
+            clock.set_ms(1_000.0);
+            run_cooperative_with_clock(
+                &graph(),
+                &ds,
+                CvStrategy::kfold(3),
+                Metric::Rmse,
+                2,
+                true,
+                &clock,
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.wall_ms, 0.0, "manual clock never advances on its own");
+        assert_eq!(a, b, "same seed + manual clock must replay byte-identically");
     }
 
     #[test]

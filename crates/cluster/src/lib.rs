@@ -37,7 +37,7 @@ pub mod registry;
 pub mod webservice;
 
 pub use chaos::{run_chaos_coop, run_chaos_coop_obs, ChaosCoopConfig, ChaosCoopReport};
-pub use coop::{run_cooperative, CoopRunReport};
+pub use coop::{run_cooperative, run_cooperative_with_clock, CoopRunReport};
 pub use lifecycle::{BatchRecord, ModelLifecycle, RetrainPolicy};
 pub use network::SimNetwork;
 pub use node::{AnalyticsTask, ComputeNode};

@@ -134,7 +134,9 @@ impl From<&SpecValue> for ParamValue {
 impl JobSpec {
     /// Serializes to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("spec serialization cannot fail")
+        // value-model rendering is infallible; an empty string would only
+        // appear if the vendored serde_json grew a real error path
+        serde_json::to_string(self).unwrap_or_default()
     }
 
     /// Parses a spec from JSON.

@@ -436,11 +436,14 @@ impl Evaluator {
                             hist,
                             graph_ctx,
                         );
-                        out_ref.lock().expect("no panics hold this lock").push((i, result));
+                        out_ref
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push((i, result));
                     });
                 }
             });
-            let mut collected = out.into_inner().expect("threads joined");
+            let mut collected = out.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
             collected.sort_by_key(|(i, _)| *i);
             collected.into_iter().map(|(_, r)| r).collect()
         };
@@ -523,11 +526,14 @@ impl Evaluator {
                             hist,
                             graph_ctx,
                         );
-                        out_ref.lock().expect("no panics hold this lock").push((i, result));
+                        out_ref
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .push((i, result));
                     });
                 }
             });
-            out.into_inner().expect("threads joined")
+            out.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
         };
         indexed.sort_by_key(|(i, _)| *i);
         let results = indexed.into_iter().map(|(_, r)| r).collect();

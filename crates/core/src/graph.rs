@@ -341,11 +341,14 @@ impl TegBuilder {
             }
         }
         if visited != n {
-            // report an arbitrary edge inside the cycle
-            let (f, t) = *seen
+            // report an arbitrary edge inside the cycle; a cycle always has
+            // an edge with residual indegree, so the fallback edge is moot
+            let (f, t) = seen
                 .iter()
                 .find(|(f, t)| indeg[*t] > 0 || indeg[*f] > 0)
-                .expect("a cycle implies an edge into a node with residual indegree");
+                .or_else(|| seen.first())
+                .copied()
+                .unwrap_or((0, 0));
             return Err(GraphError::Cycle {
                 from: self.nodes[f].name().to_string(),
                 to: self.nodes[t].name().to_string(),

@@ -1,0 +1,79 @@
+//! Model checks for `TransformCache::get_or_fit`'s per-slot
+//! serialization: a `(fold, prefix)` pair must be fitted at most once no
+//! matter how callers interleave.
+//!
+//! Run with `RUSTFLAGS="--cfg loom" cargo test -p coda-core --test
+//! loom_cache`. Under the vendored `loom` stand-in this is a bounded
+//! stress harness; with the real crate it becomes an exhaustive
+//! interleaving search without a source change (DESIGN.md §10).
+#![cfg(loom)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use coda_core::TransformCache;
+use coda_data::synth;
+use loom::sync::Arc;
+use loom::thread;
+
+/// Two racing callers of the same key: exactly one `fit` closure runs,
+/// the other caller blocks on the slot and reuses the result.
+#[test]
+fn same_key_fits_exactly_once() {
+    loom::model(|| {
+        let cache = Arc::new(TransformCache::new());
+        let fits = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let fits = Arc::clone(&fits);
+                thread::spawn(move || {
+                    thread::yield_now();
+                    cache.get_or_fit(0, "scaler|pca", || {
+                        fits.fetch_add(1, Ordering::SeqCst);
+                        let ds = synth::linear_regression(8, 2, 0.0, 7);
+                        Ok((ds.clone(), ds))
+                    })
+                })
+            })
+            .collect();
+        let outs: Vec<_> =
+            handles.into_iter().map(|h| h.join().expect("model thread panicked")).collect();
+        assert_eq!(fits.load(Ordering::SeqCst), 1, "a prefix was fitted twice");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        let first = outs[0].as_ref().expect("fit is infallible here");
+        let second = outs[1].as_ref().expect("fit is infallible here");
+        assert!(Arc::ptr_eq(first, second), "callers must share one fitted output");
+    });
+}
+
+/// Distinct keys never serialize on each other: both fits run, and the
+/// cache ends with two independent entries.
+#[test]
+fn distinct_keys_fit_independently() {
+    loom::model(|| {
+        let cache = Arc::new(TransformCache::new());
+        let fits = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = [0usize, 1]
+            .into_iter()
+            .map(|fold| {
+                let cache = Arc::clone(&cache);
+                let fits = Arc::clone(&fits);
+                thread::spawn(move || {
+                    cache.get_or_fit(fold, "scaler", || {
+                        fits.fetch_add(1, Ordering::SeqCst);
+                        let ds = synth::linear_regression(8, 2, 0.0, 7);
+                        Ok((ds.clone(), ds))
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("model thread panicked").expect("fit is infallible here");
+        }
+        assert_eq!(fits.load(Ordering::SeqCst), 2, "per-fold entries must not alias");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().misses, 2);
+    });
+}

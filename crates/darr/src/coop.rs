@@ -267,16 +267,24 @@ impl<'a> CooperativeClient<'a> {
             };
             match resolved {
                 Some(outcome) => {
-                    summary.skipped -= 1;
                     match &outcome {
                         CoopOutcome::Computed(_) => {
+                            summary.skipped -= 1;
                             summary.computed += 1;
                             report.takeovers += 1;
                             self.obs_count("coda_darr_takeovers", 1);
                         }
-                        CoopOutcome::Reused(_) => summary.reused += 1,
-                        CoopOutcome::Failed(_) => summary.failed += 1,
-                        CoopOutcome::SkippedHeld(_) => unreachable!(),
+                        CoopOutcome::Reused(_) => {
+                            summary.skipped -= 1;
+                            summary.reused += 1;
+                        }
+                        CoopOutcome::Failed(_) => {
+                            summary.skipped -= 1;
+                            summary.failed += 1;
+                        }
+                        // the retry loop only breaks on non-held outcomes;
+                        // if that ever changes the key simply stays skipped
+                        CoopOutcome::SkippedHeld(_) => {}
                     }
                     report.stats.merge(&state.finish(true));
                     outcomes[idx] = outcome;

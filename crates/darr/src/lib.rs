@@ -24,6 +24,8 @@
 //! assert_eq!(darr.lookup(&key).unwrap().score, 0.42);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod coop;
 pub mod record;
 pub mod repo;

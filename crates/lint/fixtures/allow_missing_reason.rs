@@ -1,0 +1,8 @@
+//! Fixture: the escape hatch done wrong — a bare `lint:allow` with no
+//! justification. The original violation must survive AND the directive
+//! itself must be flagged. Never compiled; walked as text.
+
+fn unjustified_unwrap(v: Option<u32>) -> u32 {
+    // lint:allow(panic_safety)
+    v.unwrap()
+}

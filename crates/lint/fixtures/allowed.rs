@@ -1,0 +1,13 @@
+//! Fixture: the escape hatch done right — every violation carries a
+//! `lint:allow` directive WITH a justification, so the file must produce
+//! zero findings. Never compiled; walked as text.
+
+fn justified_unwrap(v: Option<u32>) -> u32 {
+    // lint:allow(panic_safety) v is produced by a validator two lines up
+    v.unwrap()
+}
+
+fn justified_expect(m: &std::collections::BTreeMap<u32, u32>) -> u32 {
+    // lint:allow(panic_safety) the map is seeded with key 0 at construction
+    *m.get(&0).expect("seeded")
+}

@@ -1,0 +1,23 @@
+//! Fixture: every determinism pattern the lint must catch. This file is
+//! never compiled — the lint walks it as text (and the workspace walker
+//! skips `fixtures/` so these planted violations stay out of the gate).
+
+use std::time::{Instant, SystemTime};
+
+fn wall_clock_instant() -> Instant {
+    Instant::now() // finding: Instant::now
+}
+
+fn wall_clock_system() -> u64 {
+    let t = SystemTime::now(); // finding: SystemTime::now
+    0
+}
+
+fn ambient_rng() -> f64 {
+    let mut rng = rand::thread_rng(); // finding: thread_rng
+    rand::random() // finding: rand::random
+}
+
+fn elapsed_timing(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() // finding: .elapsed()
+}

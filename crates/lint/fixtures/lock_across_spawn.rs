@@ -1,0 +1,22 @@
+//! Fixture: a guard held across `thread::spawn` and across a channel
+//! `send` — both block whoever needs the lock for as long as the spawned
+//! work or a full channel takes. Never compiled; walked as text.
+
+use parking_lot::Mutex;
+
+struct Shared {
+    state: Mutex<Vec<u32>>,
+}
+
+impl Shared {
+    fn spawn_under_lock(&self) {
+        let guard = self.state.lock();
+        std::thread::spawn(move || {}); // finding: guard held across spawn
+        drop(guard);
+    }
+
+    fn send_under_lock(&self, tx: &std::sync::mpsc::Sender<u32>) {
+        let guard = self.state.lock();
+        tx.send(guard.len() as u32); // finding: guard held across send
+    }
+}

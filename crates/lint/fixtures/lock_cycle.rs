@@ -1,0 +1,24 @@
+//! Fixture: the canonical AB/BA deadlock shape, split across two methods
+//! of one type so both the intra-procedural nesting and the cycle over
+//! the acquisition graph are exercised. Never compiled; walked as text.
+
+use parking_lot::Mutex;
+
+struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock(); // edge: Pair.alpha -> Pair.beta
+        *a + *b
+    }
+
+    fn backward(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock(); // edge: Pair.beta -> Pair.alpha — cycle!
+        *a + *b
+    }
+}

@@ -1,0 +1,30 @@
+//! Fixture: every panic-safety pattern the lint must catch, plus the
+//! test-module exemption. Never compiled; walked as text.
+
+fn unwrap_site(v: Option<u32>) -> u32 {
+    v.unwrap() // finding: .unwrap()
+}
+
+fn expect_site(v: Option<u32>) -> u32 {
+    v.expect("present") // finding: .expect()
+}
+
+fn macro_sites(flag: bool) {
+    if flag {
+        panic!("boom"); // finding: panic!
+    }
+    match flag {
+        true => unreachable!(), // finding: unreachable!
+        false => todo!(),       // finding: todo!
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // exempt: test code may panic freely
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

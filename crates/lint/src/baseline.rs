@@ -1,0 +1,164 @@
+//! Ratcheting baseline: existing violations are recorded as per-`rule|file`
+//! counts and frozen; any *new* violation fails, and the recorded counts
+//! may only shrink — when a fix lands, the stale (now too large) baseline
+//! entry also fails until the file is regenerated with `--write-baseline`,
+//! which is what makes the gate a one-way ratchet.
+//!
+//! Determinism findings and reason-less escape hatches are **never**
+//! baselineable: they fail unconditionally (DESIGN.md §10).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use serde::impl_serde_struct;
+
+use crate::Finding;
+
+/// The committed `lint-baseline.json` contents.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    /// Format version (currently 1).
+    pub version: u64,
+    /// `"<rule>|<file>"` → frozen violation count.
+    pub entries: BTreeMap<String, u64>,
+}
+
+impl_serde_struct!(Baseline { version, entries });
+
+/// Outcome of checking current findings against a baseline.
+#[derive(Debug, Default)]
+pub struct RatchetCheck {
+    /// Keys whose current count exceeds the frozen count
+    /// (`key` → `(frozen, current)`).
+    pub grown: BTreeMap<String, (u64, u64)>,
+    /// Keys whose frozen count exceeds the current count — the baseline is
+    /// stale and must shrink (`key` → `(frozen, current)`).
+    pub stale: BTreeMap<String, (u64, u64)>,
+}
+
+impl RatchetCheck {
+    /// True when the findings exactly ratchet against the baseline.
+    pub fn is_clean(&self) -> bool {
+        self.grown.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// The baseline key of one finding.
+pub fn key_of(f: &Finding) -> String {
+    format!("{}|{}", f.rule.as_str(), f.file)
+}
+
+impl Baseline {
+    /// Builds a baseline from current findings (baselineable rules only).
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<String, u64> = BTreeMap::new();
+        for f in findings {
+            if f.rule.is_baselineable() {
+                *entries.entry(key_of(f)).or_insert(0) += 1;
+            }
+        }
+        Baseline { version: 1, entries }
+    }
+
+    /// Loads a baseline file; a missing file is an empty baseline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the file exists but cannot be read or parsed.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        if !path.exists() {
+            return Ok(Baseline { version: 1, entries: BTreeMap::new() });
+        }
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let value = serde_json::parse(&text)
+            .map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
+        serde::Deserialize::from_value(&value)
+            .map_err(|e| format!("bad baseline shape in {}: {e}", path.display()))
+    }
+
+    /// Writes the baseline as pretty-enough deterministic JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when serialization or the write fails.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let json = serde_json::to_string(self).map_err(|e| e.to_string())?;
+        fs::write(path, json + "\n").map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+
+    /// Ratchets `findings` against this baseline.
+    pub fn check(&self, findings: &[Finding]) -> RatchetCheck {
+        let current = Baseline::from_findings(findings);
+        let mut out = RatchetCheck::default();
+        for (key, &n) in &current.entries {
+            let frozen = self.entries.get(key).copied().unwrap_or(0);
+            if n > frozen {
+                out.grown.insert(key.clone(), (frozen, n));
+            }
+        }
+        for (key, &frozen) in &self.entries {
+            let n = current.entries.get(key).copied().unwrap_or(0);
+            if frozen > n {
+                out.stale.insert(key.clone(), (frozen, n));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+
+    fn finding(rule: Rule, file: &str) -> Finding {
+        Finding { rule, file: file.to_string(), line: 1, message: String::new() }
+    }
+
+    #[test]
+    fn equal_counts_are_clean() {
+        let fs = vec![finding(Rule::PanicSafety, "a.rs"), finding(Rule::PanicSafety, "a.rs")];
+        let base = Baseline::from_findings(&fs);
+        assert!(base.check(&fs).is_clean());
+    }
+
+    #[test]
+    fn new_violation_grows() {
+        let old = vec![finding(Rule::PanicSafety, "a.rs")];
+        let base = Baseline::from_findings(&old);
+        let new = vec![finding(Rule::PanicSafety, "a.rs"), finding(Rule::PanicSafety, "a.rs")];
+        let check = base.check(&new);
+        assert_eq!(check.grown.get("panic_safety|a.rs"), Some(&(1, 2)));
+        assert!(check.stale.is_empty());
+    }
+
+    #[test]
+    fn fixed_violation_makes_baseline_stale() {
+        let old = vec![finding(Rule::LockOrder, "a.rs"), finding(Rule::LockOrder, "a.rs")];
+        let base = Baseline::from_findings(&old);
+        let check = base.check(&old[..1]);
+        assert_eq!(check.stale.get("lock_order|a.rs"), Some(&(2, 1)));
+        assert!(!check.is_clean(), "the ratchet only moves one way");
+    }
+
+    #[test]
+    fn determinism_is_never_baselined() {
+        let fs = vec![finding(Rule::Determinism, "a.rs")];
+        let base = Baseline::from_findings(&fs);
+        assert!(base.entries.is_empty());
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let fs = vec![finding(Rule::PanicSafety, "a.rs"), finding(Rule::LockOrder, "b.rs")];
+        let base = Baseline::from_findings(&fs);
+        let json = serde_json::to_string(&base)
+            .map_err(|e| e.to_string())
+            .and_then(|j| serde_json::parse(&j).map_err(|e| e.to_string()));
+        let back: Baseline =
+            json.and_then(|v| serde::Deserialize::from_value(&v)).unwrap_or_default();
+        assert_eq!(back, base);
+    }
+}

@@ -1,0 +1,68 @@
+//! Determinism lint: wall-clock and ambient-randomness calls are forbidden
+//! outside the `coda-obs` `Clock` implementations and bench binaries, so
+//! every time/randomness source in library code flows through the pluggable
+//! deterministic clock and seeded RNGs (DESIGN.md §10). Violations of this
+//! rule are never baselined — same-seed runs must replay byte-identically,
+//! which is the repo invariant the DARR interchangeability argument
+//! (paper §III) rests on.
+
+use crate::source::{CrateKind, SourceFile};
+use crate::{Finding, Rule};
+
+/// Files where wall-clock reads are the point, not a leak.
+const ALLOWED_FILES: &[&str] = &["crates/obs/src/clock.rs"];
+
+/// Scans one file for wall-clock / ambient-randomness calls.
+pub fn check(sf: &SourceFile) -> Vec<Finding> {
+    if sf.kind == CrateKind::Binary || ALLOWED_FILES.contains(&sf.rel.as_str()) {
+        return Vec::new();
+    }
+    let toks = &sf.tokens;
+    let mut out = Vec::new();
+    let mut report = |i: usize, what: &str| {
+        out.push(Finding {
+            rule: Rule::Determinism,
+            file: sf.rel.clone(),
+            line: toks[i].line,
+            message: format!(
+                "{what} outside coda-obs Clock impls — thread time/randomness \
+                 through `coda_obs::Clock` / a seeded RNG"
+            ),
+        });
+    };
+    for i in 0..toks.len() {
+        if sf.in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if !matches!(t.kind, crate::lexer::TokKind::Ident) {
+            continue;
+        }
+        let path_call = |name: &str| {
+            t.is_ident(name)
+                && matches!(toks.get(i + 1), Some(c) if c.is_punct(':'))
+                && matches!(toks.get(i + 2), Some(c) if c.is_punct(':'))
+                && matches!(toks.get(i + 3), Some(n) if n.is_ident("now"))
+        };
+        if path_call("Instant") {
+            report(i, "`Instant::now()`");
+        } else if path_call("SystemTime") {
+            report(i, "`SystemTime::now()`");
+        } else if t.is_ident("thread_rng") {
+            report(i, "`thread_rng()` (ambient, unseeded RNG)");
+        } else if t.is_ident("random")
+            && matches!(toks.get(i.wrapping_sub(1)), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i.wrapping_sub(2)), Some(c) if c.is_punct(':'))
+            && matches!(toks.get(i.wrapping_sub(3)), Some(r) if r.is_ident("rand"))
+        {
+            report(i, "`rand::random()` (ambient, unseeded RNG)");
+        } else if t.is_ident("elapsed")
+            && matches!(toks.get(i.wrapping_sub(1)), Some(d) if d.is_punct('.'))
+            && matches!(toks.get(i + 1), Some(o) if o.is_punct('('))
+            && matches!(toks.get(i + 2), Some(c) if c.is_punct(')'))
+        {
+            report(i, "wall-clock `.elapsed()`");
+        }
+    }
+    out
+}

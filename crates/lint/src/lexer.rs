@@ -1,0 +1,371 @@
+//! A minimal Rust lexer producing the token stream the analyses walk.
+//!
+//! The build environment vendors no `syn`, so `coda-lint` works over a
+//! hand-rolled lexer instead of a full AST. It understands exactly what the
+//! analyses need to be sound at the token level: identifiers, single-char
+//! punctuation, all literal forms that could otherwise be misread as code
+//! (strings, raw strings, byte strings, char literals vs. lifetimes,
+//! numbers), and comments — which are kept, because `// lint:allow(...)`
+//! escape hatches live in them.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `self`, `lock`, ...).
+    Ident,
+    /// One punctuation character (`.`, `:`, `{`, ...).
+    Punct,
+    /// String/char/number literal, opaque to the analyses.
+    Literal,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text (for puncts, the single character).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when this is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with the line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based starting line.
+    pub line: u32,
+    /// Comment text without the `//` / `/* */` delimiters.
+    pub text: String,
+}
+
+/// The lexer output: code tokens plus the comments stripped from them.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source text. Unknown bytes are skipped rather than rejected:
+/// the lexer is a best-effort front end for heuristisc analyses, not a
+/// conformance checker.
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.tokens.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            if c.is_whitespace() {
+                self.bump();
+            } else if c == '/' && self.peek(1) == Some('/') {
+                self.line_comment(line);
+            } else if c == '/' && self.peek(1) == Some('*') {
+                self.block_comment(line);
+            } else if c == '"' {
+                self.string_literal(line);
+            } else if c == '\'' {
+                self.quote(line);
+            } else if c.is_ascii_digit() {
+                self.number(line);
+            } else if c.is_alphabetic() || c == '_' {
+                self.ident_or_prefixed_literal(line);
+            } else {
+                self.bump();
+                self.push(TokKind::Punct, c.to_string(), line);
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                    self.bump();
+                    self.bump();
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// Plain (escaped) string starting at the opening `"`.
+    fn string_literal(&mut self, line: u32) {
+        self.bump();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, "\"..\"".to_string(), line);
+    }
+
+    /// Raw string starting at `r`/`br` with `hashes` pound signs consumed
+    /// up to and including the opening `"`.
+    fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(0) == Some('#') {
+                    matched += 1;
+                    self.bump();
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        self.push(TokKind::Literal, "r\"..\"".to_string(), line);
+    }
+
+    /// `'` starts either a lifetime/label or a char literal.
+    fn quote(&mut self, line: u32) {
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_lifetime =
+            matches!(next, Some(c) if c.is_alphabetic() || c == '_') && after != Some('\'');
+        if is_lifetime {
+            self.bump();
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.out.tokens.push(Tok { kind: TokKind::Lifetime, text, line });
+        } else {
+            self.bump();
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(TokKind::Literal, "'.'".to_string(), line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && matches!(self.peek(1), Some(d) if d.is_ascii_digit()) {
+                // decimal point only when a digit follows, so `1.max(2)`
+                // and `0.lock()` keep their method-call dots
+                text.push(c);
+                self.bump();
+            } else if (c == '+' || c == '-') && matches!(text.chars().last(), Some('e' | 'E')) {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Literal, text, line);
+    }
+
+    fn ident_or_prefixed_literal(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // string-literal prefixes: r"", r#""#, b"", br"", br#""#
+        match (text.as_str(), self.peek(0)) {
+            ("r" | "br" | "rb", Some('"')) => {
+                self.bump();
+                self.raw_string_body(0, line);
+                return;
+            }
+            ("r" | "br" | "rb", Some('#')) => {
+                // raw string r#".."# — or a raw identifier r#ident
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..=hashes {
+                        self.bump();
+                    }
+                    self.raw_string_body(hashes, line);
+                    return;
+                }
+                if text == "r" && hashes == 1 {
+                    // raw identifier: token is the identifier itself
+                    self.bump();
+                    let mut ident = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c.is_alphanumeric() || c == '_' {
+                            ident.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokKind::Ident, ident, line);
+                    return;
+                }
+            }
+            ("b", Some('"')) => {
+                self.string_literal(line);
+                return;
+            }
+            ("b", Some('\'')) => {
+                self.quote(line);
+                return;
+            }
+            _ => {}
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_code() {
+        let lexed = lex(r##"
+            // Instant::now in a comment
+            /* and .unwrap() in /* a nested */ block */
+            let s = "Instant::now()";
+            let r = r#"also .lock() here"#;
+            real_ident();
+        "##);
+        let names: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Ident).map(|t| &t.text).collect();
+        assert!(names.contains(&&"real_ident".to_string()));
+        assert!(!names.iter().any(|n| *n == "Instant" || *n == "unwrap" || *n == "lock"));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("Instant::now"));
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; }");
+        let lifetimes: Vec<_> =
+            lexed.tokens.iter().filter(|t| t.kind == TokKind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        let literals = lexed.tokens.iter().filter(|t| t.kind == TokKind::Literal).count();
+        assert_eq!(literals, 2, "two char literals");
+    }
+
+    #[test]
+    fn numbers_keep_method_call_dots() {
+        let lexed = lex("let a = 1.5e-3; let b = 2.max(3); h.observe(0.5);");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("max")));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Literal && t.text == "1.5e-3"));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Literal && t.text == "0.5"));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let lexed = lex("a\nb\n\nc");
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

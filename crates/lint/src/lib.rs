@@ -1,0 +1,216 @@
+//! `coda-lint` — workspace invariant checker (DESIGN.md §10).
+//!
+//! Three whole-workspace static analyses over a hand-rolled token stream
+//! (the offline build vendors no `syn`):
+//!
+//! 1. **Determinism** ([`determinism`]) — no wall clocks or ambient RNGs
+//!    outside the `coda-obs` `Clock` impls and bench binaries, so
+//!    same-seed runs replay byte-identically (never baselineable);
+//! 2. **Panic safety** ([`panics`]) — no `unwrap`/`expect`/`panic!`-family
+//!    calls in library-crate non-test code;
+//! 3. **Lock order** ([`locks`]) — an intra-/inter-procedural acquisition
+//!    graph over every `Mutex`/`RwLock` site, reporting cycles
+//!    (potential deadlocks), non-reentrant re-acquisition, and guards held
+//!    across `spawn`/`send`.
+//!
+//! Pre-existing violations are frozen by the one-way ratchet in
+//! [`baseline`]; the escape hatch is a `// lint:allow(<rule>) <reason>`
+//! comment whose reason is mandatory.
+//!
+//! # Examples
+//!
+//! ```
+//! use coda_lint::{analyze_sources, CrateKind, Rule};
+//!
+//! let src = "fn f() { let t = std::time::Instant::now(); }";
+//! let findings = analyze_sources(vec![("lib.rs".into(), CrateKind::Library, src.into())]);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, Rule::Determinism);
+//! ```
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod baseline;
+pub mod determinism;
+pub mod lexer;
+pub mod locks;
+pub mod panics;
+pub mod source;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use baseline::{Baseline, RatchetCheck};
+pub use locks::LockReport;
+pub use source::{CrateKind, SourceFile};
+
+/// The lint rules. `as_str` names are what `// lint:allow(<rule>)` takes
+/// and what baseline keys use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall clock / ambient RNG outside the Clock impls.
+    Determinism,
+    /// Panicking call/macro in library non-test code.
+    PanicSafety,
+    /// Lock-order cycle or non-reentrant re-acquisition.
+    LockOrder,
+    /// Guard held across a `spawn` or channel `send`.
+    LockAcrossSpawn,
+    /// `lint:allow` escape hatch without a justification.
+    AllowMissingReason,
+}
+
+impl Rule {
+    /// Stable rule name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::PanicSafety => "panic_safety",
+            Rule::LockOrder => "lock_order",
+            Rule::LockAcrossSpawn => "lock_across_spawn",
+            Rule::AllowMissingReason => "allow_missing_reason",
+        }
+    }
+
+    /// Whether pre-existing violations of this rule may be frozen in the
+    /// baseline. Determinism violations and reason-less escape hatches
+    /// always fail.
+    pub fn is_baselineable(self) -> bool {
+        !matches!(self, Rule::Determinism | Rule::AllowMissingReason)
+    }
+}
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule violated.
+    pub rule: Rule,
+    /// Workspace-relative file (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.as_str(), self.message)
+    }
+}
+
+/// Runs all analyses over in-memory sources: `(rel path, kind, text)`.
+/// Returns surviving findings, sorted by `(file, line, rule)`; findings
+/// covered by a `lint:allow` directive *with a reason* are suppressed, and
+/// every reason-less directive yields an [`Rule::AllowMissingReason`]
+/// finding of its own.
+pub fn analyze_sources(files: Vec<(String, CrateKind, String)>) -> Vec<Finding> {
+    let sources: Vec<SourceFile> =
+        files.iter().map(|(rel, kind, text)| SourceFile::parse(rel, *kind, text)).collect();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for sf in &sources {
+        findings.extend(determinism::check(sf));
+        findings.extend(panics::check(sf));
+    }
+    findings.extend(locks::check(&sources).findings);
+
+    // escape hatch: suppress allowed findings, flag reason-less directives
+    let mut out: Vec<Finding> = Vec::new();
+    for f in findings {
+        let covered = sources
+            .iter()
+            .find(|sf| sf.rel == f.file)
+            .and_then(|sf| sf.allow_for(f.rule.as_str(), f.line));
+        match covered {
+            Some(allow) if !allow.reason.is_empty() => {}
+            _ => out.push(f),
+        }
+    }
+    for sf in &sources {
+        for allow in &sf.allows {
+            if allow.reason.is_empty() {
+                out.push(Finding {
+                    rule: Rule::AllowMissingReason,
+                    file: sf.rel.clone(),
+                    line: allow.line,
+                    message: format!(
+                        "`lint:allow({})` without a justification — write \
+                         `// lint:allow({}) <why this site is safe>`",
+                        allow.rule, allow.rule
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+/// Discovers and analyzes every covered file under the workspace `root`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the workspace walk.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(analyze_sources(walk::workspace_files(root)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> Vec<(String, CrateKind, String)> {
+        vec![("lib.rs".to_string(), CrateKind::Library, src.to_string())]
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses() {
+        let findings = analyze_sources(lib(
+            "fn f() -> u32 {\n    // lint:allow(panic_safety) the map is non-empty by construction\n    m.get(0).unwrap()\n}\n",
+        ));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress_and_is_flagged() {
+        let findings = analyze_sources(lib(
+            "fn f() -> u32 {\n    // lint:allow(panic_safety)\n    m.get(0).unwrap()\n}\n",
+        ));
+        let rules: Vec<Rule> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&Rule::PanicSafety), "{findings:?}");
+        assert!(rules.contains(&Rule::AllowMissingReason), "{findings:?}");
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let findings = analyze_sources(lib(
+            "fn f() {\n    // lint:allow(determinism) wrong rule\n    x.unwrap();\n}\n",
+        ));
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::PanicSafety);
+    }
+
+    #[test]
+    fn binary_files_skip_panic_and_determinism_but_not_locks() {
+        let findings = analyze_sources(vec![(
+            "src/bin/tool.rs".to_string(),
+            CrateKind::Binary,
+            "fn main() {\n let t = std::time::Instant::now();\n x.unwrap();\n \
+             let a = s.alpha.lock();\n let b = s.beta.lock();\n let g = held.lock();\n \
+             std::thread::spawn(move || {});\n}\n"
+                .to_string(),
+        )]);
+        assert!(findings.iter().all(|f| f.rule == Rule::LockAcrossSpawn), "{findings:?}");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let findings =
+            analyze_sources(lib("#[cfg(test)]\nmod tests {\n fn helper() { x.unwrap(); \
+             let t = std::time::Instant::now(); }\n}\n"));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,144 @@
+//! `coda-lint` CLI — the CI gate.
+//!
+//! ```text
+//! cargo run -p coda-lint -- [--root <dir>] [--baseline lint-baseline.json]
+//!                           [--write-baseline]
+//! ```
+//!
+//! Exit codes: `0` clean (or exactly ratcheted against the baseline),
+//! `1` violations / ratchet failure, `2` usage or I/O error.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use coda_lint::baseline::{key_of, Baseline};
+use coda_lint::{analyze_workspace, walk, Finding};
+
+struct Args {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { root: None, baseline: None, write_baseline: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root =
+                    Some(PathBuf::from(it.next().ok_or("--root needs a directory argument")?));
+            }
+            "--baseline" => {
+                args.baseline =
+                    Some(PathBuf::from(it.next().ok_or("--baseline needs a file argument")?));
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "coda-lint: workspace invariant checker\n\n\
+                     USAGE: coda-lint [--root <dir>] [--baseline <file>] [--write-baseline]\n\n\
+                     Analyses: determinism (never baselineable), panic_safety, lock_order,\n\
+                     lock_across_spawn. Escape hatch: `// lint:allow(<rule>) <reason>`."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(failed) => {
+            if failed {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(msg) => {
+            eprintln!("coda-lint: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            walk::find_root(&cwd).ok_or("no workspace root found (pass --root)")?
+        }
+    };
+    let findings = analyze_workspace(&root).map_err(|e| e.to_string())?;
+    let (hard, soft): (Vec<&Finding>, Vec<&Finding>) =
+        findings.iter().partition(|f| !f.rule.is_baselineable());
+
+    for f in &hard {
+        println!("{f}  [not baselineable]");
+    }
+
+    if args.write_baseline {
+        let path = args.baseline.unwrap_or_else(|| root.join("lint-baseline.json"));
+        let base = Baseline::from_findings(&findings);
+        let frozen: u64 = base.entries.values().sum();
+        base.save(&path)?;
+        println!(
+            "wrote {} ({} finding(s) across {} file/rule entries frozen)",
+            path.display(),
+            frozen,
+            base.entries.len()
+        );
+        print_summary(&findings);
+        return Ok(!hard.is_empty());
+    }
+
+    let Some(baseline_path) = args.baseline else {
+        for f in &soft {
+            println!("{f}");
+        }
+        print_summary(&findings);
+        return Ok(!findings.is_empty());
+    };
+
+    let base = Baseline::load(&baseline_path)?;
+    let check = base.check(&findings);
+    for (key, (frozen, current)) in &check.grown {
+        println!("NEW: {key}: {current} violation(s), baseline froze {frozen}:");
+        for f in soft.iter().filter(|f| key_of(f) == *key) {
+            println!("  {f}");
+        }
+    }
+    for (key, (frozen, current)) in &check.stale {
+        println!(
+            "STALE: {key}: baseline froze {frozen} but only {current} remain — the ratchet \
+             only shrinks; run `cargo run -p coda-lint -- --write-baseline` and commit"
+        );
+    }
+    let failed = !check.is_clean() || !hard.is_empty();
+    if failed {
+        print_summary(&findings);
+    } else {
+        let frozen: u64 = base.entries.values().sum();
+        println!(
+            "coda-lint: clean — 0 new violations ({frozen} frozen in {})",
+            baseline_path.display()
+        );
+    }
+    Ok(failed)
+}
+
+fn print_summary(findings: &[Finding]) {
+    let mut by_rule: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in findings {
+        *by_rule.entry(f.rule.as_str()).or_insert(0) += 1;
+    }
+    let total: usize = by_rule.values().sum();
+    let detail: Vec<String> = by_rule.iter().map(|(r, n)| format!("{r}: {n}")).collect();
+    println!("coda-lint: {total} finding(s) [{}]", detail.join(", "));
+}

@@ -1,0 +1,58 @@
+//! Panic-safety lint: library crates must not contain `unwrap`/`expect`/
+//! `panic!`/`unreachable!`/`todo!`/`unimplemented!` in non-test code — an
+//! injected fault (coda-chaos) that reaches one turns a recoverable error
+//! into a process abort. Existing sites are frozen in the ratcheting
+//! baseline and burned down over time; new ones fail CI. Invariant-backed
+//! sites carry a `// lint:allow(panic_safety) <reason>` escape hatch.
+
+use crate::source::{CrateKind, SourceFile};
+use crate::{Finding, Rule};
+
+/// Scans one library-crate file for panicking calls/macros.
+pub fn check(sf: &SourceFile) -> Vec<Finding> {
+    if sf.kind == CrateKind::Binary {
+        return Vec::new();
+    }
+    let toks = &sf.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if sf.in_test(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let method_call = |name: &str| {
+            t.is_ident(name)
+                && matches!(toks.get(i.wrapping_sub(1)), Some(d) if d.is_punct('.'))
+                && matches!(toks.get(i + 1), Some(o) if o.is_punct('('))
+        };
+        let bang_macro =
+            |name: &str| t.is_ident(name) && matches!(toks.get(i + 1), Some(b) if b.is_punct('!'));
+        let what = if method_call("unwrap") {
+            Some("`.unwrap()`")
+        } else if method_call("expect") {
+            Some("`.expect()`")
+        } else if bang_macro("panic") {
+            Some("`panic!`")
+        } else if bang_macro("unreachable") {
+            Some("`unreachable!`")
+        } else if bang_macro("todo") {
+            Some("`todo!`")
+        } else if bang_macro("unimplemented") {
+            Some("`unimplemented!`")
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            out.push(Finding {
+                rule: Rule::PanicSafety,
+                file: sf.rel.clone(),
+                line: t.line,
+                message: format!(
+                    "{what} in library code — return a typed error, or justify with \
+                     `// lint:allow(panic_safety) <reason>`"
+                ),
+            });
+        }
+    }
+    out
+}

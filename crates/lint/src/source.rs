@@ -1,0 +1,252 @@
+//! Per-file source model shared by the analyses: the token stream, the
+//! token ranges that belong to test-only code (`#[cfg(test)]` modules,
+//! `#[test]` functions, `#[cfg(loom)]` items), and the parsed
+//! `// lint:allow(<rule>) <reason>` escape-hatch directives.
+
+use crate::lexer::{lex, Comment, Lexed, Tok};
+
+/// How the containing crate target is linted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateKind {
+    /// A library crate: all three analyses apply.
+    Library,
+    /// A binary/bench target: panic-safety and determinism are waived
+    /// (binaries own their top-level error reporting and may measure real
+    /// wall time); lock-order still applies.
+    Binary,
+}
+
+/// One `// lint:allow(<rule>) <reason>` directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// The rule name inside the parentheses.
+    pub rule: String,
+    /// The justification after the closing parenthesis, trimmed.
+    pub reason: String,
+}
+
+/// A lexed file plus the derived facts the analyses consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes.
+    pub rel: String,
+    /// Lint profile of the owning target.
+    pub kind: CrateKind,
+    /// The code tokens.
+    pub tokens: Vec<Tok>,
+    /// Escape-hatch directives found in comments.
+    pub allows: Vec<AllowDirective>,
+    /// Half-open token index ranges that are test-only code.
+    test_ranges: Vec<(usize, usize)>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and derives test ranges and allow directives.
+    pub fn parse(rel: &str, kind: CrateKind, text: &str) -> SourceFile {
+        let Lexed { tokens, comments } = lex(text);
+        let test_ranges = find_test_ranges(&tokens);
+        let allows = parse_allows(&comments);
+        SourceFile { rel: rel.to_string(), kind, tokens, allows, test_ranges }
+    }
+
+    /// True when token index `i` lies inside test-only code.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_ranges.iter().any(|&(s, e)| i >= s && i < e)
+    }
+
+    /// The allow directive covering `line` for `rule`, if any: a directive
+    /// suppresses findings on its own line (trailing comment) and on the
+    /// line directly below it (comment-above style).
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&AllowDirective> {
+        self.allows.iter().find(|a| a.rule == rule && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Extracts `lint:allow(rule) reason` directives from comment text.
+fn parse_allows(comments: &[Comment]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("lint:allow(") else { continue };
+        let rest = &c.text[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { continue };
+        let rule = rest[..close].trim().to_string();
+        let reason = rest[close + 1..].trim().trim_start_matches(['-', ':']).trim().to_string();
+        out.push(AllowDirective { line: c.line, rule, reason });
+    }
+    out
+}
+
+/// Finds token ranges belonging to test-gated items. An attribute whose
+/// tokens mention the bare idents `test` or `loom` (covering `#[test]`,
+/// `#[cfg(test)]`, `#[cfg(all(test, ...))]`, `#[cfg(loom)]`) marks the item
+/// that follows — through any further attributes — up to the end of its
+/// brace-delimited body, or to the terminating `;` for bodiless items.
+fn find_test_ranges(tokens: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !tokens[i].is_punct('#') {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut j = i + 1;
+        let inner = j < tokens.len() && tokens[j].is_punct('!');
+        if inner {
+            j += 1;
+        }
+        if j >= tokens.len() || !tokens[j].is_punct('[') {
+            i += 1;
+            continue;
+        }
+        // scan the attribute body to its matching `]`
+        let mut depth = 0i32;
+        let mut gated = false;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            } else if t.is_ident("test") || t.is_ident("loom") {
+                gated = true;
+            }
+            j += 1;
+        }
+        if !gated {
+            i = j;
+            continue;
+        }
+        if inner {
+            // `#![cfg(test)]` gates the whole file
+            return vec![(0, tokens.len())];
+        }
+        // skip any further attributes on the same item
+        while j < tokens.len() && tokens[j].is_punct('#') {
+            let mut d = 0i32;
+            j += 1;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct('[') {
+                    d += 1;
+                } else if t.is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // the item runs to its matching closing brace (or a `;` reached
+        // outside parens/brackets before any brace opens)
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let end = loop {
+            if j >= tokens.len() {
+                break tokens.len();
+            }
+            let t = &tokens[j];
+            if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct('[') {
+                bracket += 1;
+            } else if t.is_punct(']') {
+                bracket -= 1;
+            } else if t.is_punct(';') && paren == 0 && bracket == 0 {
+                break j + 1;
+            } else if t.is_punct('{') && paren == 0 && bracket == 0 {
+                let mut braces = 0i32;
+                break loop {
+                    if j >= tokens.len() {
+                        break tokens.len();
+                    }
+                    if tokens[j].is_punct('{') {
+                        braces += 1;
+                    } else if tokens[j].is_punct('}') {
+                        braces -= 1;
+                        if braces == 0 {
+                            break j + 1;
+                        }
+                    }
+                    j += 1;
+                };
+            }
+            j += 1;
+        };
+        ranges.push((attr_start, end));
+        i = end;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs", CrateKind::Library, src)
+    }
+
+    fn ident_pos(sf: &SourceFile, name: &str) -> usize {
+        sf.tokens.iter().position(|t| t.is_ident(name)).unwrap()
+    }
+
+    #[test]
+    fn cfg_test_module_is_a_test_range() {
+        let sf =
+            parse("fn live() {}\n#[cfg(test)]\nmod tests {\n fn gated() {}\n}\nfn after() {}\n");
+        assert!(!sf.in_test(ident_pos(&sf, "live")));
+        assert!(sf.in_test(ident_pos(&sf, "gated")));
+        assert!(!sf.in_test(ident_pos(&sf, "after")));
+    }
+
+    #[test]
+    fn test_fn_and_loom_items_are_gated() {
+        let sf = parse(
+            "#[test]\nfn a_test() { x.unwrap(); }\n#[cfg(loom)]\nfn model() {}\nfn live() {}\n",
+        );
+        assert!(sf.in_test(ident_pos(&sf, "a_test")));
+        assert!(sf.in_test(ident_pos(&sf, "model")));
+        assert!(!sf.in_test(ident_pos(&sf, "live")));
+    }
+
+    #[test]
+    fn stacked_attributes_stay_attached() {
+        let sf = parse("#[test]\n#[ignore]\nfn slow() { body(); }\nfn live() {}\n");
+        assert!(sf.in_test(ident_pos(&sf, "body")));
+        assert!(!sf.in_test(ident_pos(&sf, "live")));
+    }
+
+    #[test]
+    fn allow_directives_parse_rule_and_reason() {
+        let sf = parse(
+            "let a = 1; // lint:allow(panic_safety) checked above\n\
+             // lint:allow(determinism)\nlet b = 2;\n",
+        );
+        assert_eq!(sf.allows.len(), 2);
+        assert_eq!(sf.allows[0].rule, "panic_safety");
+        assert_eq!(sf.allows[0].reason, "checked above");
+        assert_eq!(sf.allows[1].rule, "determinism");
+        assert_eq!(sf.allows[1].reason, "");
+        assert!(sf.allow_for("panic_safety", 1).is_some());
+        assert!(sf.allow_for("determinism", 3).is_some(), "covers the next line");
+        assert!(sf.allow_for("determinism", 4).is_none());
+    }
+
+    #[test]
+    fn non_test_attributes_do_not_gate() {
+        let sf = parse("#[derive(Debug, Clone)]\nstruct S { f: u32 }\nfn live() {}\n");
+        assert!(!sf.in_test(ident_pos(&sf, "S")));
+        assert!(!sf.in_test(ident_pos(&sf, "live")));
+    }
+}

@@ -1,0 +1,97 @@
+//! Workspace discovery: enumerates the `.rs` files the analyses cover and
+//! classifies each by lint profile. Covered: the root package's `src/` and
+//! every `crates/*/src/`. Excluded: `vendor/` (offline stand-in crates we
+//! don't own), `target/`, integration `tests/`, `examples/`, `benches/`,
+//! and `crates/lint/fixtures/` (deliberately-violating snippets).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::source::CrateKind;
+
+/// One discovered file: workspace-relative path (forward slashes), lint
+/// profile, and contents.
+pub type FileEntry = (String, CrateKind, String);
+
+/// Crates whose targets are binaries/benches end to end: panic-safety and
+/// determinism are waived there (they report to humans and measure real
+/// wall time by design).
+const BINARY_CRATES: &[&str] = &["bench"];
+
+/// Enumerates all analyzable files under `root`, deterministically sorted.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from directory walks and file reads.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<FileEntry>> {
+    let mut out: Vec<FileEntry> = Vec::new();
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        collect(&root_src, root, CrateKind::Library, &mut out)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> =
+            fs::read_dir(&crates_dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if !src.is_dir() {
+                continue;
+            }
+            let name = member.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            let kind =
+                if BINARY_CRATES.contains(&name) { CrateKind::Binary } else { CrateKind::Library };
+            collect(&src, root, kind, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir`; files under a `bin/`
+/// directory are binary targets regardless of the crate's profile.
+fn collect(dir: &Path, root: &Path, kind: CrateKind, out: &mut Vec<FileEntry>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "fixtures" | "target" | "tests" | "examples" | "benches") {
+                continue;
+            }
+            let child_kind = if name == "bin" { CrateKind::Binary } else { kind };
+            collect(&path, root, child_kind, out)?;
+        } else if name.ends_with(".rs") {
+            let file_kind = if name == "main.rs" { CrateKind::Binary } else { kind };
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let text = fs::read_to_string(&path)?;
+            out.push((rel, file_kind, text));
+        }
+    }
+    Ok(())
+}
+
+/// Finds the workspace root: ascends from `start` looking for a
+/// `Cargo.toml` declaring `[workspace]`.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}

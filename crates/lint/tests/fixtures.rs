@@ -1,0 +1,135 @@
+//! The fixture suite: proves every rule fires on its planted violation,
+//! the escape hatch behaves (reasoned allows suppress, bare allows are
+//! themselves findings), and the baseline only ratchets one way.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use coda_lint::baseline::Baseline;
+use coda_lint::{analyze_sources, CrateKind, Finding, Rule};
+
+fn fixture(name: &str) -> Vec<Finding> {
+    let path = format!("{}/fixtures/{name}.rs", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    analyze_sources(vec![(format!("fixtures/{name}.rs"), CrateKind::Library, text)])
+}
+
+fn rules(findings: &[Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn determinism_fixture_fires_on_every_pattern() {
+    let findings = fixture("determinism");
+    assert_eq!(findings.len(), 5, "{findings:#?}");
+    assert!(rules(&findings).iter().all(|r| *r == Rule::Determinism), "{findings:#?}");
+    let hits: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+    for pat in ["Instant::now", "SystemTime::now", "thread_rng", "rand::random", "elapsed"] {
+        assert!(hits.iter().any(|m| m.contains(pat)), "missing `{pat}` in {hits:#?}");
+    }
+}
+
+#[test]
+fn determinism_findings_are_never_baselineable() {
+    let findings = fixture("determinism");
+    let base = Baseline::from_findings(&findings);
+    assert!(base.entries.is_empty(), "determinism must not be freezable: {base:?}");
+}
+
+#[test]
+fn panic_safety_fixture_fires_outside_tests_only() {
+    let findings = fixture("panic_safety");
+    assert_eq!(findings.len(), 5, "{findings:#?}");
+    assert!(rules(&findings).iter().all(|r| *r == Rule::PanicSafety), "{findings:#?}");
+    // the #[cfg(test)] module at the bottom holds an unwrap that must NOT fire
+    let last_finding_line = findings.iter().map(|f| f.line).max().unwrap_or(0);
+    assert!(last_finding_line < 22, "test-module unwrap leaked into findings: {findings:#?}");
+}
+
+#[test]
+fn lock_cycle_fixture_detects_the_ab_ba_deadlock() {
+    let findings = fixture("lock_cycle");
+    let cycles: Vec<&Finding> = findings.iter().filter(|f| f.rule == Rule::LockOrder).collect();
+    assert!(!cycles.is_empty(), "AB/BA cycle missed: {findings:#?}");
+    assert!(
+        cycles.iter().any(|f| f.message.contains("Pair.alpha") && f.message.contains("Pair.beta")),
+        "cycle report must name both locks: {cycles:#?}"
+    );
+}
+
+#[test]
+fn lock_across_spawn_fixture_fires_for_spawn_and_send() {
+    let findings = fixture("lock_across_spawn");
+    let held: Vec<&Finding> = findings.iter().filter(|f| f.rule == Rule::LockAcrossSpawn).collect();
+    assert_eq!(held.len(), 2, "{findings:#?}");
+}
+
+#[test]
+fn allowed_fixture_is_fully_suppressed() {
+    let findings = fixture("allowed");
+    assert!(findings.is_empty(), "reasoned allows must suppress: {findings:#?}");
+}
+
+#[test]
+fn bare_allow_suppresses_nothing_and_is_flagged() {
+    let findings = fixture("allow_missing_reason");
+    let rules = rules(&findings);
+    assert!(rules.contains(&Rule::PanicSafety), "violation must survive: {findings:#?}");
+    assert!(rules.contains(&Rule::AllowMissingReason), "directive must be flagged: {findings:#?}");
+}
+
+#[test]
+fn ratchet_fails_when_a_fixture_violation_is_added() {
+    // freeze a baseline over the clean state, then "commit" a fixture
+    // violation on top: the gate must report growth, not absorb it
+    let clean = fixture("allowed");
+    let base = Baseline::from_findings(&clean);
+    let with_new = fixture("panic_safety");
+    let check = base.check(&with_new);
+    assert!(!check.is_clean(), "a new violation slid past the ratchet");
+    assert!(check.grown.keys().any(|k| k.starts_with("panic_safety|")), "{check:#?}");
+}
+
+#[test]
+fn ratchet_fails_when_the_baseline_is_stale() {
+    // freeze the fixture's violations, then fix them all: the oversized
+    // baseline itself must fail until regenerated — the one-way ratchet
+    let dirty = fixture("panic_safety");
+    let base = Baseline::from_findings(&dirty);
+    let check = base.check(&fixture("allowed"));
+    assert!(!check.is_clean(), "a stale baseline must not pass silently");
+    assert!(check.grown.is_empty(), "{check:#?}");
+    assert!(!check.stale.is_empty(), "{check:#?}");
+}
+
+#[test]
+fn grown_baseline_file_round_trips_through_disk() {
+    // the CLI path: save a frozen baseline, reload it, ratchet against a
+    // grown finding set — growth must survive the disk round-trip
+    let dir = std::env::temp_dir().join("coda-lint-fixture-test");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+    let path = dir.join("baseline.json");
+    let base = Baseline::from_findings(&fixture("allowed"));
+    base.save(&path).expect("save baseline");
+    let loaded = Baseline::load(&path).expect("load baseline");
+    assert_eq!(loaded, base);
+    assert!(!loaded.check(&fixture("panic_safety")).is_clean());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn the_workspace_walker_skips_the_fixture_tree() {
+    // the planted violations must never reach the real gate
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root");
+    let files = coda_lint::walk::workspace_files(root).expect("walk workspace");
+    assert!(
+        files.iter().all(|(rel, _, _)| !rel.contains("fixtures/")),
+        "fixture files leaked into the workspace walk"
+    );
+    assert!(
+        files.iter().any(|(rel, _, _)| rel == "crates/lint/src/lib.rs"),
+        "walker lost the lint crate itself"
+    );
+}

@@ -215,7 +215,7 @@ impl TraceForest {
             .copied()
             .max_by(|a, b| {
                 let (da, db) = (self.spans[&a.0].duration_ms(), self.spans[&b.0].duration_ms());
-                da.partial_cmp(&db).unwrap().then(b.0.cmp(&a.0))
+                da.total_cmp(&db).then(b.0.cmp(&a.0))
             })
             .into_iter()
             .next();
@@ -225,7 +225,7 @@ impl TraceForest {
             path.push(id);
             cursor = self.spans[&id.0].children.iter().copied().max_by(|a, b| {
                 let (ea, eb) = (self.spans[&a.0].end_ms, self.spans[&b.0].end_ms);
-                ea.partial_cmp(&eb).unwrap().then(b.0.cmp(&a.0))
+                ea.total_cmp(&eb).then(b.0.cmp(&a.0))
             });
         }
         path
@@ -301,7 +301,9 @@ impl TraceForest {
         let mut top = BTreeMap::new();
         top.insert("displayTimeUnit".to_string(), Value::Str("ms".to_string()));
         top.insert("traceEvents".to_string(), Value::Array(trace_events));
-        serde_json::to_string(&Value::Object(top)).expect("value rendering is infallible")
+        // value-model rendering is infallible; an empty string would only
+        // appear if the vendored serde_json grew a real error path
+        serde_json::to_string(&Value::Object(top)).unwrap_or_default()
     }
 
     /// Parses Chrome trace-event JSON produced by

@@ -22,6 +22,8 @@
 //! assert_eq!(parsed, snap);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod analyze;
 pub mod clock;
 pub mod metrics;

@@ -262,7 +262,9 @@ impl MetricsSnapshot {
 
     /// Serializes the snapshot to a JSON string.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("snapshot values are always representable")
+        // value-model rendering is infallible; an empty string would only
+        // appear if the vendored serde_json grew a real error path
+        serde_json::to_string(self).unwrap_or_default()
     }
 
     /// Parses a snapshot back from JSON.

@@ -3,6 +3,8 @@
 //! into a coherent forest with no orphaned parents, because parenting
 //! state is kept per thread and ids are allocated atomically.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use coda_obs::{Obs, SpanId};
 use proptest::prelude::*;
 

@@ -106,7 +106,8 @@ impl CachingClient {
     /// [`ClientError`] when a received delta cannot be applied.
     pub fn pull(&mut self, store: &mut HomeDataStore, object: &str) -> Result<bool, ClientError> {
         let held = self.held_version(object);
-        let Some(reply) = store.fetch(object, held).expect("infallible") else {
+        let Ok(fetched) = store.fetch(object, held);
+        let Some(reply) = fetched else {
             return Ok(false);
         };
         self.bytes_received += reply.wire_size() as u64;

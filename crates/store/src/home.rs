@@ -230,58 +230,50 @@ impl HomeDataStore {
         for (v, old) in &entry.history {
             entry.deltas.insert(*v, DeltaCodec::encode(old, &cur_data, *v, cur_version));
         }
+        // push deltas always step from the immediately preceding version
+        let prev_delta = entry.deltas.get(&(cur_version - 1)).cloned();
         // push to lease holders
         let mut messages = Vec::new();
         let now = self.clock;
-        let object = self.objects.get(id).expect("just inserted");
         for lease in self.leases.iter().filter(|l| l.object == id && l.expires_at > now) {
             let msg = match lease.mode {
                 PushMode::Full => {
-                    self.stats.record_full(object.data.len());
+                    self.stats.record_full(cur_data.len());
                     UpdateMessage::Full {
                         client: lease.client.clone(),
                         object: id.to_string(),
                         version: cur_version,
-                        data: object.data.clone(),
-                        checksum: content_hash(&object.data),
+                        data: cur_data.clone(),
+                        checksum: content_hash(&cur_data),
                         ctx: push_ctx,
                     }
                 }
-                PushMode::Delta => {
-                    // delta from the immediately preceding version when kept
-                    match object.deltas.get(&(cur_version - 1)) {
-                        Some(d)
-                            if (d.wire_size() as f64)
-                                < DELTA_ADVANTAGE * object.data.len() as f64 =>
-                        {
-                            self.stats.record_delta(d.wire_size());
-                            UpdateMessage::Delta {
-                                client: lease.client.clone(),
-                                object: id.to_string(),
-                                delta: d.clone(),
-                                ctx: push_ctx,
-                            }
-                        }
-                        _ => {
-                            self.stats.record_full(object.data.len());
-                            UpdateMessage::Full {
-                                client: lease.client.clone(),
-                                object: id.to_string(),
-                                version: cur_version,
-                                data: object.data.clone(),
-                                checksum: content_hash(&object.data),
-                                ctx: push_ctx,
-                            }
+                PushMode::Delta => match prev_delta.as_ref() {
+                    Some(d) if (d.wire_size() as f64) < DELTA_ADVANTAGE * cur_data.len() as f64 => {
+                        self.stats.record_delta(d.wire_size());
+                        UpdateMessage::Delta {
+                            client: lease.client.clone(),
+                            object: id.to_string(),
+                            delta: d.clone(),
+                            ctx: push_ctx,
                         }
                     }
-                }
+                    _ => {
+                        self.stats.record_full(cur_data.len());
+                        UpdateMessage::Full {
+                            client: lease.client.clone(),
+                            object: id.to_string(),
+                            version: cur_version,
+                            data: cur_data.clone(),
+                            checksum: content_hash(&cur_data),
+                            ctx: push_ctx,
+                        }
+                    }
+                },
                 PushMode::NotifyOnly => {
                     self.stats.record_notification();
-                    let changed = object
-                        .deltas
-                        .get(&(cur_version - 1))
-                        .map(|d| d.literal_bytes())
-                        .unwrap_or(object.data.len());
+                    let changed =
+                        prev_delta.as_ref().map(|d| d.literal_bytes()).unwrap_or(cur_data.len());
                     UpdateMessage::Notify {
                         client: lease.client.clone(),
                         object: id.to_string(),

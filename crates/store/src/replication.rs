@@ -229,10 +229,8 @@ impl ReplicatedStore {
             .collect();
         for i in order {
             if self.sites[i].up {
-                return Ok(self.sites[i]
-                    .store
-                    .fetch_in(id, client_version, ctx)
-                    .expect("infallible"));
+                let Ok(reply) = self.sites[i].store.fetch_in(id, client_version, ctx);
+                return Ok(reply);
             }
         }
         Err(ReplicationError::AllSitesDown)

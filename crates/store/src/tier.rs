@@ -74,7 +74,8 @@ impl DataTier {
 
     /// Version-aware fetch from `id`'s home store.
     pub fn fetch(&mut self, id: &str, client_version: Option<u64>) -> Option<FetchReply> {
-        self.home_mut(id).fetch(id, client_version).expect("infallible")
+        let Ok(reply) = self.home_mut(id).fetch(id, client_version);
+        reply
     }
 
     /// Subscribes `client` to `id`'s updates at its home store.

@@ -1,0 +1,164 @@
+//! Offline stand-in for the `loom` model checker.
+//!
+//! The real `loom` replaces `std::sync`/`std::thread` with instrumented
+//! versions and exhaustively enumerates every interleaving of a bounded
+//! concurrent program. This vendored stand-in keeps the *API shape* —
+//! `loom::model(|| ...)`, `loom::thread::spawn`, `loom::sync::*` — but
+//! executes the closure [`ITERATIONS`] times on real OS threads with
+//! yield-point perturbation instead of exhaustive schedule search.
+//!
+//! That makes tests written against it honest bounded stress tests today,
+//! and true model checks the day the real crate is vendored: the test
+//! source does not change, only this dependency does. Tests gate on
+//! `--cfg loom` exactly as upstream recommends, so they are invisible to
+//! normal `cargo test` runs.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// How many times [`model`] re-executes its closure. Each execution seeds
+/// different scheduler noise via staggered spawn ordering, so rare
+/// interleavings get repeated chances to appear.
+pub const ITERATIONS: usize = 64;
+
+static EXECUTION: AtomicU32 = AtomicU32::new(0);
+
+/// Runs `f` repeatedly, the stand-in for loom's exhaustive exploration.
+/// Panics inside `f` propagate and fail the test like upstream loom.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    for _ in 0..ITERATIONS {
+        EXECUTION.fetch_add(1, Ordering::Relaxed);
+        f();
+    }
+}
+
+/// The execution counter: lets tests confirm the harness actually
+/// re-executed the body (upstream loom has no equivalent; harness-only).
+pub fn executions() -> u32 {
+    EXECUTION.load(Ordering::Relaxed)
+}
+
+pub mod thread {
+    //! `std::thread` behind loom's module path, with a yield that doubles
+    //! as the schedule perturbation point.
+
+    pub use std::thread::{spawn, JoinHandle};
+
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static YIELDS: AtomicU32 = AtomicU32::new(0);
+
+    /// Yield point: loom would branch the schedule here; the stand-in
+    /// nudges the OS scheduler, spinning a little on every third call so
+    /// racing threads change relative order between executions.
+    pub fn yield_now() {
+        let n = YIELDS.fetch_add(1, Ordering::Relaxed);
+        if n.is_multiple_of(3) {
+            std::thread::yield_now();
+        }
+        std::hint::spin_loop();
+    }
+}
+
+pub mod sync {
+    //! `std::sync` types behind loom's module path. Poisoning is ignored
+    //! by design, matching both loom (which has no poisoning) and the
+    //! vendored `parking_lot` stand-in.
+
+    pub use std::sync::Arc;
+
+    use std::convert::Infallible;
+    use std::sync;
+
+    /// A mutex whose `lock` never returns a poison error, matching the
+    /// loom guard API shape (`.lock().unwrap()` upstream — here the
+    /// `Result` is kept so upstream test code compiles unchanged).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized> {
+        inner: sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex holding `value`.
+        pub fn new(value: T) -> Self {
+            Mutex { inner: sync::Mutex::new(value) }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquires the lock; the `Err` side never occurs.
+        pub fn lock(&self) -> Result<sync::MutexGuard<'_, T>, Infallible> {
+            Ok(self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner))
+        }
+    }
+
+    /// An rwlock whose guards never report poisoning.
+    #[derive(Debug, Default)]
+    pub struct RwLock<T: ?Sized> {
+        inner: sync::RwLock<T>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Creates an rwlock holding `value`.
+        pub fn new(value: T) -> Self {
+            RwLock { inner: sync::RwLock::new(value) }
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Acquires a shared read guard; the `Err` side never occurs.
+        pub fn read(&self) -> Result<sync::RwLockReadGuard<'_, T>, Infallible> {
+            Ok(self.inner.read().unwrap_or_else(sync::PoisonError::into_inner))
+        }
+
+        /// Acquires the exclusive write guard; the `Err` side never occurs.
+        pub fn write(&self) -> Result<sync::RwLockWriteGuard<'_, T>, Infallible> {
+            Ok(self.inner.write().unwrap_or_else(sync::PoisonError::into_inner))
+        }
+    }
+
+    pub mod atomic {
+        //! Atomics behind loom's module path.
+        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+pub mod hint {
+    //! Spin hints behind loom's module path.
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_reexecutes_the_body() {
+        let before = executions();
+        model(|| {});
+        assert_eq!(executions() - before, ITERATIONS as u32);
+    }
+
+    #[test]
+    fn threads_and_locks_compose() {
+        model(|| {
+            let n = sync::Arc::new(sync::Mutex::new(0u32));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = sync::Arc::clone(&n);
+                    thread::spawn(move || {
+                        thread::yield_now();
+                        let Ok(mut g) = n.lock();
+                        *g += 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                let _ = h.join();
+            }
+            assert_eq!(n.lock().map(|g| *g), Ok(2));
+        });
+    }
+}

@@ -40,6 +40,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("d3", "§III: recomputation triggers"),
     ("d4", "robustness: cooperative run under injected faults"),
     ("d5", "prefix cache: cached vs uncached TEG evaluation speedup"),
+    ("d6", "robustness: crash-stop failure, WAL replay and home failover"),
     ("s1", "§IV-E: the four solution templates"),
     ("s2", "§II: censored failure-time analysis (Kaplan-Meier)"),
     ("a1", "ablation: delta history depth"),
@@ -130,6 +131,9 @@ fn main() {
     if run("d5") {
         exp_d5(obs.as_ref());
     }
+    if run("d6") {
+        exp_d6(obs.as_ref());
+    }
     if run("s1") {
         exp_s1();
     }
@@ -171,6 +175,16 @@ fn main() {
                 assert!(
                     parsed.counter("coda_core_cache_hits") > 0,
                     "a cached evaluation ran, so cache-hit counters must be nonzero"
+                );
+            }
+            if run("d6") {
+                assert!(
+                    parsed.counter("coda_cluster_failovers_total") > 0,
+                    "the no-restart scenario promotes a replica, so failovers must be counted"
+                );
+                assert!(
+                    parsed.counter("coda_darr_claims_reaped_total") > 0,
+                    "the dead home's orphaned claim must be reaped and counted"
                 );
             }
             println!(
@@ -878,6 +892,76 @@ fn exp_d5(obs: Option<&Obs>) {
         &rows,
     );
     println!("shape: speedup grows with fan-out (more paths amortize each prefix fit) and holds under estimator-only grids; reports are verified bit-identical to the uncached run in every row.");
+}
+
+/// D6 — crash-stop failure handling: a two-node home/replica pair works
+/// through a cooperative put + claim worklist while the chaos plan kills the
+/// home at a WAL operation boundary. With a scheduled restart the node
+/// replays its WAL byte-identically and rejoins; without one the phi-accrual
+/// detector drives a lease-gated failover and the dead home's orphaned DARR
+/// claim is reaped and taken over. Every scenario must land on the no-crash
+/// digest.
+fn exp_d6(obs: Option<&Obs>) {
+    use coda_chaos::CrashPlan;
+    use coda_cluster::{run_crash_recovery, run_crash_recovery_obs, CrashRecoveryConfig};
+
+    let base = CrashRecoveryConfig::default();
+    let baseline = run_crash_recovery(&base);
+    assert_eq!(baseline.failovers, 0, "the crash-free run must not move the home role");
+
+    let scenarios: Vec<(&str, CrashRecoveryConfig)> = vec![
+        ("crash-free", base.clone()),
+        (
+            "crash + restart",
+            CrashRecoveryConfig {
+                plan: CrashPlan::new().with_crash_at("node-0", 10, Some(500.0)),
+                ..base.clone()
+            },
+        ),
+        (
+            "crash, no restart",
+            CrashRecoveryConfig {
+                plan: CrashPlan::new().with_crash_at("node-0", 9, None),
+                ..base.clone()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, cfg) in &scenarios {
+        let r = run_crash_recovery_obs(cfg, obs);
+        assert_eq!(r, run_crash_recovery(cfg), "same seed must replay identically");
+        assert_eq!(r.digest, baseline.digest, "{name}: must converge to the no-crash state");
+        assert_eq!(r.recovery_mismatches, 0, "{name}: WAL replay must be byte-identical");
+        rows.push(vec![
+            name.to_string(),
+            r.completed.to_string(),
+            format!("{}/{}", r.crashes, r.restarts),
+            r.wal_replayed_records.to_string(),
+            r.byte_identical_recoveries.to_string(),
+            format!("{}/{}", r.suspicions, r.deaths),
+            r.failovers.to_string(),
+            r.reaped_claims.to_string(),
+            r.takeovers.to_string(),
+            r.final_home.clone(),
+        ]);
+    }
+    print_table(
+        "D6 — crash recovery: 2-node home/replica pair, 8-item worklist (seed 7)",
+        &[
+            "scenario",
+            "done",
+            "crash/restart",
+            "replayed",
+            "byte-ident",
+            "susp/dead",
+            "failovers",
+            "reaped",
+            "takeovers",
+            "final home",
+        ],
+        &rows,
+    );
+    println!("shape: every scenario converges to the crash-free digest; a restarted home replays its WAL to byte-identical state and rejoins as replica, while an unrecovered crash fails over only after the detector's dead verdict AND home-lease expiry, then reaps the orphaned claim.");
 }
 
 /// S1 — §IV-E solution templates on synthetic industrial data.

@@ -129,6 +129,10 @@ pub struct FaultStats {
     pub corrupted: u64,
     /// Messages slowed.
     pub slowed: u64,
+    /// Scheduled node-crash windows entered (clock crossed `down_at`).
+    pub crashes: u64,
+    /// Scheduled node restarts (clock crossed `up_at`).
+    pub restarts: u64,
 }
 
 impl FaultStats {
@@ -146,6 +150,8 @@ impl coda_obs::Publish for FaultStats {
         registry.count("coda_chaos_faults_node_down", self.node_down);
         registry.count("coda_chaos_faults_corrupted", self.corrupted);
         registry.count("coda_chaos_faults_slowed", self.slowed);
+        registry.count("coda_chaos_faults_crashes", self.crashes);
+        registry.count("coda_chaos_faults_restarts", self.restarts);
         registry.count("coda_chaos_faults_injected", self.injected());
     }
 }
@@ -159,13 +165,38 @@ pub struct FaultInjector {
     rng: StdRng,
     now_ms: f64,
     stats: FaultStats,
+    /// Per-crash-window (crash counted, restart counted) flags, parallel
+    /// to `plan.crashes` — each scheduled window produces exactly one
+    /// crash event and at most one restart event as the clock crosses it.
+    crash_edges: Vec<(bool, bool)>,
 }
 
 impl FaultInjector {
     /// Creates an injector at logical time zero.
     pub fn new(plan: FaultPlan) -> Self {
         let rng = StdRng::seed_from_u64(plan.seed);
-        FaultInjector { plan, rng, now_ms: 0.0, stats: FaultStats::default() }
+        let crash_edges = vec![(false, false); plan.crashes.len()];
+        let mut injector =
+            FaultInjector { plan, rng, now_ms: 0.0, stats: FaultStats::default(), crash_edges };
+        injector.count_crash_edges();
+        injector
+    }
+
+    /// Counts crash/restart events for every scheduled window the clock
+    /// has reached — a pure function of the clock, so same-seed replays
+    /// see identical event counts.
+    fn count_crash_edges(&mut self) {
+        for (i, c) in self.plan.crashes.iter().enumerate() {
+            let (crashed, restarted) = &mut self.crash_edges[i];
+            if !*crashed && self.now_ms >= c.down_at {
+                *crashed = true;
+                self.stats.crashes += 1;
+            }
+            if !*restarted && self.now_ms >= c.up_at {
+                *restarted = true;
+                self.stats.restarts += 1;
+            }
+        }
     }
 
     /// The plan being executed.
@@ -178,10 +209,12 @@ impl FaultInjector {
         self.now_ms
     }
 
-    /// Advances the logical clock (never backwards).
+    /// Advances the logical clock (never backwards), counting any scheduled
+    /// crash/restart events the move crosses.
     pub fn advance_to(&mut self, now_ms: f64) {
         if now_ms > self.now_ms {
             self.now_ms = now_ms;
+            self.count_crash_edges();
         }
     }
 
@@ -316,6 +349,28 @@ mod tests {
         assert!(inj.node_up("n1"));
         assert!(!inj.should_drop("n1", "other"));
         assert_eq!(inj.stats().node_down, 2);
+    }
+
+    #[test]
+    fn crash_and_restart_events_are_counted_once() {
+        let plan = FaultPlan::new(9).with_crash("n1", 50.0, 80.0).with_crash("n2", 200.0, 300.0);
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!((inj.stats().crashes, inj.stats().restarts), (0, 0));
+        inj.advance_to(60.0); // inside n1's window
+        assert_eq!((inj.stats().crashes, inj.stats().restarts), (1, 0));
+        inj.advance_to(65.0); // still inside: no double count
+        assert_eq!(inj.stats().crashes, 1);
+        inj.advance_to(100.0); // past n1's restart
+        assert_eq!((inj.stats().crashes, inj.stats().restarts), (1, 1));
+        inj.advance_to(1000.0); // jump over n2's entire window: both edges count
+        assert_eq!((inj.stats().crashes, inj.stats().restarts), (2, 2));
+    }
+
+    #[test]
+    fn crash_window_already_open_at_time_zero_counts() {
+        let inj = FaultInjector::new(FaultPlan::new(9).with_crash("n", 0.0, 10.0));
+        assert_eq!(inj.stats().crashes, 1);
+        assert_eq!(inj.stats().restarts, 0);
     }
 
     #[test]

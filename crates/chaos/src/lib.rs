@@ -24,8 +24,10 @@
 //! assert_eq!(stats.attempts, stats.retries + 1);
 //! ```
 
+pub mod crash;
 pub mod fault;
 pub mod retry;
 
+pub use crash::{CrashPlan, CrashPoint, CrashSchedule};
 pub use fault::{FaultInjector, FaultPlan, FaultStats, LinkFlap, NodeCrash};
 pub use retry::{Backoff, RetryPolicy, RetryState, RetryStats};

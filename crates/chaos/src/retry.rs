@@ -164,6 +164,21 @@ impl RetryState {
         self.attempts
     }
 
+    /// Charges non-backoff elapsed time (an attempt's own latency, a
+    /// failover wait) against the deadline budget, so `with_deadline`
+    /// bounds *total* time, not just the sum of backoffs. No-op without a
+    /// deadline.
+    pub fn charge_ms(&mut self, elapsed_ms: f64) {
+        if elapsed_ms > 0.0 {
+            self.total_backoff_ms += elapsed_ms;
+        }
+    }
+
+    /// Remaining deadline budget in logical ms (`None` = unbounded).
+    pub fn remaining_budget_ms(&self) -> Option<f64> {
+        self.policy.deadline_ms.map(|d| (d - self.total_backoff_ms).max(0.0))
+    }
+
     /// After a failed attempt: the (jittered) backoff before the next one,
     /// or `None` when the attempt budget or deadline is exhausted. The
     /// caller should advance its logical clock by the returned amount.
@@ -306,6 +321,41 @@ mod tests {
         assert_eq!(stats.attempts, 3);
         assert_eq!(stats.deadline_hits, 1);
         assert!((stats.total_backoff_ms - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charged_time_counts_against_the_deadline() {
+        // each attempt itself costs 8ms; with a 25ms total budget the
+        // 10ms backoffs are squeezed out after the first retry
+        let policy = RetryPolicy::fixed(10.0, 100).with_deadline(25.0);
+        let mut state = policy.state();
+        let mut given_up = false;
+        for _ in 0..100 {
+            state.begin_attempt();
+            state.charge_ms(8.0);
+            if state.next_backoff_ms().is_none() {
+                given_up = true;
+                break;
+            }
+        }
+        assert!(given_up, "the budget must cap total time");
+        let stats = state.finish(false);
+        assert_eq!(stats.attempts, 2, "8 + 10 + 8 = 26 > 25 stops the second retry");
+        assert_eq!(stats.deadline_hits, 1);
+    }
+
+    #[test]
+    fn remaining_budget_reports_the_cap() {
+        let policy = RetryPolicy::fixed(10.0, 5).with_deadline(30.0);
+        let mut state = policy.state();
+        assert_eq!(state.remaining_budget_ms(), Some(30.0));
+        state.begin_attempt();
+        state.next_backoff_ms();
+        assert_eq!(state.remaining_budget_ms(), Some(20.0));
+        state.charge_ms(25.0);
+        assert_eq!(state.remaining_budget_ms(), Some(0.0), "clamped at zero");
+        // a policy without a deadline has no budget to report
+        assert_eq!(RetryPolicy::fixed(1.0, 2).state().remaining_budget_ms(), None);
     }
 
     #[test]

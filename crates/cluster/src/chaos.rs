@@ -88,6 +88,12 @@ pub struct ChaosCoopReport {
     pub lost_to_crash: usize,
     /// Driver rounds executed.
     pub rounds: usize,
+    /// Crash edges the *driver* observed (a client up last round, down
+    /// now) — compared against the injector's own crash count to prove
+    /// scheduled crashes actually bit the protocol.
+    pub crashes_seen: u64,
+    /// Restart edges the driver observed (a client back up after a crash).
+    pub restarts_seen: u64,
     /// Aggregated retry/backoff accounting over every DARR exchange.
     pub retry: RetryStats,
     /// The injector's fault counters.
@@ -110,6 +116,11 @@ impl coda_obs::Publish for ChaosCoopReport {
         // comparing the two tells whether chaos actually bit the protocol
         registry.count("coda_cluster_faults_injected", self.faults.injected());
         registry.count("coda_cluster_faults_observed", u64::from(self.retry.retries));
+        // same injected-vs-observed pairing for crash-stop events: the
+        // injector counts scheduled crash/restart edges, the driver counts
+        // the edges its clients actually lived through
+        registry.count("coda_cluster_crashes_observed", self.crashes_seen);
+        registry.count("coda_cluster_restarts_observed", self.restarts_seen);
         self.retry.publish(registry);
         self.faults.publish(registry);
     }
@@ -277,6 +288,8 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
         takeovers: 0,
         lost_to_crash: 0,
         rounds: 0,
+        crashes_seen: 0,
+        restarts_seen: 0,
         retry: RetryStats::default(),
         faults: FaultStats::default(),
     };
@@ -292,6 +305,9 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
         report.rounds = round + 1;
         for client in &mut clients {
             if !injector.node_up(&client.name) {
+                if !client.was_down {
+                    report.crashes_seen += 1;
+                }
                 // crashed: in-flight work is lost; its claim dangles
                 if let Some((idx, _, attempt)) = client.working.take() {
                     report.lost_to_crash += 1;
@@ -305,6 +321,9 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
                 }
                 client.was_down = true;
                 continue;
+            }
+            if client.was_down {
+                report.restarts_seen += 1;
             }
             client.was_down = false;
 
@@ -493,6 +512,12 @@ mod tests {
         assert!(report.retry.retries > 0, "retries must actually occur");
         assert!(report.journaled > 0, "the partition must force offline compute");
         assert_eq!(report.journaled, report.replayed + report.duplicates);
+        // injected-vs-observed crash accounting: every scheduled crash and
+        // restart edge the injector counted was lived through by a client
+        assert_eq!(report.crashes_seen, report.faults.crashes);
+        assert_eq!(report.restarts_seen, report.faults.restarts);
+        assert_eq!(report.crashes_seen, 1, "the default config crashes one client");
+        assert_eq!(report.restarts_seen, 1);
     }
 
     #[test]

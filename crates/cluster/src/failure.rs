@@ -1,0 +1,338 @@
+//! Heartbeat-based phi-accrual failure detection (Hayashibara et al.,
+//! "The φ accrual failure detector", SRDS 2004 — the Cassandra variant).
+//!
+//! Instead of a binary alive/dead timeout, each node accrues a *suspicion
+//! level* φ that grows continuously while heartbeats are missing. Under an
+//! exponential inter-arrival model with mean `m`, the probability that a
+//! heartbeat is still in flight after `t` ms is `exp(-t/m)`, so
+//!
+//! ```text
+//! φ(t) = -log10(P_later(t)) = (t / m) · log10(e)
+//! ```
+//!
+//! Crossing `suspect_phi` marks a node *Suspect* (slow or partitioned —
+//! never grounds for failover on its own); crossing `dead_phi` marks it
+//! *Dead* (crash-stop verdict). Failover additionally requires the home
+//! lease to expire — see `coda_store::HomeLeaseFailover` — so a wrongly
+//! suspected node is never usurped while it could still act as home.
+//!
+//! Everything runs on the caller's logical clock (f64 milliseconds) and is
+//! fully deterministic: the mean interval is a windowed arithmetic mean of
+//! observed heartbeat gaps, seeded by `initial_interval_ms` before enough
+//! samples arrive.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use coda_obs::Obs;
+
+/// log10(e): converts the exponential survival exponent into decimal φ.
+const LOG10_E: f64 = std::f64::consts::LOG10_E;
+
+/// A node's liveness verdict at one evaluation instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Liveness {
+    /// Heartbeats arrive on schedule (φ below `suspect_phi`).
+    Alive,
+    /// Heartbeats are overdue (φ in `[suspect_phi, dead_phi)`): the node
+    /// may be slow or partitioned. Never a failover trigger by itself.
+    Suspect,
+    /// φ reached `dead_phi`: crash-stop verdict.
+    Dead,
+}
+
+/// Detector tuning. All times are logical milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorConfig {
+    /// Sliding window of inter-heartbeat intervals per node.
+    pub window: usize,
+    /// Prior mean interval used until the window has samples.
+    pub initial_interval_ms: f64,
+    /// φ at which a node becomes [`Liveness::Suspect`].
+    pub suspect_phi: f64,
+    /// φ at which a node becomes [`Liveness::Dead`].
+    pub dead_phi: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { window: 16, initial_interval_ms: 100.0, suspect_phi: 1.0, dead_phi: 4.0 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeHealth {
+    last_heartbeat: f64,
+    intervals: VecDeque<f64>,
+    state: Liveness,
+    dead_since: Option<f64>,
+}
+
+/// Per-cluster failure detector: registered nodes heartbeat on the logical
+/// clock; [`FailureDetector::evaluate`] accrues suspicion and counts every
+/// state transition (`coda_cluster_suspicions_total`,
+/// `coda_cluster_deaths_detected`, `coda_cluster_revivals`) into an
+/// attached [`Obs`]; the current φ of the most-suspected node is exported
+/// as the `coda_cluster_max_phi` gauge.
+#[derive(Debug, Clone, Default)]
+pub struct FailureDetector {
+    config: DetectorConfig,
+    nodes: BTreeMap<String, NodeHealth>,
+    suspicions: u64,
+    deaths: u64,
+    revivals: u64,
+    obs: Option<Obs>,
+}
+
+impl FailureDetector {
+    /// Creates a detector with the given tuning.
+    pub fn new(config: DetectorConfig) -> Self {
+        FailureDetector { config, ..Default::default() }
+    }
+
+    /// Attaches an observability handle for transition counters and the
+    /// suspicion gauge.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = Some(obs);
+    }
+
+    /// Registers `node` at logical time `now` (registration counts as its
+    /// first heartbeat). Re-registering an existing node is a heartbeat.
+    pub fn register(&mut self, node: &str, now: f64) {
+        self.heartbeat(node, now);
+    }
+
+    /// Records a heartbeat from `node` at `now`. A heartbeat from a node
+    /// previously declared dead is a *revival* (restart rejoining): its
+    /// interval window resets so pre-crash gaps don't poison the mean.
+    pub fn heartbeat(&mut self, node: &str, now: f64) {
+        match self.nodes.get_mut(node) {
+            None => {
+                self.nodes.insert(
+                    node.to_string(),
+                    NodeHealth {
+                        last_heartbeat: now,
+                        intervals: VecDeque::new(),
+                        state: Liveness::Alive,
+                        dead_since: None,
+                    },
+                );
+            }
+            Some(h) => {
+                if h.state == Liveness::Dead {
+                    self.revivals += 1;
+                    if let Some(o) = &self.obs {
+                        o.count("coda_cluster_revivals", 1);
+                    }
+                    h.intervals.clear();
+                } else {
+                    let gap = now - h.last_heartbeat;
+                    if gap > 0.0 {
+                        h.intervals.push_back(gap);
+                        while h.intervals.len() > self.config.window {
+                            h.intervals.pop_front();
+                        }
+                    }
+                }
+                h.last_heartbeat = now;
+                h.state = Liveness::Alive;
+                h.dead_since = None;
+            }
+        }
+    }
+
+    fn mean_interval(&self, h: &NodeHealth) -> f64 {
+        if h.intervals.is_empty() {
+            self.config.initial_interval_ms
+        } else {
+            h.intervals.iter().sum::<f64>() / h.intervals.len() as f64
+        }
+    }
+
+    /// Current suspicion level of `node` at `now` (0.0 for unknown nodes
+    /// or immediately after a heartbeat; grows without bound while
+    /// heartbeats are missing).
+    pub fn phi(&self, node: &str, now: f64) -> f64 {
+        let Some(h) = self.nodes.get(node) else { return 0.0 };
+        let elapsed = (now - h.last_heartbeat).max(0.0);
+        elapsed / self.mean_interval(h) * LOG10_E
+    }
+
+    /// Evaluates `node`'s liveness at `now`, recording state transitions.
+    /// Unknown nodes evaluate as [`Liveness::Dead`] (never heartbeated).
+    pub fn evaluate(&mut self, node: &str, now: f64) -> Liveness {
+        let phi = self.phi(node, now);
+        let next = if phi >= self.config.dead_phi {
+            Liveness::Dead
+        } else if phi >= self.config.suspect_phi {
+            Liveness::Suspect
+        } else {
+            Liveness::Alive
+        };
+        let Some(h) = self.nodes.get_mut(node) else { return Liveness::Dead };
+        if next != h.state {
+            match next {
+                Liveness::Suspect => {
+                    self.suspicions += 1;
+                    if let Some(o) = &self.obs {
+                        o.count("coda_cluster_suspicions_total", 1);
+                    }
+                }
+                Liveness::Dead => {
+                    self.deaths += 1;
+                    h.dead_since = Some(now);
+                    if let Some(o) = &self.obs {
+                        o.count("coda_cluster_deaths_detected", 1);
+                    }
+                }
+                Liveness::Alive => {} // only heartbeats revive — unreachable here
+            }
+            h.state = next;
+        }
+        if let Some(o) = &self.obs {
+            o.registry().gauge("coda_cluster_max_phi").set(self.max_phi(now));
+        }
+        next
+    }
+
+    /// The instant the detector first declared `node` dead (cleared by a
+    /// reviving heartbeat) — the `dead_since` a DARR claim reaper keys its
+    /// grace period on.
+    pub fn dead_since(&self, node: &str) -> Option<f64> {
+        self.nodes.get(node).and_then(|h| h.dead_since)
+    }
+
+    /// Highest φ across all registered nodes at `now`.
+    pub fn max_phi(&self, now: f64) -> f64 {
+        self.nodes.keys().map(|n| self.phi(n, now)).fold(0.0, f64::max)
+    }
+
+    /// Suspect transitions recorded so far.
+    pub fn suspicions(&self) -> u64 {
+        self.suspicions
+    }
+
+    /// Dead transitions recorded so far.
+    pub fn deaths(&self) -> u64 {
+        self.deaths
+    }
+
+    /// Dead nodes that heartbeated again (restarts rejoining).
+    pub fn revivals(&self) -> u64 {
+        self.revivals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> FailureDetector {
+        FailureDetector::new(DetectorConfig {
+            window: 8,
+            initial_interval_ms: 10.0,
+            suspect_phi: 1.0,
+            dead_phi: 4.0,
+        })
+    }
+
+    #[test]
+    fn steady_heartbeats_stay_alive() {
+        let mut d = detector();
+        d.register("n0", 0.0);
+        for t in 1..=50 {
+            let now = t as f64 * 10.0;
+            d.heartbeat("n0", now);
+            assert_eq!(d.evaluate("n0", now + 5.0), Liveness::Alive);
+        }
+        assert_eq!(d.suspicions(), 0);
+        assert_eq!(d.deaths(), 0);
+    }
+
+    #[test]
+    fn phi_grows_monotonically_while_heartbeats_are_missing() {
+        let mut d = detector();
+        d.register("n0", 0.0);
+        for t in 1..=10 {
+            d.heartbeat("n0", t as f64 * 10.0);
+        }
+        // silence after t=100: phi accrues with elapsed time
+        let mut last = 0.0;
+        for t in [110.0, 130.0, 170.0, 250.0] {
+            let phi = d.phi("n0", t);
+            assert!(phi > last, "phi must accrue: {phi} vs {last}");
+            last = phi;
+        }
+    }
+
+    #[test]
+    fn suspicion_precedes_death_and_each_transition_counts_once() {
+        let mut d = detector();
+        d.register("n0", 0.0);
+        for t in 1..=10 {
+            d.heartbeat("n0", t as f64 * 10.0);
+        }
+        // mean interval 10ms; suspect at phi>=1 (~23ms), dead at phi>=4 (~92ms)
+        assert_eq!(d.evaluate("n0", 110.0), Liveness::Alive);
+        assert_eq!(d.evaluate("n0", 140.0), Liveness::Suspect);
+        assert_eq!(d.evaluate("n0", 150.0), Liveness::Suspect, "no double count");
+        assert_eq!(d.evaluate("n0", 300.0), Liveness::Dead);
+        assert_eq!(d.evaluate("n0", 400.0), Liveness::Dead);
+        assert_eq!(d.suspicions(), 1);
+        assert_eq!(d.deaths(), 1);
+        assert_eq!(d.dead_since("n0"), Some(300.0));
+    }
+
+    #[test]
+    fn a_reviving_heartbeat_resets_suspicion() {
+        let mut d = detector();
+        d.register("n0", 0.0);
+        for t in 1..=5 {
+            d.heartbeat("n0", t as f64 * 10.0);
+        }
+        assert_eq!(d.evaluate("n0", 500.0), Liveness::Dead);
+        d.heartbeat("n0", 510.0); // restart rejoins
+        assert_eq!(d.evaluate("n0", 512.0), Liveness::Alive);
+        assert_eq!(d.revivals(), 1);
+        assert_eq!(d.dead_since("n0"), None);
+        // the 460ms death gap must not poison the window mean
+        d.heartbeat("n0", 520.0);
+        assert!(d.phi("n0", 540.0) > 0.5, "mean stays near the true interval");
+    }
+
+    #[test]
+    fn unknown_nodes_evaluate_dead() {
+        let mut d = detector();
+        assert_eq!(d.evaluate("ghost", 100.0), Liveness::Dead);
+        assert_eq!(d.phi("ghost", 100.0), 0.0);
+    }
+
+    #[test]
+    fn transitions_count_into_an_attached_registry() {
+        let obs = Obs::deterministic();
+        let mut d = detector();
+        d.attach_obs(obs.clone());
+        d.register("n0", 0.0);
+        d.heartbeat("n0", 10.0);
+        d.evaluate("n0", 40.0); // suspect
+        d.evaluate("n0", 200.0); // dead
+        d.heartbeat("n0", 210.0); // revival
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("coda_cluster_suspicions_total"), 1);
+        assert_eq!(snap.counter("coda_cluster_deaths_detected"), 1);
+        assert_eq!(snap.counter("coda_cluster_revivals"), 1);
+    }
+
+    #[test]
+    fn max_phi_tracks_the_most_suspected_node() {
+        let mut d = detector();
+        d.register("fresh", 100.0);
+        d.register("stale", 0.0);
+        for t in 1..=5 {
+            d.heartbeat("stale", t as f64 * 10.0);
+        }
+        let m = d.max_phi(120.0);
+        assert!((m - d.phi("stale", 120.0)).abs() < 1e-12);
+        assert!(m > d.phi("fresh", 120.0));
+    }
+}

@@ -29,19 +29,25 @@
 
 pub mod chaos;
 pub mod coop;
+pub mod failure;
 pub mod lifecycle;
 pub mod network;
 pub mod node;
 pub mod placement;
+pub mod recovery;
 pub mod registry;
 pub mod webservice;
 
 pub use chaos::{run_chaos_coop, run_chaos_coop_obs, ChaosCoopConfig, ChaosCoopReport};
 pub use coop::{run_cooperative, run_cooperative_with_clock, CoopRunReport};
+pub use failure::{DetectorConfig, FailureDetector, Liveness};
 pub use lifecycle::{BatchRecord, ModelLifecycle, RetrainPolicy};
 pub use network::SimNetwork;
 pub use node::{AnalyticsTask, ComputeNode};
 pub use placement::{ExecutionOutcome, Placement, PlacementDecision, Scheduler};
+pub use recovery::{
+    run_crash_recovery, run_crash_recovery_obs, CrashRecoveryConfig, CrashRecoveryReport,
+};
 pub use registry::{
     run_job, run_job_observed, run_job_with_retry, run_job_with_retry_obs, ComponentRegistry,
     JobError, JobSpec, SpecValue,

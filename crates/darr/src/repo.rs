@@ -40,6 +40,8 @@ pub struct DarrStats {
     pub claims_granted: u64,
     /// Claims refused because another client held them.
     pub claims_refused: u64,
+    /// Unexpired claims reaped because their owner was declared dead.
+    pub claims_reaped: u64,
 }
 
 impl coda_obs::Publish for DarrStats {
@@ -49,6 +51,7 @@ impl coda_obs::Publish for DarrStats {
         registry.count("coda_darr_records_stored", self.stored);
         registry.count("coda_darr_claims_granted", self.claims_granted);
         registry.count("coda_darr_claims_refused", self.claims_refused);
+        registry.count("coda_darr_claims_reaped_total", self.claims_reaped);
     }
 }
 
@@ -286,6 +289,39 @@ impl Darr {
         }
     }
 
+    /// Reaps every claim held by a crashed `owner`, making its in-flight
+    /// computations re-claimable by the surviving clients.
+    ///
+    /// The failure detector declared `owner` dead at logical time
+    /// `dead_since`; reaping waits out a `grace` period beyond that
+    /// instant so a wrongly-suspected (merely slow) owner that comes back
+    /// keeps its claims. Until `now >= dead_since + grace` this is a
+    /// no-op. Expired claims need no reaping — [`Darr::try_claim`]
+    /// already ignores them — so only *unexpired* claims count here.
+    /// Returns the number of claims reaped.
+    pub fn reap_claims(&self, owner: &str, dead_since: u64, grace: u64) -> usize {
+        let now = self.now();
+        if now < dead_since.saturating_add(grace) {
+            return 0;
+        }
+        let mut inner = self.inner.write();
+        let doomed: Vec<ComputationKey> = inner
+            .claims
+            .iter()
+            .filter(|(_, c)| c.owner == owner && c.expires_at > now)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &doomed {
+            inner.claims.remove(k);
+        }
+        let n = doomed.len();
+        if n > 0 {
+            inner.stats.claims_reaped += n as u64;
+            obs_count(&inner, "coda_darr_claims_reaped_total", n as u64);
+        }
+        n
+    }
+
     /// [`Darr::complete`] inside a causal trace: the store-and-release runs
     /// in a `darr.complete` child span of the producing client's carried
     /// context (no-op linkage without one).
@@ -484,6 +520,40 @@ mod tests {
         assert!(!darr.release_claim(&key("p"), "b"));
         assert!(darr.release_claim(&key("p"), "a"));
         assert!(darr.try_claim(&key("p"), "b", 50).is_claimed());
+    }
+
+    #[test]
+    fn reaping_waits_out_the_grace_period() {
+        let darr = Darr::new();
+        darr.try_claim(&key("p1"), "dead", 1000);
+        darr.try_claim(&key("p2"), "dead", 1000);
+        darr.try_claim(&key("p3"), "alive", 1000);
+        // detector declares "dead" gone at t=10; grace is 20 ticks
+        darr.advance_clock(25);
+        assert_eq!(darr.reap_claims("dead", 10, 20), 0, "inside grace: no-op");
+        assert!(matches!(darr.try_claim(&key("p1"), "b", 50), ClaimOutcome::HeldBy(_)));
+        darr.advance_clock(5); // now = 30 = dead_since + grace
+        assert_eq!(darr.reap_claims("dead", 10, 20), 2);
+        assert_eq!(darr.stats().claims_reaped, 2);
+        // the dead owner's keys are re-claimable; the live owner's is not
+        assert!(darr.try_claim(&key("p1"), "b", 50).is_claimed());
+        assert!(darr.try_claim(&key("p2"), "b", 50).is_claimed());
+        assert!(matches!(darr.try_claim(&key("p3"), "b", 50), ClaimOutcome::HeldBy(_)));
+        // idempotent: nothing left to reap
+        assert_eq!(darr.reap_claims("dead", 10, 20), 0);
+    }
+
+    #[test]
+    fn reaping_counts_into_an_attached_registry() {
+        use coda_obs::Obs;
+        let obs = Obs::deterministic();
+        let darr = Darr::new();
+        darr.attach_obs(obs.clone());
+        darr.try_claim(&key("p"), "dead", 1000);
+        darr.advance_clock(50);
+        assert_eq!(darr.reap_claims("dead", 0, 10), 1);
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("coda_darr_claims_reaped_total"), 1);
     }
 
     #[test]

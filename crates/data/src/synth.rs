@@ -13,6 +13,18 @@ use rand::distributions::Distribution;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Attaches the generated target to the generated features. Every generator
+/// in this module builds `y` with exactly one entry per feature row, so the
+/// mismatch arm cannot run; it degrades to an empty dataset rather than
+/// panicking in library code.
+fn targeted(x: Matrix, y: Vec<f64>) -> Dataset {
+    debug_assert_eq!(x.rows(), y.len(), "generators emit one label per row");
+    match Dataset::new(x).with_target(y) {
+        Ok(ds) => ds,
+        Err(_) => Dataset::new(Matrix::zeros(0, 0)),
+    }
+}
+
 /// Standard normal sample.
 fn randn(rng: &mut StdRng) -> f64 {
     // Box-Muller
@@ -45,7 +57,7 @@ pub fn linear_regression(n: usize, d: usize, noise: f64, seed: u64) -> Dataset {
         }
         y.push(t + noise * randn(&mut rng));
     }
-    Dataset::new(x).with_target(y).expect("target length matches by construction")
+    targeted(x, y)
 }
 
 /// Friedman-1-style nonlinear regression:
@@ -71,7 +83,7 @@ pub fn friedman1(n: usize, d: usize, noise: f64, seed: u64) -> Dataset {
             + 5.0 * x[(r, 4)];
         y.push(t + noise * randn(&mut rng));
     }
-    Dataset::new(x).with_target(y).expect("target length matches by construction")
+    targeted(x, y)
 }
 
 /// Regression data with wildly different feature scales (columns scaled by
@@ -111,7 +123,7 @@ pub fn classification_blobs(
         }
         y.push(cls as f64);
     }
-    Dataset::new(x).with_target(y).expect("target length matches by construction")
+    targeted(x, y)
 }
 
 /// Imbalanced binary classification: positives are a `pos_fraction` minority
@@ -129,7 +141,7 @@ pub fn imbalanced_binary(n: usize, d: usize, pos_fraction: f64, seed: u64) -> Da
         }
         y.push(if positive { 1.0 } else { 0.0 });
     }
-    Dataset::new(x).with_target(y).expect("target length matches by construction")
+    targeted(x, y)
 }
 
 /// Punches NaN holes into a fraction of feature cells (missing data, §II).
@@ -251,11 +263,11 @@ pub fn failure_prediction_data(
         }
     }
     let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
-    Dataset::new(Matrix::from_rows(&refs))
-        .with_target(labels)
-        .expect("target length matches by construction")
-        .with_feature_names(vec!["temperature", "vibration", "pressure", "load"])
-        .expect("4 names for 4 columns")
+    let ds = targeted(Matrix::from_rows(&refs), labels);
+    match ds.clone().with_feature_names(vec!["temperature", "vibration", "pressure", "load"]) {
+        Ok(named) => named,
+        Err(_) => ds,
+    }
 }
 
 /// Sensor data with injected point anomalies. Returns `(dataset, truth)`
@@ -327,8 +339,7 @@ pub fn root_cause_data(n: usize, d: usize, n_causal: usize, seed: u64) -> (Datas
         }
         y.push(t + 0.2 * randn(&mut rng));
     }
-    let ds = Dataset::new(x).with_target(y).expect("target length matches by construction");
-    (ds, causal)
+    (targeted(x, y), causal)
 }
 
 /// Right-censored asset failure times (§II's "censored data"): failure

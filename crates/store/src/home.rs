@@ -417,6 +417,88 @@ impl HomeDataStore {
         false
     }
 
+    /// Installs `version` of `id` directly (replica catch-up after a
+    /// failover: the recovered node fetched the current version — or a
+    /// delta onto its own copy — from the acting home and jumps straight
+    /// to it, preserving its local history). Returns false when the store
+    /// already holds `version` or newer; versions never move backwards.
+    pub fn install_version(&mut self, id: &str, version: u64, data: Bytes) -> bool {
+        let entry = self.objects.entry(id.to_string()).or_insert_with(|| StoredObject {
+            version: 0,
+            data: Bytes::new(),
+            history: VecDeque::new(),
+            deltas: BTreeMap::new(),
+        });
+        if version <= entry.version {
+            return false;
+        }
+        if entry.version > 0 {
+            entry.history.push_back((entry.version, entry.data.clone()));
+            while entry.history.len() > self.history_depth {
+                entry.history.pop_front();
+            }
+        }
+        entry.version = version;
+        entry.data = data;
+        entry.deltas.clear();
+        let (cur_version, cur_data) = (entry.version, entry.data.clone());
+        for (v, old) in &entry.history {
+            entry.deltas.insert(*v, DeltaCodec::encode(old, &cur_data, *v, cur_version));
+        }
+        self.obs_count("coda_store_installed_versions", 1);
+        true
+    }
+
+    /// A canonical, deterministic dump of the store's *durable* state —
+    /// objects (with history and precomputed deltas, by content hash),
+    /// leases and the logical clock. Transfer counters are volatile
+    /// accounting and excluded. Two stores holding byte-identical state
+    /// render byte-identical dumps, which is how crash recovery proves a
+    /// WAL replay reconstructed the pre-crash store exactly.
+    pub fn export_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "store name={} depth={} clock={}",
+            self.name, self.history_depth, self.clock
+        );
+        for (id, o) in &self.objects {
+            let _ = writeln!(
+                out,
+                "object {id} v{} len={} hash={:016x}",
+                o.version,
+                o.data.len(),
+                content_hash(&o.data)
+            );
+            for (v, data) in &o.history {
+                let _ = writeln!(
+                    out,
+                    "  history v{v} len={} hash={:016x}",
+                    data.len(),
+                    content_hash(data)
+                );
+            }
+            for (base, d) in &o.deltas {
+                let _ = writeln!(
+                    out,
+                    "  delta {base}->{} wire={} checksum={:016x}",
+                    d.target_version,
+                    d.wire_size(),
+                    d.target_checksum
+                );
+            }
+        }
+        for l in &self.leases {
+            let _ = writeln!(
+                out,
+                "lease client={} object={} mode={:?} expires_at={}",
+                l.client, l.object, l.mode, l.expires_at
+            );
+        }
+        out
+    }
+
     /// Cancels a lease early (the paper: clients should cancel leases for
     /// data they no longer need). Returns true if one was removed.
     pub fn cancel(&mut self, client: &str, object: &str) -> bool {

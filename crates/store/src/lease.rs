@@ -132,6 +132,76 @@ impl UpdateMessage {
 }
 
 #[cfg(test)]
+mod proptests {
+    use crate::failover::{FailoverDecision, HomeLeaseFailover};
+    use crate::home::HomeDataStore;
+    use crate::lease::PushMode;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Expiry is *exclusive* at the exact deadline: a lease of duration
+        /// `d` granted at clock `t0` is alive after advancing `a < d` ticks
+        /// and gone the moment the clock reaches `t0 + d` — never one tick
+        /// early, never one tick late.
+        #[test]
+        fn lease_expires_exactly_at_the_deadline(d in 1u64..500, a in 0u64..1000, t0 in 0u64..100) {
+            let mut store = HomeDataStore::new("home", 2);
+            store.advance_clock(t0);
+            store.subscribe("c", "o", PushMode::Full, d);
+            store.advance_clock(a);
+            prop_assert_eq!(store.active_leases(), usize::from(a < d));
+        }
+
+        /// A renewal racing expiry: renewing with any duration succeeds on
+        /// the last tick the lease is alive and fails from the exact expiry
+        /// tick on — an expired lease can never be resurrected by renewal.
+        #[test]
+        fn renewal_races_expiry_on_the_exact_tick(d in 1u64..200, extra in 1u64..200, late in 0u64..100) {
+            let mut store = HomeDataStore::new("home", 2);
+            store.subscribe("c", "o", PushMode::Delta, d);
+            // one tick before expiry: renewal must win the race
+            let mut alive = HomeDataStore::new("home", 2);
+            alive.subscribe("c", "o", PushMode::Delta, d);
+            alive.advance_clock(d - 1);
+            prop_assert!(alive.renew("c", "o", extra));
+            alive.advance_clock(extra - 1);
+            prop_assert_eq!(alive.active_leases(), 1); // renewal extended the lease
+            // at (or past) expiry: renewal must lose it
+            store.advance_clock(d + late);
+            prop_assert!(!store.renew("c", "o", extra));
+            prop_assert_eq!(store.active_leases(), 0);
+        }
+
+        /// The failover gate never opens on suspicion alone: however the
+        /// detector flaps, no promotion can happen while the home lease is
+        /// unexpired, and a merely *suspected* (not dead) holder is never
+        /// usurped even after expiry.
+        #[test]
+        fn no_failover_before_lease_expiry_or_on_suspicion(
+            lease in 1u64..100,
+            probes in proptest::collection::vec((any::<bool>(), 0u64..300), 1..40),
+        ) {
+            let mut fo = HomeLeaseFailover::new("home-a", lease, 0);
+            for (dead, now) in probes {
+                let expired = fo.lease_expired(now);
+                let decision = fo.evaluate(dead, Some("home-b"), now);
+                match decision {
+                    FailoverDecision::Promoted { .. } => {
+                        prop_assert!(dead && expired, "promotion requires dead verdict AND expiry");
+                        // one promotion is enough for this property
+                        break;
+                    }
+                    _ => {
+                        prop_assert_eq!(fo.holder(), "home-a");
+                        prop_assert_eq!(fo.failovers(), 0);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
 

@@ -29,16 +29,20 @@
 
 pub mod client;
 pub mod delta;
+pub mod failover;
 pub mod home;
 pub mod lease;
 pub mod replication;
 pub mod tier;
 pub mod trigger;
+pub mod wal;
 
 pub use client::{CachingClient, ClientError};
 pub use delta::{content_hash, Delta, DeltaCodec, DeltaError, DeltaOp};
+pub use failover::{FailoverDecision, HomeLeaseFailover};
 pub use home::{FetchReply, HomeDataStore, TransferStats};
 pub use lease::{Lease, PushMode, UpdateMessage};
 pub use replication::{ReplicatedStore, ReplicationError};
 pub use tier::{DataTier, SharedTier};
 pub use trigger::{ChangeMonitor, RecomputeTrigger, UpdateStats};
+pub use wal::{DurableImage, DurableStore, Snapshot, WalRecord, WriteAheadLog};

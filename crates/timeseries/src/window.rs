@@ -174,7 +174,7 @@ impl CascadedWindows {
     fn windowize(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
         let (x, y) = series_parts(data)?;
         let (wins, labels) = window_all_vars(x, y, self.cfg)?;
-        Ok(Dataset::new(wins).with_target(labels).expect("lengths match by construction"))
+        Dataset::new(wins).with_target(labels).map_err(ComponentError::Dataset)
     }
 }
 
@@ -190,7 +190,7 @@ impl FlatWindowing {
     fn windowize(&self, data: &Dataset) -> Result<Dataset, ComponentError> {
         let (x, y) = series_parts(data)?;
         let (wins, labels) = window_all_vars(x, y, self.cfg)?;
-        Ok(Dataset::new(wins).with_target(labels).expect("lengths match by construction"))
+        Dataset::new(wins).with_target(labels).map_err(ComponentError::Dataset)
     }
 }
 
@@ -216,7 +216,7 @@ impl TsAsIid {
         let idx: Vec<usize> = (0..n).collect();
         let features = x.select_rows(&idx);
         let labels: Vec<f64> = (0..n).map(|t| y[t + h]).collect();
-        Ok(Dataset::new(features).with_target(labels).expect("lengths match by construction"))
+        Dataset::new(features).with_target(labels).map_err(ComponentError::Dataset)
     }
 }
 
@@ -234,7 +234,7 @@ impl TsAsIs {
         let (_, y) = series_parts(data)?;
         let target_matrix = Matrix::from_vec(y.len(), 1, y.to_vec());
         let (wins, labels) = window_all_vars(&target_matrix, y, self.cfg)?;
-        Ok(Dataset::new(wins).with_target(labels).expect("lengths match by construction"))
+        Dataset::new(wins).with_target(labels).map_err(ComponentError::Dataset)
     }
 }
 

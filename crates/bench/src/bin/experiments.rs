@@ -41,6 +41,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("d4", "robustness: cooperative run under injected faults"),
     ("d5", "prefix cache: cached vs uncached TEG evaluation speedup"),
     ("d6", "robustness: crash-stop failure, WAL replay and home failover"),
+    ("d7", "serving tier: sharded multi-tenant sustained load (writes BENCH_serving.json)"),
     ("s1", "§IV-E: the four solution templates"),
     ("s2", "§II: censored failure-time analysis (Kaplan-Meier)"),
     ("a1", "ablation: delta history depth"),
@@ -134,6 +135,9 @@ fn main() {
     if run("d6") {
         exp_d6(obs.as_ref());
     }
+    if run("d7") {
+        exp_d7(obs.as_ref());
+    }
     if run("s1") {
         exp_s1();
     }
@@ -185,6 +189,16 @@ fn main() {
                 assert!(
                     parsed.counter("coda_darr_claims_reaped_total") > 0,
                     "the dead home's orphaned claim must be reaped and counted"
+                );
+            }
+            if run("d7") {
+                assert!(
+                    parsed.counter("coda_serve_ops_total") > 0,
+                    "the sustained load ran, so serving op counters must be nonzero"
+                );
+                assert!(
+                    parsed.counter("coda_serve_batches") > 0,
+                    "backlogged mailboxes must have produced at least one batch"
                 );
             }
             println!(
@@ -962,6 +976,61 @@ fn exp_d6(obs: Option<&Obs>) {
         &rows,
     );
     println!("shape: every scenario converges to the crash-free digest; a restarted home replays its WAL to byte-identical state and rejoins as replica, while an unrecovered crash fails over only after the detector's dead verdict AND home-lease expiry, then reaps the orphaned claim.");
+}
+
+/// D7 — serving tier: zipf-skewed sustained load against the sharded
+/// single-writer tier, emitting the `BENCH_serving.json` ratchet baseline.
+fn exp_d7(obs: Option<&Obs>) {
+    let seed: u64 = std::env::var("SERVE_SEED")
+        .ok()
+        .map(|s| s.parse().expect("SERVE_SEED must be an integer"))
+        .unwrap_or(7);
+    let r = coda_bench::run_serving_bench(seed, obs);
+
+    assert_eq!(r.shed, 0, "the closed loop keeps at most one request in flight per thread");
+    assert!(
+        r.per_shard_ops.iter().all(|&ops| ops > 0),
+        "zipf traffic over {} keys must reach every shard: {:?}",
+        512,
+        r.per_shard_ops
+    );
+    assert!(
+        r.total_ops >= (r.n_threads * 50_000) as u64,
+        "every submitted op (plus cooperative completions) must be applied"
+    );
+    assert!(r.batches > 0 && r.trigger_firings > 0);
+
+    let rows: Vec<Vec<String>> = r
+        .per_shard_ops
+        .iter()
+        .enumerate()
+        .map(|(i, &ops)| {
+            vec![
+                format!("shard-{i}"),
+                ops.to_string(),
+                format!("{:.1}%", 100.0 * ops as f64 / r.total_ops as f64),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "D7 — serving tier: {} clients, {} shards, zipf(s=1.1) over 512 keys (seed {seed})",
+            r.n_clients, r.n_shards
+        ),
+        &["shard", "ops applied", "share"],
+        &rows,
+    );
+    println!(
+        "throughput: {:.0} ops/s ({} ops in {:.0} ms); latency p50={:.4} p95={:.4} p99={:.4} ms",
+        r.throughput_ops_per_sec, r.total_ops, r.elapsed_ms, r.p50_ms, r.p95_ms, r.p99_ms
+    );
+    println!(
+        "batching: {} batches, {:.2} ops/batch mean; {} recompute-trigger firings; {} shed",
+        r.batches, r.mean_batch, r.trigger_firings, r.shed
+    );
+    std::fs::write("BENCH_serving.json", r.to_json()).expect("BENCH_serving.json must be writable");
+    println!("wrote BENCH_serving.json (ratchet baseline for bench_gate)");
+    println!("shape: hash-routing spreads the zipf head across shards (no shard starves), the closed loop never trips admission control, and batching amortizes mailbox wakeups under backlog.");
 }
 
 /// S1 — §IV-E solution templates on synthetic industrial data.

@@ -8,6 +8,9 @@ use coda_ml::{
     ScoreFunction, SelectKBest, StandardScaler,
 };
 
+pub mod serving;
+pub use serving::{run_serving_bench, serving_bench_config, ServingBenchResult};
+
 /// Prints a fixed-width table with a header rule.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n## {title}");

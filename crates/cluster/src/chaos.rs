@@ -17,6 +17,7 @@ use std::collections::{BTreeSet, VecDeque};
 use coda_chaos::{FaultInjector, FaultPlan, FaultStats, RetryPolicy, RetryStats};
 use coda_darr::{AnalyticsRecord, ClaimOutcome, ComputationKey, Darr};
 use coda_obs::{Obs, SpanContext};
+use coda_store::shard_of;
 
 /// Logical milliseconds (and DARR ticks) per driver round.
 const STEP_MS: f64 = 20.0;
@@ -141,16 +142,17 @@ struct ClientState {
 }
 
 /// One retried client↔DARR round trip: request and response legs each risk
-/// an injected drop; backoffs advance both the chaos and DARR clocks so
-/// scheduled windows can heal — and keep an attached observer's manual
-/// clock in lockstep so trace timestamps stay logical. Returns
-/// reachability plus retry accounting.
+/// an injected drop; backoffs advance both the chaos and *every DARR
+/// lane's* clock so scheduled windows can heal and lane clocks stay in
+/// lockstep — and keep an attached observer's manual clock aligned so
+/// trace timestamps stay logical. Returns reachability plus retry
+/// accounting.
 fn reach(
     injector: &mut FaultInjector,
     client: &str,
     policy: &RetryPolicy,
     now_ms: &mut f64,
-    darr: &Darr,
+    lanes: &[Darr],
     obs: Option<&Obs>,
 ) -> (bool, RetryStats) {
     let mut state = policy.state();
@@ -165,7 +167,9 @@ fn reach(
             Some(backoff) => {
                 *now_ms += backoff;
                 injector.advance_to(*now_ms);
-                darr.advance_clock(backoff.ceil() as u64);
+                for lane in lanes {
+                    lane.advance_clock(backoff.ceil() as u64);
+                }
                 if let Some(o) = obs {
                     o.sync_manual_ms(*now_ms);
                 }
@@ -229,9 +233,31 @@ pub fn run_chaos_coop(cfg: &ChaosCoopConfig) -> ChaosCoopReport {
 /// lockstep with the driver's logical time, so two same-seed runs emit
 /// byte-identical trace logs.
 pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoopReport {
+    run_chaos_coop_sharded(cfg, 1, obs)
+}
+
+/// The sharded generalization of [`run_chaos_coop_obs`]: the repository is
+/// `n_shards` independent DARR lanes, and every key routes to the lane
+/// [`coda_store::shard_of`] picks from its stable `dataset|pipeline`
+/// routing key — the same hash the serving tier and the data tier use.
+/// Lane clocks advance in lockstep (rounds and retry backoffs tick all of
+/// them), so per-key protocol behavior — claims, lease expiry, takeovers,
+/// journal replay — is invariant in the shard count, and a 1-shard run
+/// reproduces the historical single-DARR driver exactly.
+pub fn run_chaos_coop_sharded(
+    cfg: &ChaosCoopConfig,
+    n_shards: usize,
+    obs: Option<&Obs>,
+) -> ChaosCoopReport {
     assert!(cfg.n_clients >= 1 && cfg.n_keys >= 1, "need clients and work");
+    assert!(n_shards >= 1, "need at least one DARR lane");
     let keys: Vec<ComputationKey> = (0..cfg.n_keys)
         .map(|i| ComputationKey::new("chaos-ds", 1, &format!("p{i}") as &str, "kfold(3)", "rmse"))
+        .collect();
+    // each key's owning lane, by the tier-wide stable routing hash
+    let lane_of: Vec<usize> = keys
+        .iter()
+        .map(|k| shard_of(&format!("{}|{}", k.dataset_id, k.pipeline), n_shards))
         .collect();
 
     let mut plan = FaultPlan::new(cfg.seed).with_drop_probability(cfg.drop_probability);
@@ -248,9 +274,11 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
     let policy =
         RetryPolicy::exponential(5.0, 2.0, 40.0, 4).with_jitter(0.1, cfg.seed.wrapping_add(1));
 
-    let darr = Darr::new();
+    let lanes: Vec<Darr> = (0..n_shards).map(|_| Darr::new()).collect();
     if let Some(o) = obs {
-        darr.attach_obs(o.clone());
+        for lane in &lanes {
+            lane.attach_obs(o.clone());
+        }
         o.sync_manual_ms(0.0);
     }
     // a point event inside the key's trace: every protocol step carries the
@@ -335,10 +363,10 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
                 }
                 client.working = None;
                 let (ok, stats) =
-                    reach(&mut injector, &client.name, &policy, &mut now_ms, &darr, obs);
+                    reach(&mut injector, &client.name, &policy, &mut now_ms, &lanes, obs);
                 report.retry.merge(&stats);
                 if ok {
-                    darr.complete_in(
+                    lanes[lane_of[idx]].complete_in(
                         &keys[idx],
                         &client.name,
                         score_for(idx),
@@ -360,7 +388,7 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
                         fold_scores: vec![],
                         explanation: "chaos (journaled)".to_string(),
                         producer: client.name.clone(),
-                        stored_at: darr.now(),
+                        stored_at: lanes[lane_of[idx]].now(),
                     });
                     report.journaled += 1;
                     trace(attempt, "chaos.journal", &client.name, &keys[idx].pipeline);
@@ -374,7 +402,7 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
             // replay any journal as soon as the DARR answers again
             if !client.journal.is_empty() {
                 let (ok, stats) =
-                    reach(&mut injector, &client.name, &policy, &mut now_ms, &darr, obs);
+                    reach(&mut injector, &client.name, &policy, &mut now_ms, &lanes, obs);
                 report.retry.merge(&stats);
                 if ok {
                     for record in client.journal.drain(..) {
@@ -384,12 +412,12 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
                             // lint:allow(panic_safety) journal entries are only created from work-list keys earlier in this function
                             .expect("journaled keys come from the work list");
                         let ctx = key_root(obs, &mut key_spans, &mut key_open, &keys, idx);
-                        if darr.lookup(&record.key).is_some() {
+                        if lanes[lane_of[idx]].lookup(&record.key).is_some() {
                             report.duplicates += 1; // someone else got there
                             trace(ctx, "chaos.duplicate", &client.name, &record.key.pipeline);
                         } else {
                             trace(ctx, "chaos.replay", &client.name, &record.key.pipeline);
-                            darr.merge_record_in(record, ctx);
+                            lanes[lane_of[idx]].merge_record_in(record, ctx);
                             report.replayed += 1;
                             close_key(obs, &key_spans, &mut key_open, idx, "replayed");
                         }
@@ -403,7 +431,7 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
                 continue; // this client is done
             };
             let root = key_root(obs, &mut key_spans, &mut key_open, &keys, idx);
-            let (ok, stats) = reach(&mut injector, &client.name, &policy, &mut now_ms, &darr, obs);
+            let (ok, stats) = reach(&mut injector, &client.name, &policy, &mut now_ms, &lanes, obs);
             report.retry.merge(&stats);
             if !ok {
                 // DARR unreachable: degrade gracefully — compute locally
@@ -414,13 +442,18 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
                     fold_scores: vec![],
                     explanation: "chaos (offline)".to_string(),
                     producer: client.name.clone(),
-                    stored_at: darr.now(),
+                    stored_at: lanes[lane_of[idx]].now(),
                 });
                 report.journaled += 1;
                 trace(root, "chaos.journal", &client.name, &keys[idx].pipeline);
                 continue;
             }
-            match darr.try_claim_in(&keys[idx], &client.name, cfg.claim_duration, root) {
+            match lanes[lane_of[idx]].try_claim_in(
+                &keys[idx],
+                &client.name,
+                cfg.claim_duration,
+                root,
+            ) {
                 ClaimOutcome::AlreadyComputed(_) => {
                     report.reused += 1;
                     trace(root, "chaos.reuse", &client.name, &keys[idx].pipeline);
@@ -450,7 +483,9 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
 
         now_ms += STEP_MS;
         injector.advance_to(now_ms);
-        darr.advance_clock(STEP_MS as u64);
+        for lane in &lanes {
+            lane.advance_clock(STEP_MS as u64);
+        }
         if let Some(o) = obs {
             o.sync_manual_ms(now_ms);
         }
@@ -458,7 +493,7 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
         let all_idle = clients
             .iter()
             .all(|cl| cl.pending.is_empty() && cl.working.is_none() && cl.journal.is_empty());
-        if all_idle && darr.len() >= cfg.n_keys {
+        if all_idle && lanes.iter().map(Darr::len).sum::<usize>() >= cfg.n_keys {
             break;
         }
     }
@@ -467,7 +502,7 @@ pub fn run_chaos_coop_obs(cfg: &ChaosCoopConfig, obs: Option<&Obs>) -> ChaosCoop
     for idx in 0..cfg.n_keys {
         close_key(obs, &key_spans, &mut key_open, idx, "unresolved");
     }
-    report.completed = darr.len();
+    report.completed = lanes.iter().map(Darr::len).sum::<usize>();
     report.faults = injector.stats();
     if let Some(o) = obs {
         o.publish(&report);
@@ -536,6 +571,19 @@ mod tests {
         assert_eq!(a.completed, a.n_keys);
         assert_eq!(b.completed, b.n_keys);
         assert_ne!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn sharded_lanes_reproduce_the_unsharded_run() {
+        // lane clocks tick in lockstep and claim/lease state is per key, so
+        // the whole report — retries, takeovers, journal traffic — must be
+        // invariant in the lane count
+        let cfg = ChaosCoopConfig::default();
+        let unsharded = run_chaos_coop(&cfg);
+        for n_shards in [1usize, 2, 4] {
+            let sharded = run_chaos_coop_sharded(&cfg, n_shards, None);
+            assert_eq!(sharded, unsharded, "{n_shards} lanes must be invisible");
+        }
     }
 
     #[test]

@@ -126,8 +126,14 @@ pub struct CrashRecoveryReport {
     pub home_ops: u64,
     /// Canonical digest of the final store contents and DARR outcomes —
     /// producer- and timing-independent, so a crashed run and the
-    /// crash-free baseline must produce the *same* digest.
+    /// crash-free baseline must produce the *same* digest. In a sharded
+    /// run this is the concatenation of the per-shard digests in shard
+    /// order.
     pub digest: String,
+    /// The per-shard digests (one entry for an unsharded run) — lets a
+    /// chaos test assert that killing one shard's home left every *other*
+    /// shard's digest untouched.
+    pub shard_digests: Vec<String>,
 }
 
 impl coda_obs::Publish for CrashRecoveryReport {
@@ -234,10 +240,121 @@ pub fn run_crash_recovery(cfg: &CrashRecoveryConfig) -> CrashRecoveryReport {
 /// manual observer clock is kept in lockstep with driver time, so two
 /// same-seed runs emit byte-identical trace logs and metrics.
 pub fn run_crash_recovery_obs(cfg: &CrashRecoveryConfig, obs: Option<&Obs>) -> CrashRecoveryReport {
+    run_crash_recovery_sharded(cfg, 1, obs)
+}
+
+/// The sharded generalization of [`run_crash_recovery_obs`]: the workload
+/// partitions into `n_shards` independent home/replica *lanes* by the
+/// tier-wide stable routing hash ([`coda_store::shard_of`]) — objects by
+/// id, work items by their `dataset|pipeline` key — and each lane runs
+/// the full kill-restart driver over its slice. Lane `k`'s nodes are
+/// named `s{k}-node-0` / `s{k}-node-1`, so a [`CrashPlan`] can target one
+/// shard's home without touching the rest; points addressed to other
+/// lanes simply never fire in this one. With `n_shards == 1` the node
+/// names stay `node-0`/`node-1` and the run is byte-for-byte the
+/// historical unsharded driver.
+///
+/// The aggregated report sums counters across lanes, takes the maximum
+/// round count, joins the per-lane homes with `,` into `final_home`, and
+/// concatenates the per-lane digests (also kept individually in
+/// `shard_digests`).
+pub fn run_crash_recovery_sharded(
+    cfg: &CrashRecoveryConfig,
+    n_shards: usize,
+    obs: Option<&Obs>,
+) -> CrashRecoveryReport {
+    assert!(n_shards >= 1, "need at least one shard lane");
+    if n_shards == 1 {
+        let lane = LaneSpec {
+            prefix: String::new(),
+            objects: (0..cfg.n_objects).map(|j| format!("obj-{j}")).collect(),
+            puts: (0..cfg.n_puts).collect(),
+            items: (0..cfg.n_items).collect(),
+        };
+        return run_lane(cfg, obs, &lane);
+    }
+    let reports: Vec<CrashRecoveryReport> = (0..n_shards)
+        .map(|k| {
+            let lane = LaneSpec {
+                prefix: format!("s{k}-"),
+                objects: (0..cfg.n_objects)
+                    .map(|j| format!("obj-{j}"))
+                    .filter(|id| coda_store::shard_of(id, n_shards) == k)
+                    .collect(),
+                puts: (0..cfg.n_puts)
+                    .filter(|j| {
+                        coda_store::shard_of(&format!("obj-{}", j % cfg.n_objects), n_shards) == k
+                    })
+                    .collect(),
+                items: (0..cfg.n_items)
+                    .filter(|i| coda_store::shard_of(&format!("recovery-ds|p{i}"), n_shards) == k)
+                    .collect(),
+            };
+            run_lane(cfg, obs, &lane)
+        })
+        .collect();
+
+    let mut agg = CrashRecoveryReport {
+        rounds: 0,
+        crashes: 0,
+        restarts: 0,
+        failovers: 0,
+        suspicions: 0,
+        deaths: 0,
+        reaped_claims: 0,
+        wal_replayed_records: 0,
+        byte_identical_recoveries: 0,
+        recovery_mismatches: 0,
+        takeovers: 0,
+        completed: 0,
+        final_home: String::new(),
+        home_ops: 0,
+        digest: String::new(),
+        shard_digests: Vec::new(),
+    };
+    let mut homes = Vec::with_capacity(reports.len());
+    for r in reports {
+        agg.rounds = agg.rounds.max(r.rounds);
+        agg.crashes += r.crashes;
+        agg.restarts += r.restarts;
+        agg.failovers += r.failovers;
+        agg.suspicions += r.suspicions;
+        agg.deaths += r.deaths;
+        agg.reaped_claims += r.reaped_claims;
+        agg.wal_replayed_records += r.wal_replayed_records;
+        agg.byte_identical_recoveries += r.byte_identical_recoveries;
+        agg.recovery_mismatches += r.recovery_mismatches;
+        agg.takeovers += r.takeovers;
+        agg.completed += r.completed;
+        agg.home_ops += r.home_ops;
+        agg.digest.push_str(&r.digest);
+        homes.push(r.final_home);
+        agg.shard_digests.push(r.digest);
+    }
+    agg.final_home = homes.join(",");
+    agg
+}
+
+/// One lane's slice of the sharded workload: the node-name prefix and the
+/// global object ids / put indices / item indices this lane owns. Global
+/// indices ride along so payloads, scores and digest lines match what the
+/// unsharded driver produces for the same work.
+struct LaneSpec {
+    prefix: String,
+    objects: Vec<String>,
+    puts: Vec<usize>,
+    items: Vec<usize>,
+}
+
+/// The kill-restart driver over one lane's slice — the whole historical
+/// unsharded driver, parameterized only by node naming and work subset.
+fn run_lane(cfg: &CrashRecoveryConfig, obs: Option<&Obs>, lane: &LaneSpec) -> CrashRecoveryReport {
     assert!(cfg.n_objects >= 1 && cfg.n_puts >= 1 && cfg.n_items >= 1, "need a workload");
-    let names = ["node-0".to_string(), "node-1".to_string()];
-    let objects: Vec<String> = (0..cfg.n_objects).map(|j| format!("obj-{j}")).collect();
-    let keys: Vec<ComputationKey> = (0..cfg.n_items)
+    let names = [format!("{}node-0", lane.prefix), format!("{}node-1", lane.prefix)];
+    let objects: Vec<String> = lane.objects.clone();
+    let keys: Vec<ComputationKey> = lane
+        .items
+        .iter()
         .map(|i| {
             ComputationKey::new("recovery-ds", 1, &format!("p{i}") as &str, "kfold(3)", "rmse")
         })
@@ -307,6 +424,7 @@ pub fn run_crash_recovery_obs(cfg: &CrashRecoveryConfig, obs: Option<&Obs>) -> C
         final_home: String::new(),
         home_ops: 0,
         digest: String::new(),
+        shard_digests: Vec::new(),
     };
     let mut completed: BTreeSet<usize> = BTreeSet::new();
     let mut orphaned: BTreeSet<usize> = BTreeSet::new();
@@ -406,7 +524,7 @@ pub fn run_crash_recovery_obs(cfg: &CrashRecoveryConfig, obs: Option<&Obs>) -> C
         // in the DARR until reaped)
         if let Some((idx, owner)) = in_flight.take() {
             if stores[idx_of(&owner)].is_some() && owner == holder {
-                darr.complete(&keys[idx], &owner, score_for(idx), vec![], "recovery");
+                darr.complete(&keys[idx], &owner, score_for(lane.items[idx]), vec![], "recovery");
                 completed.insert(idx);
             } else {
                 orphaned.insert(idx);
@@ -415,7 +533,7 @@ pub fn run_crash_recovery_obs(cfg: &CrashRecoveryConfig, obs: Option<&Obs>) -> C
 
         // 6. the acting home claims the next outstanding work item
         if holder_alive && in_flight.is_none() {
-            if let Some(idx) = (0..cfg.n_items).find(|i| !completed.contains(i)) {
+            if let Some(idx) = (0..keys.len()).find(|i| !completed.contains(i)) {
                 match darr.try_claim(&keys[idx], &holder, cfg.claim_duration) {
                     ClaimOutcome::Claimed => {
                         if orphaned.remove(&idx) {
@@ -434,9 +552,12 @@ pub fn run_crash_recovery_obs(cfg: &CrashRecoveryConfig, obs: Option<&Obs>) -> C
 
         // 7. the put workload: next deterministic put, delta-replicated to
         // the live replica
-        if holder_alive && puts_done < cfg.n_puts {
-            let id = objects[puts_done % cfg.n_objects].clone();
-            let data = payload(cfg.seed, puts_done, cfg.payload_len);
+        if holder_alive && puts_done < lane.puts.len() {
+            // global put index: the payload and target object must match
+            // what the unsharded driver produces for the same put
+            let j = lane.puts[puts_done];
+            let id = format!("obj-{}", j % cfg.n_objects);
+            let data = payload(cfg.seed, j, cfg.payload_len);
             let holder_idx = idx_of(&holder);
             let other_idx = 1 - holder_idx;
             let messages = match stores[holder_idx].as_mut() {
@@ -476,8 +597,8 @@ pub fn run_crash_recovery_obs(cfg: &CrashRecoveryConfig, obs: Option<&Obs>) -> C
         }
 
         // 9. converged?
-        if puts_done == cfg.n_puts
-            && completed.len() == cfg.n_items
+        if puts_done == lane.puts.len()
+            && completed.len() == keys.len()
             && in_flight.is_none()
             && schedule.pending_restarts() == 0
         {
@@ -518,11 +639,12 @@ pub fn run_crash_recovery_obs(cfg: &CrashRecoveryConfig, obs: Option<&Obs>) -> C
     }
     for (idx, key) in keys.iter().enumerate() {
         if let Some(r) = darr.lookup(key) {
-            digest.push_str(&format!("item p{idx} score={:.3}\n", r.score));
+            digest.push_str(&format!("item p{} score={:.3}\n", lane.items[idx], r.score));
         }
     }
     digest.push_str(&format!("completed={}\n", report.completed));
-    report.digest = digest;
+    report.digest = digest.clone();
+    report.shard_digests = vec![digest];
 
     if let (Some(o), Some(r)) = (obs, root) {
         o.tracer().end_span(r, &[("home", &report.final_home)]);

@@ -1,0 +1,44 @@
+//! The sharded multi-tenant serving tier: the store/DARR stack, scaled out.
+//!
+//! The paper's cooperative-analytics story (§III) only pays off when many
+//! clients hit the data tier and the DARR concurrently. This crate shards
+//! both by the stable key hash every layer already routes with
+//! ([`coda_store::shard_of`]) across N *single-writer* worker shards: one
+//! OS thread per shard owns that shard's [`coda_store::DurableStore`],
+//! [`coda_darr::Darr`] partition and per-object
+//! [`coda_store::ChangeMonitor`]s outright — no cross-shard locks, no
+//! shared mutable state, just a bounded MPSC mailbox in front of each
+//! worker.
+//!
+//! The tier boundary provides what a single instance never needed:
+//!
+//! - **admission control** — mailboxes are bounded; a full queue sheds the
+//!   request with a typed [`ServeError::Overloaded`] (never a panic, never
+//!   a silent drop) and counts it under `coda_serve_shed_total`;
+//! - **request batching** — a worker drains its mailbox up to a batch cap
+//!   per wakeup, so under load the per-wakeup cost amortizes across many
+//!   requests (`coda_serve_batch_size` histograms the effect);
+//! - **crash composition** — each shard executes the
+//!   [`coda_chaos::CrashPlan`] points addressed to it (node `shard-{i}`)
+//!   at exact WAL operation counts: export, crash to the durable image,
+//!   recover by WAL replay, and prove the replay byte-identical — in-line,
+//!   while the other shards keep serving.
+//!
+//! Everything observable flows through [`coda_obs::Obs`]; everything
+//! random or time-like is seeded/logical, so the shard-equivalence
+//! harness can demand byte-identical final state against the unsharded
+//! baseline at any shard count.
+
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod loadgen;
+pub mod request;
+pub mod router;
+pub mod shard;
+pub mod tier;
+
+pub use loadgen::{run_load, LoadGenConfig, LoadReport};
+pub use request::{ServeError, ServeRequest, ServeResponse};
+pub use router::ShardRouter;
+pub use shard::{merge_canonical_exports, ShardCore, TriggerPolicy};
+pub use tier::{ServeConfig, ServeTier, ShardSummary, TierReport};

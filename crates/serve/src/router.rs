@@ -1,0 +1,92 @@
+//! Request routing: the one place the shard count lives. The router is
+//! nothing but [`coda_store::shard_of`] over [`ServeRequest::routing_key`]
+//! — the same FNV-1a hash the [`coda_store::DataTier`] homes objects with,
+//! so an object's serving shard and its home partition always agree, and
+//! one shard reproduces the unsharded baseline exactly.
+
+use crate::request::ServeRequest;
+use coda_store::shard_of;
+
+/// Stable hash router over `n_shards` partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    n_shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `n_shards` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards == 0`.
+    pub fn new(n_shards: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        ShardRouter { n_shards }
+    }
+
+    /// The partition count.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The shard owning `key` (an object id or a `dataset|pipeline` DARR
+    /// routing key).
+    pub fn shard_for_key(&self, key: &str) -> usize {
+        shard_of(key, self.n_shards)
+    }
+
+    /// The shard a request routes to.
+    pub fn route(&self, req: &ServeRequest) -> usize {
+        self.shard_for_key(&req.routing_key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use coda_darr::ComputationKey;
+
+    #[test]
+    fn one_shard_routes_everything_to_zero() {
+        let r = ShardRouter::new(1);
+        for i in 0..32 {
+            assert_eq!(r.shard_for_key(&format!("obj-{i}")), 0);
+        }
+    }
+
+    #[test]
+    fn object_and_key_requests_route_stably() {
+        let r = ShardRouter::new(8);
+        let put = ServeRequest::Put { id: "obj-3".into(), data: Bytes::from_static(b"x") };
+        let pull = ServeRequest::Pull { id: "obj-3".into(), client_version: None };
+        assert_eq!(r.route(&put), r.route(&pull), "same object, same shard");
+
+        let key = ComputationKey::new("ds", 1, "p4", "kfold(3)", "rmse");
+        let claim = ServeRequest::Claim { key: key.clone(), client: "c".into(), duration: 10 };
+        let lookup = ServeRequest::Lookup { key };
+        assert_eq!(r.route(&claim), r.route(&lookup), "same key, same shard");
+    }
+
+    #[test]
+    fn routing_agrees_with_the_data_tier() {
+        let r = ShardRouter::new(4);
+        let tier = coda_store::DataTier::new(4, 2);
+        for i in 0..64 {
+            let id = format!("object-{i}");
+            assert_eq!(r.shard_for_key(&id), tier.home_index(&id));
+        }
+    }
+
+    #[test]
+    fn shards_get_reasonable_spread() {
+        let r = ShardRouter::new(4);
+        let mut counts = [0usize; 4];
+        for i in 0..400 {
+            counts[r.shard_for_key(&format!("obj-{i}"))] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 40, "distribution too skewed: {counts:?}");
+        }
+    }
+}

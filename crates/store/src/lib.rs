@@ -43,6 +43,6 @@ pub use failover::{FailoverDecision, HomeLeaseFailover};
 pub use home::{FetchReply, HomeDataStore, TransferStats};
 pub use lease::{Lease, PushMode, UpdateMessage};
 pub use replication::{ReplicatedStore, ReplicationError};
-pub use tier::{DataTier, SharedTier};
+pub use tier::{shard_of, DataTier, SharedTier};
 pub use trigger::{ChangeMonitor, RecomputeTrigger, UpdateStats};
 pub use wal::{DurableImage, DurableStore, Snapshot, WalRecord, WriteAheadLog};

@@ -15,6 +15,27 @@ use std::sync::Arc;
 use crate::home::{FetchReply, HomeDataStore, TransferStats};
 use crate::lease::{PushMode, UpdateMessage};
 
+/// The stable shard-routing function shared by every partitioned layer
+/// (the [`DataTier`] here, the DARR lanes in `coda-cluster`, and the
+/// serving shards in `coda-serve`): FNV-1a over the key bytes, modulo the
+/// partition count. One function, one hash — so an object's home in a
+/// `DataTier` and its worker shard in a serving tier always agree, and a
+/// 1-partition layout routes everything to index 0 (the unsharded
+/// baseline every equivalence test compares against).
+///
+/// # Panics
+///
+/// Panics if `n == 0` — a zero-way partition routes nowhere.
+pub fn shard_of(id: &str, n: usize) -> usize {
+    assert!(n > 0, "need at least one partition");
+    let mut h = 0xcbf29ce484222325u64;
+    for b in id.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % n as u64) as usize
+}
+
 /// A partitioned set of home data stores with stable id-hash routing.
 #[derive(Debug, Clone)]
 pub struct DataTier {
@@ -43,12 +64,7 @@ impl DataTier {
 
     /// The partition index that is `id`'s home (stable FNV-1a hash).
     pub fn home_index(&self, id: &str) -> usize {
-        let mut h = 0xcbf29ce484222325u64;
-        for b in id.bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        (h % self.stores.len() as u64) as usize
+        shard_of(id, self.stores.len())
     }
 
     /// The home store's name for `id`.
@@ -153,6 +169,17 @@ impl SharedTier {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn shard_of_is_stable_and_agrees_with_home_index() {
+        let tier = DataTier::new(4, 2);
+        for i in 0..64 {
+            let id = format!("object-{i}");
+            assert_eq!(shard_of(&id, 4), tier.home_index(&id));
+            assert_eq!(shard_of(&id, 1), 0, "one partition routes everything to 0");
+        }
+        assert_eq!(shard_of("x", 8), shard_of("x", 8));
+    }
 
     #[test]
     fn routing_is_stable_and_spread() {

@@ -14,6 +14,7 @@
 //! - [`templates`]: domain solution templates (Section IV-E)
 //! - [`chaos`]: deterministic fault injection and retry/backoff policies
 //! - [`obs`]: unified tracing + metrics (counters, histograms, spans)
+//! - [`serve`]: sharded multi-tenant serving tier over store + DARR
 
 pub use coda_chaos as chaos;
 pub use coda_cluster as cluster;
@@ -24,6 +25,7 @@ pub use coda_linalg as linalg;
 pub use coda_ml as ml;
 pub use coda_nn as nn;
 pub use coda_obs as obs;
+pub use coda_serve as serve;
 pub use coda_store as store;
 pub use coda_templates as templates;
 pub use coda_timeseries as timeseries;

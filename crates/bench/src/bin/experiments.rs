@@ -42,6 +42,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("d5", "prefix cache: cached vs uncached TEG evaluation speedup"),
     ("d6", "robustness: crash-stop failure, WAL replay and home failover"),
     ("d7", "serving tier: sharded multi-tenant sustained load (writes BENCH_serving.json)"),
+    ("d8", "ops plane: flight recorder, SLO burn rates, exemplar cost profiles (writes OPS_REPORT.json)"),
     ("s1", "§IV-E: the four solution templates"),
     ("s2", "§II: censored failure-time analysis (Kaplan-Meier)"),
     ("a1", "ablation: delta history depth"),
@@ -137,6 +138,9 @@ fn main() {
     }
     if run("d7") {
         exp_d7(obs.as_ref());
+    }
+    if run("d8") {
+        exp_d8();
     }
     if run("s1") {
         exp_s1();
@@ -1031,6 +1035,59 @@ fn exp_d7(obs: Option<&Obs>) {
     std::fs::write("BENCH_serving.json", r.to_json()).expect("BENCH_serving.json must be writable");
     println!("wrote BENCH_serving.json (ratchet baseline for bench_gate)");
     println!("shape: hash-routing spreads the zipf head across shards (no shard starves), the closed loop never trips admission control, and batching amortizes mailbox wakeups under backlog.");
+}
+
+/// D8 — the ops plane: a deterministic clean/fault pair of serving-tier
+/// scenarios observed through the flight recorder, burn-rate SLO engine,
+/// and exemplar-sampled cost profiles. Writes `OPS_REPORT.json` (both
+/// scenarios) and `COST_PROFILE.json` (the fault scenario's per-operator
+/// self-times); both artifacts are byte-identical across same-seed runs.
+fn exp_d8() {
+    let seed: u64 = std::env::var("OPS_SEED")
+        .ok()
+        .map(|s| s.parse().expect("OPS_SEED must be an integer"))
+        .unwrap_or(7);
+    let report = coda_bench::run_ops_report(seed);
+
+    assert_eq!(report.clean.burn_events, 0, "the healthy run must not page anyone");
+    assert_eq!(report.clean.total_breaches, 0);
+    assert!(report.fault.burn_events >= 1, "the fault run must fire slo.burn alerts");
+    assert!(report.fault.serve_shed > 0, "held shards must shed the burst");
+
+    let mut rows = Vec::new();
+    for scenario in [&report.clean, &report.fault] {
+        for s in &scenario.slo.statuses {
+            rows.push(vec![
+                scenario.name.clone(),
+                s.slo.clone(),
+                s.evaluations.to_string(),
+                s.breaches.to_string(),
+                format!("{:.2}", s.max_long_burn),
+                format!("{:.2}", s.max_short_burn),
+            ]);
+        }
+    }
+    print_table(
+        &format!("D8 — SLO burn rates over {} windows (seed {seed})", report.clean.windows),
+        &["scenario", "slo", "evals", "breaches", "max long burn", "max short burn"],
+        &rows,
+    );
+    println!(
+        "flight: {} timeline windows retained; tail sampling kept {}/{} traces ({} of {} events)",
+        report.fault.timeline.len(),
+        report.fault.traces_kept,
+        report.fault.traces_seen,
+        report.fault.events_after,
+        report.fault.events_before,
+    );
+    for cp in report.fault.critical_paths.iter().take(3) {
+        println!("critical path: {} ({} @ {:.0} ms)", cp.path, cp.trace, cp.at_ms);
+    }
+    std::fs::write("OPS_REPORT.json", report.to_json()).expect("OPS_REPORT.json must be writable");
+    std::fs::write("COST_PROFILE.json", report.fault.cost.to_json())
+        .expect("COST_PROFILE.json must be writable");
+    println!("wrote OPS_REPORT.json and COST_PROFILE.json (deterministic for a fixed seed)");
+    println!("shape: the clean scenario never burns while every injected fault — shed bursts, a latency tail, failing OLS paths, an unrecovered home crash — pushes its declared SLO over both burn windows.");
 }
 
 /// S1 — §IV-E solution templates on synthetic industrial data.

@@ -11,10 +11,14 @@
 use coda_bench::fan_out_graph;
 use coda_core::{Evaluator, GraphReport};
 use coda_data::{synth, CvStrategy, Metric};
-use coda_obs::Obs;
+use coda_obs::{FlightConfig, FlightRecorder, Obs, TailPolicy};
 
 const TRIALS: usize = 5;
 const DEFAULT_MAX_RATIO: f64 = 1.30;
+/// Phase-2 budget: the full ops plane (flight recorder, armed exemplars,
+/// tail sampling) on top of tracing must stay within +5% of the
+/// traced-only run.
+const OPS_MAX_RATIO: f64 = 1.05;
 /// Absolute allowance for fixed instrumentation costs (ms) so tiny
 /// workloads on noisy runners don't trip the ratio.
 const ABS_SLACK_MS: f64 = 60.0;
@@ -82,4 +86,50 @@ fn main() {
         std::process::exit(1);
     }
     println!("PASS: within budget ({traced_ms:.1} ms <= {budget_ms:.1} ms)");
+
+    // phase 2: the full ops plane rides on top of tracing — flight
+    // recorder ticks per trial, armed exemplars on every eval.path
+    // observation, and a tail-sampling pass over the trace log. Budget is
+    // tighter (+5%) because these are continuous-production costs.
+    let mut ops_ms = f64::INFINITY;
+    let mut windows = 0usize;
+    for trial in 0..TRIALS {
+        let (t, traced_report) = run(Some(&Obs::wall()));
+        traced_ms = traced_ms.min(t);
+        let obs = Obs::wall();
+        obs.exemplars().enable(0.0, 8);
+        let mut recorder = FlightRecorder::new(FlightConfig::default());
+        let start = std::time::Instant::now();
+        recorder.tick(obs.now_ms(), &obs.registry().snapshot());
+        let mut eval = Evaluator::new(cv.clone(), Metric::Rmse).with_prefix_cache(true);
+        eval = eval.with_obs(obs.clone());
+        let ops_report = eval.evaluate_graph(&graph, &ds).expect("gate graph evaluates");
+        recorder.tick(obs.now_ms() + (trial as f64 + 1.0) * 100.0, &obs.registry().snapshot());
+        let policy = TailPolicy::new().with_min_dur_ms(1_000_000.0);
+        let _ = obs.tracer().sample_tail(&policy);
+        ops_ms = ops_ms.min(start.elapsed().as_secs_f64() * 1000.0);
+        windows = recorder.timeline().len();
+
+        for (a, b) in traced_report.results.iter().zip(&ops_report.results) {
+            assert_eq!(a.spec, b.spec, "specs must match");
+            assert_eq!(
+                a.mean_score.to_bits(),
+                b.mean_score.to_bits(),
+                "recorder + sampling must stay observational (bit-identical scores)"
+            );
+        }
+    }
+    let ops_ratio = ops_ms / traced_ms;
+    let ops_budget_ms = traced_ms * OPS_MAX_RATIO + ABS_SLACK_MS;
+    println!("ops-plane overhead gate (recorder + exemplars + tail sampling)");
+    println!("  traced only:  {traced_ms:.1} ms");
+    println!("  full plane:   {ops_ms:.1} ms ({windows} flight windows)");
+    println!(
+        "  ratio:        {ops_ratio:.3}x  (budget {OPS_MAX_RATIO:.2}x + {ABS_SLACK_MS:.0} ms)"
+    );
+    if ops_ms > ops_budget_ms {
+        eprintln!("FAIL: ops plane took {ops_ms:.1} ms, over the {ops_budget_ms:.1} ms budget");
+        std::process::exit(1);
+    }
+    println!("PASS: within budget ({ops_ms:.1} ms <= {ops_budget_ms:.1} ms)");
 }

@@ -8,7 +8,9 @@ use coda_ml::{
     ScoreFunction, SelectKBest, StandardScaler,
 };
 
+pub mod ops;
 pub mod serving;
+pub use ops::{run_ops_report, run_ops_scenario, CriticalPath, OpsReport, OpsScenario};
 pub use serving::{run_serving_bench, serving_bench_config, ServingBenchResult};
 
 /// Prints a fixed-width table with a header rule.

@@ -1,0 +1,54 @@
+//! End-to-end gates for the D8 ops plane: same-seed determinism down to
+//! the rendered bytes, a quiet clean scenario, and a loud fault scenario.
+
+use coda_bench::{run_ops_report, run_ops_scenario, OpsReport};
+
+#[test]
+fn same_seed_ops_reports_are_byte_identical() {
+    let a = run_ops_report(7).to_json();
+    let b = run_ops_report(7).to_json();
+    assert_eq!(a, b, "same-seed D8 runs must render byte-identically");
+    let back = OpsReport::from_json(&a).expect("ops report JSON parses back");
+    assert_eq!(back.to_json(), a, "round-trip is stable");
+}
+
+#[test]
+fn clean_scenario_fires_no_alerts() {
+    let clean = run_ops_scenario(7, false);
+    assert_eq!(clean.burn_events, 0, "healthy traffic must not page anyone");
+    assert_eq!(clean.total_breaches, 0);
+    assert_eq!(clean.serve_shed, 0, "closed-loop traffic never sheds");
+    assert!(clean.serve_ops > 0);
+    let evals: u64 = clean.slo.statuses.iter().map(|s| s.evaluations).sum();
+    assert!(evals > 0, "the engine must actually evaluate the declared SLOs");
+    assert!(!clean.timeline.is_empty(), "the flight recorder captured windows");
+}
+
+#[test]
+fn fault_scenario_burns_every_stressed_slo() {
+    let fault = run_ops_scenario(7, true);
+    assert!(fault.burn_events >= 1, "the fault phase must fire slo.burn alerts");
+    assert!(fault.serve_shed > 0, "held shards must shed the burst");
+    for slo in ["serve-shed-rate", "serve-p99-latency", "eval-error-rate", "cluster-failovers"] {
+        let status = fault
+            .slo
+            .statuses
+            .iter()
+            .find(|s| s.slo == slo)
+            .unwrap_or_else(|| panic!("{slo} status present"));
+        assert!(status.breaches >= 1, "{slo} must breach under its injected fault");
+    }
+}
+
+#[test]
+fn exemplars_and_sampling_surface_the_interesting_traces() {
+    let fault = run_ops_scenario(7, true);
+    assert!(!fault.critical_paths.is_empty(), "armed exemplars must capture eval paths");
+    for cp in &fault.critical_paths {
+        assert!(cp.path.contains("eval.path["), "paths resolve to refined operators: {cp:?}");
+        assert!(cp.path.contains(" > "), "paths chain from the trace root: {cp:?}");
+    }
+    assert!(fault.traces_kept < fault.traces_seen, "tail sampling must drop healthy traces");
+    assert!(fault.events_after < fault.events_before);
+    assert!(fault.cost.entries.keys().any(|k| k.starts_with("eval.path[")));
+}

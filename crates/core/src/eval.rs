@@ -363,12 +363,10 @@ impl Evaluator {
             return self.run_job(pipeline, params, data);
         };
         let key = pipeline.spec().with_params(params).key();
-        let _span = obs.tracer().span_with_parent(parent, "eval.path", &[("spec", &key as &str)]);
+        let span = obs.tracer().span_with_parent(parent, "eval.path", &[("spec", &key as &str)]);
         let start = obs.now_ms();
         let result = self.run_job(pipeline, params, data);
-        if let Some(h) = hist {
-            h.observe(obs.now_ms() - start);
-        }
+        Self::finish_path_obs(obs, &span, hist, start, result.is_ok());
         result
     }
 
@@ -388,13 +386,36 @@ impl Evaluator {
             return self.run_job_cached(pipeline, params, data, splits, cache);
         };
         let key = pipeline.spec().with_params(params).key();
-        let _span = obs.tracer().span_with_parent(parent, "eval.path", &[("spec", &key as &str)]);
+        let span = obs.tracer().span_with_parent(parent, "eval.path", &[("spec", &key as &str)]);
         let start = obs.now_ms();
         let result = self.run_job_cached(pipeline, params, data, splits, cache);
-        if let Some(h) = hist {
-            h.observe(obs.now_ms() - start);
-        }
+        Self::finish_path_obs(obs, &span, hist, start, result.is_ok());
         result
+    }
+
+    /// Shared tail of a traced path run: outcome counters for the SLO
+    /// plane (`coda_core_eval_paths_ok` / `coda_core_eval_path_errors`),
+    /// the latency observation, and — when the exemplar store is armed —
+    /// an exemplar offer linking the observation back to its `eval.path`
+    /// span so slow paths surface in cost profiles with a trace attached.
+    fn finish_path_obs(
+        obs: &coda_obs::Obs,
+        span: &coda_obs::SpanGuard<'_>,
+        hist: Option<&Histogram>,
+        start: f64,
+        ok: bool,
+    ) {
+        obs.count(if ok { "coda_core_eval_paths_ok" } else { "coda_core_eval_path_errors" }, 1);
+        let elapsed = obs.now_ms() - start;
+        if let Some(h) = hist {
+            h.observe(elapsed);
+        }
+        obs.exemplars().offer(
+            "coda_core_eval_path_ms",
+            elapsed,
+            Some(span.context()),
+            obs.now_ms(),
+        );
     }
 
     /// Core evaluation over (pipeline, params) jobs, parallel if configured
@@ -1082,6 +1103,54 @@ mod tests {
             let parent = fold.parent.expect("folds have a parent");
             assert_eq!(forest.span(parent).expect("parent resolves").name, "eval.path");
         }
+    }
+
+    #[test]
+    fn path_outcomes_count_and_armed_exemplars_link_back_to_spans() {
+        // kfold(2) on 6-row folds with 7 design columns: OLS fails, ridge
+        // succeeds — one path lands in each outcome counter
+        let ds = synth::linear_regression(12, 6, 0.01, 210);
+        let graph = TegBuilder::new()
+            .add_feature_scalers(vec![Box::new(StandardScaler::new())])
+            .add_models(vec![
+                Box::new(LinearRegression::new()),
+                Box::new(RidgeRegression::new(1.0)),
+            ])
+            .create_graph()
+            .unwrap();
+        let obs = coda_obs::Obs::deterministic();
+        obs.exemplars().enable(0.0, 4); // arm: every observation qualifies
+        let report = Evaluator::new(CvStrategy::kfold(2), Metric::Rmse)
+            .with_obs(obs.clone())
+            .evaluate_graph(&graph, &ds)
+            .unwrap();
+        assert_eq!(report.n_failed(), 1);
+        assert_eq!(report.n_ok(), 1);
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("coda_core_eval_paths_ok"), 1);
+        assert_eq!(snap.counter("coda_core_eval_path_errors"), 1);
+        // exemplars carry the eval.path span context, so a hot latency
+        // observation resolves to a concrete trace in the forest
+        let exemplars = obs.exemplars().exemplars("coda_core_eval_path_ms");
+        assert_eq!(exemplars.len(), 2, "one exemplar per path while armed");
+        let forest = obs.forest();
+        for e in &exemplars {
+            let ctx = e.ctx.expect("traced runs attach a span context");
+            let span = forest.span(ctx.span_id).expect("exemplar span resolves");
+            assert_eq!(span.name, "eval.path");
+        }
+    }
+
+    #[test]
+    fn disarmed_exemplar_store_stays_empty() {
+        let ds = synth::friedman1(60, 5, 0.3, 211);
+        let obs = coda_obs::Obs::deterministic();
+        Evaluator::new(CvStrategy::kfold(3), Metric::Rmse)
+            .with_obs(obs.clone())
+            .evaluate_graph(&fan_out_graph(2), &ds)
+            .unwrap();
+        assert!(!obs.exemplars().is_enabled());
+        assert!(obs.exemplars().exemplars("coda_core_eval_path_ms").is_empty());
     }
 
     #[test]

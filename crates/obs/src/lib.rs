@@ -26,33 +26,49 @@
 
 pub mod analyze;
 pub mod clock;
+pub mod flight;
 pub mod metrics;
+pub mod profile;
 pub mod publish;
+pub mod slo;
 pub mod trace;
 
 use std::sync::Arc;
 
 pub use analyze::{SpanNode, TraceForest};
 pub use clock::{Clock, ManualClock, WallClock};
+pub use flight::{FlightConfig, FlightRecorder, FlightWindow};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
     DEFAULT_MS_BOUNDS,
 };
+pub use profile::{CostEntry, CostProfile, Exemplar, ExemplarStore};
 pub use publish::Publish;
-pub use trace::{EventKind, SpanContext, SpanGuard, SpanId, TraceEvent, TraceId, Tracer};
+pub use slo::{
+    BurnState, BurnWindows, SloEngine, SloEvaluation, SloReport, SloSignal, SloSpec, SloStatus,
+};
+pub use trace::{
+    EventKind, SpanContext, SpanGuard, SpanId, TailPolicy, TailSampleReport, TraceEvent, TraceId,
+    Tracer,
+};
 
-/// The handle instrumented components hold: a shared registry plus a
-/// tracer, cheap to clone (two `Arc`s).
+/// The handle instrumented components hold: a shared registry, a tracer,
+/// and an exemplar store (disarmed by default), cheap to clone (`Arc`s).
 #[derive(Clone, Debug)]
 pub struct Obs {
     registry: Arc<MetricsRegistry>,
     tracer: Arc<Tracer>,
+    exemplars: Arc<ExemplarStore>,
 }
 
 impl Obs {
     /// An `Obs` over an explicit clock.
     pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
-        Obs { registry: Arc::new(MetricsRegistry::new()), tracer: Arc::new(Tracer::new(clock)) }
+        Obs {
+            registry: Arc::new(MetricsRegistry::new()),
+            tracer: Arc::new(Tracer::new(clock)),
+            exemplars: Arc::new(ExemplarStore::disabled()),
+        }
     }
 
     /// An `Obs` timed by real elapsed time — the production default.
@@ -75,6 +91,12 @@ impl Obs {
     /// The shared tracer.
     pub fn tracer(&self) -> &Arc<Tracer> {
         &self.tracer
+    }
+
+    /// The shared exemplar store (disarmed unless
+    /// [`ExemplarStore::enable`]d — offers are near-free while disarmed).
+    pub fn exemplars(&self) -> &Arc<ExemplarStore> {
+        &self.exemplars
     }
 
     /// The tracer clock's current reading, in milliseconds.

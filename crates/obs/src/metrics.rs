@@ -182,20 +182,30 @@ pub struct HistogramSnapshot {
 impl_serde_struct!(HistogramSnapshot { bounds, counts, count, sum });
 
 impl HistogramSnapshot {
-    /// Mean observed value, or `0.0` with no observations.
+    /// Mean observed value. Always finite: `0.0` with no observations, and
+    /// a non-finite sum (a `NaN`/`inf` observation leaked in upstream)
+    /// degrades to `0.0` rather than poisoning JSON expositions — the
+    /// vendored `serde_json` renders non-finite floats as `null`, which
+    /// would then fail the snapshot round-trip.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
-            0.0
+            return 0.0;
+        }
+        let m = self.sum / self.count as f64;
+        if m.is_finite() {
+            m
         } else {
-            self.sum / self.count as f64
+            0.0
         }
     }
 
     /// Estimates the `q`-quantile (`q` in `[0, 1]`) by locating the bucket
     /// that crosses rank `q * count` and interpolating linearly inside it
     /// (the Prometheus `histogram_quantile` rule). The open `+Inf` bucket
-    /// has no upper edge, so ranks landing there report its lower bound.
-    /// Returns `0.0` with no observations.
+    /// has no upper edge, so ranks landing there report its lower bound —
+    /// as does an explicit non-finite upper bound, so interpolation can
+    /// never manufacture a `NaN` (`0 × inf`). Returns `0.0` with no
+    /// observations; the result is always finite.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -208,14 +218,20 @@ impl HistogramSnapshot {
             if *n > 0 && cumulative as f64 >= rank {
                 let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
                 let upper = match self.bounds.get(i) {
-                    Some(b) => *b,
-                    None => return lower,
+                    Some(b) if b.is_finite() => *b,
+                    _ => return lower,
                 };
                 let fraction = ((rank - before as f64) / *n as f64).clamp(0.0, 1.0);
-                return lower + fraction * (upper - lower);
+                let v = lower + fraction * (upper - lower);
+                return if v.is_finite() { v } else { lower };
             }
         }
-        self.bounds.last().copied().unwrap_or(0.0)
+        let fallback = self.bounds.last().copied().unwrap_or(0.0);
+        if fallback.is_finite() {
+            fallback
+        } else {
+            0.0
+        }
     }
 
     /// Bucket-wise delta `self - before` for two snapshots of the same
@@ -312,6 +328,7 @@ pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    help: RwLock<BTreeMap<String, String>>,
 }
 
 impl std::fmt::Debug for MetricsRegistry {
@@ -334,16 +351,24 @@ impl MetricsRegistry {
 
     /// Returns (registering on first use) the counter named `name`.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        if let Some(c) = self.counters.read().get(name) {
-            return Arc::clone(c);
+        // the read guard is scoped out before the write acquisition: the
+        // fast path and the slow path never hold both sides of the lock
+        {
+            let counters = self.counters.read();
+            if let Some(c) = counters.get(name) {
+                return Arc::clone(c);
+            }
         }
         Arc::clone(self.counters.write().entry(name.to_string()).or_default())
     }
 
     /// Returns (registering on first use) the gauge named `name`.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        if let Some(g) = self.gauges.read().get(name) {
-            return Arc::clone(g);
+        {
+            let gauges = self.gauges.read();
+            if let Some(g) = gauges.get(name) {
+                return Arc::clone(g);
+            }
         }
         Arc::clone(self.gauges.write().entry(name.to_string()).or_default())
     }
@@ -351,8 +376,11 @@ impl MetricsRegistry {
     /// Returns the histogram named `name`, registering it with `bounds` on
     /// first use (later `bounds` are ignored — first registration wins).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Arc<Histogram> {
-        if let Some(h) = self.histograms.read().get(name) {
-            return Arc::clone(h);
+        {
+            let histograms = self.histograms.read();
+            if let Some(h) = histograms.get(name) {
+                return Arc::clone(h);
+            }
         }
         Arc::clone(
             self.histograms
@@ -360,6 +388,12 @@ impl MetricsRegistry {
                 .entry(name.to_string())
                 .or_insert_with(|| Arc::new(Histogram::new(bounds))),
         )
+    }
+
+    /// Attaches `# HELP` text to metric `name` for the Prometheus
+    /// exposition (escaped per the text-format rules on render).
+    pub fn set_help(&self, name: &str, text: &str) {
+        self.help.write().insert(name.to_string(), text.to_string());
     }
 
     /// Shorthand: add `n` to the counter named `name`.
@@ -388,18 +422,29 @@ impl MetricsRegistry {
     }
 
     /// Renders every instrument in Prometheus text exposition format,
-    /// names sorted, deterministically.
+    /// names sorted, deterministically: a `# HELP` line (when set, escaped
+    /// per the text format: `\` → `\\`, newline → `\n`), a `# TYPE` line
+    /// for every metric, and label values escaped (`\`, `"`, newline).
     pub fn render_prometheus(&self) -> String {
         let snap = self.snapshot();
+        let help = self.help.read().clone();
         let mut out = String::new();
+        let head = |out: &mut String, name: &str, kind: &str| {
+            if let Some(text) = help.get(name) {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(text));
+            }
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        };
         for (name, v) in &snap.counters {
-            let _ = writeln!(out, "# TYPE {name} counter\n{name} {v}");
+            head(&mut out, name, "counter");
+            let _ = writeln!(out, "{name} {v}");
         }
         for (name, v) in &snap.gauges {
-            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+            head(&mut out, name, "gauge");
+            let _ = writeln!(out, "{name} {v}");
         }
         for (name, h) in &snap.histograms {
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            head(&mut out, name, "histogram");
             let mut cumulative = 0u64;
             for (i, n) in h.counts.iter().enumerate() {
                 cumulative += n;
@@ -407,12 +452,24 @@ impl MetricsRegistry {
                     Some(b) => format!("{b}"),
                     None => "+Inf".to_string(),
                 };
-                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", escape_label(&le));
             }
             let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
         }
         out
     }
+}
+
+/// Escapes `# HELP` text per the Prometheus text format: backslash and
+/// newline.
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value per the Prometheus text format: backslash,
+/// double-quote, and newline.
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -533,6 +590,159 @@ mod tests {
         assert!(text.contains("# TYPE coda_test_ms histogram"));
         assert!(text.contains("coda_test_ms_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("coda_test_ms_count 1"));
+    }
+
+    /// Satellite: quantile/mean edge cases pinned — q=0, q=1, a
+    /// single-bucket histogram, and the empty histogram all stay finite.
+    #[test]
+    fn quantile_and_mean_edges_are_finite() {
+        let empty = HistogramSnapshot { bounds: vec![], counts: vec![], count: 0, sum: 0.0 };
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.quantile(0.0), 0.0);
+        assert_eq!(empty.quantile(1.0), 0.0);
+
+        // empty but with declared bounds (registered, never observed)
+        let registered = Histogram::new(&[1.0, 10.0]).snapshot();
+        assert_eq!(registered.quantile(0.5), 0.0);
+        assert_eq!(registered.mean(), 0.0);
+
+        // single bucket: everything interpolates inside [0, bound]
+        let single = Histogram::new(&[8.0]);
+        single.observe(2.0);
+        single.observe(6.0);
+        let s = single.snapshot();
+        assert_eq!(s.quantile(0.0), 0.0, "q=0 reports the first bucket's floor");
+        assert_eq!(s.quantile(1.0), 8.0, "q=1 reports the bucket's ceiling");
+        assert_eq!(s.quantile(0.5), 4.0);
+        assert_eq!(s.mean(), 4.0);
+
+        // q=0 and q=1 on a multi-bucket histogram
+        let multi = Histogram::new(&[1.0, 2.0, 4.0]);
+        for v in [1.5, 1.6, 3.0] {
+            multi.observe(v);
+        }
+        let m = multi.snapshot();
+        assert_eq!(m.quantile(0.0), 1.0, "q=0 lands at the first occupied bucket's floor");
+        assert_eq!(m.quantile(1.0), 4.0);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            assert!(m.quantile(q).is_finite(), "q={q} must be finite");
+        }
+    }
+
+    /// Satellite: non-finite inputs cannot leak NaN into quantile/mean —
+    /// the vendored serde_json would render them as `null` and break the
+    /// JSON round-trip.
+    #[test]
+    fn non_finite_inputs_never_leak_nan() {
+        // an explicit +inf upper bound: interpolation would compute 0 × inf
+        let inf_bound = Histogram::new(&[10.0, f64::INFINITY]);
+        inf_bound.observe(50.0);
+        let s = inf_bound.snapshot();
+        assert_eq!(s.quantile(0.5), 10.0, "non-finite bucket edge reports its floor");
+        assert!(s.quantile(1.0).is_finite());
+        // only non-finite bounds occupied: the fallback stays finite
+        let only_inf = Histogram::new(&[f64::INFINITY]);
+        only_inf.observe(1.0);
+        assert!(only_inf.snapshot().quantile(0.99).is_finite());
+        // a NaN observation poisons the sum; mean degrades to 0 not NaN
+        let h = Histogram::new(&[1.0]);
+        h.observe(f64::NAN);
+        let s = h.snapshot();
+        assert!(!s.mean().is_nan());
+        assert!(s.quantile(0.5).is_finite());
+    }
+
+    /// Satellite: after-only names (a shard spun up mid-window) count in
+    /// full across all three instrument kinds.
+    #[test]
+    fn diff_counts_after_only_names_in_full() {
+        let reg = MetricsRegistry::new();
+        reg.count("coda_test_old", 1);
+        let before = reg.snapshot();
+        reg.count("coda_test_new_counter", 7);
+        reg.gauge("coda_test_new_gauge").set(3.5);
+        reg.observe_ms("coda_test_new_ms", 2.0);
+        let delta = reg.snapshot().diff(&before);
+        assert_eq!(delta.counter("coda_test_new_counter"), 7);
+        assert_eq!(delta.gauges["coda_test_new_gauge"], 3.5, "gauge diffs against implicit 0");
+        assert_eq!(delta.histograms["coda_test_new_ms"].count, 1, "whole histogram attributed");
+        assert_eq!(delta.counter("coda_test_old"), 0, "unchanged names delta to zero");
+    }
+
+    /// Satellite: before-only names (a restarted shard whose instruments
+    /// vanished) are dropped from the diff — nothing new to attribute —
+    /// and a fresh same-name registration saturates at zero instead of
+    /// underflowing.
+    #[test]
+    fn diff_drops_before_only_names_and_saturates_restarts() {
+        let a = MetricsRegistry::new();
+        a.count("coda_test_ops", 9);
+        a.gauge("coda_test_depth").set(4.0);
+        a.observe_ms("coda_test_ms", 1.0);
+        let before = a.snapshot();
+        // the "restarted shard": a fresh registry missing every old name
+        let b = MetricsRegistry::new();
+        b.count("coda_test_other", 1);
+        let delta = b.snapshot().diff(&before);
+        assert!(!delta.counters.contains_key("coda_test_ops"), "before-only counters drop");
+        assert!(!delta.gauges.contains_key("coda_test_depth"), "before-only gauges drop");
+        assert!(!delta.histograms.contains_key("coda_test_ms"), "before-only histograms drop");
+        assert_eq!(delta.counter("coda_test_other"), 1);
+        // restart with the same name at a lower value: saturate, not wrap
+        let c = MetricsRegistry::new();
+        c.count("coda_test_ops", 2);
+        let delta = c.snapshot().diff(&before);
+        assert_eq!(delta.counter("coda_test_ops"), 0, "9 → 2 saturates at zero");
+    }
+
+    /// Satellite: `# HELP` lines render with text-format escaping, label
+    /// values escape, and the exposition parses back (round-trip).
+    #[test]
+    fn prometheus_exposition_conforms_and_roundtrips() {
+        let reg = MetricsRegistry::new();
+        reg.count("coda_test_ops", 4);
+        reg.gauge("coda_test_depth").set(1.5);
+        reg.observe_ms("coda_test_ms", 3.0);
+        reg.set_help("coda_test_ops", "requests served\nsecond line with \\ backslash");
+        reg.set_help("coda_test_ms", "latency");
+        let text = reg.render_prometheus();
+
+        // escaping: the newline and backslash are literal escapes, and the
+        // HELP line directly precedes its TYPE line
+        assert!(
+            text.contains("# HELP coda_test_ops requests served\\nsecond line with \\\\ backslash")
+        );
+        assert!(text.contains("# HELP coda_test_ms latency\n# TYPE coda_test_ms histogram"));
+        assert!(!text.contains("# HELP coda_test_depth"), "no help set, no HELP line");
+
+        // every sample line's metric family has a TYPE line
+        let mut typed = std::collections::BTreeSet::new();
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let mut parts = line.split_whitespace().skip(2);
+            let (name, kind) = (parts.next().unwrap(), parts.next().unwrap());
+            assert!(["counter", "gauge", "histogram"].contains(&kind), "{line}");
+            typed.insert(name.to_string());
+        }
+        assert_eq!(
+            typed,
+            ["coda_test_depth", "coda_test_ms", "coda_test_ops"]
+                .iter()
+                .map(ToString::to_string)
+                .collect()
+        );
+
+        // round-trip: parse sample lines back and compare to the snapshot
+        let mut parsed: BTreeMap<String, f64> = BTreeMap::new();
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (name, value) = line.rsplit_once(' ').unwrap();
+            parsed.insert(name.to_string(), value.parse().unwrap());
+        }
+        assert_eq!(parsed["coda_test_ops"], 4.0);
+        assert_eq!(parsed["coda_test_depth"], 1.5);
+        assert_eq!(parsed["coda_test_ms_count"], 1.0);
+        assert_eq!(parsed["coda_test_ms_sum"], 3.0);
+        assert_eq!(parsed["coda_test_ms_bucket{le=\"+Inf\"}"], 1.0, "cumulative +Inf == count");
+        assert_eq!(text, reg.render_prometheus(), "rendering is deterministic");
     }
 
     #[test]

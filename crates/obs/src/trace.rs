@@ -230,7 +230,7 @@ impl Tracer {
             None => self.alloc_trace(),
         };
         let ctx = SpanContext { trace_id, span_id };
-        self.push(TraceEvent {
+        self.record(TraceEvent {
             name: name.to_string(),
             kind: EventKind::SpanStart,
             at_ms,
@@ -293,7 +293,7 @@ impl Tracer {
 
     /// Closes a span opened with [`Tracer::begin_span`].
     pub fn end_span(&self, ctx: SpanContext, fields: &[(&str, &str)]) {
-        self.push(TraceEvent {
+        self.record(TraceEvent {
             name: String::new(),
             kind: EventKind::SpanEnd,
             at_ms: self.now_ms(),
@@ -312,7 +312,7 @@ impl Tracer {
     /// Records a point event attached to the span identified by `ctx` —
     /// used when the owning context was carried in-band with a message.
     pub fn event_in(&self, ctx: SpanContext, name: &str, fields: &[(&str, &str)]) {
-        self.push(TraceEvent {
+        self.record(TraceEvent {
             name: name.to_string(),
             kind: EventKind::Event,
             at_ms: self.now_ms(),
@@ -325,7 +325,7 @@ impl Tracer {
     /// Records a point event at an explicit timestamp — used by drivers
     /// that carry their own logical clock (e.g. the chaos driver).
     pub fn event_at(&self, at_ms: f64, name: &str, fields: &[(&str, &str)]) {
-        self.push(TraceEvent {
+        self.record(TraceEvent {
             name: name.to_string(),
             kind: EventKind::Event,
             at_ms,
@@ -335,7 +335,7 @@ impl Tracer {
         });
     }
 
-    fn push(&self, event: TraceEvent) {
+    fn record(&self, event: TraceEvent) {
         self.events.lock().push(event);
     }
 
@@ -365,6 +365,146 @@ impl Tracer {
         }
         out
     }
+
+    /// Tail-based trace sampling: with the *whole* trace in hand, keep the
+    /// interesting ones (matched an event name, carried a flagged field
+    /// key, contained a span at least `keep_min_dur_ms` long, or was
+    /// explicitly pinned) and drop everything else — bounding trace memory
+    /// under sustained load without losing the traces worth debugging.
+    /// Traces with spans still open are always kept (their verdict is not
+    /// in yet), as are events recorded outside any span. The decision is a
+    /// pure function of the recorded events, so same-seed runs sample
+    /// identically.
+    pub fn sample_tail(&self, policy: &TailPolicy) -> TailSampleReport {
+        let mut events = self.events.lock();
+        let mut starts: HashMap<u64, f64> = HashMap::new();
+        let mut open: HashMap<u64, usize> = HashMap::new();
+        let mut seen: Vec<u64> = Vec::new();
+        let mut keep: std::collections::HashSet<u64> =
+            policy.keep_trace_ids.iter().map(|t| t.0).collect();
+        for e in events.iter() {
+            let Some(ctx) = e.ctx else { continue };
+            let trace = ctx.trace_id.0;
+            if !seen.contains(&trace) {
+                seen.push(trace);
+            }
+            match e.kind {
+                EventKind::SpanStart => {
+                    starts.insert(ctx.span_id.0, e.at_ms);
+                    *open.entry(trace).or_insert(0) += 1;
+                }
+                EventKind::SpanEnd => {
+                    if let Some(n) = open.get_mut(&trace) {
+                        *n = n.saturating_sub(1);
+                    }
+                    if let Some(start) = starts.get(&ctx.span_id.0) {
+                        if e.at_ms - start >= policy.keep_min_dur_ms {
+                            keep.insert(trace);
+                        }
+                    }
+                }
+                EventKind::Event => {}
+            }
+            if policy.keep_event_names.contains(&e.name) {
+                keep.insert(trace);
+            }
+            if e.fields.iter().any(|(k, _)| policy.keep_field_keys.iter().any(|f| f == k)) {
+                keep.insert(trace);
+            }
+        }
+        for (trace, open_spans) in &open {
+            if *open_spans > 0 {
+                keep.insert(*trace);
+            }
+        }
+        let events_before = events.len();
+        let traces_kept = seen.iter().filter(|t| keep.contains(t)).count();
+        events.retain(|e| match e.ctx {
+            None => true,
+            Some(ctx) => keep.contains(&ctx.trace_id.0),
+        });
+        TailSampleReport {
+            traces_seen: seen.len(),
+            traces_kept,
+            events_before,
+            events_after: events.len(),
+        }
+    }
+}
+
+/// What [`Tracer::sample_tail`] keeps. The default keeps nothing but open
+/// traces — arm it with the builder methods.
+#[derive(Debug, Clone)]
+pub struct TailPolicy {
+    /// Keep traces containing a span at least this long (ms); `+inf`
+    /// disables duration-based keeping.
+    pub keep_min_dur_ms: f64,
+    /// Keep traces containing an event or span with one of these names.
+    pub keep_event_names: Vec<String>,
+    /// Keep traces containing an event or span carrying one of these
+    /// field keys (e.g. `error`).
+    pub keep_field_keys: Vec<String>,
+    /// Always-keep trace ids (e.g. traces referenced by an exemplar).
+    pub keep_trace_ids: Vec<TraceId>,
+}
+
+impl Default for TailPolicy {
+    fn default() -> Self {
+        TailPolicy {
+            keep_min_dur_ms: f64::INFINITY,
+            keep_event_names: Vec::new(),
+            keep_field_keys: Vec::new(),
+            keep_trace_ids: Vec::new(),
+        }
+    }
+}
+
+impl TailPolicy {
+    /// A policy that keeps nothing (beyond still-open traces).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Keep traces containing a span at least `ms` long.
+    #[must_use]
+    pub fn with_min_dur_ms(mut self, ms: f64) -> Self {
+        self.keep_min_dur_ms = ms;
+        self
+    }
+
+    /// Keep traces containing an event or span named `name`.
+    #[must_use]
+    pub fn keep_event(mut self, name: &str) -> Self {
+        self.keep_event_names.push(name.to_string());
+        self
+    }
+
+    /// Keep traces carrying field key `key` anywhere.
+    #[must_use]
+    pub fn keep_field(mut self, key: &str) -> Self {
+        self.keep_field_keys.push(key.to_string());
+        self
+    }
+
+    /// Pin `trace` regardless of content.
+    #[must_use]
+    pub fn keep_trace(mut self, trace: TraceId) -> Self {
+        self.keep_trace_ids.push(trace);
+        self
+    }
+}
+
+/// What one [`Tracer::sample_tail`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailSampleReport {
+    /// Distinct traces inspected.
+    pub traces_seen: usize,
+    /// Traces retained.
+    pub traces_kept: usize,
+    /// Events held before the pass.
+    pub events_before: usize,
+    /// Events held after the pass.
+    pub events_after: usize,
 }
 
 /// Closes its span (recording `dur_ms`) on drop; exposes the span's
@@ -387,7 +527,7 @@ impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let end = self.tracer.now_ms();
         self.tracer.pop_current(self.ctx);
-        self.tracer.push(TraceEvent {
+        self.tracer.record(TraceEvent {
             name: String::new(),
             kind: EventKind::SpanEnd,
             at_ms: end,
@@ -533,5 +673,88 @@ mod tests {
         tracer.event("x", &[]);
         assert_eq!(tracer.len(), 1);
         assert!(!tracer.is_empty());
+    }
+
+    #[test]
+    fn tail_sampling_keeps_interesting_traces_and_drops_the_rest() {
+        let (clock, tracer) = manual_tracer();
+        // trace 1: fast and boring — must drop
+        {
+            let _s = tracer.span("serve.request", &[]);
+            clock.advance_ms(0.1);
+        }
+        // trace 2: slow — kept by duration
+        let slow = {
+            let s = tracer.span("serve.request", &[]);
+            clock.advance_ms(25.0);
+            s.context().trace_id
+        };
+        // trace 3: shed — kept by event name
+        {
+            let s = tracer.span("serve.request", &[]);
+            tracer.event_in(s.context(), "serve.shed", &[("shard", "0")]);
+            clock.advance_ms(0.1);
+        }
+        // trace 4: errored — kept by field key
+        {
+            let _s = tracer.span("serve.request", &[("error", "timeout")]);
+            clock.advance_ms(0.1);
+        }
+        // ctx-less driver event: always survives
+        tracer.event_at(99.0, "driver.tick", &[]);
+        let report = tracer.sample_tail(
+            &TailPolicy::new().with_min_dur_ms(10.0).keep_event("serve.shed").keep_field("error"),
+        );
+        assert_eq!(report.traces_seen, 4);
+        assert_eq!(report.traces_kept, 3, "only the fast boring trace drops");
+        assert!(report.events_after < report.events_before);
+        let log = tracer.render_log();
+        assert!(log.contains(&format!("trace={slow}")), "slow trace survives: {log}");
+        assert!(log.contains("serve.shed"));
+        assert!(log.contains("error=timeout"));
+        assert!(log.contains("driver.tick"), "ctx-less events survive");
+        assert_eq!(tracer.len(), report.events_after);
+    }
+
+    #[test]
+    fn tail_sampling_never_drops_open_traces_or_pinned_ids() {
+        let (_clock, tracer) = manual_tracer();
+        let open = tracer.begin_span("driver.key", None, &[]);
+        let closed = {
+            let s = tracer.span("fast", &[]);
+            s.context().trace_id
+        };
+        let report = tracer.sample_tail(&TailPolicy::new());
+        assert_eq!(report.traces_kept, 1, "the open trace survives a keep-nothing policy");
+        assert!(tracer.render_log().contains("driver.key"));
+        assert!(!tracer.render_log().contains("fast"));
+        tracer.end_span(open, &[]);
+
+        let (_clock2, tracer2) = manual_tracer();
+        let pinned = {
+            let s = tracer2.span("fast", &[]);
+            s.context().trace_id
+        };
+        let _ = closed;
+        let report = tracer2.sample_tail(&TailPolicy::new().keep_trace(pinned));
+        assert_eq!(report.traces_kept, 1, "pinned ids survive");
+        assert_eq!(report.events_after, report.events_before);
+    }
+
+    #[test]
+    fn tail_sampling_is_deterministic() {
+        let run = || {
+            let (clock, tracer) = manual_tracer();
+            for i in 0..8 {
+                let s = tracer.span("op", &[("i", &i.to_string())]);
+                if i % 3 == 0 {
+                    tracer.event_in(s.context(), "op.flag", &[]);
+                }
+                clock.advance_ms(if i % 2 == 0 { 1.0 } else { 20.0 });
+            }
+            tracer.sample_tail(&TailPolicy::new().with_min_dur_ms(10.0).keep_event("op.flag"));
+            tracer.render_log()
+        };
+        assert_eq!(run(), run(), "sampling must replay byte-identically");
     }
 }

@@ -24,7 +24,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use coda_chaos::CrashPlan;
-use coda_obs::{Counter, Gauge, Histogram, Obs};
+use coda_obs::{BurnState, Counter, Gauge, Histogram, Obs};
 
 use crate::request::{ServeError, ServeRequest, ServeResponse};
 use crate::router::ShardRouter;
@@ -50,6 +50,15 @@ pub struct ServeConfig {
     pub trigger: TriggerPolicy,
     /// Crash-stop schedule; points target nodes named `shard-{i}`.
     pub plan: CrashPlan,
+    /// Shared SLO burn state from a [`coda_obs::SloEngine`] the admission
+    /// edge can consult (`None` = no ops plane attached).
+    pub burn_state: Option<Arc<BurnState>>,
+    /// When `true` *and* `burn_state` reports a breach, the admission edge
+    /// sheds new data-plane requests before they enqueue (counted under
+    /// `coda_serve_burn_shed_total` as well as the shed total). `false` —
+    /// the default — keeps the hook purely observational: attaching a
+    /// burn state changes nothing (equivalence-gated in tests).
+    pub burn_admission: bool,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +71,8 @@ impl Default for ServeConfig {
             snapshot_every: 32,
             trigger: TriggerPolicy::Off,
             plan: CrashPlan::new(),
+            burn_state: None,
+            burn_admission: false,
         }
     }
 }
@@ -187,6 +198,9 @@ pub struct ServeTier {
     shed: Arc<AtomicU64>,
     shed_counter: Option<Arc<Counter>>,
     depth_gauge: Option<Arc<Gauge>>,
+    burn_state: Option<Arc<BurnState>>,
+    burn_admission: bool,
+    burn_shed_counter: Option<Arc<Counter>>,
 }
 
 impl ServeTier {
@@ -247,6 +261,9 @@ impl ServeTier {
             shed: Arc::new(AtomicU64::new(0)),
             shed_counter: obs.map(|o| o.registry().counter("coda_serve_shed_total")),
             depth_gauge: obs.map(|o| o.registry().gauge("coda_serve_queue_depth")),
+            burn_state: cfg.burn_state.clone(),
+            burn_admission: cfg.burn_admission,
+            burn_shed_counter: obs.map(|o| o.registry().counter("coda_serve_burn_shed_total")),
         }
     }
 
@@ -269,6 +286,24 @@ impl ServeTier {
     /// is full; [`ServeError::ShardUnavailable`] when its worker stopped.
     pub fn submit_nowait(&self, req: ServeRequest) -> Result<Pending, ServeError> {
         let shard = self.router.route(&req);
+        // SLO-burn back-pressure: when opted in and the attached burn state
+        // reports an active breach, shed before enqueueing — the tier
+        // trades availability for recovery headroom. Observational mode
+        // (the default) never touches this branch.
+        if self.burn_admission {
+            if let Some(state) = &self.burn_state {
+                if state.breached() {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    if let Some(c) = &self.shed_counter {
+                        c.inc();
+                    }
+                    if let Some(c) = &self.burn_shed_counter {
+                        c.inc();
+                    }
+                    return Err(ServeError::Overloaded { shard });
+                }
+            }
+        }
         let (reply_tx, reply_rx) = mpsc::channel();
         match self.mailboxes[shard].try_send(ShardMsg::Op { req, reply: reply_tx }) {
             Ok(()) => {
@@ -527,6 +562,82 @@ mod tests {
         let report = tier.finish();
         assert_eq!(report.shed_total, 3);
         assert_eq!(report.total_ops(), 5);
+    }
+
+    /// Tentpole equivalence gate: attaching a burn state WITHOUT opting
+    /// into burn admission must reproduce the exact shed counts of the
+    /// hook-free tier, even while the state screams "breached".
+    #[test]
+    fn an_observational_burn_hook_changes_nothing() {
+        let obs = Obs::deterministic();
+        let burn = Arc::new(BurnState::new());
+        burn.update(9.0, true); // breached the whole time — and ignored
+        let cfg = ServeConfig {
+            n_shards: 1,
+            queue_capacity: 4,
+            burn_state: Some(burn),
+            burn_admission: false,
+            ..ServeConfig::default()
+        };
+        let tier = ServeTier::start_obs(&cfg, Some(&obs));
+        let hold = tier.hold_shard(0);
+        let mut pendings = Vec::new();
+        for i in 0..4 {
+            pendings.push(tier.submit_nowait(put(&format!("o{i}"), 1)).expect("fits the queue"));
+        }
+        for i in 0..3 {
+            let err = tier.submit_nowait(put(&format!("x{i}"), 1));
+            assert_eq!(err.unwrap_err(), ServeError::Overloaded { shard: 0 });
+        }
+        hold.release();
+        for p in pendings {
+            p.wait().expect("queued op completes");
+        }
+        // byte-for-byte the queue-full scenario: 3 sheds, none burn-driven
+        assert_eq!(tier.shed_total(), 3);
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("coda_serve_shed_total"), 3);
+        assert_eq!(snap.counter("coda_serve_burn_shed_total"), 0, "observational hooks never shed");
+        let report = tier.finish();
+        assert_eq!(report.total_ops(), 4);
+        assert_eq!(report.shed_total, 3);
+    }
+
+    /// With admission opted in, a breached burn state sheds at the edge
+    /// (typed error + dedicated counter) and clears the moment the SLO
+    /// recovers — no queue interaction required.
+    #[test]
+    fn burn_admission_sheds_while_breached_and_recovers() {
+        let obs = Obs::deterministic();
+        let burn = Arc::new(BurnState::new());
+        let cfg = ServeConfig {
+            n_shards: 1,
+            queue_capacity: 8,
+            burn_state: Some(burn.clone()),
+            burn_admission: true,
+            ..ServeConfig::default()
+        };
+        let tier = ServeTier::start_obs(&cfg, Some(&obs));
+
+        // healthy: admits normally
+        tier.submit(put("before", 1)).expect("healthy SLO admits");
+
+        // breached: every new request sheds before touching a mailbox
+        burn.update(4.0, true);
+        for i in 0..3 {
+            let err = tier.submit_nowait(put(&format!("b{i}"), 1));
+            assert_eq!(err.unwrap_err(), ServeError::Overloaded { shard: 0 });
+        }
+        let snap = obs.registry().snapshot();
+        assert_eq!(snap.counter("coda_serve_burn_shed_total"), 3);
+        assert_eq!(snap.counter("coda_serve_shed_total"), 3, "burn sheds count in the shed total");
+
+        // recovered: admission resumes immediately
+        burn.update(0.2, false);
+        tier.submit(put("after", 2)).expect("recovered SLO admits");
+        let report = tier.finish();
+        assert_eq!(report.total_ops(), 2);
+        assert_eq!(report.shed_total, 3);
     }
 
     #[test]

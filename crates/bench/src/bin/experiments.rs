@@ -43,6 +43,7 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("d6", "robustness: crash-stop failure, WAL replay and home failover"),
     ("d7", "serving tier: sharded multi-tenant sustained load (writes BENCH_serving.json)"),
     ("d8", "ops plane: flight recorder, SLO burn rates, exemplar cost profiles (writes OPS_REPORT.json)"),
+    ("d9", "incident diagnosis: breach-triggered root-cause attribution vs injected ground truth (writes DIAG_REPORT.json)"),
     ("s1", "§IV-E: the four solution templates"),
     ("s2", "§II: censored failure-time analysis (Kaplan-Meier)"),
     ("a1", "ablation: delta history depth"),
@@ -141,6 +142,9 @@ fn main() {
     }
     if run("d8") {
         exp_d8();
+    }
+    if run("d9") {
+        exp_d9();
     }
     if run("s1") {
         exp_s1();
@@ -1088,6 +1092,49 @@ fn exp_d8() {
         .expect("COST_PROFILE.json must be writable");
     println!("wrote OPS_REPORT.json and COST_PROFILE.json (deterministic for a fixed seed)");
     println!("shape: the clean scenario never burns while every injected fault — shed bursts, a latency tail, failing OLS paths, an unrecovered home crash — pushes its declared SLO over both burn windows.");
+}
+
+/// D9 — from burn to blame: the diagnosis engine replays the D8 pair and
+/// two targeted faults (single hot shard, single slow operator), then
+/// scores each incident report against the injected ground truth. Writes
+/// `DIAG_REPORT.json`, byte-identical across same-seed runs and across
+/// serving shard counts.
+fn exp_d9() {
+    let seed: u64 = std::env::var("DIAG_SEED")
+        .ok()
+        .map(|s| s.parse().expect("DIAG_SEED must be an integer"))
+        .unwrap_or(7);
+    let bundle = coda_bench::run_diag_report(seed, 2);
+
+    assert_eq!(bundle.clean.incidents, 0, "the healthy run must diagnose to zero incidents");
+    assert!(bundle.fault.incidents > 0, "the fault run must raise incidents");
+    assert!(bundle.all_attributed(), "every scenario must attribute to its injected cause");
+
+    let mut rows = Vec::new();
+    for s in [&bundle.clean, &bundle.fault, &bundle.hot_shard, &bundle.slow_operator] {
+        let top = s.top_suspects.first().cloned().unwrap_or_else(|| "-".to_string());
+        rows.push(vec![
+            s.name.clone(),
+            s.incidents.to_string(),
+            s.injected.first().cloned().unwrap_or_else(|| "-".to_string()),
+            top,
+            if s.attributed == 1 { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("D9 — incident diagnosis vs injected ground truth (seed {seed})"),
+        &["scenario", "incidents", "injected cause", "top suspect", "attributed"],
+        &rows,
+    );
+    for inc in &bundle.slow_operator.report.incidents {
+        if !inc.critical_path.is_empty() {
+            println!("critical path ({}): {}", inc.slo, inc.critical_path.join(" > "));
+        }
+    }
+    std::fs::write("DIAG_REPORT.json", bundle.to_json())
+        .expect("DIAG_REPORT.json must be writable");
+    println!("wrote DIAG_REPORT.json (deterministic for a fixed seed, any shard count)");
+    println!("shape: the clean run stays silent, the D8 fault families all surface as suspects, and each targeted fault pins its injected cause — the hot shard by its queue-wait split, the slow operator by its spec-labeled eval path.");
 }
 
 /// S1 — §IV-E solution templates on synthetic industrial data.

@@ -11,7 +11,10 @@
 use coda_bench::fan_out_graph;
 use coda_core::{Evaluator, GraphReport};
 use coda_data::{synth, CvStrategy, Metric};
-use coda_obs::{FlightConfig, FlightRecorder, Obs, TailPolicy};
+use coda_obs::{
+    diagnose, BurnWindows, DiagnoseConfig, FlightConfig, FlightRecorder, Obs, SloEngine, SloSignal,
+    SloSpec, TailPolicy,
+};
 
 const TRIALS: usize = 5;
 const DEFAULT_MAX_RATIO: f64 = 1.30;
@@ -132,4 +135,83 @@ fn main() {
         std::process::exit(1);
     }
     println!("PASS: within budget ({ops_ms:.1} ms <= {ops_budget_ms:.1} ms)");
+
+    // phase 3: diagnosis armed but unbreached — an SLO engine steps at
+    // every flight tick and the attribution engine runs over the final
+    // telemetry. With no breach the engine must cost nothing beyond the
+    // ops plane (same +5% budget) and must emit the empty report
+    // byte-identically on every trial.
+    let specs = vec![
+        SloSpec {
+            name: "eval-error-rate".to_string(),
+            signal: SloSignal::EventRatio {
+                bad: "coda_core_eval_path_errors".to_string(),
+                good: "coda_core_eval_paths_ok".to_string(),
+            },
+            objective: 0.05,
+        },
+        SloSpec {
+            name: "gate-failovers".to_string(),
+            signal: SloSignal::Occurrence {
+                counter: "coda_cluster_failovers_total".to_string(),
+                allowed_per_window: 0.02,
+            },
+            objective: 1.0,
+        },
+    ];
+    let mut diag_ms = f64::INFINITY;
+    let mut first_json: Option<String> = None;
+    for trial in 0..TRIALS {
+        let obs = Obs::wall();
+        obs.exemplars().enable(0.0, 8);
+        let mut recorder = FlightRecorder::new(FlightConfig::default());
+        let mut engine = SloEngine::new(specs.clone(), BurnWindows::default());
+        let start = std::time::Instant::now();
+        recorder.tick(obs.now_ms(), &obs.registry().snapshot());
+        engine.step(&recorder, Some(obs.tracer().as_ref()));
+        let mut eval = Evaluator::new(cv.clone(), Metric::Rmse).with_prefix_cache(true);
+        eval = eval.with_obs(obs.clone());
+        let diag_report_eval = eval.evaluate_graph(&graph, &ds).expect("gate graph evaluates");
+        recorder.tick(obs.now_ms() + (trial as f64 + 1.0) * 100.0, &obs.registry().snapshot());
+        engine.step(&recorder, Some(obs.tracer().as_ref()));
+        let slo = engine.report();
+        let diag = diagnose(
+            &DiagnoseConfig::default(),
+            &recorder,
+            &slo,
+            &obs.exemplars().snapshot(),
+            &obs.forest(),
+        );
+        diag_ms = diag_ms.min(start.elapsed().as_secs_f64() * 1000.0);
+
+        assert!(diag.incidents.is_empty(), "an unbreached run must diagnose to zero incidents");
+        let json = diag.to_json();
+        match &first_json {
+            Some(prev) => {
+                assert_eq!(prev, &json, "unbreached diagnosis reports must render byte-identically")
+            }
+            None => first_json = Some(json),
+        }
+        for (a, b) in report.results.iter().zip(&diag_report_eval.results) {
+            assert_eq!(a.spec, b.spec, "specs must match");
+            assert_eq!(
+                a.mean_score.to_bits(),
+                b.mean_score.to_bits(),
+                "armed diagnosis must stay observational (bit-identical scores)"
+            );
+        }
+    }
+    let diag_ratio = diag_ms / ops_ms;
+    let diag_budget_ms = ops_ms * OPS_MAX_RATIO + ABS_SLACK_MS;
+    println!("diagnosis overhead gate (SLO engine armed, no breach)");
+    println!("  ops plane:    {ops_ms:.1} ms");
+    println!("  with diagnosis: {diag_ms:.1} ms");
+    println!(
+        "  ratio:        {diag_ratio:.3}x  (budget {OPS_MAX_RATIO:.2}x + {ABS_SLACK_MS:.0} ms)"
+    );
+    if diag_ms > diag_budget_ms {
+        eprintln!("FAIL: diagnosis took {diag_ms:.1} ms, over the {diag_budget_ms:.1} ms budget");
+        std::process::exit(1);
+    }
+    println!("PASS: within budget ({diag_ms:.1} ms <= {diag_budget_ms:.1} ms)");
 }

@@ -8,8 +8,10 @@ use coda_ml::{
     ScoreFunction, SelectKBest, StandardScaler,
 };
 
+pub mod diag;
 pub mod ops;
 pub mod serving;
+pub use diag::{run_diag_report, ClockBurnScaler, DiagBundle, DiagScenario};
 pub use ops::{run_ops_report, run_ops_scenario, CriticalPath, OpsReport, OpsScenario};
 pub use serving::{run_serving_bench, serving_bench_config, ServingBenchResult};
 

@@ -142,8 +142,9 @@ impl OpsReport {
     }
 }
 
-/// The declared serving-tier SLOs, shared by both scenarios.
-fn slo_specs() -> Vec<SloSpec> {
+/// The declared serving-tier SLOs, shared by both scenarios (and extended
+/// by the D9 diagnosis driver).
+pub(crate) fn slo_specs() -> Vec<SloSpec> {
     vec![
         SloSpec {
             name: "serve-shed-rate".to_string(),
@@ -214,11 +215,30 @@ fn critical_path(forest: &TraceForest, id: SpanId) -> String {
     segments.join(" > ")
 }
 
+/// The raw telemetry a scenario run leaves behind, beyond the rendered
+/// [`OpsScenario`]: everything the D9 diagnosis engine consumes.
+pub struct ScenarioArtifacts {
+    /// The flight recorder, timeline intact.
+    pub recorder: FlightRecorder,
+    /// The burn-rate evaluation record.
+    pub slo: SloReport,
+    /// Retained exemplars, keyed by metric.
+    pub exemplars: std::collections::BTreeMap<String, Vec<coda_obs::Exemplar>>,
+    /// The full-run span forest (pre tail-sampling).
+    pub forest: TraceForest,
+}
+
 /// Drives one scenario: `fault = false` is the healthy baseline, `fault =
 /// true` injects shed bursts, a latency tail, failing eval paths, and an
 /// unrecovered home crash. Single-threaded closed-loop submission plus the
 /// manual clock make the returned scenario byte-stable for a given seed.
 pub fn run_ops_scenario(seed: u64, fault: bool) -> OpsScenario {
+    run_ops_scenario_full(seed, fault).0
+}
+
+/// As [`run_ops_scenario`], additionally returning the raw artifacts so a
+/// diagnosis pass can attribute whatever breached.
+pub fn run_ops_scenario_full(seed: u64, fault: bool) -> (OpsScenario, ScenarioArtifacts) {
     let obs = Obs::deterministic();
     obs.exemplars().enable(0.0, EXEMPLAR_CAP);
     let mut recorder =
@@ -352,14 +372,14 @@ pub fn run_ops_scenario(seed: u64, fault: bool) -> OpsScenario {
     let tail = obs.tracer().sample_tail(&policy);
     let burn_events = obs.tracer().events().iter().filter(|e| e.name == "slo.burn").count() as u64;
 
-    OpsScenario {
+    let scenario = OpsScenario {
         name: if fault { "fault" } else { "clean" }.to_string(),
         windows: N_WINDOWS,
         burn_events,
         total_breaches: slo.total_breaches(),
         serve_ops: tier_report.total_ops(),
         serve_shed: tier_report.shed_total,
-        slo,
+        slo: slo.clone(),
         timeline: recorder.timeline().into_iter().cloned().collect(),
         critical_paths,
         cost,
@@ -367,7 +387,10 @@ pub fn run_ops_scenario(seed: u64, fault: bool) -> OpsScenario {
         traces_kept: tail.traces_kept as u64,
         events_before: tail.events_before as u64,
         events_after: tail.events_after as u64,
-    }
+    };
+    let artifacts =
+        ScenarioArtifacts { recorder, slo, exemplars: obs.exemplars().snapshot(), forest };
+    (scenario, artifacts)
 }
 
 /// Runs both scenarios of the D8 ops drill for one seed.

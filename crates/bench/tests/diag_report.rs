@@ -1,0 +1,95 @@
+//! End-to-end gates for the D9 incident-diagnosis drill: ground-truth
+//! attribution, byte-identical determinism across re-runs *and* shard
+//! counts, and serde round-trips of the report schemas (including the
+//! empty-incident and no-exemplar edges).
+
+use coda_bench::{run_diag_report, DiagBundle};
+use coda_obs::DiagReport;
+
+const SEED: u64 = 7;
+
+#[test]
+fn diag_bundle_attributes_every_scenario_to_its_injected_cause() {
+    let bundle = run_diag_report(SEED, 2);
+
+    // clean: no fault injected, no incident raised
+    assert_eq!(bundle.clean.incidents, 0, "clean run must diagnose to zero incidents");
+    assert_eq!(bundle.clean.attributed, 1);
+
+    // fault pair: every injected family appears among some incident's suspects
+    assert!(bundle.fault.incidents > 0, "the D8 fault run must raise incidents");
+    assert_eq!(
+        bundle.fault.attributed, 1,
+        "fault suspects {:?} must cover {:?}",
+        bundle.fault.top_suspects, bundle.fault.injected
+    );
+
+    // hot shard: the per-shard queue-wait split is the top suspect of
+    // every incident — not the aggregate, not the shed counter
+    assert!(bundle.hot_shard.incidents > 0);
+    assert_eq!(
+        bundle.hot_shard.attributed, 1,
+        "hot-shard top suspects {:?} must all equal {:?}",
+        bundle.hot_shard.top_suspects, bundle.hot_shard.injected
+    );
+
+    // slow operator: blamed by operator identity, `name[spec]`
+    assert!(bundle.slow_operator.incidents > 0);
+    assert_eq!(
+        bundle.slow_operator.attributed, 1,
+        "slow-operator top suspects {:?} must all equal {:?}",
+        bundle.slow_operator.top_suspects, bundle.slow_operator.injected
+    );
+    assert!(bundle.all_attributed());
+}
+
+#[test]
+fn diag_bundle_is_byte_identical_across_reruns_and_shard_counts() {
+    let one = run_diag_report(SEED, 1).to_json();
+    let two = run_diag_report(SEED, 2).to_json();
+    let eight = run_diag_report(SEED, 8).to_json();
+    let two_again = run_diag_report(SEED, 2).to_json();
+    assert_eq!(two, two_again, "same seed, same shards: must render byte-identically");
+    assert_eq!(one, two, "one vs two shards must render byte-identically");
+    assert_eq!(two, eight, "two vs eight shards must render byte-identically");
+}
+
+#[test]
+fn diag_bundle_round_trips_through_json() {
+    let bundle = run_diag_report(SEED, 2);
+    let parsed = DiagBundle::from_json(&bundle.to_json()).expect("round-trip");
+    assert_eq!(parsed, bundle);
+}
+
+#[test]
+fn empty_and_no_exemplar_reports_round_trip() {
+    // the clean scenario is the canonical empty-incident report
+    let bundle = run_diag_report(SEED, 2);
+    let clean = &bundle.clean.report;
+    assert!(clean.incidents.is_empty());
+    let parsed = DiagReport::from_json(&clean.to_json()).expect("empty report round-trip");
+    assert_eq!(&parsed, clean);
+
+    // a hand-built incident with no exemplars (hence no operator suspects,
+    // no critical path) must survive the trip too
+    let report = DiagReport {
+        schema: "coda-diag-report-v1".to_string(),
+        incidents: vec![coda_obs::Incident {
+            slo: "serve-queue-wait".to_string(),
+            first_breach_ms: 900.0,
+            last_breach_ms: 1600.0,
+            breaches: 8,
+            max_long_burn: 5.0,
+            max_short_burn: 18.0,
+            baseline_windows: 6,
+            anomaly_windows: 9,
+            series_suspects: Vec::new(),
+            operator_suspects: Vec::new(),
+            shard_suspects: Vec::new(),
+            critical_path: Vec::new(),
+            top_suspect: String::new(),
+        }],
+    };
+    let parsed = DiagReport::from_json(&report.to_json()).expect("no-exemplar round-trip");
+    assert_eq!(parsed, report);
+}

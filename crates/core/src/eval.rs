@@ -12,7 +12,7 @@ use std::sync::{Arc, Mutex};
 use coda_data::cv::{CvError, Split};
 use coda_data::metrics::MetricError;
 use coda_data::{ComponentError, CvStrategy, Dataset, Metric, Params};
-use coda_obs::{Histogram, HistogramSnapshot, Obs, DEFAULT_MS_BOUNDS};
+use coda_obs::{labeled_name, Histogram, HistogramSnapshot, Obs, DEFAULT_MS_BOUNDS};
 
 use crate::cache::{CacheStats, TransformCache};
 use crate::graph::{GraphError, Teg};
@@ -366,7 +366,7 @@ impl Evaluator {
         let span = obs.tracer().span_with_parent(parent, "eval.path", &[("spec", &key as &str)]);
         let start = obs.now_ms();
         let result = self.run_job(pipeline, params, data);
-        Self::finish_path_obs(obs, &span, hist, start, result.is_ok());
+        Self::finish_path_obs(obs, &span, hist, start, result.is_ok(), &key);
         result
     }
 
@@ -389,27 +389,33 @@ impl Evaluator {
         let span = obs.tracer().span_with_parent(parent, "eval.path", &[("spec", &key as &str)]);
         let start = obs.now_ms();
         let result = self.run_job_cached(pipeline, params, data, splits, cache);
-        Self::finish_path_obs(obs, &span, hist, start, result.is_ok());
+        Self::finish_path_obs(obs, &span, hist, start, result.is_ok(), &key);
         result
     }
 
     /// Shared tail of a traced path run: outcome counters for the SLO
     /// plane (`coda_core_eval_paths_ok` / `coda_core_eval_path_errors`),
-    /// the latency observation, and — when the exemplar store is armed —
-    /// an exemplar offer linking the observation back to its `eval.path`
-    /// span so slow paths surface in cost profiles with a trace attached.
+    /// the latency observation — into the local fold histogram and into a
+    /// per-spec labeled series so diagnosis can name the slow path — and,
+    /// when the exemplar store is armed, an exemplar offer linking the
+    /// observation back to its `eval.path` span so slow paths surface in
+    /// cost profiles with a trace attached.
     fn finish_path_obs(
         obs: &coda_obs::Obs,
         span: &coda_obs::SpanGuard<'_>,
         hist: Option<&Histogram>,
         start: f64,
         ok: bool,
+        spec_key: &str,
     ) {
         obs.count(if ok { "coda_core_eval_paths_ok" } else { "coda_core_eval_path_errors" }, 1);
         let elapsed = obs.now_ms() - start;
         if let Some(h) = hist {
             h.observe(elapsed);
         }
+        obs.registry()
+            .histogram(&labeled_name("coda_core_eval_path_ms", "spec", spec_key), DEFAULT_MS_BOUNDS)
+            .observe(elapsed);
         obs.exemplars().offer(
             "coda_core_eval_path_ms",
             elapsed,

@@ -5,10 +5,10 @@ use coda_data::{BoxedEstimator, ComponentError, Dataset, Estimator, ParamValue, 
 use coda_linalg::decomp::{cholesky_solve, lstsq};
 use coda_linalg::Matrix;
 
-fn design_with_intercept(data: &Dataset) -> Matrix {
+fn design_with_intercept(data: &Dataset) -> Result<Matrix, ComponentError> {
     let x = data.features();
     let ones = Matrix::filled(x.rows(), 1, 1.0);
-    ones.hstack(x).expect("row counts match by construction")
+    ones.hstack(x).map_err(|e| ComponentError::Numerical(e.to_string()))
 }
 
 /// Ordinary least-squares linear regression (QR-based).
@@ -54,7 +54,7 @@ impl Estimator for LinearRegression {
 
     fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
         let y = data.target_required()?;
-        let design = design_with_intercept(data);
+        let design = design_with_intercept(data)?;
         if design.rows() < design.cols() {
             return Err(ComponentError::InvalidInput(format!(
                 "need at least {} samples for {} features",
@@ -78,7 +78,7 @@ impl Estimator for LinearRegression {
                 data.n_features()
             )));
         }
-        let design = design_with_intercept(data);
+        let design = design_with_intercept(data)?;
         design.matvec(coef).map_err(|e| ComponentError::Numerical(e.to_string()))
     }
 
@@ -152,14 +152,15 @@ impl Estimator for RidgeRegression {
 
     fn fit(&mut self, data: &Dataset) -> Result<(), ComponentError> {
         let y = data.target_required()?;
-        let design = design_with_intercept(data);
+        let design = design_with_intercept(data)?;
         let mut gram = design.gram();
         for i in 1..gram.rows() {
             gram[(i, i)] += self.alpha;
         }
         // tiny jitter on the intercept keeps the system PD when alpha = 0
         gram[(0, 0)] += 1e-10;
-        let xty = design.transpose().matvec(y).expect("shapes match by construction");
+        let xty =
+            design.transpose().matvec(y).map_err(|e| ComponentError::Numerical(e.to_string()))?;
         let coef = cholesky_solve(&gram, &xty)
             .map_err(|e| ComponentError::Numerical(format!("ridge solve failed: {e}")))?;
         self.coef = Some(coef);
@@ -176,7 +177,7 @@ impl Estimator for RidgeRegression {
                 data.n_features()
             )));
         }
-        let design = design_with_intercept(data);
+        let design = design_with_intercept(data)?;
         design.matvec(coef).map_err(|e| ComponentError::Numerical(e.to_string()))
     }
 
@@ -222,7 +223,7 @@ impl LogisticRegression {
                 data.n_features()
             )));
         }
-        let design = design_with_intercept(data);
+        let design = design_with_intercept(data)?;
         let z = design.matvec(coef).map_err(|e| ComponentError::Numerical(e.to_string()))?;
         Ok(z.into_iter().map(sigmoid).collect())
     }
@@ -297,12 +298,12 @@ impl Estimator for LogisticRegression {
                 "logistic regression requires 0/1 labels".to_string(),
             ));
         }
-        let design = design_with_intercept(data);
+        let design = design_with_intercept(data)?;
         let n = design.rows() as f64;
         let d = design.cols();
         let mut w = vec![0.0; d];
         for _ in 0..self.max_iter {
-            let z = design.matvec(&w).expect("shapes match by construction");
+            let z = design.matvec(&w).map_err(|e| ComponentError::Numerical(e.to_string()))?;
             let mut grad = vec![0.0; d];
             for (i, row) in design.iter_rows().enumerate() {
                 let err = sigmoid(z[i]) - y[i];

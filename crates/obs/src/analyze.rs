@@ -231,6 +231,22 @@ impl TraceForest {
         path
     }
 
+    /// The critical path rendered as operator labels, root to leaf: each
+    /// span's name, refined to `name[value]` when it carries the
+    /// `refine_field` annotation — the same keying
+    /// [`CostProfile::from_forest_refined`](crate::profile::CostProfile)
+    /// uses, so diagnosis output joins against cost profiles directly.
+    pub fn critical_path_labels(&self, trace: TraceId, refine_field: Option<&str>) -> Vec<String> {
+        self.critical_path(trace)
+            .into_iter()
+            .filter_map(|id| self.span(id))
+            .map(|s| match refine_field.and_then(|f| s.field(f)) {
+                Some(v) => format!("{}[{}]", s.name, v),
+                None => s.name.clone(),
+            })
+            .collect()
+    }
+
     /// Time spent inside span `id` not covered by its children's
     /// durations, clamped at zero (children may overlap when parallel).
     pub fn self_time_ms(&self, id: SpanId) -> f64 {
@@ -530,6 +546,55 @@ mod tests {
         );
         assert!(TraceForest::from_chrome_json("[]").is_err());
         assert!(TraceForest::from_chrome_json("{\"traceEvents\":[{}]}").is_err());
+    }
+
+    /// Satellite: equal-end (and equal-self-time) critical-path ties break
+    /// by lowest span id, never by map/event iteration order — permuting
+    /// the event insertion order must not change the chosen path.
+    #[test]
+    fn critical_path_ties_break_by_span_id_under_permuted_insertion() {
+        let ctx = |span: u64| SpanContext { trace_id: TraceId(1), span_id: SpanId(span) };
+        let start = |span: u64, parent: Option<u64>, at: f64| TraceEvent {
+            name: format!("work.{span}"),
+            kind: EventKind::SpanStart,
+            at_ms: at,
+            ctx: Some(ctx(span)),
+            parent: parent.map(SpanId),
+            fields: Vec::new(),
+        };
+        let end = |span: u64, at: f64| TraceEvent {
+            name: format!("work.{span}"),
+            kind: EventKind::SpanEnd,
+            at_ms: at,
+            ctx: Some(ctx(span)),
+            parent: None,
+            fields: Vec::new(),
+        };
+        // root 1 with three children 2, 3, 4: all start at 5 and end at 20
+        // — identical durations and self-times, a full three-way tie. The
+        // concurrent siblings' starts and ends may land in the log in any
+        // interleaving; every one must reconstruct the same path.
+        let orders: [[u64; 3]; 6] =
+            [[2, 3, 4], [2, 4, 3], [3, 2, 4], [3, 4, 2], [4, 2, 3], [4, 3, 2]];
+        for start_order in orders {
+            for end_order in orders {
+                let mut events = vec![start(1, None, 0.0)];
+                events.extend(start_order.iter().map(|&s| start(s, Some(1), 5.0)));
+                events.extend(end_order.iter().map(|&s| end(s, 20.0)));
+                events.push(end(1, 25.0));
+                let forest = TraceForest::from_events(&events);
+                assert_eq!(
+                    forest.critical_path(TraceId(1)),
+                    vec![SpanId(1), SpanId(2)],
+                    "equal-end children must tie-break to the lowest span id \
+                     (starts {start_order:?}, ends {end_order:?})"
+                );
+            }
+        }
+        // equal-duration *roots* tie the same way
+        let twin_roots = vec![start(1, None, 0.0), start(2, None, 0.0), end(1, 9.0), end(2, 9.0)];
+        let forest = TraceForest::from_events(&twin_roots);
+        assert_eq!(forest.critical_path(TraceId(1)), vec![SpanId(1)]);
     }
 
     #[test]

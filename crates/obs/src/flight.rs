@@ -125,12 +125,14 @@ impl FlightRecorder {
     ///
     /// # Panics
     ///
-    /// Panics when the config is degenerate (`window_ms <= 0`, fewer than
-    /// two windows of capacity, a merge factor below 2, or zero levels) —
-    /// these are build-time constants, never data-dependent.
+    /// Panics when the config is degenerate (`window_ms <= 0`, zero
+    /// capacity, a merge factor below 2, or zero levels) — these are
+    /// build-time constants, never data-dependent. A `level_capacity` of 1
+    /// is legal: every push overflows immediately, so each level holds one
+    /// window that folds straight through the ladder (a pass-through ring).
     pub fn new(cfg: FlightConfig) -> Self {
         assert!(cfg.window_ms > 0.0, "window width must be positive");
-        assert!(cfg.level_capacity >= 2, "a ring of one window cannot downsample");
+        assert!(cfg.level_capacity >= 1, "a level must hold at least one window");
         assert!(cfg.merge >= 2, "merging fewer than 2 windows never shrinks a level");
         assert!(cfg.levels >= 1, "need at least one level");
         let levels = (0..cfg.levels).map(|_| VecDeque::new()).collect();
@@ -223,6 +225,8 @@ impl FlightRecorder {
 
 #[cfg(test)]
 mod tests {
+    use std::collections::BTreeMap;
+
     use super::*;
     use crate::metrics::MetricsRegistry;
 
@@ -304,6 +308,110 @@ mod tests {
         assert_eq!(merged.delta.histograms["coda_test_ms"].count, 2);
         assert!((merged.delta.histograms["coda_test_ms"].sum - 3.0).abs() < 1e-12);
         assert!((merged.delta.gauges["coda_test_depth"] - 2.0).abs() < 1e-12);
+    }
+
+    /// Satellite: a capacity-1 ring is legal and coherent — every push
+    /// overflows immediately, so windows fold straight through the ladder
+    /// like digits of a merge-ary counter. The timeline stays contiguous
+    /// and no counter mass is lost.
+    #[test]
+    fn capacity_one_ring_cascades_without_losing_mass() {
+        let reg = MetricsRegistry::new();
+        let mut rec = recorder(1, 2, 3);
+        rec.tick(0.0, &reg.snapshot());
+        for i in 1..=6 {
+            reg.count("coda_test_ops", 1);
+            rec.tick(i as f64 * 10.0, &reg.snapshot());
+        }
+        let timeline = rec.timeline();
+        assert!(!timeline.is_empty());
+        for pair in timeline.windows(2) {
+            assert_eq!(pair[0].end_ms, pair[1].start_ms, "contiguous even at capacity 1");
+        }
+        // the last level (capacity 1) drops its oldest; whatever survives
+        // keeps exact per-window mass
+        for w in &timeline {
+            assert_eq!(
+                w.delta.counter("coda_test_ops"),
+                w.windows,
+                "each retained window carries exactly its folded deltas"
+            );
+        }
+        assert_eq!(rec.len(), timeline.len());
+        // still ticks and stays bounded long after
+        for i in 7..=40 {
+            reg.count("coda_test_ops", 1);
+            rec.tick(i as f64 * 10.0, &reg.snapshot());
+        }
+        assert!(rec.len() <= 3, "one window per level at most");
+    }
+
+    /// Satellite: exact merge-level boundary — filling level 0 to capacity
+    /// records without downsampling; the push after the boundary folds
+    /// exactly `merge` oldest windows into one coarser window whose
+    /// interval is the widened union and whose counters are the exact sum.
+    #[test]
+    fn merge_boundary_folds_exactly_merge_windows() {
+        let reg = MetricsRegistry::new();
+        let mut rec = recorder(4, 3, 2);
+        rec.tick(0.0, &reg.snapshot());
+        for i in 1..=4 {
+            reg.count("coda_test_ops", i);
+            rec.tick(i as f64 * 10.0, &reg.snapshot());
+        }
+        assert_eq!(
+            rec.timeline().iter().filter(|w| w.windows > 1).count(),
+            0,
+            "at capacity: no merge yet"
+        );
+        // the 5th window tips level 0 over: windows 1..=3 (deltas 1, 2, 3) fold
+        reg.count("coda_test_ops", 5);
+        rec.tick(50.0, &reg.snapshot());
+        let timeline = rec.timeline();
+        let merged = timeline[0];
+        assert_eq!(merged.windows, 3, "exactly `merge` windows fold");
+        assert_eq!(merged.start_ms, 0.0, "interval start comes from the oldest");
+        assert_eq!(merged.end_ms, 30.0, "interval end comes from the newest folded");
+        assert_eq!(merged.delta.counter("coda_test_ops"), 1 + 2 + 3, "counter fold is exact");
+        assert_eq!(timeline.len(), 3, "one coarse + two fine windows remain");
+        assert_eq!(timeline[1].start_ms, 30.0, "fine tail resumes at the fold boundary");
+        let total: u64 = timeline.iter().map(|w| w.delta.counter("coda_test_ops")).sum();
+        assert_eq!(total, 1 + 2 + 3 + 4 + 5, "no mass lost at the boundary");
+    }
+
+    /// Satellite: a mid-flight re-registered histogram (different bounds)
+    /// is not comparable across the fold — the newer window's buckets win.
+    #[test]
+    fn merge_with_mismatched_histogram_bounds_keeps_newer() {
+        let older = FlightWindow {
+            start_ms: 0.0,
+            end_ms: 10.0,
+            windows: 1,
+            delta: MetricsSnapshot {
+                counters: BTreeMap::new(),
+                gauges: BTreeMap::new(),
+                histograms: [(
+                    "coda_test_ms".to_string(),
+                    HistogramSnapshot { bounds: vec![1.0], counts: vec![4, 0], count: 4, sum: 2.0 },
+                )]
+                .into_iter()
+                .collect(),
+            },
+        };
+        let mut newer = older.clone();
+        newer.start_ms = 10.0;
+        newer.end_ms = 20.0;
+        newer.delta.histograms.insert(
+            "coda_test_ms".to_string(),
+            HistogramSnapshot { bounds: vec![5.0], counts: vec![1, 1], count: 2, sum: 9.0 },
+        );
+        let merged = FlightWindow::merge(&older, &newer);
+        assert_eq!(merged.start_ms, 0.0);
+        assert_eq!(merged.end_ms, 20.0);
+        assert_eq!(merged.windows, 2);
+        let h = &merged.delta.histograms["coda_test_ms"];
+        assert_eq!(h.bounds, vec![5.0], "mismatched bounds: newer snapshot wins");
+        assert_eq!(h.count, 2);
     }
 
     #[test]

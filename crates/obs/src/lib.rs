@@ -26,6 +26,7 @@
 
 pub mod analyze;
 pub mod clock;
+pub mod diagnose;
 pub mod flight;
 pub mod metrics;
 pub mod profile;
@@ -37,15 +38,19 @@ use std::sync::Arc;
 
 pub use analyze::{SpanNode, TraceForest};
 pub use clock::{Clock, ManualClock, WallClock};
+pub use diagnose::{
+    diagnose, DiagReport, DiagnoseConfig, Incident, OperatorSuspect, SeriesSuspect, ShardSuspect,
+};
 pub use flight::{FlightConfig, FlightRecorder, FlightWindow};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
-    DEFAULT_MS_BOUNDS,
+    label_value, labeled_name, name_parts, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot, DEFAULT_MS_BOUNDS,
 };
 pub use profile::{CostEntry, CostProfile, Exemplar, ExemplarStore};
 pub use publish::Publish;
 pub use slo::{
-    BurnState, BurnWindows, SloEngine, SloEvaluation, SloReport, SloSignal, SloSpec, SloStatus,
+    BreachRun, BurnState, BurnWindows, SloEngine, SloEvaluation, SloReport, SloSignal, SloSpec,
+    SloStatus,
 };
 pub use trace::{
     EventKind, SpanContext, SpanGuard, SpanId, TailPolicy, TailSampleReport, TraceEvent, TraceId,

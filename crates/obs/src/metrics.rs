@@ -19,6 +19,44 @@ use serde::impl_serde_struct;
 pub const DEFAULT_MS_BOUNDS: &[f64] =
     &[0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0];
 
+/// Builds a flat registry name carrying one label dimension:
+/// `base{label="value"}` (value escaped per the Prometheus text format).
+///
+/// The registry itself stays a flat name → instrument map; labeled series
+/// are a *naming convention* on top of it. `BTreeMap` ordering keeps every
+/// labeled variant after its unlabeled base (`{` sorts above `_` and all
+/// alphanumerics), [`render_prometheus`](MetricsRegistry::render_prometheus)
+/// groups them under one `# TYPE` head, and [`name_parts`]/[`label_value`]
+/// recover the dimension for analysis. Keep values free of commas — the
+/// parser splits label pairs on `,`.
+pub fn labeled_name(base: &str, label: &str, value: &str) -> String {
+    format!("{base}{{{label}=\"{}\"}}", escape_label(value))
+}
+
+/// Splits a flat registry name into `(base, labels)` when it follows the
+/// [`labeled_name`] convention, `(name, None)` otherwise. The returned
+/// label string is the raw `k="v"` pair list without the braces.
+pub fn name_parts(name: &str) -> (&str, Option<&str>) {
+    match name.find('{') {
+        Some(i) if name.ends_with('}') => (&name[..i], Some(&name[i + 1..name.len() - 1])),
+        _ => (name, None),
+    }
+}
+
+/// Extracts the value of `label` from a [`labeled_name`]-style series
+/// name, or `None` when the name is unlabeled or lacks that label.
+pub fn label_value<'a>(name: &'a str, label: &str) -> Option<&'a str> {
+    let (_, labels) = name_parts(name);
+    for pair in labels?.split(',') {
+        if let Some((k, v)) = pair.split_once('=') {
+            if k == label {
+                return v.strip_prefix('"').and_then(|v| v.strip_suffix('"'));
+            }
+        }
+    }
+    None
+}
+
 /// A monotonically increasing counter.
 #[derive(Debug, Default)]
 pub struct Counter {
@@ -424,27 +462,37 @@ impl MetricsRegistry {
     /// Renders every instrument in Prometheus text exposition format,
     /// names sorted, deterministically: a `# HELP` line (when set, escaped
     /// per the text format: `\` → `\\`, newline → `\n`), a `# TYPE` line
-    /// for every metric, and label values escaped (`\`, `"`, newline).
+    /// per metric *family*, and label values escaped (`\`, `"`, newline).
+    ///
+    /// [`labeled_name`]-style series share their base family's HELP/TYPE
+    /// head (emitted once per family), and histogram suffixes splice the
+    /// labels into the sample lines (`base_bucket{labels,le="..."}`,
+    /// `base_sum{labels}`, `base_count{labels}`).
     pub fn render_prometheus(&self) -> String {
         let snap = self.snapshot();
         let help = self.help.read().clone();
         let mut out = String::new();
-        let head = |out: &mut String, name: &str, kind: &str| {
-            if let Some(text) = help.get(name) {
-                let _ = writeln!(out, "# HELP {name} {}", escape_help(text));
+        let mut seen = std::collections::BTreeSet::new();
+        let mut head = |out: &mut String, base: &str, kind: &str| {
+            if !seen.insert(base.to_string()) {
+                return;
             }
-            let _ = writeln!(out, "# TYPE {name} {kind}");
+            if let Some(text) = help.get(base) {
+                let _ = writeln!(out, "# HELP {base} {}", escape_help(text));
+            }
+            let _ = writeln!(out, "# TYPE {base} {kind}");
         };
         for (name, v) in &snap.counters {
-            head(&mut out, name, "counter");
+            head(&mut out, name_parts(name).0, "counter");
             let _ = writeln!(out, "{name} {v}");
         }
         for (name, v) in &snap.gauges {
-            head(&mut out, name, "gauge");
+            head(&mut out, name_parts(name).0, "gauge");
             let _ = writeln!(out, "{name} {v}");
         }
         for (name, h) in &snap.histograms {
-            head(&mut out, name, "histogram");
+            let (base, labels) = name_parts(name);
+            head(&mut out, base, "histogram");
             let mut cumulative = 0u64;
             for (i, n) in h.counts.iter().enumerate() {
                 cumulative += n;
@@ -452,9 +500,18 @@ impl MetricsRegistry {
                     Some(b) => format!("{b}"),
                     None => "+Inf".to_string(),
                 };
-                let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cumulative}", escape_label(&le));
+                let le = escape_label(&le);
+                let _ = match labels {
+                    Some(l) => writeln!(out, "{base}_bucket{{{l},le=\"{le}\"}} {cumulative}"),
+                    None => writeln!(out, "{base}_bucket{{le=\"{le}\"}} {cumulative}"),
+                };
             }
-            let _ = writeln!(out, "{name}_sum {}\n{name}_count {}", h.sum, h.count);
+            let _ = match labels {
+                Some(l) => {
+                    writeln!(out, "{base}_sum{{{l}}} {}\n{base}_count{{{l}}} {}", h.sum, h.count)
+                }
+                None => writeln!(out, "{base}_sum {}\n{base}_count {}", h.sum, h.count),
+            };
         }
         out
     }
@@ -743,6 +800,58 @@ mod tests {
         assert_eq!(parsed["coda_test_ms_sum"], 3.0);
         assert_eq!(parsed["coda_test_ms_bucket{le=\"+Inf\"}"], 1.0, "cumulative +Inf == count");
         assert_eq!(text, reg.render_prometheus(), "rendering is deterministic");
+    }
+
+    /// Labeled-series convention: `labeled_name` builds a parseable flat
+    /// name, `name_parts`/`label_value` recover the pieces, and escaping
+    /// survives the round trip.
+    #[test]
+    fn labeled_names_build_and_parse() {
+        let n = labeled_name("coda_serve_queue_wait_ms", "shard", "shard-3");
+        assert_eq!(n, "coda_serve_queue_wait_ms{shard=\"shard-3\"}");
+        assert_eq!(name_parts(&n), ("coda_serve_queue_wait_ms", Some("shard=\"shard-3\"")));
+        assert_eq!(label_value(&n, "shard"), Some("shard-3"));
+        assert_eq!(label_value(&n, "spec"), None);
+        assert_eq!(name_parts("coda_plain"), ("coda_plain", None));
+        assert_eq!(label_value("coda_plain", "shard"), None);
+        // spec keys carry '=' and '>' freely; quotes escape
+        let s = labeled_name("coda_core_eval_path_ms", "spec", "scale>ridge;alpha=0.1");
+        assert_eq!(label_value(&s, "spec"), Some("scale>ridge;alpha=0.1"));
+        let q = labeled_name("coda_x", "k", "a\"b");
+        assert_eq!(q, "coda_x{k=\"a\\\"b\"}");
+        // labeled variants sort after their unlabeled base in a BTreeMap
+        let mut m = BTreeMap::new();
+        for k in [n.as_str(), "coda_serve_queue_wait_ms", "coda_serve_queue_wait_ms_extra"] {
+            m.insert(k.to_string(), ());
+        }
+        let keys: Vec<_> = m.keys().cloned().collect();
+        assert_eq!(keys[0], "coda_serve_queue_wait_ms");
+        assert_eq!(keys[2], n, "labeled variant sorts last ('{{' > '_')");
+    }
+
+    /// Labeled series render under one Prometheus family head: a single
+    /// `# TYPE` line per base, labels spliced into histogram suffixes.
+    #[test]
+    fn prometheus_renders_labeled_series_under_one_family() {
+        let reg = MetricsRegistry::new();
+        reg.set_help("coda_test_wait_ms", "queue wait");
+        reg.histogram("coda_test_wait_ms", &[1.0, 10.0]).observe(5.0);
+        let labeled = labeled_name("coda_test_wait_ms", "shard", "shard-0");
+        reg.histogram(&labeled, &[1.0, 10.0]).observe(5.0);
+        reg.count(&labeled_name("coda_test_ops", "shard", "shard-1"), 3);
+        let text = reg.render_prometheus();
+
+        assert_eq!(text.matches("# TYPE coda_test_wait_ms histogram").count(), 1);
+        assert_eq!(text.matches("# HELP coda_test_wait_ms queue wait").count(), 1);
+        assert!(text.contains("coda_test_wait_ms_bucket{le=\"10\"} 1"));
+        assert!(text.contains("coda_test_wait_ms_bucket{shard=\"shard-0\",le=\"10\"} 1"));
+        assert!(text.contains("coda_test_wait_ms_sum{shard=\"shard-0\"} 5"));
+        assert!(text.contains("coda_test_wait_ms_count{shard=\"shard-0\"} 1"));
+        assert!(text.contains("# TYPE coda_test_ops counter"));
+        assert!(text.contains("coda_test_ops{shard=\"shard-1\"} 3"));
+        // no malformed double-brace suffixes leak out
+        assert!(!text.contains("}{"));
+        assert_eq!(text, reg.render_prometheus(), "rendering stays deterministic");
     }
 
     #[test]

@@ -111,6 +111,21 @@ impl ExemplarStore {
     pub fn snapshot(&self) -> BTreeMap<String, Vec<Exemplar>> {
         self.inner.lock().by_metric.clone()
     }
+
+    /// Retained exemplars (across every metric) whose observation time
+    /// falls in `(from_ms, to_ms]` — the slice diagnosis pulls when it
+    /// reconstructs what ran inside a breach window. Metric-name order,
+    /// best-first within a metric (the store's retention order).
+    pub fn between(&self, from_ms: f64, to_ms: f64) -> Vec<(String, Exemplar)> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        for (metric, list) in &inner.by_metric {
+            for e in list.iter().filter(|e| e.at_ms > from_ms && e.at_ms <= to_ms) {
+                out.push((metric.clone(), e.clone()));
+            }
+        }
+        out
+    }
 }
 
 /// Sort key for exemplar ties: span id when attributed, `u64::MAX` after

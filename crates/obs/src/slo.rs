@@ -165,10 +165,60 @@ pub struct SloReport {
 
 impl_serde_struct!(SloReport { statuses, evaluations });
 
+/// One contiguous run of breached evaluations for a single SLO — the unit
+/// the diagnosis layer turns into an incident.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreachRun {
+    /// The breaching SLO.
+    pub slo: String,
+    /// Boundary time of the first breached evaluation, milliseconds.
+    pub first_ms: f64,
+    /// Boundary time of the last breached evaluation in the run.
+    pub last_ms: f64,
+    /// Breached evaluations in the run.
+    pub evaluations: u64,
+    /// Worst long-window burn inside the run.
+    pub max_long_burn: f64,
+    /// Worst short-window burn inside the run.
+    pub max_short_burn: f64,
+}
+
 impl SloReport {
     /// Total breaches across all SLOs.
     pub fn total_breaches(&self) -> u64 {
         self.statuses.iter().map(|s| s.breaches).sum()
+    }
+
+    /// Contiguous breach runs, grouped per SLO in declaration order and
+    /// chronological within each SLO: consecutive breached evaluations
+    /// collapse into one run; a clean evaluation in between splits runs.
+    pub fn breach_runs(&self) -> Vec<BreachRun> {
+        let mut runs = Vec::new();
+        for status in &self.statuses {
+            let mut current: Option<BreachRun> = None;
+            for e in self.evaluations.iter().filter(|e| e.slo == status.slo) {
+                if e.breached {
+                    let run = current.get_or_insert(BreachRun {
+                        slo: status.slo.clone(),
+                        first_ms: e.at_ms,
+                        last_ms: e.at_ms,
+                        evaluations: 0,
+                        max_long_burn: 0.0,
+                        max_short_burn: 0.0,
+                    });
+                    run.last_ms = e.at_ms;
+                    run.evaluations += 1;
+                    run.max_long_burn = run.max_long_burn.max(e.long_burn);
+                    run.max_short_burn = run.max_short_burn.max(e.short_burn);
+                } else if let Some(run) = current.take() {
+                    runs.push(run);
+                }
+            }
+            if let Some(run) = current.take() {
+                runs.push(run);
+            }
+        }
+        runs
     }
 
     /// Serializes to deterministic JSON.
@@ -481,5 +531,19 @@ mod tests {
         let report = engine.report();
         let back = SloReport::from_json(&report.to_json()).expect("report JSON parses");
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn empty_report_roundtrips_and_yields_no_breach_runs() {
+        // an engine that never stepped: zero evaluations, zero breaches —
+        // the report must still render and parse, and diagnosis must see
+        // no breach runs in it
+        let (engine, _rec, _reg) = engine_and_recorder(vec![shed_slo()]);
+        let report = engine.report();
+        assert!(report.evaluations.is_empty());
+        assert_eq!(report.total_breaches(), 0);
+        let back = SloReport::from_json(&report.to_json()).expect("empty report JSON parses");
+        assert_eq!(back, report);
+        assert!(report.breach_runs().is_empty());
     }
 }

@@ -24,7 +24,7 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
 use coda_chaos::CrashPlan;
-use coda_obs::{BurnState, Counter, Gauge, Histogram, Obs};
+use coda_obs::{labeled_name, BurnState, Counter, Gauge, Histogram, Obs, DEFAULT_MS_BOUNDS};
 
 use crate::request::{ServeError, ServeRequest, ServeResponse};
 use crate::router::ShardRouter;
@@ -129,8 +129,11 @@ impl TierReport {
 
 /// One message on a shard's mailbox.
 enum ShardMsg {
-    /// A data-plane request and its reply channel.
-    Op { req: ServeRequest, reply: Sender<ServeResponse> },
+    /// A data-plane request, its reply channel, and the clock reading at
+    /// the admission edge — the worker's wakeup time minus this is the
+    /// request's queue wait, the half of end-to-end latency that blames
+    /// overload rather than slow service.
+    Op { req: ServeRequest, reply: Sender<ServeResponse>, enqueued_ms: f64 },
     /// Control-plane clock broadcast; acks on `done`.
     Advance { ticks: u64, done: Sender<()> },
     /// Test/bench hook: park the worker until `release` disconnects, so a
@@ -179,6 +182,14 @@ struct WorkerMetrics {
     recoveries: Arc<Counter>,
     byte_identical: Arc<Counter>,
     mismatches: Arc<Counter>,
+    /// Queue-wait decomposition: time between admission and the worker
+    /// picking the request up — aggregate plus this shard's labeled split
+    /// (`coda_serve_queue_wait_ms{shard="shard-N"}`).
+    queue_wait: Arc<Histogram>,
+    queue_wait_shard: Arc<Histogram>,
+    /// Service-time decomposition: time inside `ShardCore::apply`.
+    service: Arc<Histogram>,
+    service_shard: Arc<Histogram>,
 }
 
 /// What a worker thread hands back when its mailbox closes.
@@ -201,6 +212,8 @@ pub struct ServeTier {
     burn_state: Option<Arc<BurnState>>,
     burn_admission: bool,
     burn_shed_counter: Option<Arc<Counter>>,
+    /// Clock source for the queue-wait decomposition (admission stamps).
+    obs: Option<Obs>,
 }
 
 impl ServeTier {
@@ -243,6 +256,16 @@ impl ServeTier {
                 recoveries: o.registry().counter("coda_serve_recoveries"),
                 byte_identical: o.registry().counter("coda_serve_recoveries_byte_identical"),
                 mismatches: o.registry().counter("coda_serve_recovery_mismatches"),
+                queue_wait: o.registry().histogram("coda_serve_queue_wait_ms", DEFAULT_MS_BOUNDS),
+                queue_wait_shard: o.registry().histogram(
+                    &labeled_name("coda_serve_queue_wait_ms", "shard", &name),
+                    DEFAULT_MS_BOUNDS,
+                ),
+                service: o.registry().histogram("coda_serve_service_ms", DEFAULT_MS_BOUNDS),
+                service_shard: o.registry().histogram(
+                    &labeled_name("coda_serve_service_ms", "shard", &name),
+                    DEFAULT_MS_BOUNDS,
+                ),
             });
             // this shard's crash points, in plan order (each fires once)
             let points: Vec<u64> =
@@ -264,6 +287,7 @@ impl ServeTier {
             burn_state: cfg.burn_state.clone(),
             burn_admission: cfg.burn_admission,
             burn_shed_counter: obs.map(|o| o.registry().counter("coda_serve_burn_shed_total")),
+            obs: obs.cloned(),
         }
     }
 
@@ -305,7 +329,8 @@ impl ServeTier {
             }
         }
         let (reply_tx, reply_rx) = mpsc::channel();
-        match self.mailboxes[shard].try_send(ShardMsg::Op { req, reply: reply_tx }) {
+        let enqueued_ms = self.obs.as_ref().map_or(0.0, Obs::now_ms);
+        match self.mailboxes[shard].try_send(ShardMsg::Op { req, reply: reply_tx, enqueued_ms }) {
             Ok(()) => {
                 if let Some(g) = &self.depth_gauge {
                     g.add(1.0);
@@ -428,11 +453,22 @@ fn worker_loop(
         }
         for msg in batch {
             match msg {
-                ShardMsg::Op { req, reply } => {
+                ShardMsg::Op { req, reply, enqueued_ms } => {
+                    // queue-wait vs service-time decomposition: wait is the
+                    // admission-to-pickup gap (overload signature), service
+                    // is the time inside apply (slow-operator signature)
+                    let picked_up_ms = obs.as_ref().map_or(0.0, Obs::now_ms);
                     let resp = core.apply(req);
                     state_ops += 1;
                     if let Some(m) = &metrics {
                         m.ops.inc();
+                        let wait = (picked_up_ms - enqueued_ms).max(0.0);
+                        m.queue_wait.observe(wait);
+                        m.queue_wait_shard.observe(wait);
+                        let done_ms = obs.as_ref().map_or(picked_up_ms, Obs::now_ms);
+                        let service = (done_ms - picked_up_ms).max(0.0);
+                        m.service.observe(service);
+                        m.service_shard.observe(service);
                     }
                     let _ = reply.send(resp);
                     // crash points key on the WAL operation count, exactly
@@ -659,6 +695,63 @@ mod tests {
         let batches = snap.counter("coda_serve_batches");
         assert!(batches < 16, "16 queued ops must coalesce into fewer wakeups, got {batches}");
         assert_eq!(snap.counter("coda_serve_ops_total"), 16);
+    }
+
+    /// Tentpole: the latency decomposition splits queue wait (admission →
+    /// pickup) from service time (inside apply), aggregate and per-shard,
+    /// deterministically under a manual clock — the signal `diagnose` uses
+    /// to tell an overloaded shard from a slow operator.
+    #[test]
+    fn queue_wait_vs_service_decomposition_is_deterministic() {
+        let obs = Obs::deterministic();
+        let cfg = ServeConfig { n_shards: 2, queue_capacity: 8, ..ServeConfig::default() };
+        let tier = ServeTier::start_obs(&cfg, Some(&obs));
+
+        // a closed-loop op on shard 1: picked up at the same logical time
+        // it was admitted, so wait and service are exactly zero
+        let mut i = 0;
+        let shard1_req = loop {
+            let req = put(&format!("s1-{i}"), 1);
+            i += 1;
+            if tier.router.route(&req) == 1 {
+                break req;
+            }
+        };
+        tier.submit(shard1_req).expect("admitted");
+
+        // three ops queue against a held shard 0, then the clock advances
+        // 40 ms before the worker drains: each waited exactly 40 ms
+        let hold = tier.hold_shard(0);
+        let mut pendings = Vec::new();
+        while pendings.len() < 3 {
+            let req = put(&format!("s0-{i}"), 1);
+            i += 1;
+            if tier.router.route(&req) != 0 {
+                continue;
+            }
+            pendings.push(tier.submit_nowait(req).expect("fits the queue"));
+        }
+        obs.sync_manual_ms(40.0);
+        hold.release();
+        for p in pendings {
+            p.wait().expect("queued op completes");
+        }
+
+        let snap = obs.registry().snapshot();
+        let wait = &snap.histograms["coda_serve_queue_wait_ms"];
+        assert_eq!(wait.count, 4);
+        assert!((wait.sum - 120.0).abs() < 1e-9, "3 held ops x 40 ms: {wait:?}");
+        let wait0 = &snap.histograms[&labeled_name("coda_serve_queue_wait_ms", "shard", "shard-0")];
+        assert_eq!(wait0.count, 3);
+        assert!((wait0.sum - 120.0).abs() < 1e-9, "the held shard owns all the wait");
+        let wait1 = &snap.histograms[&labeled_name("coda_serve_queue_wait_ms", "shard", "shard-1")];
+        assert_eq!(wait1.count, 1);
+        assert_eq!(wait1.sum, 0.0, "closed-loop shard-1 op never waited");
+        let service = &snap.histograms["coda_serve_service_ms"];
+        assert_eq!(service.count, 4);
+        assert_eq!(service.sum, 0.0, "the manual clock never moves inside apply");
+        let report = tier.finish();
+        assert_eq!(report.total_ops(), 4);
     }
 
     #[test]

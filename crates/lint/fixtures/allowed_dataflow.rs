@@ -1,0 +1,15 @@
+//! Escape-hatch case for the dataflow rule: the export below is
+//! order-dependent by design (a diagnostic dump nobody diffs), and the
+//! reasoned `lint:allow` must suppress the finding completely.
+
+use std::collections::HashMap;
+
+pub fn dump(m: &HashMap<String, u64>) -> String {
+    let names: Vec<&String> = m.keys().collect();
+    // lint:allow(unordered_flow) diagnostic dump; downstream never compares output bytes
+    to_json(&names)
+}
+
+fn to_json(_names: &[&String]) -> String {
+    String::new()
+}

@@ -1,0 +1,10 @@
+//! Planted violation: a float sum over HashMap values. Float addition is
+//! not associative, so the total depends on hash-iteration order even
+//! though a sum looks order-insensitive.
+
+use std::collections::HashMap;
+
+pub fn total_score(m: &HashMap<String, f64>) -> f64 {
+    let total: f64 = m.values().sum();
+    total
+}

@@ -1,0 +1,8 @@
+//! Planted violation: one metric family split by two different label keys.
+//! Dashboards aggregate a family by its label set; a `shard`-keyed series
+//! and a `spec`-keyed series under one name cannot be summed coherently.
+
+pub fn record(r: &Registry, shard: &str, spec: &str) {
+    r.count(&labeled_name("coda_fixture_ms", "shard", shard), 1);
+    r.count(&labeled_name("coda_fixture_ms", "spec", spec), 1);
+}

@@ -1,0 +1,8 @@
+//! Planted violation: a snapshot consumer reads a counter that nothing in
+//! the workspace ever registers or observes — a stringly-typed metric name
+//! that silently reads zero forever.
+
+pub fn report(o: &Obs, snap: &Snapshot) -> u64 {
+    o.registry().count("coda_fixture_ops", 1);
+    snap.counter("coda_fixture_ghost")
+}

@@ -1,0 +1,14 @@
+//! Planted violation: HashMap iteration order escapes into a JSON export.
+//! The key list inherits hash-iteration order and is serialized unsorted,
+//! so the export bytes differ run to run.
+
+use std::collections::HashMap;
+
+pub fn export_counts(m: &HashMap<String, u64>) -> String {
+    let names: Vec<&String> = m.keys().collect();
+    to_json(&names)
+}
+
+fn to_json(_names: &[&String]) -> String {
+    String::new()
+}

@@ -1,0 +1,15 @@
+//! Suppression case: the same map-iteration escape as `unordered_flow.rs`,
+//! but the collected keys are sorted before serialization — the flow
+//! regains a deterministic order and nothing may fire.
+
+use std::collections::HashMap;
+
+pub fn export_counts(m: &HashMap<String, u64>) -> String {
+    let mut names: Vec<String> = m.keys().cloned().collect();
+    names.sort();
+    to_json(&names)
+}
+
+fn to_json(_names: &[String]) -> String {
+    String::new()
+}

@@ -15,8 +15,12 @@ pub enum TokKind {
     Ident,
     /// One punctuation character (`.`, `:`, `{`, ...).
     Punct,
-    /// String/char/number literal, opaque to the analyses.
+    /// Char/number literal, opaque to the analyses.
     Literal,
+    /// String literal (plain, raw, or byte); `text` is the *content* with
+    /// common escapes resolved, so the observability-contract analysis can
+    /// read metric and span names straight off the token stream.
+    Str,
     /// Lifetime or loop label (`'a`, `'outer`).
     Lifetime,
 }
@@ -41,6 +45,11 @@ impl Tok {
     /// True when this is the punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+
+    /// String-literal content, if this is a string literal.
+    pub fn as_str_lit(&self) -> Option<&str> {
+        (self.kind == TokKind::Str).then_some(self.text.as_str())
     }
 }
 
@@ -166,24 +175,39 @@ impl Lexer {
         self.out.comments.push(Comment { line, text });
     }
 
-    /// Plain (escaped) string starting at the opening `"`.
+    /// Plain (escaped) string starting at the opening `"`. Content is kept,
+    /// with the common escapes resolved; unknown escapes stay verbatim.
     fn string_literal(&mut self, line: u32) {
         self.bump();
+        let mut content = String::new();
         while let Some(c) = self.bump() {
             match c {
                 '\\' => {
-                    self.bump();
+                    if let Some(e) = self.bump() {
+                        match e {
+                            'n' => content.push('\n'),
+                            't' => content.push('\t'),
+                            'r' => content.push('\r'),
+                            '0' => content.push('\0'),
+                            '\\' | '"' | '\'' => content.push(e),
+                            other => {
+                                content.push('\\');
+                                content.push(other);
+                            }
+                        }
+                    }
                 }
                 '"' => break,
-                _ => {}
+                _ => content.push(c),
             }
         }
-        self.push(TokKind::Literal, "\"..\"".to_string(), line);
+        self.push(TokKind::Str, content, line);
     }
 
     /// Raw string starting at `r`/`br` with `hashes` pound signs consumed
-    /// up to and including the opening `"`.
+    /// up to and including the opening `"`. Content is kept verbatim.
     fn raw_string_body(&mut self, hashes: usize, line: u32) {
+        let mut content = String::new();
         while let Some(c) = self.bump() {
             if c == '"' {
                 let mut matched = 0;
@@ -194,9 +218,15 @@ impl Lexer {
                 if matched == hashes {
                     break;
                 }
+                content.push('"');
+                for _ in 0..matched {
+                    content.push('#');
+                }
+            } else {
+                content.push(c);
             }
         }
-        self.push(TokKind::Literal, "r\"..\"".to_string(), line);
+        self.push(TokKind::Str, content, line);
     }
 
     /// `'` starts either a lifetime/label or a char literal.
@@ -360,6 +390,56 @@ mod tests {
     #[test]
     fn raw_identifiers_lex_as_idents() {
         assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+
+    #[test]
+    fn string_content_is_preserved_with_escapes() {
+        let lexed = lex(r#"let n = "coda_core_cache_hits"; let e = "a\"b\n";"#);
+        let strs: Vec<_> = lexed.tokens.iter().filter_map(|t| t.as_str_lit()).collect();
+        assert_eq!(strs, vec!["coda_core_cache_hits", "a\"b\n"]);
+    }
+
+    #[test]
+    fn raw_string_content_is_preserved_verbatim() {
+        // backslashes stay literal in raw strings
+        let lexed = lex(r###"let a = r"x\ny"; let b = r#"with "quotes""#; tail();"###);
+        let strs: Vec<_> = lexed.tokens.iter().filter_map(|t| t.as_str_lit()).collect();
+        assert_eq!(strs, vec![r"x\ny", r#"with "quotes""#]);
+        // a `"#` inside needs ≥2 hashes to close; a mis-lex would swallow
+        // the rest of the file
+        let lexed = lex(r####"let b = r##"has "# inside"##; after();"####);
+        let strs: Vec<_> = lexed.tokens.iter().filter_map(|t| t.as_str_lit()).collect();
+        assert_eq!(strs, vec![r##"has "# inside"##]);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("after")));
+    }
+
+    #[test]
+    fn byte_strings_lex_as_strings() {
+        let lexed = lex(r#"let b = b"bytes"; let rb = br"raw"; x();"#);
+        let strs: Vec<_> = lexed.tokens.iter().filter_map(|t| t.as_str_lit()).collect();
+        assert_eq!(strs, vec!["bytes", "raw"]);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn deeply_nested_block_comments_terminate() {
+        let lexed = lex("/* 1 /* 2 /* 3 */ 2 */ 1 */ visible();");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("visible")));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("3"));
+    }
+
+    #[test]
+    fn loop_labels_and_generic_lifetimes_are_not_chars() {
+        let lexed = lex("'outer: for x in v { break 'outer; } fn g<'b>(s: &'b str) {}");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'outer", "'outer", "'b", "'b"]);
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokKind::Literal));
     }
 
     #[test]

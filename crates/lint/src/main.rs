@@ -2,27 +2,46 @@
 //!
 //! ```text
 //! cargo run -p coda-lint -- [--root <dir>] [--baseline lint-baseline.json]
-//!                           [--write-baseline]
+//!                           [--write-baseline] [--json]
+//!                           [--obs-schema OBS_SCHEMA.json]
+//!                           [--write-obs-schema <file>]
 //! ```
 //!
 //! Exit codes: `0` clean (or exactly ratcheted against the baseline),
-//! `1` violations / ratchet failure, `2` usage or I/O error.
+//! `1` violations / ratchet failure / schema drift, `2` usage or I/O error.
+//!
+//! When the workspace root contains `OBS_SCHEMA.json` (or `--obs-schema`
+//! names a file), the freshly extracted observability schema is diffed
+//! against it and any drift fails the run — drift is never baselineable;
+//! regenerate with `--write-obs-schema OBS_SCHEMA.json` and commit.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use coda_lint::baseline::{key_of, Baseline};
-use coda_lint::{analyze_workspace, walk, Finding};
+use coda_lint::{
+    analyze_workspace, extract_obs_schema, findings_to_json, obs_contract, walk, Finding, ObsSchema,
+};
 
 struct Args {
     root: Option<PathBuf>,
     baseline: Option<PathBuf>,
     write_baseline: bool,
+    json: bool,
+    obs_schema: Option<PathBuf>,
+    write_obs_schema: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { root: None, baseline: None, write_baseline: false };
+    let mut args = Args {
+        root: None,
+        baseline: None,
+        write_baseline: false,
+        json: false,
+        obs_schema: None,
+        write_obs_schema: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -35,12 +54,27 @@ fn parse_args() -> Result<Args, String> {
                     Some(PathBuf::from(it.next().ok_or("--baseline needs a file argument")?));
             }
             "--write-baseline" => args.write_baseline = true,
+            "--json" => args.json = true,
+            "--obs-schema" => {
+                args.obs_schema =
+                    Some(PathBuf::from(it.next().ok_or("--obs-schema needs a file argument")?));
+            }
+            "--write-obs-schema" => {
+                args.write_obs_schema = Some(PathBuf::from(
+                    it.next().ok_or("--write-obs-schema needs a file argument")?,
+                ));
+            }
             "--help" | "-h" => {
                 println!(
                     "coda-lint: workspace invariant checker\n\n\
-                     USAGE: coda-lint [--root <dir>] [--baseline <file>] [--write-baseline]\n\n\
+                     USAGE: coda-lint [--root <dir>] [--baseline <file>] [--write-baseline]\n\
+                     \x20                [--json] [--obs-schema <file>] [--write-obs-schema <file>]\n\n\
                      Analyses: determinism (never baselineable), panic_safety, lock_order,\n\
-                     lock_across_spawn. Escape hatch: `// lint:allow(<rule>) <reason>`."
+                     lock_across_spawn, unordered_flow, float_reduction, obs_contract,\n\
+                     obs_schema_drift (never baselineable).\n\
+                     Escape hatch: `// lint:allow(<rule>) <reason>`.\n\
+                     --json prints findings as a JSON array (stable field order).\n\
+                     --write-obs-schema extracts the canonical observability schema."
                 );
                 std::process::exit(0);
             }
@@ -68,19 +102,50 @@ fn main() -> ExitCode {
 
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
-    let root = match args.root {
-        Some(r) => r,
+    let root = match &args.root {
+        Some(r) => r.clone(),
         None => {
             let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
             walk::find_root(&cwd).ok_or("no workspace root found (pass --root)")?
         }
     };
-    let findings = analyze_workspace(&root).map_err(|e| e.to_string())?;
+
+    if let Some(out) = &args.write_obs_schema {
+        let schema = extract_obs_schema(&root).map_err(|e| e.to_string())?;
+        std::fs::write(out, schema.to_pretty_json()).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {} ({} metric(s), {} span(s), {} event(s))",
+            out.display(),
+            schema.metrics.len(),
+            schema.spans.len(),
+            schema.events.len()
+        );
+        return Ok(false);
+    }
+
+    let mut findings = analyze_workspace(&root).map_err(|e| e.to_string())?;
+
+    // schema drift: diff the fresh extraction against the committed schema
+    let committed_path = args
+        .obs_schema
+        .clone()
+        .or_else(|| Some(root.join("OBS_SCHEMA.json")).filter(|p| p.exists()));
+    if let Some(path) = committed_path {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let committed = ObsSchema::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let current = extract_obs_schema(&root).map_err(|e| e.to_string())?;
+        findings.extend(obs_contract::drift(&committed, &current));
+        findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    }
+
     let (hard, soft): (Vec<&Finding>, Vec<&Finding>) =
         findings.iter().partition(|f| !f.rule.is_baselineable());
 
-    for f in &hard {
-        println!("{f}  [not baselineable]");
+    if !args.json {
+        for f in &hard {
+            println!("{f}  [not baselineable]");
+        }
     }
 
     if args.write_baseline {
@@ -99,15 +164,30 @@ fn run() -> Result<bool, String> {
     }
 
     let Some(baseline_path) = args.baseline else {
-        for f in &soft {
-            println!("{f}");
+        if args.json {
+            println!("{}", findings_to_json(&findings));
+        } else {
+            for f in &soft {
+                println!("{f}");
+            }
+            print_summary(&findings);
         }
-        print_summary(&findings);
         return Ok(!findings.is_empty());
     };
 
     let base = Baseline::load(&baseline_path)?;
     let check = base.check(&findings);
+    if args.json {
+        // against a baseline, report only what fails the gate: hard
+        // findings plus soft findings in grown file/rule buckets
+        let failing: Vec<Finding> = findings
+            .iter()
+            .filter(|f| !f.rule.is_baselineable() || check.grown.contains_key(&key_of(f)))
+            .cloned()
+            .collect();
+        println!("{}", findings_to_json(&failing));
+        return Ok(!check.is_clean() || !hard.is_empty());
+    }
     for (key, (frozen, current)) in &check.grown {
         println!("NEW: {key}: {current} violation(s), baseline froze {frozen}:");
         for f in soft.iter().filter(|f| key_of(f) == *key) {

@@ -78,6 +78,75 @@ fn bare_allow_suppresses_nothing_and_is_flagged() {
 }
 
 #[test]
+fn unordered_flow_fixture_fires_exactly_once() {
+    let findings = fixture("unordered_flow");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::UnorderedFlow);
+    assert!(findings[0].message.contains("to_json"), "{findings:#?}");
+}
+
+#[test]
+fn sorted_collect_fixture_is_clean() {
+    let findings = fixture("unordered_flow_sorted");
+    assert!(findings.is_empty(), "a sort before the sink must suppress: {findings:#?}");
+}
+
+#[test]
+fn float_reduction_fixture_fires_exactly_once() {
+    let findings = fixture("float_reduction");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::FloatReduction);
+}
+
+#[test]
+fn obs_unregistered_fixture_fires_exactly_once() {
+    let findings = fixture("obs_unregistered");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::ObsContract);
+    assert!(findings[0].message.contains("coda_fixture_ghost"), "{findings:#?}");
+}
+
+#[test]
+fn obs_label_mismatch_fixture_fires_exactly_once() {
+    let findings = fixture("obs_label_mismatch");
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].rule, Rule::ObsContract);
+    assert!(
+        findings[0].message.contains("shard") && findings[0].message.contains("spec"),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn reasoned_allow_suppresses_unordered_flow() {
+    let findings = fixture("allowed_dataflow");
+    assert!(findings.is_empty(), "reasoned allow must suppress the new rule: {findings:#?}");
+}
+
+#[test]
+fn new_rules_are_baselineable_but_schema_drift_is_not() {
+    let mut findings = fixture("unordered_flow");
+    findings.extend(fixture("float_reduction"));
+    findings.extend(fixture("obs_unregistered"));
+    let base = Baseline::from_findings(&findings);
+    assert_eq!(
+        base.entries.values().copied().sum::<u64>(),
+        3,
+        "new-rule findings must freeze: {base:?}"
+    );
+    let drift = vec![Finding {
+        rule: Rule::ObsSchemaDrift,
+        file: "OBS_SCHEMA.json".to_string(),
+        line: 1,
+        message: "metric `coda_x` added".to_string(),
+    }];
+    assert!(
+        Baseline::from_findings(&drift).entries.is_empty(),
+        "schema drift must never be freezable"
+    );
+}
+
+#[test]
 fn ratchet_fails_when_a_fixture_violation_is_added() {
     // freeze a baseline over the clean state, then "commit" a fixture
     // violation on top: the gate must report growth, not absorb it

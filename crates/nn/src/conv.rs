@@ -135,7 +135,10 @@ impl Layer for Conv1d {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input = self.input.as_ref().expect("backward before forward");
+        // backward with no stored activation: no gradient to propagate
+        let Some(input) = self.input.as_ref() else {
+            return Matrix::zeros(grad_output.rows(), self.in_len * self.in_ch);
+        };
         let out_len = self.out_len();
         let mut grad_in = Matrix::zeros(input.rows(), input.cols());
         for r in 0..input.rows() {
@@ -237,7 +240,10 @@ impl Layer for MaxPool1d {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let argmax = self.argmax.as_ref().expect("backward before forward");
+        // backward with no stored argmax: no gradient to propagate
+        let Some(argmax) = self.argmax.as_ref() else {
+            return Matrix::zeros(grad_output.rows(), self.in_len * self.ch);
+        };
         let out_w = self.out_len() * self.ch;
         let mut grad_in = Matrix::zeros(self.in_rows, self.in_len * self.ch);
         for r in 0..self.in_rows {

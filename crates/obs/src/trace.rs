@@ -377,10 +377,12 @@ impl Tracer {
     /// identically.
     pub fn sample_tail(&self, policy: &TailPolicy) -> TailSampleReport {
         let mut events = self.events.lock();
-        let mut starts: HashMap<u64, f64> = HashMap::new();
-        let mut open: HashMap<u64, usize> = HashMap::new();
+        // BTree containers: the open-span sweep below iterates these, and
+        // the kept-trace set must not depend on hash iteration order
+        let mut starts: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+        let mut open: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
         let mut seen: Vec<u64> = Vec::new();
-        let mut keep: std::collections::HashSet<u64> =
+        let mut keep: std::collections::BTreeSet<u64> =
             policy.keep_trace_ids.iter().map(|t| t.0).collect();
         for e in events.iter() {
             let Some(ctx) = e.ctx else { continue };

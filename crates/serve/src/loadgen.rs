@@ -23,8 +23,12 @@ use coda_obs::Obs;
 use crate::request::{ServeError, ServeRequest, ServeResponse};
 use crate::tier::ServeTier;
 
-/// Histogram bounds (ms) for request latency.
-const LATENCY_BOUNDS: &[f64] = &[
+/// Histogram bounds (ms) for the `coda_serve_latency_ms` family. Every
+/// producer of that family must register with these bounds — the registry
+/// keeps whichever registration arrives first and silently drops the rest,
+/// so a second bounds expression would never take effect (and the
+/// `obs_contract` lint rejects it).
+pub const SERVE_LATENCY_BOUNDS: &[f64] = &[
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
 ];
 
@@ -166,7 +170,7 @@ fn submitter(
     let clients_per_thread = (cfg.n_clients / cfg.n_threads.max(1)).max(1);
     let mut tally = ThreadTally::default();
     let latency =
-        obs.as_ref().map(|o| o.registry().histogram("coda_serve_latency_ms", LATENCY_BOUNDS));
+        obs.as_ref().map(|o| o.registry().histogram("coda_serve_latency_ms", SERVE_LATENCY_BOUNDS));
 
     for _ in 0..cfg.ops_per_thread {
         let rank = zipf.sample(&mut rng);
